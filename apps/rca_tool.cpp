@@ -1,0 +1,517 @@
+// rca-tool — command-line interface to the climate-rca pipeline.
+//
+//   rca-tool generate    --out DIR [--seed N] [--bug NAME] [--aux N]
+//   rca-tool graph       --src DIR [--build-list FILE] [--coverage] --out FILE
+//   rca-tool info        --graph FILE
+//   rca-tool slice       --graph FILE (--target NAME | --output LABEL)...
+//                        [--cam-only] [--drop-small N] [--dot FILE]
+//   rca-tool communities --graph FILE [--method gn|louvain] [--min-size N]
+//                        [--iterations N] [--dot FILE]
+//   rca-tool centrality  --graph FILE [--kind KIND] [--top N] [--modules]
+//   rca-tool analyze     --experiment NAME [--runtime-sampling]
+//                        [--members N] [--seed N]
+//
+// `generate` writes a synthetic-CESM source tree; `graph` parses any
+// directory of Fortran-subset files into a serialized metagraph; the rest
+// operate on saved metagraphs — so the full §4-§5 workflow runs from a
+// shell, like the paper's Python toolkit did.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "engine/pipeline.hpp"
+#include "graph/centrality.hpp"
+#include "graph/degree_dist.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/girvan_newman.hpp"
+#include "graph/louvain.hpp"
+#include "graph/nonbacktracking.hpp"
+#include "lang/parser.hpp"
+#include "meta/builder.hpp"
+#include "meta/serialize.hpp"
+#include "model/corpus.hpp"
+#include "model/model.hpp"
+#include "slice/slicer.hpp"
+#include "support/args.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace fs = std::filesystem;
+using namespace rca;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "rca-tool — root cause analysis for large Fortran-style code bases\n"
+      "\n"
+      "subcommands:\n"
+      "  generate     write a synthetic-CESM corpus to disk\n"
+      "  graph        parse sources into a serialized variable digraph\n"
+      "  info         summarize a saved graph\n"
+      "  slice        backward slice from output labels / canonical names\n"
+      "  communities  Girvan-Newman or Louvain partition of a slice\n"
+      "  centrality   rank nodes or modules\n"
+      "  analyze      run a full paper experiment on the synthetic model\n"
+      "\n"
+      "run `rca-tool <subcommand> --help` semantics are documented at the\n"
+      "top of apps/rca_tool.cpp and in README.md.\n";
+  return 2;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const fs::path& path, const std::string& text) {
+  if (!path.parent_path().empty()) fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write " + path.string());
+  out << text;
+}
+
+model::BugId parse_bug(const std::string& name) {
+  if (name.empty() || name == "none") return model::BugId::kNone;
+  if (name == "wsub") return model::BugId::kWsub;
+  if (name == "random") return model::BugId::kRandom;
+  if (name == "dyn3") return model::BugId::kDyn3;
+  if (name == "goffgratch") return model::BugId::kGoffGratch;
+  throw Error("unknown --bug '" + name + "' (none|wsub|random|dyn3|goffgratch)");
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+int cmd_generate(const Args& args) {
+  const fs::path out_dir = args.get("out", "corpus");
+  model::CorpusSpec spec;
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 2019));
+  spec.bug = parse_bug(args.get("bug"));
+  if (args.has("aux")) {
+    spec.total_aux_modules = static_cast<std::size_t>(args.get_int("aux", 180));
+  }
+  model::GeneratedCorpus corpus = model::generate_corpus(spec);
+  for (const auto& file : corpus.files) {
+    write_file(out_dir / file.path, file.text);
+  }
+  std::string build_list;
+  for (const auto& name : corpus.compiled_modules) build_list += name + "\n";
+  write_file(out_dir / "build_list.txt", build_list);
+  std::printf("wrote %zu files (%zu modules, %zu in build configuration) to "
+              "%s\n", corpus.files.size(), corpus.total_modules,
+              corpus.compiled_modules.size(), out_dir.string().c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// graph
+// ---------------------------------------------------------------------------
+
+int cmd_graph(const Args& args) {
+  const fs::path src_dir = args.get("src");
+  const fs::path out_path = args.get("out", "metagraph.tsv");
+  if (src_dir.empty()) throw Error("graph: --src DIR is required");
+
+  // Optional build-configuration list (one module name per line).
+  std::vector<std::string> build_list;
+  if (args.has("build-list")) {
+    std::istringstream in(read_file(args.get("build-list")));
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string name = std::string(trim(line));
+      if (!name.empty()) build_list.push_back(name);
+    }
+  }
+  auto in_build = [&build_list](const std::string& module) {
+    if (build_list.empty()) return true;
+    for (const auto& name : build_list) {
+      if (name == module) return true;
+    }
+    return false;
+  };
+
+  // Parse every Fortran-ish file under --src.
+  std::vector<lang::SourceFile> files;
+  std::size_t parse_failures = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = to_lower(entry.path().extension().string());
+    if (ext != ".f90" && ext != ".f" && ext != ".f95") continue;
+    try {
+      lang::Parser parser(entry.path().string(), read_file(entry.path()));
+      files.push_back(parser.parse_file());
+    } catch (const ParseError& e) {
+      ++parse_failures;
+      std::fprintf(stderr, "parse failure: %s\n", e.what());
+    }
+  }
+  std::vector<const lang::Module*> modules;
+  for (const auto& f : files) {
+    for (const auto& m : f.modules) {
+      if (in_build(m.name)) modules.push_back(&m);
+    }
+  }
+  std::printf("parsed %zu files (%zu failures), %zu modules in build "
+              "configuration\n", files.size(), parse_failures, modules.size());
+
+  meta::BuilderOptions opts;
+  std::unique_ptr<interp::Interpreter> cov_interp;
+  interp::CoverageRecorder recorder;
+  if (args.has("coverage")) {
+    // Instrumented short run: requires the corpus driver convention
+    // (cam_driver::cam_init / cam_step), as `generate` emits.
+    cov_interp = std::make_unique<interp::Interpreter>(modules);
+    cov_interp->call("cam_driver", "cam_init");
+    const int steps = static_cast<int>(args.get_int("coverage-steps", 2));
+    for (int s = 0; s < steps; ++s) cov_interp->call("cam_driver", "cam_step");
+    recorder = cov_interp->coverage();
+    // Declaration-only modules are always kept (cannot register execution).
+    opts.module_filter = [&recorder, &modules](const std::string& m) {
+      if (recorder.module_executed(m)) return true;
+      for (const lang::Module* mod : modules) {
+        if (mod->name == m) return mod->subprograms.empty();
+      }
+      return false;
+    };
+    opts.subprogram_filter = [&recorder](const std::string& m,
+                                         const std::string& s) {
+      return recorder.subprogram_executed(m, s);
+    };
+  }
+
+  meta::Metagraph mg = meta::build_metagraph(modules, opts);
+  std::ofstream out(out_path);
+  meta::save_metagraph(mg, out);
+  std::printf("metagraph: %zu nodes, %zu edges, %zu I/O labels -> %s\n",
+              mg.node_count(), mg.graph().edge_count(), mg.io_map().size(),
+              out_path.string().c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Shared: load a saved metagraph.
+// ---------------------------------------------------------------------------
+
+meta::Metagraph load_graph(const Args& args) {
+  const std::string path = args.get("graph");
+  if (path.empty()) throw Error("--graph FILE is required");
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read " + path);
+  return meta::load_metagraph(in);
+}
+
+int cmd_info(const Args& args) {
+  meta::Metagraph mg = load_graph(args);
+  const auto dist = graph::degree_distribution(mg.graph(), 2);
+  std::printf("nodes: %zu\nedges: %zu\nmodules: %zu\nI/O labels: %zu\n",
+              mg.node_count(), mg.graph().edge_count(), mg.modules().size(),
+              mg.io_map().size());
+  std::printf("mean degree: %.3f  max degree: %zu  power-law MLE: %.3f\n",
+              dist.mean_degree, dist.max_degree, dist.mle_exponent);
+  Table table("largest modules by node count");
+  table.set_header({"module", "nodes"});
+  std::vector<std::pair<std::size_t, std::string>> sizes;
+  for (const auto& m : mg.modules()) {
+    sizes.emplace_back(mg.by_module(m).size(), m);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  for (std::size_t i = 0; i < sizes.size() && i < 10; ++i) {
+    table.add_row({sizes[i].second,
+                   Table::integer(static_cast<long long>(sizes[i].first))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// slice
+// ---------------------------------------------------------------------------
+
+int cmd_slice(const Args& args) {
+  meta::Metagraph mg = load_graph(args);
+  std::vector<std::string> targets = args.get_all("target");
+  for (const std::string& label : args.get_all("output")) {
+    for (const auto& name : slice::internal_names_for_output(mg, label)) {
+      targets.push_back(name);
+    }
+  }
+  if (targets.empty()) {
+    throw Error("slice: need --target NAME or --output LABEL");
+  }
+  slice::SliceOptions opts;
+  if (args.has("cam-only")) {
+    opts.module_filter = [](const std::string& m) {
+      return model::is_cam_module(m);
+    };
+  }
+  opts.drop_components_smaller_than =
+      static_cast<std::size_t>(args.get_int("drop-small", 0));
+  slice::SliceResult result = slice::backward_slice(mg, targets, opts);
+  std::printf("criteria:");
+  for (const auto& t : targets) std::printf(" %s", t.c_str());
+  std::printf("\nslice: %zu nodes / %zu edges (of %zu / %zu)\n",
+              result.nodes.size(), result.subgraph.edge_count(),
+              mg.node_count(), mg.graph().edge_count());
+  const std::size_t show =
+      static_cast<std::size_t>(args.get_int("show", 20));
+  for (std::size_t i = 0; i < result.nodes.size() && i < show; ++i) {
+    const auto& info = mg.info(result.nodes[i]);
+    std::printf("  %-28s %s line %d\n", info.unique_name.c_str(),
+                info.module.c_str(), info.line);
+  }
+  if (result.nodes.size() > show) {
+    std::printf("  ... %zu more (raise --show)\n", result.nodes.size() - show);
+  }
+  if (args.has("dot")) {
+    std::vector<std::string> labels;
+    for (graph::NodeId v : result.nodes) {
+      labels.push_back(mg.info(v).unique_name);
+    }
+    write_file(args.get("dot"), graph::to_dot(result.subgraph, &labels));
+    std::printf("wrote DOT to %s\n", args.get("dot").c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// communities
+// ---------------------------------------------------------------------------
+
+int cmd_communities(const Args& args) {
+  meta::Metagraph mg = load_graph(args);
+  const std::string method = args.get("method", "gn");
+  const std::size_t min_size =
+      static_cast<std::size_t>(args.get_int("min-size", 3));
+
+  std::vector<std::vector<graph::NodeId>> communities;
+  if (method == "louvain") {
+    graph::LouvainOptions opts;
+    opts.min_community_size = min_size;
+    auto result = louvain(mg.graph(), opts);
+    communities = std::move(result.communities);
+    std::printf("louvain: modularity %.4f\n", result.modularity);
+  } else if (method == "gn") {
+    graph::GirvanNewmanOptions opts;
+    opts.iterations = static_cast<int>(args.get_int("iterations", 1));
+    opts.min_community_size = min_size;
+    auto result = girvan_newman(mg.graph(), opts);
+    communities = std::move(result.communities);
+    std::printf("girvan-newman: removed %zu edges, %zu components\n",
+                result.edges_removed, result.component_count);
+  } else {
+    throw Error("unknown --method '" + method + "' (gn|louvain)");
+  }
+
+  std::printf("%zu communities (>= %zu nodes):\n", communities.size(),
+              min_size);
+  for (std::size_t c = 0; c < communities.size(); ++c) {
+    std::printf("  community %zu: %zu nodes, e.g.", c, communities[c].size());
+    for (std::size_t k = 0; k < communities[c].size() && k < 5; ++k) {
+      std::printf(" %s", mg.info(communities[c][k]).unique_name.c_str());
+    }
+    std::printf("\n");
+  }
+  if (args.has("dot")) {
+    std::vector<graph::NodeId> classes(mg.node_count(), 0);
+    for (std::size_t c = 0; c < communities.size(); ++c) {
+      for (graph::NodeId v : communities[c]) {
+        classes[v] = static_cast<graph::NodeId>(c + 1);
+      }
+    }
+    std::vector<std::string> labels;
+    for (graph::NodeId v = 0; v < mg.node_count(); ++v) {
+      labels.push_back(mg.info(v).unique_name);
+    }
+    write_file(args.get("dot"), graph::to_dot(mg.graph(), &labels, &classes));
+    std::printf("wrote DOT to %s\n", args.get("dot").c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// centrality
+// ---------------------------------------------------------------------------
+
+int cmd_centrality(const Args& args) {
+  meta::Metagraph mg = load_graph(args);
+  const std::string kind = args.get("kind", "eigenvector");
+  const std::size_t top = static_cast<std::size_t>(args.get_int("top", 15));
+
+  const graph::Digraph* g = &mg.graph();
+  graph::Digraph quotient;
+  std::vector<std::string> names;
+  if (args.has("modules")) {
+    quotient = graph::quotient_graph(mg.graph(), mg.module_classes(),
+                                     mg.modules().size());
+    g = &quotient;
+    names = mg.modules();
+  } else {
+    for (graph::NodeId v = 0; v < mg.node_count(); ++v) {
+      names.push_back(mg.info(v).unique_name);
+    }
+  }
+
+  std::vector<double> scores;
+  if (kind == "eigenvector") {
+    scores = eigenvector_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "degree") {
+    scores = degree_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "pagerank") {
+    scores = pagerank(*g, graph::Direction::kIn);
+  } else if (kind == "katz") {
+    scores = katz_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "closeness") {
+    scores = closeness_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "nonbacktracking") {
+    scores = nonbacktracking_centrality(*g, graph::Direction::kIn).centrality;
+  } else if (kind == "inout-eigenvector") {
+    const auto cin = eigenvector_centrality(*g, graph::Direction::kIn);
+    const auto cout = eigenvector_centrality(*g, graph::Direction::kOut);
+    scores.resize(cin.size());
+    for (std::size_t i = 0; i < cin.size(); ++i) scores[i] = cin[i] + cout[i];
+  } else {
+    throw Error("unknown --kind '" + kind + "'");
+  }
+
+  Table table(kind + " in-centrality, top " + std::to_string(top));
+  table.set_header({"rank", "name", "score"});
+  int rank = 1;
+  for (graph::NodeId v : graph::top_k(scores, top)) {
+    table.add_row({Table::integer(rank++), names[v],
+                   Table::num(scores[v], 6)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------------
+
+int cmd_analyze(const Args& args) {
+  const std::string name = to_lower(args.get("experiment", "goffgratch"));
+  model::ExperimentId id;
+  if (name == "wsubbug") id = model::ExperimentId::kWsubBug;
+  else if (name == "rand-mt" || name == "randmt") id = model::ExperimentId::kRandMt;
+  else if (name == "goffgratch") id = model::ExperimentId::kGoffGratch;
+  else if (name == "avx2") id = model::ExperimentId::kAvx2;
+  else if (name == "randombug") id = model::ExperimentId::kRandomBug;
+  else if (name == "dyn3bug") id = model::ExperimentId::kDyn3Bug;
+  else throw Error("unknown --experiment '" + name + "'");
+
+  engine::PipelineConfig config;
+  config.ensemble_members =
+      static_cast<std::size_t>(args.get_int("members", 30));
+  config.corpus.seed = static_cast<std::uint64_t>(args.get_int("seed", 2019));
+  engine::Pipeline pipe(std::move(config));
+  engine::ExperimentOutcome outcome =
+      args.has("runtime-sampling") ? pipe.run_experiment_runtime_sampling(id)
+                                   : pipe.run_experiment(id);
+
+  std::printf("experiment: %s\nUF-ECT: %s (%zu failing PCs)\n",
+              outcome.spec->name, outcome.verdict.pass ? "PASS" : "FAIL",
+              outcome.verdict.failing_pcs.size());
+  std::printf("criteria:");
+  for (const auto& c : outcome.criteria_outputs) std::printf(" %s", c.c_str());
+  std::printf("\nslice: %zu nodes\n", outcome.slice.nodes.size());
+  for (std::size_t i = 0; i < outcome.refinement.iterations.size(); ++i) {
+    const auto& iter = outcome.refinement.iterations[i];
+    std::printf("iteration %zu: %zu nodes, %zu communities, %s\n", i + 1,
+                iter.subgraph_nodes, iter.communities.size(),
+                iter.detected ? "DETECTED" : "no difference");
+  }
+  std::printf("final search space: %zu nodes%s\n",
+              outcome.refinement.final_nodes.size(),
+              outcome.refinement.stalled ? " (stalled)" : "");
+  bool retained = false;
+  for (graph::NodeId b : outcome.bug_nodes) {
+    for (graph::NodeId n : outcome.refinement.final_nodes) {
+      if (n == b) retained = true;
+    }
+  }
+  std::printf("ground-truth bug retained: %s\n", retained ? "yes" : "NO");
+
+  if (args.has("json")) {
+    // Machine-readable report for downstream tooling / CI.
+    JsonWriter w;
+    w.begin_object();
+    w.key("experiment");
+    w.string_value(outcome.spec->name);
+    w.key("ect_pass");
+    w.boolean(outcome.verdict.pass);
+    w.key("failing_pcs");
+    w.integer(static_cast<long long>(outcome.verdict.failing_pcs.size()));
+    w.key("criteria");
+    w.begin_array();
+    for (const auto& c : outcome.criteria_outputs) w.string_value(c);
+    w.end_array();
+    w.key("internal_names");
+    w.begin_array();
+    for (const auto& c : outcome.internal_names) w.string_value(c);
+    w.end_array();
+    w.key("slice_nodes");
+    w.integer(static_cast<long long>(outcome.slice.nodes.size()));
+    w.key("iterations");
+    w.begin_array();
+    for (const auto& iter : outcome.refinement.iterations) {
+      w.begin_object();
+      w.key("subgraph_nodes");
+      w.integer(static_cast<long long>(iter.subgraph_nodes));
+      w.key("communities");
+      w.integer(static_cast<long long>(iter.communities.size()));
+      w.key("detected");
+      w.boolean(iter.detected);
+      w.key("sampled");
+      w.begin_array();
+      for (const auto& comm : iter.communities) {
+        for (graph::NodeId v : comm.sampled) {
+          w.string_value(pipe.metagraph().info(v).unique_name);
+        }
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("final_nodes");
+    w.integer(static_cast<long long>(outcome.refinement.final_nodes.size()));
+    w.key("stalled");
+    w.boolean(outcome.refinement.stalled);
+    w.key("bug_retained");
+    w.boolean(retained);
+    w.end_object();
+    write_file(args.get("json"), w.str() + "\n");
+    std::printf("wrote JSON report to %s\n", args.get("json").c_str());
+  }
+  return retained ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Args args(argc, argv);
+    int rc;
+    if (args.command() == "generate") rc = cmd_generate(args);
+    else if (args.command() == "graph") rc = cmd_graph(args);
+    else if (args.command() == "info") rc = cmd_info(args);
+    else if (args.command() == "slice") rc = cmd_slice(args);
+    else if (args.command() == "communities") rc = cmd_communities(args);
+    else if (args.command() == "centrality") rc = cmd_centrality(args);
+    else if (args.command() == "analyze") rc = cmd_analyze(args);
+    else return usage();
+    for (const auto& key : args.unused_keys()) {
+      std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,98 @@
+// Shared helpers for the table/figure regeneration harnesses.
+//
+// Every binary in bench/ regenerates one table or figure of the paper and
+// prints (a) our measured values and (b) the paper's reported values for
+// shape comparison. Absolute numbers differ by design: the substrate is a
+// scaled synthetic model, not CESM on Cheyenne (see DESIGN.md §2).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/pipeline.hpp"
+#include "support/table.hpp"
+
+namespace rca::bench {
+
+/// Standard pipeline configuration for the experiment harnesses.
+inline engine::PipelineConfig default_config() {
+  engine::PipelineConfig config;
+  config.ensemble_members = 40;
+  config.experimental_runs = 12;
+  return config;
+}
+
+/// One-line header with the paper reference.
+inline void banner(const std::string& artifact, const std::string& summary) {
+  std::printf("=== %s ===\n", artifact.c_str());
+  std::printf("%s\n\n", summary.c_str());
+}
+
+/// Prints an iteration trace in the style of the paper's figure captions.
+inline void print_refinement_trace(const meta::Metagraph& mg,
+                                   const engine::RefinementResult& result,
+                                   std::size_t show_sampled = 10) {
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const auto& iter = result.iterations[i];
+    std::printf("iteration %zu: subgraph %zu nodes / %zu edges, %zu communities",
+                i + 1, iter.subgraph_nodes, iter.subgraph_edges,
+                iter.communities.size());
+    std::printf(" (sizes:");
+    for (const auto& c : iter.communities) std::printf(" %zu", c.members.size());
+    std::printf("), %s\n", iter.detected
+                               ? "difference DETECTED -> step 8b"
+                               : "no difference -> step 8a");
+    for (std::size_t c = 0; c < iter.communities.size(); ++c) {
+      const auto& comm = iter.communities[c];
+      std::printf("  community %zu (%zu nodes): sampled", c,
+                  comm.members.size());
+      for (std::size_t k = 0; k < comm.sampled.size() && k < show_sampled; ++k) {
+        std::printf(" %s(%.4f)", mg.info(comm.sampled[k]).unique_name.c_str(),
+                    comm.sampled_centrality[k]);
+      }
+      std::printf(" | differing: %zu\n", comm.differing.size());
+    }
+  }
+  std::printf("final subgraph: %zu nodes%s\n", result.final_nodes.size(),
+              result.stalled ? " (stalled: static fixed point, needs value "
+                               "magnitudes — paper issue 1)"
+                             : "");
+  if (result.first_detection_at) {
+    std::printf("first detection at iteration %zu\n", result.first_detection_at);
+  }
+  if (result.bug_instrumented_at) {
+    std::printf("bug site instrumented at iteration %zu\n",
+                result.bug_instrumented_at);
+  }
+}
+
+/// True if any ground-truth bug node is inside `nodes`.
+inline bool contains_bug(const std::vector<graph::NodeId>& nodes,
+                         const std::vector<graph::NodeId>& bugs) {
+  for (graph::NodeId b : bugs) {
+    for (graph::NodeId n : nodes) {
+      if (n == b) return true;
+    }
+  }
+  return false;
+}
+
+inline void print_selection(const engine::ExperimentOutcome& outcome) {
+  std::printf("lasso-selected outputs:");
+  for (const auto& s : outcome.lasso_selected) std::printf(" %s", s.c_str());
+  std::printf("\nmedian-distance top 5:");
+  for (std::size_t k = 0; k < 5 && k < outcome.median_ranked.size(); ++k) {
+    std::printf(" %s(%.3g%s)", outcome.median_ranked[k].name.c_str(),
+                outcome.median_ranked[k].median_distance,
+                outcome.median_ranked[k].iqr_disjoint ? "*" : "");
+  }
+  std::printf("\nslicing criteria:");
+  for (const auto& s : outcome.criteria_outputs) std::printf(" %s", s.c_str());
+  std::printf("\ninternal names:");
+  for (const auto& s : outcome.internal_names) std::printf(" %s", s.c_str());
+  std::printf("\n");
+}
+
+}  // namespace rca::bench

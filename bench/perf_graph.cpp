@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks for the graph substrate: the operations
+// Algorithm 5.4 performs per iteration, at several graph scales.
+#include <benchmark/benchmark.h>
+
+#include "graph/betweenness.hpp"
+#include "graph/bfs.hpp"
+#include "graph/centrality.hpp"
+#include "graph/girvan_newman.hpp"
+#include "graph/nonbacktracking.hpp"
+#include "support/rng.hpp"
+
+namespace rca::graph {
+namespace {
+
+/// Preferential-attachment digraph similar in shape to the CESM slices.
+Digraph make_graph(std::size_t n, std::size_t edges_per_node,
+                   std::uint64_t seed = 99) {
+  SplitMix64 rng(seed);
+  Digraph g(1);
+  std::vector<NodeId> pool = {0};
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_nodes(1);
+    for (std::size_t e = 0; e < edges_per_node; ++e) {
+      const NodeId t = pool[rng.next() % pool.size()];
+      if (t != v && g.add_edge(v, t)) {
+        pool.push_back(t);
+        pool.push_back(v);
+      }
+    }
+  }
+  return g;
+}
+
+void BM_BfsAncestors(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ancestors_of(g, {0}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BfsAncestors)->Range(256, 16384)->Complexity();
+
+void BM_WeaklyConnectedComponents(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 2);
+  std::size_t count = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(weakly_connected_components(g, &count));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WeaklyConnectedComponents)->Range(256, 16384)->Complexity();
+
+void BM_EdgeBetweenness(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 2);
+  UGraph ug(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edge_betweenness(ug));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EdgeBetweenness)->Range(128, 2048)->Complexity();
+
+void BM_GirvanNewmanStep(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    UGraph ug(g);  // fresh copy: the step mutates
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(girvan_newman_step(ug));
+  }
+}
+// A split step on a dense preferential-attachment core removes many edges;
+// keep the range modest (the pipeline's real slices are sparser).
+BENCHMARK(BM_GirvanNewmanStep)->Range(64, 256);
+
+void BM_EigenvectorCentrality(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eigenvector_centrality(g, Direction::kIn));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EigenvectorCentrality)->Range(256, 16384)->Complexity();
+
+void BM_PageRank(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pagerank(g, Direction::kIn));
+  }
+}
+BENCHMARK(BM_PageRank)->Range(256, 4096);
+
+void BM_NonBacktracking(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nonbacktracking_centrality(g, Direction::kIn));
+  }
+}
+BENCHMARK(BM_NonBacktracking)->Range(256, 4096);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  Digraph g = make_graph(static_cast<std::size_t>(state.range(0)), 3);
+  std::vector<NodeId> half;
+  for (NodeId v = 0; v < g.node_count(); v += 2) half.push_back(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(induced_subgraph(g, half, nullptr));
+  }
+}
+BENCHMARK(BM_InducedSubgraph)->Range(256, 16384);
+
+void BM_QuotientGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Digraph g = make_graph(n, 3);
+  std::vector<NodeId> classes(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    classes[v] = static_cast<NodeId>(v % 50);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quotient_graph(g, classes, 50));
+  }
+}
+BENCHMARK(BM_QuotientGraph)->Range(256, 16384);
+
+}  // namespace
+}  // namespace rca::graph
+
+BENCHMARK_MAIN();

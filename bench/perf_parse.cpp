@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks for the frontend and pipeline stages:
+// lexing, parsing, metagraph construction, and model execution throughput
+// on the synthetic corpus.
+#include <benchmark/benchmark.h>
+
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "meta/builder.hpp"
+#include "model/corpus.hpp"
+#include "model/model.hpp"
+
+namespace rca {
+namespace {
+
+const model::GeneratedCorpus& corpus() {
+  static const model::GeneratedCorpus* c =
+      new model::GeneratedCorpus(model::generate_corpus(model::CorpusSpec{}));
+  return *c;
+}
+
+std::size_t total_bytes() {
+  std::size_t bytes = 0;
+  for (const auto& f : corpus().files) bytes += f.text.size();
+  return bytes;
+}
+
+void BM_LexCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    std::size_t tokens = 0;
+    for (const auto& f : corpus().files) {
+      lang::Lexer lexer(f.path, f.text);
+      tokens += lexer.lex_all().size();
+    }
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_bytes()));
+}
+BENCHMARK(BM_LexCorpus);
+
+void BM_ParseCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    std::size_t modules = 0;
+    for (const auto& f : corpus().files) {
+      lang::Parser parser(f.path, f.text);
+      modules += parser.parse_file().modules.size();
+    }
+    benchmark::DoNotOptimize(modules);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_bytes()));
+}
+BENCHMARK(BM_ParseCorpus);
+
+void BM_PrintRoundTrip(benchmark::State& state) {
+  lang::Parser parser(corpus().files[6].path, corpus().files[6].text);
+  lang::SourceFile file = parser.parse_file();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::print_source_file(file));
+  }
+}
+BENCHMARK(BM_PrintRoundTrip);
+
+void BM_BuildMetagraph(benchmark::State& state) {
+  model::CesmModel model(model::CorpusSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        meta::build_metagraph(model.compiled_modules()));
+  }
+}
+BENCHMARK(BM_BuildMetagraph);
+
+void BM_ModelNineSteps(benchmark::State& state) {
+  model::CesmModel model(model::CorpusSpec{});
+  model::RunConfig config;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.member_seed = seed++;
+    benchmark::DoNotOptimize(model.run(config));
+  }
+}
+BENCHMARK(BM_ModelNineSteps);
+
+void BM_CoverageRun(benchmark::State& state) {
+  model::CesmModel model(model::CorpusSpec{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.coverage_run(2));
+  }
+}
+BENCHMARK(BM_CoverageRun);
+
+}  // namespace
+}  // namespace rca
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Scenario: a port to FMA-capable hardware changes results. Which variables
+// are sensitive, and which modules should keep FMA disabled to stay
+// statistically consistent with the accepted ensemble? (The paper's AVX2
+// investigation, §6.4-6.5, as a library user would run it.)
+//
+// Build & run:  ./build/examples/fma_sensitivity
+#include <cstdio>
+
+#include "engine/pipeline.hpp"
+#include "graph/centrality.hpp"
+
+using namespace rca;
+
+int main() {
+  engine::PipelineConfig config;
+  config.ensemble_members = 30;
+  engine::Pipeline pipe(config);
+
+  // 1. KGen-style kernel comparison: run the MG1 kernel with FMA off/on and
+  //    flag variables whose normalized RMS moves beyond 1e-12.
+  const auto flagged =
+      model::kgen_flagged_variables(pipe.control_model(), pipe.metagraph());
+  std::printf("FMA-sensitive MG1 variables (normalized RMS diff > 1e-12): "
+              "%zu\n", flagged.size());
+  for (std::size_t i = 0; i < flagged.size() && i < 10; ++i) {
+    std::printf("  %s::%s::%s\n", flagged[i].module.c_str(),
+                flagged[i].subprogram.c_str(), flagged[i].name.c_str());
+  }
+
+  // 2. Does enabling FMA everywhere fail the consistency test?
+  model::RunConfig fma_on = config.base_run;
+  fma_on.fma_all = true;
+  const auto runs = model::experiment_set(pipe.control_model(), fma_on, 3,
+                                          4000, pipe.output_names());
+  const auto verdict = pipe.ect().evaluate(runs);
+  std::printf("\nUF-ECT with FMA enabled everywhere: %s\n",
+              verdict.pass ? "PASS" : "FAIL");
+
+  // 3. Rank modules by quotient-graph eigenvector centrality (§6.5) and
+  //    disable FMA only on the top ten.
+  const auto& mg = pipe.metagraph();
+  const auto classes = mg.module_classes();
+  graph::Digraph quotient =
+      graph::quotient_graph(mg.graph(), classes, mg.modules().size());
+  const auto cin = eigenvector_centrality(quotient, graph::Direction::kIn);
+  const auto cout = eigenvector_centrality(quotient, graph::Direction::kOut);
+  std::vector<double> centrality(mg.modules().size());
+  for (std::size_t i = 0; i < centrality.size(); ++i) {
+    centrality[i] = cin[i] + cout[i];
+  }
+  model::RunConfig selective = fma_on;
+  std::printf("\ndisabling FMA on the 10 most central modules:");
+  for (graph::NodeId m : graph::top_k(centrality, 10)) {
+    std::printf(" %s", mg.modules()[m].c_str());
+    selective.fma_disabled_modules.push_back(mg.modules()[m]);
+  }
+  const auto selective_runs = model::experiment_set(
+      pipe.control_model(), selective, 3, 4100, pipe.output_names());
+  const auto selective_verdict = pipe.ect().evaluate(selective_runs);
+  std::printf("\nUF-ECT with selective disablement: %s\n",
+              selective_verdict.pass ? "PASS" : "FAIL");
+  std::printf("\n=> selective disablement %s: FMA stays on for %zu of %zu "
+              "modules while preserving statistical consistency.\n",
+              selective_verdict.pass ? "works" : "is insufficient here",
+              mg.modules().size() - 10, mg.modules().size());
+  return selective_verdict.pass && !verdict.pass ? 0 : 1;
+}

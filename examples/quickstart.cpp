@@ -1,0 +1,92 @@
+// Quickstart: from Fortran-subset source text to a variable-dependency
+// digraph, a backward slice, communities, and centrality — the paper's
+// Figures 2 and 3 in miniature, on code you can read in one screen.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "graph/centrality.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/girvan_newman.hpp"
+#include "lang/parser.hpp"
+#include "meta/builder.hpp"
+#include "slice/slicer.hpp"
+
+using namespace rca;
+
+// A tiny two-module "model": a saturation function, a state, and an output.
+static const char* kSource = R"(
+module physics
+  real :: temp(4)
+  real :: humid(4)
+contains
+  function saturation(t) result(es)
+    real, intent(in) :: t
+    real :: es
+    es = exp(t * 0.0173)
+  end function
+  subroutine step()
+    integer :: i
+    real :: es
+    real :: cloud(4)
+    do i = 1, 4
+      es = saturation(temp(i))
+      cloud(i) = max(humid(i) / es - 0.6, 0.0)
+      temp(i) = temp(i) * 0.99 + cloud(i) * 0.01
+    end do
+    call outfld('CLOUD', cloud)
+  end subroutine
+end module
+)";
+
+int main() {
+  // 1. Parse (the fparser/KGen substitute).
+  lang::Parser parser("quickstart.F90", kSource);
+  lang::SourceFile file = parser.parse_file();
+  std::printf("parsed %zu module(s); first has %zu subprograms\n",
+              file.modules.size(), file.modules[0].subprograms.size());
+
+  // 2. Build the metagraph (paper §4: AST -> digraph with metadata).
+  std::vector<const lang::Module*> modules;
+  for (const auto& m : file.modules) modules.push_back(&m);
+  meta::Metagraph mg = meta::build_metagraph(modules);
+  std::printf("metagraph: %zu nodes, %zu edges, %zu assignments processed\n",
+              mg.node_count(), mg.graph().edge_count(),
+              mg.assignments_processed);
+  for (graph::NodeId v = 0; v < mg.node_count(); ++v) {
+    std::printf("  node %2u: %-24s (module=%s, subprogram=%s%s)\n", v,
+                mg.info(v).unique_name.c_str(), mg.info(v).module.c_str(),
+                mg.info(v).subprogram.empty() ? "-"
+                                              : mg.info(v).subprogram.c_str(),
+                mg.info(v).is_intrinsic ? ", intrinsic site" : "");
+  }
+
+  // 3. Map the output label to internal names and take a backward slice
+  //    (paper §5.1: hybrid static slicing).
+  auto internal = slice::internal_names_for_output(mg, "cloud");
+  std::printf("\noutput 'CLOUD' maps to internal name(s):");
+  for (const auto& n : internal) std::printf(" %s", n.c_str());
+  slice::SliceResult sl = slice::backward_slice(mg, internal);
+  std::printf("\nbackward slice: %zu of %zu nodes\n", sl.nodes.size(),
+              mg.node_count());
+
+  // 4. Communities + eigenvector in-centrality (paper §5.2-5.3).
+  graph::GirvanNewmanResult communities = graph::girvan_newman(sl.subgraph);
+  std::printf("communities (>=3 nodes): %zu\n", communities.communities.size());
+  auto centrality =
+      graph::eigenvector_centrality(sl.subgraph, graph::Direction::kIn);
+  std::printf("top sampling sites by in-centrality:\n");
+  for (graph::NodeId local : graph::top_k(centrality, 3)) {
+    std::printf("  %-24s %.4f\n",
+                mg.info(sl.nodes[local]).unique_name.c_str(),
+                centrality[local]);
+  }
+
+  // 5. Export DOT for visual inspection (Figure 2-style).
+  std::vector<std::string> labels;
+  for (graph::NodeId v : sl.nodes) labels.push_back(mg.info(v).unique_name);
+  std::printf("\nDOT of the slice subgraph:\n%s",
+              graph::to_dot(sl.subgraph, &labels).c_str());
+  return 0;
+}

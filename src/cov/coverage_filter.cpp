@@ -1,0 +1,90 @@
+#include "cov/coverage_filter.hpp"
+
+namespace rca::cov {
+
+CoverageFilter::CoverageFilter(
+    interp::CoverageRecorder recorder,
+    const std::vector<const lang::Module*>* modules)
+    : keep_all_(false), recorder_(std::move(recorder)) {
+  if (modules) {
+    for (const lang::Module* m : *modules) {
+      if (m->subprograms.empty()) declaration_only_.push_back(m->name);
+    }
+  }
+}
+
+bool CoverageFilter::keep_module(const std::string& module) const {
+  if (keep_all_) return true;
+  if (recorder_.module_executed(module)) return true;
+  for (const auto& name : declaration_only_) {
+    if (name == module) return true;
+  }
+  return false;
+}
+
+bool CoverageFilter::keep_subprogram(const std::string& module,
+                                     const std::string& subprogram) const {
+  if (keep_all_) return true;
+  return recorder_.subprogram_executed(module, subprogram);
+}
+
+std::function<bool(const std::string&)> CoverageFilter::module_predicate()
+    const {
+  return [this](const std::string& m) { return keep_module(m); };
+}
+
+std::function<bool(const std::string&, const std::string&)>
+CoverageFilter::subprogram_predicate() const {
+  return [this](const std::string& m, const std::string& s) {
+    return keep_subprogram(m, s);
+  };
+}
+
+double FilterStats::module_reduction() const {
+  if (modules_total == 0) return 0.0;
+  return 1.0 - static_cast<double>(modules_kept) /
+                   static_cast<double>(modules_total);
+}
+
+double FilterStats::subprogram_reduction() const {
+  if (subprograms_total == 0) return 0.0;
+  return 1.0 - static_cast<double>(subprograms_kept) /
+                   static_cast<double>(subprograms_total);
+}
+
+FilterStats compute_filter_stats(
+    const std::vector<const lang::Module*>& modules,
+    const CoverageFilter& filter) {
+  FilterStats stats;
+  for (const lang::Module* m : modules) {
+    ++stats.modules_total;
+    const std::size_t module_lines =
+        m->end_line > m->line
+            ? static_cast<std::size_t>(m->end_line - m->line + 1)
+            : 1;
+    stats.lines_total += module_lines;
+    const bool keep_mod = filter.keep_module(m->name);
+    if (keep_mod) ++stats.modules_kept;
+    std::size_t dropped_sub_lines = 0;
+    for (const auto& sp : m->subprograms) {
+      ++stats.subprograms_total;
+      const std::size_t sub_lines =
+          sp.end_line > sp.line
+              ? static_cast<std::size_t>(sp.end_line - sp.line + 1)
+              : 1;
+      if (keep_mod && filter.keep_subprogram(m->name, sp.name)) {
+        ++stats.subprograms_kept;
+      } else {
+        dropped_sub_lines += sub_lines;
+      }
+    }
+    if (keep_mod) {
+      stats.lines_kept += module_lines > dropped_sub_lines
+                              ? module_lines - dropped_sub_lines
+                              : 0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rca::cov

@@ -1,0 +1,65 @@
+// Coverage-based corpus filtering (paper §4.1): the Intel-codecov substitute.
+//
+// A short instrumented run (the paper uses the first two model time steps)
+// records which modules and subprograms execute; everything else is excluded
+// from parsing/graph construction. This is the "hybrid" in hybrid slicing —
+// dynamic information refining the static analysis. The paper reports ~30%
+// of modules and ~60% of subprograms removed this way.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.hpp"
+#include "lang/ast.hpp"
+
+namespace rca::cov {
+
+class CoverageFilter {
+ public:
+  /// Keep-everything filter.
+  CoverageFilter() = default;
+
+  /// Filter from a recorded run (copied: the filter owns its coverage data,
+  /// so temporaries are safe). `modules` (optional) lets the filter keep
+  /// declaration-only modules: a module with no subprograms can never
+  /// register execution, yet its parameters and variables are live (the
+  /// paper's codecov equally cannot prune pure-declaration modules).
+  explicit CoverageFilter(interp::CoverageRecorder recorder,
+                          const std::vector<const lang::Module*>* modules =
+                              nullptr);
+
+  bool keep_module(const std::string& module) const;
+  bool keep_subprogram(const std::string& module,
+                       const std::string& subprogram) const;
+
+  /// Adapters for meta::BuilderOptions.
+  std::function<bool(const std::string&)> module_predicate() const;
+  std::function<bool(const std::string&, const std::string&)>
+  subprogram_predicate() const;
+
+ private:
+  bool keep_all_ = true;
+  interp::CoverageRecorder recorder_;
+  std::vector<std::string> declaration_only_;
+};
+
+/// Reduction statistics for the pipeline report (paper §2.1 and §4.1).
+struct FilterStats {
+  std::size_t modules_total = 0;
+  std::size_t modules_kept = 0;
+  std::size_t subprograms_total = 0;
+  std::size_t subprograms_kept = 0;
+  std::size_t lines_total = 0;  // source lines spanned by module bodies
+  std::size_t lines_kept = 0;   // lines in kept modules minus dropped subs
+
+  double module_reduction() const;
+  double subprogram_reduction() const;
+};
+
+FilterStats compute_filter_stats(
+    const std::vector<const lang::Module*>& modules,
+    const CoverageFilter& filter);
+
+}  // namespace rca::cov

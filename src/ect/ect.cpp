@@ -1,0 +1,87 @@
+#include "ect/ect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "support/error.hpp"
+
+namespace rca::ect {
+
+EnsembleConsistencyTest::EnsembleConsistencyTest(
+    stats::Matrix ensemble, std::vector<std::string> variable_names,
+    const EctOptions& opts)
+    : ensemble_(std::move(ensemble)),
+      names_(std::move(variable_names)),
+      opts_(opts) {
+  RCA_CHECK_MSG(ensemble_.cols() == names_.size(), "variable name mismatch");
+  RCA_CHECK_MSG(ensemble_.rows() >= 3, "ensemble too small for the ECT");
+
+  pca_ = stats::fit_pca(ensemble_);
+  const std::size_t max_pcs =
+      std::min(ensemble_.cols(), ensemble_.rows() - 1);
+  num_pcs_ = opts_.num_pcs == 0 ? max_pcs : std::min(opts_.num_pcs, max_pcs);
+
+  // Ensemble score distribution per retained PC.
+  score_mean_.assign(num_pcs_, 0.0);
+  score_sd_.assign(num_pcs_, 0.0);
+  std::vector<std::vector<double>> scores(num_pcs_);
+  for (std::size_t i = 0; i < ensemble_.rows(); ++i) {
+    const std::vector<double> s = pca_.project(ensemble_.row(i));
+    for (std::size_t k = 0; k < num_pcs_; ++k) scores[k].push_back(s[k]);
+  }
+  for (std::size_t k = 0; k < num_pcs_; ++k) {
+    score_mean_[k] = stats::mean(scores[k]);
+    double sd = stats::stddev(scores[k]);
+    // Floor tiny PC spreads: a degenerate ensemble direction must not turn
+    // rounding noise into failures.
+    const double floor = 1e-12 * std::max(1.0, std::abs(score_mean_[k]));
+    score_sd_[k] = std::max(sd, floor);
+  }
+}
+
+RunScore EnsembleConsistencyTest::score_run(
+    const std::vector<double>& run_means) const {
+  RCA_CHECK_MSG(run_means.size() == names_.size(), "run width mismatch");
+  RunScore rs;
+  rs.pc_scores = pca_.project(run_means);
+  rs.pc_scores.resize(num_pcs_);
+  for (std::size_t k = 0; k < num_pcs_; ++k) {
+    const double z =
+        std::abs(rs.pc_scores[k] - score_mean_[k]) / score_sd_[k];
+    if (z > opts_.sigma_multiplier) rs.failing_pcs.push_back(k);
+  }
+  return rs;
+}
+
+Verdict EnsembleConsistencyTest::evaluate(
+    const std::vector<std::vector<double>>& runs) const {
+  RCA_CHECK_MSG(!runs.empty(), "empty experimental set");
+  Verdict verdict;
+  std::vector<std::size_t> fail_counts(num_pcs_, 0);
+  for (const auto& run : runs) {
+    RunScore rs = score_run(run);
+    for (std::size_t pc : rs.failing_pcs) ++fail_counts[pc];
+    verdict.runs.push_back(std::move(rs));
+  }
+  const std::size_t majority = runs.size() / 2 + 1;
+  for (std::size_t k = 0; k < num_pcs_; ++k) {
+    if (fail_counts[k] >= majority) verdict.failing_pcs.push_back(k);
+  }
+  verdict.pass = verdict.failing_pcs.size() < opts_.min_failing_pcs;
+  return verdict;
+}
+
+double failure_rate(
+    const EnsembleConsistencyTest& ect, std::size_t trials,
+    const std::function<std::vector<std::vector<double>>(std::size_t)>&
+        make_runs) {
+  RCA_CHECK_MSG(trials > 0, "need at least one trial");
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (!ect.evaluate(make_runs(t)).pass) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+}  // namespace rca::ect

@@ -1,0 +1,81 @@
+// Ensemble consistency test (CESM-ECT / UF-CAM-ECT replica).
+//
+// Reimplements the published test (Baker et al. 2015, GMD; Milroy et al.
+// 2018, GMD — pyCECT) on our scale: per-variable global means from an
+// ensemble of perturbed-initial-condition runs are standardized, a PCA is
+// fit, and an experimental *set* of runs is scored in PC space. A principal
+// component "fails" for a run when its score leaves the ensemble's score
+// band; the overall verdict fails when at least `min_failing_pcs` PCs fail
+// in a majority of the experimental runs — the pyCECT "2 of 3 runs, 3 PCs"
+// rule, with thresholds configurable for our smaller ensembles.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hpp"
+#include "stats/pca.hpp"
+
+namespace rca::ect {
+
+struct EctOptions {
+  /// Number of leading principal components scored. 0 = min(vars, members-1).
+  std::size_t num_pcs = 0;
+  /// A PC fails for a run when |score - ensemble_mean_score| exceeds
+  /// sigma_multiplier * ensemble score sd for that PC.
+  double sigma_multiplier = 3.29;  // two-sided ~0.1% under normality
+  /// Verdict fails when >= this many PCs fail in a majority of runs.
+  std::size_t min_failing_pcs = 3;
+};
+
+struct RunScore {
+  std::vector<double> pc_scores;
+  std::vector<std::size_t> failing_pcs;
+};
+
+struct Verdict {
+  bool pass = true;
+  /// PCs that failed in a majority of the experimental runs.
+  std::vector<std::size_t> failing_pcs;
+  std::vector<RunScore> runs;
+};
+
+class EnsembleConsistencyTest {
+ public:
+  /// `ensemble`: rows = members, cols = variables (global means at the
+  /// evaluation time step — step 9 for the "ultra-fast" variant).
+  EnsembleConsistencyTest(stats::Matrix ensemble,
+                          std::vector<std::string> variable_names,
+                          const EctOptions& opts = {});
+
+  /// Score one run's global means against the ensemble.
+  RunScore score_run(const std::vector<double>& run_means) const;
+
+  /// Verdict over an experimental set (pyCECT evaluates 3 runs).
+  Verdict evaluate(const std::vector<std::vector<double>>& runs) const;
+
+  const std::vector<std::string>& variable_names() const { return names_; }
+  const stats::Matrix& ensemble() const { return ensemble_; }
+  std::size_t num_pcs() const { return num_pcs_; }
+  const stats::PcaModel& pca() const { return pca_; }
+
+ private:
+  stats::Matrix ensemble_;
+  std::vector<std::string> names_;
+  EctOptions opts_;
+  stats::PcaModel pca_;
+  std::size_t num_pcs_ = 0;
+  std::vector<double> score_mean_;  // ensemble PC-score mean per PC
+  std::vector<double> score_sd_;    // ensemble PC-score sd per PC (floored)
+};
+
+/// Failure rate of `trials` experimental sets produced by `make_runs(trial)`
+/// (each call returns one experimental set). Used for Table 1.
+double failure_rate(
+    const EnsembleConsistencyTest& ect, std::size_t trials,
+    const std::function<std::vector<std::vector<double>>(std::size_t)>&
+        make_runs);
+
+}  // namespace rca::ect

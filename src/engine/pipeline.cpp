@@ -1,0 +1,175 @@
+#include "engine/pipeline.hpp"
+
+#include <algorithm>
+
+#include "meta/builder.hpp"
+#include "model/corpus.hpp"
+#include "support/error.hpp"
+
+namespace rca::engine {
+
+using graph::NodeId;
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+  if (config_.threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(config_.threads);
+    config_.refinement.pool = pool_.get();
+  }
+  control_ = std::make_unique<model::CesmModel>(config_.corpus);
+  RCA_CHECK_MSG(control_->parse_failures() == 0,
+                "control corpus failed to parse");
+
+  // Coverage run (time step 2, like the paper) and filtered metagraph.
+  coverage_ = control_->coverage_run(2);
+  filter_ = cov::CoverageFilter(coverage_, &control_->compiled_modules());
+  meta::BuilderOptions builder_opts;
+  builder_opts.module_filter = filter_.module_predicate();
+  builder_opts.subprogram_filter = filter_.subprogram_predicate();
+  mg_ = meta::build_metagraph(control_->compiled_modules(), builder_opts);
+
+  // Accepted ensemble.
+  ensemble_ = model::ensemble_matrix(*control_, config_.base_run,
+                                     config_.ensemble_members, &names_, 1);
+  ect_ = std::make_unique<ect::EnsembleConsistencyTest>(ensemble_, names_,
+                                                        config_.ect);
+}
+
+const model::CesmModel& Pipeline::experiment_model(
+    const model::ExperimentSpec& spec) {
+  if (spec.bug == model::BugId::kNone) return *control_;
+  for (std::size_t i = 0; i < bug_model_ids_.size(); ++i) {
+    if (bug_model_ids_[i] == spec.bug) return *bug_models_[i];
+  }
+  model::CorpusSpec corpus_spec =
+      model::experiment_corpus_spec(spec, config_.corpus);
+  bug_models_.push_back(std::make_unique<model::CesmModel>(corpus_spec));
+  bug_model_ids_.push_back(spec.bug);
+  RCA_CHECK_MSG(bug_models_.back()->parse_failures() == 0,
+                "bug corpus failed to parse");
+  return *bug_models_.back();
+}
+
+std::vector<NodeId> Pipeline::bug_nodes(const model::ExperimentSpec& spec) {
+  std::vector<NodeId> nodes;
+  if (spec.id == model::ExperimentId::kRandMt) {
+    return model::prng_influenced_nodes(mg_);
+  }
+  if (spec.id == model::ExperimentId::kAvx2) {
+    for (const interp::WatchKey& key :
+         model::kgen_flagged_variables(*control_, mg_)) {
+      const NodeId v = mg_.find(key.module, key.subprogram, key.name);
+      if (v != graph::kInvalidNode) nodes.push_back(v);
+    }
+    return nodes;
+  }
+  for (const interp::WatchKey& key : spec.bug_sites) {
+    const NodeId v = mg_.find(key.module, key.subprogram, key.name);
+    if (v != graph::kInvalidNode) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+ExperimentOutcome Pipeline::run_experiment(model::ExperimentId id) {
+  return run_common(id, /*runtime_sampling=*/false);
+}
+
+ExperimentOutcome Pipeline::run_experiment_runtime_sampling(
+    model::ExperimentId id) {
+  return run_common(id, /*runtime_sampling=*/true);
+}
+
+ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
+                                       bool runtime_sampling) {
+  ExperimentOutcome outcome;
+  outcome.spec = &model::experiment(id);
+  const model::CesmModel& exp_model = experiment_model(*outcome.spec);
+  const model::RunConfig exp_config =
+      model::experiment_run_config(*outcome.spec, config_.base_run);
+
+  // 0. UF-ECT verdict on a 3-run experimental set.
+  const auto verdict_runs =
+      model::experiment_set(exp_model, exp_config, 3, 5000, names_);
+  outcome.verdict = ect_->evaluate(verdict_runs);
+
+  // 1. Variable selection (§3): both methods reported; lasso drives the
+  //    slice (falling back to median ranking if lasso selects nothing).
+  const auto exp_runs = model::experiment_set(
+      exp_model, exp_config, config_.experimental_runs, 6000, names_);
+  stats::Matrix exp_matrix(exp_runs.size(), names_.size());
+  for (std::size_t i = 0; i < exp_runs.size(); ++i) {
+    for (std::size_t j = 0; j < names_.size(); ++j) {
+      exp_matrix.at(i, j) = exp_runs[i][j];
+    }
+  }
+  outcome.lasso_selected = stats::lasso_selection(
+      ensemble_, exp_matrix, names_, config_.lasso_target);
+  outcome.median_ranked =
+      stats::median_distance_ranking(ensemble_, exp_matrix, names_);
+
+  // WSUBBUG-style dominance (§6.1): when the top median-distance variable
+  // dwarfs the runner-up by >1000x and its IQR is disjoint, it alone is the
+  // slicing criterion. Otherwise the lasso set drives the slice, with the
+  // median ranking as fallback.
+  const bool dominant =
+      outcome.median_ranked.size() >= 2 &&
+      outcome.median_ranked[0].iqr_disjoint &&
+      outcome.median_ranked[0].median_distance >
+          1000.0 * std::max(outcome.median_ranked[1].median_distance, 1e-300);
+  if (dominant) {
+    outcome.criteria_outputs = {outcome.median_ranked[0].name};
+  } else {
+    outcome.criteria_outputs = outcome.lasso_selected;
+  }
+  if (outcome.criteria_outputs.empty()) {
+    for (std::size_t k = 0;
+         k < config_.lasso_target && k < outcome.median_ranked.size(); ++k) {
+      outcome.criteria_outputs.push_back(outcome.median_ranked[k].name);
+    }
+  }
+
+  // 2. Output label -> internal canonical names (instrumented I/O map).
+  for (const std::string& label : outcome.criteria_outputs) {
+    for (const std::string& internal :
+         slice::internal_names_for_output(mg_, label)) {
+      if (std::find(outcome.internal_names.begin(),
+                    outcome.internal_names.end(),
+                    internal) == outcome.internal_names.end()) {
+        outcome.internal_names.push_back(internal);
+      }
+    }
+  }
+  RCA_CHECK_MSG(!outcome.internal_names.empty(),
+                "no internal names resolved for selected outputs");
+
+  // 3-4. Backward slice and induced subgraph.
+  slice::SliceOptions slice_opts;
+  if (config_.restrict_to_cam) {
+    slice_opts.module_filter = [](const std::string& m) {
+      return model::is_cam_module(m);
+    };
+  }
+  slice_opts.drop_components_smaller_than = config_.drop_small_components;
+  outcome.slice = slice::backward_slice(mg_, outcome.internal_names,
+                                        slice_opts);
+
+  // 5-9. Iterative refinement.
+  outcome.bug_nodes = bug_nodes(*outcome.spec);
+  std::unique_ptr<Sampler> sampler;
+  if (runtime_sampling) {
+    model::RunConfig control_config = config_.base_run;
+    control_config.member_seed = 31;  // one accepted member
+    model::RunConfig experiment_config = exp_config;
+    experiment_config.member_seed = 31;
+    sampler = std::make_unique<RuntimeSampler>(mg_, *control_, exp_model,
+                                               control_config,
+                                               experiment_config);
+  } else {
+    sampler = std::make_unique<SimulatedSampler>(mg_, outcome.bug_nodes);
+  }
+  RefinementEngine engine(mg_, *sampler, config_.refinement);
+  outcome.refinement = engine.run(outcome.slice.nodes, outcome.bug_nodes,
+                                  outcome.slice.targets);
+  return outcome;
+}
+
+}  // namespace rca::engine

@@ -1,0 +1,104 @@
+// End-to-end pipeline (Figure 1 of the paper): model runs -> UF-ECT ->
+// variable selection -> output-to-internal mapping -> backward slice ->
+// iterative refinement. Shared by the benchmark harnesses, examples and
+// integration tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cov/coverage_filter.hpp"
+#include "ect/ect.hpp"
+#include "engine/refinement.hpp"
+#include "meta/metagraph.hpp"
+#include "model/experiments.hpp"
+#include "model/model.hpp"
+#include "slice/slicer.hpp"
+#include "stats/selection.hpp"
+
+namespace rca::engine {
+
+struct PipelineConfig {
+  model::CorpusSpec corpus;             // control corpus
+  model::RunConfig base_run;            // ensemble-member template
+  std::size_t ensemble_members = 40;
+  std::size_t experimental_runs = 12;   // set used for lasso selection
+  ect::EctOptions ect;
+  std::size_t lasso_target = 5;         // paper tunes to ~5 variables
+  bool restrict_to_cam = true;          // paper restricts subgraphs to CAM
+  std::size_t drop_small_components = 4;
+  RefinementOptions refinement;
+  /// Worker threads for per-community sampling and parallel betweenness
+  /// (Algorithm 5.4's "performed in parallel"). 0 = serial.
+  std::size_t threads = 0;
+
+  PipelineConfig() {
+    ect.num_pcs = 10;
+    ect.sigma_multiplier = 3.29;
+    ect.min_failing_pcs = 3;
+  }
+};
+
+/// Everything one experiment produced, for reporting.
+struct ExperimentOutcome {
+  const model::ExperimentSpec* spec = nullptr;
+  ect::Verdict verdict;
+  /// Variables most affected, by both §3 methods.
+  std::vector<std::string> lasso_selected;
+  std::vector<stats::RankedVariable> median_ranked;
+  /// Output labels used as slicing criteria (lasso set, or median top-k as
+  /// fallback) and their internal canonical names.
+  std::vector<std::string> criteria_outputs;
+  std::vector<std::string> internal_names;
+  slice::SliceResult slice;
+  /// Ground-truth bug nodes in the metagraph (for evaluation/plots).
+  std::vector<graph::NodeId> bug_nodes;
+  RefinementResult refinement;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config);
+
+  const PipelineConfig& config() const { return config_; }
+  const model::CesmModel& control_model() const { return *control_; }
+  /// Coverage-filtered metagraph of the control corpus.
+  const meta::Metagraph& metagraph() const { return mg_; }
+  const interp::CoverageRecorder& coverage() const { return coverage_; }
+  const ect::EnsembleConsistencyTest& ect() const { return *ect_; }
+  const std::vector<std::string>& output_names() const { return names_; }
+  const stats::Matrix& ensemble() const { return ensemble_; }
+
+  /// Bug-node ground truth for an experiment (static sites, PRNG-influence
+  /// set for RAND-MT, KGen-flagged variables for AVX2).
+  std::vector<graph::NodeId> bug_nodes(const model::ExperimentSpec& spec);
+
+  /// Full §6-style experiment: verdict, selection, slice, refinement with
+  /// the simulated sampler (the paper's mode).
+  ExperimentOutcome run_experiment(model::ExperimentId id);
+
+  /// Same, but with real runtime sampling through the interpreter.
+  ExperimentOutcome run_experiment_runtime_sampling(model::ExperimentId id);
+
+  /// The experiment's model (control for runtime-config experiments, a
+  /// bug-injected corpus otherwise). Owned by the pipeline; stable.
+  const model::CesmModel& experiment_model(const model::ExperimentSpec& spec);
+
+ private:
+  ExperimentOutcome run_common(model::ExperimentId id, bool runtime_sampling);
+
+  PipelineConfig config_;
+  std::unique_ptr<model::CesmModel> control_;
+  interp::CoverageRecorder coverage_;
+  cov::CoverageFilter filter_;
+  meta::Metagraph mg_;
+  std::vector<std::string> names_;
+  stats::Matrix ensemble_;
+  std::unique_ptr<ect::EnsembleConsistencyTest> ect_;
+  std::vector<std::unique_ptr<model::CesmModel>> bug_models_;
+  std::vector<model::BugId> bug_model_ids_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace rca::engine

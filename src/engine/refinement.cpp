@@ -1,0 +1,308 @@
+#include "engine/refinement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/bfs.hpp"
+#include "graph/centrality.hpp"
+#include "graph/girvan_newman.hpp"
+#include "graph/louvain.hpp"
+#include "graph/nonbacktracking.hpp"
+#include "support/error.hpp"
+
+namespace rca::engine {
+
+using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// SimulatedSampler.
+// ---------------------------------------------------------------------------
+
+SimulatedSampler::SimulatedSampler(const meta::Metagraph& mg,
+                                   const std::vector<NodeId>& bug_nodes) {
+  influenced_.assign(mg.node_count(), false);
+  bug_distance_.assign(mg.node_count(), graph::kUnreached);
+  if (bug_nodes.empty()) return;
+  bug_distance_ = graph::bfs_distances(mg.graph(), bug_nodes);
+  for (NodeId v = 0; v < mg.node_count(); ++v) {
+    if (bug_distance_[v] != graph::kUnreached) influenced_[v] = true;
+  }
+}
+
+std::vector<NodeId> SimulatedSampler::detect_differences(
+    const std::vector<NodeId>& sites) {
+  std::vector<NodeId> differing;
+  for (NodeId v : sites) {
+    if (v < influenced_.size() && influenced_[v]) differing.push_back(v);
+  }
+  return differing;
+}
+
+std::vector<Difference> SimulatedSampler::detect_with_magnitudes(
+    const std::vector<NodeId>& sites) {
+  std::vector<Difference> out;
+  for (NodeId v : sites) {
+    if (v < influenced_.size() && influenced_[v]) {
+      out.push_back(Difference{
+          v, 1.0 / (1.0 + static_cast<double>(bug_distance_[v]))});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RuntimeSampler.
+// ---------------------------------------------------------------------------
+
+RuntimeSampler::RuntimeSampler(const meta::Metagraph& mg,
+                               const model::CesmModel& control_model,
+                               const model::CesmModel& experiment_model,
+                               model::RunConfig control_config,
+                               model::RunConfig experiment_config,
+                               double rms_threshold)
+    : mg_(mg),
+      control_model_(control_model),
+      experiment_model_(experiment_model),
+      control_config_(std::move(control_config)),
+      experiment_config_(std::move(experiment_config)),
+      rms_threshold_(rms_threshold) {}
+
+std::vector<NodeId> RuntimeSampler::detect_differences(
+    const std::vector<NodeId>& sites) {
+  std::vector<NodeId> out;
+  for (const Difference& d : detect_with_magnitudes(sites)) {
+    out.push_back(d.node);
+  }
+  return out;
+}
+
+std::vector<Difference> RuntimeSampler::detect_with_magnitudes(
+    const std::vector<NodeId>& sites) {
+  model::RunConfig control = control_config_;
+  model::RunConfig experiment = experiment_config_;
+  control.watches.clear();
+  experiment.watches.clear();
+  for (NodeId v : sites) {
+    control.watches.push_back(mg_.watch_key(v));
+    experiment.watches.push_back(mg_.watch_key(v));
+  }
+  const model::RunResult a = control_model_.run(control);
+  const model::RunResult b = experiment_model_.run(experiment);
+
+  std::vector<Difference> differing;
+  for (NodeId v : sites) {
+    const interp::WatchKey key = mg_.watch_key(v);
+    auto ait = a.watch_stats.find(key);
+    auto bit = b.watch_stats.find(key);
+    if (ait == a.watch_stats.end() || bit == b.watch_stats.end()) continue;
+    const double ra = ait->second.rms();
+    const double rb = bit->second.rms();
+    if (ait->second.count == 0 && bit->second.count == 0) continue;
+    const double scale = std::max({std::abs(ra), std::abs(rb), 1e-300});
+    const double rel = std::abs(ra - rb) / scale;
+    if (rel > rms_threshold_ || ait->second.count != bit->second.count) {
+      differing.push_back(Difference{v, rel});
+    }
+  }
+  return differing;
+}
+
+// ---------------------------------------------------------------------------
+// RefinementEngine.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<double> compute_centrality(const graph::Digraph& g,
+                                       CentralityKind kind) {
+  switch (kind) {
+    case CentralityKind::kEigenvector:
+      return eigenvector_centrality(g, graph::Direction::kIn);
+    case CentralityKind::kDegree:
+      return degree_centrality(g, graph::Direction::kIn);
+    case CentralityKind::kPageRank:
+      return pagerank(g, graph::Direction::kIn);
+    case CentralityKind::kKatz:
+      return katz_centrality(g, graph::Direction::kIn);
+    case CentralityKind::kNonBacktracking:
+      return nonbacktracking_centrality(g, graph::Direction::kIn).centrality;
+    case CentralityKind::kCloseness:
+      return closeness_centrality(g, graph::Direction::kIn);
+  }
+  throw Error("unknown centrality kind");
+}
+
+std::vector<std::vector<NodeId>> detect_communities(
+    const graph::Digraph& g, const RefinementOptions& opts) {
+  if (opts.community_method == CommunityMethod::kLouvain) {
+    graph::LouvainOptions lv;
+    lv.min_community_size = opts.min_community_size;
+    return louvain(g, lv).communities;
+  }
+  graph::GirvanNewmanOptions gn;
+  gn.iterations = opts.gn_iterations;
+  gn.min_community_size = opts.min_community_size;
+  gn.pool = opts.pool;
+  return girvan_newman(g, gn).communities;
+}
+
+}  // namespace
+
+RefinementEngine::RefinementEngine(const meta::Metagraph& mg, Sampler& sampler,
+                                   const RefinementOptions& opts)
+    : mg_(mg), sampler_(sampler), opts_(opts) {}
+
+RefinementResult RefinementEngine::run(
+    const std::vector<NodeId>& slice_nodes,
+    const std::vector<NodeId>& bug_nodes,
+    const std::vector<NodeId>& excluded_sites) {
+  RCA_CHECK_MSG(!slice_nodes.empty(), "refinement needs a non-empty slice");
+  RefinementResult result;
+
+  std::vector<bool> is_bug(mg_.node_count(), false);
+  for (NodeId v : bug_nodes) is_bug[v] = true;
+  std::vector<bool> is_excluded(mg_.node_count(), false);
+  for (NodeId v : excluded_sites) is_excluded[v] = true;
+
+  std::vector<NodeId> current = slice_nodes;
+  std::sort(current.begin(), current.end());
+
+  for (std::size_t iter = 1; iter <= opts_.max_iterations; ++iter) {
+    if (current.size() <= opts_.small_enough) break;
+
+    // Induce the working subgraph; local ids index into `current`.
+    graph::Digraph sub = induced_subgraph(mg_.graph(), current, nullptr);
+
+    IterationReport report;
+    report.subgraph_nodes = sub.node_count();
+    report.subgraph_edges = sub.edge_count();
+
+    // Step 5: community detection on the weakly connected (undirected)
+    // view — Girvan-Newman by default, Louvain optionally.
+    struct {
+      std::vector<std::vector<NodeId>> communities;
+    } communities{detect_communities(sub, opts_)};
+    if (communities.communities.empty()) {
+      // Paper's issue 2: increasingly disconnected subgraphs eventually
+      // yield no communities; the remaining nodes go to manual analysis.
+      result.iterations.push_back(std::move(report));
+      break;
+    }
+
+    // Step 6: eigenvector in-centrality per community, top-m sites.
+    // Step 7: sample each community independently (parallel tasks).
+    report.communities.resize(communities.communities.size());
+    auto sample_community = [&](std::size_t c) {
+      const std::vector<NodeId>& members_local = communities.communities[c];
+      graph::Digraph comm_graph =
+          induced_subgraph(sub, members_local, nullptr);
+      const std::vector<double> centrality =
+          compute_centrality(comm_graph, opts_.centrality);
+      // Rank everything, then take the top m sampleable (non-excluded) sites.
+      const std::vector<NodeId> ranked =
+          graph::top_k(centrality, centrality.size());
+      CommunityReport& cr = report.communities[c];
+      for (NodeId local : members_local) cr.members.push_back(current[local]);
+      for (NodeId t : ranked) {
+        if (cr.sampled.size() >= opts_.samples_per_community) break;
+        const NodeId full = current[members_local[t]];
+        if (is_excluded[full]) continue;
+        cr.sampled.push_back(full);
+        cr.sampled_centrality.push_back(centrality[t]);
+      }
+      for (const Difference& d : sampler_.detect_with_magnitudes(cr.sampled)) {
+        cr.differing.push_back(d.node);
+        cr.difference_magnitudes.push_back(d.magnitude);
+      }
+    };
+    if (opts_.pool && opts_.pool->size() > 1) {
+      opts_.pool->parallel_for(report.communities.size(), sample_community);
+    } else {
+      for (std::size_t c = 0; c < report.communities.size(); ++c) {
+        sample_community(c);
+      }
+    }
+
+    // Bookkeeping for evaluation.
+    std::vector<NodeId> all_sampled_local;
+    std::vector<NodeId> all_differing_local;
+    std::vector<double> all_magnitudes;
+    std::unordered_map<NodeId, NodeId> to_local;
+    for (NodeId local = 0; local < current.size(); ++local) {
+      to_local[current[local]] = local;
+    }
+    for (const CommunityReport& cr : report.communities) {
+      for (NodeId full : cr.sampled) {
+        all_sampled_local.push_back(to_local.at(full));
+        if (is_bug[full] && result.bug_instrumented_at == 0) {
+          result.bug_instrumented_at = iter;
+        }
+      }
+      for (std::size_t d = 0; d < cr.differing.size(); ++d) {
+        all_differing_local.push_back(to_local.at(cr.differing[d]));
+        all_magnitudes.push_back(cr.difference_magnitudes[d]);
+      }
+    }
+    report.detected = !all_differing_local.empty();
+    if (report.detected && result.first_detection_at == 0) {
+      result.first_detection_at = iter;
+    }
+
+    // Step 8.
+    std::vector<NodeId> next;
+    if (all_differing_local.empty()) {
+      // 8a: drop every node on BFS shortest paths terminating on the
+      // sampled (silent) sites — i.e. their ancestors within G.
+      report.applied_8a = true;
+      std::vector<NodeId> remove_local =
+          graph::ancestors_of(sub, all_sampled_local);
+      std::vector<bool> removed(current.size(), false);
+      for (NodeId local : remove_local) removed[local] = true;
+      for (NodeId local = 0; local < current.size(); ++local) {
+        if (!removed[local]) next.push_back(current[local]);
+      }
+    } else {
+      // 8b: keep only nodes on BFS shortest paths terminating on the
+      // differing sites.
+      std::vector<NodeId> keep_local =
+          graph::ancestors_of(sub, all_differing_local);
+      std::sort(keep_local.begin(), keep_local.end());
+      for (NodeId local : keep_local) next.push_back(current[local]);
+    }
+
+    bool unchanged = next == current;
+    if (unchanged && opts_.rank_differences_on_stall &&
+        !all_differing_local.empty()) {
+      // Paper §6.3 future work: rank the differences and refine on the
+      // single most-affected site.
+      std::size_t best = 0;
+      for (std::size_t d = 1; d < all_magnitudes.size(); ++d) {
+        if (all_magnitudes[d] > all_magnitudes[best]) best = d;
+      }
+      std::vector<NodeId> keep_local =
+          graph::ancestors_of(sub, {all_differing_local[best]});
+      std::sort(keep_local.begin(), keep_local.end());
+      next.clear();
+      for (NodeId local : keep_local) next.push_back(current[local]);
+      unchanged = next == current;
+    }
+    result.iterations.push_back(std::move(report));
+    if (next.empty()) {
+      current.clear();
+      break;
+    }
+    if (unchanged) {
+      // Paper's issue 1: the induced subgraph equals the previous one; no
+      // further static refinement is possible without value magnitudes.
+      result.stalled = true;
+      break;
+    }
+    current = std::move(next);
+  }
+
+  result.final_nodes = std::move(current);
+  return result;
+}
+
+}  // namespace rca::engine

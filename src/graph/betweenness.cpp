@@ -1,0 +1,168 @@
+#include "graph/betweenness.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace rca::graph {
+
+namespace {
+
+/// Scratch buffers for one Brandes source sweep, reused across sources.
+struct BrandesScratch {
+  std::vector<std::int32_t> dist;
+  std::vector<double> sigma;   // shortest-path counts
+  std::vector<double> delta;   // accumulated dependencies
+  std::vector<NodeId> order;   // BFS visitation order (stack substitute)
+
+  explicit BrandesScratch(std::size_t n)
+      : dist(n), sigma(n), delta(n) {
+    order.reserve(n);
+  }
+
+  void reset(std::size_t n) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    (void)n;
+  }
+};
+
+void brandes_edge_source(const UGraph& g, NodeId s, BrandesScratch& scratch,
+                         std::vector<double>& acc) {
+  scratch.reset(g.node_count());
+  auto& dist = scratch.dist;
+  auto& sigma = scratch.sigma;
+  auto& delta = scratch.delta;
+  auto& order = scratch.order;
+
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  std::size_t head = 0;
+  order.push_back(s);
+  while (head < order.size()) {
+    NodeId u = order[head++];
+    for (const auto& [v, e] : g.incident(u)) {
+      if (g.edge(e).removed) continue;
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        order.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  // Backward pass in reverse BFS order: dependency of s on each edge.
+  for (std::size_t i = order.size(); i-- > 1;) {
+    NodeId w = order[i];
+    const double coeff = (1.0 + delta[w]) / sigma[w];
+    for (const auto& [v, e] : g.incident(w)) {
+      if (g.edge(e).removed) continue;
+      if (dist[v] == dist[w] - 1) {  // v is a predecessor of w
+        const double c = sigma[v] * coeff;
+        acc[e] += c;
+        delta[v] += c;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> edge_betweenness(const UGraph& g, ThreadPool* pool,
+                                     const std::vector<NodeId>* sources) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> all;
+  if (!sources) {
+    all.resize(n);
+    for (NodeId i = 0; i < n; ++i) all[i] = i;
+    sources = &all;
+  }
+  std::vector<double> result(g.total_edges(), 0.0);
+  if (n == 0 || sources->empty()) return result;
+
+  if (pool && pool->size() > 1) {
+    std::mutex merge_mutex;
+    const std::size_t shards = pool->size();
+    const std::size_t per = (sources->size() + shards - 1) / shards;
+    pool->parallel_for(shards, [&](std::size_t shard) {
+      BrandesScratch scratch(n);
+      std::vector<double> local(g.total_edges(), 0.0);
+      const std::size_t begin = shard * per;
+      const std::size_t end = std::min(begin + per, sources->size());
+      for (std::size_t i = begin; i < end; ++i) {
+        brandes_edge_source(g, (*sources)[i], scratch, local);
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      for (std::size_t e = 0; e < local.size(); ++e) result[e] += local[e];
+    });
+  } else {
+    BrandesScratch scratch(n);
+    for (NodeId s : *sources) brandes_edge_source(g, s, scratch, result);
+  }
+  // Each unordered pair {s, t} is counted from both endpoints when all
+  // sources run; halve to match the undirected single-count convention.
+  for (double& v : result) v *= 0.5;
+  return result;
+}
+
+std::vector<double> node_betweenness(const Digraph& g, ThreadPool* pool) {
+  const std::size_t n = g.node_count();
+  std::vector<double> result(n, 0.0);
+  if (n == 0) return result;
+
+  auto run_source = [&g, n](NodeId s, BrandesScratch& scratch,
+                            std::vector<double>& acc) {
+    scratch.reset(n);
+    auto& dist = scratch.dist;
+    auto& sigma = scratch.sigma;
+    auto& delta = scratch.delta;
+    auto& order = scratch.order;
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    std::size_t head = 0;
+    order.push_back(s);
+    while (head < order.size()) {
+      NodeId u = order[head++];
+      for (NodeId v : g.out_neighbors(u)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          order.push_back(v);
+        }
+        if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+      }
+    }
+    for (std::size_t i = order.size(); i-- > 1;) {
+      NodeId w = order[i];
+      const double coeff = (1.0 + delta[w]) / sigma[w];
+      for (NodeId v : g.in_neighbors(w)) {
+        if (dist[v] >= 0 && dist[v] == dist[w] - 1) {
+          delta[v] += sigma[v] * coeff;
+        }
+      }
+      if (w != s) acc[w] += delta[w];
+    }
+  };
+
+  if (pool && pool->size() > 1) {
+    std::mutex merge_mutex;
+    const std::size_t shards = pool->size();
+    const std::size_t per = (n + shards - 1) / shards;
+    pool->parallel_for(shards, [&](std::size_t shard) {
+      BrandesScratch scratch(n);
+      std::vector<double> local(n, 0.0);
+      const std::size_t begin = shard * per;
+      const std::size_t end = std::min(begin + per, n);
+      for (std::size_t s = begin; s < end; ++s) {
+        run_source(static_cast<NodeId>(s), scratch, local);
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      for (std::size_t i = 0; i < n; ++i) result[i] += local[i];
+    });
+  } else {
+    BrandesScratch scratch(n);
+    for (NodeId s = 0; s < n; ++s) run_source(s, scratch, result);
+  }
+  return result;
+}
+
+}  // namespace rca::graph

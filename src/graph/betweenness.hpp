@@ -1,0 +1,30 @@
+// Brandes (2001) betweenness centrality for unweighted graphs.
+//
+// Girvan–Newman needs *edge* betweenness on the undirected view; the source
+// loop is embarrassingly parallel and is sharded across a thread pool with
+// per-shard accumulators (no atomics on the hot path).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rca::graph {
+
+/// Edge betweenness over live edges of `g`; removed edges get 0. When
+/// `sources` is non-null only BFS trees rooted at those nodes contribute
+/// (used for incremental recomputation inside one component). Undirected
+/// pair dependencies are halved as in NetworkX so values match the
+/// single-count convention.
+std::vector<double> edge_betweenness(
+    const UGraph& g, ThreadPool* pool = nullptr,
+    const std::vector<NodeId>* sources = nullptr);
+
+/// Node betweenness on a digraph (directed shortest paths), endpoints
+/// excluded. Provided for analysis tooling and ablations.
+std::vector<double> node_betweenness(const Digraph& g,
+                                     ThreadPool* pool = nullptr);
+
+}  // namespace rca::graph

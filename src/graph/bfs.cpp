@@ -1,0 +1,112 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace rca::graph {
+
+namespace {
+
+template <typename NeighborFn>
+std::vector<std::uint32_t> bfs_impl(std::size_t n,
+                                    const std::vector<NodeId>& starts,
+                                    NeighborFn&& neighbors) {
+  std::vector<std::uint32_t> dist(n, kUnreached);
+  std::deque<NodeId> queue;
+  for (NodeId s : starts) {
+    RCA_CHECK_MSG(s < n, "BFS start node out of range");
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> reached_nodes(const std::vector<std::uint32_t>& dist) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < dist.size(); ++v) {
+    if (dist[v] != kUnreached) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Digraph& g,
+                                         const std::vector<NodeId>& sources) {
+  return bfs_impl(g.node_count(), sources,
+                  [&g](NodeId u) -> const std::vector<NodeId>& {
+                    return g.out_neighbors(u);
+                  });
+}
+
+std::vector<std::uint32_t> bfs_distances_to(const Digraph& g,
+                                            const std::vector<NodeId>& targets) {
+  return bfs_impl(g.node_count(), targets,
+                  [&g](NodeId u) -> const std::vector<NodeId>& {
+                    return g.in_neighbors(u);
+                  });
+}
+
+std::vector<NodeId> ancestors_of(const Digraph& g,
+                                 const std::vector<NodeId>& targets) {
+  return reached_nodes(bfs_distances_to(g, targets));
+}
+
+std::vector<NodeId> descendants_of(const Digraph& g,
+                                   const std::vector<NodeId>& sources) {
+  return reached_nodes(bfs_distances(g, sources));
+}
+
+bool reaches_any(const Digraph& g, NodeId from, const std::vector<NodeId>& to) {
+  std::vector<bool> is_target(g.node_count(), false);
+  for (NodeId t : to) is_target[t] = true;
+  auto dist = bfs_distances(g, {from});
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (is_target[v] && dist[v] != kUnreached) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> weakly_connected_components(const Digraph& g,
+                                                std::size_t* component_count) {
+  const std::size_t n = g.node_count();
+  std::vector<NodeId> comp(n, kInvalidNode);
+  NodeId next_id = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidNode) continue;
+    comp[s] = next_id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      auto visit = [&](NodeId v) {
+        if (comp[v] == kInvalidNode) {
+          comp[v] = next_id;
+          queue.push_back(v);
+        }
+      };
+      for (NodeId v : g.out_neighbors(u)) visit(v);
+      for (NodeId v : g.in_neighbors(u)) visit(v);
+    }
+    ++next_id;
+  }
+  if (component_count) *component_count = next_id;
+  return comp;
+}
+
+}  // namespace rca::graph

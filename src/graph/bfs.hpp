@@ -1,0 +1,48 @@
+// Breadth-first search primitives.
+//
+// The paper's hybrid backward slice (§5.1) takes, for each affected internal
+// variable, "all shortest paths that terminate on" its canonical-name nodes
+// and unions their node sets. The union of node sets over all BFS shortest
+// paths from every source into a target set is exactly the backward-reachable
+// (ancestor) set plus the targets, so the slicer is a multi-source reverse
+// BFS — O(V + E) rather than all-pairs path enumeration.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rca::graph {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distances from `sources` following out-edges. dist[v] == kUnreached
+/// when v is not reachable.
+std::vector<std::uint32_t> bfs_distances(const Digraph& g,
+                                         const std::vector<NodeId>& sources);
+
+/// BFS hop distances to `targets` following in-edges (reverse BFS):
+/// dist[v] = length of the shortest directed path v -> ... -> target.
+std::vector<std::uint32_t> bfs_distances_to(const Digraph& g,
+                                            const std::vector<NodeId>& targets);
+
+/// Ancestors of `targets` (nodes with a directed path into the set), targets
+/// included. This is the union of all BFS shortest-path node sets that
+/// terminate on `targets` — the backward-slice node set.
+std::vector<NodeId> ancestors_of(const Digraph& g,
+                                 const std::vector<NodeId>& targets);
+
+/// Descendants of `sources` (forward reachability), sources included.
+std::vector<NodeId> descendants_of(const Digraph& g,
+                                   const std::vector<NodeId>& sources);
+
+/// True if any directed path leads from `from` to any node in `to`.
+bool reaches_any(const Digraph& g, NodeId from, const std::vector<NodeId>& to);
+
+/// Weakly connected components: returns component id per node and sets
+/// `component_count`. Ids are dense and ordered by first-seen node.
+std::vector<NodeId> weakly_connected_components(const Digraph& g,
+                                                std::size_t* component_count);
+
+}  // namespace rca::graph

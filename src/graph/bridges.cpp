@@ -1,0 +1,56 @@
+#include "graph/bridges.hpp"
+
+#include <algorithm>
+
+namespace rca::graph {
+
+std::vector<EdgeId> find_bridges(const UGraph& g) {
+  const std::size_t n = g.node_count();
+  constexpr NodeId kUnvisited = kInvalidNode;
+  std::vector<NodeId> disc(n, kUnvisited);
+  std::vector<NodeId> low(n, 0);
+  std::vector<EdgeId> bridges;
+  NodeId timer = 0;
+
+  struct Frame {
+    NodeId v;
+    EdgeId via_edge;      // edge taken to reach v (kInvalidNode for roots)
+    std::size_t child = 0;
+  };
+  std::vector<Frame> stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    stack.push_back(Frame{root, kInvalidNode, 0});
+    disc[root] = low[root] = timer++;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId v = frame.v;
+      const auto& incident = g.incident(v);
+      if (frame.child < incident.size()) {
+        const auto [w, e] = incident[frame.child++];
+        if (g.edge(e).removed) continue;
+        if (e == frame.via_edge) continue;  // no immediate backtracking
+        if (disc[w] == kUnvisited) {
+          disc[w] = low[w] = timer++;
+          stack.push_back(Frame{w, e, 0});
+        } else {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        const EdgeId via = frame.via_edge;
+        stack.pop_back();
+        if (!stack.empty()) {
+          const NodeId parent = stack.back().v;
+          low[parent] = std::min(low[parent], low[v]);
+          if (low[v] > disc[parent]) bridges.push_back(via);
+        }
+      }
+    }
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+}  // namespace rca::graph

@@ -1,0 +1,18 @@
+// Bridge (cut-edge) detection on the undirected view — the structural
+// notion Girvan–Newman exploits implicitly: the edges whose removal splits
+// a component are exactly where G-N's betweenness peaks first. Exposed for
+// diagnostics and for fast pre-splitting of slices.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+
+namespace rca::graph {
+
+/// Edge ids (into `g`'s live edge set) whose removal would increase the
+/// number of connected components. Iterative Tarjan low-link; O(V + E).
+std::vector<EdgeId> find_bridges(const UGraph& g);
+
+}  // namespace rca::graph

@@ -1,0 +1,191 @@
+#include "graph/centrality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace rca::graph {
+
+namespace {
+
+/// One multiply: y = M x where M is A (kOut: score flows along out-edges
+/// toward the node, i.e. x[u] contributes to y[v] for edge v->u) — concretely
+/// for kIn we want  y[v] = sum over in-neighbors u of x[u].
+void apply(const Digraph& g, Direction dir, const std::vector<double>& x,
+           std::vector<double>& y) {
+  std::fill(y.begin(), y.end(), 0.0);
+  const std::size_t n = g.node_count();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& nbrs =
+        (dir == Direction::kIn) ? g.in_neighbors(v) : g.out_neighbors(v);
+    double sum = 0.0;
+    for (NodeId u : nbrs) sum += x[u];
+    y[v] = sum;
+  }
+}
+
+double l2_norm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+std::vector<double> eigenvector_centrality(const Digraph& g, Direction dir,
+                                           const PowerIterationOptions& opts) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return {};
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> y(n, 0.0);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    apply(g, dir, x, y);
+    if (opts.regularization > 0.0) {
+      for (double& v : y) v += opts.regularization;
+    }
+    const double norm = l2_norm(y);
+    if (norm <= 0.0) {
+      // No edges in this direction at all: centrality undefined; return the
+      // uniform vector rather than NaNs.
+      return std::vector<double>(n, 1.0 / std::sqrt(static_cast<double>(n)));
+    }
+    double diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] /= norm;
+      diff += std::abs(y[i] - x[i]);
+    }
+    x.swap(y);
+    if (diff < opts.tolerance * static_cast<double>(n)) break;
+  }
+  return x;
+}
+
+std::vector<double> degree_centrality(const Digraph& g, Direction dir) {
+  const std::size_t n = g.node_count();
+  std::vector<double> c(n, 0.0);
+  if (n <= 1) return c;
+  const double scale = 1.0 / static_cast<double>(n - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    c[v] = scale * static_cast<double>(dir == Direction::kIn ? g.in_degree(v)
+                                                             : g.out_degree(v));
+  }
+  return c;
+}
+
+std::vector<double> pagerank(const Digraph& g, Direction dir, double damping,
+                             std::size_t max_iterations, double tolerance) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return {};
+  RCA_CHECK_MSG(damping > 0.0 && damping < 1.0, "damping must be in (0,1)");
+
+  // For kIn we walk edges forward (mass flows u -> v), ranking nodes that
+  // accumulate influence; for kOut we walk reversed edges.
+  std::vector<double> x(n, 1.0 / static_cast<double>(n)), y(n, 0.0);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    std::fill(y.begin(), y.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& nbrs =
+          (dir == Direction::kIn) ? g.out_neighbors(u) : g.in_neighbors(u);
+      if (nbrs.empty()) {
+        dangling += x[u];
+        continue;
+      }
+      const double share = x[u] / static_cast<double>(nbrs.size());
+      for (NodeId v : nbrs) y[v] += share;
+    }
+    const double base =
+        (1.0 - damping + damping * dangling) / static_cast<double>(n);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = base + damping * y[i];
+      diff += std::abs(y[i] - x[i]);
+    }
+    x.swap(y);
+    if (diff < tolerance * static_cast<double>(n)) break;
+  }
+  return x;
+}
+
+std::vector<double> katz_centrality(const Digraph& g, Direction dir,
+                                    double alpha, double beta,
+                                    std::size_t max_iterations,
+                                    double tolerance) {
+  const std::size_t n = g.node_count();
+  std::vector<double> x(n, 0.0), y(n, 0.0);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    apply(g, dir, x, y);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = alpha * y[i] + beta;
+      diff += std::abs(y[i] - x[i]);
+    }
+    x.swap(y);
+    if (diff < tolerance * static_cast<double>(std::max<std::size_t>(n, 1))) {
+      break;
+    }
+  }
+  const double norm = l2_norm(x);
+  if (norm > 0.0) {
+    for (double& v : x) v /= norm;
+  }
+  return x;
+}
+
+std::vector<double> closeness_centrality(const Digraph& g, Direction dir) {
+  const std::size_t n = g.node_count();
+  std::vector<double> c(n, 0.0);
+  if (n <= 1) return c;
+  std::vector<std::uint32_t> dist(n);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    // BFS from s along the chosen direction; distance to s along in-edges
+    // equals distance from s in the reversed graph.
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<std::uint32_t>::max());
+    dist[s] = 0;
+    queue.clear();
+    queue.push_back(s);
+    std::size_t head = 0;
+    double total = 0.0;
+    std::size_t reached = 0;
+    while (head < queue.size()) {
+      const NodeId u = queue[head++];
+      const auto& nbrs =
+          (dir == Direction::kIn) ? g.in_neighbors(u) : g.out_neighbors(u);
+      for (NodeId v : nbrs) {
+        if (dist[v] == std::numeric_limits<std::uint32_t>::max()) {
+          dist[v] = dist[u] + 1;
+          total += dist[v];
+          ++reached;
+          queue.push_back(v);
+        }
+      }
+    }
+    if (reached > 0 && total > 0.0) {
+      // Wasserman-Faust: scale by the reachable fraction.
+      const double r = static_cast<double>(reached);
+      c[s] = (r / static_cast<double>(n - 1)) * (r / total);
+    }
+  }
+  return c;
+}
+
+std::vector<NodeId> top_k(const std::vector<double>& scores, std::size_t k) {
+  std::vector<NodeId> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace rca::graph

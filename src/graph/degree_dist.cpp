@@ -1,0 +1,81 @@
+#include "graph/degree_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rca::graph {
+
+DegreeDistribution degree_distribution(const Digraph& g,
+                                       std::size_t fit_min_degree) {
+  DegreeDistribution dist;
+  const std::size_t n = g.node_count();
+  if (n == 0) return dist;
+
+  std::size_t max_deg = 0;
+  double total = 0.0;
+  std::vector<std::size_t> degrees(n);
+  for (NodeId v = 0; v < n; ++v) {
+    degrees[v] = g.degree(v);
+    max_deg = std::max(max_deg, degrees[v]);
+    total += static_cast<double>(degrees[v]);
+  }
+  dist.max_degree = max_deg;
+  dist.mean_degree = total / static_cast<double>(n);
+  dist.count.assign(max_deg + 1, 0);
+  for (std::size_t d : degrees) ++dist.count[d];
+
+  // Logarithmic binning with ratio 1.5 starting at degree 1.
+  double lo = 1.0;
+  while (lo <= static_cast<double>(max_deg)) {
+    const double hi = std::max(lo * 1.5, lo + 1.0);
+    std::size_t count = 0;
+    for (std::size_t d = static_cast<std::size_t>(std::ceil(lo));
+         d < static_cast<std::size_t>(std::ceil(hi)) && d <= max_deg; ++d) {
+      count += dist.count[d];
+    }
+    if (count > 0) {
+      const double center = std::sqrt(lo * (hi - 1.0 < lo ? lo : hi - 1.0));
+      const double width = std::ceil(hi) - std::ceil(lo);
+      dist.log_binned.emplace_back(
+          center, static_cast<double>(count) / std::max(width, 1.0));
+    }
+    lo = hi;
+  }
+
+  // Least-squares fit on the log-binned points above the cutoff.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (const auto& [deg, freq] : dist.log_binned) {
+    if (deg < static_cast<double>(fit_min_degree) || freq <= 0) continue;
+    const double x = std::log10(deg);
+    const double y = std::log10(freq);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  if (m >= 2) {
+    const double denom = static_cast<double>(m) * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+      dist.fitted_exponent = -((static_cast<double>(m) * sxy - sx * sy) / denom);
+    }
+  }
+
+  // Discrete MLE over degrees >= fit_min_degree.
+  double log_sum = 0.0;
+  std::size_t mle_n = 0;
+  const double dmin = static_cast<double>(std::max<std::size_t>(fit_min_degree, 1));
+  for (std::size_t d : degrees) {
+    if (static_cast<double>(d) >= dmin) {
+      log_sum += std::log(static_cast<double>(d) / (dmin - 0.5));
+      ++mle_n;
+    }
+  }
+  if (mle_n > 0 && log_sum > 0.0) {
+    dist.mle_exponent = 1.0 + static_cast<double>(mle_n) / log_sum;
+  }
+  return dist;
+}
+
+}  // namespace rca::graph

@@ -1,0 +1,33 @@
+// Degree-distribution statistics (Figures 4, 9, 10): histogram, log-binned
+// series, and a power-law exponent fit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rca::graph {
+
+struct DegreeDistribution {
+  /// count[d] = number of nodes with total (in+out) degree d.
+  std::vector<std::size_t> count;
+  /// Logarithmically binned (degree, frequency) points for plotting; degree
+  /// is the geometric bin center, frequency the bin-width-normalized count.
+  std::vector<std::pair<double, double>> log_binned;
+  /// Least-squares slope of log10(freq) vs log10(degree) over bins with
+  /// degree >= fit_min_degree; the power-law exponent estimate is -slope.
+  double fitted_exponent = 0.0;
+  /// Discrete maximum-likelihood (Clauset-style) exponent:
+  /// alpha = 1 + n / sum(ln(d_i / (d_min - 0.5))).
+  double mle_exponent = 0.0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+};
+
+/// Computes the total-degree distribution. `fit_min_degree` bounds the
+/// power-law fit region (degree-1 nodes dominate and flatten the fit).
+DegreeDistribution degree_distribution(const Digraph& g,
+                                       std::size_t fit_min_degree = 2);
+
+}  // namespace rca::graph

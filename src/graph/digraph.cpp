@@ -1,0 +1,88 @@
+#include "graph/digraph.hpp"
+
+#include "support/error.hpp"
+
+namespace rca::graph {
+
+NodeId Digraph::add_nodes(std::size_t count) {
+  const NodeId first = static_cast<NodeId>(out_.size());
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  return first;
+}
+
+void Digraph::resize(std::size_t node_count) {
+  RCA_CHECK_MSG(node_count >= out_.size(), "Digraph::resize cannot shrink");
+  out_.resize(node_count);
+  in_.resize(node_count);
+}
+
+bool Digraph::add_edge(NodeId u, NodeId v) {
+  RCA_CHECK_MSG(u < out_.size() && v < out_.size(), "edge endpoint out of range");
+  if (u == v) return false;
+  if (!edge_set_.insert(key(u, v)).second) return false;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++edge_count_;
+  return true;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  return edge_set_.count(key(u, v)) != 0;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r(node_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (NodeId v : out_[u]) r.add_edge(v, u);
+  }
+  return r;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (NodeId v : out_[u]) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+Digraph induced_subgraph(const Digraph& g, const std::vector<NodeId>& nodes,
+                         std::vector<NodeId>* old_to_new) {
+  std::vector<NodeId> map(g.node_count(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    RCA_CHECK_MSG(nodes[i] < g.node_count(), "subgraph node out of range");
+    RCA_CHECK_MSG(map[nodes[i]] == kInvalidNode, "duplicate node in subgraph set");
+    map[nodes[i]] = static_cast<NodeId>(i);
+  }
+  Digraph sub(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (NodeId v : g.out_neighbors(nodes[i])) {
+      if (map[v] != kInvalidNode) {
+        sub.add_edge(static_cast<NodeId>(i), map[v]);
+      }
+    }
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return sub;
+}
+
+Digraph quotient_graph(const Digraph& g, const std::vector<NodeId>& node_class,
+                       std::size_t class_count) {
+  RCA_CHECK_MSG(node_class.size() == g.node_count(),
+                "node_class size mismatch");
+  Digraph q(class_count);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    RCA_CHECK_MSG(node_class[u] < class_count, "class id out of range");
+    for (NodeId v : g.out_neighbors(u)) {
+      if (node_class[u] != node_class[v]) {
+        q.add_edge(node_class[u], node_class[v]);  // merged by add_edge dedup
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace rca::graph

@@ -1,0 +1,77 @@
+// Compact directed-graph container used for the CESM variable graph.
+//
+// Nodes are dense 32-bit ids; all labels/metadata live in the Metagraph layer
+// (src/meta), keeping this container cache-friendly (Core Guidelines Per.16:
+// compact data structures). Both out- and in-adjacency are stored so the
+// backward slicer (reverse BFS) and in-centrality need no transposition pass.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace rca::graph {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count) { resize(node_count); }
+
+  /// Append `count` isolated nodes; returns the id of the first new node.
+  NodeId add_nodes(std::size_t count = 1);
+
+  void resize(std::size_t node_count);
+
+  /// Insert edge u -> v. Parallel edges are collapsed; self-loops are
+  /// rejected (a variable assigned from itself adds no dependency
+  /// information). Returns true if the edge was new.
+  bool add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::size_t node_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  const std::vector<NodeId>& out_neighbors(NodeId u) const { return out_[u]; }
+  const std::vector<NodeId>& in_neighbors(NodeId u) const { return in_[u]; }
+
+  std::size_t out_degree(NodeId u) const { return out_[u].size(); }
+  std::size_t in_degree(NodeId u) const { return in_[u].size(); }
+  /// Total degree in the undirected (weakly connected) view; a node with
+  /// both u->v and v->u counts that neighbor twice here, matching the
+  /// digraph's edge multiset.
+  std::size_t degree(NodeId u) const { return out_[u].size() + in_[u].size(); }
+
+  /// Graph with every edge reversed (used for in-centralities).
+  Digraph reversed() const;
+
+  /// All edges as (u, v) pairs, ordered by u then insertion order.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  static std::uint64_t key(NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::unordered_set<std::uint64_t> edge_set_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Induced subgraph on `nodes` (order defines new ids). Returns the new graph
+/// and fills `old_to_new` (size = g.node_count(), kInvalidNode when absent).
+Digraph induced_subgraph(const Digraph& g, const std::vector<NodeId>& nodes,
+                         std::vector<NodeId>* old_to_new = nullptr);
+
+/// Quotient graph (graph minor) under the equivalence classes in
+/// `node_class` (size = g.node_count(); class ids must be dense 0..k-1).
+/// Self-loops produced by intra-class edges are dropped; parallel inter-class
+/// edges are merged. This is the paper's §6.5 module-collapse operation.
+Digraph quotient_graph(const Digraph& g, const std::vector<NodeId>& node_class,
+                       std::size_t class_count);
+
+}  // namespace rca::graph

@@ -1,0 +1,44 @@
+#include "graph/dot_export.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca::graph {
+
+std::string to_dot(const Digraph& g, const std::vector<std::string>* labels,
+                   const std::vector<NodeId>* node_class,
+                   const std::string& graph_name) {
+  if (labels) RCA_CHECK_MSG(labels->size() == g.node_count(), "label count");
+  if (node_class) {
+    RCA_CHECK_MSG(node_class->size() == g.node_count(), "class count");
+  }
+  static const char* kPalette[] = {
+      "#1f77b4", "#2ca02c", "#ff7f0e", "#d62728", "#9467bd",
+      "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+  };
+  constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  node [shape=circle, style=filled, fillcolor=\"#dddddd\"];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out += strfmt("  n%u", v);
+    std::string attrs;
+    if (labels) {
+      attrs += "label=\"" + (*labels)[v] + "\"";
+    }
+    if (node_class) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += strfmt("fillcolor=\"%s\"",
+                      kPalette[(*node_class)[v] % kPaletteSize]);
+    }
+    if (!attrs.empty()) out += " [" + attrs + "]";
+    out += ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out += strfmt("  n%u -> n%u;\n", u, v);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rca::graph

@@ -1,0 +1,19 @@
+// Graphviz DOT export for visual inspection of subgraphs and communities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rca::graph {
+
+/// Renders `g` as DOT. `labels` (optional, per node) become node labels;
+/// `node_class` (optional, per node) selects a fill color per class so
+/// community structure is visible, mirroring the paper's colored figures.
+std::string to_dot(const Digraph& g,
+                   const std::vector<std::string>* labels = nullptr,
+                   const std::vector<NodeId>* node_class = nullptr,
+                   const std::string& graph_name = "cesm");
+
+}  // namespace rca::graph

@@ -1,0 +1,83 @@
+#include "graph/girvan_newman.hpp"
+
+#include <algorithm>
+
+#include "graph/betweenness.hpp"
+#include "support/error.hpp"
+
+namespace rca::graph {
+
+std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool) {
+  if (g.edge_count() == 0) return 0;
+  std::size_t before = 0;
+  g.components(&before);
+
+  std::vector<double> bc = edge_betweenness(g, pool);
+  std::size_t removed = 0;
+  for (;;) {
+    // Pick the live edge with maximum betweenness (ties: lowest id, for
+    // determinism).
+    EdgeId best = kInvalidNode;
+    double best_val = -1.0;
+    for (EdgeId e = 0; e < g.total_edges(); ++e) {
+      if (g.edge(e).removed) continue;
+      if (bc[e] > best_val) {
+        best_val = bc[e];
+        best = e;
+      }
+    }
+    if (best == kInvalidNode) break;  // no edges left
+    const NodeId eu = g.edge(best).u;
+    g.remove_edge(best);
+    ++removed;
+
+    std::size_t after = 0;
+    std::vector<NodeId> comp = g.components(&after);
+    if (after > before || g.edge_count() == 0) break;
+
+    // Recompute betweenness only inside the component that lost the edge;
+    // all shortest paths elsewhere are untouched (paper step 3: "recalculate
+    // betweenness for all edges affected by the removal").
+    const NodeId affected = comp[eu];
+    std::vector<NodeId> sources;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (comp[v] == affected) sources.push_back(v);
+    }
+    std::vector<double> partial = edge_betweenness(g, pool, &sources);
+    for (EdgeId e = 0; e < g.total_edges(); ++e) {
+      if (g.edge(e).removed) continue;
+      if (comp[g.edge(e).u] == affected) bc[e] = partial[e];
+    }
+  }
+  return removed;
+}
+
+GirvanNewmanResult girvan_newman(const Digraph& g,
+                                 const GirvanNewmanOptions& opts) {
+  RCA_CHECK_MSG(opts.iterations >= 0, "negative G-N iteration count");
+  UGraph ug(g);
+  GirvanNewmanResult result;
+  for (int it = 0; it < opts.iterations; ++it) {
+    result.edges_removed += girvan_newman_step(ug, opts.pool);
+  }
+
+  std::size_t count = 0;
+  std::vector<NodeId> comp = ug.components(&count);
+  result.component_count = count;
+
+  std::vector<std::vector<NodeId>> buckets(count);
+  for (NodeId v = 0; v < comp.size(); ++v) buckets[comp[v]].push_back(v);
+  for (auto& b : buckets) {
+    if (b.size() >= opts.min_community_size) {
+      result.communities.push_back(std::move(b));
+    }
+  }
+  std::sort(result.communities.begin(), result.communities.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();  // deterministic tie-break
+            });
+  return result;
+}
+
+}  // namespace rca::graph

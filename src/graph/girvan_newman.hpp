@@ -1,0 +1,46 @@
+// Girvan–Newman community detection (Girvan & Newman 2002, Newman & Girvan
+// 2004) as the paper applies it (§5.2): one "iteration" removes the
+// highest-edge-betweenness edge repeatedly until the number of connected
+// components increases. Betweenness is recomputed after each removal, but
+// only within the component that lost the edge — removals elsewhere cannot
+// change other components' shortest paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rca::graph {
+
+struct GirvanNewmanOptions {
+  /// Number of split iterations (paper default: 1, "to avoid clustering the
+  /// subgraphs far beyond the natural structure present in the code").
+  int iterations = 1;
+  /// Communities smaller than this are dropped from the result (the paper
+  /// omits communities of fewer than 3–4 nodes).
+  std::size_t min_community_size = 3;
+  ThreadPool* pool = nullptr;
+};
+
+struct GirvanNewmanResult {
+  /// Kept communities (each sorted by node id), largest first.
+  std::vector<std::vector<NodeId>> communities;
+  /// Edges removed across all iterations.
+  std::size_t edges_removed = 0;
+  /// Component count of the undirected view after the final iteration,
+  /// including below-threshold components.
+  std::size_t component_count = 0;
+};
+
+/// Runs G-N on the weakly connected (undirected) view of `g`.
+GirvanNewmanResult girvan_newman(const Digraph& g,
+                                 const GirvanNewmanOptions& opts = {});
+
+/// One split step on an existing undirected graph; returns removed-edge
+/// count. Exposed separately for tests and ablations.
+std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool = nullptr);
+
+}  // namespace rca::graph

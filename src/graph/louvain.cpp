@@ -1,0 +1,228 @@
+#include "graph/louvain.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace rca::graph {
+
+namespace {
+
+/// Undirected weighted adjacency built by collapsing the digraph (parallel
+/// and antiparallel edges merge with summed weight 1 each).
+struct WeightedGraph {
+  std::vector<std::vector<std::pair<NodeId, double>>> adj;
+  std::vector<double> self_loop;  // aggregated intra-community weight
+  double total_weight = 0.0;      // sum of edge weights (each edge once)
+
+  std::size_t size() const { return adj.size(); }
+};
+
+WeightedGraph from_digraph(const Digraph& g) {
+  WeightedGraph w;
+  w.adj.resize(g.node_count());
+  w.self_loop.assign(g.node_count(), 0.0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) {
+      if (u < v || !g.has_edge(v, u)) {
+        w.adj[u].emplace_back(v, 1.0);
+        w.adj[v].emplace_back(u, 1.0);
+        w.total_weight += 1.0;
+      }
+    }
+  }
+  return w;
+}
+
+/// Weighted degree (including self-loop counted twice, Louvain convention).
+double weighted_degree(const WeightedGraph& g, NodeId v) {
+  double d = 2.0 * g.self_loop[v];
+  for (const auto& [u, w] : g.adj[v]) {
+    (void)u;
+    d += w;
+  }
+  return d;
+}
+
+/// One local-move phase; returns the per-node community assignment and the
+/// achieved gain. Communities are renumbered densely on exit.
+bool local_move(const WeightedGraph& g, std::vector<NodeId>* community,
+                std::uint64_t seed, double min_gain) {
+  const std::size_t n = g.size();
+  std::vector<double> degree(n);
+  double m2 = 2.0 * g.total_weight;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = weighted_degree(g, v);
+    m2 += 2.0 * g.self_loop[v];
+  }
+  if (m2 <= 0.0) return false;
+
+  // Community aggregate degree.
+  std::vector<double> comm_degree(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) comm_degree[(*community)[v]] += degree[v];
+
+  // Deterministic shuffled order.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  SplitMix64 rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next() % i]);
+  }
+
+  bool any_move = false;
+  bool improved = true;
+  std::unordered_map<NodeId, double> weight_to;
+  while (improved) {
+    improved = false;
+    for (NodeId v : order) {
+      const NodeId old_comm = (*community)[v];
+      weight_to.clear();
+      for (const auto& [u, w] : g.adj[v]) {
+        if (u != v) weight_to[(*community)[u]] += w;
+      }
+      comm_degree[old_comm] -= degree[v];
+
+      NodeId best_comm = old_comm;
+      double best_gain = weight_to.count(old_comm)
+                             ? weight_to[old_comm] -
+                                   comm_degree[old_comm] * degree[v] / m2
+                             : -comm_degree[old_comm] * degree[v] / m2;
+      for (const auto& [c, w] : weight_to) {
+        const double gain = w - comm_degree[c] * degree[v] / m2;
+        if (gain > best_gain + min_gain) {
+          best_gain = gain;
+          best_comm = c;
+        }
+      }
+      comm_degree[best_comm] += degree[v];
+      if (best_comm != old_comm) {
+        (*community)[v] = best_comm;
+        improved = true;
+        any_move = true;
+      }
+    }
+  }
+  return any_move;
+}
+
+/// Aggregates communities into super-nodes.
+WeightedGraph aggregate(const WeightedGraph& g,
+                        const std::vector<NodeId>& community,
+                        std::size_t community_count) {
+  WeightedGraph out;
+  out.adj.resize(community_count);
+  out.self_loop.assign(community_count, 0.0);
+  std::unordered_map<std::uint64_t, double> edges;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    out.self_loop[community[v]] += g.self_loop[v];
+    for (const auto& [u, w] : g.adj[v]) {
+      if (u < v) continue;  // each undirected edge once
+      const NodeId a = community[v];
+      const NodeId b = community[u];
+      if (a == b) {
+        out.self_loop[a] += w;
+      } else {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+            std::max(a, b);
+        edges[key] += w;
+      }
+    }
+  }
+  for (const auto& [key, w] : edges) {
+    const NodeId a = static_cast<NodeId>(key >> 32);
+    const NodeId b = static_cast<NodeId>(key & 0xffffffffu);
+    out.adj[a].emplace_back(b, w);
+    out.adj[b].emplace_back(a, w);
+    out.total_weight += w;
+  }
+  return out;
+}
+
+std::size_t renumber(std::vector<NodeId>* community) {
+  std::unordered_map<NodeId, NodeId> remap;
+  for (NodeId& c : *community) {
+    auto [it, inserted] = remap.emplace(c, static_cast<NodeId>(remap.size()));
+    c = it->second;
+  }
+  return remap.size();
+}
+
+}  // namespace
+
+double modularity(const Digraph& g, const std::vector<NodeId>& community) {
+  RCA_CHECK_MSG(community.size() == g.node_count(), "partition size mismatch");
+  WeightedGraph w = from_digraph(g);
+  const double m2 = 2.0 * w.total_weight;
+  if (m2 <= 0.0) return 0.0;
+
+  std::unordered_map<NodeId, double> intra, comm_degree;
+  for (NodeId v = 0; v < w.size(); ++v) {
+    comm_degree[community[v]] += weighted_degree(w, v);
+    for (const auto& [u, weight] : w.adj[v]) {
+      if (u < v) continue;
+      if (community[u] == community[v]) intra[community[u]] += weight;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, deg] : comm_degree) {
+    const double in = intra.count(c) ? intra.at(c) : 0.0;
+    q += in / w.total_weight - (deg / m2) * (deg / m2);
+  }
+  return q;
+}
+
+LouvainResult louvain(const Digraph& g, const LouvainOptions& opts) {
+  LouvainResult result;
+  const std::size_t n = g.node_count();
+  result.assignment.resize(n);
+  std::iota(result.assignment.begin(), result.assignment.end(), 0);
+  if (n == 0) return result;
+
+  WeightedGraph level_graph = from_digraph(g);
+  // node -> community at the current level, composed down to original nodes.
+  std::vector<NodeId> node_to_top(n);
+  std::iota(node_to_top.begin(), node_to_top.end(), 0);
+
+  for (std::size_t level = 0; level < opts.max_levels; ++level) {
+    std::vector<NodeId> community(level_graph.size());
+    std::iota(community.begin(), community.end(), 0);
+    const bool moved =
+        local_move(level_graph, &community, opts.seed + level, opts.min_gain);
+    if (!moved) break;
+    ++result.levels;
+    const std::size_t count = renumber(&community);
+    for (NodeId v = 0; v < n; ++v) {
+      node_to_top[v] = community[node_to_top[v]];
+    }
+    if (count == level_graph.size()) break;
+    level_graph = aggregate(level_graph, community, count);
+  }
+
+  result.assignment = node_to_top;
+  renumber(&result.assignment);
+  result.modularity = modularity(g, result.assignment);
+
+  // Materialize community node lists.
+  std::size_t count = 0;
+  for (NodeId c : result.assignment) {
+    count = std::max<std::size_t>(count, c + 1);
+  }
+  std::vector<std::vector<NodeId>> buckets(count);
+  for (NodeId v = 0; v < n; ++v) buckets[result.assignment[v]].push_back(v);
+  for (auto& b : buckets) {
+    if (b.size() >= opts.min_community_size) {
+      result.communities.push_back(std::move(b));
+    }
+  }
+  std::sort(result.communities.begin(), result.communities.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();
+            });
+  return result;
+}
+
+}  // namespace rca::graph

@@ -1,0 +1,66 @@
+#include "graph/ugraph.hpp"
+
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace rca::graph {
+
+UGraph::UGraph(const Digraph& g) {
+  adj_.resize(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) {
+      // Deduplicate the undirected pair: keep the (min, max) orientation once.
+      if (u < v || !g.has_edge(v, u)) {
+        EdgeId id = static_cast<EdgeId>(edges_.size());
+        edges_.push_back(Edge{u, v, false});
+        adj_[u].emplace_back(v, id);
+        adj_[v].emplace_back(u, id);
+      }
+    }
+  }
+  live_edges_ = edges_.size();
+}
+
+void UGraph::remove_edge(EdgeId e) {
+  RCA_CHECK_MSG(e < edges_.size(), "edge id out of range");
+  if (!edges_[e].removed) {
+    edges_[e].removed = true;
+    --live_edges_;
+  }
+}
+
+std::size_t UGraph::degree(NodeId u) const {
+  std::size_t d = 0;
+  for (const auto& [v, e] : adj_[u]) {
+    (void)v;
+    if (!edges_[e].removed) ++d;
+  }
+  return d;
+}
+
+std::vector<NodeId> UGraph::components(std::size_t* count) const {
+  std::vector<NodeId> comp(adj_.size(), kInvalidNode);
+  NodeId next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < adj_.size(); ++s) {
+    if (comp[s] != kInvalidNode) continue;
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, e] : adj_[u]) {
+        if (!edges_[e].removed && comp[v] == kInvalidNode) {
+          comp[v] = next;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (count) *count = next;
+  return comp;
+}
+
+}  // namespace rca::graph

@@ -1,0 +1,56 @@
+// Mutable undirected view of a digraph, used by Girvan–Newman.
+//
+// The paper converts the directed subgraph into its weakly connected
+// undirected form for community detection (§5.2): bug locations may sit
+// anywhere, so no reachability assumption can be imposed while clustering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rca::graph {
+
+using EdgeId = std::uint32_t;
+
+class UGraph {
+ public:
+  /// Undirected view: one edge {u, v} whenever u->v or v->u exists.
+  explicit UGraph(const Digraph& g);
+
+  struct Edge {
+    NodeId u;
+    NodeId v;
+    bool removed = false;
+  };
+
+  std::size_t node_count() const { return adj_.size(); }
+  /// Number of live (non-removed) edges.
+  std::size_t edge_count() const { return live_edges_; }
+  std::size_t total_edges() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  void remove_edge(EdgeId e);
+
+  /// Neighbor iteration including removed slots; callers must test
+  /// `edge(e).removed`. Exposed raw for the hot Brandes loop.
+  const std::vector<std::pair<NodeId, EdgeId>>& incident(NodeId u) const {
+    return adj_[u];
+  }
+
+  /// Live degree of u.
+  std::size_t degree(NodeId u) const;
+
+  /// Connected components over live edges: per-node component id (dense) and
+  /// the component count.
+  std::vector<NodeId> components(std::size_t* count) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj_;
+  std::size_t live_edges_ = 0;
+};
+
+}  // namespace rca::graph

@@ -1,0 +1,1313 @@
+#include "interp/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "interp/intrinsics.hpp"
+#include "support/strings.hpp"
+
+namespace rca::interp {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::Module;
+using lang::Op;
+using lang::RefSegment;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Subprogram;
+using lang::TypeKind;
+using lang::VarDecl;
+
+double WatchStats::rms() const {
+  if (count == 0) return 0.0;
+  return std::sqrt(sum_sq / static_cast<double>(count));
+}
+
+double WatchStats::mean() const {
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count);
+}
+
+void CoverageRecorder::record(const std::string& module,
+                              const std::string& subprogram) {
+  modules_.insert(module);
+  if (!subprogram.empty()) subprograms_.insert(module + "::" + subprogram);
+}
+
+bool CoverageRecorder::module_executed(const std::string& module) const {
+  return modules_.count(module) != 0;
+}
+
+bool CoverageRecorder::subprogram_executed(const std::string& module,
+                                           const std::string& sub) const {
+  return subprograms_.count(module + "::" + sub) != 0;
+}
+
+void CoverageRecorder::clear() {
+  modules_.clear();
+  subprograms_.clear();
+}
+
+bool is_intrinsic_function(const std::string& name) {
+  static const std::unordered_map<std::string, int> kSet = {
+      {"abs", 0},   {"sqrt", 0},  {"exp", 0},    {"log", 0},  {"log10", 0},
+      {"sin", 0},   {"cos", 0},   {"tan", 0},    {"tanh", 0}, {"min", 0},
+      {"max", 0},   {"mod", 0},   {"sign", 0},   {"floor", 0}, {"nint", 0},
+      {"aint", 0},  {"int", 0},   {"real", 0},   {"sum", 0},  {"minval", 0},
+      {"maxval", 0}, {"size", 0}, {"merge", 0},
+  };
+  return kSet.count(name) != 0;
+}
+
+namespace {
+
+enum class Flow { kNormal, kReturn, kExit, kCycle };
+
+bool is_slice_marker(const Expr& e) {
+  return e.is_ref() && e.segments.size() == 1 &&
+         e.segments[0].name == "__slice__" && !e.segments[0].has_args;
+}
+
+[[noreturn]] void fail(const std::string& msg, int line = 0) {
+  if (line > 0) throw EvalError(strfmt("line %d: %s", line, msg.c_str()));
+  throw EvalError(msg);
+}
+
+}  // namespace
+
+// ===========================================================================
+// Impl
+// ===========================================================================
+
+struct Interpreter::Impl {
+  struct ModuleCtx;
+
+  struct Callable {
+    const Subprogram* sp = nullptr;
+    ModuleCtx* home = nullptr;
+  };
+
+  struct TypeEntry {
+    const lang::DerivedTypeDef* def = nullptr;
+    ModuleCtx* home = nullptr;
+  };
+
+  struct ImportedVar {
+    ModuleCtx* home = nullptr;
+    std::string remote_name;
+  };
+
+  struct ModuleCtx {
+    const Module* ast = nullptr;
+    bool fma = false;
+    std::unordered_map<std::string, ValueSlot> vars;
+    std::unordered_map<std::string, Value> params;
+    std::unordered_map<std::string, ImportedVar> imported_vars;
+    std::unordered_map<std::string, std::vector<Callable>> callables;
+    std::unordered_map<std::string, TypeEntry> types;
+  };
+
+  struct Frame {
+    ModuleCtx* module = nullptr;
+    const Subprogram* sub = nullptr;
+    std::unordered_map<std::string, ValueSlot> locals;
+  };
+
+  explicit Impl(Interpreter* owner) : owner_(owner) {}
+
+  Interpreter* owner_;
+  std::vector<const Module*> module_asts_;
+  std::unordered_map<std::string, std::unique_ptr<ModuleCtx>> modules_;
+  std::unordered_map<std::string, BuiltinSubroutine> builtins_;
+  bool any_watches_ = false;
+
+  // -------------------------------------------------------------------------
+  // Initialization.
+  // -------------------------------------------------------------------------
+
+  void load(std::vector<const Module*> mods) {
+    module_asts_ = std::move(mods);
+    // Pass 1: create contexts, register own subprograms/types.
+    for (const Module* m : module_asts_) {
+      if (modules_.count(m->name)) {
+        fail("duplicate module '" + m->name + "'");
+      }
+      auto ctx = std::make_unique<ModuleCtx>();
+      ctx->ast = m;
+      for (const auto& sp : m->subprograms) {
+        ctx->callables[sp.name].push_back(Callable{&sp, ctx.get()});
+      }
+      for (const auto& t : m->types) {
+        ctx->types[t.name] = TypeEntry{&t, ctx.get()};
+      }
+      modules_[m->name] = std::move(ctx);
+    }
+    // Pass 1b: expand interface blocks (after own subprograms exist).
+    for (const Module* m : module_asts_) {
+      ModuleCtx* ctx = modules_[m->name].get();
+      for (const auto& iface : m->interfaces) {
+        for (const auto& proc : iface.procedures) {
+          auto it = ctx->callables.find(proc);
+          if (it == ctx->callables.end()) {
+            fail("interface '" + iface.name + "' names unknown procedure '" +
+                 proc + "' in module " + m->name);
+          }
+          for (const auto& c : it->second) {
+            ctx->callables[iface.name].push_back(c);
+          }
+        }
+      }
+    }
+    // Pass 2: resolve use-imports (module-level plus hoisted
+    // subprogram-level uses; chained use is intentionally not followed,
+    // matching the paper's §4.2 treatment).
+    for (const Module* m : module_asts_) {
+      ModuleCtx* ctx = modules_[m->name].get();
+      auto process_use = [this, ctx, m](const lang::UseStmt& use) {
+        auto src_it = modules_.find(use.module);
+        if (src_it == modules_.end()) {
+          fail("module '" + m->name + "' uses unknown module '" + use.module +
+               "'", use.line);
+        }
+        ModuleCtx* src = src_it->second.get();
+        if (use.has_only) {
+          for (const auto& r : use.renames) {
+            import_entity(ctx, src, r.local, r.remote, use.line);
+          }
+        } else {
+          // Import-all: every declaration, subprogram, interface, type.
+          for (const auto& d : src->ast->decls) {
+            import_entity(ctx, src, d.name, d.name, use.line);
+          }
+          for (const auto& sp : src->ast->subprograms) {
+            import_entity(ctx, src, sp.name, sp.name, use.line);
+          }
+          for (const auto& iface : src->ast->interfaces) {
+            import_entity(ctx, src, iface.name, iface.name, use.line);
+          }
+          for (const auto& t : src->ast->types) {
+            import_entity(ctx, src, t.name, t.name, use.line);
+          }
+        }
+      };
+      for (const auto& use : m->uses) process_use(use);
+      for (const auto& sp : m->subprograms) {
+        for (const auto& use : sp.uses) process_use(use);
+      }
+    }
+    // Pass 3: evaluate parameter constants to a fixpoint (they may reference
+    // imported parameters that are themselves not yet evaluated).
+    for (;;) {
+      bool progress = false;
+      bool pending = false;
+      for (const Module* m : module_asts_) {
+        ModuleCtx* ctx = modules_[m->name].get();
+        for (const auto& d : m->decls) {
+          if (!d.is_parameter || ctx->params.count(d.name)) continue;
+          if (!d.init) fail("parameter '" + d.name + "' lacks a value", d.line);
+          Frame f;
+          f.module = ctx;
+          try {
+            ctx->params[d.name] = eval(*d.init, f);
+            progress = true;
+          } catch (const EvalError&) {
+            pending = true;  // dependency not ready yet; retry next round
+          }
+        }
+      }
+      if (!pending) break;
+      if (!progress) fail("circular or unresolvable parameter definitions");
+    }
+    // Pass 4: allocate module variables.
+    for (const Module* m : module_asts_) {
+      ModuleCtx* ctx = modules_[m->name].get();
+      Frame f;
+      f.module = ctx;
+      for (const auto& d : m->decls) {
+        if (d.is_parameter) continue;
+        ctx->vars[d.name] = std::make_shared<Value>(allocate(d, f));
+      }
+    }
+  }
+
+  void import_entity(ModuleCtx* dst, ModuleCtx* src, const std::string& local,
+                     const std::string& remote, int line) {
+    const lang::VarDecl* decl = src->ast->find_decl(remote);
+    if (decl) {
+      if (decl->is_parameter) {
+        // Imported parameters are resolved lazily (pass 3 fixpoint) via the
+        // imported_vars indirection as well; record both.
+        dst->imported_vars[local] = ImportedVar{src, remote};
+      } else {
+        dst->imported_vars[local] = ImportedVar{src, remote};
+      }
+      return;
+    }
+    auto cit = src->callables.find(remote);
+    if (cit != src->callables.end()) {
+      auto& vec = dst->callables[local];
+      vec.insert(vec.end(), cit->second.begin(), cit->second.end());
+      return;
+    }
+    auto tit = src->types.find(remote);
+    if (tit != src->types.end()) {
+      dst->types[local] = tit->second;
+      return;
+    }
+    fail("use of unknown entity '" + remote + "' from module '" +
+         src->ast->name + "'", line);
+  }
+
+  /// Allocate a value per declaration, evaluating array extents in `frame`.
+  Value allocate(const VarDecl& d, Frame& frame) {
+    if (d.type.kind == TypeKind::kDerived) {
+      auto tit = frame.module->types.find(d.type.derived_name);
+      if (tit == frame.module->types.end()) {
+        fail("unknown derived type '" + d.type.derived_name + "'", d.line);
+      }
+      Value v;
+      v.kind = Value::Kind::kDerived;
+      v.derived = std::make_shared<DerivedValue>();
+      v.derived->type_name = d.type.derived_name;
+      Frame type_frame;
+      type_frame.module = tit->second.home;
+      for (const auto& comp : tit->second.def->components) {
+        v.derived->components[comp.name] =
+            std::make_shared<Value>(allocate(comp, type_frame));
+      }
+      return v;
+    }
+    if (d.is_array()) {
+      std::vector<long long> dims;
+      for (const auto& dim : d.dims) {
+        dims.push_back(eval(*dim, frame).as_int());
+      }
+      Value v = Value::make_array(std::move(dims));
+      if (d.init) {
+        const Value init = eval(*d.init, frame);
+        std::fill(v.array.begin(), v.array.end(), init.as_real());
+      }
+      return v;
+    }
+    Value v;
+    switch (d.type.kind) {
+      case TypeKind::kReal: v = Value::make_real(0.0); break;
+      case TypeKind::kInteger: v = Value::make_int(0); break;
+      case TypeKind::kLogical: v = Value::make_logical(false); break;
+      case TypeKind::kCharacter: v = Value::make_char(""); break;
+      case TypeKind::kDerived: break;  // handled above
+    }
+    if (d.init) {
+      const Value init = eval(*d.init, frame);
+      switch (v.kind) {
+        case Value::Kind::kReal: v.real = init.as_real(); break;
+        case Value::Kind::kInt: v.integer = init.as_int(); break;
+        case Value::Kind::kLogical: v.logical = init.as_logical(); break;
+        case Value::Kind::kChar: v.chars = init.chars; break;
+        default: break;
+      }
+    }
+    return v;
+  }
+
+  // -------------------------------------------------------------------------
+  // Name resolution.
+  // -------------------------------------------------------------------------
+
+  /// Variable slot for `name` in scope, or nullptr. Sets `owner_module` /
+  /// `owner_sub` to the owning scope for watch identity.
+  ValueSlot resolve_var(Frame& frame, const std::string& name,
+                        std::string* owner_module = nullptr,
+                        std::string* owner_sub = nullptr) {
+    auto lit = frame.locals.find(name);
+    if (lit != frame.locals.end()) {
+      if (owner_module) *owner_module = frame.module->ast->name;
+      if (owner_sub) *owner_sub = frame.sub ? frame.sub->name : "";
+      return lit->second;
+    }
+    auto mit = frame.module->vars.find(name);
+    if (mit != frame.module->vars.end()) {
+      if (owner_module) *owner_module = frame.module->ast->name;
+      if (owner_sub) owner_sub->clear();
+      return mit->second;
+    }
+    auto iit = frame.module->imported_vars.find(name);
+    if (iit != frame.module->imported_vars.end()) {
+      ModuleCtx* home = iit->second.home;
+      auto hit = home->vars.find(iit->second.remote_name);
+      if (hit != home->vars.end()) {
+        if (owner_module) *owner_module = home->ast->name;
+        if (owner_sub) owner_sub->clear();
+        return hit->second;
+      }
+      // Might be an imported parameter — expose as a temporary slot.
+      auto pit = home->params.find(iit->second.remote_name);
+      if (pit != home->params.end()) {
+        if (owner_module) *owner_module = home->ast->name;
+        if (owner_sub) owner_sub->clear();
+        return std::make_shared<Value>(pit->second);
+      }
+    }
+    auto pit = frame.module->params.find(name);
+    if (pit != frame.module->params.end()) {
+      if (owner_module) *owner_module = frame.module->ast->name;
+      if (owner_sub) owner_sub->clear();
+      return std::make_shared<Value>(pit->second);
+    }
+    return nullptr;
+  }
+
+  const std::vector<Callable>* resolve_callable(ModuleCtx* ctx,
+                                                const std::string& name) {
+    auto it = ctx->callables.find(name);
+    if (it == ctx->callables.end()) return nullptr;
+    return &it->second;
+  }
+
+  // -------------------------------------------------------------------------
+  // Expression evaluation.
+  // -------------------------------------------------------------------------
+
+  Value eval(const Expr& e, Frame& frame) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        return e.is_int ? Value::make_int(static_cast<long long>(e.number))
+                        : Value::make_real(e.number);
+      case ExprKind::kString:
+        return Value::make_char(e.text);
+      case ExprKind::kLogical:
+        return Value::make_logical(e.bool_value);
+      case ExprKind::kRef:
+        return eval_ref(e, frame);
+      case ExprKind::kUnary: {
+        Value v = eval(*e.rhs, frame);
+        return apply_unary(e.op, std::move(v), e.line);
+      }
+      case ExprKind::kBinary:
+        return eval_binary(e, frame);
+    }
+    fail("unreachable expression kind", e.line);
+  }
+
+  Value eval_binary(const Expr& e, Frame& frame) {
+    // FMA contraction: when the module is compiled with FMA enabled,
+    // a*b + c (either order) and a*b - c are evaluated with one rounding,
+    // as AVX2/FMA codegen would do.
+    if (frame.module->fma && (e.op == Op::kAdd || e.op == Op::kSub)) {
+      const Expr* mul = nullptr;
+      const Expr* addend = nullptr;
+      bool mul_on_left = false;
+      if (e.lhs->kind == ExprKind::kBinary && e.lhs->op == Op::kMul) {
+        mul = e.lhs.get();
+        addend = e.rhs.get();
+        mul_on_left = true;
+      } else if (e.op == Op::kAdd && e.rhs->kind == ExprKind::kBinary &&
+                 e.rhs->op == Op::kMul) {
+        mul = e.rhs.get();
+        addend = e.lhs.get();
+      }
+      if (mul) {
+        Value a = eval(*mul->lhs, frame);
+        Value b = eval(*mul->rhs, frame);
+        Value c = eval(*addend, frame);
+        // a*b + c ; a*b - c (mul left) ; c + a*b.
+        const double sign = (e.op == Op::kSub && mul_on_left) ? -1.0 : 1.0;
+        const double msign = 1.0;
+        (void)msign;
+        if (!a.is_array() && !b.is_array() && !c.is_array() &&
+            (a.kind == Value::Kind::kReal || b.kind == Value::Kind::kReal ||
+             c.kind == Value::Kind::kReal)) {
+          return Value::make_real(std::fma(a.as_real(), b.as_real(),
+                                           sign * c.as_real()));
+        }
+        if (a.is_array() || b.is_array() || c.is_array()) {
+          return broadcast_fma(a, b, c, sign, e.line);
+        }
+        // Integer-only falls through to exact arithmetic below.
+      }
+    }
+
+    Value lhs = eval(*e.lhs, frame);
+    Value rhs = eval(*e.rhs, frame);
+    return apply_binary(e.op, std::move(lhs), std::move(rhs), e.line);
+  }
+
+  Value broadcast_fma(const Value& a, const Value& b, const Value& c,
+                      double sign, int line) {
+    const std::size_t n = std::max({a.is_array() ? a.array.size() : 0,
+                                    b.is_array() ? b.array.size() : 0,
+                                    c.is_array() ? c.array.size() : 0});
+    auto at = [n, line](const Value& v, std::size_t i) {
+      if (!v.is_array()) return v.as_real();
+      if (v.array.size() != n) fail("array size mismatch in expression", line);
+      return v.array[i];
+    };
+    Value out = Value::make_array({static_cast<long long>(n)});
+    if (a.is_array()) out.dims = a.dims;
+    else if (b.is_array()) out.dims = b.dims;
+    else out.dims = c.dims;
+    out.array.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.array[i] = std::fma(at(a, i), at(b, i), sign * at(c, i));
+    }
+    return out;
+  }
+
+  Value apply_unary(Op op, Value v, int line) {
+    switch (op) {
+      case Op::kNeg:
+        if (v.is_array()) {
+          for (double& x : v.array) x = -x;
+          return v;
+        }
+        if (v.kind == Value::Kind::kInt) return Value::make_int(-v.integer);
+        return Value::make_real(-v.as_real());
+      case Op::kPlusSign:
+        return v;
+      case Op::kNot:
+        return Value::make_logical(!v.as_logical());
+      default:
+        fail("bad unary operator", line);
+    }
+  }
+
+  Value apply_binary(Op op, Value lhs, Value rhs, int line) {
+    switch (op) {
+      case Op::kAnd:
+        return Value::make_logical(lhs.as_logical() && rhs.as_logical());
+      case Op::kOr:
+        return Value::make_logical(lhs.as_logical() || rhs.as_logical());
+      default:
+        break;
+    }
+    if (lhs.is_array() || rhs.is_array()) {
+      return broadcast_arith(op, lhs, rhs, line);
+    }
+    const bool both_int =
+        lhs.kind == Value::Kind::kInt && rhs.kind == Value::Kind::kInt;
+    switch (op) {
+      case Op::kAdd:
+        return both_int ? Value::make_int(lhs.integer + rhs.integer)
+                        : Value::make_real(lhs.as_real() + rhs.as_real());
+      case Op::kSub:
+        return both_int ? Value::make_int(lhs.integer - rhs.integer)
+                        : Value::make_real(lhs.as_real() - rhs.as_real());
+      case Op::kMul:
+        return both_int ? Value::make_int(lhs.integer * rhs.integer)
+                        : Value::make_real(lhs.as_real() * rhs.as_real());
+      case Op::kDiv:
+        if (both_int) {
+          if (rhs.integer == 0) fail("integer division by zero", line);
+          return Value::make_int(lhs.integer / rhs.integer);
+        }
+        return Value::make_real(lhs.as_real() / rhs.as_real());
+      case Op::kPow:
+        if (both_int && rhs.integer >= 0) {
+          long long result = 1, base = lhs.integer, exp = rhs.integer;
+          while (exp > 0) {
+            if (exp & 1) result *= base;
+            base *= base;
+            exp >>= 1;
+          }
+          return Value::make_int(result);
+        }
+        return Value::make_real(std::pow(lhs.as_real(), rhs.as_real()));
+      case Op::kEq:
+        return Value::make_logical(lhs.as_real() == rhs.as_real());
+      case Op::kNe:
+        return Value::make_logical(lhs.as_real() != rhs.as_real());
+      case Op::kLt:
+        return Value::make_logical(lhs.as_real() < rhs.as_real());
+      case Op::kLe:
+        return Value::make_logical(lhs.as_real() <= rhs.as_real());
+      case Op::kGt:
+        return Value::make_logical(lhs.as_real() > rhs.as_real());
+      case Op::kGe:
+        return Value::make_logical(lhs.as_real() >= rhs.as_real());
+      default:
+        fail("bad binary operator", line);
+    }
+  }
+
+  Value broadcast_arith(Op op, const Value& lhs, const Value& rhs, int line) {
+    const Value* arr = lhs.is_array() ? &lhs : &rhs;
+    const std::size_t n = arr->array.size();
+    if (lhs.is_array() && rhs.is_array() &&
+        lhs.array.size() != rhs.array.size()) {
+      fail("array size mismatch in expression", line);
+    }
+    auto at = [](const Value& v, std::size_t i) {
+      return v.is_array() ? v.array[i] : v.as_real();
+    };
+    Value out = *arr;  // copy shape
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = at(lhs, i);
+      const double b = at(rhs, i);
+      double r = 0.0;
+      switch (op) {
+        case Op::kAdd: r = a + b; break;
+        case Op::kSub: r = a - b; break;
+        case Op::kMul: r = a * b; break;
+        case Op::kDiv: r = a / b; break;
+        case Op::kPow: r = std::pow(a, b); break;
+        default:
+          fail("operator not supported on arrays", line);
+      }
+      out.array[i] = r;
+    }
+    return out;
+  }
+
+  // Reference evaluation: variable access, array element/slice, derived-type
+  // chains, intrinsic calls and user function calls.
+  Value eval_ref(const Expr& e, Frame& frame) {
+    const RefSegment& head = e.segments.front();
+
+    if (e.segments.size() == 1) {
+      ValueSlot slot = resolve_var(frame, head.name);
+      if (slot) {
+        if (!head.has_args) return *slot;
+        return index_or_slice(*slot, head.args, frame, e.line);
+      }
+      if (head.has_args) {
+        const std::vector<Callable>* cands =
+            resolve_callable(frame.module, head.name);
+        if (cands) return call_function(*cands, head.args, frame, e.line);
+        if (is_intrinsic_function(head.name)) {
+          return call_intrinsic(head.name, head.args, frame, e.line);
+        }
+      }
+      fail("unknown name '" + head.name + "' in module '" +
+           frame.module->ast->name + "'", e.line);
+    }
+
+    // Derived-type chain: resolve through components.
+    ValueSlot slot = resolve_component_slot(e, frame);
+    const RefSegment& last = e.segments.back();
+    if (!last.has_args) return *slot;
+    return index_or_slice(*slot, last.args, frame, e.line);
+  }
+
+  /// Resolves a multi-segment reference chain down to the final component
+  /// slot (not applying the last segment's indices).
+  ValueSlot resolve_component_slot(const Expr& e, Frame& frame) {
+    const RefSegment& head = e.segments.front();
+    if (head.has_args) {
+      fail("indexed derived-type bases are not supported ('" + head.name +
+           "(...)%...')", e.line);
+    }
+    ValueSlot slot = resolve_var(frame, head.name);
+    if (!slot) fail("unknown name '" + head.name + "'", e.line);
+    for (std::size_t i = 1; i < e.segments.size(); ++i) {
+      if (slot->kind != Value::Kind::kDerived) {
+        fail("'%" + e.segments[i].name + "' applied to non-derived value",
+             e.line);
+      }
+      auto cit = slot->derived->components.find(e.segments[i].name);
+      if (cit == slot->derived->components.end()) {
+        fail("derived type '" + slot->derived->type_name +
+             "' has no component '" + e.segments[i].name + "'", e.line);
+      }
+      if (i + 1 < e.segments.size() && e.segments[i].has_args) {
+        fail("indexed intermediate derived-type components are not supported",
+             e.line);
+      }
+      slot = cit->second;
+    }
+    return slot;
+  }
+
+  Value index_or_slice(const Value& v,
+                       const std::vector<lang::ExprPtr>& args, Frame& frame,
+                       int line) {
+    if (!v.is_array()) fail("subscripts applied to a scalar", line);
+    // Full-slice / mixed-slice gather.
+    bool any_slice = false;
+    for (const auto& a : args) {
+      if (is_slice_marker(*a)) any_slice = true;
+    }
+    if (!any_slice) {
+      std::vector<long long> subs;
+      subs.reserve(args.size());
+      for (const auto& a : args) subs.push_back(eval(*a, frame).as_int());
+      return Value::make_real(v.array[v.flat_index(subs)]);
+    }
+    if (args.size() != v.dims.size()) fail("rank mismatch in slice", line);
+    // Gather over sliced dimensions.
+    std::vector<long long> fixed(args.size(), -1);
+    std::vector<std::size_t> slice_dims;
+    for (std::size_t k = 0; k < args.size(); ++k) {
+      if (is_slice_marker(*args[k])) {
+        slice_dims.push_back(k);
+      } else {
+        fixed[k] = eval(*args[k], frame).as_int();
+      }
+    }
+    long long total = 1;
+    for (std::size_t k : slice_dims) total *= v.dims[k];
+    Value out = Value::make_array({total});
+    std::vector<long long> subs(args.size());
+    for (long long flat = 0; flat < total; ++flat) {
+      long long rem = flat;
+      for (std::size_t si = slice_dims.size(); si-- > 0;) {
+        const std::size_t k = slice_dims[si];
+        subs[k] = rem % v.dims[k] + 1;
+        rem /= v.dims[k];
+      }
+      for (std::size_t k = 0; k < args.size(); ++k) {
+        if (fixed[k] >= 0) subs[k] = fixed[k];
+      }
+      out.array[static_cast<std::size_t>(flat)] = v.array[v.flat_index(subs)];
+    }
+    return out;
+  }
+
+  // -------------------------------------------------------------------------
+  // Intrinsics.
+  // -------------------------------------------------------------------------
+
+  Value call_intrinsic(const std::string& name,
+                       const std::vector<lang::ExprPtr>& arg_exprs,
+                       Frame& frame, int line) {
+    std::vector<Value> args;
+    args.reserve(arg_exprs.size());
+    for (const auto& a : arg_exprs) args.push_back(eval(*a, frame));
+    auto need = [&](std::size_t n) {
+      if (args.size() != n) {
+        fail(strfmt("intrinsic %s expects %zu arguments", name.c_str(), n),
+             line);
+      }
+    };
+    auto elemental1 = [&](double (*fn)(double)) {
+      need(1);
+      if (args[0].is_array()) {
+        Value out = args[0];
+        for (double& x : out.array) x = fn(x);
+        return out;
+      }
+      return Value::make_real(fn(args[0].as_real()));
+    };
+
+    if (name == "abs") {
+      need(1);
+      if (args[0].is_array()) {
+        Value out = args[0];
+        for (double& x : out.array) x = std::abs(x);
+        return out;
+      }
+      if (args[0].kind == Value::Kind::kInt) {
+        return Value::make_int(std::llabs(args[0].integer));
+      }
+      return Value::make_real(std::abs(args[0].as_real()));
+    }
+    if (name == "sqrt") return elemental1(+[](double x) { return std::sqrt(x); });
+    if (name == "exp") return elemental1(+[](double x) { return std::exp(x); });
+    if (name == "log") return elemental1(+[](double x) { return std::log(x); });
+    if (name == "log10") return elemental1(+[](double x) { return std::log10(x); });
+    if (name == "sin") return elemental1(+[](double x) { return std::sin(x); });
+    if (name == "cos") return elemental1(+[](double x) { return std::cos(x); });
+    if (name == "tan") return elemental1(+[](double x) { return std::tan(x); });
+    if (name == "tanh") return elemental1(+[](double x) { return std::tanh(x); });
+    if (name == "aint") return elemental1(+[](double x) { return std::trunc(x); });
+
+    if (name == "min" || name == "max") {
+      if (args.size() < 2) fail("min/max need at least 2 arguments", line);
+      bool any_array = false;
+      std::size_t n = 0;
+      for (const auto& a : args) {
+        if (a.is_array()) {
+          any_array = true;
+          n = a.array.size();
+        }
+      }
+      const bool is_min = (name == "min");
+      if (!any_array) {
+        bool all_int = true;
+        for (const auto& a : args) all_int &= (a.kind == Value::Kind::kInt);
+        double best = args[0].as_real();
+        for (const auto& a : args) {
+          best = is_min ? std::min(best, a.as_real())
+                        : std::max(best, a.as_real());
+        }
+        return all_int ? Value::make_int(static_cast<long long>(best))
+                       : Value::make_real(best);
+      }
+      Value out = Value::make_array({static_cast<long long>(n)});
+      for (const auto& a : args) {
+        if (a.is_array()) {
+          out.dims = a.dims;
+          break;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        double best = args[0].is_array() ? args[0].array[i] : args[0].as_real();
+        for (const auto& a : args) {
+          const double x = a.is_array() ? a.array[i] : a.as_real();
+          best = is_min ? std::min(best, x) : std::max(best, x);
+        }
+        out.array[i] = best;
+      }
+      return out;
+    }
+    if (name == "mod") {
+      need(2);
+      if (args[0].kind == Value::Kind::kInt &&
+          args[1].kind == Value::Kind::kInt) {
+        if (args[1].integer == 0) fail("mod by zero", line);
+        return Value::make_int(args[0].integer % args[1].integer);
+      }
+      return Value::make_real(std::fmod(args[0].as_real(), args[1].as_real()));
+    }
+    if (name == "sign") {
+      need(2);
+      const double mag = std::abs(args[0].as_real());
+      return Value::make_real(args[1].as_real() >= 0.0 ? mag : -mag);
+    }
+    if (name == "floor") {
+      need(1);
+      return Value::make_int(
+          static_cast<long long>(std::floor(args[0].as_real())));
+    }
+    if (name == "nint") {
+      need(1);
+      return Value::make_int(std::llround(args[0].as_real()));
+    }
+    if (name == "int") {
+      need(1);
+      return Value::make_int(args[0].as_int());
+    }
+    if (name == "real") {
+      need(1);
+      return Value::make_real(args[0].as_real());
+    }
+    if (name == "sum") {
+      need(1);
+      if (!args[0].is_array()) return args[0];
+      double s = 0.0;
+      for (double x : args[0].array) s += x;
+      return Value::make_real(s);
+    }
+    if (name == "minval" || name == "maxval") {
+      need(1);
+      if (!args[0].is_array() || args[0].array.empty()) {
+        fail(name + " requires a non-empty array", line);
+      }
+      auto [mn, mx] =
+          std::minmax_element(args[0].array.begin(), args[0].array.end());
+      return Value::make_real(name == "minval" ? *mn : *mx);
+    }
+    if (name == "size") {
+      need(1);
+      if (!args[0].is_array()) return Value::make_int(1);
+      return Value::make_int(static_cast<long long>(args[0].array.size()));
+    }
+    if (name == "merge") {
+      need(3);
+      return args[2].as_logical() ? args[0] : args[1];
+    }
+    fail("unknown intrinsic '" + name + "'", line);
+  }
+
+  // -------------------------------------------------------------------------
+  // Calls.
+  // -------------------------------------------------------------------------
+
+  struct Binding {
+    ValueSlot slot;
+    // Copy-out target for array-element / slice / component-element actuals.
+    const Expr* writeback = nullptr;
+  };
+
+  const Callable* pick_overload(const std::vector<Callable>& cands,
+                                std::size_t nargs, int line) {
+    for (const auto& c : cands) {
+      if (c.sp->params.size() == nargs) return &c;
+    }
+    fail(strfmt("no procedure overload accepts %zu arguments", nargs), line);
+  }
+
+  Value call_function(const std::vector<Callable>& cands,
+                      const std::vector<lang::ExprPtr>& args, Frame& frame,
+                      int line) {
+    const Callable* c = pick_overload(cands, args.size(), line);
+    if (!c->sp->is_function()) {
+      fail("subroutine '" + c->sp->name + "' used as a function", line);
+    }
+    ValueSlot result = invoke(*c, args, frame, line);
+    return *result;
+  }
+
+  /// Invokes a callable with actual-argument expressions evaluated in
+  /// `caller`. Returns the result slot (function) or empty slot.
+  ValueSlot invoke(const Callable& c, const std::vector<lang::ExprPtr>& args,
+                   Frame& caller, int line) {
+    const Subprogram& sp = *c.sp;
+    Frame frame;
+    frame.module = c.home;
+    frame.sub = &sp;
+
+    owner_->coverage_.record(c.home->ast->name, sp.name);
+
+    // Bind dummies.
+    std::vector<Binding> bindings;
+    bindings.reserve(args.size());
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      bindings.push_back(bind_argument(*args[i], caller, line));
+      frame.locals[sp.params[i]] = bindings.back().slot;
+    }
+    // Allocate locals (skip dummies; allocate the function result).
+    for (const auto& d : sp.decls) {
+      if (frame.locals.count(d.name)) continue;  // dummy argument
+      if (d.is_parameter) {
+        Frame pf;
+        pf.module = c.home;
+        frame.locals[d.name] = std::make_shared<Value>(Value());
+        *frame.locals[d.name] = eval(*d.init, pf);
+        continue;
+      }
+      frame.locals[d.name] = std::make_shared<Value>(allocate(d, frame));
+    }
+    if (sp.is_function() && !frame.locals.count(sp.result_name)) {
+      frame.locals[sp.result_name] =
+          std::make_shared<Value>(Value::make_real(0.0));
+    }
+
+    // Execute.
+    for (const auto& st : sp.body) {
+      if (exec(*st, frame) == Flow::kReturn) break;
+    }
+
+    // Copy-out for element/slice actuals.
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
+      if (bindings[i].writeback) {
+        assign_to_ref(*bindings[i].writeback, *bindings[i].slot, caller,
+                      /*record_watch=*/false);
+      }
+    }
+    if (sp.is_function()) return frame.locals[sp.result_name];
+    return {};
+  }
+
+  /// Fortran-style argument association: whole variables (including derived
+  /// components) alias; element/slice/expression actuals get a temp with
+  /// copy-out for the writable cases.
+  Binding bind_argument(const Expr& actual, Frame& caller, int line) {
+    (void)line;
+    if (actual.is_ref()) {
+      const RefSegment& last = actual.segments.back();
+      if (!last.has_args) {
+        // Whole variable or whole derived component: alias directly.
+        std::string om, os;
+        ValueSlot slot;
+        if (actual.segments.size() == 1) {
+          slot = resolve_var(caller, actual.base_name(), &om, &os);
+        } else {
+          slot = resolve_component_slot(actual, caller);
+        }
+        if (slot) return Binding{slot, nullptr};
+        // Fall through: may be a zero-arg function reference — treat as
+        // expression below.
+      } else if (actual.segments.size() > 1 ||
+                 resolve_var(caller, actual.base_name())) {
+        // Array element or slice of a real variable: copy-in/copy-out.
+        Value v = eval(actual, caller);
+        auto slot = std::make_shared<Value>(std::move(v));
+        return Binding{slot, &actual};
+      }
+      // Otherwise `name(...)` is a function call: plain expression binding.
+    }
+    Value v = eval(actual, caller);
+    return Binding{std::make_shared<Value>(std::move(v)), nullptr};
+  }
+
+  // -------------------------------------------------------------------------
+  // Statements.
+  // -------------------------------------------------------------------------
+
+  Flow exec(const Stmt& s, Frame& frame) {
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        Value rhs = eval(*s.rhs, frame);
+        assign_to_ref(*s.lhs, rhs, frame, /*record_watch=*/true);
+        ++owner_->assignments_executed_;
+        return Flow::kNormal;
+      }
+      case StmtKind::kCall:
+        return exec_call(s, frame);
+      case StmtKind::kIf: {
+        if (eval(*s.cond, frame).as_logical()) {
+          return exec_block(s.body, frame);
+        }
+        for (const auto& ei : s.elseifs) {
+          if (eval(*ei.cond, frame).as_logical()) {
+            return exec_block(ei.body, frame);
+          }
+        }
+        return exec_block(s.else_body, frame);
+      }
+      case StmtKind::kDo: {
+        const long long from = eval(*s.from, frame).as_int();
+        const long long to = eval(*s.to, frame).as_int();
+        const long long step = s.step ? eval(*s.step, frame).as_int() : 1;
+        if (step == 0) fail("zero do-loop step", s.line);
+        auto it = frame.locals.find(s.do_var);
+        ValueSlot var;
+        if (it != frame.locals.end()) {
+          var = it->second;
+        } else {
+          var = resolve_var(frame, s.do_var);
+          if (!var) fail("undeclared do variable '" + s.do_var + "'", s.line);
+        }
+        for (long long i = from; step > 0 ? i <= to : i >= to; i += step) {
+          *var = Value::make_int(i);
+          const Flow f = exec_block(s.body, frame);
+          if (f == Flow::kReturn) return Flow::kReturn;
+          if (f == Flow::kExit) break;
+          // kCycle falls through to the next iteration.
+        }
+        return Flow::kNormal;
+      }
+      case StmtKind::kDoWhile: {
+        std::uint64_t guard = 0;
+        while (eval(*s.cond, frame).as_logical()) {
+          if (++guard > 100000000ull) fail("runaway do-while loop", s.line);
+          const Flow f = exec_block(s.body, frame);
+          if (f == Flow::kReturn) return Flow::kReturn;
+          if (f == Flow::kExit) break;
+          // kCycle continues the loop.
+        }
+        return Flow::kNormal;
+      }
+      case StmtKind::kReturn:
+        return Flow::kReturn;
+      case StmtKind::kExit:
+        return Flow::kExit;
+      case StmtKind::kCycle:
+        return Flow::kCycle;
+    }
+    return Flow::kNormal;
+  }
+
+  // Control flow (return/exit/cycle) propagates up through nested blocks;
+  // only the enclosing loop consumes exit/cycle.
+  Flow exec_block(const std::vector<lang::StmtPtr>& body, Frame& frame) {
+    for (const auto& st : body) {
+      const Flow f = exec(*st, frame);
+      if (f != Flow::kNormal) return f;
+    }
+    return Flow::kNormal;
+  }
+
+  Flow exec_call(const Stmt& s, Frame& frame) {
+    const std::vector<Callable>* cands =
+        resolve_callable(frame.module, s.callee);
+    if (cands) {
+      invoke(*pick_overload(*cands, s.args.size(), s.line), s.args, frame,
+             s.line);
+      return Flow::kNormal;
+    }
+    auto bit = builtins_.find(s.callee);
+    if (bit != builtins_.end()) {
+      std::vector<ValueSlot> slots;
+      std::vector<Binding> bindings;
+      slots.reserve(s.args.size());
+      for (const auto& a : s.args) {
+        bindings.push_back(bind_argument(*a, frame, s.line));
+        slots.push_back(bindings.back().slot);
+      }
+      bit->second(slots);
+      for (auto& b : bindings) {
+        if (b.writeback) {
+          assign_to_ref(*b.writeback, *b.slot, frame, /*record_watch=*/false);
+        }
+      }
+      return Flow::kNormal;
+    }
+    fail("unknown subroutine '" + s.callee + "' called from module '" +
+         frame.module->ast->name + "'", s.line);
+  }
+
+  // -------------------------------------------------------------------------
+  // Assignment.
+  // -------------------------------------------------------------------------
+
+  void assign_to_ref(const Expr& lhs, const Value& rhs, Frame& frame,
+                     bool record_watch) {
+    std::string owner_module, owner_sub;
+    ValueSlot slot;
+    if (lhs.segments.size() == 1) {
+      slot = resolve_var(frame, lhs.base_name(), &owner_module, &owner_sub);
+      if (!slot) {
+        fail("assignment to unknown variable '" + lhs.base_name() + "'",
+             lhs.line);
+      }
+    } else {
+      slot = resolve_component_slot(lhs, frame);
+      // Derived components are watched at the site of assignment.
+      owner_module = frame.module->ast->name;
+      owner_sub = frame.sub ? frame.sub->name : "";
+    }
+
+    const RefSegment& last = lhs.segments.back();
+    if (!last.has_args) {
+      store_whole(*slot, rhs, lhs.line);
+    } else {
+      store_indexed(*slot, last.args, rhs, frame, lhs.line);
+    }
+
+    if (record_watch && owner_->record_assignments_) {
+      owner_->assigned_keys_.insert(
+          WatchKey{owner_module, owner_sub, lhs.canonical_name()});
+    }
+    if (record_watch && any_watches_) {
+      WatchKey key{owner_module, owner_sub, lhs.canonical_name()};
+      auto wit = owner_->watch_stats_.find(key);
+      if (wit == owner_->watch_stats_.end() && !owner_sub.empty()) {
+        // Module-level fallback (the metagraph keys module variables with an
+        // empty subprogram).
+        key.subprogram.clear();
+        wit = owner_->watch_stats_.find(key);
+      }
+      if (wit != owner_->watch_stats_.end()) {
+        if (rhs.is_array()) {
+          for (double v : rhs.array) wit->second.record(v);
+        } else if (rhs.is_numeric() || rhs.kind == Value::Kind::kLogical) {
+          wit->second.record(rhs.as_real());
+        }
+      }
+    }
+  }
+
+  void store_whole(Value& dst, const Value& rhs, int line) {
+    switch (dst.kind) {
+      case Value::Kind::kReal:
+        if (rhs.is_array()) fail("cannot assign array to scalar", line);
+        dst.real = rhs.as_real();
+        return;
+      case Value::Kind::kInt:
+        dst.integer = rhs.as_int();
+        return;
+      case Value::Kind::kLogical:
+        dst.logical = rhs.as_logical();
+        return;
+      case Value::Kind::kChar:
+        if (rhs.kind != Value::Kind::kChar) fail("type mismatch", line);
+        dst.chars = rhs.chars;
+        return;
+      case Value::Kind::kArray:
+        if (rhs.is_array()) {
+          if (rhs.array.size() != dst.array.size()) {
+            fail("whole-array assignment size mismatch", line);
+          }
+          dst.array = rhs.array;
+        } else {
+          std::fill(dst.array.begin(), dst.array.end(), rhs.as_real());
+        }
+        return;
+      case Value::Kind::kDerived:
+        if (rhs.kind != Value::Kind::kDerived) {
+          fail("cannot assign scalar to derived value", line);
+        }
+        // Component-wise deep copy.
+        for (auto& [name, comp] : dst.derived->components) {
+          auto sit = rhs.derived->components.find(name);
+          if (sit != rhs.derived->components.end()) *comp = *sit->second;
+        }
+        return;
+    }
+  }
+
+  void store_indexed(Value& dst, const std::vector<lang::ExprPtr>& args,
+                     const Value& rhs, Frame& frame, int line) {
+    if (!dst.is_array()) fail("subscripted assignment to scalar", line);
+    bool any_slice = false;
+    for (const auto& a : args) {
+      if (is_slice_marker(*a)) any_slice = true;
+    }
+    if (!any_slice) {
+      std::vector<long long> subs;
+      for (const auto& a : args) subs.push_back(eval(*a, frame).as_int());
+      dst.array[dst.flat_index(subs)] = rhs.as_real();
+      return;
+    }
+    if (args.size() != dst.dims.size()) fail("rank mismatch in slice", line);
+    std::vector<long long> fixed(args.size(), -1);
+    std::vector<std::size_t> slice_dims;
+    for (std::size_t k = 0; k < args.size(); ++k) {
+      if (is_slice_marker(*args[k])) {
+        slice_dims.push_back(k);
+      } else {
+        fixed[k] = eval(*args[k], frame).as_int();
+      }
+    }
+    long long total = 1;
+    for (std::size_t k : slice_dims) total *= dst.dims[k];
+    if (rhs.is_array() &&
+        rhs.array.size() != static_cast<std::size_t>(total)) {
+      fail("slice assignment size mismatch", line);
+    }
+    std::vector<long long> subs(args.size());
+    for (long long flat = 0; flat < total; ++flat) {
+      long long rem = flat;
+      for (std::size_t si = slice_dims.size(); si-- > 0;) {
+        const std::size_t k = slice_dims[si];
+        subs[k] = rem % dst.dims[k] + 1;
+        rem /= dst.dims[k];
+      }
+      for (std::size_t k = 0; k < args.size(); ++k) {
+        if (fixed[k] >= 0) subs[k] = fixed[k];
+      }
+      dst.array[dst.flat_index(subs)] =
+          rhs.is_array() ? rhs.array[static_cast<std::size_t>(flat)]
+                         : rhs.as_real();
+    }
+  }
+};
+
+// ===========================================================================
+// Public interface.
+// ===========================================================================
+
+Interpreter::Interpreter(std::vector<const Module*> modules)
+    : impl_(std::make_unique<Impl>(this)), prng_(std::make_unique<KissRng>()) {
+  impl_->load(std::move(modules));
+
+  // Built-in: history-file output. `call outfld('LABEL', value)` records the
+  // label (lower-cased) and the global mean of the value.
+  register_builtin("outfld", [this](std::vector<ValueSlot>& args) {
+    if (args.size() != 2 || args[0]->kind != Value::Kind::kChar) {
+      throw EvalError("outfld expects (character label, value)");
+    }
+    const Value& v = *args[1];
+    double mean = 0.0;
+    if (v.is_array()) {
+      if (!v.array.empty()) {
+        double s = 0.0;
+        for (double x : v.array) s += x;
+        mean = s / static_cast<double>(v.array.size());
+      }
+    } else {
+      mean = v.as_real();
+    }
+    outputs_.emplace_back(to_lower(args[0]->chars), mean);
+  });
+
+  // Built-in: PRNG fill. `call shr_rand_uniform(x)` fills a scalar or array
+  // with uniform deviates from the configured generator (KISS by default;
+  // the RAND-MT experiment swaps in the Mersenne Twister).
+  register_builtin("shr_rand_uniform", [this](std::vector<ValueSlot>& args) {
+    if (args.size() != 1) {
+      throw EvalError("shr_rand_uniform expects one argument");
+    }
+    Value& v = *args[0];
+    if (v.is_array()) {
+      for (double& x : v.array) x = prng_->uniform();
+    } else {
+      v.kind = Value::Kind::kReal;
+      v.real = prng_->uniform();
+    }
+  });
+}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::set_fma(const std::string& module, bool enabled) {
+  auto it = impl_->modules_.find(module);
+  if (it == impl_->modules_.end()) {
+    throw EvalError("set_fma: unknown module '" + module + "'");
+  }
+  it->second->fma = enabled;
+}
+
+void Interpreter::set_fma_all(bool enabled) {
+  for (auto& [name, ctx] : impl_->modules_) {
+    (void)name;
+    ctx->fma = enabled;
+  }
+}
+
+void Interpreter::register_builtin(const std::string& name,
+                                   BuiltinSubroutine fn) {
+  impl_->builtins_[name] = std::move(fn);
+}
+
+void Interpreter::set_prng(std::unique_ptr<Prng> prng) {
+  prng_ = std::move(prng);
+}
+
+void Interpreter::add_watch(const WatchKey& key) {
+  watch_stats_.emplace(key, WatchStats{});
+  impl_->any_watches_ = true;
+}
+
+void Interpreter::clear_watches() {
+  watch_stats_.clear();
+  impl_->any_watches_ = false;
+}
+
+ValueSlot Interpreter::call(const std::string& module,
+                            const std::string& subprogram,
+                            std::vector<Value> args) {
+  auto it = impl_->modules_.find(module);
+  if (it == impl_->modules_.end()) {
+    throw EvalError("call: unknown module '" + module + "'");
+  }
+  const auto* cands = impl_->resolve_callable(it->second.get(), subprogram);
+  if (!cands) {
+    throw EvalError("call: unknown subprogram '" + subprogram +
+                    "' in module '" + module + "'");
+  }
+  // Wrap by-value arguments as literal-expression bindings.
+  std::vector<lang::ExprPtr> arg_exprs;
+  Impl::Frame frame;
+  frame.module = it->second.get();
+  // Bind values through temporary slots directly.
+  const Impl::Callable* c =
+      impl_->pick_overload(*cands, args.size(), 0);
+  Impl::Frame callee;
+  callee.module = c->home;
+  callee.sub = c->sp;
+  coverage_.record(c->home->ast->name, c->sp->name);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    callee.locals[c->sp->params[i]] =
+        std::make_shared<Value>(std::move(args[i]));
+  }
+  for (const auto& d : c->sp->decls) {
+    if (callee.locals.count(d.name)) continue;
+    if (d.is_parameter) {
+      Impl::Frame pf;
+      pf.module = c->home;
+      callee.locals[d.name] = std::make_shared<Value>(impl_->eval(*d.init, pf));
+      continue;
+    }
+    callee.locals[d.name] =
+        std::make_shared<Value>(impl_->allocate(d, callee));
+  }
+  if (c->sp->is_function() && !callee.locals.count(c->sp->result_name)) {
+    callee.locals[c->sp->result_name] =
+        std::make_shared<Value>(Value::make_real(0.0));
+  }
+  for (const auto& st : c->sp->body) {
+    if (impl_->exec(*st, callee) == Flow::kReturn) break;
+  }
+  if (c->sp->is_function()) return callee.locals[c->sp->result_name];
+  return {};
+}
+
+ValueSlot Interpreter::module_var(const std::string& module,
+                                  const std::string& name) {
+  auto it = impl_->modules_.find(module);
+  if (it == impl_->modules_.end()) {
+    throw EvalError("module_var: unknown module '" + module + "'");
+  }
+  auto vit = it->second->vars.find(name);
+  if (vit == it->second->vars.end()) {
+    throw EvalError("module_var: unknown variable '" + name + "' in '" +
+                    module + "'");
+  }
+  return vit->second;
+}
+
+}  // namespace rca::interp

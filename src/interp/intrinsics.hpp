@@ -1,0 +1,12 @@
+// Fortran intrinsic procedures recognized by both the interpreter and the
+// metagraph builder (which localizes them to their call site, §4.2).
+#pragma once
+
+#include <string>
+
+namespace rca::interp {
+
+/// True for intrinsic *functions* usable in expressions (min, max, abs, ...).
+bool is_intrinsic_function(const std::string& name);
+
+}  // namespace rca::interp

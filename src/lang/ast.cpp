@@ -1,0 +1,124 @@
+#include "lang/ast.hpp"
+
+namespace rca::lang {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kPow: return "**";
+    case Op::kEq: return "==";
+    case Op::kNe: return "/=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kAnd: return ".and.";
+    case Op::kOr: return ".or.";
+    case Op::kNot: return ".not.";
+    case Op::kNeg: return "-";
+    case Op::kPlusSign: return "+";
+  }
+  return "?";
+}
+
+ExprPtr make_number(double v, bool is_int, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number = v;
+  e->is_int = is_int;
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_string(std::string s, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kString;
+  e->text = std::move(s);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_logical(bool v, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLogical;
+  e->bool_value = v;
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_ref(std::string name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRef;
+  RefSegment seg;
+  seg.name = std::move(name);
+  e->segments.push_back(std::move(seg));
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_binary(Op op, ExprPtr lhs, ExprPtr rhs, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_unary(Op op, ExprPtr operand, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = op;
+  e->rhs = std::move(operand);
+  e->line = line;
+  return e;
+}
+
+ExprPtr clone_expr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->line = e.line;
+  out->column = e.column;
+  out->number = e.number;
+  out->is_int = e.is_int;
+  out->bool_value = e.bool_value;
+  out->text = e.text;
+  out->op = e.op;
+  for (const auto& seg : e.segments) {
+    RefSegment s;
+    s.name = seg.name;
+    s.has_args = seg.has_args;
+    for (const auto& a : seg.args) s.args.push_back(clone_expr(*a));
+    out->segments.push_back(std::move(s));
+  }
+  if (e.lhs) out->lhs = clone_expr(*e.lhs);
+  if (e.rhs) out->rhs = clone_expr(*e.rhs);
+  return out;
+}
+
+const Subprogram* Module::find_subprogram(const std::string& n) const {
+  for (const auto& sp : subprograms) {
+    if (sp.name == n) return &sp;
+  }
+  return nullptr;
+}
+
+const DerivedTypeDef* Module::find_type(const std::string& n) const {
+  for (const auto& t : types) {
+    if (t.name == n) return &t;
+  }
+  return nullptr;
+}
+
+const VarDecl* Module::find_decl(const std::string& n) const {
+  for (const auto& d : decls) {
+    if (d.name == n) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace rca::lang

@@ -1,0 +1,231 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca::lang {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kNewline: return "<newline>";
+    case Tok::kIdentifier: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kString: return "string";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kComma: return ",";
+    case Tok::kColon: return ":";
+    case Tok::kDoubleColon: return "::";
+    case Tok::kPercent: return "%";
+    case Tok::kAssign: return "=";
+    case Tok::kArrow: return "=>";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kPower: return "**";
+    case Tok::kSlash: return "/";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "/=";
+    case Tok::kLt: return "<";
+    case Tok::kLe: return "<=";
+    case Tok::kGt: return ">";
+    case Tok::kGe: return ">=";
+    case Tok::kDotAnd: return ".and.";
+    case Tok::kDotOr: return ".or.";
+    case Tok::kDotNot: return ".not.";
+    case Tok::kDotTrue: return ".true.";
+    case Tok::kDotFalse: return ".false.";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string filename, std::string source)
+    : filename_(std::move(filename)), src_(std::move(source)) {}
+
+char Lexer::peek(int ahead) const {
+  std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  bool continuation = false;  // previous non-blank token was '&'
+  while (pos_ < src_.size()) {
+    char c = peek();
+    // Comments run to end of line.
+    if (c == '!') {
+      while (pos_ < src_.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+      continue;
+    }
+    if (c == '&') {
+      advance();
+      continuation = true;
+      continue;
+    }
+    if (c == '\n' || c == ';') {
+      advance();
+      if (continuation) continue;  // swallow the newline after '&'
+      if (!out.empty() && !out.back().is(Tok::kNewline)) {
+        Token t;
+        t.kind = Tok::kNewline;
+        t.line = line_ - (c == '\n' ? 1 : 0);
+        out.push_back(t);
+      }
+      continue;
+    }
+    continuation = false;
+    out.push_back(next());
+  }
+  if (out.empty() || !out.back().is(Tok::kNewline)) {
+    Token nl;
+    nl.kind = Tok::kNewline;
+    nl.line = line_;
+    out.push_back(nl);
+  }
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line_;
+  out.push_back(eof);
+  return out;
+}
+
+Token Lexer::next() {
+  Token t;
+  t.line = line_;
+  t.column = column_;
+  char c = advance();
+
+  auto simple = [&t](Tok k) {
+    t.kind = k;
+    return t;
+  };
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string ident(1, c);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      ident.push_back(advance());
+    }
+    t.kind = Tok::kIdentifier;
+    t.text = to_lower(ident);
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+    std::string num(1, c);
+    bool is_int = (c != '.');
+    while (std::isdigit(static_cast<unsigned char>(peek()))) num.push_back(advance());
+    // Decimal point, but not `1.and.`-style dotted operator.
+    if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+      is_int = false;
+      num.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) num.push_back(advance());
+    }
+    char e = peek();
+    if (e == 'e' || e == 'E' || e == 'd' || e == 'D') {
+      char sign = peek(1);
+      char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        is_int = false;
+        advance();           // exponent letter
+        num.push_back('e');  // normalize d/D exponents
+        if (sign == '+' || sign == '-') num.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek()))) num.push_back(advance());
+      }
+    }
+    // Kind suffix like 1.0_r8: consume and ignore.
+    if (peek() == '_') {
+      advance();
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+    }
+    t.kind = Tok::kNumber;
+    t.number = std::strtod(num.c_str(), nullptr);
+    t.is_int = is_int;
+    return t;
+  }
+
+  switch (c) {
+    case '(': return simple(Tok::kLParen);
+    case ')': return simple(Tok::kRParen);
+    case ',': return simple(Tok::kComma);
+    case '%': return simple(Tok::kPercent);
+    case '+': return simple(Tok::kPlus);
+    case '-': return simple(Tok::kMinus);
+    case '*': return simple(match('*') ? Tok::kPower : Tok::kStar);
+    case ':': return simple(match(':') ? Tok::kDoubleColon : Tok::kColon);
+    case '=':
+      if (match('=')) return simple(Tok::kEq);
+      if (match('>')) return simple(Tok::kArrow);
+      return simple(Tok::kAssign);
+    case '/': return simple(match('=') ? Tok::kNe : Tok::kSlash);
+    case '<': return simple(match('=') ? Tok::kLe : Tok::kLt);
+    case '>': return simple(match('=') ? Tok::kGe : Tok::kGt);
+    case '\'':
+    case '"': {
+      const char quote = c;
+      std::string text;
+      while (pos_ < src_.size() && peek() != quote && peek() != '\n') {
+        text.push_back(advance());
+      }
+      if (!match(quote)) {
+        throw ParseError("unterminated string literal", filename_, t.line, t.column);
+      }
+      t.kind = Tok::kString;
+      t.text = std::move(text);
+      return t;
+    }
+    case '.': {
+      // Dotted logical operator or constant: .and. .or. .not. .true. .false.
+      std::string word;
+      while (std::isalpha(static_cast<unsigned char>(peek()))) word.push_back(advance());
+      if (!match('.')) {
+        throw ParseError("malformed dotted operator '." + word + "'", filename_,
+                         t.line, t.column);
+      }
+      word = to_lower(word);
+      if (word == "and") return simple(Tok::kDotAnd);
+      if (word == "or") return simple(Tok::kDotOr);
+      if (word == "not") return simple(Tok::kDotNot);
+      if (word == "true") return simple(Tok::kDotTrue);
+      if (word == "false") return simple(Tok::kDotFalse);
+      if (word == "eq") return simple(Tok::kEq);
+      if (word == "ne") return simple(Tok::kNe);
+      if (word == "lt") return simple(Tok::kLt);
+      if (word == "le") return simple(Tok::kLe);
+      if (word == "gt") return simple(Tok::kGt);
+      if (word == "ge") return simple(Tok::kGe);
+      throw ParseError("unknown dotted operator '." + word + ".'", filename_,
+                       t.line, t.column);
+    }
+    default:
+      throw ParseError(std::string("unexpected character '") + c + "'",
+                       filename_, t.line, t.column);
+  }
+}
+
+}  // namespace rca::lang

@@ -1,0 +1,37 @@
+// Lexer for the Fortran subset: line-oriented, `!` comments, `&` continuation,
+// case-insensitive identifiers (normalized to lower case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace rca::lang {
+
+class Lexer {
+ public:
+  Lexer(std::string filename, std::string source);
+
+  /// Lex the whole buffer. Consecutive newlines are collapsed; a trailing
+  /// kNewline and kEof are always present. Throws rca::ParseError on bad
+  /// characters or unterminated strings.
+  std::vector<Token> lex_all();
+
+  const std::string& filename() const { return filename_; }
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_blanks_and_comments(std::vector<Token>& out);
+
+  std::string filename_;
+  std::string src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace rca::lang

@@ -1,0 +1,720 @@
+#include "lang/parser.hpp"
+
+#include <algorithm>
+
+#include "lang/lexer.hpp"
+#include "support/error.hpp"
+
+namespace rca::lang {
+
+Parser::Parser(std::string filename, std::string source)
+    : filename_(std::move(filename)) {
+  Lexer lexer(filename_, std::move(source));
+  tokens_ = lexer.lex_all();
+}
+
+const Token& Parser::peek(int ahead) const {
+  std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ < tokens_.size() - 1) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok k) {
+  if (!at(k)) return false;
+  advance();
+  return true;
+}
+
+bool Parser::accept_kw(const char* kw) {
+  if (!at_kw(kw)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok k, const char* context) {
+  if (!at(k)) {
+    fail(std::string("expected ") + tok_name(k) + " in " + context + ", got " +
+         tok_name(peek().kind) +
+         (peek().kind == Tok::kIdentifier ? " '" + peek().text + "'" : ""));
+  }
+  return advance();
+}
+
+void Parser::expect_kw(const char* kw, const char* context) {
+  if (!at_kw(kw)) {
+    fail(std::string("expected '") + kw + "' in " + context);
+  }
+  advance();
+}
+
+void Parser::expect_newline(const char* context) {
+  if (!at(Tok::kNewline) && !at(Tok::kEof)) {
+    fail(std::string("expected end of statement in ") + context + ", got " +
+         tok_name(peek().kind) +
+         (peek().kind == Tok::kIdentifier ? " '" + peek().text + "'" : ""));
+  }
+  if (at(Tok::kNewline)) advance();
+}
+
+void Parser::skip_newlines() {
+  while (at(Tok::kNewline)) advance();
+}
+
+void Parser::skip_to_newline() {
+  while (!at(Tok::kNewline) && !at(Tok::kEof)) advance();
+  if (at(Tok::kNewline)) advance();
+}
+
+void Parser::fail(const std::string& msg) const {
+  throw ParseError(msg, filename_, peek().line, peek().column);
+}
+
+// ---------------------------------------------------------------------------
+// Top level.
+// ---------------------------------------------------------------------------
+
+SourceFile Parser::parse_file() {
+  SourceFile file;
+  file.path = filename_;
+  skip_newlines();
+  while (!at(Tok::kEof)) {
+    if (!at_kw("module")) fail("expected 'module' at file scope");
+    file.modules.push_back(parse_module());
+    skip_newlines();
+  }
+  return file;
+}
+
+Module Parser::parse_module() {
+  Module mod;
+  mod.file = filename_;
+  mod.line = peek().line;
+  expect_kw("module", "module header");
+  mod.name = expect(Tok::kIdentifier, "module header").text;
+  expect_newline("module header");
+  skip_newlines();
+
+  // Specification part: use statements, implicit none, visibility lines,
+  // derived types, interfaces, variable declarations.
+  for (;;) {
+    skip_newlines();
+    if (at_kw("use")) {
+      mod.uses.push_back(parse_use());
+    } else if (at_kw("implicit")) {
+      skip_to_newline();
+    } else if (at_kw("public") || at_kw("private") || at_kw("save")) {
+      skip_to_newline();  // visibility/save attributes do not affect the graph
+    } else if (at_kw("interface")) {
+      mod.interfaces.push_back(parse_interface());
+    } else if (at_kw("type") && !peek(1).is(Tok::kLParen)) {
+      mod.types.push_back(parse_type_def());
+    } else if (at_decl_start()) {
+      parse_var_decls(&mod.decls);
+    } else {
+      break;
+    }
+  }
+
+  skip_newlines();
+  if (accept_kw("contains")) {
+    expect_newline("contains");
+    skip_newlines();
+    while (at_kw("subroutine") || at_kw("function") ||
+           ((at_kw("elemental") || at_kw("pure") || at_kw("recursive")) &&
+            (peek(1).is_kw("function") || peek(1).is_kw("subroutine") ||
+             peek(2).is_kw("function") || peek(2).is_kw("subroutine")))) {
+      mod.subprograms.push_back(parse_subprogram());
+      skip_newlines();
+    }
+  }
+
+  mod.end_line = peek().line;
+  expect_kw("end", "module end");
+  if (accept_kw("module")) {
+    if (at(Tok::kIdentifier)) advance();  // optional repeated module name
+  }
+  expect_newline("module end");
+  return mod;
+}
+
+UseStmt Parser::parse_use() {
+  UseStmt use;
+  use.line = peek().line;
+  expect_kw("use", "use statement");
+  use.module = expect(Tok::kIdentifier, "use statement").text;
+  if (accept(Tok::kComma)) {
+    expect_kw("only", "use statement");
+    expect(Tok::kColon, "use only list");
+    do {
+      UseStmt::Rename r;
+      r.local = expect(Tok::kIdentifier, "use only list").text;
+      r.remote = r.local;
+      if (accept(Tok::kArrow)) {
+        r.remote = expect(Tok::kIdentifier, "use rename").text;
+      }
+      use.renames.push_back(std::move(r));
+    } while (accept(Tok::kComma));
+    use.has_only = true;
+  }
+  expect_newline("use statement");
+  return use;
+}
+
+DerivedTypeDef Parser::parse_type_def() {
+  DerivedTypeDef def;
+  def.line = peek().line;
+  expect_kw("type", "type definition");
+  accept(Tok::kDoubleColon);
+  def.name = expect(Tok::kIdentifier, "type definition").text;
+  expect_newline("type definition");
+  skip_newlines();
+  while (!at_kw("end")) {
+    if (!at_decl_start()) fail("expected component declaration in type body");
+    parse_var_decls(&def.components);
+    skip_newlines();
+  }
+  expect_kw("end", "type end");
+  expect_kw("type", "type end");
+  if (at(Tok::kIdentifier)) advance();
+  expect_newline("type end");
+  return def;
+}
+
+bool Parser::at_decl_start() const {
+  if (!at(Tok::kIdentifier)) return false;
+  const std::string& t = peek().text;
+  if (t == "real" || t == "integer" || t == "logical" || t == "character") {
+    return true;
+  }
+  if (t == "type" && peek(1).is(Tok::kLParen)) return true;
+  return false;
+}
+
+void Parser::parse_var_decls(std::vector<VarDecl>* out) {
+  const int line = peek().line;
+  TypeSpec type;
+  const std::string& tname = expect(Tok::kIdentifier, "declaration").text;
+  if (tname == "real") {
+    type.kind = TypeKind::kReal;
+  } else if (tname == "integer") {
+    type.kind = TypeKind::kInteger;
+  } else if (tname == "logical") {
+    type.kind = TypeKind::kLogical;
+  } else if (tname == "character") {
+    type.kind = TypeKind::kCharacter;
+  } else if (tname == "type") {
+    type.kind = TypeKind::kDerived;
+  } else {
+    fail("unknown type name '" + tname + "'");
+  }
+
+  // Kind/length selector: real(r8), character(len=*), type(name).
+  if (accept(Tok::kLParen)) {
+    if (type.kind == TypeKind::kDerived) {
+      type.derived_name = expect(Tok::kIdentifier, "type() declaration").text;
+    } else {
+      // Swallow kind selector tokens: identifiers, '=', numbers, '*'.
+      int depth = 1;
+      while (depth > 0 && !at(Tok::kEof)) {
+        if (at(Tok::kLParen)) ++depth;
+        if (at(Tok::kRParen)) --depth;
+        if (depth > 0) advance();
+      }
+    }
+    expect(Tok::kRParen, "type selector");
+  }
+
+  bool is_parameter = false;
+  Intent intent = Intent::kNone;
+  std::vector<ExprPtr> shared_dims;  // from a dimension(...) attribute
+  while (accept(Tok::kComma)) {
+    const std::string& attr = expect(Tok::kIdentifier, "declaration attribute").text;
+    if (attr == "parameter") {
+      is_parameter = true;
+    } else if (attr == "intent") {
+      expect(Tok::kLParen, "intent attribute");
+      const std::string& dir = expect(Tok::kIdentifier, "intent attribute").text;
+      if (dir == "in") {
+        intent = Intent::kIn;
+      } else if (dir == "out") {
+        intent = Intent::kOut;
+      } else if (dir == "inout") {
+        intent = Intent::kInOut;
+      } else {
+        fail("bad intent '" + dir + "'");
+      }
+      expect(Tok::kRParen, "intent attribute");
+    } else if (attr == "dimension") {
+      expect(Tok::kLParen, "dimension attribute");
+      do {
+        if (at(Tok::kColon)) {  // deferred shape, treated as extent-unknown
+          advance();
+          shared_dims.push_back(make_number(0, true, line));
+        } else {
+          shared_dims.push_back(parse_expr());
+        }
+      } while (accept(Tok::kComma));
+      expect(Tok::kRParen, "dimension attribute");
+    } else if (attr == "public" || attr == "private" || attr == "save" ||
+               attr == "allocatable" || attr == "pointer" || attr == "target") {
+      // Storage/visibility attributes don't affect dependency structure;
+      // pointers are treated as normal variables (paper §4.2).
+    } else {
+      fail("unknown declaration attribute '" + attr + "'");
+    }
+  }
+  accept(Tok::kDoubleColon);  // tolerated as optional after attributes
+
+  do {
+    VarDecl d;
+    d.line = line;
+    d.type = type;
+    d.is_parameter = is_parameter;
+    d.intent = intent;
+    d.name = expect(Tok::kIdentifier, "declaration name").text;
+    if (accept(Tok::kLParen)) {
+      do {
+        if (at(Tok::kColon)) {
+          advance();
+          d.dims.push_back(make_number(0, true, line));
+        } else {
+          d.dims.push_back(parse_expr());
+        }
+      } while (accept(Tok::kComma));
+      expect(Tok::kRParen, "array spec");
+    }
+    if (d.dims.empty()) {
+      for (const auto& dim : shared_dims) d.dims.push_back(clone_expr(*dim));
+    }
+    if (accept(Tok::kAssign)) {
+      d.init = parse_expr();
+    }
+    out->push_back(std::move(d));
+  } while (accept(Tok::kComma));
+  expect_newline("declaration");
+}
+
+InterfaceBlock Parser::parse_interface() {
+  InterfaceBlock block;
+  block.line = peek().line;
+  expect_kw("interface", "interface block");
+  block.name = expect(Tok::kIdentifier, "interface block").text;
+  expect_newline("interface header");
+  skip_newlines();
+  while (at_kw("module")) {
+    advance();
+    expect_kw("procedure", "interface body");
+    do {
+      block.procedures.push_back(
+          expect(Tok::kIdentifier, "interface procedure").text);
+    } while (accept(Tok::kComma));
+    expect_newline("interface procedure list");
+    skip_newlines();
+  }
+  expect_kw("end", "interface end");
+  expect_kw("interface", "interface end");
+  if (at(Tok::kIdentifier)) advance();
+  expect_newline("interface end");
+  return block;
+}
+
+Subprogram Parser::parse_subprogram() {
+  Subprogram sp;
+  sp.line = peek().line;
+  // Swallow prefixes (elemental/pure/recursive) — semantics don't affect us.
+  while (at_kw("elemental") || at_kw("pure") || at_kw("recursive")) advance();
+
+  if (accept_kw("subroutine")) {
+    sp.kind = Subprogram::kSubroutine;
+  } else if (accept_kw("function")) {
+    sp.kind = Subprogram::kFunction;
+  } else {
+    fail("expected 'subroutine' or 'function'");
+  }
+  sp.name = expect(Tok::kIdentifier, "subprogram header").text;
+  if (accept(Tok::kLParen)) {
+    if (!at(Tok::kRParen)) {
+      do {
+        sp.params.push_back(expect(Tok::kIdentifier, "parameter list").text);
+      } while (accept(Tok::kComma));
+    }
+    expect(Tok::kRParen, "parameter list");
+  }
+  if (sp.kind == Subprogram::kFunction) {
+    sp.result_name = sp.name;
+    if (accept_kw("result")) {
+      expect(Tok::kLParen, "result clause");
+      sp.result_name = expect(Tok::kIdentifier, "result clause").text;
+      expect(Tok::kRParen, "result clause");
+    }
+  }
+  expect_newline("subprogram header");
+  skip_newlines();
+
+  for (;;) {
+    skip_newlines();
+    if (at_kw("use")) {
+      sp.uses.push_back(parse_use());
+    } else if (at_kw("implicit")) {
+      skip_to_newline();
+    } else if (at_decl_start()) {
+      parse_var_decls(&sp.decls);
+    } else {
+      break;
+    }
+  }
+
+  sp.body = parse_stmt_list({"end"});
+  sp.end_line = peek().line;
+  expect_kw("end", "subprogram end");
+  if (accept_kw("subroutine") || accept_kw("function")) {
+    if (at(Tok::kIdentifier)) advance();
+  }
+  expect_newline("subprogram end");
+  return sp;
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------------
+
+std::vector<StmtPtr> Parser::parse_stmt_list(
+    const std::vector<std::string>& terminators) {
+  std::vector<StmtPtr> stmts;
+  for (;;) {
+    skip_newlines();
+    if (at(Tok::kEof)) break;
+    bool terminated = false;
+    for (const auto& term : terminators) {
+      if (at_kw(term.c_str())) {
+        terminated = true;
+        break;
+      }
+    }
+    // `endif`/`enddo` single-word enders terminate `end`-style lists too.
+    if (!terminated &&
+        std::find(terminators.begin(), terminators.end(), "end") !=
+            terminators.end() &&
+        (at_kw("endif") || at_kw("enddo"))) {
+      terminated = true;
+    }
+    if (terminated) break;
+    stmts.push_back(parse_stmt());
+  }
+  return stmts;
+}
+
+StmtPtr Parser::parse_stmt() {
+  if (at_kw("if")) return parse_if();
+  if (at_kw("do")) return parse_do();
+  StmtPtr s = parse_simple_stmt();
+  expect_newline("statement");
+  return s;
+}
+
+StmtPtr Parser::parse_simple_stmt() {
+  auto s = std::make_unique<Stmt>();
+  s->line = peek().line;
+
+  if (accept_kw("return")) {
+    s->kind = StmtKind::kReturn;
+    return s;
+  }
+  if (accept_kw("exit")) {
+    s->kind = StmtKind::kExit;
+    return s;
+  }
+  if (accept_kw("cycle")) {
+    s->kind = StmtKind::kCycle;
+    return s;
+  }
+  if (accept_kw("call")) {
+    s->kind = StmtKind::kCall;
+    s->callee = expect(Tok::kIdentifier, "call statement").text;
+    if (accept(Tok::kLParen)) {
+      if (!at(Tok::kRParen)) {
+        do {
+          s->args.push_back(parse_expr());
+        } while (accept(Tok::kComma));
+      }
+      expect(Tok::kRParen, "call statement");
+    }
+    return s;
+  }
+
+  // Otherwise: assignment `ref = expr`.
+  if (!at(Tok::kIdentifier)) fail("expected a statement");
+  s->kind = StmtKind::kAssign;
+  s->lhs = parse_ref();
+  expect(Tok::kAssign, "assignment");
+  s->rhs = parse_expr();
+  return s;
+}
+
+StmtPtr Parser::parse_if() {
+  auto s = std::make_unique<Stmt>();
+  s->line = peek().line;
+  s->kind = StmtKind::kIf;
+  expect_kw("if", "if statement");
+  expect(Tok::kLParen, "if condition");
+  s->cond = parse_expr();
+  expect(Tok::kRParen, "if condition");
+
+  if (!accept_kw("then")) {
+    // Single-statement logical if: `if (cond) stmt`.
+    s->body.push_back(parse_simple_stmt());
+    expect_newline("if statement");
+    return s;
+  }
+  expect_newline("if-then");
+
+  s->body = parse_stmt_list({"else", "elseif", "end", "endif"});
+  for (;;) {
+    if (at_kw("elseif") ||
+        (at_kw("else") && peek(1).is_kw("if"))) {
+      if (accept_kw("elseif")) {
+        // single token form
+      } else {
+        advance();  // else
+        advance();  // if
+      }
+      ElseIf branch;
+      expect(Tok::kLParen, "elseif condition");
+      branch.cond = parse_expr();
+      expect(Tok::kRParen, "elseif condition");
+      expect_kw("then", "elseif");
+      expect_newline("elseif");
+      branch.body = parse_stmt_list({"else", "elseif", "end", "endif"});
+      s->elseifs.push_back(std::move(branch));
+      continue;
+    }
+    if (at_kw("else")) {
+      advance();
+      expect_newline("else");
+      s->else_body = parse_stmt_list({"end", "endif"});
+    }
+    break;
+  }
+  if (accept_kw("endif")) {
+    expect_newline("endif");
+  } else {
+    expect_kw("end", "end if");
+    expect_kw("if", "end if");
+    expect_newline("end if");
+  }
+  return s;
+}
+
+StmtPtr Parser::parse_do() {
+  auto s = std::make_unique<Stmt>();
+  s->line = peek().line;
+  expect_kw("do", "do statement");
+
+  if (accept_kw("while")) {
+    s->kind = StmtKind::kDoWhile;
+    expect(Tok::kLParen, "do while");
+    s->cond = parse_expr();
+    expect(Tok::kRParen, "do while");
+    expect_newline("do while");
+  } else {
+    s->kind = StmtKind::kDo;
+    s->do_var = expect(Tok::kIdentifier, "do variable").text;
+    expect(Tok::kAssign, "do bounds");
+    s->from = parse_expr();
+    expect(Tok::kComma, "do bounds");
+    s->to = parse_expr();
+    if (accept(Tok::kComma)) s->step = parse_expr();
+    expect_newline("do header");
+  }
+
+  s->body = parse_stmt_list({"end", "enddo"});
+  if (accept_kw("enddo")) {
+    expect_newline("enddo");
+  } else {
+    expect_kw("end", "end do");
+    expect_kw("do", "end do");
+    expect_newline("end do");
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing).
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expr() {
+  ExprPtr lhs = parse_and();
+  while (at(Tok::kDotOr)) {
+    int line = advance().line;
+    lhs = make_binary(Op::kOr, std::move(lhs), parse_and(), line);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_and() {
+  ExprPtr lhs = parse_not();
+  while (at(Tok::kDotAnd)) {
+    int line = advance().line;
+    lhs = make_binary(Op::kAnd, std::move(lhs), parse_not(), line);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_not() {
+  if (at(Tok::kDotNot)) {
+    int line = advance().line;
+    return make_unary(Op::kNot, parse_not(), line);
+  }
+  return parse_compare();
+}
+
+ExprPtr Parser::parse_compare() {
+  ExprPtr lhs = parse_additive();
+  for (;;) {
+    Op op;
+    switch (peek().kind) {
+      case Tok::kEq: op = Op::kEq; break;
+      case Tok::kNe: op = Op::kNe; break;
+      case Tok::kLt: op = Op::kLt; break;
+      case Tok::kLe: op = Op::kLe; break;
+      case Tok::kGt: op = Op::kGt; break;
+      case Tok::kGe: op = Op::kGe; break;
+      default: return lhs;
+    }
+    int line = advance().line;
+    lhs = make_binary(op, std::move(lhs), parse_additive(), line);
+  }
+}
+
+ExprPtr Parser::parse_additive() {
+  ExprPtr lhs = parse_term();
+  for (;;) {
+    if (at(Tok::kPlus)) {
+      int line = advance().line;
+      lhs = make_binary(Op::kAdd, std::move(lhs), parse_term(), line);
+    } else if (at(Tok::kMinus)) {
+      int line = advance().line;
+      lhs = make_binary(Op::kSub, std::move(lhs), parse_term(), line);
+    } else {
+      return lhs;
+    }
+  }
+}
+
+ExprPtr Parser::parse_term() {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    if (at(Tok::kStar)) {
+      int line = advance().line;
+      lhs = make_binary(Op::kMul, std::move(lhs), parse_unary(), line);
+    } else if (at(Tok::kSlash)) {
+      int line = advance().line;
+      lhs = make_binary(Op::kDiv, std::move(lhs), parse_unary(), line);
+    } else {
+      return lhs;
+    }
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  if (at(Tok::kMinus)) {
+    int line = advance().line;
+    return make_unary(Op::kNeg, parse_unary(), line);
+  }
+  if (at(Tok::kPlus)) {
+    int line = advance().line;
+    return make_unary(Op::kPlusSign, parse_unary(), line);
+  }
+  return parse_power();
+}
+
+ExprPtr Parser::parse_power() {
+  ExprPtr base = parse_primary();
+  if (at(Tok::kPower)) {
+    int line = advance().line;
+    // Right-associative; exponent may itself be a unary minus (a ** -b).
+    return make_binary(Op::kPow, std::move(base), parse_unary(), line);
+  }
+  return base;
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::kNumber: {
+      advance();
+      return make_number(t.number, t.is_int, t.line);
+    }
+    case Tok::kString: {
+      advance();
+      return make_string(t.text, t.line);
+    }
+    case Tok::kDotTrue:
+      advance();
+      return make_logical(true, t.line);
+    case Tok::kDotFalse:
+      advance();
+      return make_logical(false, t.line);
+    case Tok::kLParen: {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect(Tok::kRParen, "parenthesized expression");
+      return inner;
+    }
+    case Tok::kIdentifier:
+      return parse_ref();
+    default:
+      fail(std::string("expected expression, got ") + tok_name(t.kind));
+  }
+}
+
+ExprPtr Parser::parse_ref() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRef;
+  e->line = peek().line;
+  e->column = peek().column;
+  for (;;) {
+    RefSegment seg;
+    seg.name = expect(Tok::kIdentifier, "reference").text;
+    if (accept(Tok::kLParen)) {
+      seg.has_args = true;
+      seg.args = parse_arg_list();
+    }
+    e->segments.push_back(std::move(seg));
+    if (!accept(Tok::kPercent)) break;
+  }
+  return e;
+}
+
+std::vector<ExprPtr> Parser::parse_arg_list() {
+  std::vector<ExprPtr> args;
+  if (!at(Tok::kRParen)) {
+    do {
+      if (at(Tok::kColon)) {  // whole-dimension slice `a(:, k)`
+        int line = advance().line;
+        args.push_back(make_ref("__slice__", line));
+      } else {
+        args.push_back(parse_expr());
+      }
+    } while (accept(Tok::kComma));
+  }
+  expect(Tok::kRParen, "argument list");
+  return args;
+}
+
+bool Parser::at_end_of(const char* what) const {
+  return at_kw("end") && peek(1).is_kw(what);
+}
+
+ExprPtr Parser::parse_expression(const std::string& text) {
+  Parser p("<expr>", text);
+  ExprPtr e = p.parse_expr();
+  return e;
+}
+
+}  // namespace rca::lang

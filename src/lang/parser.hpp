@@ -1,0 +1,74 @@
+// Recursive-descent parser for the Fortran subset.
+//
+// Produces the lang::SourceFile AST. Keywords are contextual (Fortran has no
+// reserved words); the parser checks identifier text where the grammar
+// expects a keyword.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+
+namespace rca::lang {
+
+class Parser {
+ public:
+  /// Lexes and parses a whole source file. Throws rca::ParseError.
+  Parser(std::string filename, std::string source);
+
+  SourceFile parse_file();
+
+  /// Parse a standalone expression (used by tests and the bug injectors).
+  static ExprPtr parse_expression(const std::string& text);
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool at(Tok k) const { return peek().is(k); }
+  bool at_kw(const char* kw) const { return peek().is_kw(kw); }
+  bool accept(Tok k);
+  bool accept_kw(const char* kw);
+  const Token& expect(Tok k, const char* context);
+  void expect_kw(const char* kw, const char* context);
+  void expect_newline(const char* context);
+  void skip_newlines();
+  void skip_to_newline();
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  Module parse_module();
+  UseStmt parse_use();
+  DerivedTypeDef parse_type_def();
+  bool at_decl_start() const;
+  void parse_var_decls(std::vector<VarDecl>* out);
+  InterfaceBlock parse_interface();
+  Subprogram parse_subprogram();
+  std::vector<StmtPtr> parse_stmt_list(
+      const std::vector<std::string>& terminators);
+  StmtPtr parse_stmt();
+  StmtPtr parse_simple_stmt();  // assign/call/return/exit/cycle (no newline)
+  StmtPtr parse_if();
+  StmtPtr parse_do();
+
+  ExprPtr parse_expr();      // .or.
+  ExprPtr parse_and();       // .and.
+  ExprPtr parse_not();       // .not.
+  ExprPtr parse_compare();   // == /= < <= > >=
+  ExprPtr parse_additive();  // + -
+  ExprPtr parse_term();      // * /
+  ExprPtr parse_unary();     // prefix + -
+  ExprPtr parse_power();     // ** (right assoc)
+  ExprPtr parse_primary();
+  ExprPtr parse_ref();
+  std::vector<ExprPtr> parse_arg_list();  // after '('
+
+  /// True when the current token sequence looks like an `end <what>` line.
+  bool at_end_of(const char* what) const;
+
+  std::string filename_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rca::lang

@@ -1,0 +1,264 @@
+#include "lang/printer.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca::lang {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+std::string print_number(double v, bool is_int) {
+  if (is_int) return strfmt("%lld", static_cast<long long>(v));
+  // %.17g round-trips doubles; normalize exponent case.
+  std::string s = strfmt("%.17g", v);
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+int precedence(const Expr& e) {
+  if (e.kind == ExprKind::kBinary) {
+    switch (e.op) {
+      case Op::kOr: return 1;
+      case Op::kAnd: return 2;
+      case Op::kEq: case Op::kNe: case Op::kLt:
+      case Op::kLe: case Op::kGt: case Op::kGe: return 4;
+      case Op::kAdd: case Op::kSub: return 5;
+      case Op::kMul: case Op::kDiv: return 6;
+      case Op::kPow: return 8;
+      default: return 9;
+    }
+  }
+  if (e.kind == ExprKind::kUnary) {
+    return e.op == Op::kNot ? 3 : 7;
+  }
+  return 10;  // primaries never need parens
+}
+
+std::string print_child(const Expr& child, int parent_prec) {
+  std::string s = print_expr(child);
+  if (precedence(child) < parent_prec) return "(" + s + ")";
+  return s;
+}
+
+std::string print_ref(const Expr& e) {
+  std::string out;
+  for (size_t i = 0; i < e.segments.size(); ++i) {
+    const RefSegment& seg = e.segments[i];
+    if (i) out += "%";
+    out += seg.name;
+    if (seg.has_args) {
+      out += "(";
+      for (size_t j = 0; j < seg.args.size(); ++j) {
+        if (j) out += ", ";
+        const Expr& a = *seg.args[j];
+        if (a.is_ref() && a.segments.size() == 1 &&
+            a.segments[0].name == "__slice__") {
+          out += ":";
+        } else {
+          out += print_expr(a);
+        }
+      }
+      out += ")";
+    }
+  }
+  return out;
+}
+
+std::string print_type(const TypeSpec& t) {
+  switch (t.kind) {
+    case TypeKind::kReal: return "real";
+    case TypeKind::kInteger: return "integer";
+    case TypeKind::kLogical: return "logical";
+    case TypeKind::kCharacter: return "character(len=64)";
+    case TypeKind::kDerived: return "type(" + t.derived_name + ")";
+  }
+  return "real";
+}
+
+std::string print_decl(const VarDecl& d, int indent) {
+  std::string out = ind(indent) + print_type(d.type);
+  if (d.is_parameter) out += ", parameter";
+  switch (d.intent) {
+    case Intent::kIn: out += ", intent(in)"; break;
+    case Intent::kOut: out += ", intent(out)"; break;
+    case Intent::kInOut: out += ", intent(inout)"; break;
+    case Intent::kNone: break;
+  }
+  out += " :: " + d.name;
+  if (!d.dims.empty()) {
+    out += "(";
+    for (size_t i = 0; i < d.dims.size(); ++i) {
+      if (i) out += ", ";
+      out += print_expr(*d.dims[i]);
+    }
+    out += ")";
+  }
+  if (d.init) out += " = " + print_expr(*d.init);
+  out += "\n";
+  return out;
+}
+
+std::string print_use(const UseStmt& u, int indent) {
+  std::string out = ind(indent) + "use " + u.module;
+  if (u.has_only) {
+    out += ", only: ";
+    for (size_t i = 0; i < u.renames.size(); ++i) {
+      if (i) out += ", ";
+      out += u.renames[i].local;
+      if (u.renames[i].local != u.renames[i].remote) {
+        out += " => " + u.renames[i].remote;
+      }
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      return print_number(e.number, e.is_int);
+    case ExprKind::kString:
+      return "'" + e.text + "'";
+    case ExprKind::kLogical:
+      return e.bool_value ? ".true." : ".false.";
+    case ExprKind::kRef:
+      return print_ref(e);
+    case ExprKind::kUnary: {
+      std::string inner = print_child(*e.rhs, precedence(e) + 1);
+      if (e.op == Op::kNot) return ".not. " + inner;
+      if (e.op == Op::kNeg) return "-" + inner;
+      return "+" + inner;
+    }
+    case ExprKind::kBinary: {
+      const int prec = precedence(e);
+      // Left-assoc operators: right child needs parens at equal precedence.
+      std::string l = print_child(*e.lhs, prec);
+      std::string r = print_child(*e.rhs, e.op == Op::kPow ? prec : prec + 1);
+      return l + " " + op_name(e.op) + " " + r;
+    }
+  }
+  throw Error("unreachable expression kind");
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  std::string out;
+  switch (s.kind) {
+    case StmtKind::kAssign:
+      out = ind(indent) + print_expr(*s.lhs) + " = " + print_expr(*s.rhs) + "\n";
+      break;
+    case StmtKind::kCall: {
+      out = ind(indent) + "call " + s.callee + "(";
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i) out += ", ";
+        out += print_expr(*s.args[i]);
+      }
+      out += ")\n";
+      break;
+    }
+    case StmtKind::kIf: {
+      out = ind(indent) + "if (" + print_expr(*s.cond) + ") then\n";
+      for (const auto& st : s.body) out += print_stmt(*st, indent + 1);
+      for (const auto& ei : s.elseifs) {
+        out += ind(indent) + "else if (" + print_expr(*ei.cond) + ") then\n";
+        for (const auto& st : ei.body) out += print_stmt(*st, indent + 1);
+      }
+      if (!s.else_body.empty()) {
+        out += ind(indent) + "else\n";
+        for (const auto& st : s.else_body) out += print_stmt(*st, indent + 1);
+      }
+      out += ind(indent) + "end if\n";
+      break;
+    }
+    case StmtKind::kDo: {
+      out = ind(indent) + "do " + s.do_var + " = " + print_expr(*s.from) +
+            ", " + print_expr(*s.to);
+      if (s.step) out += ", " + print_expr(*s.step);
+      out += "\n";
+      for (const auto& st : s.body) out += print_stmt(*st, indent + 1);
+      out += ind(indent) + "end do\n";
+      break;
+    }
+    case StmtKind::kDoWhile: {
+      out = ind(indent) + "do while (" + print_expr(*s.cond) + ")\n";
+      for (const auto& st : s.body) out += print_stmt(*st, indent + 1);
+      out += ind(indent) + "end do\n";
+      break;
+    }
+    case StmtKind::kReturn:
+      out = ind(indent) + "return\n";
+      break;
+    case StmtKind::kExit:
+      out = ind(indent) + "exit\n";
+      break;
+    case StmtKind::kCycle:
+      out = ind(indent) + "cycle\n";
+      break;
+  }
+  return out;
+}
+
+std::string print_subprogram(const Subprogram& sp, int indent) {
+  std::string out = ind(indent);
+  out += sp.kind == Subprogram::kSubroutine ? "subroutine " : "function ";
+  out += sp.name + "(";
+  for (size_t i = 0; i < sp.params.size(); ++i) {
+    if (i) out += ", ";
+    out += sp.params[i];
+  }
+  out += ")";
+  if (sp.is_function() && sp.result_name != sp.name) {
+    out += " result(" + sp.result_name + ")";
+  }
+  out += "\n";
+  for (const auto& u : sp.uses) out += print_use(u, indent + 1);
+  for (const auto& d : sp.decls) out += print_decl(d, indent + 1);
+  for (const auto& st : sp.body) out += print_stmt(*st, indent + 1);
+  out += ind(indent);
+  out += sp.kind == Subprogram::kSubroutine ? "end subroutine " : "end function ";
+  out += sp.name + "\n";
+  return out;
+}
+
+std::string print_module(const Module& mod) {
+  std::string out = "module " + mod.name + "\n";
+  for (const auto& u : mod.uses) out += print_use(u, 1);
+  out += "  implicit none\n";
+  for (const auto& t : mod.types) {
+    out += "  type " + t.name + "\n";
+    for (const auto& c : t.components) out += print_decl(c, 2);
+    out += "  end type " + t.name + "\n";
+  }
+  for (const auto& i : mod.interfaces) {
+    out += "  interface " + i.name + "\n";
+    out += "    module procedure " + join(i.procedures, ", ") + "\n";
+    out += "  end interface\n";
+  }
+  for (const auto& d : mod.decls) out += print_decl(d, 1);
+  if (!mod.subprograms.empty()) {
+    out += "contains\n";
+    for (const auto& sp : mod.subprograms) out += print_subprogram(sp, 1);
+  }
+  out += "end module " + mod.name + "\n";
+  return out;
+}
+
+std::string print_source_file(const SourceFile& file) {
+  std::string out;
+  for (const auto& mod : file.modules) {
+    out += print_module(mod);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rca::lang

@@ -1,0 +1,21 @@
+// AST pretty-printer: regenerates Fortran-subset source text.
+//
+// The bug injectors (src/model) mutate ASTs and re-emit source through this
+// printer, so an "experiment" is a literal source-level change — the same
+// thing the paper injects into CESM — which then flows through parsing,
+// graph construction and interpretation like any other code.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace rca::lang {
+
+std::string print_expr(const Expr& e);
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_subprogram(const Subprogram& sp, int indent = 0);
+std::string print_module(const Module& mod);
+std::string print_source_file(const SourceFile& file);
+
+}  // namespace rca::lang

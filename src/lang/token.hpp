@@ -1,0 +1,66 @@
+// Token definitions for the Fortran-subset frontend.
+//
+// The subset ("FS", Fortran-subset) covers the constructs the paper's
+// AST-to-digraph rules must handle: modules, use/only/rename, derived types,
+// subroutines/functions/interfaces, assignments, calls, intrinsics, arrays,
+// do/if control flow, and `call outfld(...)` I/O statements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rca::lang {
+
+enum class Tok {
+  kEof,
+  kNewline,     // statement separator (also ';')
+  kIdentifier,  // normalized to lower case
+  kNumber,      // integer or real literal, value in `number`
+  kString,      // quoted literal, unquoted text in `text`
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kDoubleColon,
+  kPercent,
+  kAssign,     // =
+  kArrow,      // =>
+  kPlus,
+  kMinus,
+  kStar,
+  kPower,      // **
+  kSlash,
+  kEq,         // ==
+  kNe,         // /=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kDotAnd,     // .and.
+  kDotOr,      // .or.
+  kDotNot,     // .not.
+  kDotTrue,    // .true.
+  kDotFalse,   // .false.
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;    // identifier/string payload (identifiers lower-cased)
+  double number = 0.0; // numeric payload for kNumber
+  bool is_int = false; // literal had no decimal point/exponent
+  int line = 0;        // 1-based
+  int column = 0;      // 1-based
+
+  bool is(Tok k) const { return kind == k; }
+  /// True for an identifier token equal to `kw` (keywords are contextual in
+  /// Fortran; the parser checks them where grammar expects them).
+  bool is_kw(const char* kw) const {
+    return kind == Tok::kIdentifier && text == kw;
+  }
+};
+
+const char* tok_name(Tok t);
+
+}  // namespace rca::lang

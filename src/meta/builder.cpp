@@ -1,0 +1,394 @@
+#include "meta/builder.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "interp/intrinsics.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca::meta {
+
+using graph::NodeId;
+using lang::Expr;
+using lang::ExprKind;
+using lang::Intent;
+using lang::Module;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Subprogram;
+using lang::VarDecl;
+
+namespace {
+
+/// One candidate procedure a name may refer to.
+struct ProcRef {
+  const Module* module = nullptr;
+  const Subprogram* sp = nullptr;
+};
+
+/// Static symbol tables built in pass 1.
+struct SymbolTables {
+  struct ModuleSyms {
+    const Module* ast = nullptr;
+    // Local name -> candidate procedures (own subprograms, own interfaces,
+    // imported subprograms/interfaces).
+    std::unordered_map<std::string, std::vector<ProcRef>> procs;
+    // Local name -> (owning module, remote name) for module variables
+    // (own and imported; own map to themselves).
+    std::unordered_map<std::string, std::pair<const Module*, std::string>>
+        vars;
+  };
+  std::unordered_map<std::string, ModuleSyms> modules;
+};
+
+SymbolTables build_symbol_tables(const std::vector<const Module*>& modules,
+                                 const BuilderOptions& opts) {
+  SymbolTables tables;
+  auto keep_sub = [&opts](const Module* m, const Subprogram& sp) {
+    return !opts.subprogram_filter || opts.subprogram_filter(m->name, sp.name);
+  };
+  // Own entities first.
+  for (const Module* m : modules) {
+    auto& syms = tables.modules[m->name];
+    syms.ast = m;
+    for (const auto& sp : m->subprograms) {
+      if (!keep_sub(m, sp)) continue;
+      syms.procs[sp.name].push_back(ProcRef{m, &sp});
+    }
+    for (const auto& d : m->decls) {
+      syms.vars[d.name] = {m, d.name};
+    }
+  }
+  // Interfaces expand to all their procedures (conservative mapping).
+  for (const Module* m : modules) {
+    auto& syms = tables.modules[m->name];
+    for (const auto& iface : m->interfaces) {
+      for (const auto& proc : iface.procedures) {
+        auto it = syms.procs.find(proc);
+        if (it == syms.procs.end()) continue;  // tolerated: dangling interface
+        auto& vec = syms.procs[iface.name];
+        vec.insert(vec.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+  // Use-imports (direct only; chained use is not followed).
+  for (const Module* m : modules) {
+    auto& syms = tables.modules[m->name];
+    auto process_use = [&tables, &syms](const lang::UseStmt& use) {
+      auto sit = tables.modules.find(use.module);
+      if (sit == tables.modules.end()) return;  // unresolved module: skip
+      const auto& src = sit->second;
+      auto import_one = [&](const std::string& local,
+                            const std::string& remote) {
+        auto pit = src.procs.find(remote);
+        if (pit != src.procs.end()) {
+          auto& vec = syms.procs[local];
+          vec.insert(vec.end(), pit->second.begin(), pit->second.end());
+        }
+        auto vit = src.vars.find(remote);
+        if (vit != src.vars.end()) {
+          syms.vars.emplace(local, vit->second);
+        }
+      };
+      if (use.has_only) {
+        for (const auto& r : use.renames) import_one(r.local, r.remote);
+      } else {
+        for (const auto& [name, _] : src.procs) import_one(name, name);
+        for (const auto& [name, _] : src.vars) import_one(name, name);
+      }
+    };
+    for (const auto& use : m->uses) process_use(use);
+    for (const auto& sp : m->subprograms) {
+      for (const auto& use : sp.uses) process_use(use);
+    }
+  }
+  return tables;
+}
+
+class Builder {
+ public:
+  Builder(const std::vector<const Module*>& modules,
+          const BuilderOptions& opts)
+      : opts_(opts), tables_(build_symbol_tables(filter_modules(modules, opts),
+                                                 opts)) {
+    for (const Module* m : filter_modules(modules, opts)) build_module(*m);
+  }
+
+  static std::vector<const Module*> filter_modules(
+      const std::vector<const Module*>& modules, const BuilderOptions& opts) {
+    if (!opts.module_filter) return modules;
+    std::vector<const Module*> kept;
+    for (const Module* m : modules) {
+      if (opts.module_filter(m->name)) kept.push_back(m);
+    }
+    return kept;
+  }
+
+  Metagraph take() { return std::move(mg_); }
+
+ private:
+  struct Scope {
+    const Module* mod = nullptr;
+    const Subprogram* sub = nullptr;  // null at module level
+    // Names declared in the current subprogram (locals + dummies + result).
+    std::unordered_set<std::string> locals;
+  };
+
+  void build_module(const Module& m) {
+    for (const auto& sp : m.subprograms) {
+      if (opts_.subprogram_filter && !opts_.subprogram_filter(m.name, sp.name)) {
+        continue;  // unexecuted subprogram "commented out" by coverage
+      }
+      Scope scope;
+      scope.mod = &m;
+      scope.sub = &sp;
+      for (const auto& p : sp.params) scope.locals.insert(p);
+      for (const auto& d : sp.decls) scope.locals.insert(d.name);
+      if (sp.is_function()) scope.locals.insert(sp.result_name);
+      for (const auto& st : sp.body) walk_stmt(*st, scope);
+    }
+  }
+
+  void walk_stmt(const Stmt& s, Scope& scope) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        ++mg_.assignments_processed;
+        try {
+          process_assignment(s, scope);
+        } catch (const Error&) {
+          ++mg_.assignments_failed;
+        }
+        break;
+      case StmtKind::kCall:
+        ++mg_.calls_processed;
+        try {
+          process_call(s, scope);
+        } catch (const Error&) {
+          ++mg_.assignments_failed;
+        }
+        break;
+      case StmtKind::kIf:
+        for (const auto& st : s.body) walk_stmt(*st, scope);
+        for (const auto& ei : s.elseifs) {
+          for (const auto& st : ei.body) walk_stmt(*st, scope);
+        }
+        for (const auto& st : s.else_body) walk_stmt(*st, scope);
+        break;
+      case StmtKind::kDo:
+      case StmtKind::kDoWhile:
+        for (const auto& st : s.body) walk_stmt(*st, scope);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void process_assignment(const Stmt& s, Scope& scope) {
+    const NodeId target = node_for_ref(*s.lhs, scope);
+    std::vector<NodeId> sources;
+    expr_sources(*s.rhs, scope, &sources);
+    for (NodeId src : sources) {
+      if (src != target) mg_.graph().add_edge(src, target);
+    }
+  }
+
+  void process_call(const Stmt& s, Scope& scope) {
+    // Builtins with special graph semantics.
+    if (s.callee == "outfld") {
+      if (s.args.size() == 2 && s.args[0]->kind == ExprKind::kString &&
+          s.args[1]->is_ref()) {
+        const NodeId var = node_for_ref(*s.args[1], scope);
+        mg_.add_io_mapping(to_lower(s.args[0]->text), var);
+      }
+      return;
+    }
+    if (s.callee == "shr_rand_uniform") {
+      // PRNG call site: a localized pseudo-source feeding the argument —
+      // the RAND-MT experiment's "bug location" markers.
+      if (s.args.size() == 1 && s.args[0]->is_ref()) {
+        const NodeId site = mg_.intern(
+            scope.mod->name, scope.sub ? scope.sub->name : "",
+            strfmt("shr_rand_uniform_%d", s.line), s.line,
+            /*is_intrinsic=*/false, /*is_prng_site=*/true);
+        const NodeId var = node_for_ref(*s.args[0], scope);
+        mg_.graph().add_edge(site, var);
+      }
+      return;
+    }
+
+    const std::vector<ProcRef>* cands = lookup_procs(scope, s.callee);
+    if (!cands) {
+      throw Error("unresolved subroutine '" + s.callee + "'");
+    }
+    for (const ProcRef& cand : *cands) {
+      if (cand.sp->params.size() != s.args.size()) continue;
+      bind_arguments(*cand.module, *cand.sp, s.args, scope);
+    }
+  }
+
+  /// Maps actual arguments to dummy-argument nodes, honoring declared intent
+  /// (paper: successively map outputs of lower levels to inputs above).
+  void bind_arguments(const Module& home, const Subprogram& sp,
+                      const std::vector<lang::ExprPtr>& args, Scope& scope) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& param = sp.params[i];
+      const NodeId dummy = mg_.intern(home.name, sp.name, param,
+                                      sp.line);
+      Intent intent = Intent::kNone;
+      if (opts_.use_intent_info) {
+        for (const auto& d : sp.decls) {
+          if (d.name == param) {
+            intent = d.intent;
+            break;
+          }
+        }
+      }
+      const bool flows_in = intent != Intent::kOut;
+      const bool flows_out = intent != Intent::kIn;
+      if (flows_in) {
+        std::vector<NodeId> sources;
+        expr_sources(*args[i], scope, &sources);
+        for (NodeId src : sources) {
+          if (src != dummy) mg_.graph().add_edge(src, dummy);
+        }
+      }
+      if (flows_out && args[i]->is_ref()) {
+        // Writable actual: the dummy's final value flows back.
+        try {
+          const NodeId actual = node_for_ref(*args[i], scope);
+          if (actual != dummy) mg_.graph().add_edge(dummy, actual);
+        } catch (const Error&) {
+          // Expression actuals (function results etc.) have no write-back.
+        }
+      }
+    }
+  }
+
+  /// Collects the nodes whose values flow into `e` (paper: the expression's
+  /// RHS variables, arrays, and function/subroutine-argument outputs).
+  void expr_sources(const Expr& e, Scope& scope, std::vector<NodeId>* out) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+      case ExprKind::kString:
+      case ExprKind::kLogical:
+        return;
+      case ExprKind::kUnary:
+        expr_sources(*e.rhs, scope, out);
+        return;
+      case ExprKind::kBinary:
+        expr_sources(*e.lhs, scope, out);
+        expr_sources(*e.rhs, scope, out);
+        return;
+      case ExprKind::kRef:
+        break;
+    }
+
+    const lang::RefSegment& head = e.segments.front();
+    if (e.segments.size() > 1 || !head.has_args) {
+      // Plain variable, array element (atomic: indices ignored), or
+      // derived-type chain.
+      if (is_slice_ref(e)) return;  // bare ':' markers contribute nothing
+      out->push_back(node_for_ref(e, scope));
+      return;
+    }
+
+    // Single segment with arguments: variable-with-subscripts, function
+    // call, or intrinsic — disambiguated against the declaration tables and
+    // the global function hash table, in that order (locals shadow
+    // functions).
+    if (is_declared_var(scope, head.name)) {
+      out->push_back(node_for_ref(e, scope));
+      return;
+    }
+    const std::vector<ProcRef>* cands = lookup_procs(scope, head.name);
+    if (cands) {
+      for (const ProcRef& cand : *cands) {
+        if (!cand.sp->is_function()) continue;
+        if (cand.sp->params.size() != head.args.size()) continue;
+        bind_arguments(*cand.module, *cand.sp, head.args, scope);
+        out->push_back(mg_.intern(cand.module->name, cand.sp->name,
+                                  cand.sp->result_name, cand.sp->line));
+      }
+      return;
+    }
+    if (interp::is_intrinsic_function(head.name)) {
+      // Localized intrinsic pseudo-node: inputs -> site -> consumer.
+      const NodeId site = mg_.intern(
+          scope.mod->name, scope.sub ? scope.sub->name : "",
+          strfmt("%s_%d", head.name.c_str(), e.line), e.line,
+          /*is_intrinsic=*/true);
+      for (const auto& arg : head.args) {
+        std::vector<NodeId> inputs;
+        expr_sources(*arg, scope, &inputs);
+        for (NodeId in : inputs) {
+          if (in != site) mg_.graph().add_edge(in, site);
+        }
+      }
+      out->push_back(site);
+      return;
+    }
+    // Unknown name(...): assume an undeclared array (static fallback).
+    out->push_back(node_for_ref(e, scope));
+  }
+
+  bool is_slice_ref(const Expr& e) const {
+    return e.segments.size() == 1 && e.segments[0].name == "__slice__";
+  }
+
+  bool is_declared_var(const Scope& scope, const std::string& name) const {
+    if (scope.locals.count(name)) return true;
+    const auto& syms = tables_.modules.at(scope.mod->name);
+    return syms.vars.count(name) != 0;
+  }
+
+  const std::vector<ProcRef>* lookup_procs(const Scope& scope,
+                                           const std::string& name) const {
+    const auto& syms = tables_.modules.at(scope.mod->name);
+    auto it = syms.procs.find(name);
+    return it == syms.procs.end() ? nullptr : &it->second;
+  }
+
+  /// Node for a reference chain: resolves the base name's owning scope and
+  /// interns (module, scope, canonical-name).
+  NodeId node_for_ref(const Expr& e, Scope& scope) {
+    RCA_CHECK_MSG(e.is_ref(), "node_for_ref on non-reference");
+    const std::string& base = e.base_name();
+    const std::string& canonical = e.canonical_name();
+    if (canonical == "__slice__") throw Error("slice marker is not a variable");
+
+    if (scope.sub && scope.locals.count(base)) {
+      return mg_.intern(scope.mod->name, scope.sub->name, canonical, e.line);
+    }
+    const auto& syms = tables_.modules.at(scope.mod->name);
+    auto vit = syms.vars.find(base);
+    if (vit != syms.vars.end()) {
+      // Module-level variable: lives with its owning module, no subprogram
+      // scope. Derived chains canonicalize to the final component (the
+      // component is one storage location regardless of assigning site).
+      const Module* owner = vit->second.first;
+      const std::string& remote = vit->second.second;
+      const std::string& canon =
+          (e.segments.size() > 1) ? canonical : remote;
+      return mg_.intern(owner->name, "", canon, e.line);
+    }
+    // Unresolved: keep it local to the current scope (static fallback —
+    // counted as a node so the slice stays sound).
+    return mg_.intern(scope.mod->name, scope.sub ? scope.sub->name : "",
+                      canonical, e.line);
+  }
+
+  BuilderOptions opts_;
+  SymbolTables tables_;
+  Metagraph mg_;
+};
+
+}  // namespace
+
+Metagraph build_metagraph(const std::vector<const Module*>& modules,
+                          const BuilderOptions& opts) {
+  Builder builder(modules, opts);
+  return builder.take();
+}
+
+}  // namespace rca::meta

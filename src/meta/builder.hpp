@@ -1,0 +1,47 @@
+// Metagraph builder: converts parsed modules into the variable-dependency
+// digraph using the paper's §4 rules.
+//
+// Two passes, as the paper requires: pass 1 reads every file and builds the
+// global hash tables of subprogram names (needed to tell function calls from
+// array references) and per-module use-maps; pass 2 walks every assignment
+// and call statement, adding nodes and edges.
+//
+// Conservative static choices (all from §4):
+//   * interface calls map to ALL candidate procedures;
+//   * arrays are atomic — subscripts are ignored;
+//   * pointers are ordinary variables;
+//   * chained use statements are not followed (direct imports only);
+//   * derived-type chains canonicalize to their final component;
+//   * intrinsics are localized per call site;
+//   * control flow (if/do) contributes no edges — paths may therefore be
+//     infeasible at runtime, which is what the dynamic phase prunes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "meta/metagraph.hpp"
+
+namespace rca::meta {
+
+struct BuilderOptions {
+  /// Dummy-argument edges honor intent(in)/intent(out) when declared;
+  /// unspecified intent maps both directions. Disable to treat every dummy
+  /// as inout (strictly more conservative).
+  bool use_intent_info = true;
+
+  /// Coverage predicates (hybrid slicing): modules/subprograms rejected here
+  /// are excluded from both the symbol tables and the statement walk, like
+  /// the paper's codecov-driven pruning. Null means keep everything.
+  std::function<bool(const std::string& module)> module_filter;
+  std::function<bool(const std::string& module, const std::string& sub)>
+      subprogram_filter;
+};
+
+/// Builds the metagraph for a corpus. Module pointers must stay valid while
+/// the returned Metagraph is used (node metadata references their names).
+Metagraph build_metagraph(const std::vector<const lang::Module*>& modules,
+                          const BuilderOptions& opts = {});
+
+}  // namespace rca::meta

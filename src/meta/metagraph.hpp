@@ -1,0 +1,102 @@
+// Metagraph: the CESM-style variable-dependency digraph plus metadata
+// (paper §4). Nodes are variables appearing in assignment statements; a
+// directed edge u -> v means "u's value flows into v" through an assignment,
+// a call-argument binding, or an intrinsic application.
+//
+// Node identity follows the paper:
+//   * canonical name — the variable name before digraph entry; for derived
+//     types the final component (state%omega -> "omega");
+//   * unique name — canonical name suffixed with the containing scope
+//     ("dum__micro_mg_tend"), further disambiguated by module if needed;
+//   * metadata — module, subprogram, first line seen;
+//   * intrinsics are localized per call site ("min_100__modname") to avoid
+//     spurious highly connected nodes.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "interp/interpreter.hpp"
+#include "lang/ast.hpp"
+
+namespace rca::meta {
+
+struct NodeInfo {
+  std::string unique_name;
+  std::string canonical_name;
+  std::string module;
+  std::string subprogram;  // empty for module-level variables
+  int line = 0;            // first sighting
+  bool is_intrinsic = false;
+  bool is_prng_site = false;  // pseudo-node for a PRNG call site
+};
+
+class Metagraph {
+ public:
+  const graph::Digraph& graph() const { return graph_; }
+  graph::Digraph& graph() { return graph_; }
+
+  std::size_t node_count() const { return info_.size(); }
+  const NodeInfo& info(graph::NodeId v) const { return info_[v]; }
+  const std::vector<NodeInfo>& all_info() const { return info_; }
+
+  /// Find or create a node; returns its id. Uniqueness is on
+  /// (module, subprogram, canonical_name).
+  graph::NodeId intern(const std::string& module, const std::string& subprogram,
+                       const std::string& canonical, int line,
+                       bool is_intrinsic = false, bool is_prng_site = false);
+
+  /// Lookup without creation; returns kInvalidNode when absent.
+  graph::NodeId find(const std::string& module, const std::string& subprogram,
+                     const std::string& canonical) const;
+
+  /// All nodes whose canonical name matches (the slicer's target resolution).
+  std::vector<graph::NodeId> by_canonical(const std::string& canonical) const;
+
+  /// All nodes belonging to one module.
+  std::vector<graph::NodeId> by_module(const std::string& module) const;
+
+  /// Distinct module names, in first-seen order.
+  const std::vector<std::string>& modules() const { return module_order_; }
+
+  /// Dense per-node module class ids (for quotient_graph) and the class
+  /// count; class ids follow modules() order.
+  std::vector<graph::NodeId> module_classes() const;
+
+  /// Watch key for runtime sampling of this node.
+  interp::WatchKey watch_key(graph::NodeId v) const;
+
+  /// Map: output label written via `call outfld('LABEL', var)` (lower-cased)
+  /// -> internal variable nodes passed at any call site. This is the paper's
+  /// instrumented I/O-name mapping (§5.1).
+  const std::unordered_map<std::string, std::vector<graph::NodeId>>& io_map()
+      const {
+    return io_map_;
+  }
+  void add_io_mapping(const std::string& label, graph::NodeId node);
+
+  // Build statistics (paper reports all but 10 of ~660k lines parsed).
+  std::size_t assignments_processed = 0;
+  std::size_t assignments_failed = 0;
+  std::size_t calls_processed = 0;
+
+ private:
+  static std::string scope_key(const std::string& module,
+                               const std::string& subprogram,
+                               const std::string& canonical) {
+    return module + "\x1f" + subprogram + "\x1f" + canonical;
+  }
+
+  graph::Digraph graph_;
+  std::vector<NodeInfo> info_;
+  std::unordered_map<std::string, graph::NodeId> by_scope_key_;
+  std::unordered_map<std::string, std::vector<graph::NodeId>> by_canonical_;
+  std::unordered_map<std::string, std::vector<graph::NodeId>> by_module_;
+  std::vector<std::string> module_order_;
+  std::unordered_map<std::string, std::vector<graph::NodeId>> io_map_;
+  std::unordered_map<std::string, int> unique_name_uses_;
+};
+
+}  // namespace rca::meta

@@ -1,0 +1,115 @@
+#include "meta/serialize.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca::meta {
+
+using graph::NodeId;
+
+void save_metagraph(const Metagraph& mg, std::ostream& out) {
+  out << "rca-metagraph 1\n";
+  out << "# nodes " << mg.node_count() << ", edges "
+      << mg.graph().edge_count() << "\n";
+  for (NodeId v = 0; v < mg.node_count(); ++v) {
+    const NodeInfo& info = mg.info(v);
+    out << "node\t" << v << '\t' << info.canonical_name << '\t' << info.module
+        << '\t' << (info.subprogram.empty() ? "-" : info.subprogram) << '\t'
+        << info.line << '\t';
+    std::string flags;
+    if (info.is_intrinsic) flags += 'i';
+    if (info.is_prng_site) flags += 'p';
+    out << (flags.empty() ? "-" : flags) << '\n';
+  }
+  for (const auto& [u, v] : mg.graph().edges()) {
+    out << "edge\t" << u << '\t' << v << '\n';
+  }
+  for (const auto& [label, nodes] : mg.io_map()) {
+    out << "io\t" << label;
+    for (NodeId v : nodes) out << '\t' << v;
+    out << '\n';
+  }
+}
+
+std::string save_metagraph_to_string(const Metagraph& mg) {
+  std::ostringstream os;
+  save_metagraph(mg, os);
+  return os.str();
+}
+
+Metagraph load_metagraph(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || trim(line) != "rca-metagraph 1") {
+    throw Error("load_metagraph: bad magic line");
+  }
+  Metagraph mg;
+  // Buffered edges/io resolved after all nodes exist.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::pair<std::string, std::vector<NodeId>>> io;
+  NodeId expected_id = 0;
+
+  while (std::getline(in, line)) {
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const std::vector<std::string> fields = split(std::string(sv), '\t');
+    const std::string& kind = fields[0];
+    if (kind == "node") {
+      if (fields.size() != 7) throw Error("load_metagraph: bad node line");
+      const NodeId id = static_cast<NodeId>(std::stoul(fields[1]));
+      if (id != expected_id++) {
+        throw Error("load_metagraph: node ids must be dense and ordered");
+      }
+      const std::string& canonical = fields[2];
+      const std::string& module = fields[3];
+      const std::string subprogram = fields[4] == "-" ? "" : fields[4];
+      const int decl_line = std::stoi(fields[5]);
+      const bool is_intrinsic = fields[6].find('i') != std::string::npos;
+      const bool is_prng = fields[6].find('p') != std::string::npos;
+      const NodeId got = mg.intern(module, subprogram, canonical, decl_line,
+                                   is_intrinsic, is_prng);
+      if (got != id) {
+        throw Error("load_metagraph: duplicate node identity for id " +
+                    fields[1]);
+      }
+    } else if (kind == "edge") {
+      if (fields.size() != 3) throw Error("load_metagraph: bad edge line");
+      edges.emplace_back(static_cast<NodeId>(std::stoul(fields[1])),
+                         static_cast<NodeId>(std::stoul(fields[2])));
+    } else if (kind == "io") {
+      if (fields.size() < 2) throw Error("load_metagraph: bad io line");
+      std::vector<NodeId> nodes;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        nodes.push_back(static_cast<NodeId>(std::stoul(fields[i])));
+      }
+      io.emplace_back(fields[1], std::move(nodes));
+    } else {
+      throw Error("load_metagraph: unknown record '" + kind + "'");
+    }
+  }
+
+  for (const auto& [u, v] : edges) {
+    if (u >= mg.node_count() || v >= mg.node_count()) {
+      throw Error("load_metagraph: edge references unknown node");
+    }
+    mg.graph().add_edge(u, v);
+  }
+  for (const auto& [label, nodes] : io) {
+    for (NodeId v : nodes) {
+      if (v >= mg.node_count()) {
+        throw Error("load_metagraph: io map references unknown node");
+      }
+      mg.add_io_mapping(label, v);
+    }
+  }
+  return mg;
+}
+
+Metagraph load_metagraph_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_metagraph(is);
+}
+
+}  // namespace rca::meta

@@ -1,0 +1,30 @@
+// Metagraph (de)serialization: a stable line-oriented text format so the
+// expensive parse-and-build step can be cached, shared between tools, or
+// inspected with standard text utilities — the workflow role of the paper's
+// pickled NetworkX metagraph.
+//
+// Format (tab-separated, '#' comments):
+//   rca-metagraph 1
+//   node <id> <canonical> <module> <subprogram|-> <line> <flags>
+//   edge <u> <v>
+//   io <label> <node-id>...
+// Flags: i = localized intrinsic site, p = PRNG call site, - = none.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "meta/metagraph.hpp"
+
+namespace rca::meta {
+
+/// Writes `mg` to `out`. Node ids are the in-memory ids.
+void save_metagraph(const Metagraph& mg, std::ostream& out);
+std::string save_metagraph_to_string(const Metagraph& mg);
+
+/// Reads a metagraph previously written by save_metagraph.
+/// Throws rca::Error on malformed input (bad magic, dangling ids, ...).
+Metagraph load_metagraph(std::istream& in);
+Metagraph load_metagraph_from_string(const std::string& text);
+
+}  // namespace rca::meta

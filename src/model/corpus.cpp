@@ -1,0 +1,88 @@
+// Corpus assembly: hand-written CAM core + generated aux modules + driver.
+#include "model/corpus.hpp"
+
+#include "model/corpus_internal.hpp"
+#include "support/strings.hpp"
+
+namespace rca::model {
+
+bool is_cam_module(const std::string& module_name) {
+  // Non-CAM: the land component, land-side aux modules, and shared
+  // infrastructure ("csm_share" in CESM terms).
+  if (module_name == "lnd_soil") return false;
+  if (starts_with(module_name, "aux_lnd_")) return false;
+  if (starts_with(module_name, "shr_")) return false;
+  if (starts_with(module_name, "ocn_")) return false;
+  return true;
+}
+
+GeneratedCorpus generate_corpus(const CorpusSpec& spec) {
+  GeneratedCorpus corpus;
+
+  auto add = [&corpus](std::string path, std::string text, bool compiled,
+                       std::size_t module_count = 1) {
+    corpus.files.push_back(GeneratedFile{std::move(path), std::move(text)});
+    corpus.total_modules += module_count;
+    (void)compiled;
+  };
+
+  // Core modules (all compiled).
+  struct CoreEntry {
+    const char* path;
+    std::string text;
+    const char* module;
+  };
+  const CoreEntry core[] = {
+      {"share/shr_kind_mod.F90", core_shr_kind(spec), "shr_kind_mod"},
+      {"atm/phys_state_mod.F90", core_phys_state(), "phys_state_mod"},
+      {"atm/dyn_hydro.F90", core_dyn_hydro(spec), "dyn_hydro"},
+      {"atm/dyn_core.F90", core_dyn_core(spec), "dyn_core"},
+      {"atm/wv_saturation.F90", core_wv_saturation(spec), "wv_saturation"},
+      {"atm/aerosol_intr.F90", core_aerosol_intr(), "aerosol_intr"},
+      {"atm/micro_mg.F90", core_micro_mg(), "micro_mg"},
+      {"atm/cam_physics.F90", core_cam_physics(), "cam_physics"},
+      {"atm/cloud_cover.F90", core_cloud_cover(), "cloud_cover"},
+      {"atm/cloud_lw.F90", core_cloud_lw(), "cloud_lw"},
+      {"atm/cloud_sw.F90", core_cloud_sw(), "cloud_sw"},
+      {"atm/precip_diag.F90", core_precip_diag(), "precip_diag"},
+      {"lnd/lnd_soil.F90", core_lnd(spec), "lnd_soil"},
+      {"ocn/ocn_pop.F90", core_ocn(), "ocn_pop"},
+      {"atm/microp_aero.F90", core_microp_aero(spec), "microp_aero"},
+      {"atm/camsrf.F90", core_camsrf(), "camsrf"},
+      {"atm/cam_history.F90", core_cam_history(), "cam_history"},
+  };
+  for (const auto& entry : core) {
+    add(entry.path, entry.text, true);
+    corpus.compiled_modules.push_back(entry.module);
+  }
+
+  // Aux modules.
+  std::vector<AuxModule> aux = generate_aux_modules(spec);
+  std::string pre_uses, pre_calls, post_uses, post_calls;
+  for (const AuxModule& m : aux) {
+    const char* dir = m.land_side ? "lnd" : "atm";
+    add(strfmt("%s/%s.F90", dir, m.name.c_str()), m.text, m.compiled);
+    if (m.compiled) corpus.compiled_modules.push_back(m.name);
+    if (m.executed) {
+      std::string use_line =
+          strfmt("  use %s, only: %s_main\n", m.name.c_str(), m.name.c_str());
+      std::string call_line = strfmt("    call %s_main()\n", m.name.c_str());
+      if (m.upstream) {
+        pre_uses += use_line;
+        pre_calls += call_line;
+      } else {
+        post_uses += use_line;
+        post_calls += call_line;
+      }
+    }
+  }
+
+  // Driver (compiled).
+  add("drv/cam_driver.F90",
+      core_cam_driver(pre_uses, pre_calls, post_uses, post_calls), true);
+  corpus.compiled_modules.push_back("cam_driver");
+
+  return corpus;
+}
+
+}  // namespace rca::model

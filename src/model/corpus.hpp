@@ -1,0 +1,83 @@
+// Synthetic-CESM corpus generator.
+//
+// Produces a deterministic Fortran-subset source tree with the structural
+// features the paper's pipeline depends on:
+//
+//   * a tightly connected "CAM core": dynamics (hydrostatic pressure, wind
+//     advection, omega) and physics (Morrison-Gettelman-style microphysics
+//     MG1 with the heavily reused temporary `dum`, Goff-Gratch saturation
+//     vapor pressure, aerosol vertical velocity `wsub`, long/shortwave cloud
+//     modules that consume a PRNG, cloud cover, precipitation and surface
+//     diagnostics);
+//   * a land component outside CAM (used by Figure 15 and by the WSUBBUG
+//     experiment's isolation from the CAM core);
+//   * hundreds of generated auxiliary modules wired by preferential
+//     attachment (hub modules emerge, giving the approximate power-law
+//     degree distribution of Figures 4/9), a subset of which is not in the
+//     build configuration (the paper's 2400 -> 820 KGen reduction) and a
+//     further subset of which never executes (codecov pruning);
+//   * CAM-style history output via `call outfld('LABEL', field)`, with
+//     internal names differing from output labels as in the paper's Table 2
+//     (flwds -> FLDS, wsx -> TAUX, ...).
+//
+// The injectable bugs reproduce the paper's experiments at source level; the
+// RAND-MT and AVX2 experiments need no source change (PRNG swap and FMA mode
+// are runtime configuration), but their "bug locations" are defined in terms
+// of this corpus (PRNG call sites; MG1 kernel variables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rca::model {
+
+/// Source-level bug selector (paper §6 experiments).
+enum class BugId {
+  kNone,        // control / ensemble corpus
+  kWsub,        // §6.1  WSUBBUG: 0.20 -> 2.00 in microp_aero's wsub
+  kRandom,      // §8.2.1 RANDOMBUG: array-index error writing state%omega
+  kDyn3,        // §8.2.2 DYN3BUG: hydrostatic-pressure coefficient in dynamics
+  kGoffGratch,  // §6.3  GOFFGRATCH: 8.1328e-3 -> 8.1828e-3 boiling coefficient
+};
+
+struct CorpusSpec {
+  /// Deterministic seed for the filler-module topology.
+  std::uint64_t seed = 2019;
+  /// Total auxiliary modules emitted (the paper's ~2400 total, scaled).
+  std::size_t total_aux_modules = 180;
+  /// Auxiliary modules present in the build configuration (~820, scaled).
+  std::size_t compiled_aux_modules = 62;
+  /// Of the compiled aux modules, how many the driver actually calls; the
+  /// rest exist in the build but never execute (codecov prunes them).
+  std::size_t executed_aux_modules = 44;
+  /// Average extra (never-called) subprograms per aux module.
+  std::size_t unused_subprograms_per_module = 3;
+  /// Number of atmospheric columns (CAM's pcols, scaled down).
+  std::size_t pcols = 8;
+  /// Injected bug.
+  BugId bug = BugId::kNone;
+};
+
+struct GeneratedFile {
+  std::string path;  // e.g. "src/physics/micro_mg.F90"
+  std::string text;  // Fortran-subset source
+};
+
+struct GeneratedCorpus {
+  std::vector<GeneratedFile> files;
+  /// Module names present in the build configuration (the KGen-style list);
+  /// files may contain modules outside this list.
+  std::vector<std::string> compiled_modules;
+  /// Total number of modules across all files (compiled or not).
+  std::size_t total_modules = 0;
+};
+
+/// Generates the corpus. Deterministic per spec.
+GeneratedCorpus generate_corpus(const CorpusSpec& spec);
+
+/// Names of the CAM modules in the corpus (the paper restricts experiment
+/// subgraphs to CAM); everything else (land, share, aux-land) is non-CAM.
+bool is_cam_module(const std::string& module_name);
+
+}  // namespace rca::model

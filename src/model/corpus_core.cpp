@@ -1,0 +1,772 @@
+// Hand-written "CAM core" of the synthetic CESM corpus (see corpus.hpp).
+//
+// Design notes, tied to the paper's experiments:
+//
+//  * State evolution is a set of coupled logistic maps (r ~ 3.8-3.95), so
+//    the model has genuine sensitive dependence: O(1e-14) initial-condition
+//    perturbations (the CESM ensemble mechanism) and O(1 ulp) FMA rounding
+//    differences both grow exponentially with time step, which is exactly
+//    why the real UF-CAM-ECT at time step 9 can see hardware-level changes.
+//
+//  * micro_mg's `dum = a * b - 0.999 * a * b`-shaped expressions are
+//    catastrophic cancellations: with FMA contraction enabled the fused
+//    multiply keeps one extra rounding of a*b, so fused vs unfused results
+//    differ at ~1e-13 relative — the mechanism behind the paper's
+//    Mira/Yellowstone FMA discrepancy, concentrated in MG1 exactly as the
+//    paper found.
+//
+//  * wsub (microp_aero) depends only on the land component, so restricting
+//    the subgraph to CAM modules isolates it from the CAM core (paper §6.1:
+//    a 14-node induced subgraph).
+//
+//  * The long/shortwave cloud modules draw from the shr_rand_uniform
+//    builtin; swapping the host PRNG (KISS -> MT19937) is the RAND-MT
+//    experiment, and the PRNG-fed variables (emis/ssa chains) are its "bug
+//    locations".
+#include <cstdio>
+
+#include "model/corpus.hpp"
+#include "support/strings.hpp"
+
+namespace rca::model {
+
+namespace {
+
+/// Replaces every occurrence of `token` — used instead of printf-style
+/// formatting because Fortran derived-type syntax (`state%t`) collides with
+/// format specifiers.
+std::string replace_token(std::string text, const std::string& token,
+                          const std::string& value) {
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    text.replace(pos, token.size(), value);
+    pos += value.size();
+  }
+  return text;
+}
+
+const char* bug_wsub_coeff(BugId bug) {
+  return bug == BugId::kWsub ? "2.00" : "0.20";
+}
+
+const char* bug_goffgratch_coeff(BugId bug) {
+  return bug == BugId::kGoffGratch ? "8.1828e-3" : "8.1328e-3";
+}
+
+const char* bug_hydro_coeff(BugId bug) {
+  return bug == BugId::kDyn3 ? "0.55" : "0.50";
+}
+
+const char* bug_omega_index(BugId bug) {
+  return bug == BugId::kRandom ? "1" : "i";
+}
+
+}  // namespace
+
+std::string core_shr_kind(const CorpusSpec& spec) {
+  return strfmt(R"(
+module shr_kind_mod
+  implicit none
+  integer, parameter :: r8 = 8
+  integer, parameter :: pcols = %zu
+  real, parameter :: gravit = 9.80616
+  real, parameter :: rair = 287.042
+  real, parameter :: cpair = 1004.64
+  real, parameter :: latvap = 2501000.0
+  real, parameter :: tmelt = 273.15
+  real, parameter :: qsmall = 1.0e-18
+  real, parameter :: tlo = 0.02
+  real, parameter :: thi = 0.98
+end module shr_kind_mod
+)",
+                spec.pcols);
+}
+
+std::string core_phys_state() {
+  return R"(
+module phys_state_mod
+  use shr_kind_mod, only: pcols, tlo, thi
+  implicit none
+  type physics_state
+    real :: t(pcols)
+    real :: u(pcols)
+    real :: v(pcols)
+    real :: q(pcols)
+    real :: ps(pcols)
+    real :: omega(pcols)
+    real :: z3(pcols)
+  end type
+  type(physics_state) :: state
+contains
+  subroutine init_state()
+    integer :: i
+    do i = 1, pcols
+      state%t(i) = 0.41 + 0.031 * real(i)
+      state%u(i) = 0.32 + 0.027 * real(i)
+      state%v(i) = 0.28 + 0.022 * real(i)
+      state%q(i) = 0.47 + 0.019 * real(i)
+      state%ps(i) = 0.55 + 0.017 * real(i)
+      state%omega(i) = 0.1
+      state%z3(i) = 0.3
+    end do
+  end subroutine init_state
+  subroutine clamp_state()
+    integer :: i
+    do i = 1, pcols
+      state%t(i) = min(max(state%t(i), tlo), thi)
+      state%u(i) = min(max(state%u(i), tlo), thi)
+      state%v(i) = min(max(state%v(i), tlo), thi)
+      state%q(i) = min(max(state%q(i), tlo), thi)
+      state%ps(i) = min(max(state%ps(i), tlo), thi)
+    end do
+  end subroutine clamp_state
+end module phys_state_mod
+)";
+}
+
+std::string core_dyn_hydro(const CorpusSpec& spec) {
+  return replace_token(R"(
+module dyn_hydro
+  use shr_kind_mod, only: pcols, rair, gravit
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: pint(pcols)
+  real :: pmid(pcols)
+  real :: pdel(pcols)
+  real :: rpdel(pcols)
+  real :: lnpint(pcols)
+  real :: etadot(pcols)
+contains
+  subroutine compute_hydro_pressure()
+    ! Hydrostatic pressure layer integration (normalized units). DYN3BUG
+    ! flips the interface weight 0.50 -> 0.55 here. The vertical-coordinate
+    ! web (pdel/rpdel/lnpint/etadot plus the geopotential chain) gives the
+    ! dycore its own community structure, as in the paper's Figure 13b.
+    integer :: i
+    real :: dz
+    real :: rho
+    real :: hybi
+    real :: hyai
+    real :: zvir
+    real :: phis
+    do i = 1, pcols
+      dz = state%z3(i) * 0.06 + 0.01
+      rho = state%ps(i) / max(state%t(i), 0.05)
+      hyai = 0.3 + 0.1 * dz
+      hybi = 0.6 - 0.2 * dz
+      pint(i) = state%ps(i) * @HYDRO_COEFF@ + 2.0 * gravit / rair * rho * dz
+      pmid(i) = 0.5 * pint(i) + 0.4 * state%ps(i) + 0.05 * hyai
+      pmid(i) = min(max(pmid(i), 0.02), 0.98)
+      pint(i) = min(max(pint(i), 0.02), 0.98)
+      pdel(i) = max(pint(i) - pmid(i) * hybi, 0.01)
+      rpdel(i) = 0.1 / pdel(i)
+      rpdel(i) = min(rpdel(i), 0.95)
+      lnpint(i) = log(pint(i) + 1.0)
+      zvir = 0.61 * state%q(i)
+      phis = 0.2 * dz + 0.1 * lnpint(i)
+      etadot(i) = rpdel(i) * (pint(i) - pmid(i)) + 0.05 * zvir + 0.02 * phis
+    end do
+  end subroutine compute_hydro_pressure
+end module dyn_hydro
+)",
+                       "@HYDRO_COEFF@", bug_hydro_coeff(spec.bug));
+}
+
+std::string core_dyn_core(const CorpusSpec& spec) {
+  return replace_token(R"(
+module dyn_core
+  use shr_kind_mod, only: pcols, tlo, thi
+  use phys_state_mod, only: physics_state, state, clamp_state
+  use dyn_hydro, only: pint, pmid, pdel, rpdel, etadot, compute_hydro_pressure
+  implicit none
+  real :: wrk_omega(pcols)
+  real :: vort(pcols)
+  real :: divg(pcols)
+contains
+  subroutine dyn_step()
+    call compute_hydro_pressure()
+    call advance_state()
+    call compute_omega()
+  end subroutine dyn_step
+  subroutine advance_state()
+    ! Coupled logistic maps: the chaotic advection core. FMA-sensitive
+    ! contractions appear in the mixing expressions.
+    integer :: i
+    real :: tn
+    real :: un
+    real :: vn
+    real :: qn
+    do i = 1, pcols
+      tn = 3.90 * state%t(i) * (1.0 - state%t(i))
+      un = 3.87 * state%u(i) * (1.0 - state%u(i))
+      vn = 3.93 * state%v(i) * (1.0 - state%v(i))
+      qn = 3.81 * state%q(i) * (1.0 - state%q(i))
+      state%t(i) = 0.92 * tn + 0.03 * un + 0.03 * pmid(i) + 0.01 * qn
+      state%u(i) = 0.90 * un + 0.05 * vn + 0.04 * pint(i)
+      state%v(i) = 0.91 * vn + 0.05 * un + 0.03 * pmid(i)
+      state%q(i) = 0.93 * qn + 0.04 * tn + 0.02 * pmid(i)
+      state%ps(i) = 0.90 * state%ps(i) + 0.06 * pmid(i) + 0.02 * tn
+    end do
+    call clamp_state()
+  end subroutine advance_state
+  subroutine compute_omega()
+    ! Vertical pressure velocity; RANDOMBUG corrupts the store index.
+    integer :: i
+    do i = 1, pcols
+      vort(i) = 0.3 * state%u(i) * rpdel(i) - 0.2 * state%v(i) * pdel(i)
+      divg(i) = 0.25 * etadot(i) + 0.1 * vort(i)
+      wrk_omega(i) = (pint(i) - pmid(i)) * state%u(i) + 0.2 * state%v(i) + 0.1 * divg(i)
+      state%omega(@OMEGA_INDEX@) = wrk_omega(i)
+      state%z3(i) = 0.5 * state%t(i) + 0.3 * pmid(i) + 0.1
+    end do
+  end subroutine compute_omega
+end module dyn_core
+)",
+                       "@OMEGA_INDEX@", bug_omega_index(spec.bug));
+}
+
+std::string core_wv_saturation(const CorpusSpec& spec) {
+  return strfmt(R"(
+module wv_saturation
+  use shr_kind_mod, only: tmelt
+  implicit none
+  real, parameter :: tboil_coeff = %s
+  interface svp
+    module procedure goffgratch_svp, murphy_koop_svp
+  end interface
+contains
+  function goffgratch_svp(t) result(es)
+    ! Goff & Gratch saturation vapor pressure (normalized form). The
+    ! GOFFGRATCH experiment perturbs tboil_coeff above.
+    real, intent(in) :: t
+    real :: es
+    real :: expo
+    expo = t * (1.0 - tboil_coeff * 373.16)
+    es = 0.12 + 0.8 * exp(expo)
+    es = min(es, 0.98)
+  end function goffgratch_svp
+  function murphy_koop_svp(t) result(es)
+    real, intent(in) :: t
+    real :: es
+    es = 0.10 + 0.78 * exp(t * (0.0 - 2.10))
+    es = min(es, 0.98)
+  end function murphy_koop_svp
+end module wv_saturation
+)",
+                bug_goffgratch_coeff(spec.bug));
+}
+
+std::string core_aerosol_intr() {
+  // aer_load couples the "upstream" aux modules into the CAM core; the aux
+  // generator appends assignments into collect_aerosols.
+  return R"(
+module aerosol_intr
+  use shr_kind_mod, only: pcols
+  implicit none
+  real :: aer_load(pcols)
+  real :: aer_wrk(pcols)
+contains
+  subroutine aerosol_init()
+    integer :: i
+    do i = 1, pcols
+      aer_load(i) = 0.3
+      aer_wrk(i) = 0.0
+    end do
+  end subroutine aerosol_init
+  subroutine collect_aerosols()
+    integer :: i
+    do i = 1, pcols
+      aer_load(i) = 0.2 + 0.4 * aer_load(i) + 0.3 * min(aer_wrk(i), 1.0)
+      aer_wrk(i) = 0.0
+    end do
+  end subroutine collect_aerosols
+end module aerosol_intr
+)";
+}
+
+std::string core_micro_mg() {
+  // The Morrison-Gettelman stand-in. `dum` is deliberately the most reused
+  // temporary (highest in-degree; the paper's most central node), and the
+  // `x * y - 0.999 * (x * y)`-shaped cancellations make the module the
+  // dominant FMA-sensitivity source.
+  return R"(
+module micro_mg
+  use shr_kind_mod, only: pcols, qsmall, latvap, cpair, tlo, thi
+  use phys_state_mod, only: physics_state, state
+  use wv_saturation, only: goffgratch_svp
+  use aerosol_intr, only: aer_load
+  implicit none
+  real :: qsout_col(pcols)
+  real :: nsout_col(pcols)
+  real :: prect_col(pcols)
+  real :: tlat_col(pcols)
+contains
+  subroutine micro_mg_tend(ttend, qtend)
+    real, intent(out) :: ttend(pcols)
+    real, intent(out) :: qtend(pcols)
+    real :: dum
+    real :: ratio
+    real :: es
+    real :: qvl
+    real :: qcic(pcols)
+    real :: qiic(pcols)
+    real :: qniic(pcols)
+    real :: nric(pcols)
+    real :: nsic(pcols)
+    real :: qctend(pcols)
+    real :: qric(pcols)
+    real :: qitend(pcols)
+    real :: prds(pcols)
+    real :: pre(pcols)
+    real :: nctend(pcols)
+    real :: qvlat(pcols)
+    real :: tlat(pcols)
+    real :: mnuccc(pcols)
+    real :: nitend(pcols)
+    real :: nsagg(pcols)
+    real :: qsout(pcols)
+    integer :: i
+    do i = 1, pcols
+      es = goffgratch_svp(state%t(i))
+      qvl = state%q(i) - es * 0.31
+      ! dum: heavily reused temporary, repeatedly overwritten (CESM style).
+      ! Each `x*y - 0.999999*(x*y)` is a catastrophic cancellation whose
+      ! fused-vs-unfused difference is ~1e-10 relative: the FMA signal.
+      dum = qvl * aer_load(i) - 0.999999 * (qvl * aer_load(i))
+      ratio = dum / (0.000001 * max(abs(qvl) * aer_load(i), 0.05)) + 0.02 * es
+      qcic(i) = max(state%q(i) * ratio, 0.0) * 0.5 + 0.05 * aer_load(i)
+      dum = qcic(i) * es - 0.999999 * (qcic(i) * es)
+      qiic(i) = dum * 80000.0 + 0.12 * qcic(i)
+      qniic(i) = 0.6 * qiic(i) + 0.3 * qcic(i) + 0.02 * aer_load(i)
+      nric(i) = 0.5 * qniic(i) + 0.1 * es
+      nsic(i) = 0.45 * qniic(i) + 0.08 * state%t(i)
+      dum = nric(i) * state%u(i) - 0.999999 * (nric(i) * state%u(i))
+      qric(i) = dum * 60000.0 + 0.2 * nric(i)
+      qctend(i) = 0.0 - 0.4 * qcic(i) + 0.1 * qric(i)
+      qitend(i) = 0.0 - 0.3 * qiic(i) + 0.05 * qniic(i)
+      prds(i) = 0.2 * nsic(i) - 0.1 * qitend(i)
+      pre(i) = 0.0 - 0.25 * qric(i) - 0.05 * prds(i)
+      dum = pre(i) * state%q(i) - 0.999999 * (pre(i) * state%q(i))
+      nctend(i) = dum * 70000.0 - 0.35 * nric(i)
+      qvlat(i) = 0.0 - pre(i) - prds(i) + 0.02 * qvl + 0.05 * ratio
+      tlat(i) = (0.0 - qvlat(i)) * (latvap / (latvap + cpair * 1500.0)) + 0.05 * prds(i)
+      mnuccc(i) = 0.15 * qcic(i) * nsic(i) + 0.01 * dum
+      nitend(i) = 0.3 * mnuccc(i) - 0.2 * nsic(i) + 0.05 * dum
+      nsagg(i) = 0.22 * nsic(i) - 0.07 * nitend(i)
+      qsout(i) = max(0.3 * qniic(i) + 0.1 * nsagg(i), 0.0)
+      ! dum churn, CESM-style: the temporary is reassigned from nearly every
+      ! process variable, which is what makes it the most in-central node of
+      ! the physics community (paper §6.4).
+      dum = tlat(i) * 0.1 + qniic(i)
+      dum = nsic(i) + nric(i) * 0.2
+      dum = qsout(i) * 0.3 + mnuccc(i)
+      dum = qctend(i) + 0.15 * qitend(i)
+      dum = prds(i) + 0.1 * nsagg(i)
+      dum = qvlat(i) * 0.2 + pre(i)
+      ttend(i) = tlat(i) * 0.5 + 0.05 * mnuccc(i) + 0.001 * dum
+      qtend(i) = qvlat(i) * 0.5 + 0.03 * qctend(i)
+      qsout_col(i) = qsout(i)
+      nsout_col(i) = 0.8 * nsagg(i) + 0.1 * qsout(i)
+      prect_col(i) = max(0.0 - pre(i), 0.0) + 0.1 * qsout(i)
+      tlat_col(i) = tlat(i)
+    end do
+  end subroutine micro_mg_tend
+end module micro_mg
+)";
+}
+
+std::string core_cam_physics() {
+  return R"(
+module cam_physics
+  use shr_kind_mod, only: pcols, tlo, thi
+  use phys_state_mod, only: physics_state, state, clamp_state
+  use micro_mg, only: micro_mg_tend
+  implicit none
+  real :: ttend_phys(pcols)
+  real :: qtend_phys(pcols)
+contains
+  subroutine physics_step()
+    integer :: i
+    call micro_mg_tend(ttend_phys, qtend_phys)
+    do i = 1, pcols
+      state%t(i) = state%t(i) + 0.04 * ttend_phys(i)
+      state%q(i) = state%q(i) + 0.04 * qtend_phys(i)
+    end do
+    call clamp_state()
+  end subroutine physics_step
+end module cam_physics
+)";
+}
+
+std::string core_cloud_cover() {
+  return R"(
+module cloud_cover
+  use shr_kind_mod, only: pcols, qsmall
+  use phys_state_mod, only: physics_state, state
+  use wv_saturation, only: svp, goffgratch_svp
+  use aerosol_intr, only: aer_load
+  implicit none
+  real :: cld(pcols)
+  real :: cllow(pcols)
+  real :: clmed(pcols)
+  real :: clhgh(pcols)
+  real :: cltot(pcols)
+  real :: ccn(pcols)
+  real :: concld(pcols)
+  real :: cldgeom(pcols)
+contains
+  subroutine cldfrc_run()
+    ! Cloud geometry: a dense non-stochastic web; its aggregation sinks
+    ! dominate the radiation community's in-centrality, which is why the
+    ! RAND-MT experiment's first sampling round sees no PRNG influence.
+    integer :: i
+    real :: es
+    real :: rh
+    real :: icecldf
+    real :: liqcldf
+    real :: rhwght
+    real :: ovrlp
+    do i = 1, pcols
+      es = svp(state%t(i))
+      rh = state%q(i) / max(es, 0.05)
+      rhwght = min(max((rh - 0.55) * 1.8, 0.0), 1.0)
+      icecldf = rhwght * 0.6 + 0.1 * state%z3(i)
+      liqcldf = rhwght * 0.7 + 0.05 * state%q(i)
+      cld(i) = max(icecldf, liqcldf)
+      ovrlp = icecldf * liqcldf + 0.02 * rhwght
+      concld(i) = 0.3 * ovrlp + 0.1 * cld(i)
+      cllow(i) = cld(i) * 0.55 + 0.08 * state%ps(i) + 0.05 * concld(i)
+      clmed(i) = cld(i) * 0.3 + 0.05 * state%omega(i) + 0.04 * ovrlp
+      clhgh(i) = cld(i) * 0.18 + 0.04 * state%z3(i) + 0.03 * icecldf
+      cltot(i) = min(cllow(i) + clmed(i) + clhgh(i), 1.0)
+      cldgeom(i) = 0.4 * cltot(i) + 0.2 * concld(i) + 0.1 * liqcldf
+      ccn(i) = 0.4 * aer_load(i) + 0.25 * cld(i) + 0.05 * cldgeom(i)
+    end do
+    call outfld('CLOUD', cld)
+    call outfld('CLDLOW', cllow)
+    call outfld('CLDMED', clmed)
+    call outfld('CLDHGH', clhgh)
+    call outfld('CLDTOT', cltot)
+    call outfld('CCN3', ccn)
+  end subroutine cldfrc_run
+end module cloud_cover
+)";
+}
+
+std::string core_cloud_lw() {
+  return R"(
+module cloud_lw
+  use shr_kind_mod, only: pcols
+  use cloud_cover, only: cld, cldgeom, concld, cltot
+  implicit none
+  real :: flwds(pcols)
+  real :: qrl(pcols)
+  real :: flns(pcols)
+  real :: rnd_lw(pcols)
+  real :: netlw(pcols)
+contains
+  subroutine lw_run()
+    ! Longwave radiative transfer. The band absorber web (abs1..abs4,
+    ! netlw, lwup/lwdn) is deterministic and aggregation-heavy, so the
+    ! radiation community's eigenvector in-centrality concentrates there;
+    ! only the emissivity overlap (emis <- PRNG) is stochastic — the
+    ! RAND-MT bug-location family. That separation is why the first
+    ! sampling round of RAND-MT sees no difference (paper Figure 5c).
+    integer :: i
+    real :: emis
+    real :: abs1
+    real :: abs2
+    real :: abs3
+    real :: abs4
+    real :: lwup
+    real :: lwdn
+    call shr_rand_uniform(rnd_lw)
+    do i = 1, pcols
+      abs1 = 0.4 * cldgeom(i) + 0.2 * cld(i)
+      abs2 = 0.3 * cltot(i) + 0.25 * concld(i) + 0.1 * abs1
+      abs3 = 0.35 * abs1 + 0.3 * abs2 + 0.05 * cldgeom(i)
+      abs4 = 0.2 * abs1 + 0.2 * abs2 + 0.2 * abs3 + 0.1 * cltot(i)
+      lwup = 0.5 * abs3 + 0.3 * abs4 + 0.1 * concld(i)
+      lwdn = 0.4 * abs4 + 0.3 * abs2 + 0.2 * lwup
+      netlw(i) = 0.5 * lwup + 0.4 * lwdn + 0.05 * abs3
+      emis = 0.60 + 0.35 * rnd_lw(i)
+      flwds(i) = emis * cld(i) * 0.55 + 0.1 * lwdn
+      qrl(i) = flwds(i) * 0.45 - 0.1 * emis
+      flns(i) = 0.7 * flwds(i) + 0.05 * emis
+    end do
+    call outfld('FLDS', flwds)
+    call outfld('QRL', qrl)
+    call outfld('FLNS', flns)
+  end subroutine lw_run
+end module cloud_lw
+)";
+}
+
+std::string core_cloud_sw() {
+  return R"(
+module cloud_sw
+  use shr_kind_mod, only: pcols
+  use cloud_cover, only: cld, concld
+  implicit none
+  real :: fsds(pcols)
+  real :: qrs(pcols)
+  real :: rnd_sw(pcols)
+contains
+  subroutine sw_run()
+    ! Shortwave counterpart; second PRNG consumer (RAND-MT bug family).
+    integer :: i
+    real :: ssa
+    call shr_rand_uniform(rnd_sw)
+    do i = 1, pcols
+      ssa = 0.55 + 0.4 * rnd_sw(i)
+      fsds(i) = ssa * (1.0 - cld(i)) * 0.9 + 0.1 * concld(i)
+      qrs(i) = fsds(i) * 0.5 - 0.1 * cld(i)
+    end do
+    call outfld('FSDS', fsds)
+    call outfld('QRS', qrs)
+  end subroutine sw_run
+end module cloud_sw
+)";
+}
+
+std::string core_precip_diag() {
+  return R"(
+module precip_diag
+  use shr_kind_mod, only: pcols, qsmall
+  use micro_mg, only: qsout_col, nsout_col, prect_col
+  use cloud_cover, only: cld
+  implicit none
+  real :: qsout2(pcols)
+  real :: nsout2(pcols)
+  real :: freqs(pcols)
+  real :: snowl(pcols)
+contains
+  subroutine precip_run()
+    integer :: i
+    do i = 1, pcols
+      qsout2(i) = qsout_col(i) * cld(i) + 0.02 * prect_col(i)
+      nsout2(i) = nsout_col(i) * cld(i) + 0.01 * prect_col(i)
+      freqs(i) = merge(1.0, 0.12 * qsout2(i), qsout2(i) > 0.05)
+      snowl(i) = 0.6 * qsout2(i) + 0.1 * nsout2(i)
+    end do
+    call outfld('AQSNOW', qsout2)
+    call outfld('ANSNOW', nsout2)
+    call outfld('FREQS', freqs)
+    call outfld('PRECSL', snowl)
+  end subroutine precip_run
+end module precip_diag
+)";
+}
+
+std::string core_lnd(const CorpusSpec& spec) {
+  (void)spec;
+  return R"(
+module lnd_soil
+  use shr_kind_mod, only: pcols
+  implicit none
+  real :: soilw(pcols)
+  real :: snowd(pcols)
+contains
+  subroutine lnd_init()
+    integer :: i
+    do i = 1, pcols
+      soilw(i) = 0.31 + 0.042 * real(i)
+      snowd(i) = 0.22 + 0.013 * real(i)
+    end do
+  end subroutine lnd_init
+  subroutine lnd_step()
+    ! Land component: its own chaotic moisture field, outside CAM.
+    integer :: i
+    do i = 1, pcols
+      soilw(i) = 3.88 * soilw(i) * (1.0 - soilw(i))
+      soilw(i) = min(max(soilw(i), 0.02), 0.98)
+      snowd(i) = 0.9 * snowd(i) + 0.06 * soilw(i) + 0.01
+    end do
+  end subroutine lnd_step
+end module lnd_soil
+)";
+}
+
+std::string core_microp_aero(const CorpusSpec& spec) {
+  return replace_token(R"(
+module microp_aero
+  use shr_kind_mod, only: pcols
+  use lnd_soil, only: soilw
+  implicit none
+  real :: wsub(pcols)
+  real :: tke(pcols)
+contains
+  subroutine microp_aero_run()
+    ! Sub-grid vertical velocity from land-driven turbulence. WSUBBUG
+    ! transposes the 0.20 coefficient to 2.00; the variable is written to
+    ! the history file on the very next line, so the bug is isolated.
+    integer :: i
+    real :: wdiag
+    do i = 1, pcols
+      tke(i) = 0.4 * soilw(i) + 0.3
+      wdiag = sqrt(tke(i)) * 0.5
+      wsub(i) = max(@WSUB_COEFF@ * wdiag, 0.01)
+    end do
+    call outfld('WSUB', wsub)
+  end subroutine microp_aero_run
+end module microp_aero
+)",
+                       "@WSUB_COEFF@", bug_wsub_coeff(spec.bug));
+}
+
+std::string core_ocn() {
+  // POP stand-in: a slow ocean forced by the atmosphere's surface fluxes.
+  // Outside CAM (like lnd_soil), it feeds nothing back into CAM within a
+  // run, so CAM-restricted slices cut it — but unrestricted slices (Figure
+  // 15) and the ocean's own outputs (the pyCECT v2 POP-ECT domain, Baker
+  // et al. 2016) pull in the cross-component ancestry.
+  return R"(
+module ocn_pop
+  use shr_kind_mod, only: pcols
+  use camsrf, only: wsx, shf
+  implicit none
+  real :: sst(pcols)
+  real :: ssh(pcols)
+  real :: uocn(pcols)
+contains
+  subroutine ocn_init()
+    integer :: i
+    do i = 1, pcols
+      sst(i) = 0.45 + 0.021 * real(i)
+      ssh(i) = 0.35 + 0.012 * real(i)
+      uocn(i) = 0.25 + 0.017 * real(i)
+    end do
+  end subroutine ocn_init
+  subroutine ocn_step()
+    integer :: i
+    do i = 1, pcols
+      sst(i) = 3.7 * sst(i) * (1.0 - sst(i)) * 0.9 + 0.06 * shf(i)
+      sst(i) = min(max(sst(i), 0.02), 0.98)
+      uocn(i) = 0.88 * uocn(i) + 0.1 * wsx(i)
+      ssh(i) = 0.85 * ssh(i) + 0.09 * uocn(i) + 0.05 * sst(i)
+    end do
+    call outfld('SST', sst)
+    call outfld('SSH', ssh)
+    call outfld('UOCN', uocn)
+  end subroutine ocn_step
+end module ocn_pop
+)";
+}
+
+std::string core_camsrf() {
+  return R"(
+module camsrf
+  use shr_kind_mod, only: pcols, cpair
+  use phys_state_mod, only: physics_state, state
+  use micro_mg, only: tlat_col, prect_col
+  use lnd_soil, only: snowd
+  implicit none
+  real :: wsx(pcols)
+  real :: tref(pcols)
+  real :: shf(pcols)
+  real :: u10(pcols)
+  real :: snowhland(pcols)
+  real :: psout(pcols)
+  real :: omegat(pcols)
+contains
+  subroutine srf_diag()
+    ! Surface diagnostics: strongly driven by the state and by MG1
+    ! tendencies (tlat), so the AVX2/FMA experiment surfaces here first.
+    integer :: i
+    do i = 1, pcols
+      wsx(i) = 0.5 * state%u(i) * state%u(i) + 0.3 * state%v(i)
+      tref(i) = 0.8 * state%t(i) + 0.17 * tlat_col(i)
+      shf(i) = 0.6 * tref(i) * state%q(i) + 0.1 * tlat_col(i)
+      u10(i) = 0.85 * state%u(i) + 0.1 * wsx(i)
+      snowhland(i) = 0.5 * snowd(i) + 0.45 * prect_col(i)
+      psout(i) = state%ps(i)
+      omegat(i) = state%omega(i) * state%t(i)
+    end do
+    call outfld('TAUX', wsx)
+    call outfld('TREFHT', tref)
+    call outfld('SHFLX', shf)
+    call outfld('U10', u10)
+    call outfld('SNOWHLND', snowhland)
+    call outfld('PS', psout)
+    call outfld('OMEGAT', omegat)
+  end subroutine srf_diag
+end module camsrf
+)";
+}
+
+std::string core_cam_history() {
+  return R"(
+module cam_history
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+contains
+  subroutine write_state_history()
+    call outfld('OMEGA', state%omega)
+    call outfld('VV', state%v)
+    call outfld('UU', state%u)
+    call outfld('Z3', state%z3)
+    call outfld('T', state%t)
+    call outfld('Q', state%q)
+  end subroutine write_state_history
+end module cam_history
+)";
+}
+
+// The cam_driver module text needs the aux driver call list appended; the
+// generator (corpus.cpp) splices `aux_pre_calls` / `aux_post_calls` in.
+std::string core_cam_driver(const std::string& aux_pre_uses,
+                            const std::string& aux_pre_calls,
+                            const std::string& aux_post_uses,
+                            const std::string& aux_post_calls) {
+  std::string text = R"(
+module cam_driver
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: init_state
+  use dyn_core, only: dyn_step
+  use cam_physics, only: physics_step
+  use cloud_cover, only: cldfrc_run
+  use cloud_lw, only: lw_run
+  use cloud_sw, only: sw_run
+  use precip_diag, only: precip_run
+  use microp_aero, only: microp_aero_run
+  use camsrf, only: srf_diag
+  use cam_history, only: write_state_history
+  use lnd_soil, only: lnd_init, lnd_step
+  use ocn_pop, only: ocn_init, ocn_step
+  use aerosol_intr, only: aerosol_init, collect_aerosols
+)";
+  text += aux_pre_uses;
+  text += aux_post_uses;
+  text += R"(  implicit none
+contains
+  subroutine cam_init()
+    call init_state()
+    call lnd_init()
+    call ocn_init()
+    call aerosol_init()
+  end subroutine cam_init
+  subroutine cam_step()
+)";
+  text += aux_pre_calls;
+  text += R"(    call collect_aerosols()
+    call dyn_step()
+    call physics_step()
+    call cldfrc_run()
+    call lw_run()
+    call sw_run()
+    call precip_run()
+    call microp_aero_run()
+    call srf_diag()
+    call lnd_step()
+    call ocn_step()
+)";
+  text += aux_post_calls;
+  text += R"(    call write_state_history()
+  end subroutine cam_step
+end module cam_driver
+)";
+  return text;
+}
+
+}  // namespace rca::model

@@ -1,0 +1,251 @@
+// Generated auxiliary modules of the synthetic CESM corpus.
+//
+// The generator reproduces the corpus-scale structural features the paper's
+// pipeline exploits:
+//   * preferential attachment between aux modules creates hub modules, so
+//     the full-graph degree distribution is approximately power-law
+//     (Figures 4/9);
+//   * a minority of executed CAM-side aux modules are "upstream": they feed
+//     the aerosol coupling consumed by the CAM core, so backward slices
+//     from affected outputs reach into aux territory;
+//   * most aux modules are downstream diagnostics — large in lines of code
+//     but peripheral in the graph, which is why Table 1's "50 largest
+//     modules" row behaves like the random row;
+//   * never-called subprograms and never-called (but compiled) modules give
+//     the coverage filter its ~30%/~60% reductions;
+//   * deliberate canonical-name collisions (locals named omega/dum/tref)
+//     reproduce the RANDOMBUG-style many-nodes-per-canonical-name shape.
+#include <algorithm>
+
+#include "model/corpus_internal.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace rca::model {
+
+namespace {
+
+/// Deterministic helper for picking integers in [lo, hi].
+class Pick {
+ public:
+  explicit Pick(std::uint64_t seed) : rng_(seed) {}
+  std::size_t range(std::size_t lo, std::size_t hi) {
+    return lo + static_cast<std::size_t>(rng_.next() %
+                                         (hi - lo + 1));
+  }
+  double real(double lo, double hi) { return lo + rng_.uniform() * (hi - lo); }
+  bool chance(double p) { return rng_.uniform() < p; }
+
+ private:
+  SplitMix64 rng_;
+};
+
+// Canonical-name collisions across scopes; "omega" is over-represented so
+// the RANDOMBUG slice fans out across many same-named nodes with small
+// ancestries, the paper's 628-node/295-edge forest shape.
+const char* kCollisionNames[] = {"omega", "omega", "omega", "dum",
+                                 "tref",  "es",    "qrl",   "u"};
+
+struct AuxPlan {
+  std::size_t id = 0;
+  bool compiled = false;
+  bool executed = false;
+  bool upstream = false;
+  bool land_side = false;
+  bool huge = false;                  // big LoC, peripheral
+  std::vector<std::size_t> deps;      // ids of aux modules it uses
+  std::size_t n_diag = 1;
+  std::size_t n_locals = 4;
+  std::size_t n_unused_subs = 2;
+  bool emits_output = false;
+  std::string collision_local;        // optional canonical-name collision
+};
+
+std::string aux_name(std::size_t id, bool land_side) {
+  return strfmt("aux_%s_%03zu", land_side ? "lnd" : "cam", id);
+}
+
+std::string diag_name(std::size_t id, std::size_t k) {
+  return strfmt("diag_%03zu_%zu", id, k);
+}
+
+}  // namespace
+
+std::vector<AuxModule> generate_aux_modules(const CorpusSpec& spec) {
+  Pick pick(spec.seed * 0x9e3779b9u + 17);
+
+  // ---- plan topology -------------------------------------------------------
+  std::vector<AuxPlan> plans(spec.total_aux_modules);
+  // Preferential-attachment target pool over executed modules.
+  std::vector<std::size_t> attach_pool;
+  const std::size_t n_upstream =
+      std::max<std::size_t>(1, spec.executed_aux_modules * 3 / 10);
+
+  for (std::size_t id = 0; id < plans.size(); ++id) {
+    AuxPlan& p = plans[id];
+    p.id = id;
+    p.compiled = id < spec.compiled_aux_modules;
+    p.executed = id < spec.executed_aux_modules;
+    p.upstream = p.executed && id < n_upstream;
+    p.land_side = p.executed && !p.upstream && (id % 6 == 0);
+    p.huge = !p.upstream && pick.chance(0.18);
+    p.n_diag = pick.range(1, 3);
+    p.n_locals = p.huge ? pick.range(10, 16) : pick.range(4, 9);
+    p.n_unused_subs = pick.range(0, spec.unused_subprograms_per_module);
+    p.emits_output = p.executed && pick.chance(0.5);
+    if (pick.chance(0.35)) {
+      p.collision_local = kCollisionNames[pick.range(0, 7)];
+    }
+    // Dependencies: preferential attachment among earlier executed modules
+    // on the same side of the upstream/downstream split (upstream modules
+    // must not read downstream diagnostics — they run first).
+    const std::size_t want = pick.range(0, 3);
+    for (std::size_t d = 0; d < want && !attach_pool.empty(); ++d) {
+      const std::size_t target = attach_pool[pick.range(0, attach_pool.size() - 1)];
+      if (target == id) continue;
+      if (p.upstream && !plans[target].upstream) continue;
+      if (std::find(p.deps.begin(), p.deps.end(), target) == p.deps.end()) {
+        p.deps.push_back(target);
+        attach_pool.push_back(target);  // rich get richer
+      }
+    }
+    if (p.executed) {
+      attach_pool.push_back(id);
+      if (id < n_upstream) attach_pool.push_back(id);  // upstream bias
+    }
+  }
+
+  // ---- emit source ---------------------------------------------------------
+  std::vector<AuxModule> out;
+  out.reserve(plans.size());
+  for (const AuxPlan& p : plans) {
+    const std::string name = aux_name(p.id, p.land_side);
+    std::string text = "module " + name + "\n";
+    text += "  use shr_kind_mod, only: pcols\n";
+    if (p.land_side) {
+      text += "  use lnd_soil, only: soilw, snowd\n";
+    } else {
+      text += "  use phys_state_mod, only: physics_state, state\n";
+    }
+    if (p.upstream) {
+      text += "  use aerosol_intr, only: aer_wrk\n";
+    }
+    for (std::size_t dep : p.deps) {
+      // Depend on the dependency's first diagnostic array.
+      text += strfmt("  use %s, only: %s\n",
+                     aux_name(dep, plans[dep].land_side).c_str(),
+                     diag_name(dep, 0).c_str());
+    }
+    text += "  implicit none\n";
+    for (std::size_t k = 0; k < p.n_diag; ++k) {
+      text += strfmt("  real :: %s(pcols)\n", diag_name(p.id, k).c_str());
+    }
+
+    text += "contains\n";
+    // Main subroutine (the one the driver calls).
+    text += strfmt("  subroutine %s_main()\n", name.c_str());
+    text += "    integer :: i\n";
+    for (std::size_t k = 0; k < p.n_locals; ++k) {
+      text += strfmt("    real :: wrk%zu\n", k);
+    }
+    if (!p.collision_local.empty()) {
+      text += strfmt("    real :: %s\n", p.collision_local.c_str());
+    }
+    text += "    do i = 1, pcols\n";
+    // Seed work chain from the physical fields.
+    const char* base = p.land_side ? "soilw(i)" : "state%t(i)";
+    const char* base2 = p.land_side ? "snowd(i)" : "state%q(i)";
+    text += strfmt("      wrk0 = %s * %.3f + %.3f\n", base, pick.real(0.1, 0.9),
+                   pick.real(0.01, 0.2));
+    if (p.n_locals > 1) {
+      text += strfmt("      wrk1 = %s * %.3f + wrk0 * %.3f\n", base2,
+                     pick.real(0.1, 0.8), pick.real(0.1, 0.4));
+    }
+    for (std::size_t k = 2; k < p.n_locals; ++k) {
+      // Chain through earlier locals with the occasional intrinsic; these
+      // a*b + c forms are FMA-contractable but feed nothing chaotic, so
+      // per-module FMA noise stays inert (Table 1's peripheral rows).
+      const std::size_t src = pick.range(0, k - 1);
+      switch (pick.range(0, 3)) {
+        case 0:
+          text += strfmt("      wrk%zu = wrk%zu * %.3f + %.3f\n", k, src,
+                         pick.real(0.2, 0.9), pick.real(0.0, 0.3));
+          break;
+        case 1:
+          text += strfmt("      wrk%zu = max(wrk%zu, %.3f)\n", k, src,
+                         pick.real(0.0, 0.2));
+          break;
+        case 2:
+          text += strfmt("      wrk%zu = sqrt(abs(wrk%zu) + %.3f)\n", k, src,
+                         pick.real(0.01, 0.5));
+          break;
+        default:
+          text += strfmt("      wrk%zu = wrk%zu * wrk%zu + %.3f\n", k, src,
+                         pick.range(0, 1) ? src : (k - 1), pick.real(0.0, 0.2));
+          break;
+      }
+    }
+    if (!p.collision_local.empty()) {
+      text += strfmt("      %s = wrk%zu * %.3f + %.3f\n",
+                     p.collision_local.c_str(), p.n_locals - 1,
+                     pick.real(0.2, 0.8), pick.real(0.0, 0.2));
+    }
+    for (std::size_t k = 0; k < p.n_diag; ++k) {
+      std::string rhs = strfmt("wrk%zu * %.3f", pick.range(0, p.n_locals - 1),
+                               pick.real(0.2, 0.9));
+      if (!p.deps.empty() && pick.chance(0.8)) {
+        const std::size_t dep = p.deps[pick.range(0, p.deps.size() - 1)];
+        rhs += strfmt(" + %s(i) * %.3f", diag_name(dep, 0).c_str(),
+                      pick.real(0.05, 0.4));
+      }
+      if (!p.collision_local.empty() && k == 0) {
+        rhs += strfmt(" + %s * 0.1", p.collision_local.c_str());
+      }
+      text += strfmt("      %s(i) = %s\n", diag_name(p.id, k).c_str(),
+                     rhs.c_str());
+    }
+    if (p.upstream) {
+      // Two-statement form on purpose: `a + tmp` has no multiply to fuse,
+      // so upstream aux modules contribute no FMA sensitivity to the core.
+      text += strfmt("      wrk0 = %s(i) * %.4f\n", diag_name(p.id, 0).c_str(),
+                     pick.real(0.005, 0.05));
+      text += "      aer_wrk(i) = aer_wrk(i) + wrk0\n";
+    }
+    text += "    end do\n";
+    if (p.emits_output) {
+      text += strfmt("    call outfld('AUX%03zu', %s)\n", p.id,
+                     diag_name(p.id, 0).c_str());
+    }
+    text += strfmt("  end subroutine %s_main\n", name.c_str());
+
+    // Never-called subprograms (codecov fodder). Larger for "huge" modules.
+    const std::size_t unused = p.n_unused_subs + (p.huge ? 3 : 0);
+    for (std::size_t s = 0; s < unused; ++s) {
+      text += strfmt("  subroutine %s_extra%zu(xin, xout)\n", name.c_str(), s);
+      text += "    real, intent(in) :: xin\n";
+      text += "    real, intent(out) :: xout\n";
+      const std::size_t body = p.huge ? pick.range(8, 20) : pick.range(2, 6);
+      text += "    real :: acc\n";
+      text += strfmt("    acc = xin * %.3f\n", pick.real(0.1, 2.0));
+      for (std::size_t b = 0; b < body; ++b) {
+        text += strfmt("    acc = acc * %.4f + %.4f\n", pick.real(0.8, 1.2),
+                       pick.real(-0.1, 0.1));
+      }
+      text += "    xout = acc\n";
+      text += strfmt("  end subroutine %s_extra%zu\n", name.c_str(), s);
+    }
+    text += "end module " + name + "\n";
+
+    AuxModule mod;
+    mod.name = name;
+    mod.text = std::move(text);
+    mod.compiled = p.compiled;
+    mod.executed = p.executed;
+    mod.upstream = p.upstream;
+    mod.land_side = p.land_side;
+    out.push_back(std::move(mod));
+  }
+  return out;
+}
+
+}  // namespace rca::model

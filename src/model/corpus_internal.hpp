@@ -1,0 +1,46 @@
+// Internal interfaces between the corpus generator translation units.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/corpus.hpp"
+
+namespace rca::model {
+
+// corpus_core.cpp — hand-written CAM core module sources.
+std::string core_shr_kind(const CorpusSpec& spec);
+std::string core_phys_state();
+std::string core_dyn_hydro(const CorpusSpec& spec);
+std::string core_dyn_core(const CorpusSpec& spec);
+std::string core_wv_saturation(const CorpusSpec& spec);
+std::string core_aerosol_intr();
+std::string core_micro_mg();
+std::string core_cam_physics();
+std::string core_cloud_cover();
+std::string core_cloud_lw();
+std::string core_cloud_sw();
+std::string core_precip_diag();
+std::string core_lnd(const CorpusSpec& spec);
+std::string core_ocn();
+std::string core_microp_aero(const CorpusSpec& spec);
+std::string core_camsrf();
+std::string core_cam_history();
+std::string core_cam_driver(const std::string& aux_pre_uses,
+                            const std::string& aux_pre_calls,
+                            const std::string& aux_post_uses,
+                            const std::string& aux_post_calls);
+
+// corpus_filler.cpp — generated auxiliary modules.
+struct AuxModule {
+  std::string name;
+  std::string text;
+  bool compiled = false;
+  bool executed = false;
+  bool upstream = false;   // feeds aerosol_intr (enters CAM-core slices)
+  bool land_side = false;  // depends on the land component (non-CAM)
+};
+
+std::vector<AuxModule> generate_aux_modules(const CorpusSpec& spec);
+
+}  // namespace rca::model

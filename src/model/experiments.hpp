@@ -1,0 +1,63 @@
+// Registry of the paper's six experiments (§6 and supplementary §8.2).
+//
+// Each experiment = a corpus bug (or none) + runtime configuration changes +
+// ground-truth bug locations used to *evaluate* the refinement procedure
+// (the engine itself never sees them, matching the paper's simulation of
+// sampling with known bug sites).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "interp/interpreter.hpp"
+#include "meta/metagraph.hpp"
+#include "model/corpus.hpp"
+#include "model/model.hpp"
+
+namespace rca::model {
+
+enum class ExperimentId {
+  kWsubBug,     // §6.1
+  kRandMt,      // §6.2
+  kGoffGratch,  // §6.3
+  kAvx2,        // §6.4
+  kRandomBug,   // §8.2.1
+  kDyn3Bug,     // §8.2.2
+};
+
+struct ExperimentSpec {
+  ExperimentId id;
+  const char* name;        // "WSUBBUG", "RAND-MT", ...
+  BugId bug = BugId::kNone;
+  bool swap_prng = false;  // RAND-MT: kiss -> mt19937
+  bool fma_all = false;    // AVX2: FMA contraction everywhere
+  /// Static ground-truth bug sites, where the experiment has fixed ones
+  /// (RAND-MT and AVX2 sites are derived from the graph/runs instead).
+  std::vector<interp::WatchKey> bug_sites;
+};
+
+const std::vector<ExperimentSpec>& all_experiments();
+const ExperimentSpec& experiment(ExperimentId id);
+
+/// Applies the experiment's runtime changes to a run configuration.
+RunConfig experiment_run_config(const ExperimentSpec& spec,
+                                const RunConfig& base);
+
+/// Corpus spec for the experiment (injects the source bug if any).
+CorpusSpec experiment_corpus_spec(const ExperimentSpec& spec,
+                                  const CorpusSpec& base);
+
+/// RAND-MT bug locations: the variables immediately fed by a PRNG call site
+/// (paper §6.2 "variables immediately influenced or defined by the numbers
+/// returned from the PRNG").
+std::vector<graph::NodeId> prng_influenced_nodes(const meta::Metagraph& mg);
+
+/// AVX2 bug locations (the KGen emulation): run the model with FMA off and
+/// on, watching every micro_mg variable, and flag those whose normalized RMS
+/// difference exceeds `threshold` (paper: 42 variables at 1e-12).
+std::vector<interp::WatchKey> kgen_flagged_variables(
+    const CesmModel& control_model, const meta::Metagraph& mg,
+    double threshold = 1e-12);
+
+}  // namespace rca::model

@@ -1,0 +1,150 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "lang/parser.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace rca::model {
+
+CesmModel::CesmModel(const CorpusSpec& spec)
+    : spec_(spec), corpus_(generate_corpus(spec)) {
+  // Parse only the compiled (build-configuration) files — the KGen-style
+  // 2400 -> 820 reduction happens before parsing in the paper too.
+  std::unordered_map<std::string, bool> compiled;
+  for (const auto& name : corpus_.compiled_modules) compiled[name] = true;
+
+  parsed_files_.reserve(corpus_.files.size());
+  for (const GeneratedFile& file : corpus_.files) {
+    try {
+      lang::Parser parser(file.path, file.text);
+      lang::SourceFile parsed = parser.parse_file();
+      bool any_compiled = false;
+      for (const auto& m : parsed.modules) {
+        if (compiled.count(m.name)) any_compiled = true;
+      }
+      if (!any_compiled) continue;
+      parsed_files_.push_back(std::move(parsed));
+    } catch (const ParseError&) {
+      ++parse_failures_;
+    }
+  }
+  for (const auto& f : parsed_files_) {
+    for (const auto& m : f.modules) {
+      if (compiled.count(m.name)) module_ptrs_.push_back(&m);
+    }
+  }
+}
+
+namespace {
+
+/// Applies the member-specific initial-condition perturbation: every
+/// prognostic field element is scaled by (1 + eps) with |eps| <=
+/// perturbation, mirroring CESM's O(1e-14) temperature perturbations.
+void perturb_initial_conditions(interp::Interpreter& interp,
+                                std::uint64_t member_seed,
+                                double perturbation) {
+  SplitMix64 rng(member_seed * 0x2545f4914f6cdd1dull + 0x9e3779b97f4a7c15ull);
+  auto perturb_array = [&rng, perturbation](interp::Value& v) {
+    for (double& x : v.array) {
+      x *= 1.0 + perturbation * (2.0 * rng.uniform() - 1.0);
+    }
+  };
+  auto state = interp.module_var("phys_state_mod", "state");
+  for (const char* field : {"t", "u", "v", "q", "ps"}) {
+    perturb_array(*state->derived->components.at(field));
+  }
+  perturb_array(*interp.module_var("lnd_soil", "soilw"));
+  perturb_array(*interp.module_var("ocn_pop", "sst"));
+}
+
+std::unique_ptr<interp::Interpreter> make_interpreter(
+    const std::vector<const lang::Module*>& modules, const RunConfig& config) {
+  auto interp = std::make_unique<interp::Interpreter>(modules);
+  interp->set_prng(make_prng(config.prng_kind, config.prng_seed));
+  if (config.fma_all) interp->set_fma_all(true);
+  for (const auto& m : config.fma_disabled_modules) {
+    interp->set_fma(m, false);
+  }
+  for (const auto& w : config.watches) interp->add_watch(w);
+  return interp;
+}
+
+}  // namespace
+
+RunResult CesmModel::run(const RunConfig& config) const {
+  auto interp = make_interpreter(module_ptrs_, config);
+  interp->call("cam_driver", "cam_init");
+  perturb_initial_conditions(*interp, config.member_seed, config.perturbation);
+  for (int step = 0; step < config.timesteps; ++step) {
+    interp->call("cam_driver", "cam_step");
+  }
+
+  // Last outfld value per label = the final-step history field.
+  std::map<std::string, double> last;
+  for (const auto& [label, mean] : interp->outputs()) last[label] = mean;
+
+  RunResult result;
+  result.output_names.reserve(last.size());
+  result.output_means.reserve(last.size());
+  for (const auto& [label, mean] : last) {
+    result.output_names.push_back(label);
+    result.output_means.push_back(mean);
+  }
+  result.watch_stats = interp->watch_stats();
+  return result;
+}
+
+interp::CoverageRecorder CesmModel::coverage_run(int timesteps) const {
+  RunConfig config;
+  config.timesteps = timesteps;
+  auto interp = make_interpreter(module_ptrs_, config);
+  interp->call("cam_driver", "cam_init");
+  for (int step = 0; step < timesteps; ++step) {
+    interp->call("cam_driver", "cam_step");
+  }
+  return interp->coverage();
+}
+
+stats::Matrix ensemble_matrix(const CesmModel& model, const RunConfig& base,
+                              std::size_t members,
+                              std::vector<std::string>* names,
+                              std::uint64_t first_seed) {
+  RCA_CHECK_MSG(members >= 2, "ensemble needs at least two members");
+  stats::Matrix data;
+  for (std::size_t m = 0; m < members; ++m) {
+    RunConfig config = base;
+    config.member_seed = first_seed + m;
+    RunResult r = model.run(config);
+    if (m == 0) {
+      if (names) *names = r.output_names;
+      data = stats::Matrix(members, r.output_means.size());
+    }
+    RCA_CHECK_MSG(r.output_means.size() == data.cols(),
+                  "inconsistent output width across members");
+    for (std::size_t j = 0; j < r.output_means.size(); ++j) {
+      data.at(m, j) = r.output_means[j];
+    }
+  }
+  return data;
+}
+
+std::vector<std::vector<double>> experiment_set(
+    const CesmModel& model, const RunConfig& base, std::size_t runs,
+    std::uint64_t first_seed, const std::vector<std::string>& names) {
+  std::vector<std::vector<double>> out;
+  out.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    RunConfig config = base;
+    config.member_seed = first_seed + r;
+    RunResult result = model.run(config);
+    RCA_CHECK_MSG(result.output_names == names,
+                  "experimental run output labels differ from ensemble");
+    out.push_back(std::move(result.output_means));
+  }
+  return out;
+}
+
+}  // namespace rca::model

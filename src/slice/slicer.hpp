@@ -1,0 +1,58 @@
+// Hybrid static backward slicer (paper §5.1).
+//
+// Given the CAM output variables most affected by a discrepancy, the slicer
+// maps them to internal canonical names (through the instrumented I/O map),
+// finds every node on any BFS shortest path terminating on those canonical
+// names — equivalently, the backward-reachable ancestor set — and induces
+// the subgraph containing the discrepancy causes. Coverage information
+// already pruned the graph at build time; control flow is ignored, so the
+// slice over-approximates (static) but execution-grounded (hybrid).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "meta/metagraph.hpp"
+
+namespace rca::slice {
+
+struct SliceOptions {
+  /// Restrict admitted nodes to modules satisfying this predicate (the
+  /// paper's experiments restrict to CAM modules). Null admits everything.
+  std::function<bool(const std::string& module)> module_filter;
+  /// Drop weakly connected components smaller than this from the result
+  /// (the paper removes residual clusters of fewer than 4 nodes for plot
+  /// clarity; 0/1 keeps everything).
+  std::size_t drop_components_smaller_than = 0;
+};
+
+struct SliceResult {
+  /// Slice nodes as ids in the full metagraph, sorted ascending.
+  std::vector<graph::NodeId> nodes;
+  /// Induced subgraph; node i corresponds to nodes[i].
+  graph::Digraph subgraph;
+  /// Resolved slicing-criterion nodes (full-graph ids).
+  std::vector<graph::NodeId> targets;
+};
+
+/// Canonical internal names for a CAM output label, via the instrumented I/O
+/// map (Table 2's output->internal mapping; e.g. output "flds" -> internal
+/// "flwds").
+std::vector<std::string> internal_names_for_output(const meta::Metagraph& mg,
+                                                   const std::string& label);
+
+/// Backward slice terminating on every node whose canonical name is in
+/// `canonical_targets`.
+SliceResult backward_slice(const meta::Metagraph& mg,
+                           const std::vector<std::string>& canonical_targets,
+                           const SliceOptions& opts = {});
+
+/// Backward slice from full-graph target node ids (used by the refinement
+/// engine's steps 8a/8b, which re-slice on sampled nodes).
+SliceResult backward_slice_nodes(const meta::Metagraph& mg,
+                                 const std::vector<graph::NodeId>& targets,
+                                 const SliceOptions& opts = {});
+
+}  // namespace rca::slice

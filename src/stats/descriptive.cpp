@@ -1,0 +1,55 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace rca::stats {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mu = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - mu) * (x - mu);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double quantile(std::vector<double> v, double q) {
+  RCA_CHECK_MSG(!v.empty(), "quantile of empty sample");
+  RCA_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double median(const std::vector<double>& v) { return quantile(v, 0.5); }
+
+Iqr interquartile_range(const std::vector<double>& v) {
+  Iqr iqr;
+  iqr.q1 = quantile(v, 0.25);
+  iqr.q3 = quantile(v, 0.75);
+  return iqr;
+}
+
+std::vector<double> standardize(const std::vector<double>& v, double mu,
+                                double sigma) {
+  std::vector<double> out(v.size());
+  const double scale = sigma > 0.0 ? 1.0 / sigma : 1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - mu) * scale;
+  return out;
+}
+
+}  // namespace rca::stats

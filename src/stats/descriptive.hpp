@@ -1,0 +1,33 @@
+// Descriptive statistics used by variable selection and the ECT.
+#pragma once
+
+#include <vector>
+
+namespace rca::stats {
+
+double mean(const std::vector<double>& v);
+/// Sample variance (n-1 denominator); 0 for fewer than 2 points.
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+
+/// Linear-interpolated quantile, q in [0,1] (type-7, the NumPy default).
+double quantile(std::vector<double> v, double q);
+double median(const std::vector<double>& v);
+
+struct Iqr {
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double width() const { return q3 - q1; }
+  /// True when [q1,q3] overlaps the other range.
+  bool overlaps(const Iqr& other) const {
+    return q1 <= other.q3 && other.q1 <= q3;
+  }
+};
+
+Iqr interquartile_range(const std::vector<double>& v);
+
+/// (v - mu) / sigma elementwise; sigma <= 0 leaves centered values unscaled.
+std::vector<double> standardize(const std::vector<double>& v, double mu,
+                                double sigma);
+
+}  // namespace rca::stats

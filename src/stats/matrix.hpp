@@ -1,0 +1,48 @@
+// Minimal dense row-major matrix for the statistics substrate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rca::stats {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Column c as a vector (copy).
+  std::vector<double> column(std::size_t c) const {
+    RCA_CHECK_MSG(c < cols_, "column index out of range");
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = at(r, c);
+    return out;
+  }
+
+  /// Row r as a vector (copy).
+  std::vector<double> row(std::size_t r) const {
+    RCA_CHECK_MSG(r < rows_, "row index out of range");
+    return std::vector<double>(data_.begin() + static_cast<long>(r * cols_),
+                               data_.begin() +
+                                   static_cast<long>((r + 1) * cols_));
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace rca::stats

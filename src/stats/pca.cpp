@@ -1,0 +1,132 @@
+#include "stats/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.hpp"
+
+namespace rca::stats {
+
+EigenResult symmetric_eigen(const Matrix& input, double tolerance,
+                            std::size_t max_sweeps) {
+  RCA_CHECK_MSG(input.rows() == input.cols(), "eigen of non-square matrix");
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  auto off_diagonal_norm = [&a, n]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a.at(i, j) * a.at(i, j);
+    }
+    return std::sqrt(s);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tolerance) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation on rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&a](std::size_t i, std::size_t j) {
+    return a.at(i, i) > a.at(j, j);
+  });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a.at(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors.at(i, k) = v.at(i, order[k]);
+    }
+  }
+  return result;
+}
+
+std::vector<double> PcaModel::project(const std::vector<double>& row) const {
+  RCA_CHECK_MSG(row.size() == column_mean.size(), "projection width mismatch");
+  const std::size_t n = row.size();
+  std::vector<double> z(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    z[j] = (row[j] - column_mean[j]) / column_std[j];
+  }
+  std::vector<double> scores(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += z[j] * eigen.vectors.at(j, k);
+    scores[k] = s;
+  }
+  return scores;
+}
+
+PcaModel fit_pca(const Matrix& data) {
+  RCA_CHECK_MSG(data.rows() >= 2, "PCA needs at least two observations");
+  const std::size_t n_obs = data.rows();
+  const std::size_t n_var = data.cols();
+
+  PcaModel model;
+  model.column_mean.resize(n_var);
+  model.column_std.resize(n_var);
+  Matrix z(n_obs, n_var);
+  for (std::size_t j = 0; j < n_var; ++j) {
+    std::vector<double> col = data.column(j);
+    model.column_mean[j] = mean(col);
+    double sd = stddev(col);
+    if (sd < 1e-300) sd = 1.0;  // constant column: leave centered only
+    model.column_std[j] = sd;
+    for (std::size_t i = 0; i < n_obs; ++i) {
+      z.at(i, j) = (data.at(i, j) - model.column_mean[j]) / sd;
+    }
+  }
+
+  Matrix cov(n_var, n_var);
+  const double denom = static_cast<double>(n_obs - 1);
+  for (std::size_t a = 0; a < n_var; ++a) {
+    for (std::size_t b = a; b < n_var; ++b) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n_obs; ++i) s += z.at(i, a) * z.at(i, b);
+      cov.at(a, b) = s / denom;
+      cov.at(b, a) = cov.at(a, b);
+    }
+  }
+  model.eigen = symmetric_eigen(cov);
+  return model;
+}
+
+}  // namespace rca::stats

@@ -1,0 +1,40 @@
+// Principal component analysis via a cyclic Jacobi eigensolver.
+//
+// The ECT (Baker et al. 2015; Milroy et al. 2018) standardizes each output
+// variable's ensemble of global means, computes the PCA of the ensemble, and
+// scores new runs in PC space. This is the from-scratch linear-algebra
+// substrate backing src/ect.
+#pragma once
+
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace rca::stats {
+
+struct EigenResult {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column k of `vectors` is the unit eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Eigen decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Throws StatsError for non-square input; tolerance is on off-diagonal mass.
+EigenResult symmetric_eigen(const Matrix& a, double tolerance = 1e-12,
+                            std::size_t max_sweeps = 100);
+
+struct PcaModel {
+  std::vector<double> column_mean;
+  std::vector<double> column_std;   // sample stddev; tiny values floored
+  EigenResult eigen;                // of the standardized covariance
+
+  /// Project one observation (raw units) onto all principal components.
+  std::vector<double> project(const std::vector<double>& row) const;
+};
+
+/// Fits PCA on rows = observations, cols = variables. Standardizes columns
+/// first (mean 0, sd 1), then eigendecomposes the covariance.
+PcaModel fit_pca(const Matrix& data);
+
+}  // namespace rca::stats

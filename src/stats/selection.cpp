@@ -1,0 +1,109 @@
+#include "stats/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/lasso.hpp"
+
+namespace rca::stats {
+
+std::vector<RankedVariable> median_distance_ranking(
+    const Matrix& ensemble, const Matrix& experimental,
+    const std::vector<std::string>& names) {
+  RCA_CHECK_MSG(ensemble.cols() == experimental.cols(),
+                "variable count mismatch");
+  RCA_CHECK_MSG(names.size() == ensemble.cols(), "name count mismatch");
+
+  std::vector<RankedVariable> ranked;
+  ranked.reserve(names.size());
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    const std::vector<double> ens_raw = ensemble.column(j);
+    const std::vector<double> exp_raw = experimental.column(j);
+    const double mu = mean(ens_raw);
+    const double sd = stddev(ens_raw);
+    const std::vector<double> ens = standardize(ens_raw, mu, sd);
+    const std::vector<double> exp = standardize(exp_raw, mu, sd);
+
+    RankedVariable rv;
+    rv.name = names[j];
+    rv.median_distance = std::abs(median(exp) - median(ens));
+    rv.iqr_disjoint =
+        !interquartile_range(ens).overlaps(interquartile_range(exp));
+    ranked.push_back(std::move(rv));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedVariable& a, const RankedVariable& b) {
+              // IQR-disjoint variables first, then by distance.
+              if (a.iqr_disjoint != b.iqr_disjoint) return a.iqr_disjoint;
+              if (a.median_distance != b.median_distance) {
+                return a.median_distance > b.median_distance;
+              }
+              return a.name < b.name;
+            });
+  return ranked;
+}
+
+std::vector<std::string> direct_difference(
+    const std::vector<double>& ensemble_run,
+    const std::vector<double>& experimental_run,
+    const std::vector<std::string>& names, double rel_tol) {
+  RCA_CHECK_MSG(ensemble_run.size() == experimental_run.size() &&
+                    names.size() == ensemble_run.size(),
+                "size mismatch");
+  std::vector<std::string> differing;
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    const double a = ensemble_run[j];
+    const double b = experimental_run[j];
+    const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+    if (std::abs(a - b) / scale > rel_tol) differing.push_back(names[j]);
+  }
+  return differing;
+}
+
+std::vector<std::string> lasso_selection(const Matrix& ensemble,
+                                         const Matrix& experimental,
+                                         const std::vector<std::string>& names,
+                                         std::size_t target_count) {
+  RCA_CHECK_MSG(ensemble.cols() == experimental.cols(),
+                "variable count mismatch");
+  const std::size_t n = ensemble.rows() + experimental.rows();
+  const std::size_t p = ensemble.cols();
+  // Standardize by the *ensemble* statistics (as the paper's §3 methods do)
+  // so strongly affected variables keep large magnitudes and dominate the
+  // selection; winsorize to keep the optimizer numerically sane when a bug
+  // shifts a variable by 1e14 ensemble standard deviations.
+  Matrix x(n, p);
+  std::vector<int> y(n, 0);
+  for (std::size_t j = 0; j < p; ++j) {
+    const std::vector<double> col = ensemble.column(j);
+    const double mu = mean(col);
+    double sd = stddev(col);
+    if (sd < 1e-300) sd = 1.0;
+    auto put = [&x, mu, sd, j](std::size_t row, double value) {
+      double z = (value - mu) / sd;
+      // Log-compress extreme shifts: a bug can move a variable by 1e14
+      // ensemble sd; compression keeps the optimizer stable while
+      // preserving the cross-variable ordering the selection relies on.
+      z = (z >= 0.0 ? 1.0 : -1.0) * std::log1p(std::abs(z));
+      x.at(row, j) = z;
+    };
+    for (std::size_t i = 0; i < ensemble.rows(); ++i) {
+      put(i, ensemble.at(i, j));
+    }
+    for (std::size_t i = 0; i < experimental.rows(); ++i) {
+      put(ensemble.rows() + i, experimental.at(i, j));
+    }
+  }
+  for (std::size_t i = 0; i < experimental.rows(); ++i) {
+    y[ensemble.rows() + i] = 1;
+  }
+  const std::vector<std::size_t> idx =
+      select_variables(x, y, target_count, 30, /*standardize=*/false);
+  std::vector<std::string> selected;
+  selected.reserve(idx.size());
+  for (std::size_t j : idx) selected.push_back(names[j]);
+  return selected;
+}
+
+}  // namespace rca::stats

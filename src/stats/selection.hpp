@@ -1,0 +1,49 @@
+// Affected-output-variable selection (paper §3).
+//
+// Method 1 — median distance: standardize each variable by its ensemble mean
+// and standard deviation, keep variables whose ensemble and experimental
+// interquartile ranges do not overlap, rank by distance between standardized
+// medians (descending).
+//
+// Method 2 — lasso: logistic regression with an L1 penalty classifying
+// ensemble vs experimental runs, with lambda tuned to select about
+// `target_count` variables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace rca::stats {
+
+struct RankedVariable {
+  std::string name;
+  double median_distance = 0.0;  // |median_exp - median_ens|, standardized
+  bool iqr_disjoint = false;     // ensemble vs experimental IQRs disjoint
+};
+
+/// Rows = runs, cols = variables (same order/names in both matrices).
+/// Returns every variable ranked by descending median distance; the
+/// IQR-disjoint flag marks the paper's screening condition.
+std::vector<RankedVariable> median_distance_ranking(
+    const Matrix& ensemble, const Matrix& experimental,
+    const std::vector<std::string>& names);
+
+/// The paper's recommended first check: direct normalized value comparison
+/// between a single ensemble member and a single experimental run. Returns
+/// variable names whose relative difference exceeds `rel_tol`. When (nearly)
+/// all variables differ, fall back to the distribution-based methods.
+std::vector<std::string> direct_difference(
+    const std::vector<double>& ensemble_run,
+    const std::vector<double>& experimental_run,
+    const std::vector<std::string>& names, double rel_tol = 1e-12);
+
+/// Lasso selection (method 2): returns ~target_count variable names ordered
+/// by |coefficient|.
+std::vector<std::string> lasso_selection(const Matrix& ensemble,
+                                         const Matrix& experimental,
+                                         const std::vector<std::string>& names,
+                                         std::size_t target_count = 5);
+
+}  // namespace rca::stats

@@ -1,0 +1,79 @@
+#include "support/args.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace rca {
+
+Args::Args(int argc, const char* const* argv) {
+  int i = 1;
+  // Subcommand: first non-option token.
+  if (i < argc && argv[i][0] != '-') {
+    command_ = argv[i++];
+  }
+  while (i < argc) {
+    std::string token = argv[i];
+    if (starts_with(token, "--")) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        options_.emplace(key, argv[i + 1]);
+        i += 2;
+      } else {
+        options_.emplace(key, "");  // boolean flag
+        ++i;
+      }
+    } else {
+      positional_.push_back(std::move(token));
+      ++i;
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  queried_[key] = true;
+  return options_.count(key) != 0;
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  queried_[key] = true;
+  auto range = options_.equal_range(key);
+  if (range.first == range.second) return fallback;
+  auto last = range.first;
+  for (auto it = range.first; it != range.second; ++it) last = it;
+  return last->second;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const std::string v = get(key);
+  if (v.empty()) return fallback;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string v = get(key);
+  if (v.empty()) return fallback;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+std::vector<std::string> Args::get_all(const std::string& key) const {
+  queried_[key] = true;
+  std::vector<std::string> out;
+  auto range = options_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<std::string> Args::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    if (!queried_.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace rca

@@ -1,0 +1,41 @@
+// Minimal command-line argument parser for the rca-tool CLI: positional
+// subcommand + --flag / --key value options, with typed accessors.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rca {
+
+class Args {
+ public:
+  /// Parses `argv[1..)`: the first non-option token is the subcommand;
+  /// `--key value` pairs and bare `--flag`s follow. A `--key` immediately
+  /// followed by another `--...` token or end-of-line is a boolean flag.
+  /// Repeated keys accumulate (multi-value options).
+  Args(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  /// Positional arguments after the subcommand.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+  /// Last value for key, or `fallback`.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  /// All values given for a repeated key.
+  std::vector<std::string> get_all(const std::string& key) const;
+
+  /// Keys that were provided but never queried — unknown-option detection.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::multimap<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace rca

@@ -1,0 +1,74 @@
+// Error handling primitives shared by every climate-rca library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rca {
+
+/// Base class for all errors raised by climate-rca libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when input source text cannot be lexed or parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::string file, int line, int column)
+      : Error(file + ":" + std::to_string(line) + ":" + std::to_string(column) +
+              ": " + what),
+        file_(std::move(file)),
+        line_(line),
+        column_(column) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  std::string file_;
+  int line_;
+  int column_;
+};
+
+/// Raised by the interpreter for runtime faults in the modeled program.
+class EvalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised for malformed graph operations (unknown node, empty graph, ...).
+class GraphError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised for statistical routines given degenerate input.
+class StatsError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw Error(std::string("check failed: ") + expr + " at " + file + ":" +
+              std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace rca
+
+/// Internal invariant check; throws rca::Error (never disabled — these guard
+/// algorithmic invariants, not hot loops).
+#define RCA_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::rca::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RCA_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::rca::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

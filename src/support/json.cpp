@@ -1,0 +1,129 @@
+#include "support/json.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == Ctx::kObjectExpectKey) {
+    throw Error("JsonWriter: value emitted where an object key is required");
+  }
+  if (needs_comma_) out_.push_back(',');
+}
+
+void JsonWriter::after_value() {
+  if (!stack_.empty() && stack_.back() == Ctx::kObjectExpectValue) {
+    stack_.back() = Ctx::kObjectExpectKey;
+  }
+  needs_comma_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_.push_back('{');
+  stack_.push_back(Ctx::kObjectExpectKey);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() == Ctx::kObjectExpectValue ||
+      stack_.back() == Ctx::kArray) {
+    throw Error("JsonWriter: end_object out of place");
+  }
+  stack_.pop_back();
+  out_.push_back('}');
+  after_value();
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_.push_back('[');
+  stack_.push_back(Ctx::kArray);
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Ctx::kArray) {
+    throw Error("JsonWriter: end_array out of place");
+  }
+  stack_.pop_back();
+  out_.push_back(']');
+  after_value();
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (stack_.empty() || stack_.back() != Ctx::kObjectExpectKey) {
+    throw Error("JsonWriter: key outside an object");
+  }
+  if (needs_comma_) out_.push_back(',');
+  out_ += '"' + escape(k) + "\":";
+  stack_.back() = Ctx::kObjectExpectValue;
+  needs_comma_ = false;
+}
+
+void JsonWriter::string_value(const std::string& v) {
+  before_value();
+  out_ += '"' + escape(v) + '"';
+  after_value();
+}
+
+void JsonWriter::number(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    out_ += strfmt("%.17g", v);
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  after_value();
+}
+
+void JsonWriter::integer(long long v) {
+  before_value();
+  out_ += strfmt("%lld", v);
+  after_value();
+}
+
+void JsonWriter::boolean(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  after_value();
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  after_value();
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw Error("JsonWriter: unbalanced containers at str()");
+  }
+  return out_;
+}
+
+}  // namespace rca

@@ -1,0 +1,48 @@
+// Minimal JSON writer for machine-readable reports (rca-tool --json).
+// Write-only by design: the toolkit emits reports, it never parses them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rca {
+
+/// Streaming JSON builder with correct string escaping. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.string_value("x");
+///   w.key("items"); w.begin_array(); w.number(1); w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+/// Structural errors (value without key inside an object, unbalanced
+/// begin/end) throw rca::Error.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Object member key; must be followed by exactly one value.
+  void key(const std::string& k);
+  void string_value(const std::string& v);
+  void number(double v);
+  void integer(long long v);
+  void boolean(bool v);
+  void null();
+
+  /// Final document; throws if containers are unbalanced.
+  std::string str() const;
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  enum class Ctx { kArray, kObjectExpectKey, kObjectExpectValue };
+  void before_value();
+  void after_value();
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace rca

@@ -1,0 +1,108 @@
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace rca {
+
+// ---------------------------------------------------------------------------
+// KISS (Keep It Simple Stupid), Marsaglia 1999 32-bit variant.
+// ---------------------------------------------------------------------------
+
+void KissRng::seed(std::uint64_t s) {
+  // Derive four non-zero state words from the seed via SplitMix64.
+  SplitMix64 sm(s ^ 0x9e3779b97f4a7c15ull);
+  auto word = [&sm]() {
+    std::uint32_t w = 0;
+    do {
+      w = static_cast<std::uint32_t>(sm.next());
+    } while (w == 0);
+    return w;
+  };
+  x_ = word();
+  y_ = word();
+  z_ = word();
+  c_ = word() % 698769068 + 1;  // MWC carry must stay below the multiplier.
+}
+
+std::uint32_t KissRng::next_u32() {
+  // Linear congruential component.
+  x_ = 69069u * x_ + 12345u;
+  // Xorshift component; y must never be zero (seed() guarantees it).
+  y_ ^= y_ << 13;
+  y_ ^= y_ >> 17;
+  y_ ^= y_ << 5;
+  // Multiply-with-carry component.
+  std::uint64_t t = 698769069ull * z_ + c_;
+  c_ = static_cast<std::uint32_t>(t >> 32);
+  z_ = static_cast<std::uint32_t>(t);
+  return x_ + y_ + z_;
+}
+
+double KissRng::uniform() {
+  // 53-bit mantissa from two 32-bit draws.
+  std::uint64_t hi = next_u32() >> 5;   // 27 bits
+  std::uint64_t lo = next_u32() >> 6;   // 26 bits
+  return ((hi << 26) | lo) * (1.0 / 9007199254740992.0);  // / 2^53
+}
+
+// ---------------------------------------------------------------------------
+// MT19937.
+// ---------------------------------------------------------------------------
+
+void Mt19937Rng::seed(std::uint64_t s) {
+  state_[0] = static_cast<std::uint32_t>(s);
+  for (int i = 1; i < kN; ++i) {
+    state_[i] = 1812433253u * (state_[i - 1] ^ (state_[i - 1] >> 30)) +
+                static_cast<std::uint32_t>(i);
+  }
+  index_ = kN;
+}
+
+std::uint32_t Mt19937Rng::next_u32() {
+  if (index_ >= kN) {
+    if (index_ == kN + 1) seed(5489);  // never seeded: use reference default
+    for (int i = 0; i < kN; ++i) {
+      std::uint32_t y = (state_[i] & 0x80000000u) |
+                        (state_[(i + 1) % kN] & 0x7fffffffu);
+      std::uint32_t next = state_[(i + kM) % kN] ^ (y >> 1);
+      if (y & 1u) next ^= 0x9908b0dfu;
+      state_[i] = next;
+    }
+    index_ = 0;
+  }
+  std::uint32_t y = state_[index_++];
+  y ^= y >> 11;
+  y ^= (y << 7) & 0x9d2c5680u;
+  y ^= (y << 15) & 0xefc60000u;
+  y ^= y >> 18;
+  return y;
+}
+
+double Mt19937Rng::uniform() {
+  std::uint64_t hi = next_u32() >> 5;
+  std::uint64_t lo = next_u32() >> 6;
+  return ((hi << 26) | lo) * (1.0 / 9007199254740992.0);
+}
+
+// ---------------------------------------------------------------------------
+// SplitMix64.
+// ---------------------------------------------------------------------------
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double SplitMix64::uniform() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::unique_ptr<Prng> make_prng(const std::string& kind, std::uint64_t seed) {
+  if (kind == "kiss") return std::make_unique<KissRng>(seed);
+  if (kind == "mt19937") return std::make_unique<Mt19937Rng>(seed);
+  throw Error("unknown PRNG kind: " + kind);
+}
+
+}  // namespace rca

@@ -1,0 +1,35 @@
+// Small string utilities used across parsing, graph naming and reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rca {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lower-case an ASCII string (Fortran is case-insensitive; every identifier
+/// is normalized through this before entering a symbol table).
+std::string to_lower(std::string_view s);
+
+/// Split on a single delimiter character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if `s` is a valid Fortran-style identifier: [a-z_][a-z0-9_]*.
+bool is_identifier(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rca

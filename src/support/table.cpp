@@ -1,0 +1,88 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca {
+
+void Table::set_header(std::vector<std::string> header) {
+  RCA_CHECK_MSG(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    RCA_CHECK_MSG(row.size() == header_.size(), "row width != header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  return strfmt("%.*f", precision, v);
+}
+
+std::string Table::integer(long long v) { return strfmt("%lld", v); }
+
+std::string Table::percent(double fraction, int precision) {
+  return strfmt("%.*f%%", precision, fraction * 100.0);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << "  " << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size(), ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      out += quote(row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+}  // namespace rca

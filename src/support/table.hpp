@@ -1,0 +1,41 @@
+// Plain-text table rendering for the benchmark harnesses: every bench binary
+// prints the rows/series of the paper table or figure it regenerates.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rca {
+
+/// Column-aligned text table with an optional title, also serializable as CSV.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Set the header row; resets column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one row; must match the header width if a header was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 0);
+
+  /// Render aligned monospace table.
+  void print(std::ostream& os) const;
+
+  /// Render RFC-4180-ish CSV (commas in cells are quoted).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rca

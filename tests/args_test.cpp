@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "support/args.hpp"
+
+namespace rca {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"rca-tool"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SubcommandAndOptions) {
+  Args a = parse({"slice", "--graph", "mg.tsv", "--cam-only"});
+  EXPECT_EQ(a.command(), "slice");
+  EXPECT_EQ(a.get("graph"), "mg.tsv");
+  EXPECT_TRUE(a.has("cam-only"));
+  EXPECT_FALSE(a.has("missing"));
+}
+
+TEST(Args, RepeatedKeysAccumulate) {
+  Args a = parse({"slice", "--target", "omega", "--target", "wsub"});
+  auto all = a.get_all("target");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "omega");
+  EXPECT_EQ(all[1], "wsub");
+  // get() returns the last.
+  EXPECT_EQ(a.get("target"), "wsub");
+}
+
+TEST(Args, TypedAccessorsWithFallbacks) {
+  Args a = parse({"analyze", "--members", "30", "--threshold", "2.5"});
+  EXPECT_EQ(a.get_int("members", 7), 30);
+  EXPECT_EQ(a.get_int("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("threshold", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(a.get_double("absent", 1.5), 1.5);
+}
+
+TEST(Args, FlagFollowedByOption) {
+  Args a = parse({"graph", "--coverage", "--out", "x.tsv"});
+  EXPECT_TRUE(a.has("coverage"));
+  EXPECT_EQ(a.get("coverage"), "");  // boolean flag, no value
+  EXPECT_EQ(a.get("out"), "x.tsv");
+}
+
+TEST(Args, PositionalArguments) {
+  Args a = parse({"graph", "srcdir", "--out", "x"});
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "srcdir");
+}
+
+TEST(Args, UnusedKeysDetected) {
+  Args a = parse({"info", "--graph", "g", "--typo", "oops"});
+  EXPECT_EQ(a.get("graph"), "g");
+  auto unused = a.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, NoSubcommand) {
+  Args a = parse({"--graph", "g"});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_EQ(a.get("graph"), "g");
+}
+
+}  // namespace
+}  // namespace rca

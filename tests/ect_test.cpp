@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ect/ect.hpp"
+#include "support/rng.hpp"
+
+namespace rca::ect {
+namespace {
+
+/// Synthetic ensemble: independent gaussians per variable (Box-Muller).
+stats::Matrix gaussian_ensemble(std::size_t members, std::size_t vars,
+                                std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  stats::Matrix data(members, vars);
+  for (std::size_t i = 0; i < members; ++i) {
+    for (std::size_t j = 0; j < vars; ++j) {
+      const double u1 = std::max(rng.uniform(), 1e-12);
+      const double u2 = rng.uniform();
+      const double g =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      data.at(i, j) = 10.0 * static_cast<double>(j + 1) + g;
+    }
+  }
+  return data;
+}
+
+std::vector<std::string> var_names(std::size_t vars) {
+  std::vector<std::string> names;
+  for (std::size_t j = 0; j < vars; ++j) names.push_back("v" + std::to_string(j));
+  return names;
+}
+
+std::vector<double> gaussian_run(std::size_t vars, std::uint64_t seed,
+                                 double shift = 0.0, std::size_t shift_var = 0) {
+  SplitMix64 rng(seed);
+  std::vector<double> run(vars);
+  for (std::size_t j = 0; j < vars; ++j) {
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double g =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    run[j] = 10.0 * static_cast<double>(j + 1) + g;
+    if (j == shift_var) run[j] += shift;
+  }
+  return run;
+}
+
+EctOptions default_opts() {
+  EctOptions opts;
+  opts.num_pcs = 8;
+  opts.sigma_multiplier = 3.29;
+  opts.min_failing_pcs = 3;
+  return opts;
+}
+
+TEST(Ect, ConsistentRunsPass) {
+  const std::size_t vars = 12;
+  EnsembleConsistencyTest ect(gaussian_ensemble(60, vars, 1), var_names(vars),
+                              default_opts());
+  std::size_t failures = 0;
+  for (std::uint64_t t = 0; t < 30; ++t) {
+    std::vector<std::vector<double>> runs;
+    for (int r = 0; r < 3; ++r) {
+      runs.push_back(gaussian_run(vars, 1000 + t * 3 + r));
+    }
+    if (!ect.evaluate(runs).pass) ++failures;
+  }
+  // False-positive rate must be low (paper's all-AVX2-off row is 2%).
+  EXPECT_LE(failures, 3u);
+}
+
+TEST(Ect, GrossShiftFails) {
+  const std::size_t vars = 12;
+  EnsembleConsistencyTest ect(gaussian_ensemble(60, vars, 2), var_names(vars),
+                              default_opts());
+  std::vector<std::vector<double>> runs;
+  for (int r = 0; r < 3; ++r) {
+    // Shift several variables by many ensemble sigmas.
+    std::vector<double> run = gaussian_run(vars, 5000 + r);
+    for (std::size_t j = 0; j < 6; ++j) run[j] += 50.0;
+    runs.push_back(run);
+  }
+  Verdict v = ect.evaluate(runs);
+  EXPECT_FALSE(v.pass);
+  EXPECT_GE(v.failing_pcs.size(), 3u);
+}
+
+TEST(Ect, SingleOutlierRunDoesNotFailTheSet) {
+  // pyCECT's majority rule: one bad run of three is tolerated.
+  const std::size_t vars = 10;
+  EnsembleConsistencyTest ect(gaussian_ensemble(60, vars, 3), var_names(vars),
+                              default_opts());
+  std::vector<std::vector<double>> runs;
+  std::vector<double> bad = gaussian_run(vars, 7000);
+  for (std::size_t j = 0; j < vars; ++j) bad[j] += 100.0;
+  runs.push_back(bad);
+  runs.push_back(gaussian_run(vars, 7001));
+  runs.push_back(gaussian_run(vars, 7002));
+  EXPECT_TRUE(ect.evaluate(runs).pass);
+}
+
+TEST(Ect, ScoreRunFlagsTheShiftedDirection) {
+  const std::size_t vars = 6;
+  EnsembleConsistencyTest ect(gaussian_ensemble(80, vars, 4), var_names(vars),
+                              default_opts());
+  std::vector<double> run = gaussian_run(vars, 9000, 200.0, 2);
+  RunScore score = ect.score_run(run);
+  EXPECT_FALSE(score.failing_pcs.empty());
+}
+
+TEST(Ect, NumPcsDefaultsToMaxUsable) {
+  const std::size_t vars = 20;
+  EctOptions opts;
+  opts.num_pcs = 0;  // auto
+  EnsembleConsistencyTest ect(gaussian_ensemble(10, vars, 5), var_names(vars),
+                              opts);
+  EXPECT_EQ(ect.num_pcs(), 9u);  // members - 1
+}
+
+TEST(Ect, RejectsDegenerateInput) {
+  EXPECT_THROW(EnsembleConsistencyTest(stats::Matrix(2, 3), var_names(3)),
+               Error);
+  EnsembleConsistencyTest ect(gaussian_ensemble(10, 3, 6), var_names(3),
+                              default_opts());
+  EXPECT_THROW(ect.score_run({1.0}), Error);
+  EXPECT_THROW(ect.evaluate({}), Error);
+}
+
+TEST(Ect, FailureRateHarness) {
+  const std::size_t vars = 8;
+  EnsembleConsistencyTest ect(gaussian_ensemble(60, vars, 7), var_names(vars),
+                              default_opts());
+  const double rate = failure_rate(ect, 10, [&](std::size_t t) {
+    std::vector<std::vector<double>> runs;
+    for (int r = 0; r < 3; ++r) {
+      std::vector<double> run = gaussian_run(vars, 20000 + t * 3 + r);
+      for (std::size_t j = 0; j < vars; ++j) run[j] += 40.0;
+      runs.push_back(run);
+    }
+    return runs;
+  });
+  EXPECT_DOUBLE_EQ(rate, 1.0);
+}
+
+TEST(Ect, SigmaMultiplierControlsSensitivity) {
+  const std::size_t vars = 8;
+  EctOptions tight = default_opts();
+  tight.sigma_multiplier = 0.5;  // absurdly strict: everything fails
+  tight.min_failing_pcs = 1;
+  EnsembleConsistencyTest strict(gaussian_ensemble(40, vars, 8),
+                                 var_names(vars), tight);
+  std::vector<std::vector<double>> runs;
+  for (int r = 0; r < 3; ++r) runs.push_back(gaussian_run(vars, 30000 + r));
+  EXPECT_FALSE(strict.evaluate(runs).pass);
+
+  EctOptions loose = default_opts();
+  loose.sigma_multiplier = 100.0;
+  EnsembleConsistencyTest lax(gaussian_ensemble(40, vars, 8), var_names(vars),
+                              loose);
+  EXPECT_TRUE(lax.evaluate(runs).pass);
+}
+
+}  // namespace
+}  // namespace rca::ect

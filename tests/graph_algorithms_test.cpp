@@ -1,0 +1,221 @@
+// Tests for the extended graph algorithms: Louvain/modularity, strongly
+// connected components, closeness centrality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/centrality.hpp"
+#include "graph/louvain.hpp"
+#include "graph/bridges.hpp"
+#include "graph/scc.hpp"
+#include "support/rng.hpp"
+
+namespace rca::graph {
+namespace {
+
+Digraph two_cliques_with_bridge() {
+  Digraph g(8);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) g.add_edge(i, j);
+  }
+  for (NodeId i = 4; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) g.add_edge(i, j);
+  }
+  g.add_edge(3, 4);
+  return g;
+}
+
+TEST(Modularity, PerfectSplitBeatsTrivialPartitions) {
+  Digraph g = two_cliques_with_bridge();
+  const std::vector<NodeId> split = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<NodeId> all_one(8, 0);
+  std::vector<NodeId> singletons(8);
+  for (NodeId v = 0; v < 8; ++v) singletons[v] = v;
+
+  const double q_split = modularity(g, split);
+  EXPECT_GT(q_split, modularity(g, all_one));
+  EXPECT_GT(q_split, modularity(g, singletons));
+  EXPECT_NEAR(modularity(g, all_one), 0.0, 1e-12);
+  EXPECT_GT(q_split, 0.3);
+}
+
+TEST(Louvain, RecoversTwoCliques) {
+  Digraph g = two_cliques_with_bridge();
+  LouvainResult result = louvain(g);
+  ASSERT_EQ(result.communities.size(), 2u);
+  EXPECT_EQ(result.communities[0].size(), 4u);
+  EXPECT_EQ(result.communities[1].size(), 4u);
+  // Each clique stays together.
+  for (NodeId v = 1; v < 4; ++v) {
+    EXPECT_EQ(result.assignment[v], result.assignment[0]);
+  }
+  for (NodeId v = 5; v < 8; ++v) {
+    EXPECT_EQ(result.assignment[v], result.assignment[4]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[4]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Louvain, DeterministicPerSeed) {
+  SplitMix64 rng(55);
+  Digraph g(80);
+  for (int e = 0; e < 200; ++e) {
+    g.add_edge(static_cast<NodeId>(rng.next() % 80),
+               static_cast<NodeId>(rng.next() % 80));
+  }
+  LouvainResult a = louvain(g);
+  LouvainResult b = louvain(g);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(Louvain, EmptyAndSingletonGraphs) {
+  Digraph empty;
+  EXPECT_TRUE(louvain(empty).communities.empty());
+  Digraph one(1);
+  LouvainResult r = louvain(one);
+  EXPECT_EQ(r.assignment.size(), 1u);
+}
+
+TEST(Louvain, MinCommunitySizeFilters) {
+  Digraph g = two_cliques_with_bridge();
+  g.add_nodes(2);
+  g.add_edge(8, 9);  // isolated pair
+  LouvainOptions opts;
+  opts.min_community_size = 3;
+  LouvainResult r = louvain(g, opts);
+  for (const auto& c : r.communities) EXPECT_GE(c.size(), 3u);
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 4u);
+}
+
+TEST(Scc, CycleCollapsesToOneComponent) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // 3-cycle
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 3u);  // {0,1,2}, {3}, {4}
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+
+  auto members = scc.members();
+  std::size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Scc, CondensationIsAcyclic) {
+  // Two cycles joined by an edge.
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  g.add_edge(1, 2);  // cycle A -> cycle B
+  SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 3u);  // {0,1}, {2,3,4}, {5}
+  Digraph cond = condensation(g, scc);
+  EXPECT_EQ(cond.node_count(), 3u);
+  EXPECT_EQ(cond.edge_count(), 1u);
+  // A DAG's SCCs are singletons.
+  SccResult check = strongly_connected_components(cond);
+  EXPECT_EQ(check.count, cond.node_count());
+}
+
+TEST(Scc, DeepChainDoesNotOverflow) {
+  // 200k-node chain: a recursive Tarjan would blow the stack.
+  const std::size_t n = 200000;
+  Digraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, n);
+}
+
+TEST(Closeness, CenterOfStarIsMostCentral) {
+  // Star with edges into the hub: hub has max in-closeness.
+  Digraph g(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) g.add_edge(leaf, 0);
+  auto c = closeness_centrality(g, Direction::kIn);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_GT(c[0], c[leaf]);
+}
+
+TEST(Closeness, PathGraphOrdering) {
+  // 0 -> 1 -> 2: node 2 reaches everything along in-edges.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  auto cin = closeness_centrality(g, Direction::kIn);
+  EXPECT_GT(cin[2], cin[1]);
+  EXPECT_GT(cin[1], cin[0]);
+  EXPECT_DOUBLE_EQ(cin[0], 0.0);  // nothing flows into node 0
+  auto cout = closeness_centrality(g, Direction::kOut);
+  EXPECT_GT(cout[0], cout[2]);
+}
+
+TEST(Closeness, DisconnectedGraphStaysFinite) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto c = closeness_centrality(g, Direction::kIn);
+  for (double v : c) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+
+TEST(Bridges, FindsTheCliqueBridge) {
+  Digraph g = two_cliques_with_bridge();
+  UGraph ug(g);
+  auto bridges = find_bridges(ug);
+  ASSERT_EQ(bridges.size(), 1u);
+  const auto& e = ug.edge(bridges[0]);
+  EXPECT_TRUE((e.u == 3 && e.v == 4) || (e.u == 4 && e.v == 3));
+}
+
+TEST(Bridges, TreeIsAllBridges) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(2, 4);
+  UGraph ug(g);
+  EXPECT_EQ(find_bridges(ug).size(), 4u);
+}
+
+TEST(Bridges, CycleHasNone) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  UGraph ug(g);
+  EXPECT_TRUE(find_bridges(ug).empty());
+}
+
+TEST(Bridges, RespectsRemovedEdges) {
+  // Removing one cycle edge turns the rest into bridges.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  UGraph ug(g);
+  ug.remove_edge(0);
+  EXPECT_EQ(find_bridges(ug).size(), 3u);
+}
+
+}  // namespace
+}  // namespace rca::graph

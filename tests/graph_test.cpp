@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/betweenness.hpp"
+#include "graph/bfs.hpp"
+#include "graph/centrality.hpp"
+#include "graph/degree_dist.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/girvan_newman.hpp"
+#include "graph/nonbacktracking.hpp"
+#include "graph/ugraph.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace rca::graph {
+namespace {
+
+Digraph path_graph(std::size_t n) {
+  Digraph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+/// Two 4-cliques joined by one bridge edge (3 -- 4): the canonical
+/// Girvan-Newman fixture.
+Digraph two_cliques_with_bridge() {
+  Digraph g(8);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) g.add_edge(i, j);
+  }
+  for (NodeId i = 4; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) g.add_edge(i, j);
+  }
+  g.add_edge(3, 4);
+  return g;
+}
+
+TEST(Digraph, AddEdgeDeduplicatesAndRejectsSelfLoops) {
+  Digraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(2, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, InAndOutAdjacencyAgree) {
+  Digraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.degree(2), 3u);
+}
+
+TEST(Digraph, ReversedSwapsDirections) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_EQ(r.edge_count(), 2u);
+}
+
+TEST(Digraph, EdgeEndpointRangeChecked) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+}
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  std::vector<NodeId> map;
+  Digraph sub = induced_subgraph(g, {1, 2, 4}, &map);
+  EXPECT_EQ(sub.node_count(), 3u);
+  EXPECT_EQ(sub.edge_count(), 1u);  // only 1->2 survives
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_EQ(map[0], kInvalidNode);
+  EXPECT_EQ(map[1], 0u);
+  EXPECT_EQ(map[4], 2u);
+}
+
+TEST(QuotientGraph, CollapsesClassesAndDropsSelfLoops) {
+  // 0,1 in class 0; 2,3 in class 1; intra-class edges vanish.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  Digraph q = quotient_graph(g, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(q.node_count(), 2u);
+  EXPECT_EQ(q.edge_count(), 2u);
+  EXPECT_TRUE(q.has_edge(0, 1));
+  EXPECT_TRUE(q.has_edge(1, 0));
+}
+
+TEST(Bfs, DistancesAlongAPath) {
+  Digraph g = path_graph(5);
+  auto dist = bfs_distances(g, {0});
+  EXPECT_EQ(dist[4], 4u);
+  auto rdist = bfs_distances_to(g, {4});
+  EXPECT_EQ(rdist[0], 4u);
+  EXPECT_EQ(rdist[4], 0u);
+}
+
+TEST(Bfs, AncestorsAreTheBackwardSlice) {
+  // Diamond into 3 plus an unrelated node 4.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  auto anc = ancestors_of(g, {3});
+  EXPECT_EQ(anc.size(), 4u);  // 0,1,2,3 — not 4
+  auto desc = descendants_of(g, {0});
+  EXPECT_EQ(desc.size(), 4u);
+}
+
+TEST(Bfs, ReachesAny) {
+  Digraph g = path_graph(4);
+  EXPECT_TRUE(reaches_any(g, 0, {3}));
+  EXPECT_FALSE(reaches_any(g, 3, {0}));
+}
+
+TEST(Bfs, WeaklyConnectedComponents) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);  // weakly connects {0,1,2}
+  g.add_edge(3, 4);
+  std::size_t count = 0;
+  auto comp = weakly_connected_components(g, &count);
+  EXPECT_EQ(count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(UGraph, MergesAntiparallelEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  UGraph ug(g);
+  EXPECT_EQ(ug.edge_count(), 2u);
+  EXPECT_EQ(ug.degree(1), 2u);
+}
+
+TEST(UGraph, RemoveEdgeUpdatesComponents) {
+  Digraph g = path_graph(4);
+  UGraph ug(g);
+  std::size_t count = 0;
+  ug.components(&count);
+  EXPECT_EQ(count, 1u);
+  ug.remove_edge(1);  // edge 1-2
+  ug.components(&count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(ug.edge_count(), 2u);
+}
+
+TEST(EdgeBetweenness, PathGraphHandComputed) {
+  // Path 0-1-2-3: betweenness of middle edge (1,2) counts pairs
+  // {0,1}x{2,3} = 4 paths; end edges carry 3.
+  Digraph g = path_graph(4);
+  UGraph ug(g);
+  auto bc = edge_betweenness(ug);
+  ASSERT_EQ(bc.size(), 3u);
+  EXPECT_DOUBLE_EQ(bc[0], 3.0);
+  EXPECT_DOUBLE_EQ(bc[1], 4.0);
+  EXPECT_DOUBLE_EQ(bc[2], 3.0);
+}
+
+TEST(EdgeBetweenness, BridgeDominatesCliques) {
+  Digraph g = two_cliques_with_bridge();
+  UGraph ug(g);
+  auto bc = edge_betweenness(ug);
+  // Locate the bridge by its endpoints {3, 4}.
+  EdgeId bridge = kInvalidNode;
+  for (EdgeId e = 0; e < ug.total_edges(); ++e) {
+    if (ug.edge(e).u == 3 && ug.edge(e).v == 4) bridge = e;
+  }
+  ASSERT_NE(bridge, kInvalidNode);
+  for (EdgeId e = 0; e < ug.total_edges(); ++e) {
+    if (e != bridge) {
+      EXPECT_LT(bc[e], bc[bridge]);
+    }
+  }
+  // Bridge carries all 4x4 cross pairs.
+  EXPECT_DOUBLE_EQ(bc[bridge], 16.0);
+}
+
+TEST(EdgeBetweenness, ParallelMatchesSerial) {
+  SplitMix64 rng(31337);
+  Digraph g(60);
+  for (int i = 0; i < 150; ++i) {
+    NodeId u = static_cast<NodeId>(rng.next() % 60);
+    NodeId v = static_cast<NodeId>(rng.next() % 60);
+    if (u != v) g.add_edge(u, v);
+  }
+  UGraph ug(g);
+  ThreadPool pool(4);
+  auto serial = edge_betweenness(ug, nullptr);
+  auto parallel = edge_betweenness(ug, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_NEAR(serial[e], parallel[e], 1e-9);
+  }
+}
+
+TEST(GirvanNewman, SplitsTwoCliques) {
+  Digraph g = two_cliques_with_bridge();
+  GirvanNewmanOptions opts;
+  opts.iterations = 1;
+  opts.min_community_size = 3;
+  auto result = girvan_newman(g, opts);
+  ASSERT_EQ(result.communities.size(), 2u);
+  EXPECT_EQ(result.communities[0].size(), 4u);
+  EXPECT_EQ(result.communities[1].size(), 4u);
+  EXPECT_EQ(result.edges_removed, 1u);  // exactly the bridge
+}
+
+TEST(GirvanNewman, MinCommunitySizeFilters) {
+  // A triangle plus an isolated pair.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  GirvanNewmanOptions opts;
+  opts.iterations = 0;  // just component split, no removals
+  auto result = girvan_newman(g, opts);
+  ASSERT_EQ(result.communities.size(), 1u);
+  EXPECT_EQ(result.communities[0].size(), 3u);
+  EXPECT_EQ(result.component_count, 2u);
+}
+
+TEST(GirvanNewman, SecondIterationSplitsFurther) {
+  // Chain of three 4-cliques: two iterations should split twice.
+  Digraph g(12);
+  auto clique = [&g](NodeId base) {
+    for (NodeId i = base; i < base + 4; ++i) {
+      for (NodeId j = i + 1; j < base + 4; ++j) g.add_edge(i, j);
+    }
+  };
+  clique(0);
+  clique(4);
+  clique(8);
+  g.add_edge(3, 4);
+  g.add_edge(7, 8);
+  GirvanNewmanOptions opts;
+  opts.iterations = 2;
+  auto result = girvan_newman(g, opts);
+  EXPECT_EQ(result.communities.size(), 3u);
+}
+
+TEST(EigenvectorCentrality, StarFavorsHub) {
+  // Undirected-style star encoded with both directions.
+  Digraph g(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    g.add_edge(0, leaf);
+    g.add_edge(leaf, 0);
+  }
+  auto c = eigenvector_centrality(g, Direction::kIn);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_GT(c[0], c[leaf]);
+}
+
+TEST(EigenvectorCentrality, CycleIsUniform) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  auto c = eigenvector_centrality(g, Direction::kIn);
+  for (NodeId v = 1; v < 4; ++v) EXPECT_NEAR(c[v], c[0], 1e-6);
+}
+
+TEST(EigenvectorCentrality, InCentralityRanksSinks) {
+  // 0 -> 1 -> 2 and 3 -> 2: node 2 is the information sink.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 2);
+  auto cin = eigenvector_centrality(g, Direction::kIn);
+  EXPECT_GT(cin[2], cin[0]);
+  EXPECT_GT(cin[2], cin[1]);
+  auto cout = eigenvector_centrality(g, Direction::kOut);
+  EXPECT_GT(cout[0], cout[2]);
+}
+
+TEST(DegreeCentrality, MatchesDegreeOverNMinusOne) {
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  auto c = degree_centrality(g, Direction::kIn);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+}
+
+TEST(PageRank, SumsToOneAndRanksSink) {
+  Digraph g(4);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  auto pr = pagerank(g, Direction::kIn);
+  double sum = 0.0;
+  for (double v : pr) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(pr[3], pr[0]);
+}
+
+TEST(KatzCentrality, UniformOnRegularGraph) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  auto c = katz_centrality(g, Direction::kIn);
+  EXPECT_NEAR(c[0], c[1], 1e-8);
+  EXPECT_NEAR(c[1], c[2], 1e-8);
+}
+
+TEST(TopK, DeterministicTieBreaks) {
+  std::vector<double> scores = {0.5, 0.9, 0.5, 0.1};
+  auto top = top_k(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 0u);  // ties resolved by lower id
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(NonBacktracking, ZeroForIsolatedNodes) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  // Node 3 isolated: excluded from the line graph.
+  auto result = nonbacktracking_centrality(g, Direction::kIn);
+  EXPECT_DOUBLE_EQ(result.centrality[3], 0.0);
+  EXPECT_GT(result.centrality[0], 0.0);
+  EXPECT_EQ(result.hashimoto_size, 3u);
+}
+
+TEST(NonBacktracking, AgreesWithEigenvectorOnSymmetricCore) {
+  // On a clique (fully symmetric), both centralities are uniform over
+  // members.
+  Digraph g(5);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      if (i != j) g.add_edge(i, j);
+    }
+  }
+  auto nbt = nonbacktracking_centrality(g, Direction::kIn);
+  for (NodeId v = 1; v < 4; ++v) {
+    EXPECT_NEAR(nbt.centrality[v], nbt.centrality[0], 1e-6);
+  }
+}
+
+TEST(DegreeDistribution, CountsAndMoments) {
+  Digraph g = path_graph(4);  // degrees 1,2,2,1
+  auto dist = degree_distribution(g);
+  EXPECT_EQ(dist.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(dist.mean_degree, 1.5);
+  EXPECT_EQ(dist.count[1], 2u);
+  EXPECT_EQ(dist.count[2], 2u);
+}
+
+TEST(DegreeDistribution, PowerLawExponentRecovered) {
+  // Synthesize a graph whose degree sequence follows p(d) ~ d^-2.5 by
+  // preferential attachment; MLE should land in a plausible band.
+  SplitMix64 rng(7);
+  Digraph g(1);
+  std::vector<NodeId> targets = {0};
+  for (NodeId v = 1; v < 3000; ++v) {
+    g.add_nodes(1);
+    for (int e = 0; e < 2; ++e) {
+      NodeId t = targets[rng.next() % targets.size()];
+      if (g.add_edge(v, t)) {
+        targets.push_back(t);
+        targets.push_back(v);
+      }
+    }
+  }
+  auto dist = degree_distribution(g, 2);
+  EXPECT_GT(dist.mle_exponent, 1.8);
+  EXPECT_LT(dist.mle_exponent, 3.8);
+  EXPECT_GT(dist.fitted_exponent, 1.0);
+}
+
+TEST(DotExport, ContainsNodesAndEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<std::string> labels = {"a", "b"};
+  std::vector<NodeId> classes = {0, 1};
+  std::string dot = to_dot(g, &labels, &classes, "test");
+  EXPECT_NE(dot.find("digraph test"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rca::graph

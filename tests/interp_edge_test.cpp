@@ -1,0 +1,379 @@
+// Interpreter edge cases beyond the core semantics suite: loop strides,
+// nested and generic calls, character handling, runtime error paths, and
+// numeric subtleties the corpus relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "interp/interpreter.hpp"
+#include "lang/parser.hpp"
+#include "support/rng.hpp"
+
+namespace rca::interp {
+namespace {
+
+class InterpEdgeTest : public ::testing::Test {
+ protected:
+  Interpreter& load(const std::string& source) {
+    files_.push_back(std::make_unique<lang::SourceFile>(
+        lang::Parser("<test>", source).parse_file()));
+    std::vector<const lang::Module*> mods;
+    for (const auto& f : files_) {
+      for (const auto& m : f->modules) mods.push_back(&m);
+    }
+    interp_ = std::make_unique<Interpreter>(std::move(mods));
+    return *interp_;
+  }
+
+  double result(const char* module = "m", const char* var = "r") {
+    return interp_->module_var(module, var)->as_real();
+  }
+
+  std::vector<std::unique_ptr<lang::SourceFile>> files_;
+  std::unique_ptr<Interpreter> interp_;
+};
+
+TEST_F(InterpEdgeTest, NegativeAndStridedDoLoops) {
+  auto& in = load(R"(
+module m
+  real :: r
+contains
+  subroutine go()
+    integer :: i
+    r = 0.0
+    do i = 10, 2, -2
+      r = r + real(i)
+    end do
+    do i = 1, 10, 3
+      r = r + 0.1 * real(i)
+    end do
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  // 10+8+6+4+2 = 30; 0.1*(1+4+7+10) = 2.2.
+  EXPECT_NEAR(result(), 32.2, 1e-12);
+}
+
+TEST_F(InterpEdgeTest, ZeroTripLoopBodyNeverRuns) {
+  auto& in = load(R"(
+module m
+  real :: r
+contains
+  subroutine go()
+    integer :: i
+    r = 1.0
+    do i = 5, 1
+      r = 999.0
+    end do
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  EXPECT_DOUBLE_EQ(result(), 1.0);
+}
+
+TEST_F(InterpEdgeTest, NestedFunctionCalls) {
+  auto& in = load(R"(
+module m
+  real :: r
+contains
+  function inc(x) result(y)
+    real :: x, y
+    y = x + 1.0
+  end function
+  function dbl(x) result(y)
+    real :: x, y
+    y = x * 2.0
+  end function
+  subroutine go()
+    r = dbl(inc(dbl(3.0)))
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  EXPECT_DOUBLE_EQ(result(), 14.0);  // ((3*2)+1)*2
+}
+
+TEST_F(InterpEdgeTest, RecursiveFunctionTerminates) {
+  auto& in = load(R"(
+module m
+  real :: r
+contains
+  recursive function fact(n) result(f)
+    integer :: n
+    real :: f
+    if (n <= 1) then
+      f = 1.0
+    else
+      f = real(n) * fact(n - 1)
+    end if
+  end function
+  subroutine go()
+    r = fact(6)
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  EXPECT_DOUBLE_EQ(result(), 720.0);
+}
+
+TEST_F(InterpEdgeTest, GenericInterfaceDispatchAtRuntime) {
+  auto& in = load(R"(
+module m
+  real :: r
+  interface pick
+    module procedure pick1, pick2
+  end interface
+contains
+  function pick1(a) result(x)
+    real :: a, x
+    x = a * 10.0
+  end function
+  function pick2(a, b) result(x)
+    real :: a, b, x
+    x = a + b
+  end function
+  subroutine go()
+    r = pick(2.0) + pick(3.0, 4.0)
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  EXPECT_DOUBLE_EQ(result(), 27.0);
+}
+
+TEST_F(InterpEdgeTest, LogicalShortCircuitSemanticsValueLevel) {
+  // .and./.or. evaluate both sides (Fortran does not guarantee
+  // short-circuiting); verify value behavior only.
+  auto& in = load(R"(
+module m
+  logical :: b
+contains
+  subroutine go(x)
+    real :: x
+    b = x > 1.0 .and. .not. (x > 5.0) .or. x < 0.0
+  end subroutine
+end module
+)");
+  in.call("m", "go", {Value::make_real(3.0)});
+  EXPECT_TRUE(in.module_var("m", "b")->as_logical());
+  in.call("m", "go", {Value::make_real(7.0)});
+  EXPECT_FALSE(in.module_var("m", "b")->as_logical());
+  in.call("m", "go", {Value::make_real(-1.0)});
+  EXPECT_TRUE(in.module_var("m", "b")->as_logical());
+}
+
+TEST_F(InterpEdgeTest, CharacterVariablesFlowThroughCalls) {
+  auto& in = load(R"(
+module m
+  character(len=32) :: label
+contains
+  subroutine tag(name)
+    character(len=32) :: name
+    label = name
+  end subroutine
+  subroutine go()
+    call tag('hello')
+    call outfld(label, 42.0)
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  ASSERT_EQ(in.outputs().size(), 1u);
+  EXPECT_EQ(in.outputs()[0].first, "hello");
+  EXPECT_DOUBLE_EQ(in.outputs()[0].second, 42.0);
+}
+
+TEST_F(InterpEdgeTest, PowerOperatorIntegerAndReal) {
+  auto& in = load(R"(
+module m
+  real :: r
+  integer :: k
+contains
+  subroutine go()
+    k = 2 ** 10
+    r = 2.0 ** (0.0 - 1.0) + 9.0 ** 0.5
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  EXPECT_EQ(in.module_var("m", "k")->as_int(), 1024);
+  EXPECT_DOUBLE_EQ(result(), 3.5);
+}
+
+TEST_F(InterpEdgeTest, MergeAndSignIntrinsics) {
+  auto& in = load(R"(
+module m
+  real :: r1, r2, r3
+contains
+  subroutine go()
+    r1 = merge(1.0, 2.0, 3.0 > 1.0)
+    r2 = merge(1.0, 2.0, .false.)
+    r3 = sign(5.0, 0.0 - 2.0)
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  EXPECT_DOUBLE_EQ(result("m", "r1"), 1.0);
+  EXPECT_DOUBLE_EQ(result("m", "r2"), 2.0);
+  EXPECT_DOUBLE_EQ(result("m", "r3"), -5.0);
+}
+
+TEST_F(InterpEdgeTest, IntegerDivisionByZeroThrows) {
+  auto& in = load(R"(
+module m
+  integer :: k
+contains
+  subroutine go()
+    integer :: zero
+    zero = 0
+    k = 7 / zero
+  end subroutine
+end module
+)");
+  EXPECT_THROW(in.call("m", "go"), EvalError);
+}
+
+TEST_F(InterpEdgeTest, WrongArityCallThrows) {
+  auto& in = load(R"(
+module m
+contains
+  subroutine takes2(a, b)
+    real :: a, b
+    a = b
+  end subroutine
+  subroutine go()
+    call takes2(1.0)
+  end subroutine
+end module
+)");
+  EXPECT_THROW(in.call("m", "go"), EvalError);
+}
+
+TEST_F(InterpEdgeTest, FunctionUsedAsSubroutineThrows) {
+  auto& in = load(R"(
+module m
+contains
+  function f(x) result(y)
+    real :: x, y
+    y = x
+  end function
+  subroutine go()
+    real :: a
+    a = f(1.0, 2.0)
+  end subroutine
+end module
+)");
+  EXPECT_THROW(in.call("m", "go"), EvalError);
+}
+
+TEST_F(InterpEdgeTest, ParameterArraysDimensionLocals) {
+  auto& in = load(R"(
+module dims
+  integer, parameter :: nlev = 6
+end module
+module m
+  use dims, only: nlev
+  real :: r
+contains
+  subroutine go()
+    real :: col(nlev)
+    integer :: i
+    do i = 1, nlev
+      col(i) = real(i)
+    end do
+    r = sum(col) / real(size(col))
+  end subroutine
+end module
+)");
+  in.call("m", "go");
+  EXPECT_DOUBLE_EQ(result(), 3.5);
+}
+
+TEST_F(InterpEdgeTest, FmaSubtractionPattern) {
+  // a*b - c must fuse as fma(a, b, -c).
+  auto& in = load(R"(
+module m
+  real :: r
+contains
+  subroutine go(a, b, c)
+    real :: a, b, c
+    r = a * b - c
+  end subroutine
+end module
+)");
+  const double a = 1.0 + std::ldexp(1.0, -29);
+  const double b = 1.0 - std::ldexp(1.0, -29);
+  const double c = 1.0;
+  in.set_fma("m", true);
+  in.call("m", "go",
+          {Value::make_real(a), Value::make_real(b), Value::make_real(c)});
+  EXPECT_DOUBLE_EQ(result(), std::fma(a, b, -c));
+}
+
+TEST_F(InterpEdgeTest, FmaRightHandPattern) {
+  // c + a*b must also fuse.
+  auto& in = load(R"(
+module m
+  real :: r
+contains
+  subroutine go(a, b, c)
+    real :: a, b, c
+    r = c + a * b
+  end subroutine
+end module
+)");
+  const double a = 1.0 + std::ldexp(1.0, -30);
+  const double b = 1.0 + std::ldexp(1.0, -31);
+  const double c = -1.0;
+  in.set_fma("m", true);
+  in.call("m", "go",
+          {Value::make_real(a), Value::make_real(b), Value::make_real(c)});
+  EXPECT_DOUBLE_EQ(result(), std::fma(a, b, c));
+}
+
+TEST_F(InterpEdgeTest, WatchCountsArrayElementAssignments) {
+  auto& in = load(R"(
+module m
+  real :: field(6)
+contains
+  subroutine go()
+    integer :: i
+    do i = 1, 6
+      field(i) = real(i)
+    end do
+    field = field * 2.0
+  end subroutine
+end module
+)");
+  in.add_watch(WatchKey{"m", "", "field"});
+  in.call("m", "go");
+  auto it = in.watch_stats().find(WatchKey{"m", "", "field"});
+  ASSERT_NE(it, in.watch_stats().end());
+  // 6 element stores + 6 whole-array elements.
+  EXPECT_EQ(it->second.count, 12u);
+}
+
+TEST_F(InterpEdgeTest, AssignmentsExecutedCounter) {
+  auto& in = load(R"(
+module m
+  real :: r
+contains
+  subroutine go()
+    integer :: i
+    r = 0.0
+    do i = 1, 10
+      r = r + 1.0
+    end do
+  end subroutine
+end module
+)");
+  const std::uint64_t before = in.assignments_executed();
+  in.call("m", "go");
+  EXPECT_EQ(in.assignments_executed() - before, 11u);
+}
+
+}  // namespace
+}  // namespace rca::interp

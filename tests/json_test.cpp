@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace rca {
+namespace {
+
+TEST(Json, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.string_value("wsub");
+  w.key("count");
+  w.integer(14);
+  w.key("ratio");
+  w.number(0.5);
+  w.key("pass");
+  w.boolean(false);
+  w.key("missing");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"wsub","count":14,"ratio":0.5,"pass":false,)"
+            R"("missing":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("iterations");
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object();
+    w.key("n");
+    w.integer(i);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"iterations":[{"n":0},{"n":1}]})");
+}
+
+TEST(Json, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array();
+  w.string_value("a");
+  w.string_value("b");
+  w.integer(3);
+  w.end_array();
+  EXPECT_EQ(w.str(), R"(["a","b",3])");
+}
+
+TEST(Json, EscapingControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.number(std::nan(""));
+  w.number(1.0 / 0.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, StructuralErrorsThrow) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.string_value("no key"), Error);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("keys are for objects"), Error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), Error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), Error);  // unbalanced
+  }
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("empty_list");
+  w.begin_array();
+  w.end_array();
+  w.key("empty_obj");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"empty_list":[],"empty_obj":{}})");
+}
+
+}  // namespace
+}  // namespace rca

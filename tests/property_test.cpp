@@ -1,0 +1,285 @@
+// Property-based tests: seeded sweeps over randomized structures asserting
+// invariants of the graph algorithms, the frontend, the slicer and the ECT.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ect/ect.hpp"
+#include "graph/betweenness.hpp"
+#include "graph/bfs.hpp"
+#include "graph/centrality.hpp"
+#include "graph/louvain.hpp"
+#include "graph/scc.hpp"
+#include "graph/ugraph.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "interp/interpreter.hpp"
+#include "meta/builder.hpp"
+#include "model/corpus.hpp"
+#include "model/model.hpp"
+#include "slice/slicer.hpp"
+#include "support/rng.hpp"
+
+namespace rca {
+namespace {
+
+using graph::Digraph;
+using graph::NodeId;
+
+Digraph random_digraph(std::uint64_t seed, std::size_t n, std::size_t m) {
+  SplitMix64 rng(seed);
+  Digraph g(n);
+  for (std::size_t e = 0; e < m; ++e) {
+    g.add_edge(static_cast<NodeId>(rng.next() % n),
+               static_cast<NodeId>(rng.next() % n));
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Graph invariants, swept over seeds.
+// ---------------------------------------------------------------------------
+
+class GraphInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphInvariants, InducedSubgraphIsExact) {
+  Digraph g = random_digraph(GetParam(), 60, 180);
+  SplitMix64 rng(GetParam() * 31 + 7);
+  std::vector<NodeId> keep;
+  std::vector<bool> in_set(60, false);
+  for (NodeId v = 0; v < 60; ++v) {
+    if (rng.uniform() < 0.5) {
+      keep.push_back(v);
+      in_set[v] = true;
+    }
+  }
+  if (keep.empty()) keep.push_back(0), in_set[0] = true;
+  std::vector<NodeId> map;
+  Digraph sub = induced_subgraph(g, keep, &map);
+  // Every kept-pair edge of g appears in sub, and nothing else does.
+  std::size_t expected_edges = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (in_set[u] && in_set[v]) {
+      ++expected_edges;
+      EXPECT_TRUE(sub.has_edge(map[u], map[v]));
+    }
+  }
+  EXPECT_EQ(sub.edge_count(), expected_edges);
+}
+
+TEST_P(GraphInvariants, QuotientHasNoSelfLoopsAndCoversCrossEdges) {
+  Digraph g = random_digraph(GetParam(), 50, 150);
+  std::vector<NodeId> classes(50);
+  for (NodeId v = 0; v < 50; ++v) classes[v] = v % 7;
+  Digraph q = quotient_graph(g, classes, 7);
+  for (NodeId c = 0; c < 7; ++c) EXPECT_FALSE(q.has_edge(c, c));
+  for (const auto& [u, v] : g.edges()) {
+    if (classes[u] != classes[v]) {
+      EXPECT_TRUE(q.has_edge(classes[u], classes[v]));
+    }
+  }
+}
+
+TEST_P(GraphInvariants, AncestorDescendantDuality) {
+  Digraph g = random_digraph(GetParam(), 40, 100);
+  SplitMix64 rng(GetParam() + 99);
+  const NodeId a = static_cast<NodeId>(rng.next() % 40);
+  const NodeId b = static_cast<NodeId>(rng.next() % 40);
+  const auto anc_b = graph::ancestors_of(g, {b});
+  const auto desc_a = graph::descendants_of(g, {a});
+  const bool a_in_anc =
+      std::find(anc_b.begin(), anc_b.end(), a) != anc_b.end();
+  const bool b_in_desc =
+      std::find(desc_a.begin(), desc_a.end(), b) != desc_a.end();
+  EXPECT_EQ(a_in_anc, b_in_desc);
+}
+
+TEST_P(GraphInvariants, WccIsAValidPartition) {
+  Digraph g = random_digraph(GetParam(), 70, 80);
+  std::size_t count = 0;
+  auto comp = graph::weakly_connected_components(g, &count);
+  EXPECT_GT(count, 0u);
+  for (NodeId v = 0; v < 70; ++v) EXPECT_LT(comp[v], count);
+  // Edges never cross components.
+  for (const auto& [u, v] : g.edges()) EXPECT_EQ(comp[u], comp[v]);
+}
+
+TEST_P(GraphInvariants, EigenvectorCentralityIsNormalizedAndNonNegative) {
+  Digraph g = random_digraph(GetParam(), 50, 150);
+  auto c = eigenvector_centrality(g, graph::Direction::kIn);
+  double norm = 0.0;
+  for (double x : c) {
+    EXPECT_GE(x, 0.0);
+    norm += x * x;
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-6);
+}
+
+TEST_P(GraphInvariants, EdgeBetweennessNonNegativeAndBounded) {
+  Digraph g = random_digraph(GetParam(), 30, 70);
+  graph::UGraph ug(g);
+  auto bc = graph::edge_betweenness(ug);
+  const double n = static_cast<double>(ug.node_count());
+  for (double b : bc) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, n * (n - 1) / 2.0 + 1e-9);  // all pairs bound
+  }
+}
+
+TEST_P(GraphInvariants, LouvainNeverWorseThanSingletons) {
+  Digraph g = random_digraph(GetParam(), 60, 150);
+  std::vector<NodeId> singletons(60);
+  for (NodeId v = 0; v < 60; ++v) singletons[v] = v;
+  auto result = louvain(g);
+  EXPECT_GE(result.modularity, modularity(g, singletons) - 1e-9);
+  // Assignment is a valid dense partition.
+  for (NodeId c : result.assignment) {
+    EXPECT_LT(c, result.assignment.size());
+  }
+}
+
+TEST_P(GraphInvariants, CondensationIsAcyclic) {
+  Digraph g = random_digraph(GetParam(), 40, 120);
+  auto scc = strongly_connected_components(g);
+  Digraph cond = condensation(g, scc);
+  auto check = strongly_connected_components(cond);
+  EXPECT_EQ(check.count, cond.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphInvariants,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---------------------------------------------------------------------------
+// Frontend: print/parse fixed point over the generated corpus.
+// ---------------------------------------------------------------------------
+
+class CorpusRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorpusRoundTrip, ParsePrintParseIsAFixedPoint) {
+  static const model::GeneratedCorpus corpus =
+      model::generate_corpus(model::CorpusSpec{});
+  const std::size_t index = GetParam() % corpus.files.size();
+  const auto& file = corpus.files[index];
+
+  lang::Parser p1(file.path, file.text);
+  lang::SourceFile ast1 = p1.parse_file();
+  const std::string printed1 = lang::print_source_file(ast1);
+  lang::Parser p2(file.path, printed1);
+  lang::SourceFile ast2 = p2.parse_file();
+  EXPECT_EQ(lang::print_source_file(ast2), printed1) << file.path;
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, CorpusRoundTrip,
+                         ::testing::Values(0u, 3u, 6u, 13u, 29u, 57u, 101u,
+                                           143u, 181u, 196u));
+
+// ---------------------------------------------------------------------------
+// Slicer soundness: ancestors always make it into canonical-name slices.
+// ---------------------------------------------------------------------------
+
+class SlicerSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlicerSoundness, AncestorsAreNeverDropped) {
+  static std::unique_ptr<model::CesmModel> model =
+      std::make_unique<model::CesmModel>(model::CorpusSpec{});
+  static meta::Metagraph mg = meta::build_metagraph(model->compiled_modules());
+
+  SplitMix64 rng(GetParam() * 7919 + 13);
+  // Pick a random node with descendants; slice on a random descendant's
+  // canonical name; the node must be in the slice.
+  for (int trial = 0; trial < 5; ++trial) {
+    const NodeId v = static_cast<NodeId>(rng.next() % mg.node_count());
+    auto desc = graph::descendants_of(mg.graph(), {v});
+    if (desc.size() < 2) continue;
+    const NodeId d = desc[1 + rng.next() % (desc.size() - 1)];
+    const std::string& canonical = mg.info(d).canonical_name;
+    slice::SliceResult result = slice::backward_slice(mg, {canonical});
+    EXPECT_NE(std::find(result.nodes.begin(), result.nodes.end(), v),
+              result.nodes.end())
+        << "node " << mg.info(v).unique_name << " missing from slice on "
+        << canonical;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicerSoundness,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+
+// ---------------------------------------------------------------------------
+// Static-vs-dynamic soundness: every variable the interpreter actually
+// assigns is known to the metagraph under the same canonical name, so no
+// runtime store can escape the slicer's canonical-name search.
+// ---------------------------------------------------------------------------
+
+TEST(StaticDynamicConsistency, EveryRuntimeAssignmentHasAGraphNode) {
+  model::CesmModel model(model::CorpusSpec{});
+  meta::Metagraph mg = meta::build_metagraph(model.compiled_modules());
+
+  // Re-run the driver with assignment recording on.
+  interp::Interpreter interp(model.compiled_modules());
+  interp.set_record_assignments(true);
+  interp.call("cam_driver", "cam_init");
+  for (int step = 0; step < 3; ++step) interp.call("cam_driver", "cam_step");
+
+  ASSERT_GT(interp.assigned_keys().size(), 100u);
+  std::size_t exact = 0;
+  for (const interp::WatchKey& key : interp.assigned_keys()) {
+    // The canonical name must be known to the static graph...
+    EXPECT_FALSE(mg.by_canonical(key.name).empty())
+        << key.module << "::" << key.subprogram << "::" << key.name;
+    // ...and most keys resolve to their exact scoped node (derived-type
+    // component stores are attributed to the owning module statically but
+    // to the executing subprogram dynamically, so exact-match is not 100%).
+    if (mg.find(key.module, key.subprogram, key.name) !=
+        graph::kInvalidNode) {
+      ++exact;
+    }
+  }
+  EXPECT_GT(exact * 10, interp.assigned_keys().size() * 8);  // >80% exact
+}
+
+// ---------------------------------------------------------------------------
+// ECT calibration: the false-positive rate falls as the threshold loosens.
+// ---------------------------------------------------------------------------
+
+TEST(EctCalibration, FprMonotoneInSigmaMultiplier) {
+  SplitMix64 rng(404);
+  const std::size_t members = 40, vars = 10;
+  stats::Matrix ens(members, vars);
+  for (std::size_t i = 0; i < members; ++i) {
+    for (std::size_t j = 0; j < vars; ++j) {
+      ens.at(i, j) = rng.uniform() + static_cast<double>(j);
+    }
+  }
+  std::vector<std::string> names;
+  for (std::size_t j = 0; j < vars; ++j) names.push_back("v" + std::to_string(j));
+
+  double prev_rate = 1.1;
+  for (double sigma : {1.0, 2.0, 3.29, 6.0}) {
+    ect::EctOptions opts;
+    opts.sigma_multiplier = sigma;
+    opts.min_failing_pcs = 1;  // strictest aggregation for a clean sweep
+    ect::EnsembleConsistencyTest ect(ens, names, opts);
+    std::size_t failures = 0;
+    const std::size_t trials = 40;
+    for (std::size_t t = 0; t < trials; ++t) {
+      std::vector<std::vector<double>> runs;
+      for (int r = 0; r < 3; ++r) {
+        std::vector<double> run(vars);
+        for (std::size_t j = 0; j < vars; ++j) {
+          run[j] = rng.uniform() + static_cast<double>(j);
+        }
+        runs.push_back(std::move(run));
+      }
+      if (!ect.evaluate(runs).pass) ++failures;
+    }
+    const double rate = static_cast<double>(failures) / trials;
+    EXPECT_LE(rate, prev_rate + 0.075);  // monotone up to sampling noise
+    prev_rate = rate;
+  }
+  EXPECT_LE(prev_rate, 0.05);  // 6-sigma threshold: essentially no FPs
+}
+
+}  // namespace
+}  // namespace rca

@@ -1,0 +1,21 @@
+# Drives the rca-tool CLI through the paper workflow end-to-end.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run)
+  execute_process(COMMAND ${TOOL} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "rca-tool ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+run(generate --out corpus --seed 11)
+run(graph --src corpus --build-list corpus/build_list.txt --coverage --out mg.tsv)
+run(info --graph mg.tsv)
+run(slice --graph mg.tsv --output flds --cam-only --show 3)
+run(communities --graph mg.tsv --method louvain --min-size 5)
+run(centrality --graph mg.tsv --modules --kind inout-eigenvector --top 5)

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lang/parser.hpp"
+#include "meta/builder.hpp"
+#include "meta/serialize.hpp"
+#include "model/corpus.hpp"
+#include "model/model.hpp"
+
+namespace rca::meta {
+namespace {
+
+Metagraph sample_metagraph(std::unique_ptr<lang::SourceFile>* keep_alive) {
+  *keep_alive = std::make_unique<lang::SourceFile>(
+      lang::Parser("<t>", R"(
+module m
+  real :: rnd(4)
+  real :: flwds(4)
+contains
+  subroutine s()
+    real :: emis
+    call shr_rand_uniform(rnd)
+    emis = rnd(1) * 0.3 + 0.6
+    flwds = emis * 0.8 + max(emis, 0.1)
+    call outfld('FLDS', flwds)
+  end subroutine
+end module
+)")
+          .parse_file());
+  std::vector<const lang::Module*> mods;
+  for (const auto& mod : (*keep_alive)->modules) mods.push_back(&mod);
+  return build_metagraph(mods);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  std::unique_ptr<lang::SourceFile> keep;
+  Metagraph original = sample_metagraph(&keep);
+  const std::string text = save_metagraph_to_string(original);
+  Metagraph loaded = load_metagraph_from_string(text);
+
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  EXPECT_EQ(loaded.graph().edge_count(), original.graph().edge_count());
+  for (graph::NodeId v = 0; v < original.node_count(); ++v) {
+    EXPECT_EQ(loaded.info(v).canonical_name, original.info(v).canonical_name);
+    EXPECT_EQ(loaded.info(v).module, original.info(v).module);
+    EXPECT_EQ(loaded.info(v).subprogram, original.info(v).subprogram);
+    EXPECT_EQ(loaded.info(v).is_intrinsic, original.info(v).is_intrinsic);
+    EXPECT_EQ(loaded.info(v).is_prng_site, original.info(v).is_prng_site);
+    EXPECT_EQ(loaded.info(v).line, original.info(v).line);
+  }
+  for (const auto& [u, v] : original.graph().edges()) {
+    EXPECT_TRUE(loaded.graph().has_edge(u, v));
+  }
+  ASSERT_EQ(loaded.io_map().size(), original.io_map().size());
+  EXPECT_EQ(loaded.io_map().at("flds"), original.io_map().at("flds"));
+}
+
+TEST(Serialize, SecondSaveIsIdentical) {
+  std::unique_ptr<lang::SourceFile> keep;
+  Metagraph original = sample_metagraph(&keep);
+  const std::string a = save_metagraph_to_string(original);
+  Metagraph loaded = load_metagraph_from_string(a);
+  EXPECT_EQ(save_metagraph_to_string(loaded), a);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  EXPECT_THROW(load_metagraph_from_string("not-a-metagraph\n"), Error);
+}
+
+TEST(Serialize, RejectsDanglingEdge) {
+  const std::string text =
+      "rca-metagraph 1\n"
+      "node\t0\ta\tm\t-\t1\t-\n"
+      "edge\t0\t7\n";
+  EXPECT_THROW(load_metagraph_from_string(text), Error);
+}
+
+TEST(Serialize, RejectsUnknownRecord) {
+  const std::string text = "rca-metagraph 1\nwhatever\t1\n";
+  EXPECT_THROW(load_metagraph_from_string(text), Error);
+}
+
+TEST(Serialize, CorpusScaleRoundTrip) {
+  model::CesmModel model(model::CorpusSpec{});
+  Metagraph mg = build_metagraph(model.compiled_modules());
+  Metagraph loaded = load_metagraph_from_string(save_metagraph_to_string(mg));
+  EXPECT_EQ(loaded.node_count(), mg.node_count());
+  EXPECT_EQ(loaded.graph().edge_count(), mg.graph().edge_count());
+  EXPECT_EQ(loaded.by_canonical("dum").size(), mg.by_canonical("dum").size());
+  EXPECT_EQ(loaded.modules().size(), mg.modules().size());
+}
+
+}  // namespace
+}  // namespace rca::meta

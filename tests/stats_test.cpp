@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/lasso.hpp"
+#include "stats/matrix.hpp"
+#include "stats/pca.hpp"
+#include "stats/selection.hpp"
+#include "support/rng.hpp"
+
+namespace rca::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStd) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+}
+
+TEST(Descriptive, QuantilesInterpolate) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Descriptive, IqrOverlapDetection) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> b = {100, 101, 102, 103};
+  Iqr ia = interquartile_range(a);
+  Iqr ib = interquartile_range(b);
+  EXPECT_FALSE(ia.overlaps(ib));
+  EXPECT_TRUE(ia.overlaps(ia));
+  EXPECT_GT(ia.width(), 0.0);
+}
+
+TEST(Descriptive, StandardizeHandlesZeroSigma) {
+  auto z = standardize({1.0, 2.0, 3.0}, 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(z[0], -1.0);  // centered only
+  auto z2 = standardize({10.0, 20.0}, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(z2[1], 2.0);
+}
+
+TEST(Eigen, DiagonalMatrixEigenpairs) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3.0;
+  a.at(1, 1) = 1.0;
+  a.at(2, 2) = 2.0;
+  EigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-10);
+  // Leading eigenvector is e0.
+  EXPECT_NEAR(std::abs(r.vectors.at(0, 0)), 1.0, 1e-10);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/(1,-1).
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 2;
+  EigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(r.vectors.at(0, 0)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  // A = V diag(w) V^T round-trips for a random symmetric matrix.
+  SplitMix64 rng(5);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a.at(i, j) = rng.uniform() - 0.5;
+      a.at(j, i) = a.at(i, j);
+    }
+  }
+  EigenResult r = symmetric_eigen(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += r.vectors.at(i, k) * r.values[k] * r.vectors.at(j, k);
+      }
+      EXPECT_NEAR(sum, a.at(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points along y = 2x with small noise: PC1 is (1,2)/sqrt(5).
+  SplitMix64 rng(7);
+  Matrix data(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double t = rng.uniform() * 10.0 - 5.0;
+    data.at(i, 0) = t + (rng.uniform() - 0.5) * 0.01;
+    data.at(i, 1) = 2.0 * t + (rng.uniform() - 0.5) * 0.01;
+  }
+  PcaModel model = fit_pca(data);
+  // Standardized coordinates make both columns unit variance; the dominant
+  // PC is then (1,1)/sqrt(2) up to sign.
+  EXPECT_GT(model.eigen.values[0], 1.5);
+  EXPECT_LT(model.eigen.values[1], 0.5);
+  EXPECT_NEAR(std::abs(model.eigen.vectors.at(0, 0)),
+              std::abs(model.eigen.vectors.at(1, 0)), 1e-3);
+}
+
+TEST(Pca, ProjectionOfEnsembleMeanIsZero) {
+  SplitMix64 rng(11);
+  Matrix data(50, 4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) data.at(i, j) = rng.uniform();
+  }
+  PcaModel model = fit_pca(data);
+  std::vector<double> scores = model.project(model.column_mean);
+  for (double s : scores) EXPECT_NEAR(s, 0.0, 1e-9);
+}
+
+TEST(Pca, ConstantColumnDoesNotBlowUp) {
+  Matrix data(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    data.at(i, 0) = 5.0;  // constant
+    data.at(i, 1) = static_cast<double>(i);
+  }
+  PcaModel model = fit_pca(data);
+  auto scores = model.project({5.0, 4.5});
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(Lasso, SeparableDataSelectsInformativeFeature) {
+  // Feature 0 separates classes; features 1-3 are noise.
+  SplitMix64 rng(13);
+  const std::size_t n = 80;
+  Matrix x(n, 4);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i < n / 2 ? 0 : 1;
+    x.at(i, 0) = (y[i] ? 2.0 : -2.0) + (rng.uniform() - 0.5) * 0.2;
+    for (std::size_t j = 1; j < 4; ++j) x.at(i, j) = rng.uniform() - 0.5;
+  }
+  auto selected = select_variables(x, y, 1);
+  ASSERT_FALSE(selected.empty());
+  EXPECT_EQ(selected[0], 0u);
+}
+
+TEST(Lasso, LambdaMaxZeroesTheModel) {
+  SplitMix64 rng(17);
+  Matrix x(40, 3);
+  std::vector<int> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t j = 0; j < 3; ++j) {
+      x.at(i, j) = rng.uniform() + (y[i] ? 0.3 * static_cast<double>(j) : 0.0);
+    }
+  }
+  LassoOptions opts;
+  opts.lambda = lasso_lambda_max(x, y) * 1.05;
+  LassoModel model = lasso_logistic(x, y, opts);
+  EXPECT_EQ(model.nonzero_count(), 0u);
+}
+
+TEST(Lasso, PenaltyMonotonicallyShrinksSupport) {
+  SplitMix64 rng(19);
+  const std::size_t n = 60, p = 8;
+  Matrix x(n, p);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t j = 0; j < p; ++j) {
+      x.at(i, j) = rng.uniform() +
+                   (y[i] ? 0.1 * static_cast<double>(j + 1) : 0.0);
+    }
+  }
+  const double lam_max = lasso_lambda_max(x, y);
+  // Decreasing the penalty (lambda) grows the support, weakly.
+  std::size_t prev = 0;
+  for (double f : {0.9, 0.5, 0.1, 0.01}) {
+    LassoOptions opts;
+    opts.lambda = lam_max * f;
+    const std::size_t k = lasso_logistic(x, y, opts).nonzero_count();
+    EXPECT_GE(k + 1, prev);  // allow one feature of non-monotonic wiggle
+    prev = k;
+  }
+  EXPECT_GE(prev, 1u);
+}
+
+TEST(Lasso, TargetCountBisection) {
+  SplitMix64 rng(23);
+  const std::size_t n = 100, p = 12;
+  Matrix x(n, p);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    for (std::size_t j = 0; j < p; ++j) {
+      const double signal = j < 6 ? 0.5 * static_cast<double>(6 - j) : 0.0;
+      x.at(i, j) = rng.uniform() + (y[i] ? signal : 0.0);
+    }
+  }
+  auto selected = select_variables(x, y, 5);
+  EXPECT_GE(selected.size(), 3u);
+  EXPECT_LE(selected.size(), 7u);
+  // Selected features should be informative ones (0..5).
+  for (std::size_t j : selected) EXPECT_LT(j, 6u);
+}
+
+TEST(Selection, MedianDistanceRanksShiftedVariableFirst) {
+  SplitMix64 rng(29);
+  const std::size_t members = 30;
+  Matrix ens(members, 3), exp(members, 3);
+  for (std::size_t i = 0; i < members; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      ens.at(i, j) = rng.uniform();
+      exp.at(i, j) = rng.uniform() + (j == 1 ? 50.0 : 0.0);
+    }
+  }
+  auto ranked = median_distance_ranking(ens, exp, {"a", "b", "c"});
+  EXPECT_EQ(ranked[0].name, "b");
+  EXPECT_TRUE(ranked[0].iqr_disjoint);
+  EXPECT_GT(ranked[0].median_distance, 10.0);
+  EXPECT_FALSE(ranked[1].iqr_disjoint);
+}
+
+TEST(Selection, DirectDifferenceFindsChangedVariables) {
+  auto diff = direct_difference({1.0, 2.0, 3.0}, {1.0, 2.0 + 1e-6, 3.0},
+                                {"a", "b", "c"}, 1e-9);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], "b");
+}
+
+TEST(Selection, LassoSelectionPrefersStrongestShift) {
+  SplitMix64 rng(31);
+  const std::size_t members = 25;
+  Matrix ens(members, 4), exp(members, 4);
+  for (std::size_t i = 0; i < members; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      ens.at(i, j) = rng.uniform();
+      double shift = 0.0;
+      if (j == 2) shift = 30.0;      // strongest
+      if (j == 0) shift = 3.0;       // weaker
+      exp.at(i, j) = rng.uniform() + shift;
+    }
+  }
+  auto selected = lasso_selection(ens, exp, {"w", "x", "y", "z"}, 2);
+  ASSERT_FALSE(selected.empty());
+  EXPECT_EQ(selected[0], "y");
+}
+
+TEST(MatrixTest, AccessorsAndBounds) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.column(2)[1], 7.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 7.0);
+  EXPECT_THROW(m.column(3), Error);
+  EXPECT_THROW(m.row(2), Error);
+}
+
+}  // namespace
+}  // namespace rca::stats
