@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca-tool.dir/rca_tool.cpp.o"
+  "CMakeFiles/rca-tool.dir/rca_tool.cpp.o.d"
+  "rca-tool"
+  "rca-tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca-tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_centrality.dir/ablation_centrality.cpp.o"
+  "CMakeFiles/ablation_centrality.dir/ablation_centrality.cpp.o.d"
+  "ablation_centrality"
+  "ablation_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_communities.dir/ablation_communities.cpp.o"
+  "CMakeFiles/ablation_communities.dir/ablation_communities.cpp.o.d"
+  "ablation_communities"
+  "ablation_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coverage.dir/ablation_coverage.cpp.o"
+  "CMakeFiles/ablation_coverage.dir/ablation_coverage.cpp.o.d"
+  "ablation_coverage"
+  "ablation_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

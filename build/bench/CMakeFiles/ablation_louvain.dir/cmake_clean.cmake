@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_louvain.dir/ablation_louvain.cpp.o"
+  "CMakeFiles/ablation_louvain.dir/ablation_louvain.cpp.o.d"
+  "ablation_louvain"
+  "ablation_louvain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_louvain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slice_union.dir/ablation_slice_union.cpp.o"
+  "CMakeFiles/ablation_slice_union.dir/ablation_slice_union.cpp.o.d"
+  "ablation_slice_union"
+  "ablation_slice_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slice_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

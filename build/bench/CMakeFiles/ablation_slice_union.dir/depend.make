@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_slice_union.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stall_breaking.dir/ablation_stall_breaking.cpp.o"
+  "CMakeFiles/ablation_stall_breaking.dir/ablation_stall_breaking.cpp.o.d"
+  "ablation_stall_breaking"
+  "ablation_stall_breaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stall_breaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

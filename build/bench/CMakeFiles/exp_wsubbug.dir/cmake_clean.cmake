@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_wsubbug.dir/exp_wsubbug.cpp.o"
+  "CMakeFiles/exp_wsubbug.dir/exp_wsubbug.cpp.o.d"
+  "exp_wsubbug"
+  "exp_wsubbug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_wsubbug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

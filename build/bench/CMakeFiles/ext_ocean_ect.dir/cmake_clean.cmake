@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ocean_ect.dir/ext_ocean_ect.cpp.o"
+  "CMakeFiles/ext_ocean_ect.dir/ext_ocean_ect.cpp.o.d"
+  "ext_ocean_ect"
+  "ext_ocean_ect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ocean_ect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

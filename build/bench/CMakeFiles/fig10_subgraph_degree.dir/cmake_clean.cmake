@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_subgraph_degree.dir/fig10_subgraph_degree.cpp.o"
+  "CMakeFiles/fig10_subgraph_degree.dir/fig10_subgraph_degree.cpp.o.d"
+  "fig10_subgraph_degree"
+  "fig10_subgraph_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_subgraph_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nonbacktracking.dir/fig11_nonbacktracking.cpp.o"
+  "CMakeFiles/fig11_nonbacktracking.dir/fig11_nonbacktracking.cpp.o.d"
+  "fig11_nonbacktracking"
+  "fig11_nonbacktracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nonbacktracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_randombug.dir/fig12_randombug.cpp.o"
+  "CMakeFiles/fig12_randombug.dir/fig12_randombug.cpp.o.d"
+  "fig12_randombug"
+  "fig12_randombug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_randombug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

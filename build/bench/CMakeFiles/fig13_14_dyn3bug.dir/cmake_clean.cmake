@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_dyn3bug.dir/fig13_14_dyn3bug.cpp.o"
+  "CMakeFiles/fig13_14_dyn3bug.dir/fig13_14_dyn3bug.cpp.o.d"
+  "fig13_14_dyn3bug"
+  "fig13_14_dyn3bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_dyn3bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_avx2_unrestricted.dir/fig15_avx2_unrestricted.cpp.o"
+  "CMakeFiles/fig15_avx2_unrestricted.dir/fig15_avx2_unrestricted.cpp.o.d"
+  "fig15_avx2_unrestricted"
+  "fig15_avx2_unrestricted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_avx2_unrestricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_avx2_unrestricted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_randmt.dir/fig5_6_randmt.cpp.o"
+  "CMakeFiles/fig5_6_randmt.dir/fig5_6_randmt.cpp.o.d"
+  "fig5_6_randmt"
+  "fig5_6_randmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_randmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

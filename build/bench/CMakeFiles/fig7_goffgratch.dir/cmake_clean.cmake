@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_goffgratch.dir/fig7_goffgratch.cpp.o"
+  "CMakeFiles/fig7_goffgratch.dir/fig7_goffgratch.cpp.o.d"
+  "fig7_goffgratch"
+  "fig7_goffgratch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_goffgratch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

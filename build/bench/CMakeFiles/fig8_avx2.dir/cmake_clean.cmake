@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_avx2.dir/fig8_avx2.cpp.o"
+  "CMakeFiles/fig8_avx2.dir/fig8_avx2.cpp.o.d"
+  "fig8_avx2"
+  "fig8_avx2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_avx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_parse.dir/perf_parse.cpp.o"
+  "CMakeFiles/perf_parse.dir/perf_parse.cpp.o.d"
+  "perf_parse"
+  "perf_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_stats.dir/pipeline_stats.cpp.o"
+  "CMakeFiles/pipeline_stats.dir/pipeline_stats.cpp.o.d"
+  "pipeline_stats"
+  "pipeline_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

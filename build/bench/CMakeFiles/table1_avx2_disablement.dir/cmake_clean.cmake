@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_avx2_disablement.dir/table1_avx2_disablement.cpp.o"
+  "CMakeFiles/table1_avx2_disablement.dir/table1_avx2_disablement.cpp.o.d"
+  "table1_avx2_disablement"
+  "table1_avx2_disablement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_avx2_disablement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

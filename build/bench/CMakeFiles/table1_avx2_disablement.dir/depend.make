@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_avx2_disablement.
+# This may be replaced when dependencies are built.

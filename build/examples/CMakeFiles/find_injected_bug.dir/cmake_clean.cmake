@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_injected_bug.dir/find_injected_bug.cpp.o"
+  "CMakeFiles/find_injected_bug.dir/find_injected_bug.cpp.o.d"
+  "find_injected_bug"
+  "find_injected_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_injected_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fma_sensitivity.cpp" "examples/CMakeFiles/fma_sensitivity.dir/fma_sensitivity.cpp.o" "gcc" "examples/CMakeFiles/fma_sensitivity.dir/fma_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/rca_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/slice/CMakeFiles/rca_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/rca_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rca_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cov/CMakeFiles/rca_cov.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/rca_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/rca_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ect/CMakeFiles/rca_ect.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rca_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

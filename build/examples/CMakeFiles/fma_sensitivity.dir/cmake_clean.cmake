@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fma_sensitivity.dir/fma_sensitivity.cpp.o"
+  "CMakeFiles/fma_sensitivity.dir/fma_sensitivity.cpp.o.d"
+  "fma_sensitivity"
+  "fma_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fma_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

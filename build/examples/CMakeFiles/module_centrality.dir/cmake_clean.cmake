@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_centrality.dir/module_centrality.cpp.o"
+  "CMakeFiles/module_centrality.dir/module_centrality.cpp.o.d"
+  "module_centrality"
+  "module_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+module aerosol_intr
+  use shr_kind_mod, only: pcols
+  implicit none
+  real :: aer_load(pcols)
+  real :: aer_wrk(pcols)
+contains
+  subroutine aerosol_init()
+    integer :: i
+    do i = 1, pcols
+      aer_load(i) = 0.3
+      aer_wrk(i) = 0.0
+    end do
+  end subroutine aerosol_init
+  subroutine collect_aerosols()
+    integer :: i
+    do i = 1, pcols
+      aer_load(i) = 0.2 + 0.4 * aer_load(i) + 0.3 * min(aer_wrk(i), 1.0)
+      aer_wrk(i) = 0.0
+    end do
+  end subroutine collect_aerosols
+end module aerosol_intr

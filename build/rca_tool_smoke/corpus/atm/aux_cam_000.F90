@@ -1,0 +1,41 @@
+module aux_cam_000
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  implicit none
+  real :: diag_000_0(pcols)
+  real :: diag_000_1(pcols)
+contains
+  subroutine aux_cam_000_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.733 + 0.117
+      wrk1 = state%q(i) * 0.195 + wrk0 * 0.263
+      wrk2 = wrk0 * wrk1 + 0.102
+      wrk3 = max(wrk2, 0.010)
+      wrk4 = wrk0 * 0.689 + 0.272
+      diag_000_0(i) = wrk4 * 0.269
+      diag_000_1(i) = wrk3 * 0.800
+      wrk0 = diag_000_0(i) * 0.0196
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+    call outfld('AUX000', diag_000_0)
+  end subroutine aux_cam_000_main
+  subroutine aux_cam_000_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.559
+    acc = acc * 0.8888 + -0.0081
+    acc = acc * 1.0355 + -0.0418
+    acc = acc * 0.8324 + -0.0436
+    acc = acc * 1.0657 + 0.0819
+    acc = acc * 0.9905 + 0.0744
+    xout = acc
+  end subroutine aux_cam_000_extra0
+end module aux_cam_000

@@ -1,0 +1,46 @@
+module aux_cam_001
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  implicit none
+  real :: diag_001_0(pcols)
+  real :: diag_001_1(pcols)
+  real :: diag_001_2(pcols)
+contains
+  subroutine aux_cam_001_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.431 + 0.174
+      wrk1 = state%q(i) * 0.451 + wrk0 * 0.377
+      wrk2 = wrk1 * 0.554 + 0.142
+      wrk3 = max(wrk0, 0.122)
+      wrk4 = max(wrk1, 0.122)
+      wrk5 = max(wrk2, 0.148)
+      wrk6 = sqrt(abs(wrk2) + 0.064)
+      wrk7 = wrk2 * wrk2 + 0.167
+      diag_001_0(i) = wrk0 * 0.345
+      diag_001_1(i) = wrk2 * 0.477
+      diag_001_2(i) = wrk7 * 0.835
+      wrk0 = diag_001_0(i) * 0.0480
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+  end subroutine aux_cam_001_main
+  subroutine aux_cam_001_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.858
+    acc = acc * 1.1457 + 0.0396
+    acc = acc * 0.8540 + 0.0967
+    acc = acc * 0.8004 + -0.0371
+    xout = acc
+  end subroutine aux_cam_001_extra0
+end module aux_cam_001

@@ -1,0 +1,53 @@
+module aux_cam_002
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_002_0(pcols)
+  real :: diag_002_1(pcols)
+contains
+  subroutine aux_cam_002_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: es
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.785 + 0.083
+      wrk1 = state%q(i) * 0.197 + wrk0 * 0.317
+      wrk2 = sqrt(abs(wrk1) + 0.311)
+      wrk3 = wrk2 * 0.419 + 0.033
+      wrk4 = sqrt(abs(wrk2) + 0.351)
+      wrk5 = max(wrk2, 0.131)
+      wrk6 = sqrt(abs(wrk3) + 0.091)
+      wrk7 = wrk5 * wrk6 + 0.052
+      wrk8 = max(wrk1, 0.076)
+      es = wrk8 * 0.248 + 0.194
+      diag_002_0(i) = wrk6 * 0.414 + diag_000_0(i) * 0.379 + es * 0.1
+      diag_002_1(i) = wrk6 * 0.404 + diag_000_0(i) * 0.399
+      wrk0 = diag_002_0(i) * 0.0497
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+  end subroutine aux_cam_002_main
+  subroutine aux_cam_002_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.735
+    acc = acc * 1.0319 + 0.0200
+    acc = acc * 1.0651 + -0.0932
+    acc = acc * 1.1501 + -0.0352
+    acc = acc * 0.9946 + -0.0511
+    acc = acc * 0.8630 + -0.0322
+    acc = acc * 0.8836 + -0.0088
+    xout = acc
+  end subroutine aux_cam_002_extra0
+end module aux_cam_002

@@ -1,0 +1,36 @@
+module aux_cam_003
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_002, only: diag_002_0
+  implicit none
+  real :: diag_003_0(pcols)
+  real :: diag_003_1(pcols)
+  real :: diag_003_2(pcols)
+contains
+  subroutine aux_cam_003_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.606 + 0.179
+      wrk1 = state%q(i) * 0.614 + wrk0 * 0.159
+      wrk2 = wrk0 * wrk1 + 0.085
+      wrk3 = wrk0 * 0.650 + 0.225
+      wrk4 = wrk1 * wrk3 + 0.174
+      wrk5 = wrk0 * 0.866 + 0.282
+      wrk6 = sqrt(abs(wrk5) + 0.133)
+      diag_003_0(i) = wrk6 * 0.496
+      diag_003_1(i) = wrk2 * 0.573
+      diag_003_2(i) = wrk4 * 0.562 + diag_002_0(i) * 0.307
+      wrk0 = diag_003_0(i) * 0.0454
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+    call outfld('AUX003', diag_003_0)
+  end subroutine aux_cam_003_main
+end module aux_cam_003

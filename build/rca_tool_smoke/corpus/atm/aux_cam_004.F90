@@ -1,0 +1,54 @@
+module aux_cam_004
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_002, only: diag_002_0
+  implicit none
+  real :: diag_004_0(pcols)
+  real :: diag_004_1(pcols)
+  real :: diag_004_2(pcols)
+contains
+  subroutine aux_cam_004_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: qrl
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.804 + 0.171
+      wrk1 = state%q(i) * 0.668 + wrk0 * 0.346
+      wrk2 = sqrt(abs(wrk0) + 0.138)
+      wrk3 = wrk2 * wrk2 + 0.041
+      wrk4 = max(wrk1, 0.139)
+      wrk5 = wrk4 * wrk4 + 0.018
+      wrk6 = sqrt(abs(wrk5) + 0.387)
+      wrk7 = wrk6 * wrk6 + 0.142
+      wrk8 = sqrt(abs(wrk2) + 0.041)
+      qrl = wrk8 * 0.734 + 0.187
+      diag_004_0(i) = wrk3 * 0.773 + diag_002_0(i) * 0.211 + qrl * 0.1
+      diag_004_1(i) = wrk7 * 0.235 + diag_002_0(i) * 0.343
+      diag_004_2(i) = wrk3 * 0.638 + diag_002_0(i) * 0.231
+      wrk0 = diag_004_0(i) * 0.0221
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+    call outfld('AUX004', diag_004_0)
+  end subroutine aux_cam_004_main
+  subroutine aux_cam_004_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.646
+    acc = acc * 1.1793 + 0.0755
+    acc = acc * 1.1735 + -0.0814
+    acc = acc * 0.8662 + 0.0691
+    acc = acc * 0.9916 + 0.0912
+    acc = acc * 0.8893 + -0.0372
+    xout = acc
+  end subroutine aux_cam_004_extra0
+end module aux_cam_004

@@ -1,0 +1,39 @@
+module aux_cam_005
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_005_0(pcols)
+contains
+  subroutine aux_cam_005_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.733 + 0.077
+      wrk1 = state%q(i) * 0.116 + wrk0 * 0.389
+      wrk2 = sqrt(abs(wrk0) + 0.038)
+      wrk3 = max(wrk1, 0.009)
+      wrk4 = sqrt(abs(wrk0) + 0.128)
+      omega = wrk4 * 0.397 + 0.009
+      diag_005_0(i) = wrk1 * 0.738 + diag_001_0(i) * 0.314 + omega * 0.1
+      wrk0 = diag_005_0(i) * 0.0480
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+  end subroutine aux_cam_005_main
+  subroutine aux_cam_005_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.197
+    acc = acc * 0.9120 + 0.0386
+    acc = acc * 0.9153 + 0.0990
+    acc = acc * 0.8936 + 0.0547
+    xout = acc
+  end subroutine aux_cam_005_extra0
+end module aux_cam_005

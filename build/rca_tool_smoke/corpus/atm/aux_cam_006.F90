@@ -1,0 +1,44 @@
+module aux_cam_006
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_005, only: diag_005_0
+  implicit none
+  real :: diag_006_0(pcols)
+  real :: diag_006_1(pcols)
+contains
+  subroutine aux_cam_006_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: u
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.556 + 0.154
+      wrk1 = state%q(i) * 0.700 + wrk0 * 0.334
+      wrk2 = max(wrk0, 0.173)
+      wrk3 = sqrt(abs(wrk0) + 0.117)
+      wrk4 = max(wrk2, 0.006)
+      u = wrk4 * 0.551 + 0.019
+      diag_006_0(i) = wrk4 * 0.825 + diag_002_0(i) * 0.153 + u * 0.1
+      diag_006_1(i) = wrk0 * 0.839 + diag_005_0(i) * 0.160
+      wrk0 = diag_006_0(i) * 0.0271
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+  end subroutine aux_cam_006_main
+  subroutine aux_cam_006_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.151
+    acc = acc * 1.0377 + 0.0258
+    acc = acc * 0.9952 + 0.0815
+    acc = acc * 1.0319 + 0.0092
+    acc = acc * 0.8394 + 0.0824
+    xout = acc
+  end subroutine aux_cam_006_extra0
+end module aux_cam_006

@@ -1,0 +1,31 @@
+module aux_cam_007
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_002, only: diag_002_0
+  implicit none
+  real :: diag_007_0(pcols)
+  real :: diag_007_1(pcols)
+  real :: diag_007_2(pcols)
+contains
+  subroutine aux_cam_007_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.177 + 0.085
+      wrk1 = state%q(i) * 0.155 + wrk0 * 0.130
+      wrk2 = sqrt(abs(wrk1) + 0.156)
+      wrk3 = max(wrk0, 0.170)
+      wrk4 = max(wrk3, 0.075)
+      diag_007_0(i) = wrk1 * 0.319 + diag_002_0(i) * 0.170
+      diag_007_1(i) = wrk0 * 0.862 + diag_002_0(i) * 0.305
+      diag_007_2(i) = wrk0 * 0.236 + diag_002_0(i) * 0.393
+      wrk0 = diag_007_0(i) * 0.0079
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+  end subroutine aux_cam_007_main
+end module aux_cam_007

@@ -1,0 +1,56 @@
+module aux_cam_008
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_000, only: diag_000_0
+  implicit none
+  real :: diag_008_0(pcols)
+  real :: diag_008_1(pcols)
+contains
+  subroutine aux_cam_008_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.546 + 0.160
+      wrk1 = state%q(i) * 0.636 + wrk0 * 0.373
+      wrk2 = wrk0 * wrk0 + 0.196
+      wrk3 = wrk0 * 0.758 + 0.250
+      wrk4 = wrk1 * 0.421 + 0.015
+      omega = wrk4 * 0.237 + 0.110
+      diag_008_0(i) = wrk3 * 0.304 + diag_000_0(i) * 0.110 + omega * 0.1
+      diag_008_1(i) = wrk0 * 0.554 + diag_002_0(i) * 0.281
+      wrk0 = diag_008_0(i) * 0.0079
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+    call outfld('AUX008', diag_008_0)
+  end subroutine aux_cam_008_main
+  subroutine aux_cam_008_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.861
+    acc = acc * 1.0275 + -0.0040
+    acc = acc * 1.1032 + -0.0617
+    acc = acc * 1.1016 + 0.0343
+    acc = acc * 1.0436 + -0.0110
+    acc = acc * 1.0583 + -0.0515
+    xout = acc
+  end subroutine aux_cam_008_extra0
+  subroutine aux_cam_008_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.461
+    acc = acc * 0.9547 + 0.0953
+    acc = acc * 0.9029 + 0.0415
+    acc = acc * 0.9580 + -0.0219
+    acc = acc * 0.8968 + 0.0048
+    xout = acc
+  end subroutine aux_cam_008_extra1
+end module aux_cam_008

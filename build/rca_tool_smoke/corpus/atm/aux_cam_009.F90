@@ -1,0 +1,71 @@
+module aux_cam_009
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_009_0(pcols)
+  real :: diag_009_1(pcols)
+  real :: diag_009_2(pcols)
+contains
+  subroutine aux_cam_009_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: u
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.371 + 0.016
+      wrk1 = state%q(i) * 0.274 + wrk0 * 0.296
+      wrk2 = sqrt(abs(wrk0) + 0.472)
+      wrk3 = sqrt(abs(wrk1) + 0.177)
+      wrk4 = wrk1 * 0.852 + 0.141
+      wrk5 = sqrt(abs(wrk2) + 0.286)
+      wrk6 = max(wrk1, 0.046)
+      u = wrk6 * 0.258 + 0.103
+      diag_009_0(i) = wrk6 * 0.563 + diag_004_0(i) * 0.185 + u * 0.1
+      diag_009_1(i) = wrk2 * 0.409
+      diag_009_2(i) = wrk5 * 0.231 + diag_004_0(i) * 0.165
+      wrk0 = diag_009_0(i) * 0.0082
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+    call outfld('AUX009', diag_009_0)
+  end subroutine aux_cam_009_main
+  subroutine aux_cam_009_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.290
+    acc = acc * 1.1806 + 0.0153
+    acc = acc * 1.1202 + 0.0272
+    acc = acc * 1.0684 + 0.0242
+    acc = acc * 0.8087 + 0.0192
+    acc = acc * 0.9267 + -0.0562
+    xout = acc
+  end subroutine aux_cam_009_extra0
+  subroutine aux_cam_009_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.644
+    acc = acc * 1.0780 + -0.0814
+    acc = acc * 0.8279 + -0.0366
+    acc = acc * 0.9229 + 0.0754
+    acc = acc * 0.8354 + 0.0508
+    acc = acc * 1.0460 + 0.0246
+    xout = acc
+  end subroutine aux_cam_009_extra1
+  subroutine aux_cam_009_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.731
+    acc = acc * 1.1850 + 0.0686
+    acc = acc * 1.1699 + -0.0779
+    xout = acc
+  end subroutine aux_cam_009_extra2
+end module aux_cam_009

@@ -1,0 +1,70 @@
+module aux_cam_010
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_010_0(pcols)
+  real :: diag_010_1(pcols)
+  real :: diag_010_2(pcols)
+contains
+  subroutine aux_cam_010_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: u
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.557 + 0.034
+      wrk1 = state%q(i) * 0.394 + wrk0 * 0.200
+      wrk2 = max(wrk1, 0.091)
+      wrk3 = wrk2 * 0.467 + 0.151
+      wrk4 = wrk0 * 0.895 + 0.235
+      wrk5 = sqrt(abs(wrk3) + 0.394)
+      u = wrk5 * 0.662 + 0.087
+      diag_010_0(i) = wrk1 * 0.604 + diag_001_0(i) * 0.335 + u * 0.1
+      diag_010_1(i) = wrk3 * 0.685 + diag_001_0(i) * 0.242
+      diag_010_2(i) = wrk4 * 0.593 + diag_001_0(i) * 0.238
+      wrk0 = diag_010_0(i) * 0.0064
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+    call outfld('AUX010', diag_010_0)
+  end subroutine aux_cam_010_main
+  subroutine aux_cam_010_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.777
+    acc = acc * 1.1551 + -0.0851
+    acc = acc * 0.9795 + 0.0396
+    acc = acc * 1.0513 + 0.0945
+    acc = acc * 0.8373 + 0.0652
+    acc = acc * 1.0844 + -0.0816
+    xout = acc
+  end subroutine aux_cam_010_extra0
+  subroutine aux_cam_010_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.138
+    acc = acc * 1.0926 + -0.0910
+    acc = acc * 0.9722 + 0.0457
+    acc = acc * 1.1725 + -0.0713
+    xout = acc
+  end subroutine aux_cam_010_extra1
+  subroutine aux_cam_010_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.578
+    acc = acc * 1.0423 + 0.0680
+    acc = acc * 1.1087 + 0.0027
+    acc = acc * 0.8077 + -0.0231
+    acc = acc * 0.8019 + 0.0307
+    acc = acc * 1.1889 + 0.0247
+    xout = acc
+  end subroutine aux_cam_010_extra2
+end module aux_cam_010

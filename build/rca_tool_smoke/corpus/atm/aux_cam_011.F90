@@ -1,0 +1,32 @@
+module aux_cam_011
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  implicit none
+  real :: diag_011_0(pcols)
+  real :: diag_011_1(pcols)
+  real :: diag_011_2(pcols)
+contains
+  subroutine aux_cam_011_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.740 + 0.023
+      wrk1 = state%q(i) * 0.376 + wrk0 * 0.101
+      wrk2 = max(wrk0, 0.180)
+      wrk3 = wrk2 * 0.432 + 0.294
+      wrk4 = wrk2 * 0.265 + 0.010
+      wrk5 = sqrt(abs(wrk4) + 0.286)
+      diag_011_0(i) = wrk1 * 0.839
+      diag_011_1(i) = wrk4 * 0.811
+      diag_011_2(i) = wrk0 * 0.886
+      wrk0 = diag_011_0(i) * 0.0095
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+  end subroutine aux_cam_011_main
+end module aux_cam_011

@@ -1,0 +1,49 @@
+module aux_cam_012
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aerosol_intr, only: aer_wrk
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_012_0(pcols)
+  real :: diag_012_1(pcols)
+  real :: diag_012_2(pcols)
+contains
+  subroutine aux_cam_012_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.281 + 0.122
+      wrk1 = state%q(i) * 0.557 + wrk0 * 0.127
+      wrk2 = sqrt(abs(wrk1) + 0.287)
+      wrk3 = max(wrk2, 0.098)
+      diag_012_0(i) = wrk3 * 0.334 + diag_008_0(i) * 0.333
+      diag_012_1(i) = wrk3 * 0.338 + diag_008_0(i) * 0.196
+      diag_012_2(i) = wrk2 * 0.419 + diag_008_0(i) * 0.366
+      wrk0 = diag_012_0(i) * 0.0332
+      aer_wrk(i) = aer_wrk(i) + wrk0
+    end do
+    call outfld('AUX012', diag_012_0)
+  end subroutine aux_cam_012_main
+  subroutine aux_cam_012_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.518
+    acc = acc * 0.8778 + -0.0485
+    acc = acc * 1.1215 + 0.0311
+    xout = acc
+  end subroutine aux_cam_012_extra0
+  subroutine aux_cam_012_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.227
+    acc = acc * 0.9443 + 0.0790
+    acc = acc * 1.1715 + -0.0748
+    acc = acc * 1.0428 + 0.0102
+    xout = acc
+  end subroutine aux_cam_012_extra1
+end module aux_cam_012

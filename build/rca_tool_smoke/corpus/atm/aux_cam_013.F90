@@ -1,0 +1,52 @@
+module aux_cam_013
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_013_0(pcols)
+contains
+  subroutine aux_cam_013_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.176 + 0.099
+      wrk1 = state%q(i) * 0.252 + wrk0 * 0.317
+      wrk2 = wrk1 * 0.537 + 0.008
+      wrk3 = wrk2 * wrk2 + 0.114
+      wrk4 = wrk3 * 0.861 + 0.192
+      wrk5 = wrk2 * wrk4 + 0.171
+      diag_013_0(i) = wrk5 * 0.410 + diag_012_0(i) * 0.199
+    end do
+    call outfld('AUX013', diag_013_0)
+  end subroutine aux_cam_013_main
+  subroutine aux_cam_013_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.907
+    acc = acc * 0.9884 + -0.0224
+    acc = acc * 0.8803 + 0.0866
+    acc = acc * 0.9836 + -0.0676
+    acc = acc * 0.8137 + 0.0026
+    acc = acc * 1.1947 + 0.0160
+    acc = acc * 1.1087 + 0.0247
+    xout = acc
+  end subroutine aux_cam_013_extra0
+  subroutine aux_cam_013_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.203
+    acc = acc * 0.8771 + 0.0303
+    acc = acc * 0.9189 + -0.0934
+    acc = acc * 0.9768 + 0.0150
+    acc = acc * 1.0750 + -0.0717
+    acc = acc * 1.1463 + 0.0882
+    xout = acc
+  end subroutine aux_cam_013_extra1
+end module aux_cam_013

@@ -1,0 +1,29 @@
+module aux_cam_014
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_014_0(pcols)
+  real :: diag_014_1(pcols)
+contains
+  subroutine aux_cam_014_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.361 + 0.106
+      wrk1 = state%q(i) * 0.107 + wrk0 * 0.158
+      wrk2 = wrk0 * wrk1 + 0.011
+      wrk3 = sqrt(abs(wrk0) + 0.305)
+      wrk4 = sqrt(abs(wrk1) + 0.443)
+      wrk5 = wrk3 * wrk3 + 0.072
+      wrk6 = wrk1 * 0.266 + 0.229
+      diag_014_0(i) = wrk1 * 0.296
+      diag_014_1(i) = wrk2 * 0.873
+    end do
+  end subroutine aux_cam_014_main
+end module aux_cam_014

@@ -1,0 +1,26 @@
+module aux_cam_015
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_009, only: diag_009_0
+  implicit none
+  real :: diag_015_0(pcols)
+  real :: diag_015_1(pcols)
+contains
+  subroutine aux_cam_015_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.274 + 0.138
+      wrk1 = state%q(i) * 0.777 + wrk0 * 0.306
+      wrk2 = max(wrk0, 0.004)
+      wrk3 = wrk2 * 0.210 + 0.186
+      diag_015_0(i) = wrk3 * 0.834
+      diag_015_1(i) = wrk1 * 0.393 + diag_001_0(i) * 0.169
+    end do
+  end subroutine aux_cam_015_main
+end module aux_cam_015

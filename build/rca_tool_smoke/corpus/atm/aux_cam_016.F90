@@ -1,0 +1,58 @@
+module aux_cam_016
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_013, only: diag_013_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_016_0(pcols)
+  real :: diag_016_1(pcols)
+contains
+  subroutine aux_cam_016_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.389 + 0.192
+      wrk1 = state%q(i) * 0.461 + wrk0 * 0.293
+      wrk2 = sqrt(abs(wrk0) + 0.373)
+      wrk3 = wrk2 * 0.504 + 0.072
+      wrk4 = wrk0 * 0.384 + 0.132
+      wrk5 = wrk0 * wrk0 + 0.037
+      wrk6 = max(wrk4, 0.189)
+      wrk7 = max(wrk6, 0.195)
+      diag_016_0(i) = wrk4 * 0.894
+      diag_016_1(i) = wrk4 * 0.703
+    end do
+  end subroutine aux_cam_016_main
+  subroutine aux_cam_016_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.896
+    acc = acc * 0.8344 + 0.0628
+    acc = acc * 1.1091 + 0.0085
+    acc = acc * 1.1130 + -0.0297
+    acc = acc * 0.9912 + -0.0573
+    acc = acc * 0.8936 + -0.0911
+    xout = acc
+  end subroutine aux_cam_016_extra0
+  subroutine aux_cam_016_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.517
+    acc = acc * 1.1133 + -0.0139
+    acc = acc * 0.9225 + -0.0738
+    acc = acc * 1.0222 + -0.0702
+    acc = acc * 0.9573 + -0.0061
+    acc = acc * 1.1795 + 0.0685
+    xout = acc
+  end subroutine aux_cam_016_extra1
+end module aux_cam_016

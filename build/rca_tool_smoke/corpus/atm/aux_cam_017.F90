@@ -1,0 +1,149 @@
+module aux_cam_017
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_005, only: diag_005_0
+  use aux_cam_009, only: diag_009_0
+  use aux_cam_006, only: diag_006_0
+  implicit none
+  real :: diag_017_0(pcols)
+contains
+  subroutine aux_cam_017_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.807 + 0.046
+      wrk1 = state%q(i) * 0.735 + wrk0 * 0.389
+      wrk2 = wrk0 * 0.274 + 0.135
+      wrk3 = wrk1 * 0.442 + 0.244
+      wrk4 = wrk2 * 0.898 + 0.230
+      wrk5 = wrk4 * wrk4 + 0.009
+      wrk6 = max(wrk4, 0.197)
+      wrk7 = wrk3 * wrk3 + 0.080
+      wrk8 = wrk3 * 0.887 + 0.075
+      wrk9 = wrk8 * wrk8 + 0.172
+      wrk10 = sqrt(abs(wrk7) + 0.292)
+      wrk11 = sqrt(abs(wrk3) + 0.477)
+      diag_017_0(i) = wrk10 * 0.565 + diag_009_0(i) * 0.236
+    end do
+    call outfld('AUX017', diag_017_0)
+  end subroutine aux_cam_017_main
+  subroutine aux_cam_017_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.533
+    acc = acc * 0.8303 + -0.0165
+    acc = acc * 0.9689 + 0.0055
+    acc = acc * 0.9723 + 0.0218
+    acc = acc * 1.0424 + 0.0922
+    acc = acc * 0.8860 + 0.0122
+    acc = acc * 0.8729 + 0.0985
+    acc = acc * 1.0152 + 0.0483
+    acc = acc * 1.0766 + 0.0899
+    acc = acc * 1.0704 + 0.0454
+    acc = acc * 0.9962 + -0.0204
+    acc = acc * 1.1674 + -0.0431
+    acc = acc * 0.9538 + -0.0036
+    acc = acc * 1.0783 + 0.0657
+    acc = acc * 1.1307 + -0.0893
+    xout = acc
+  end subroutine aux_cam_017_extra0
+  subroutine aux_cam_017_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.308
+    acc = acc * 0.9912 + -0.0525
+    acc = acc * 1.0833 + -0.0137
+    acc = acc * 0.9804 + -0.0858
+    acc = acc * 0.8843 + 0.0982
+    acc = acc * 0.8147 + -0.0134
+    acc = acc * 0.8523 + -0.0435
+    acc = acc * 1.0481 + -0.0466
+    acc = acc * 1.0057 + 0.0016
+    acc = acc * 0.9892 + -0.0246
+    acc = acc * 0.8922 + 0.0417
+    acc = acc * 1.0634 + 0.0537
+    acc = acc * 0.9858 + -0.0597
+    acc = acc * 1.0738 + 0.0202
+    acc = acc * 0.9171 + 0.0370
+    xout = acc
+  end subroutine aux_cam_017_extra1
+  subroutine aux_cam_017_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.448
+    acc = acc * 1.1235 + -0.0554
+    acc = acc * 0.9203 + -0.0041
+    acc = acc * 1.0638 + 0.0063
+    acc = acc * 0.8361 + 0.0899
+    acc = acc * 1.1496 + 0.0636
+    acc = acc * 0.9889 + 0.0253
+    acc = acc * 1.1229 + -0.0326
+    acc = acc * 0.8788 + -0.0783
+    acc = acc * 0.8305 + -0.0128
+    acc = acc * 1.0686 + 0.0346
+    acc = acc * 0.9529 + -0.0641
+    acc = acc * 0.8370 + -0.0831
+    acc = acc * 1.0009 + 0.0097
+    acc = acc * 0.8408 + -0.0282
+    acc = acc * 1.1377 + 0.0119
+    acc = acc * 0.9041 + -0.0051
+    acc = acc * 0.9934 + 0.0550
+    acc = acc * 0.9217 + 0.0662
+    acc = acc * 0.8550 + -0.0995
+    acc = acc * 0.8068 + 0.0817
+    xout = acc
+  end subroutine aux_cam_017_extra2
+  subroutine aux_cam_017_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.860
+    acc = acc * 0.9897 + -0.0445
+    acc = acc * 1.1247 + 0.0504
+    acc = acc * 0.9667 + -0.0723
+    acc = acc * 0.9137 + -0.0726
+    acc = acc * 0.8315 + -0.0742
+    acc = acc * 0.9162 + 0.0163
+    acc = acc * 1.0681 + -0.0041
+    acc = acc * 1.0443 + 0.0869
+    acc = acc * 0.9581 + -0.0599
+    acc = acc * 1.0389 + -0.0239
+    acc = acc * 0.8192 + 0.0386
+    acc = acc * 1.1133 + 0.0854
+    acc = acc * 0.8077 + 0.0666
+    acc = acc * 0.8309 + 0.0806
+    acc = acc * 1.1244 + 0.0886
+    xout = acc
+  end subroutine aux_cam_017_extra3
+  subroutine aux_cam_017_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.293
+    acc = acc * 1.0653 + 0.0271
+    acc = acc * 0.9927 + -0.0216
+    acc = acc * 0.8122 + 0.0731
+    acc = acc * 0.9031 + 0.0658
+    acc = acc * 1.0913 + -0.0916
+    acc = acc * 0.8810 + 0.0694
+    acc = acc * 1.0813 + 0.0247
+    acc = acc * 0.8434 + -0.0236
+    acc = acc * 0.8071 + -0.0319
+    acc = acc * 0.9922 + 0.0898
+    xout = acc
+  end subroutine aux_cam_017_extra4
+end module aux_cam_017

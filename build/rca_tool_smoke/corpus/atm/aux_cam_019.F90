@@ -1,0 +1,34 @@
+module aux_cam_019
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_019_0(pcols)
+contains
+  subroutine aux_cam_019_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.640 + 0.030
+      wrk1 = state%q(i) * 0.734 + wrk0 * 0.135
+      wrk2 = wrk1 * 0.762 + 0.043
+      wrk3 = max(wrk0, 0.114)
+      diag_019_0(i) = wrk2 * 0.827
+    end do
+    call outfld('AUX019', diag_019_0)
+  end subroutine aux_cam_019_main
+  subroutine aux_cam_019_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.169
+    acc = acc * 1.1131 + -0.0755
+    acc = acc * 0.9121 + 0.0023
+    acc = acc * 0.8595 + -0.0207
+    acc = acc * 1.1929 + 0.0430
+    acc = acc * 0.8444 + 0.0371
+    xout = acc
+  end subroutine aux_cam_019_extra0
+end module aux_cam_019

@@ -1,0 +1,62 @@
+module aux_cam_020
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_020_0(pcols)
+contains
+  subroutine aux_cam_020_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.624 + 0.111
+      wrk1 = state%q(i) * 0.744 + wrk0 * 0.193
+      wrk2 = sqrt(abs(wrk1) + 0.481)
+      wrk3 = sqrt(abs(wrk2) + 0.029)
+      tref = wrk3 * 0.724 + 0.150
+      diag_020_0(i) = wrk2 * 0.225 + tref * 0.1
+    end do
+    call outfld('AUX020', diag_020_0)
+  end subroutine aux_cam_020_main
+  subroutine aux_cam_020_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.962
+    acc = acc * 1.0675 + -0.0222
+    acc = acc * 0.8795 + -0.0929
+    acc = acc * 1.0705 + -0.0993
+    acc = acc * 1.0000 + 0.0057
+    acc = acc * 1.1661 + 0.0387
+    xout = acc
+  end subroutine aux_cam_020_extra0
+  subroutine aux_cam_020_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.837
+    acc = acc * 1.1024 + -0.0470
+    acc = acc * 0.8935 + -0.0537
+    acc = acc * 0.8527 + -0.0380
+    acc = acc * 1.0079 + 0.0116
+    acc = acc * 0.9994 + 0.0066
+    acc = acc * 1.0337 + 0.0988
+    xout = acc
+  end subroutine aux_cam_020_extra1
+  subroutine aux_cam_020_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.711
+    acc = acc * 0.9766 + -0.0225
+    acc = acc * 1.1086 + -0.0835
+    acc = acc * 1.0085 + -0.0891
+    acc = acc * 1.0440 + -0.0201
+    acc = acc * 0.8274 + 0.0889
+    acc = acc * 0.9587 + -0.0980
+    xout = acc
+  end subroutine aux_cam_020_extra2
+end module aux_cam_020

@@ -1,0 +1,38 @@
+module aux_cam_021
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_021_0(pcols)
+  real :: diag_021_1(pcols)
+contains
+  subroutine aux_cam_021_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.707 + 0.184
+      wrk1 = state%q(i) * 0.573 + wrk0 * 0.147
+      wrk2 = max(wrk0, 0.035)
+      wrk3 = max(wrk2, 0.011)
+      wrk4 = sqrt(abs(wrk1) + 0.088)
+      diag_021_0(i) = wrk4 * 0.469
+      diag_021_1(i) = wrk3 * 0.260
+    end do
+    call outfld('AUX021', diag_021_0)
+  end subroutine aux_cam_021_main
+  subroutine aux_cam_021_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.306
+    acc = acc * 1.1147 + -0.0641
+    acc = acc * 1.1896 + 0.0677
+    acc = acc * 0.9922 + -0.0708
+    acc = acc * 0.9742 + -0.0765
+    acc = acc * 0.9215 + 0.0859
+    xout = acc
+  end subroutine aux_cam_021_extra0
+end module aux_cam_021

@@ -1,0 +1,52 @@
+module aux_cam_022
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_022_0(pcols)
+  real :: diag_022_1(pcols)
+contains
+  subroutine aux_cam_022_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.865 + 0.044
+      wrk1 = state%q(i) * 0.688 + wrk0 * 0.206
+      wrk2 = wrk0 * 0.376 + 0.193
+      wrk3 = sqrt(abs(wrk2) + 0.359)
+      wrk4 = max(wrk0, 0.036)
+      wrk5 = max(wrk0, 0.015)
+      wrk6 = wrk1 * wrk1 + 0.001
+      wrk7 = max(wrk5, 0.152)
+      wrk8 = wrk5 * wrk7 + 0.186
+      diag_022_0(i) = wrk3 * 0.320
+      diag_022_1(i) = wrk2 * 0.827
+    end do
+    call outfld('AUX022', diag_022_0)
+  end subroutine aux_cam_022_main
+  subroutine aux_cam_022_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.157
+    acc = acc * 1.1053 + -0.0516
+    acc = acc * 1.1915 + -0.0460
+    xout = acc
+  end subroutine aux_cam_022_extra0
+  subroutine aux_cam_022_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.716
+    acc = acc * 0.8754 + 0.0370
+    acc = acc * 0.9829 + 0.0617
+    xout = acc
+  end subroutine aux_cam_022_extra1
+end module aux_cam_022

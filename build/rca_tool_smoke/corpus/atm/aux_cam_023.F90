@@ -1,0 +1,49 @@
+module aux_cam_023
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_023_0(pcols)
+  real :: diag_023_1(pcols)
+contains
+  subroutine aux_cam_023_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: dum
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.572 + 0.155
+      wrk1 = state%q(i) * 0.454 + wrk0 * 0.190
+      wrk2 = wrk0 * 0.311 + 0.156
+      wrk3 = max(wrk2, 0.027)
+      wrk4 = wrk1 * 0.464 + 0.222
+      dum = wrk4 * 0.629 + 0.179
+      diag_023_0(i) = wrk4 * 0.254 + dum * 0.1
+      diag_023_1(i) = wrk4 * 0.455
+    end do
+  end subroutine aux_cam_023_main
+  subroutine aux_cam_023_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.949
+    acc = acc * 0.9393 + -0.0111
+    acc = acc * 0.8589 + -0.0288
+    acc = acc * 0.9668 + 0.0654
+    acc = acc * 1.0160 + 0.0634
+    xout = acc
+  end subroutine aux_cam_023_extra0
+  subroutine aux_cam_023_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.716
+    acc = acc * 1.1069 + 0.0149
+    acc = acc * 0.9969 + -0.0572
+    acc = acc * 1.1442 + 0.0252
+    acc = acc * 0.9751 + -0.0945
+    xout = acc
+  end subroutine aux_cam_023_extra1
+end module aux_cam_023

@@ -1,0 +1,135 @@
+module aux_cam_025
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_025_0(pcols)
+  real :: diag_025_1(pcols)
+  real :: diag_025_2(pcols)
+contains
+  subroutine aux_cam_025_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.618 + 0.103
+      wrk1 = state%q(i) * 0.650 + wrk0 * 0.144
+      wrk2 = max(wrk0, 0.038)
+      wrk3 = wrk2 * wrk2 + 0.105
+      wrk4 = wrk0 * wrk0 + 0.175
+      wrk5 = wrk1 * wrk1 + 0.141
+      wrk6 = wrk3 * 0.547 + 0.283
+      wrk7 = wrk2 * 0.629 + 0.183
+      wrk8 = wrk1 * 0.816 + 0.279
+      wrk9 = wrk4 * wrk8 + 0.164
+      wrk10 = wrk6 * wrk9 + 0.132
+      wrk11 = max(wrk1, 0.005)
+      wrk12 = wrk6 * wrk11 + 0.199
+      wrk13 = wrk11 * 0.756 + 0.140
+      diag_025_0(i) = wrk4 * 0.682
+      diag_025_1(i) = wrk1 * 0.401
+      diag_025_2(i) = wrk11 * 0.247 + diag_008_0(i) * 0.354
+    end do
+  end subroutine aux_cam_025_main
+  subroutine aux_cam_025_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.386
+    acc = acc * 1.1316 + 0.0571
+    acc = acc * 0.9861 + -0.0071
+    acc = acc * 0.8263 + -0.0270
+    acc = acc * 1.0406 + -0.0003
+    acc = acc * 0.8740 + -0.0289
+    acc = acc * 0.8839 + 0.0013
+    acc = acc * 0.8480 + 0.0474
+    acc = acc * 1.1303 + -0.0306
+    acc = acc * 0.9973 + 0.0162
+    acc = acc * 0.8276 + -0.0400
+    acc = acc * 0.8105 + -0.0074
+    acc = acc * 1.1260 + 0.0481
+    acc = acc * 0.8985 + -0.0514
+    acc = acc * 1.0350 + -0.0935
+    acc = acc * 1.1389 + -0.0363
+    acc = acc * 1.1853 + 0.0176
+    acc = acc * 1.1571 + 0.0806
+    acc = acc * 1.1318 + 0.0620
+    acc = acc * 0.8958 + 0.0689
+    acc = acc * 1.1411 + -0.0995
+    xout = acc
+  end subroutine aux_cam_025_extra0
+  subroutine aux_cam_025_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.058
+    acc = acc * 0.9150 + 0.0148
+    acc = acc * 1.1789 + 0.0932
+    acc = acc * 0.8287 + -0.0609
+    acc = acc * 0.8017 + 0.0542
+    acc = acc * 0.8491 + 0.0037
+    acc = acc * 0.8949 + -0.0786
+    acc = acc * 1.0307 + 0.0162
+    acc = acc * 0.9782 + -0.0700
+    acc = acc * 0.8487 + -0.0207
+    acc = acc * 1.1654 + 0.0586
+    acc = acc * 0.9823 + 0.0867
+    acc = acc * 1.0529 + 0.0509
+    acc = acc * 1.0225 + -0.0311
+    acc = acc * 0.9762 + -0.0827
+    acc = acc * 1.0612 + -0.0317
+    xout = acc
+  end subroutine aux_cam_025_extra1
+  subroutine aux_cam_025_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.841
+    acc = acc * 0.9329 + -0.0579
+    acc = acc * 0.9015 + 0.0210
+    acc = acc * 1.1270 + 0.0324
+    acc = acc * 1.0532 + -0.0205
+    acc = acc * 0.8956 + 0.0076
+    acc = acc * 0.8769 + -0.0944
+    acc = acc * 1.1500 + -0.0496
+    acc = acc * 1.0471 + 0.0528
+    xout = acc
+  end subroutine aux_cam_025_extra2
+  subroutine aux_cam_025_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.478
+    acc = acc * 0.9312 + 0.0764
+    acc = acc * 1.0872 + -0.0132
+    acc = acc * 0.9482 + 0.0301
+    acc = acc * 0.8330 + -0.0915
+    acc = acc * 1.0218 + 0.0759
+    acc = acc * 0.9808 + -0.0107
+    acc = acc * 0.8078 + 0.0031
+    acc = acc * 1.1315 + 0.0602
+    acc = acc * 1.0945 + 0.0537
+    acc = acc * 1.0262 + -0.0312
+    acc = acc * 0.8597 + 0.0669
+    acc = acc * 1.1370 + 0.0873
+    acc = acc * 0.9373 + -0.0178
+    acc = acc * 1.1397 + -0.0716
+    acc = acc * 1.0089 + 0.0475
+    acc = acc * 0.8645 + -0.0773
+    acc = acc * 0.8831 + 0.0411
+    acc = acc * 0.9885 + -0.0477
+    xout = acc
+  end subroutine aux_cam_025_extra3
+end module aux_cam_025

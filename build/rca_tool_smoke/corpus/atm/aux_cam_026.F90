@@ -1,0 +1,66 @@
+module aux_cam_026
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_026_0(pcols)
+  real :: diag_026_1(pcols)
+  real :: diag_026_2(pcols)
+contains
+  subroutine aux_cam_026_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.111 + 0.110
+      wrk1 = state%q(i) * 0.748 + wrk0 * 0.259
+      wrk2 = max(wrk1, 0.054)
+      wrk3 = wrk2 * 0.563 + 0.150
+      wrk4 = max(wrk1, 0.081)
+      wrk5 = max(wrk2, 0.136)
+      omega = wrk5 * 0.770 + 0.058
+      diag_026_0(i) = wrk1 * 0.438 + diag_008_0(i) * 0.157 + omega * 0.1
+      diag_026_1(i) = wrk2 * 0.482 + diag_008_0(i) * 0.057
+      diag_026_2(i) = wrk3 * 0.847 + diag_008_0(i) * 0.363
+    end do
+    call outfld('AUX026', diag_026_0)
+  end subroutine aux_cam_026_main
+  subroutine aux_cam_026_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.724
+    acc = acc * 1.0762 + -0.0787
+    acc = acc * 0.9089 + 0.0461
+    acc = acc * 1.0855 + 0.0462
+    xout = acc
+  end subroutine aux_cam_026_extra0
+  subroutine aux_cam_026_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.469
+    acc = acc * 1.1218 + 0.0131
+    acc = acc * 1.0077 + 0.0333
+    acc = acc * 0.9764 + 0.0138
+    xout = acc
+  end subroutine aux_cam_026_extra1
+  subroutine aux_cam_026_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.226
+    acc = acc * 0.8670 + -0.0255
+    acc = acc * 0.9524 + -0.0815
+    acc = acc * 1.0649 + -0.0108
+    acc = acc * 1.1044 + 0.0059
+    acc = acc * 1.0491 + -0.0511
+    acc = acc * 0.8952 + 0.0291
+    xout = acc
+  end subroutine aux_cam_026_extra2
+end module aux_cam_026

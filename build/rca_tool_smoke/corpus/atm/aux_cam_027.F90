@@ -1,0 +1,35 @@
+module aux_cam_027
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_027_0(pcols)
+  real :: diag_027_1(pcols)
+contains
+  subroutine aux_cam_027_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.572 + 0.124
+      wrk1 = state%q(i) * 0.230 + wrk0 * 0.228
+      wrk2 = wrk0 * 0.352 + 0.151
+      wrk3 = wrk0 * wrk2 + 0.130
+      wrk4 = max(wrk2, 0.074)
+      wrk5 = max(wrk3, 0.191)
+      wrk6 = max(wrk2, 0.112)
+      wrk7 = max(wrk6, 0.090)
+      wrk8 = max(wrk7, 0.176)
+      omega = wrk8 * 0.691 + 0.098
+      diag_027_0(i) = wrk0 * 0.429 + omega * 0.1
+      diag_027_1(i) = wrk2 * 0.391
+    end do
+  end subroutine aux_cam_027_main
+end module aux_cam_027

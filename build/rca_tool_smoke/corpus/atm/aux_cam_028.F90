@@ -1,0 +1,65 @@
+module aux_cam_028
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_028_0(pcols)
+contains
+  subroutine aux_cam_028_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.190 + 0.159
+      wrk1 = state%q(i) * 0.502 + wrk0 * 0.271
+      wrk2 = max(wrk0, 0.106)
+      wrk3 = max(wrk0, 0.185)
+      wrk4 = wrk1 * wrk3 + 0.075
+      wrk5 = wrk0 * 0.776 + 0.281
+      wrk6 = max(wrk4, 0.069)
+      wrk7 = sqrt(abs(wrk5) + 0.045)
+      tref = wrk7 * 0.220 + 0.034
+      diag_028_0(i) = wrk6 * 0.263 + diag_001_0(i) * 0.272 + tref * 0.1
+    end do
+    call outfld('AUX028', diag_028_0)
+  end subroutine aux_cam_028_main
+  subroutine aux_cam_028_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.408
+    acc = acc * 0.9280 + -0.0228
+    acc = acc * 1.0460 + -0.0387
+    acc = acc * 1.1929 + 0.0015
+    xout = acc
+  end subroutine aux_cam_028_extra0
+  subroutine aux_cam_028_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.909
+    acc = acc * 1.0926 + -0.0386
+    acc = acc * 0.9806 + 0.0367
+    acc = acc * 0.8743 + -0.0135
+    acc = acc * 1.1335 + 0.0916
+    acc = acc * 0.9519 + -0.0988
+    xout = acc
+  end subroutine aux_cam_028_extra1
+  subroutine aux_cam_028_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.689
+    acc = acc * 1.1778 + 0.0129
+    acc = acc * 1.1757 + 0.0021
+    acc = acc * 0.9053 + 0.0013
+    xout = acc
+  end subroutine aux_cam_028_extra2
+end module aux_cam_028

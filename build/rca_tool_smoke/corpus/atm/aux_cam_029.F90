@@ -1,0 +1,54 @@
+module aux_cam_029
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_029_0(pcols)
+  real :: diag_029_1(pcols)
+  real :: diag_029_2(pcols)
+contains
+  subroutine aux_cam_029_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.583 + 0.131
+      wrk1 = state%q(i) * 0.340 + wrk0 * 0.125
+      wrk2 = sqrt(abs(wrk1) + 0.252)
+      wrk3 = max(wrk1, 0.068)
+      wrk4 = wrk2 * 0.818 + 0.108
+      wrk5 = sqrt(abs(wrk4) + 0.494)
+      wrk6 = max(wrk4, 0.009)
+      wrk7 = wrk1 * 0.657 + 0.280
+      wrk8 = sqrt(abs(wrk7) + 0.256)
+      diag_029_0(i) = wrk4 * 0.484
+      diag_029_1(i) = wrk6 * 0.673
+      diag_029_2(i) = wrk5 * 0.620
+    end do
+    call outfld('AUX029', diag_029_0)
+  end subroutine aux_cam_029_main
+  subroutine aux_cam_029_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.919
+    acc = acc * 0.8916 + -0.0659
+    acc = acc * 1.0197 + -0.0364
+    xout = acc
+  end subroutine aux_cam_029_extra0
+  subroutine aux_cam_029_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.731
+    acc = acc * 1.0882 + 0.0968
+    acc = acc * 0.8804 + -0.0279
+    xout = acc
+  end subroutine aux_cam_029_extra1
+end module aux_cam_029

@@ -1,0 +1,57 @@
+module aux_cam_031
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_031_0(pcols)
+  real :: diag_031_1(pcols)
+  real :: diag_031_2(pcols)
+contains
+  subroutine aux_cam_031_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.491 + 0.080
+      wrk1 = state%q(i) * 0.748 + wrk0 * 0.131
+      wrk2 = max(wrk0, 0.015)
+      wrk3 = max(wrk1, 0.151)
+      wrk4 = wrk1 * wrk1 + 0.128
+      wrk5 = wrk1 * 0.585 + 0.110
+      wrk6 = max(wrk5, 0.197)
+      wrk7 = max(wrk3, 0.140)
+      diag_031_0(i) = wrk1 * 0.803 + diag_001_0(i) * 0.366
+      diag_031_1(i) = wrk6 * 0.360 + diag_001_0(i) * 0.354
+      diag_031_2(i) = wrk0 * 0.489 + diag_001_0(i) * 0.114
+    end do
+    call outfld('AUX031', diag_031_0)
+  end subroutine aux_cam_031_main
+  subroutine aux_cam_031_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.938
+    acc = acc * 1.1558 + -0.0016
+    acc = acc * 1.0512 + -0.0933
+    acc = acc * 1.1286 + -0.0600
+    acc = acc * 0.8824 + 0.0395
+    xout = acc
+  end subroutine aux_cam_031_extra0
+  subroutine aux_cam_031_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.958
+    acc = acc * 0.9804 + -0.0987
+    acc = acc * 1.1582 + 0.0571
+    acc = acc * 0.8224 + -0.0459
+    acc = acc * 1.0246 + 0.0544
+    xout = acc
+  end subroutine aux_cam_031_extra1
+end module aux_cam_031

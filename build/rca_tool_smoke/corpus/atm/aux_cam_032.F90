@@ -1,0 +1,51 @@
+module aux_cam_032
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_032_0(pcols)
+  real :: diag_032_1(pcols)
+  real :: diag_032_2(pcols)
+contains
+  subroutine aux_cam_032_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.819 + 0.085
+      wrk1 = state%q(i) * 0.436 + wrk0 * 0.274
+      wrk2 = wrk0 * 0.591 + 0.273
+      wrk3 = wrk2 * wrk2 + 0.034
+      wrk4 = wrk2 * wrk2 + 0.006
+      wrk5 = wrk4 * wrk4 + 0.166
+      wrk6 = sqrt(abs(wrk1) + 0.243)
+      wrk7 = max(wrk0, 0.153)
+      wrk8 = wrk4 * wrk7 + 0.125
+      omega = wrk8 * 0.275 + 0.023
+      diag_032_0(i) = wrk0 * 0.640 + diag_004_0(i) * 0.391 + omega * 0.1
+      diag_032_1(i) = wrk2 * 0.724
+      diag_032_2(i) = wrk4 * 0.640 + diag_006_0(i) * 0.191
+    end do
+  end subroutine aux_cam_032_main
+  subroutine aux_cam_032_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.892
+    acc = acc * 1.0451 + -0.0125
+    acc = acc * 1.1111 + 0.0430
+    acc = acc * 0.8570 + 0.0142
+    acc = acc * 1.1467 + 0.0019
+    acc = acc * 1.0801 + -0.0253
+    xout = acc
+  end subroutine aux_cam_032_extra0
+end module aux_cam_032

@@ -1,0 +1,52 @@
+module aux_cam_033
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_033_0(pcols)
+contains
+  subroutine aux_cam_033_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.867 + 0.027
+      wrk1 = state%q(i) * 0.367 + wrk0 * 0.323
+      wrk2 = wrk1 * wrk1 + 0.089
+      wrk3 = max(wrk1, 0.038)
+      wrk4 = sqrt(abs(wrk3) + 0.496)
+      wrk5 = wrk3 * wrk3 + 0.072
+      diag_033_0(i) = wrk1 * 0.585 + diag_001_0(i) * 0.394
+    end do
+  end subroutine aux_cam_033_main
+  subroutine aux_cam_033_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.706
+    acc = acc * 0.9307 + -0.0517
+    acc = acc * 1.0735 + -0.0044
+    acc = acc * 1.1964 + 0.0408
+    acc = acc * 1.1894 + -0.0531
+    acc = acc * 1.0484 + -0.0889
+    acc = acc * 0.8974 + 0.0351
+    xout = acc
+  end subroutine aux_cam_033_extra0
+  subroutine aux_cam_033_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.577
+    acc = acc * 0.9975 + -0.0227
+    acc = acc * 1.0009 + -0.0828
+    acc = acc * 1.1703 + -0.0100
+    acc = acc * 1.0065 + -0.0078
+    acc = acc * 1.1712 + 0.0890
+    acc = acc * 0.8956 + -0.0378
+    xout = acc
+  end subroutine aux_cam_033_extra1
+end module aux_cam_033

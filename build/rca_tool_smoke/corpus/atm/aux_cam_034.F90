@@ -1,0 +1,65 @@
+module aux_cam_034
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_003, only: diag_003_0
+  use aux_cam_015, only: diag_015_0
+  implicit none
+  real :: diag_034_0(pcols)
+  real :: diag_034_1(pcols)
+  real :: diag_034_2(pcols)
+contains
+  subroutine aux_cam_034_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.231 + 0.191
+      wrk1 = state%q(i) * 0.482 + wrk0 * 0.302
+      wrk2 = sqrt(abs(wrk0) + 0.395)
+      wrk3 = max(wrk1, 0.022)
+      wrk4 = wrk3 * 0.583 + 0.143
+      wrk5 = max(wrk1, 0.054)
+      diag_034_0(i) = wrk5 * 0.573 + diag_003_0(i) * 0.311
+      diag_034_1(i) = wrk1 * 0.444
+      diag_034_2(i) = wrk4 * 0.448 + diag_000_0(i) * 0.119
+    end do
+    call outfld('AUX034', diag_034_0)
+  end subroutine aux_cam_034_main
+  subroutine aux_cam_034_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.310
+    acc = acc * 0.9532 + -0.0776
+    acc = acc * 1.1431 + -0.0930
+    acc = acc * 1.1025 + 0.0676
+    acc = acc * 1.1655 + 0.0442
+    xout = acc
+  end subroutine aux_cam_034_extra0
+  subroutine aux_cam_034_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.457
+    acc = acc * 0.8891 + -0.0462
+    acc = acc * 1.0436 + 0.0263
+    xout = acc
+  end subroutine aux_cam_034_extra1
+  subroutine aux_cam_034_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.675
+    acc = acc * 0.8872 + 0.0398
+    acc = acc * 0.8481 + 0.0185
+    acc = acc * 1.0975 + 0.0101
+    acc = acc * 0.9246 + 0.0826
+    acc = acc * 0.8947 + -0.0385
+    xout = acc
+  end subroutine aux_cam_034_extra2
+end module aux_cam_034

@@ -1,0 +1,58 @@
+module aux_cam_035
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_035_0(pcols)
+  real :: diag_035_1(pcols)
+  real :: diag_035_2(pcols)
+contains
+  subroutine aux_cam_035_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: u
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.688 + 0.057
+      wrk1 = state%q(i) * 0.591 + wrk0 * 0.245
+      wrk2 = wrk0 * 0.287 + 0.222
+      wrk3 = wrk1 * 0.391 + 0.240
+      wrk4 = max(wrk2, 0.112)
+      wrk5 = wrk2 * wrk4 + 0.053
+      wrk6 = sqrt(abs(wrk3) + 0.334)
+      u = wrk6 * 0.762 + 0.159
+      diag_035_0(i) = wrk4 * 0.762 + u * 0.1
+      diag_035_1(i) = wrk0 * 0.791
+      diag_035_2(i) = wrk4 * 0.302
+    end do
+    call outfld('AUX035', diag_035_0)
+  end subroutine aux_cam_035_main
+  subroutine aux_cam_035_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.293
+    acc = acc * 1.1958 + 0.0545
+    acc = acc * 1.0959 + -0.0689
+    acc = acc * 1.1831 + 0.0732
+    acc = acc * 1.0744 + 0.0833
+    acc = acc * 1.0290 + 0.0648
+    acc = acc * 0.8379 + -0.0426
+    xout = acc
+  end subroutine aux_cam_035_extra0
+  subroutine aux_cam_035_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.555
+    acc = acc * 0.9748 + -0.0563
+    acc = acc * 0.9399 + 0.0346
+    acc = acc * 0.8789 + 0.0589
+    acc = acc * 1.0647 + -0.0710
+    xout = acc
+  end subroutine aux_cam_035_extra1
+end module aux_cam_035

@@ -1,0 +1,69 @@
+module aux_cam_037
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_003, only: diag_003_0
+  implicit none
+  real :: diag_037_0(pcols)
+  real :: diag_037_1(pcols)
+  real :: diag_037_2(pcols)
+contains
+  subroutine aux_cam_037_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.717 + 0.192
+      wrk1 = state%q(i) * 0.585 + wrk0 * 0.152
+      wrk2 = wrk1 * 0.477 + 0.099
+      wrk3 = wrk1 * 0.759 + 0.176
+      wrk4 = wrk2 * 0.613 + 0.240
+      wrk5 = wrk4 * wrk4 + 0.050
+      wrk6 = max(wrk5, 0.056)
+      wrk7 = wrk4 * 0.221 + 0.294
+      diag_037_0(i) = wrk5 * 0.618
+      diag_037_1(i) = wrk7 * 0.629 + diag_003_0(i) * 0.223
+      diag_037_2(i) = wrk2 * 0.768 + diag_003_0(i) * 0.284
+    end do
+    call outfld('AUX037', diag_037_0)
+  end subroutine aux_cam_037_main
+  subroutine aux_cam_037_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.655
+    acc = acc * 0.9066 + -0.0377
+    acc = acc * 0.8154 + 0.0398
+    acc = acc * 1.0411 + 0.0043
+    xout = acc
+  end subroutine aux_cam_037_extra0
+  subroutine aux_cam_037_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.504
+    acc = acc * 0.8383 + 0.0844
+    acc = acc * 0.9926 + 0.0598
+    acc = acc * 1.1141 + -0.0721
+    acc = acc * 0.8591 + 0.0494
+    acc = acc * 0.8150 + -0.0352
+    acc = acc * 0.9485 + -0.0534
+    xout = acc
+  end subroutine aux_cam_037_extra1
+  subroutine aux_cam_037_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.913
+    acc = acc * 0.9935 + -0.0360
+    acc = acc * 1.1349 + -0.0158
+    acc = acc * 1.0892 + -0.0887
+    acc = acc * 0.8196 + -0.0620
+    xout = acc
+  end subroutine aux_cam_037_extra2
+end module aux_cam_037

@@ -1,0 +1,54 @@
+module aux_cam_038
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_lnd_018, only: diag_018_0
+  implicit none
+  real :: diag_038_0(pcols)
+  real :: diag_038_1(pcols)
+contains
+  subroutine aux_cam_038_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.534 + 0.146
+      wrk1 = state%q(i) * 0.799 + wrk0 * 0.143
+      wrk2 = sqrt(abs(wrk1) + 0.306)
+      wrk3 = max(wrk0, 0.149)
+      wrk4 = wrk0 * wrk3 + 0.161
+      wrk5 = sqrt(abs(wrk2) + 0.015)
+      wrk6 = sqrt(abs(wrk1) + 0.193)
+      diag_038_0(i) = wrk5 * 0.670 + diag_018_0(i) * 0.095
+      diag_038_1(i) = wrk2 * 0.467 + diag_018_0(i) * 0.345
+    end do
+    call outfld('AUX038', diag_038_0)
+  end subroutine aux_cam_038_main
+  subroutine aux_cam_038_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.726
+    acc = acc * 1.0705 + -0.0424
+    acc = acc * 1.1320 + -0.0979
+    acc = acc * 0.8041 + -0.0200
+    acc = acc * 0.8608 + 0.0595
+    acc = acc * 1.0224 + 0.0806
+    xout = acc
+  end subroutine aux_cam_038_extra0
+  subroutine aux_cam_038_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.582
+    acc = acc * 0.9892 + 0.0230
+    acc = acc * 1.1338 + 0.0791
+    acc = acc * 0.9652 + 0.0436
+    acc = acc * 1.1055 + 0.0088
+    xout = acc
+  end subroutine aux_cam_038_extra1
+end module aux_cam_038

@@ -1,0 +1,40 @@
+module aux_cam_039
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_039_0(pcols)
+contains
+  subroutine aux_cam_039_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.492 + 0.090
+      wrk1 = state%q(i) * 0.745 + wrk0 * 0.120
+      wrk2 = wrk0 * wrk1 + 0.070
+      wrk3 = wrk2 * 0.707 + 0.155
+      wrk4 = wrk0 * wrk3 + 0.061
+      wrk5 = sqrt(abs(wrk4) + 0.486)
+      wrk6 = sqrt(abs(wrk3) + 0.302)
+      wrk7 = max(wrk4, 0.151)
+      diag_039_0(i) = wrk5 * 0.870
+    end do
+  end subroutine aux_cam_039_main
+  subroutine aux_cam_039_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.634
+    acc = acc * 1.1379 + 0.0258
+    acc = acc * 1.0436 + 0.0278
+    acc = acc * 0.9518 + 0.0778
+    acc = acc * 0.9720 + -0.0196
+    xout = acc
+  end subroutine aux_cam_039_extra0
+end module aux_cam_039

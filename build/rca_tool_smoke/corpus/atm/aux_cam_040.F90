@@ -1,0 +1,46 @@
+module aux_cam_040
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_040_0(pcols)
+contains
+  subroutine aux_cam_040_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: u
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.245 + 0.040
+      wrk1 = state%q(i) * 0.559 + wrk0 * 0.300
+      wrk2 = wrk0 * 0.323 + 0.127
+      wrk3 = wrk2 * wrk2 + 0.155
+      u = wrk3 * 0.737 + 0.028
+      diag_040_0(i) = wrk2 * 0.250 + u * 0.1
+    end do
+  end subroutine aux_cam_040_main
+  subroutine aux_cam_040_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.019
+    acc = acc * 0.8730 + 0.0565
+    acc = acc * 1.1380 + -0.0517
+    acc = acc * 0.9662 + -0.0001
+    acc = acc * 1.1274 + 0.0835
+    xout = acc
+  end subroutine aux_cam_040_extra0
+  subroutine aux_cam_040_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.914
+    acc = acc * 0.8534 + 0.0335
+    acc = acc * 1.0772 + 0.0734
+    acc = acc * 1.1308 + -0.0134
+    acc = acc * 1.1478 + 0.0896
+    acc = acc * 1.0821 + 0.0855
+    xout = acc
+  end subroutine aux_cam_040_extra1
+end module aux_cam_040

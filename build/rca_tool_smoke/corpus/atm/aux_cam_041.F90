@@ -1,0 +1,37 @@
+module aux_cam_041
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_041_0(pcols)
+contains
+  subroutine aux_cam_041_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.441 + 0.189
+      wrk1 = state%q(i) * 0.530 + wrk0 * 0.257
+      wrk2 = wrk1 * 0.678 + 0.275
+      wrk3 = wrk0 * 0.546 + 0.029
+      omega = wrk3 * 0.783 + 0.186
+      diag_041_0(i) = wrk0 * 0.430 + omega * 0.1
+    end do
+  end subroutine aux_cam_041_main
+  subroutine aux_cam_041_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.956
+    acc = acc * 0.8449 + 0.0638
+    acc = acc * 0.8288 + -0.0032
+    acc = acc * 0.8808 + 0.0419
+    acc = acc * 1.1325 + -0.0189
+    acc = acc * 1.0276 + 0.0944
+    xout = acc
+  end subroutine aux_cam_041_extra0
+end module aux_cam_041

@@ -1,0 +1,42 @@
+module aux_cam_043
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_002, only: diag_002_0
+  implicit none
+  real :: diag_043_0(pcols)
+  real :: diag_043_1(pcols)
+contains
+  subroutine aux_cam_043_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.587 + 0.176
+      wrk1 = state%q(i) * 0.137 + wrk0 * 0.163
+      wrk2 = max(wrk1, 0.108)
+      wrk3 = wrk2 * wrk2 + 0.028
+      wrk4 = wrk3 * 0.349 + 0.244
+      wrk5 = wrk4 * wrk4 + 0.032
+      tref = wrk5 * 0.477 + 0.110
+      diag_043_0(i) = wrk4 * 0.866 + diag_002_0(i) * 0.086 + tref * 0.1
+      diag_043_1(i) = wrk1 * 0.397 + diag_008_0(i) * 0.110
+    end do
+    call outfld('AUX043', diag_043_0)
+  end subroutine aux_cam_043_main
+  subroutine aux_cam_043_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.953
+    acc = acc * 1.0002 + -0.0965
+    acc = acc * 1.0355 + -0.0738
+    acc = acc * 1.0886 + -0.0516
+    xout = acc
+  end subroutine aux_cam_043_extra0
+end module aux_cam_043

@@ -1,0 +1,61 @@
+module aux_cam_044
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_lnd_018, only: diag_018_0
+  use aux_cam_004, only: diag_004_0
+  use aux_cam_005, only: diag_005_0
+  implicit none
+  real :: diag_044_0(pcols)
+  real :: diag_044_1(pcols)
+  real :: diag_044_2(pcols)
+contains
+  subroutine aux_cam_044_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.452 + 0.155
+      wrk1 = state%q(i) * 0.215 + wrk0 * 0.177
+      wrk2 = sqrt(abs(wrk1) + 0.195)
+      wrk3 = sqrt(abs(wrk0) + 0.441)
+      wrk4 = wrk3 * wrk3 + 0.121
+      wrk5 = sqrt(abs(wrk4) + 0.453)
+      diag_044_0(i) = wrk3 * 0.289 + diag_004_0(i) * 0.193
+      diag_044_1(i) = wrk1 * 0.517 + diag_005_0(i) * 0.367
+      diag_044_2(i) = wrk2 * 0.739 + diag_004_0(i) * 0.060
+    end do
+  end subroutine aux_cam_044_main
+  subroutine aux_cam_044_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.125
+    acc = acc * 0.8262 + -0.0108
+    acc = acc * 0.8706 + 0.0363
+    xout = acc
+  end subroutine aux_cam_044_extra0
+  subroutine aux_cam_044_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.087
+    acc = acc * 1.1729 + -0.0998
+    acc = acc * 0.9590 + 0.0835
+    acc = acc * 0.9470 + 0.0744
+    acc = acc * 0.9749 + 0.0545
+    xout = acc
+  end subroutine aux_cam_044_extra1
+  subroutine aux_cam_044_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.793
+    acc = acc * 1.0836 + -0.0079
+    acc = acc * 0.9745 + -0.0119
+    xout = acc
+  end subroutine aux_cam_044_extra2
+end module aux_cam_044

@@ -1,0 +1,38 @@
+module aux_cam_045
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_045_0(pcols)
+contains
+  subroutine aux_cam_045_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: qrl
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.204 + 0.189
+      wrk1 = state%q(i) * 0.449 + wrk0 * 0.113
+      wrk2 = sqrt(abs(wrk1) + 0.092)
+      wrk3 = wrk0 * 0.635 + 0.052
+      wrk4 = max(wrk3, 0.139)
+      wrk5 = sqrt(abs(wrk3) + 0.036)
+      qrl = wrk5 * 0.314 + 0.011
+      diag_045_0(i) = wrk0 * 0.466 + qrl * 0.1
+    end do
+  end subroutine aux_cam_045_main
+  subroutine aux_cam_045_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.820
+    acc = acc * 0.8153 + 0.0877
+    acc = acc * 1.0124 + 0.0351
+    acc = acc * 0.8824 + 0.0293
+    acc = acc * 0.8417 + 0.0588
+    xout = acc
+  end subroutine aux_cam_045_extra0
+end module aux_cam_045

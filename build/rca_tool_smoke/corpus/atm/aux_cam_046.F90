@@ -1,0 +1,41 @@
+module aux_cam_046
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_025, only: diag_025_0
+  use aux_cam_000, only: diag_000_0
+  implicit none
+  real :: diag_046_0(pcols)
+  real :: diag_046_1(pcols)
+  real :: diag_046_2(pcols)
+contains
+  subroutine aux_cam_046_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.619 + 0.165
+      wrk1 = state%q(i) * 0.729 + wrk0 * 0.120
+      wrk2 = sqrt(abs(wrk1) + 0.481)
+      wrk3 = wrk0 * wrk0 + 0.017
+      wrk4 = max(wrk2, 0.003)
+      wrk5 = wrk2 * wrk2 + 0.085
+      diag_046_0(i) = wrk5 * 0.528 + diag_000_0(i) * 0.349
+      diag_046_1(i) = wrk5 * 0.725 + diag_025_0(i) * 0.130
+      diag_046_2(i) = wrk5 * 0.612 + diag_000_0(i) * 0.268
+    end do
+  end subroutine aux_cam_046_main
+  subroutine aux_cam_046_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.047
+    acc = acc * 1.0218 + 0.0640
+    acc = acc * 1.1536 + 0.0193
+    acc = acc * 0.8788 + 0.0958
+    xout = acc
+  end subroutine aux_cam_046_extra0
+end module aux_cam_046

@@ -1,0 +1,38 @@
+module aux_cam_047
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_047_0(pcols)
+contains
+  subroutine aux_cam_047_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.382 + 0.118
+      wrk1 = state%q(i) * 0.725 + wrk0 * 0.321
+      wrk2 = max(wrk0, 0.079)
+      wrk3 = wrk0 * wrk0 + 0.199
+      wrk4 = max(wrk3, 0.162)
+      wrk5 = max(wrk0, 0.013)
+      wrk6 = wrk1 * wrk1 + 0.047
+      diag_047_0(i) = wrk4 * 0.674
+    end do
+  end subroutine aux_cam_047_main
+  subroutine aux_cam_047_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.521
+    acc = acc * 0.8568 + 0.0840
+    acc = acc * 0.8005 + -0.0946
+    acc = acc * 1.0540 + 0.0437
+    acc = acc * 0.9084 + 0.0106
+    xout = acc
+  end subroutine aux_cam_047_extra0
+end module aux_cam_047

@@ -1,0 +1,175 @@
+module aux_cam_048
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_015, only: diag_015_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_048_0(pcols)
+contains
+  subroutine aux_cam_048_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.242 + 0.089
+      wrk1 = state%q(i) * 0.297 + wrk0 * 0.114
+      wrk2 = max(wrk0, 0.080)
+      wrk3 = max(wrk1, 0.165)
+      wrk4 = wrk3 * 0.304 + 0.285
+      wrk5 = sqrt(abs(wrk2) + 0.031)
+      wrk6 = wrk3 * wrk3 + 0.067
+      wrk7 = sqrt(abs(wrk0) + 0.380)
+      wrk8 = max(wrk1, 0.035)
+      wrk9 = wrk1 * 0.464 + 0.265
+      omega = wrk9 * 0.444 + 0.054
+      diag_048_0(i) = wrk6 * 0.360 + diag_012_0(i) * 0.377 + omega * 0.1
+    end do
+  end subroutine aux_cam_048_main
+  subroutine aux_cam_048_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.640
+    acc = acc * 0.9512 + 0.0282
+    acc = acc * 0.9550 + 0.0820
+    acc = acc * 0.8245 + 0.0199
+    acc = acc * 1.1355 + -0.0327
+    acc = acc * 1.0231 + 0.0226
+    acc = acc * 1.0762 + 0.0379
+    acc = acc * 1.1557 + 0.0791
+    acc = acc * 0.9518 + -0.0897
+    acc = acc * 0.8858 + -0.0077
+    acc = acc * 0.9348 + -0.0848
+    acc = acc * 0.9261 + -0.0583
+    acc = acc * 0.8422 + -0.0629
+    acc = acc * 0.8020 + -0.0026
+    acc = acc * 1.0178 + 0.0032
+    acc = acc * 0.8022 + -0.0297
+    acc = acc * 0.8048 + 0.0521
+    acc = acc * 0.8286 + 0.0904
+    xout = acc
+  end subroutine aux_cam_048_extra0
+  subroutine aux_cam_048_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.652
+    acc = acc * 0.8989 + -0.0499
+    acc = acc * 0.9639 + 0.0529
+    acc = acc * 1.0796 + 0.0962
+    acc = acc * 1.1923 + -0.0124
+    acc = acc * 0.8537 + 0.0702
+    acc = acc * 1.0062 + 0.0645
+    acc = acc * 0.8825 + -0.0883
+    acc = acc * 0.9947 + -0.0129
+    acc = acc * 0.9621 + 0.0556
+    acc = acc * 0.8854 + 0.0533
+    acc = acc * 1.1631 + -0.0183
+    acc = acc * 0.9963 + -0.0111
+    acc = acc * 0.9473 + 0.0622
+    acc = acc * 1.0494 + 0.0946
+    acc = acc * 1.1206 + 0.0478
+    acc = acc * 1.0151 + -0.0950
+    acc = acc * 1.0465 + -0.0192
+    acc = acc * 0.8116 + 0.0125
+    acc = acc * 1.0232 + -0.0280
+    xout = acc
+  end subroutine aux_cam_048_extra1
+  subroutine aux_cam_048_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.966
+    acc = acc * 0.8536 + 0.0102
+    acc = acc * 0.8391 + -0.0103
+    acc = acc * 0.9921 + 0.0875
+    acc = acc * 0.9551 + -0.0439
+    acc = acc * 0.9333 + 0.0711
+    acc = acc * 1.1087 + 0.0161
+    acc = acc * 1.0412 + 0.0422
+    acc = acc * 1.1180 + 0.0129
+    acc = acc * 0.8679 + -0.0166
+    acc = acc * 0.9808 + 0.0215
+    acc = acc * 1.1653 + 0.0082
+    acc = acc * 0.9766 + -0.0069
+    acc = acc * 0.9589 + 0.0599
+    acc = acc * 0.8794 + 0.0481
+    xout = acc
+  end subroutine aux_cam_048_extra2
+  subroutine aux_cam_048_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.298
+    acc = acc * 0.9947 + 0.0800
+    acc = acc * 1.1588 + -0.0124
+    acc = acc * 1.0681 + -0.0561
+    acc = acc * 0.9348 + 0.0304
+    acc = acc * 1.0016 + -0.0080
+    acc = acc * 0.8519 + -0.0792
+    acc = acc * 1.0292 + -0.0184
+    acc = acc * 0.8564 + -0.0000
+    acc = acc * 0.9634 + 0.0809
+    acc = acc * 1.1850 + -0.0858
+    xout = acc
+  end subroutine aux_cam_048_extra3
+  subroutine aux_cam_048_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.366
+    acc = acc * 0.8899 + -0.0864
+    acc = acc * 0.9484 + -0.0193
+    acc = acc * 0.9865 + 0.0073
+    acc = acc * 0.8944 + -0.0514
+    acc = acc * 1.0335 + -0.0172
+    acc = acc * 0.9382 + -0.0028
+    acc = acc * 1.0765 + -0.0497
+    acc = acc * 1.1305 + 0.0456
+    acc = acc * 1.1109 + -0.0321
+    acc = acc * 1.1754 + -0.0199
+    acc = acc * 0.8255 + 0.0501
+    acc = acc * 1.1843 + 0.0200
+    acc = acc * 1.0709 + 0.0814
+    acc = acc * 1.1170 + -0.0052
+    acc = acc * 1.1500 + -0.0817
+    acc = acc * 1.1513 + 0.0382
+    acc = acc * 1.0105 + 0.0386
+    acc = acc * 1.1001 + 0.0827
+    acc = acc * 0.9945 + -0.0676
+    acc = acc * 1.0531 + -0.0575
+    xout = acc
+  end subroutine aux_cam_048_extra4
+  subroutine aux_cam_048_extra5(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.558
+    acc = acc * 1.0289 + 0.0979
+    acc = acc * 1.0508 + -0.0127
+    acc = acc * 0.8397 + -0.0573
+    acc = acc * 1.1653 + 0.0758
+    acc = acc * 1.1945 + 0.0950
+    acc = acc * 0.8522 + -0.0694
+    acc = acc * 1.1131 + -0.0313
+    acc = acc * 0.8917 + 0.0315
+    acc = acc * 1.1403 + 0.0937
+    acc = acc * 0.8935 + 0.0894
+    acc = acc * 1.0640 + 0.0101
+    acc = acc * 0.8727 + 0.0276
+    acc = acc * 1.1547 + -0.0479
+    acc = acc * 0.9750 + 0.0145
+    acc = acc * 0.8962 + 0.0949
+    xout = acc
+  end subroutine aux_cam_048_extra5
+end module aux_cam_048

@@ -1,0 +1,68 @@
+module aux_cam_049
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  implicit none
+  real :: diag_049_0(pcols)
+  real :: diag_049_1(pcols)
+contains
+  subroutine aux_cam_049_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.652 + 0.096
+      wrk1 = state%q(i) * 0.186 + wrk0 * 0.127
+      wrk2 = sqrt(abs(wrk0) + 0.382)
+      wrk3 = sqrt(abs(wrk2) + 0.213)
+      wrk4 = sqrt(abs(wrk0) + 0.332)
+      wrk5 = wrk4 * 0.749 + 0.129
+      wrk6 = max(wrk1, 0.193)
+      wrk7 = max(wrk5, 0.100)
+      wrk8 = wrk4 * wrk7 + 0.147
+      diag_049_0(i) = wrk2 * 0.692
+      diag_049_1(i) = wrk6 * 0.560 + diag_015_0(i) * 0.054
+    end do
+  end subroutine aux_cam_049_main
+  subroutine aux_cam_049_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.177
+    acc = acc * 0.8650 + 0.0678
+    acc = acc * 0.8226 + 0.0685
+    acc = acc * 0.8372 + 0.0114
+    xout = acc
+  end subroutine aux_cam_049_extra0
+  subroutine aux_cam_049_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.590
+    acc = acc * 0.9141 + -0.0570
+    acc = acc * 0.9360 + -0.0284
+    acc = acc * 0.8114 + 0.0317
+    acc = acc * 1.0494 + -0.0751
+    acc = acc * 0.9309 + 0.0032
+    acc = acc * 0.8320 + 0.0674
+    xout = acc
+  end subroutine aux_cam_049_extra1
+  subroutine aux_cam_049_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.545
+    acc = acc * 1.0967 + 0.0361
+    acc = acc * 0.9223 + -0.0852
+    acc = acc * 0.9063 + 0.0052
+    acc = acc * 1.1479 + -0.0568
+    xout = acc
+  end subroutine aux_cam_049_extra2
+end module aux_cam_049

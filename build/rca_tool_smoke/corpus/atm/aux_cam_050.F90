@@ -1,0 +1,174 @@
+module aux_cam_050
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_050_0(pcols)
+contains
+  subroutine aux_cam_050_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.886 + 0.129
+      wrk1 = state%q(i) * 0.465 + wrk0 * 0.253
+      wrk2 = wrk0 * 0.509 + 0.137
+      wrk3 = wrk0 * 0.358 + 0.046
+      wrk4 = sqrt(abs(wrk3) + 0.476)
+      wrk5 = sqrt(abs(wrk2) + 0.393)
+      wrk6 = wrk2 * 0.455 + 0.211
+      wrk7 = sqrt(abs(wrk5) + 0.323)
+      wrk8 = wrk3 * 0.255 + 0.106
+      wrk9 = wrk1 * 0.348 + 0.212
+      wrk10 = wrk0 * wrk0 + 0.173
+      diag_050_0(i) = wrk7 * 0.868
+    end do
+  end subroutine aux_cam_050_main
+  subroutine aux_cam_050_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.430
+    acc = acc * 0.9864 + 0.0295
+    acc = acc * 1.0395 + 0.0687
+    acc = acc * 0.9605 + 0.0797
+    acc = acc * 0.8175 + -0.0877
+    acc = acc * 1.0887 + 0.0240
+    acc = acc * 1.1710 + -0.0497
+    acc = acc * 1.0242 + 0.0014
+    acc = acc * 1.1449 + 0.0113
+    acc = acc * 1.1805 + 0.0388
+    acc = acc * 0.8315 + 0.0783
+    acc = acc * 1.1485 + -0.0147
+    acc = acc * 0.8047 + -0.0462
+    acc = acc * 0.9495 + 0.0467
+    acc = acc * 0.9995 + 0.0577
+    acc = acc * 0.8054 + 0.0438
+    acc = acc * 1.1620 + -0.0420
+    acc = acc * 0.8127 + -0.0692
+    xout = acc
+  end subroutine aux_cam_050_extra0
+  subroutine aux_cam_050_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.183
+    acc = acc * 0.9398 + -0.0703
+    acc = acc * 0.9693 + 0.0972
+    acc = acc * 0.8666 + -0.0163
+    acc = acc * 0.9728 + -0.0570
+    acc = acc * 0.9613 + 0.0805
+    acc = acc * 0.9574 + -0.0026
+    acc = acc * 0.9326 + 0.0024
+    acc = acc * 0.8040 + 0.0932
+    acc = acc * 1.0188 + 0.0790
+    acc = acc * 1.0198 + -0.0682
+    acc = acc * 0.9436 + -0.0758
+    acc = acc * 1.0775 + 0.0714
+    acc = acc * 1.0080 + 0.0172
+    acc = acc * 1.0627 + -0.0411
+    acc = acc * 0.8867 + 0.0232
+    acc = acc * 1.0055 + 0.0151
+    acc = acc * 1.0712 + 0.0040
+    acc = acc * 1.1662 + 0.0302
+    acc = acc * 1.1247 + -0.0249
+    acc = acc * 1.1577 + -0.0130
+    xout = acc
+  end subroutine aux_cam_050_extra1
+  subroutine aux_cam_050_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.123
+    acc = acc * 1.1039 + -0.0005
+    acc = acc * 1.1291 + 0.0666
+    acc = acc * 0.8720 + 0.0164
+    acc = acc * 0.9093 + 0.0291
+    acc = acc * 1.1567 + -0.0629
+    acc = acc * 1.1486 + -0.0339
+    acc = acc * 1.1831 + 0.0595
+    acc = acc * 1.0427 + -0.0007
+    acc = acc * 0.8483 + 0.0113
+    acc = acc * 0.9242 + -0.0210
+    acc = acc * 1.0132 + -0.0384
+    acc = acc * 1.1374 + 0.0155
+    acc = acc * 1.0279 + 0.0521
+    acc = acc * 0.9101 + 0.0470
+    acc = acc * 1.1044 + 0.0814
+    acc = acc * 0.9851 + -0.0908
+    acc = acc * 1.1602 + -0.0695
+    acc = acc * 1.1284 + -0.0904
+    acc = acc * 0.9472 + 0.0364
+    xout = acc
+  end subroutine aux_cam_050_extra2
+  subroutine aux_cam_050_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.897
+    acc = acc * 1.0254 + 0.0120
+    acc = acc * 1.0634 + -0.0422
+    acc = acc * 1.0097 + -0.0090
+    acc = acc * 1.1038 + 0.0697
+    acc = acc * 1.0861 + -0.0999
+    acc = acc * 1.0553 + 0.0279
+    acc = acc * 0.8354 + -0.0820
+    acc = acc * 1.1867 + -0.0632
+    xout = acc
+  end subroutine aux_cam_050_extra3
+  subroutine aux_cam_050_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.148
+    acc = acc * 0.9048 + -0.0298
+    acc = acc * 0.8379 + -0.0846
+    acc = acc * 1.1396 + -0.0286
+    acc = acc * 0.9478 + 0.0706
+    acc = acc * 0.9292 + -0.0835
+    acc = acc * 1.0995 + -0.0220
+    acc = acc * 1.0125 + -0.0360
+    acc = acc * 1.1676 + 0.0546
+    acc = acc * 1.1180 + 0.0426
+    acc = acc * 1.1259 + -0.0868
+    acc = acc * 0.8834 + 0.0816
+    acc = acc * 1.0845 + -0.0639
+    acc = acc * 1.1309 + -0.0496
+    acc = acc * 0.9948 + -0.0825
+    acc = acc * 0.8302 + -0.0574
+    acc = acc * 0.9827 + 0.0322
+    acc = acc * 1.0701 + 0.0046
+    acc = acc * 1.0686 + -0.0408
+    acc = acc * 1.0750 + 0.0336
+    xout = acc
+  end subroutine aux_cam_050_extra4
+  subroutine aux_cam_050_extra5(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.178
+    acc = acc * 1.0672 + 0.0730
+    acc = acc * 1.1219 + 0.0839
+    acc = acc * 1.0574 + 0.0145
+    acc = acc * 1.1944 + -0.0143
+    acc = acc * 1.0254 + 0.0245
+    acc = acc * 1.1957 + -0.0254
+    acc = acc * 0.9283 + 0.0248
+    acc = acc * 1.0886 + 0.0470
+    acc = acc * 0.9771 + 0.0702
+    acc = acc * 0.9994 + 0.0587
+    acc = acc * 1.0590 + 0.0444
+    acc = acc * 1.0258 + 0.0261
+    acc = acc * 1.0446 + 0.0996
+    acc = acc * 0.8279 + -0.0887
+    xout = acc
+  end subroutine aux_cam_050_extra5
+end module aux_cam_050

@@ -1,0 +1,141 @@
+module aux_cam_051
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_051_0(pcols)
+  real :: diag_051_1(pcols)
+contains
+  subroutine aux_cam_051_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.200 + 0.112
+      wrk1 = state%q(i) * 0.764 + wrk0 * 0.397
+      wrk2 = wrk0 * 0.837 + 0.002
+      wrk3 = wrk2 * 0.422 + 0.119
+      wrk4 = max(wrk0, 0.054)
+      wrk5 = max(wrk3, 0.031)
+      wrk6 = max(wrk4, 0.137)
+      wrk7 = wrk2 * wrk6 + 0.156
+      wrk8 = wrk3 * 0.218 + 0.238
+      wrk9 = sqrt(abs(wrk0) + 0.443)
+      wrk10 = wrk0 * wrk0 + 0.055
+      diag_051_0(i) = wrk1 * 0.272 + diag_001_0(i) * 0.272
+      diag_051_1(i) = wrk10 * 0.311 + diag_001_0(i) * 0.151
+    end do
+  end subroutine aux_cam_051_main
+  subroutine aux_cam_051_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.133
+    acc = acc * 1.0148 + 0.0273
+    acc = acc * 1.0694 + -0.0356
+    acc = acc * 1.1676 + -0.0637
+    acc = acc * 0.9992 + 0.0402
+    acc = acc * 1.0402 + -0.0771
+    acc = acc * 1.0031 + -0.0432
+    acc = acc * 0.9709 + -0.0171
+    acc = acc * 0.8835 + 0.0776
+    xout = acc
+  end subroutine aux_cam_051_extra0
+  subroutine aux_cam_051_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.526
+    acc = acc * 0.8122 + 0.0868
+    acc = acc * 1.0400 + 0.0511
+    acc = acc * 1.1135 + 0.0785
+    acc = acc * 1.1850 + -0.0867
+    acc = acc * 1.1753 + -0.0134
+    acc = acc * 1.1441 + -0.0715
+    acc = acc * 1.0235 + 0.0311
+    acc = acc * 0.9119 + -0.0015
+    acc = acc * 0.9698 + -0.0621
+    acc = acc * 0.9386 + -0.0103
+    acc = acc * 1.0334 + -0.0841
+    acc = acc * 1.0755 + 0.0477
+    acc = acc * 0.9155 + -0.0933
+    acc = acc * 0.9817 + -0.0172
+    acc = acc * 1.0551 + 0.0337
+    acc = acc * 1.1530 + 0.0222
+    xout = acc
+  end subroutine aux_cam_051_extra1
+  subroutine aux_cam_051_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.874
+    acc = acc * 0.8805 + 0.0288
+    acc = acc * 0.8103 + -0.0508
+    acc = acc * 1.1335 + -0.0538
+    acc = acc * 1.1961 + 0.0097
+    acc = acc * 0.8106 + -0.0962
+    acc = acc * 1.0778 + 0.0193
+    acc = acc * 1.0367 + 0.0032
+    acc = acc * 0.8159 + 0.0188
+    acc = acc * 1.1411 + -0.0732
+    acc = acc * 0.8128 + -0.0188
+    acc = acc * 0.9242 + 0.0797
+    acc = acc * 0.8852 + -0.0824
+    acc = acc * 1.1186 + -0.0702
+    acc = acc * 0.8017 + 0.0245
+    acc = acc * 1.0957 + -0.0396
+    xout = acc
+  end subroutine aux_cam_051_extra2
+  subroutine aux_cam_051_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.209
+    acc = acc * 0.9015 + -0.0945
+    acc = acc * 1.0592 + -0.0293
+    acc = acc * 1.1659 + 0.0688
+    acc = acc * 1.1966 + 0.0459
+    acc = acc * 0.8769 + 0.0145
+    acc = acc * 1.1160 + -0.0224
+    acc = acc * 1.0072 + 0.0650
+    acc = acc * 1.1124 + -0.0419
+    acc = acc * 0.8350 + -0.0237
+    acc = acc * 1.0685 + -0.0992
+    acc = acc * 1.0189 + 0.0977
+    acc = acc * 0.8233 + 0.0461
+    acc = acc * 0.8352 + -0.0613
+    acc = acc * 0.9791 + -0.0223
+    acc = acc * 0.9227 + 0.0518
+    acc = acc * 0.8286 + -0.0490
+    acc = acc * 0.8574 + -0.0541
+    acc = acc * 1.1435 + 0.0543
+    acc = acc * 1.0073 + -0.0719
+    xout = acc
+  end subroutine aux_cam_051_extra3
+  subroutine aux_cam_051_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.826
+    acc = acc * 1.1485 + -0.0671
+    acc = acc * 0.9921 + 0.0063
+    acc = acc * 1.0638 + 0.0970
+    acc = acc * 1.0677 + -0.0339
+    acc = acc * 1.1460 + 0.0996
+    acc = acc * 1.1215 + 0.0707
+    acc = acc * 1.1009 + -0.0703
+    acc = acc * 0.8616 + 0.0594
+    acc = acc * 0.9662 + -0.0468
+    acc = acc * 1.1529 + 0.0764
+    xout = acc
+  end subroutine aux_cam_051_extra4
+end module aux_cam_051

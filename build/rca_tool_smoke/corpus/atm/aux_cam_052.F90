@@ -1,0 +1,27 @@
+module aux_cam_052
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_052_0(pcols)
+contains
+  subroutine aux_cam_052_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.772 + 0.100
+      wrk1 = state%q(i) * 0.516 + wrk0 * 0.125
+      wrk2 = wrk0 * 0.846 + 0.102
+      wrk3 = wrk1 * wrk1 + 0.063
+      wrk4 = sqrt(abs(wrk0) + 0.086)
+      wrk5 = max(wrk3, 0.173)
+      wrk6 = sqrt(abs(wrk1) + 0.063)
+      diag_052_0(i) = wrk2 * 0.574
+    end do
+  end subroutine aux_cam_052_main
+end module aux_cam_052

@@ -1,0 +1,49 @@
+module aux_cam_053
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  implicit none
+  real :: diag_053_0(pcols)
+  real :: diag_053_1(pcols)
+  real :: diag_053_2(pcols)
+contains
+  subroutine aux_cam_053_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.450 + 0.112
+      wrk1 = state%q(i) * 0.423 + wrk0 * 0.311
+      wrk2 = wrk0 * 0.219 + 0.113
+      wrk3 = max(wrk2, 0.150)
+      diag_053_0(i) = wrk0 * 0.785
+      diag_053_1(i) = wrk0 * 0.426
+      diag_053_2(i) = wrk2 * 0.424 + diag_002_0(i) * 0.260
+    end do
+  end subroutine aux_cam_053_main
+  subroutine aux_cam_053_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.654
+    acc = acc * 0.9029 + -0.0040
+    acc = acc * 1.1065 + 0.0627
+    acc = acc * 0.9495 + -0.0826
+    acc = acc * 0.8849 + -0.0564
+    xout = acc
+  end subroutine aux_cam_053_extra0
+  subroutine aux_cam_053_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.527
+    acc = acc * 1.1349 + -0.0940
+    acc = acc * 0.9739 + -0.0114
+    acc = acc * 0.9693 + -0.0002
+    acc = acc * 1.0485 + 0.0892
+    acc = acc * 1.0572 + -0.0416
+    xout = acc
+  end subroutine aux_cam_053_extra1
+end module aux_cam_053

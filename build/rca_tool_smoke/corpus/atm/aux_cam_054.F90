@@ -1,0 +1,103 @@
+module aux_cam_054
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_025, only: diag_025_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_054_0(pcols)
+  real :: diag_054_1(pcols)
+  real :: diag_054_2(pcols)
+contains
+  subroutine aux_cam_054_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: wrk14
+    real :: u
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.197 + 0.034
+      wrk1 = state%q(i) * 0.582 + wrk0 * 0.139
+      wrk2 = max(wrk0, 0.065)
+      wrk3 = wrk0 * wrk0 + 0.043
+      wrk4 = wrk1 * 0.583 + 0.178
+      wrk5 = wrk1 * wrk1 + 0.042
+      wrk6 = max(wrk1, 0.155)
+      wrk7 = wrk0 * wrk0 + 0.135
+      wrk8 = max(wrk3, 0.093)
+      wrk9 = wrk8 * 0.691 + 0.290
+      wrk10 = wrk3 * wrk9 + 0.040
+      wrk11 = sqrt(abs(wrk8) + 0.046)
+      wrk12 = max(wrk6, 0.014)
+      wrk13 = wrk12 * wrk12 + 0.058
+      wrk14 = max(wrk12, 0.018)
+      u = wrk14 * 0.319 + 0.101
+      diag_054_0(i) = wrk12 * 0.751 + u * 0.1
+      diag_054_1(i) = wrk6 * 0.250 + diag_025_0(i) * 0.150
+      diag_054_2(i) = wrk12 * 0.515 + diag_025_0(i) * 0.082
+    end do
+  end subroutine aux_cam_054_main
+  subroutine aux_cam_054_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.960
+    acc = acc * 1.1665 + -0.0932
+    acc = acc * 1.0957 + 0.0261
+    acc = acc * 1.0585 + -0.0320
+    acc = acc * 0.9669 + 0.0871
+    acc = acc * 1.1687 + 0.0079
+    acc = acc * 1.0645 + 0.0931
+    acc = acc * 0.8896 + 0.0177
+    acc = acc * 0.8583 + -0.0125
+    acc = acc * 1.1068 + 0.0235
+    acc = acc * 0.8616 + 0.0506
+    acc = acc * 1.1557 + 0.0813
+    acc = acc * 1.0857 + 0.0349
+    acc = acc * 0.8141 + 0.0642
+    acc = acc * 0.9352 + 0.0533
+    xout = acc
+  end subroutine aux_cam_054_extra0
+  subroutine aux_cam_054_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.105
+    acc = acc * 0.8474 + 0.0976
+    acc = acc * 0.8127 + -0.0306
+    acc = acc * 1.0033 + -0.0274
+    acc = acc * 1.0139 + -0.0833
+    acc = acc * 1.0885 + 0.0378
+    acc = acc * 0.8040 + 0.0716
+    acc = acc * 1.1157 + 0.0808
+    acc = acc * 0.8658 + 0.0713
+    acc = acc * 0.8052 + 0.0745
+    xout = acc
+  end subroutine aux_cam_054_extra1
+  subroutine aux_cam_054_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.331
+    acc = acc * 0.9422 + 0.0781
+    acc = acc * 0.8705 + 0.0749
+    acc = acc * 0.8301 + -0.0271
+    acc = acc * 0.9071 + -0.0656
+    acc = acc * 0.8030 + -0.0327
+    acc = acc * 1.1657 + -0.0035
+    acc = acc * 1.0571 + -0.0290
+    acc = acc * 1.0511 + -0.0095
+    xout = acc
+  end subroutine aux_cam_054_extra2
+end module aux_cam_054

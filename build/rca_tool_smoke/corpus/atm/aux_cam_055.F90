@@ -1,0 +1,106 @@
+module aux_cam_055
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_055_0(pcols)
+  real :: diag_055_1(pcols)
+contains
+  subroutine aux_cam_055_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.373 + 0.056
+      wrk1 = state%q(i) * 0.223 + wrk0 * 0.283
+      wrk2 = max(wrk1, 0.152)
+      wrk3 = max(wrk2, 0.194)
+      wrk4 = wrk3 * wrk3 + 0.053
+      wrk5 = wrk3 * wrk3 + 0.042
+      wrk6 = sqrt(abs(wrk0) + 0.161)
+      wrk7 = sqrt(abs(wrk6) + 0.149)
+      wrk8 = wrk4 * wrk7 + 0.005
+      wrk9 = wrk6 * wrk8 + 0.058
+      diag_055_0(i) = wrk5 * 0.242
+      diag_055_1(i) = wrk2 * 0.203
+    end do
+  end subroutine aux_cam_055_main
+  subroutine aux_cam_055_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.456
+    acc = acc * 0.8484 + -0.0710
+    acc = acc * 1.1050 + 0.0882
+    acc = acc * 0.8165 + -0.0658
+    acc = acc * 1.0671 + -0.0418
+    acc = acc * 0.8151 + -0.1000
+    acc = acc * 1.0103 + -0.0885
+    acc = acc * 1.1691 + 0.0688
+    acc = acc * 0.9506 + -0.0433
+    acc = acc * 1.0641 + 0.0207
+    acc = acc * 1.1228 + 0.0029
+    acc = acc * 1.0355 + -0.0134
+    acc = acc * 1.0654 + 0.0282
+    acc = acc * 0.8135 + -0.0784
+    acc = acc * 0.8243 + -0.0196
+    acc = acc * 1.0800 + 0.0459
+    acc = acc * 0.9177 + -0.0974
+    acc = acc * 1.1665 + -0.0366
+    acc = acc * 0.8941 + 0.0190
+    acc = acc * 1.0555 + -0.0840
+    xout = acc
+  end subroutine aux_cam_055_extra0
+  subroutine aux_cam_055_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.178
+    acc = acc * 0.9855 + -0.0385
+    acc = acc * 0.8419 + -0.0236
+    acc = acc * 1.1617 + 0.0268
+    acc = acc * 1.1539 + -0.0118
+    acc = acc * 1.1407 + 0.0696
+    acc = acc * 1.0696 + 0.0302
+    acc = acc * 0.8421 + 0.0685
+    acc = acc * 0.9398 + 0.0617
+    acc = acc * 0.8967 + 0.0873
+    acc = acc * 0.9573 + 0.0059
+    acc = acc * 0.9653 + 0.0644
+    acc = acc * 1.1745 + -0.0378
+    acc = acc * 0.9341 + 0.0392
+    acc = acc * 0.9015 + 0.0230
+    acc = acc * 0.8791 + -0.0698
+    acc = acc * 0.9111 + -0.0537
+    acc = acc * 0.9876 + 0.0360
+    xout = acc
+  end subroutine aux_cam_055_extra1
+  subroutine aux_cam_055_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.032
+    acc = acc * 0.9300 + -0.0909
+    acc = acc * 0.8195 + 0.0351
+    acc = acc * 0.8020 + -0.0224
+    acc = acc * 1.0164 + -0.0920
+    acc = acc * 0.9942 + 0.0044
+    acc = acc * 1.1766 + -0.0333
+    acc = acc * 0.9687 + 0.0236
+    acc = acc * 0.9448 + -0.0329
+    acc = acc * 1.1579 + -0.0627
+    acc = acc * 0.8852 + 0.0289
+    acc = acc * 0.8815 + -0.0490
+    acc = acc * 0.8595 + 0.0850
+    acc = acc * 0.9712 + 0.0574
+    acc = acc * 0.9157 + 0.0468
+    xout = acc
+  end subroutine aux_cam_055_extra2
+end module aux_cam_055

@@ -1,0 +1,49 @@
+module aux_cam_056
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_056_0(pcols)
+  real :: diag_056_1(pcols)
+  real :: diag_056_2(pcols)
+contains
+  subroutine aux_cam_056_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.829 + 0.160
+      wrk1 = state%q(i) * 0.560 + wrk0 * 0.255
+      wrk2 = sqrt(abs(wrk1) + 0.348)
+      wrk3 = wrk2 * wrk2 + 0.157
+      wrk4 = max(wrk2, 0.127)
+      diag_056_0(i) = wrk2 * 0.200
+      diag_056_1(i) = wrk0 * 0.529
+      diag_056_2(i) = wrk3 * 0.689
+    end do
+  end subroutine aux_cam_056_main
+  subroutine aux_cam_056_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.101
+    acc = acc * 1.0900 + -0.0317
+    acc = acc * 0.9184 + -0.0339
+    acc = acc * 0.8294 + 0.0307
+    acc = acc * 1.1939 + 0.0404
+    xout = acc
+  end subroutine aux_cam_056_extra0
+  subroutine aux_cam_056_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.488
+    acc = acc * 1.1707 + -0.0710
+    acc = acc * 0.8110 + 0.0841
+    acc = acc * 0.9652 + 0.0780
+    acc = acc * 1.0429 + -0.0725
+    xout = acc
+  end subroutine aux_cam_056_extra1
+end module aux_cam_056

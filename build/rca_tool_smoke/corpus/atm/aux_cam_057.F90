@@ -1,0 +1,36 @@
+module aux_cam_057
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_020, only: diag_020_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_057_0(pcols)
+  real :: diag_057_1(pcols)
+contains
+  subroutine aux_cam_057_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.122 + 0.075
+      wrk1 = state%q(i) * 0.655 + wrk0 * 0.206
+      wrk2 = sqrt(abs(wrk0) + 0.465)
+      wrk3 = wrk1 * wrk2 + 0.118
+      diag_057_0(i) = wrk2 * 0.707 + diag_001_0(i) * 0.132
+      diag_057_1(i) = wrk1 * 0.238 + diag_020_0(i) * 0.075
+    end do
+  end subroutine aux_cam_057_main
+  subroutine aux_cam_057_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.788
+    acc = acc * 0.9107 + -0.0004
+    acc = acc * 0.9242 + -0.0165
+    acc = acc * 0.9565 + 0.0303
+    acc = acc * 1.0976 + -0.0400
+    xout = acc
+  end subroutine aux_cam_057_extra0
+end module aux_cam_057

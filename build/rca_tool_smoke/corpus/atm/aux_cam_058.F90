@@ -1,0 +1,54 @@
+module aux_cam_058
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_058_0(pcols)
+  real :: diag_058_1(pcols)
+contains
+  subroutine aux_cam_058_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.855 + 0.013
+      wrk1 = state%q(i) * 0.483 + wrk0 * 0.308
+      wrk2 = max(wrk1, 0.111)
+      wrk3 = wrk1 * wrk1 + 0.138
+      wrk4 = sqrt(abs(wrk0) + 0.496)
+      wrk5 = max(wrk0, 0.137)
+      wrk6 = sqrt(abs(wrk1) + 0.284)
+      wrk7 = wrk4 * wrk4 + 0.162
+      diag_058_0(i) = wrk3 * 0.483
+      diag_058_1(i) = wrk3 * 0.670
+    end do
+  end subroutine aux_cam_058_main
+  subroutine aux_cam_058_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.220
+    acc = acc * 1.0579 + -0.0276
+    acc = acc * 1.0635 + 0.0881
+    acc = acc * 1.1443 + 0.0745
+    acc = acc * 0.8798 + 0.0062
+    acc = acc * 0.9409 + 0.0219
+    xout = acc
+  end subroutine aux_cam_058_extra0
+  subroutine aux_cam_058_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.944
+    acc = acc * 0.8250 + -0.0059
+    acc = acc * 1.0469 + -0.0927
+    acc = acc * 1.0554 + -0.0807
+    acc = acc * 1.0227 + -0.0116
+    xout = acc
+  end subroutine aux_cam_058_extra1
+end module aux_cam_058

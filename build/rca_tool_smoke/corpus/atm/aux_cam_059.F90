@@ -1,0 +1,60 @@
+module aux_cam_059
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_lnd_024, only: diag_024_0
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_039, only: diag_039_0
+  implicit none
+  real :: diag_059_0(pcols)
+  real :: diag_059_1(pcols)
+contains
+  subroutine aux_cam_059_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.387 + 0.069
+      wrk1 = state%q(i) * 0.382 + wrk0 * 0.193
+      wrk2 = wrk1 * 0.753 + 0.086
+      wrk3 = wrk0 * wrk0 + 0.118
+      wrk4 = wrk0 * 0.839 + 0.137
+      diag_059_0(i) = wrk4 * 0.600 + diag_012_0(i) * 0.123
+      diag_059_1(i) = wrk0 * 0.819 + diag_039_0(i) * 0.053
+    end do
+  end subroutine aux_cam_059_main
+  subroutine aux_cam_059_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.685
+    acc = acc * 0.8782 + 0.0426
+    acc = acc * 0.9609 + -0.0393
+    xout = acc
+  end subroutine aux_cam_059_extra0
+  subroutine aux_cam_059_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.526
+    acc = acc * 1.0972 + 0.0071
+    acc = acc * 0.9676 + -0.0070
+    acc = acc * 1.1638 + 0.0127
+    xout = acc
+  end subroutine aux_cam_059_extra1
+  subroutine aux_cam_059_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.529
+    acc = acc * 1.1024 + 0.0919
+    acc = acc * 1.0937 + 0.0573
+    acc = acc * 0.9675 + -0.0816
+    acc = acc * 0.9983 + -0.0056
+    acc = acc * 0.8260 + 0.0411
+    acc = acc * 0.9841 + -0.0023
+    xout = acc
+  end subroutine aux_cam_059_extra2
+end module aux_cam_059

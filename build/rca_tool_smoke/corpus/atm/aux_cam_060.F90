@@ -1,0 +1,62 @@
+module aux_cam_060
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_060_0(pcols)
+contains
+  subroutine aux_cam_060_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.259 + 0.181
+      wrk1 = state%q(i) * 0.393 + wrk0 * 0.387
+      wrk2 = wrk0 * wrk1 + 0.043
+      wrk3 = max(wrk2, 0.167)
+      wrk4 = sqrt(abs(wrk1) + 0.358)
+      diag_060_0(i) = wrk2 * 0.489
+    end do
+  end subroutine aux_cam_060_main
+  subroutine aux_cam_060_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.215
+    acc = acc * 0.9434 + 0.0386
+    acc = acc * 0.9851 + 0.0219
+    acc = acc * 0.9644 + -0.0449
+    acc = acc * 0.8983 + 0.0070
+    acc = acc * 1.0732 + -0.0775
+    acc = acc * 1.0325 + 0.0394
+    xout = acc
+  end subroutine aux_cam_060_extra0
+  subroutine aux_cam_060_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.990
+    acc = acc * 1.0223 + 0.0718
+    acc = acc * 0.9741 + -0.0478
+    acc = acc * 1.0106 + -0.0305
+    acc = acc * 1.1655 + 0.0766
+    acc = acc * 0.8828 + -0.0596
+    xout = acc
+  end subroutine aux_cam_060_extra1
+  subroutine aux_cam_060_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.246
+    acc = acc * 1.1239 + -0.0809
+    acc = acc * 1.1098 + 0.0036
+    acc = acc * 0.8943 + 0.0208
+    acc = acc * 0.9711 + 0.0721
+    acc = acc * 0.8198 + 0.0244
+    acc = acc * 0.8976 + 0.0444
+    xout = acc
+  end subroutine aux_cam_060_extra2
+end module aux_cam_060

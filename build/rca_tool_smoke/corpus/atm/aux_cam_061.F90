@@ -1,0 +1,179 @@
+module aux_cam_061
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_061_0(pcols)
+contains
+  subroutine aux_cam_061_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.718 + 0.161
+      wrk1 = state%q(i) * 0.415 + wrk0 * 0.347
+      wrk2 = max(wrk0, 0.118)
+      wrk3 = max(wrk2, 0.153)
+      wrk4 = sqrt(abs(wrk3) + 0.381)
+      wrk5 = sqrt(abs(wrk3) + 0.345)
+      wrk6 = wrk3 * 0.688 + 0.085
+      wrk7 = wrk1 * 0.863 + 0.138
+      wrk8 = sqrt(abs(wrk2) + 0.418)
+      wrk9 = wrk8 * wrk8 + 0.086
+      wrk10 = wrk5 * 0.698 + 0.222
+      wrk11 = max(wrk7, 0.148)
+      wrk12 = wrk0 * wrk11 + 0.186
+      wrk13 = wrk12 * 0.206 + 0.124
+      omega = wrk13 * 0.294 + 0.052
+      diag_061_0(i) = wrk13 * 0.219 + omega * 0.1
+    end do
+  end subroutine aux_cam_061_main
+  subroutine aux_cam_061_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.171
+    acc = acc * 0.8588 + -0.0611
+    acc = acc * 1.0503 + 0.0518
+    acc = acc * 0.9954 + -0.0926
+    acc = acc * 1.1800 + 0.0627
+    acc = acc * 0.8978 + 0.0476
+    acc = acc * 1.1741 + -0.0422
+    acc = acc * 0.8009 + -0.0378
+    acc = acc * 0.8192 + -0.0443
+    acc = acc * 0.9803 + 0.0226
+    acc = acc * 0.8110 + -0.0672
+    acc = acc * 0.8028 + 0.0468
+    acc = acc * 0.8531 + -0.0859
+    acc = acc * 0.8792 + -0.0698
+    acc = acc * 1.1955 + 0.0125
+    acc = acc * 0.9174 + -0.0558
+    acc = acc * 0.9941 + -0.0969
+    acc = acc * 1.0131 + 0.0310
+    acc = acc * 1.0254 + 0.0741
+    acc = acc * 1.1393 + -0.0279
+    xout = acc
+  end subroutine aux_cam_061_extra0
+  subroutine aux_cam_061_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.260
+    acc = acc * 1.0484 + -0.0418
+    acc = acc * 0.9805 + -0.0269
+    acc = acc * 0.9759 + -0.0216
+    acc = acc * 1.0941 + -0.0173
+    acc = acc * 0.8768 + -0.0714
+    acc = acc * 1.1354 + -0.0291
+    acc = acc * 0.9397 + -0.0214
+    acc = acc * 0.9608 + -0.0637
+    acc = acc * 1.1701 + 0.0121
+    acc = acc * 1.0238 + 0.0952
+    acc = acc * 1.0548 + 0.0117
+    acc = acc * 0.8963 + -0.0121
+    acc = acc * 0.9767 + -0.0575
+    acc = acc * 1.0230 + -0.0550
+    acc = acc * 1.1324 + -0.0032
+    acc = acc * 1.1252 + -0.0553
+    xout = acc
+  end subroutine aux_cam_061_extra1
+  subroutine aux_cam_061_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.430
+    acc = acc * 1.1638 + 0.0391
+    acc = acc * 1.1324 + -0.0525
+    acc = acc * 1.0931 + -0.0206
+    acc = acc * 1.1751 + -0.0770
+    acc = acc * 1.1518 + 0.0226
+    acc = acc * 1.0553 + -0.0814
+    acc = acc * 1.0291 + 0.0216
+    acc = acc * 0.9951 + -0.0276
+    acc = acc * 0.9676 + -0.0783
+    acc = acc * 1.0081 + -0.0377
+    acc = acc * 1.1812 + -0.0078
+    acc = acc * 1.0179 + -0.0157
+    acc = acc * 0.8016 + 0.0245
+    xout = acc
+  end subroutine aux_cam_061_extra2
+  subroutine aux_cam_061_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.987
+    acc = acc * 0.8902 + 0.0114
+    acc = acc * 1.0489 + -0.0242
+    acc = acc * 1.0378 + 0.0659
+    acc = acc * 0.8719 + -0.0801
+    acc = acc * 0.8713 + -0.0779
+    acc = acc * 1.1516 + 0.0528
+    acc = acc * 1.1932 + 0.0926
+    acc = acc * 0.8561 + -0.0276
+    acc = acc * 0.9970 + -0.0443
+    acc = acc * 0.9112 + 0.0392
+    acc = acc * 1.1661 + -0.0319
+    acc = acc * 1.0299 + -0.0009
+    acc = acc * 0.8795 + 0.0598
+    acc = acc * 1.1253 + 0.0142
+    acc = acc * 0.8336 + -0.0258
+    acc = acc * 0.8176 + 0.0855
+    xout = acc
+  end subroutine aux_cam_061_extra3
+  subroutine aux_cam_061_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.294
+    acc = acc * 0.9847 + -0.0803
+    acc = acc * 1.0802 + -0.0498
+    acc = acc * 0.8468 + -0.0120
+    acc = acc * 0.9289 + -0.0575
+    acc = acc * 1.0899 + 0.0276
+    acc = acc * 1.1164 + 0.0901
+    acc = acc * 0.8661 + 0.0344
+    acc = acc * 1.1095 + -0.0405
+    acc = acc * 0.9928 + -0.0726
+    acc = acc * 1.0555 + -0.0736
+    acc = acc * 1.0631 + 0.0942
+    acc = acc * 0.9109 + 0.0614
+    acc = acc * 0.8999 + 0.0206
+    acc = acc * 1.0062 + -0.0607
+    acc = acc * 0.9845 + 0.0150
+    acc = acc * 0.9398 + -0.0204
+    xout = acc
+  end subroutine aux_cam_061_extra4
+  subroutine aux_cam_061_extra5(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.325
+    acc = acc * 0.8186 + -0.0107
+    acc = acc * 1.1415 + -0.0606
+    acc = acc * 1.0713 + -0.0231
+    acc = acc * 1.0761 + -0.0723
+    acc = acc * 1.0944 + 0.0307
+    acc = acc * 1.1968 + 0.0455
+    acc = acc * 1.1662 + 0.0118
+    acc = acc * 0.9539 + -0.0217
+    acc = acc * 1.1075 + -0.0832
+    acc = acc * 1.0310 + 0.0605
+    acc = acc * 1.0735 + -0.0499
+    acc = acc * 0.8817 + 0.0806
+    acc = acc * 1.0888 + -0.0629
+    acc = acc * 0.8252 + -0.0387
+    xout = acc
+  end subroutine aux_cam_061_extra5
+end module aux_cam_061

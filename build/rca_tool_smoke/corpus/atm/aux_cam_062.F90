@@ -1,0 +1,53 @@
+module aux_cam_062
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_062_0(pcols)
+  real :: diag_062_1(pcols)
+contains
+  subroutine aux_cam_062_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.358 + 0.198
+      wrk1 = state%q(i) * 0.560 + wrk0 * 0.128
+      wrk2 = max(wrk0, 0.175)
+      wrk3 = wrk1 * wrk2 + 0.044
+      wrk4 = wrk3 * wrk3 + 0.027
+      wrk5 = max(wrk2, 0.030)
+      wrk6 = sqrt(abs(wrk0) + 0.252)
+      wrk7 = sqrt(abs(wrk5) + 0.319)
+      diag_062_0(i) = wrk1 * 0.733
+      diag_062_1(i) = wrk4 * 0.406
+    end do
+  end subroutine aux_cam_062_main
+  subroutine aux_cam_062_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.276
+    acc = acc * 1.0082 + -0.0211
+    acc = acc * 0.9851 + -0.0775
+    xout = acc
+  end subroutine aux_cam_062_extra0
+  subroutine aux_cam_062_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.813
+    acc = acc * 1.0164 + -0.0554
+    acc = acc * 0.8830 + 0.0291
+    acc = acc * 0.8147 + -0.0034
+    acc = acc * 1.1538 + 0.0733
+    acc = acc * 1.1060 + 0.0668
+    acc = acc * 0.8795 + 0.0311
+    xout = acc
+  end subroutine aux_cam_062_extra1
+end module aux_cam_062

@@ -1,0 +1,36 @@
+module aux_cam_063
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_009, only: diag_009_0
+  implicit none
+  real :: diag_063_0(pcols)
+  real :: diag_063_1(pcols)
+  real :: diag_063_2(pcols)
+contains
+  subroutine aux_cam_063_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.307 + 0.161
+      wrk1 = state%q(i) * 0.660 + wrk0 * 0.376
+      wrk2 = wrk1 * wrk1 + 0.104
+      wrk3 = max(wrk2, 0.058)
+      wrk4 = max(wrk3, 0.087)
+      wrk5 = wrk4 * wrk4 + 0.027
+      wrk6 = max(wrk4, 0.053)
+      wrk7 = wrk1 * wrk1 + 0.025
+      wrk8 = sqrt(abs(wrk5) + 0.277)
+      diag_063_0(i) = wrk1 * 0.389 + diag_009_0(i) * 0.185
+      diag_063_1(i) = wrk2 * 0.881
+      diag_063_2(i) = wrk0 * 0.208 + diag_009_0(i) * 0.216
+    end do
+  end subroutine aux_cam_063_main
+end module aux_cam_063

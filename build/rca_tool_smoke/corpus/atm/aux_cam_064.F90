@@ -1,0 +1,109 @@
+module aux_cam_064
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_064_0(pcols)
+  real :: diag_064_1(pcols)
+  real :: diag_064_2(pcols)
+contains
+  subroutine aux_cam_064_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: es
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.858 + 0.076
+      wrk1 = state%q(i) * 0.320 + wrk0 * 0.363
+      wrk2 = wrk0 * 0.723 + 0.241
+      wrk3 = wrk1 * wrk2 + 0.146
+      wrk4 = wrk1 * 0.750 + 0.294
+      wrk5 = sqrt(abs(wrk4) + 0.181)
+      wrk6 = wrk0 * 0.682 + 0.135
+      wrk7 = wrk6 * wrk6 + 0.192
+      wrk8 = sqrt(abs(wrk7) + 0.052)
+      wrk9 = wrk2 * 0.514 + 0.296
+      wrk10 = wrk3 * 0.430 + 0.055
+      wrk11 = sqrt(abs(wrk3) + 0.257)
+      es = wrk11 * 0.705 + 0.128
+      diag_064_0(i) = wrk11 * 0.718 + es * 0.1
+      diag_064_1(i) = wrk11 * 0.819
+      diag_064_2(i) = wrk7 * 0.672
+    end do
+  end subroutine aux_cam_064_main
+  subroutine aux_cam_064_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.247
+    acc = acc * 0.9501 + -0.0348
+    acc = acc * 1.1387 + -0.0100
+    acc = acc * 1.1022 + -0.0135
+    acc = acc * 1.1168 + 0.0300
+    acc = acc * 1.1909 + 0.0541
+    acc = acc * 0.9589 + 0.0117
+    acc = acc * 0.9860 + -0.0447
+    acc = acc * 0.8634 + 0.0571
+    acc = acc * 0.8495 + -0.0803
+    acc = acc * 1.0159 + -0.0205
+    acc = acc * 1.0191 + 0.0881
+    acc = acc * 1.0033 + 0.0644
+    acc = acc * 0.8253 + -0.0085
+    acc = acc * 0.8292 + 0.0494
+    acc = acc * 0.8107 + -0.0081
+    xout = acc
+  end subroutine aux_cam_064_extra0
+  subroutine aux_cam_064_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.309
+    acc = acc * 0.8741 + 0.0601
+    acc = acc * 0.9678 + -0.0158
+    acc = acc * 1.1941 + 0.0370
+    acc = acc * 1.1287 + 0.0659
+    acc = acc * 0.9710 + 0.0105
+    acc = acc * 1.0835 + 0.0909
+    acc = acc * 0.8267 + 0.0838
+    acc = acc * 1.1291 + 0.0025
+    acc = acc * 1.1964 + -0.0002
+    acc = acc * 0.9756 + 0.0558
+    acc = acc * 0.9879 + 0.0923
+    acc = acc * 1.1423 + 0.0338
+    acc = acc * 1.0665 + -0.0494
+    acc = acc * 0.8796 + -0.0505
+    acc = acc * 1.1078 + -0.0707
+    acc = acc * 0.8567 + -0.0770
+    acc = acc * 1.1730 + 0.0713
+    acc = acc * 1.0052 + 0.0208
+    acc = acc * 1.0881 + 0.0006
+    acc = acc * 1.0408 + 0.0437
+    xout = acc
+  end subroutine aux_cam_064_extra1
+  subroutine aux_cam_064_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.901
+    acc = acc * 1.0160 + 0.0056
+    acc = acc * 0.8936 + 0.0798
+    acc = acc * 0.9836 + -0.0688
+    acc = acc * 1.0407 + -0.0686
+    acc = acc * 1.1540 + -0.0993
+    acc = acc * 0.9767 + -0.0419
+    acc = acc * 1.0245 + 0.0282
+    acc = acc * 1.1699 + 0.0465
+    acc = acc * 1.0120 + -0.0344
+    acc = acc * 1.0542 + -0.0913
+    xout = acc
+  end subroutine aux_cam_064_extra2
+end module aux_cam_064

@@ -1,0 +1,48 @@
+module aux_cam_065
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_065_0(pcols)
+contains
+  subroutine aux_cam_065_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.119 + 0.035
+      wrk1 = state%q(i) * 0.508 + wrk0 * 0.382
+      wrk2 = wrk1 * wrk1 + 0.155
+      wrk3 = wrk2 * 0.484 + 0.219
+      wrk4 = sqrt(abs(wrk3) + 0.154)
+      wrk5 = wrk3 * 0.502 + 0.175
+      omega = wrk5 * 0.257 + 0.065
+      diag_065_0(i) = wrk5 * 0.606 + omega * 0.1
+    end do
+  end subroutine aux_cam_065_main
+  subroutine aux_cam_065_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.696
+    acc = acc * 1.1396 + 0.0280
+    acc = acc * 1.1162 + 0.0290
+    acc = acc * 1.1764 + 0.0123
+    xout = acc
+  end subroutine aux_cam_065_extra0
+  subroutine aux_cam_065_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.938
+    acc = acc * 0.9355 + 0.0595
+    acc = acc * 0.9172 + 0.0464
+    acc = acc * 0.9830 + 0.0411
+    acc = acc * 0.9571 + -0.0889
+    xout = acc
+  end subroutine aux_cam_065_extra1
+end module aux_cam_065

@@ -1,0 +1,28 @@
+module aux_cam_066
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_028, only: diag_028_0
+  implicit none
+  real :: diag_066_0(pcols)
+contains
+  subroutine aux_cam_066_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.421 + 0.163
+      wrk1 = state%q(i) * 0.225 + wrk0 * 0.277
+      wrk2 = wrk0 * wrk1 + 0.005
+      wrk3 = sqrt(abs(wrk2) + 0.436)
+      wrk4 = wrk2 * wrk3 + 0.188
+      wrk5 = wrk4 * 0.319 + 0.227
+      wrk6 = max(wrk3, 0.099)
+      diag_066_0(i) = wrk4 * 0.231 + diag_028_0(i) * 0.065
+    end do
+  end subroutine aux_cam_066_main
+end module aux_cam_066

@@ -1,0 +1,112 @@
+module aux_cam_067
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_017, only: diag_017_0
+  implicit none
+  real :: diag_067_0(pcols)
+  real :: diag_067_1(pcols)
+  real :: diag_067_2(pcols)
+contains
+  subroutine aux_cam_067_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.841 + 0.130
+      wrk1 = state%q(i) * 0.169 + wrk0 * 0.230
+      wrk2 = wrk1 * 0.582 + 0.297
+      wrk3 = wrk0 * wrk0 + 0.082
+      wrk4 = max(wrk1, 0.011)
+      wrk5 = wrk0 * wrk4 + 0.087
+      wrk6 = sqrt(abs(wrk4) + 0.426)
+      wrk7 = max(wrk1, 0.143)
+      wrk8 = sqrt(abs(wrk4) + 0.104)
+      wrk9 = max(wrk1, 0.023)
+      wrk10 = wrk5 * wrk5 + 0.060
+      diag_067_0(i) = wrk1 * 0.435 + diag_017_0(i) * 0.140
+      diag_067_1(i) = wrk8 * 0.627 + diag_001_0(i) * 0.092
+      diag_067_2(i) = wrk1 * 0.871 + diag_001_0(i) * 0.245
+    end do
+  end subroutine aux_cam_067_main
+  subroutine aux_cam_067_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.223
+    acc = acc * 0.9157 + 0.0470
+    acc = acc * 1.1199 + -0.0458
+    acc = acc * 0.9667 + 0.0240
+    acc = acc * 1.1934 + 0.0304
+    acc = acc * 0.9784 + 0.0256
+    acc = acc * 0.8655 + 0.0603
+    acc = acc * 1.0997 + -0.0338
+    acc = acc * 0.9652 + -0.0885
+    acc = acc * 0.9049 + 0.0990
+    acc = acc * 1.0508 + 0.0636
+    acc = acc * 1.1718 + -0.0470
+    acc = acc * 1.0871 + -0.0940
+    acc = acc * 1.1929 + -0.0086
+    acc = acc * 1.0627 + 0.0390
+    acc = acc * 0.9999 + 0.0594
+    acc = acc * 0.9333 + -0.0154
+    acc = acc * 0.9972 + 0.0555
+    acc = acc * 0.8152 + -0.0643
+    acc = acc * 0.9631 + -0.0918
+    xout = acc
+  end subroutine aux_cam_067_extra0
+  subroutine aux_cam_067_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.474
+    acc = acc * 0.9788 + 0.0845
+    acc = acc * 1.1466 + 0.0602
+    acc = acc * 0.9170 + 0.0452
+    acc = acc * 0.8833 + -0.0227
+    acc = acc * 0.9541 + -0.0110
+    acc = acc * 0.8230 + -0.0994
+    acc = acc * 0.9578 + -0.0115
+    acc = acc * 0.8786 + -0.0120
+    acc = acc * 0.9984 + 0.0527
+    acc = acc * 0.9094 + -0.0388
+    acc = acc * 0.9045 + 0.0616
+    acc = acc * 0.9183 + 0.0319
+    acc = acc * 1.0708 + 0.0998
+    acc = acc * 1.0198 + -0.0205
+    acc = acc * 1.0815 + 0.0773
+    acc = acc * 0.9883 + 0.0252
+    acc = acc * 1.0154 + 0.0834
+    acc = acc * 0.9969 + 0.0210
+    xout = acc
+  end subroutine aux_cam_067_extra1
+  subroutine aux_cam_067_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.592
+    acc = acc * 1.0910 + 0.0295
+    acc = acc * 0.8015 + -0.0261
+    acc = acc * 0.8099 + 0.0599
+    acc = acc * 1.0662 + -0.0786
+    acc = acc * 0.9024 + 0.0280
+    acc = acc * 0.9359 + 0.0368
+    acc = acc * 1.0745 + 0.0401
+    acc = acc * 1.1672 + 0.0460
+    acc = acc * 0.9663 + -0.0807
+    acc = acc * 1.0590 + -0.0393
+    acc = acc * 1.1887 + 0.0772
+    acc = acc * 0.8819 + 0.0738
+    acc = acc * 0.9170 + -0.0251
+    xout = acc
+  end subroutine aux_cam_067_extra2
+end module aux_cam_067

@@ -1,0 +1,35 @@
+module aux_cam_068
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_068_0(pcols)
+  real :: diag_068_1(pcols)
+  real :: diag_068_2(pcols)
+contains
+  subroutine aux_cam_068_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.237 + 0.042
+      wrk1 = state%q(i) * 0.641 + wrk0 * 0.190
+      wrk2 = wrk0 * 0.618 + 0.292
+      wrk3 = max(wrk0, 0.008)
+      wrk4 = wrk1 * 0.507 + 0.163
+      wrk5 = wrk4 * 0.361 + 0.062
+      wrk6 = max(wrk0, 0.174)
+      wrk7 = max(wrk2, 0.192)
+      diag_068_0(i) = wrk5 * 0.772
+      diag_068_1(i) = wrk1 * 0.723
+      diag_068_2(i) = wrk7 * 0.897 + diag_008_0(i) * 0.175
+    end do
+  end subroutine aux_cam_068_main
+end module aux_cam_068

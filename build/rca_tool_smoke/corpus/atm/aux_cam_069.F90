@@ -1,0 +1,43 @@
+module aux_cam_069
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_019, only: diag_019_0
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_069_0(pcols)
+  real :: diag_069_1(pcols)
+contains
+  subroutine aux_cam_069_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.238 + 0.061
+      wrk1 = state%q(i) * 0.269 + wrk0 * 0.207
+      wrk2 = sqrt(abs(wrk1) + 0.178)
+      wrk3 = wrk1 * 0.479 + 0.289
+      wrk4 = wrk1 * wrk3 + 0.134
+      wrk5 = wrk1 * wrk1 + 0.137
+      wrk6 = sqrt(abs(wrk5) + 0.203)
+      diag_069_0(i) = wrk6 * 0.724
+      diag_069_1(i) = wrk5 * 0.832 + diag_012_0(i) * 0.059
+    end do
+  end subroutine aux_cam_069_main
+  subroutine aux_cam_069_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.810
+    acc = acc * 0.8506 + 0.0336
+    acc = acc * 1.1471 + 0.0803
+    acc = acc * 0.9740 + -0.0050
+    acc = acc * 0.9969 + -0.0899
+    acc = acc * 0.9023 + 0.0241
+    xout = acc
+  end subroutine aux_cam_069_extra0
+end module aux_cam_069

@@ -1,0 +1,27 @@
+module aux_cam_070
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_070_0(pcols)
+  real :: diag_070_1(pcols)
+contains
+  subroutine aux_cam_070_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.678 + 0.055
+      wrk1 = state%q(i) * 0.665 + wrk0 * 0.139
+      wrk2 = max(wrk1, 0.191)
+      wrk3 = wrk0 * 0.618 + 0.217
+      wrk4 = wrk0 * 0.624 + 0.058
+      diag_070_0(i) = wrk3 * 0.841
+      diag_070_1(i) = wrk4 * 0.441 + diag_004_0(i) * 0.075
+    end do
+  end subroutine aux_cam_070_main
+end module aux_cam_070

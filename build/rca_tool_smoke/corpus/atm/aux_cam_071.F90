@@ -1,0 +1,66 @@
+module aux_cam_071
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_013, only: diag_013_0
+  implicit none
+  real :: diag_071_0(pcols)
+  real :: diag_071_1(pcols)
+contains
+  subroutine aux_cam_071_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: dum
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.212 + 0.093
+      wrk1 = state%q(i) * 0.742 + wrk0 * 0.110
+      wrk2 = wrk1 * 0.314 + 0.159
+      wrk3 = wrk0 * wrk0 + 0.047
+      wrk4 = wrk2 * wrk2 + 0.084
+      wrk5 = sqrt(abs(wrk1) + 0.209)
+      wrk6 = wrk0 * 0.854 + 0.015
+      dum = wrk6 * 0.315 + 0.023
+      diag_071_0(i) = wrk3 * 0.461 + diag_013_0(i) * 0.183 + dum * 0.1
+      diag_071_1(i) = wrk6 * 0.635
+    end do
+  end subroutine aux_cam_071_main
+  subroutine aux_cam_071_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.998
+    acc = acc * 1.1930 + 0.0439
+    acc = acc * 1.1290 + -0.0714
+    acc = acc * 1.0718 + 0.0098
+    acc = acc * 0.8349 + 0.0828
+    acc = acc * 0.8597 + 0.0151
+    acc = acc * 1.1250 + -0.0568
+    xout = acc
+  end subroutine aux_cam_071_extra0
+  subroutine aux_cam_071_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.729
+    acc = acc * 0.9460 + -0.0493
+    acc = acc * 1.1561 + -0.0404
+    xout = acc
+  end subroutine aux_cam_071_extra1
+  subroutine aux_cam_071_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.123
+    acc = acc * 1.1543 + 0.0171
+    acc = acc * 1.1920 + 0.0770
+    acc = acc * 0.8900 + 0.0137
+    acc = acc * 0.8683 + 0.0474
+    xout = acc
+  end subroutine aux_cam_071_extra2
+end module aux_cam_071

@@ -1,0 +1,122 @@
+module aux_cam_072
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_007, only: diag_007_0
+  implicit none
+  real :: diag_072_0(pcols)
+  real :: diag_072_1(pcols)
+contains
+  subroutine aux_cam_072_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.714 + 0.013
+      wrk1 = state%q(i) * 0.564 + wrk0 * 0.205
+      wrk2 = wrk1 * wrk1 + 0.092
+      wrk3 = max(wrk1, 0.046)
+      wrk4 = sqrt(abs(wrk2) + 0.125)
+      wrk5 = sqrt(abs(wrk0) + 0.174)
+      wrk6 = max(wrk1, 0.043)
+      wrk7 = wrk1 * wrk1 + 0.153
+      wrk8 = wrk5 * 0.438 + 0.119
+      wrk9 = max(wrk0, 0.113)
+      wrk10 = wrk3 * 0.861 + 0.237
+      wrk11 = wrk5 * wrk10 + 0.125
+      diag_072_0(i) = wrk6 * 0.425
+      diag_072_1(i) = wrk6 * 0.540
+    end do
+  end subroutine aux_cam_072_main
+  subroutine aux_cam_072_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.886
+    acc = acc * 1.1399 + -0.0548
+    acc = acc * 0.9995 + -0.0727
+    acc = acc * 1.0154 + -0.0688
+    acc = acc * 0.8474 + 0.0286
+    acc = acc * 0.9167 + 0.0766
+    acc = acc * 0.8403 + -0.0492
+    acc = acc * 0.8654 + -0.0782
+    acc = acc * 0.8923 + 0.0401
+    acc = acc * 0.9926 + -0.0048
+    acc = acc * 0.9639 + 0.0313
+    acc = acc * 0.9251 + 0.0638
+    acc = acc * 0.8289 + -0.0524
+    xout = acc
+  end subroutine aux_cam_072_extra0
+  subroutine aux_cam_072_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.657
+    acc = acc * 1.1595 + -0.0653
+    acc = acc * 1.0123 + 0.0650
+    acc = acc * 1.0969 + 0.0394
+    acc = acc * 0.9670 + -0.0344
+    acc = acc * 0.8754 + -0.0548
+    acc = acc * 0.9711 + 0.0110
+    acc = acc * 0.9125 + -0.0372
+    acc = acc * 1.1393 + 0.0859
+    acc = acc * 1.1428 + 0.0159
+    acc = acc * 0.8742 + -0.0306
+    acc = acc * 1.0601 + -0.0302
+    xout = acc
+  end subroutine aux_cam_072_extra1
+  subroutine aux_cam_072_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.626
+    acc = acc * 0.9459 + -0.0011
+    acc = acc * 0.8584 + 0.0937
+    acc = acc * 1.1757 + 0.0905
+    acc = acc * 1.1583 + -0.0868
+    acc = acc * 0.9470 + 0.0976
+    acc = acc * 1.0978 + 0.0837
+    acc = acc * 0.8128 + 0.0389
+    acc = acc * 1.1860 + 0.0088
+    acc = acc * 0.9523 + 0.0859
+    acc = acc * 0.9778 + -0.0338
+    acc = acc * 1.0779 + -0.0748
+    acc = acc * 0.9053 + -0.0209
+    acc = acc * 0.9681 + 0.0530
+    acc = acc * 0.9798 + -0.0832
+    xout = acc
+  end subroutine aux_cam_072_extra2
+  subroutine aux_cam_072_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.163
+    acc = acc * 1.1922 + -0.0656
+    acc = acc * 1.1212 + 0.0844
+    acc = acc * 0.9856 + -0.0775
+    acc = acc * 0.9703 + -0.0413
+    acc = acc * 1.0354 + 0.0689
+    acc = acc * 0.9006 + -0.0257
+    acc = acc * 1.0621 + -0.0621
+    acc = acc * 1.1741 + -0.0115
+    acc = acc * 1.0419 + 0.0749
+    acc = acc * 1.1145 + -0.0344
+    acc = acc * 1.1564 + -0.0434
+    acc = acc * 1.0902 + -0.0521
+    acc = acc * 0.9029 + -0.0921
+    acc = acc * 0.8007 + 0.0074
+    acc = acc * 1.1940 + 0.0691
+    acc = acc * 0.8544 + 0.0841
+    acc = acc * 1.0868 + -0.0585
+    xout = acc
+  end subroutine aux_cam_072_extra3
+end module aux_cam_072

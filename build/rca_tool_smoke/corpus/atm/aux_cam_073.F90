@@ -1,0 +1,163 @@
+module aux_cam_073
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_073_0(pcols)
+contains
+  subroutine aux_cam_073_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: wrk14
+    real :: wrk15
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.114 + 0.083
+      wrk1 = state%q(i) * 0.121 + wrk0 * 0.144
+      wrk2 = wrk1 * wrk1 + 0.166
+      wrk3 = max(wrk1, 0.137)
+      wrk4 = wrk0 * wrk0 + 0.013
+      wrk5 = max(wrk3, 0.171)
+      wrk6 = wrk5 * 0.799 + 0.214
+      wrk7 = wrk2 * 0.745 + 0.075
+      wrk8 = sqrt(abs(wrk2) + 0.221)
+      wrk9 = sqrt(abs(wrk3) + 0.288)
+      wrk10 = wrk0 * wrk0 + 0.186
+      wrk11 = wrk3 * wrk10 + 0.166
+      wrk12 = sqrt(abs(wrk9) + 0.289)
+      wrk13 = wrk10 * wrk10 + 0.167
+      wrk14 = wrk4 * 0.704 + 0.259
+      wrk15 = wrk6 * wrk6 + 0.155
+      omega = wrk15 * 0.584 + 0.137
+      diag_073_0(i) = wrk12 * 0.592 + diag_004_0(i) * 0.301 + omega * 0.1
+    end do
+  end subroutine aux_cam_073_main
+  subroutine aux_cam_073_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.705
+    acc = acc * 1.0519 + 0.0457
+    acc = acc * 0.8096 + 0.0422
+    acc = acc * 0.8931 + -0.0396
+    acc = acc * 1.0168 + -0.0767
+    acc = acc * 1.1225 + 0.0946
+    acc = acc * 0.8252 + 0.0770
+    acc = acc * 1.0634 + -0.0038
+    acc = acc * 1.0794 + 0.0517
+    acc = acc * 0.9007 + 0.0107
+    acc = acc * 0.8081 + 0.0443
+    xout = acc
+  end subroutine aux_cam_073_extra0
+  subroutine aux_cam_073_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.108
+    acc = acc * 0.9585 + -0.0250
+    acc = acc * 0.8129 + 0.0125
+    acc = acc * 1.0152 + -0.0431
+    acc = acc * 1.1592 + -0.0833
+    acc = acc * 0.8057 + -0.0985
+    acc = acc * 0.8051 + -0.0284
+    acc = acc * 1.1152 + -0.0595
+    acc = acc * 0.9673 + -0.0308
+    acc = acc * 0.8456 + 0.0112
+    acc = acc * 1.0780 + 0.0161
+    acc = acc * 1.1759 + 0.0337
+    acc = acc * 1.1875 + 0.0613
+    acc = acc * 0.8595 + 0.0369
+    acc = acc * 1.1769 + 0.0496
+    acc = acc * 1.0477 + -0.0688
+    xout = acc
+  end subroutine aux_cam_073_extra1
+  subroutine aux_cam_073_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.421
+    acc = acc * 0.9716 + 0.0710
+    acc = acc * 0.9480 + -0.0571
+    acc = acc * 1.0112 + -0.0169
+    acc = acc * 1.0086 + -0.0115
+    acc = acc * 1.0530 + -0.0253
+    acc = acc * 0.8080 + -0.0594
+    acc = acc * 0.9457 + -0.0055
+    acc = acc * 0.8554 + -0.0771
+    acc = acc * 1.1789 + -0.0630
+    acc = acc * 0.8517 + 0.0910
+    acc = acc * 1.1891 + -0.0844
+    acc = acc * 0.8481 + -0.0970
+    acc = acc * 0.8249 + -0.0487
+    acc = acc * 1.1197 + -0.0162
+    acc = acc * 0.8986 + 0.0421
+    acc = acc * 0.8532 + -0.0789
+    xout = acc
+  end subroutine aux_cam_073_extra2
+  subroutine aux_cam_073_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.410
+    acc = acc * 0.9455 + -0.0169
+    acc = acc * 0.9751 + -0.0096
+    acc = acc * 0.8787 + -0.0735
+    acc = acc * 0.9409 + -0.0916
+    acc = acc * 1.1776 + -0.0010
+    acc = acc * 0.8142 + -0.0507
+    acc = acc * 0.8725 + -0.0905
+    acc = acc * 1.0624 + -0.0615
+    acc = acc * 1.1131 + 0.0161
+    acc = acc * 0.8159 + -0.0503
+    acc = acc * 0.9258 + 0.0030
+    acc = acc * 1.1283 + 0.0097
+    acc = acc * 0.9832 + 0.0860
+    acc = acc * 1.1231 + -0.0231
+    acc = acc * 1.0280 + 0.0074
+    acc = acc * 1.1892 + 0.0925
+    acc = acc * 1.0051 + -0.0862
+    acc = acc * 0.9668 + 0.0120
+    acc = acc * 0.9202 + -0.0670
+    acc = acc * 1.1933 + 0.0099
+    xout = acc
+  end subroutine aux_cam_073_extra3
+  subroutine aux_cam_073_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.751
+    acc = acc * 1.1595 + 0.0167
+    acc = acc * 1.1830 + 0.0609
+    acc = acc * 0.9434 + -0.0795
+    acc = acc * 0.8628 + -0.0748
+    acc = acc * 0.8253 + -0.0700
+    acc = acc * 1.1401 + 0.0890
+    acc = acc * 0.8672 + 0.0891
+    acc = acc * 0.9083 + -0.0099
+    acc = acc * 0.8630 + -0.0797
+    acc = acc * 0.9121 + -0.0979
+    acc = acc * 1.1853 + 0.0386
+    acc = acc * 0.9142 + 0.0145
+    acc = acc * 0.9897 + -0.0236
+    acc = acc * 1.0237 + -0.0788
+    acc = acc * 0.9183 + 0.0976
+    acc = acc * 1.0122 + -0.0363
+    acc = acc * 1.1267 + -0.0101
+    acc = acc * 0.9183 + 0.0728
+    acc = acc * 1.1385 + -0.0628
+    xout = acc
+  end subroutine aux_cam_073_extra4
+end module aux_cam_073

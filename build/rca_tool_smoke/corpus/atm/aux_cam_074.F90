@@ -1,0 +1,48 @@
+module aux_cam_074
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_028, only: diag_028_0
+  implicit none
+  real :: diag_074_0(pcols)
+  real :: diag_074_1(pcols)
+contains
+  subroutine aux_cam_074_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.530 + 0.026
+      wrk1 = state%q(i) * 0.461 + wrk0 * 0.300
+      wrk2 = max(wrk0, 0.048)
+      wrk3 = wrk1 * 0.580 + 0.059
+      wrk4 = sqrt(abs(wrk0) + 0.176)
+      wrk5 = wrk3 * 0.240 + 0.108
+      wrk6 = wrk2 * 0.287 + 0.215
+      wrk7 = wrk1 * wrk6 + 0.178
+      wrk8 = wrk5 * wrk5 + 0.182
+      diag_074_0(i) = wrk6 * 0.858 + diag_028_0(i) * 0.350
+      diag_074_1(i) = wrk3 * 0.778 + diag_028_0(i) * 0.184
+    end do
+  end subroutine aux_cam_074_main
+  subroutine aux_cam_074_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.729
+    acc = acc * 1.0955 + 0.0204
+    acc = acc * 1.0583 + 0.0205
+    acc = acc * 1.0629 + 0.0901
+    acc = acc * 0.8423 + 0.0311
+    acc = acc * 0.9453 + 0.0241
+    acc = acc * 0.8332 + 0.0475
+    xout = acc
+  end subroutine aux_cam_074_extra0
+end module aux_cam_074

@@ -1,0 +1,32 @@
+module aux_cam_075
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  implicit none
+  real :: diag_075_0(pcols)
+  real :: diag_075_1(pcols)
+contains
+  subroutine aux_cam_075_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.604 + 0.077
+      wrk1 = state%q(i) * 0.317 + wrk0 * 0.167
+      wrk2 = sqrt(abs(wrk1) + 0.400)
+      wrk3 = sqrt(abs(wrk0) + 0.208)
+      wrk4 = wrk1 * wrk1 + 0.060
+      wrk5 = sqrt(abs(wrk3) + 0.090)
+      wrk6 = wrk0 * 0.566 + 0.242
+      wrk7 = wrk1 * 0.521 + 0.049
+      diag_075_0(i) = wrk0 * 0.797 + diag_002_0(i) * 0.172
+      diag_075_1(i) = wrk0 * 0.589 + diag_002_0(i) * 0.312
+    end do
+  end subroutine aux_cam_075_main
+end module aux_cam_075

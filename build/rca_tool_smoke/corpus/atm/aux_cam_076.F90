@@ -1,0 +1,72 @@
+module aux_cam_076
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_028, only: diag_028_0
+  use aux_cam_026, only: diag_026_0
+  implicit none
+  real :: diag_076_0(pcols)
+  real :: diag_076_1(pcols)
+  real :: diag_076_2(pcols)
+contains
+  subroutine aux_cam_076_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.663 + 0.116
+      wrk1 = state%q(i) * 0.173 + wrk0 * 0.398
+      wrk2 = max(wrk0, 0.103)
+      wrk3 = max(wrk1, 0.015)
+      wrk4 = wrk1 * 0.669 + 0.090
+      wrk5 = wrk0 * wrk4 + 0.144
+      wrk6 = wrk0 * 0.266 + 0.144
+      wrk7 = wrk4 * 0.360 + 0.128
+      wrk8 = max(wrk3, 0.146)
+      omega = wrk8 * 0.399 + 0.113
+      diag_076_0(i) = wrk6 * 0.584 + diag_028_0(i) * 0.095 + omega * 0.1
+      diag_076_1(i) = wrk3 * 0.377 + diag_028_0(i) * 0.148
+      diag_076_2(i) = wrk1 * 0.821 + diag_028_0(i) * 0.058
+    end do
+  end subroutine aux_cam_076_main
+  subroutine aux_cam_076_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.604
+    acc = acc * 1.1544 + 0.0521
+    acc = acc * 1.1177 + 0.0915
+    acc = acc * 1.0907 + 0.0363
+    acc = acc * 0.8046 + -0.0744
+    xout = acc
+  end subroutine aux_cam_076_extra0
+  subroutine aux_cam_076_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.150
+    acc = acc * 0.8762 + 0.0241
+    acc = acc * 1.0426 + 0.0570
+    xout = acc
+  end subroutine aux_cam_076_extra1
+  subroutine aux_cam_076_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.101
+    acc = acc * 0.8958 + 0.0699
+    acc = acc * 0.8697 + -0.0403
+    acc = acc * 0.9819 + -0.0788
+    acc = acc * 0.8536 + 0.0397
+    acc = acc * 0.9685 + 0.0241
+    xout = acc
+  end subroutine aux_cam_076_extra2
+end module aux_cam_076

@@ -1,0 +1,59 @@
+module aux_cam_077
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  implicit none
+  real :: diag_077_0(pcols)
+  real :: diag_077_1(pcols)
+contains
+  subroutine aux_cam_077_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.441 + 0.147
+      wrk1 = state%q(i) * 0.353 + wrk0 * 0.155
+      wrk2 = sqrt(abs(wrk1) + 0.439)
+      wrk3 = wrk0 * wrk2 + 0.117
+      wrk4 = wrk0 * wrk0 + 0.051
+      wrk5 = sqrt(abs(wrk1) + 0.101)
+      wrk6 = sqrt(abs(wrk3) + 0.209)
+      wrk7 = max(wrk2, 0.078)
+      wrk8 = wrk6 * 0.407 + 0.285
+      omega = wrk8 * 0.784 + 0.013
+      diag_077_0(i) = wrk4 * 0.648 + diag_000_0(i) * 0.103 + omega * 0.1
+      diag_077_1(i) = wrk6 * 0.266 + diag_000_0(i) * 0.066
+    end do
+  end subroutine aux_cam_077_main
+  subroutine aux_cam_077_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.173
+    acc = acc * 1.1208 + 0.0686
+    acc = acc * 1.1317 + 0.0879
+    acc = acc * 1.0909 + 0.0554
+    acc = acc * 0.8328 + -0.0456
+    acc = acc * 0.8599 + -0.0740
+    xout = acc
+  end subroutine aux_cam_077_extra0
+  subroutine aux_cam_077_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.556
+    acc = acc * 1.1216 + -0.0530
+    acc = acc * 0.8699 + -0.0439
+    acc = acc * 0.9740 + -0.0378
+    acc = acc * 1.0649 + -0.0639
+    xout = acc
+  end subroutine aux_cam_077_extra1
+end module aux_cam_077

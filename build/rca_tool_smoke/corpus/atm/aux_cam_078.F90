@@ -1,0 +1,69 @@
+module aux_cam_078
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_039, only: diag_039_0
+  use aux_cam_011, only: diag_011_0
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_078_0(pcols)
+  real :: diag_078_1(pcols)
+  real :: diag_078_2(pcols)
+contains
+  subroutine aux_cam_078_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.260 + 0.085
+      wrk1 = state%q(i) * 0.444 + wrk0 * 0.388
+      wrk2 = wrk0 * 0.371 + 0.205
+      wrk3 = max(wrk2, 0.161)
+      wrk4 = wrk2 * 0.234 + 0.170
+      wrk5 = wrk0 * 0.765 + 0.106
+      wrk6 = sqrt(abs(wrk3) + 0.153)
+      wrk7 = max(wrk5, 0.163)
+      diag_078_0(i) = wrk3 * 0.607 + diag_039_0(i) * 0.201
+      diag_078_1(i) = wrk7 * 0.891
+      diag_078_2(i) = wrk5 * 0.384 + diag_011_0(i) * 0.051
+    end do
+  end subroutine aux_cam_078_main
+  subroutine aux_cam_078_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.697
+    acc = acc * 1.0210 + -0.0345
+    acc = acc * 1.0770 + -0.0328
+    acc = acc * 0.8263 + 0.0372
+    acc = acc * 0.8884 + 0.0764
+    acc = acc * 0.8764 + -0.0503
+    xout = acc
+  end subroutine aux_cam_078_extra0
+  subroutine aux_cam_078_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.484
+    acc = acc * 1.0112 + 0.0840
+    acc = acc * 1.0463 + 0.0318
+    acc = acc * 0.9643 + -0.0295
+    acc = acc * 0.8158 + -0.0881
+    xout = acc
+  end subroutine aux_cam_078_extra1
+  subroutine aux_cam_078_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.784
+    acc = acc * 1.1987 + -0.0322
+    acc = acc * 0.9727 + -0.0080
+    acc = acc * 1.1975 + 0.0259
+    xout = acc
+  end subroutine aux_cam_078_extra2
+end module aux_cam_078

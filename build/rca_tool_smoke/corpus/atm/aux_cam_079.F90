@@ -1,0 +1,50 @@
+module aux_cam_079
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_013, only: diag_013_0
+  use aux_cam_015, only: diag_015_0
+  use aux_cam_009, only: diag_009_0
+  implicit none
+  real :: diag_079_0(pcols)
+  real :: diag_079_1(pcols)
+contains
+  subroutine aux_cam_079_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.693 + 0.071
+      wrk1 = state%q(i) * 0.305 + wrk0 * 0.153
+      wrk2 = wrk0 * wrk0 + 0.098
+      wrk3 = wrk0 * wrk0 + 0.133
+      diag_079_0(i) = wrk2 * 0.497 + diag_015_0(i) * 0.372
+      diag_079_1(i) = wrk3 * 0.207 + diag_009_0(i) * 0.135
+    end do
+  end subroutine aux_cam_079_main
+  subroutine aux_cam_079_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.493
+    acc = acc * 0.9164 + 0.0385
+    acc = acc * 0.8482 + -0.0934
+    acc = acc * 1.1010 + -0.0227
+    acc = acc * 0.9001 + -0.0487
+    acc = acc * 0.9739 + -0.0704
+    acc = acc * 1.1301 + 0.0587
+    xout = acc
+  end subroutine aux_cam_079_extra0
+  subroutine aux_cam_079_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.324
+    acc = acc * 0.9843 + -0.0867
+    acc = acc * 1.1556 + 0.0347
+    acc = acc * 1.1232 + -0.0641
+    acc = acc * 0.8907 + 0.0455
+    xout = acc
+  end subroutine aux_cam_079_extra1
+end module aux_cam_079

@@ -1,0 +1,136 @@
+module aux_cam_080
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_004, only: diag_004_0
+  use aux_cam_033, only: diag_033_0
+  implicit none
+  real :: diag_080_0(pcols)
+  real :: diag_080_1(pcols)
+  real :: diag_080_2(pcols)
+contains
+  subroutine aux_cam_080_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.575 + 0.148
+      wrk1 = state%q(i) * 0.764 + wrk0 * 0.279
+      wrk2 = wrk0 * 0.871 + 0.029
+      wrk3 = wrk0 * wrk0 + 0.080
+      wrk4 = max(wrk1, 0.128)
+      wrk5 = wrk1 * wrk4 + 0.186
+      wrk6 = sqrt(abs(wrk3) + 0.426)
+      wrk7 = max(wrk5, 0.197)
+      wrk8 = wrk4 * wrk7 + 0.068
+      wrk9 = max(wrk8, 0.149)
+      wrk10 = wrk5 * wrk5 + 0.066
+      wrk11 = sqrt(abs(wrk2) + 0.431)
+      diag_080_0(i) = wrk8 * 0.892 + diag_012_0(i) * 0.216
+      diag_080_1(i) = wrk0 * 0.855 + diag_012_0(i) * 0.053
+      diag_080_2(i) = wrk10 * 0.569 + diag_004_0(i) * 0.370
+    end do
+  end subroutine aux_cam_080_main
+  subroutine aux_cam_080_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.832
+    acc = acc * 1.0284 + -0.0816
+    acc = acc * 0.9441 + -0.0341
+    acc = acc * 0.9230 + 0.0344
+    acc = acc * 1.1544 + -0.0521
+    acc = acc * 1.0348 + 0.0904
+    acc = acc * 1.0865 + 0.0561
+    acc = acc * 0.9112 + 0.0176
+    acc = acc * 1.1215 + 0.0346
+    acc = acc * 1.0411 + 0.0446
+    acc = acc * 0.8316 + -0.0288
+    acc = acc * 1.0672 + -0.0506
+    acc = acc * 1.0866 + -0.0598
+    acc = acc * 0.9288 + -0.0367
+    acc = acc * 0.9969 + 0.0213
+    acc = acc * 1.1223 + 0.0056
+    xout = acc
+  end subroutine aux_cam_080_extra0
+  subroutine aux_cam_080_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.852
+    acc = acc * 1.1844 + -0.0555
+    acc = acc * 1.0625 + -0.0237
+    acc = acc * 1.1609 + 0.0322
+    acc = acc * 0.9785 + -0.0084
+    acc = acc * 0.9924 + -0.0184
+    acc = acc * 0.9218 + 0.0460
+    acc = acc * 0.9919 + -0.0985
+    acc = acc * 0.8486 + 0.0562
+    acc = acc * 0.9225 + -0.0337
+    acc = acc * 0.9384 + -0.0070
+    acc = acc * 1.1319 + 0.0082
+    acc = acc * 0.8216 + -0.0507
+    acc = acc * 0.9019 + 0.0419
+    acc = acc * 1.0337 + -0.0382
+    xout = acc
+  end subroutine aux_cam_080_extra1
+  subroutine aux_cam_080_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.296
+    acc = acc * 1.1493 + -0.0340
+    acc = acc * 1.1929 + 0.0478
+    acc = acc * 1.0970 + 0.0289
+    acc = acc * 0.9678 + 0.0320
+    acc = acc * 1.1846 + -0.0015
+    acc = acc * 1.0741 + 0.0075
+    acc = acc * 0.8886 + 0.0379
+    acc = acc * 1.0303 + 0.0915
+    acc = acc * 1.1275 + 0.0694
+    acc = acc * 0.8868 + -0.0027
+    acc = acc * 0.8832 + 0.0625
+    acc = acc * 0.9750 + -0.0274
+    acc = acc * 0.8210 + -0.0793
+    acc = acc * 0.8918 + 0.0788
+    acc = acc * 1.0051 + 0.0298
+    acc = acc * 1.0764 + -0.0637
+    acc = acc * 1.1755 + -0.0724
+    acc = acc * 0.8969 + -0.0663
+    acc = acc * 1.1135 + 0.0763
+    xout = acc
+  end subroutine aux_cam_080_extra2
+  subroutine aux_cam_080_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.556
+    acc = acc * 0.8178 + -0.0615
+    acc = acc * 1.0951 + -0.0667
+    acc = acc * 0.9606 + 0.0879
+    acc = acc * 0.8546 + 0.0442
+    acc = acc * 1.1809 + 0.0820
+    acc = acc * 0.9593 + 0.0835
+    acc = acc * 0.8774 + -0.0983
+    acc = acc * 1.1706 + -0.0249
+    acc = acc * 1.0061 + -0.0738
+    acc = acc * 1.0610 + -0.0423
+    acc = acc * 0.8754 + 0.0641
+    acc = acc * 1.1674 + 0.0794
+    acc = acc * 0.8546 + 0.0083
+    acc = acc * 1.0673 + 0.0173
+    acc = acc * 0.9927 + -0.0915
+    acc = acc * 0.8157 + 0.0793
+    xout = acc
+  end subroutine aux_cam_080_extra3
+end module aux_cam_080

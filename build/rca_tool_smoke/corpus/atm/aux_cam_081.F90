@@ -1,0 +1,37 @@
+module aux_cam_081
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_007, only: diag_007_0
+  implicit none
+  real :: diag_081_0(pcols)
+  real :: diag_081_1(pcols)
+contains
+  subroutine aux_cam_081_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.857 + 0.040
+      wrk1 = state%q(i) * 0.716 + wrk0 * 0.385
+      wrk2 = sqrt(abs(wrk0) + 0.382)
+      wrk3 = wrk1 * 0.870 + 0.241
+      diag_081_0(i) = wrk3 * 0.466
+      diag_081_1(i) = wrk2 * 0.547 + diag_007_0(i) * 0.212
+    end do
+  end subroutine aux_cam_081_main
+  subroutine aux_cam_081_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.341
+    acc = acc * 0.9660 + -0.0714
+    acc = acc * 0.8078 + 0.0156
+    acc = acc * 0.8167 + 0.0803
+    acc = acc * 0.9111 + -0.0874
+    acc = acc * 0.8418 + 0.0550
+    acc = acc * 1.1284 + 0.0837
+    xout = acc
+  end subroutine aux_cam_081_extra0
+end module aux_cam_081

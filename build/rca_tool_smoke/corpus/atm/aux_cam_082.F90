@@ -1,0 +1,39 @@
+module aux_cam_082
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  use aux_cam_019, only: diag_019_0
+  implicit none
+  real :: diag_082_0(pcols)
+contains
+  subroutine aux_cam_082_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.645 + 0.081
+      wrk1 = state%q(i) * 0.460 + wrk0 * 0.268
+      wrk2 = wrk1 * 0.801 + 0.292
+      wrk3 = wrk2 * wrk2 + 0.110
+      wrk4 = wrk0 * 0.434 + 0.129
+      wrk5 = sqrt(abs(wrk1) + 0.016)
+      wrk6 = max(wrk4, 0.182)
+      diag_082_0(i) = wrk1 * 0.638 + diag_019_0(i) * 0.239
+    end do
+  end subroutine aux_cam_082_main
+  subroutine aux_cam_082_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.044
+    acc = acc * 1.1282 + -0.0493
+    acc = acc * 0.9447 + -0.0601
+    acc = acc * 1.0843 + -0.0136
+    xout = acc
+  end subroutine aux_cam_082_extra0
+end module aux_cam_082

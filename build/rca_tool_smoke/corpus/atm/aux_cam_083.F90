@@ -1,0 +1,54 @@
+module aux_cam_083
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_019, only: diag_019_0
+  implicit none
+  real :: diag_083_0(pcols)
+  real :: diag_083_1(pcols)
+contains
+  subroutine aux_cam_083_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.242 + 0.084
+      wrk1 = state%q(i) * 0.461 + wrk0 * 0.277
+      wrk2 = sqrt(abs(wrk1) + 0.144)
+      wrk3 = max(wrk1, 0.043)
+      wrk4 = max(wrk0, 0.049)
+      omega = wrk4 * 0.611 + 0.152
+      diag_083_0(i) = wrk2 * 0.731 + omega * 0.1
+      diag_083_1(i) = wrk3 * 0.581 + diag_000_0(i) * 0.400
+    end do
+  end subroutine aux_cam_083_main
+  subroutine aux_cam_083_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.330
+    acc = acc * 1.0645 + -0.0095
+    acc = acc * 0.8290 + 0.0095
+    acc = acc * 1.1205 + 0.0467
+    acc = acc * 1.1644 + -0.0770
+    acc = acc * 0.9430 + -0.0420
+    acc = acc * 0.9648 + 0.0532
+    xout = acc
+  end subroutine aux_cam_083_extra0
+  subroutine aux_cam_083_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.401
+    acc = acc * 1.0870 + -0.0050
+    acc = acc * 0.8968 + -0.0495
+    acc = acc * 0.8907 + 0.0816
+    acc = acc * 0.9956 + 0.0805
+    acc = acc * 1.0885 + 0.0172
+    xout = acc
+  end subroutine aux_cam_083_extra1
+end module aux_cam_083

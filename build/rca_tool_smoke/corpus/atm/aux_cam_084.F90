@@ -1,0 +1,24 @@
+module aux_cam_084
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_041, only: diag_041_0
+  implicit none
+  real :: diag_084_0(pcols)
+  real :: diag_084_1(pcols)
+contains
+  subroutine aux_cam_084_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.690 + 0.103
+      wrk1 = state%q(i) * 0.579 + wrk0 * 0.140
+      wrk2 = max(wrk0, 0.120)
+      wrk3 = wrk0 * 0.708 + 0.243
+      diag_084_0(i) = wrk2 * 0.477 + diag_041_0(i) * 0.219
+      diag_084_1(i) = wrk2 * 0.748 + diag_041_0(i) * 0.191
+    end do
+  end subroutine aux_cam_084_main
+end module aux_cam_084

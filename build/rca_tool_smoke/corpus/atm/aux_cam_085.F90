@@ -1,0 +1,55 @@
+module aux_cam_085
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_013, only: diag_013_0
+  implicit none
+  real :: diag_085_0(pcols)
+  real :: diag_085_1(pcols)
+  real :: diag_085_2(pcols)
+contains
+  subroutine aux_cam_085_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: es
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.335 + 0.153
+      wrk1 = state%q(i) * 0.643 + wrk0 * 0.203
+      wrk2 = max(wrk0, 0.072)
+      wrk3 = max(wrk2, 0.044)
+      wrk4 = sqrt(abs(wrk2) + 0.185)
+      wrk5 = sqrt(abs(wrk2) + 0.039)
+      wrk6 = max(wrk3, 0.051)
+      wrk7 = wrk1 * wrk1 + 0.154
+      es = wrk7 * 0.536 + 0.136
+      diag_085_0(i) = wrk7 * 0.494 + diag_013_0(i) * 0.055 + es * 0.1
+      diag_085_1(i) = wrk1 * 0.573
+      diag_085_2(i) = wrk0 * 0.758 + diag_013_0(i) * 0.238
+    end do
+  end subroutine aux_cam_085_main
+  subroutine aux_cam_085_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.488
+    acc = acc * 1.0204 + 0.0356
+    acc = acc * 0.9172 + 0.0379
+    xout = acc
+  end subroutine aux_cam_085_extra0
+  subroutine aux_cam_085_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.147
+    acc = acc * 1.1637 + 0.0202
+    acc = acc * 0.9340 + -0.0213
+    acc = acc * 1.1567 + 0.0463
+    xout = acc
+  end subroutine aux_cam_085_extra1
+end module aux_cam_085

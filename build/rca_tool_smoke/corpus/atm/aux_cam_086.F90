@@ -1,0 +1,60 @@
+module aux_cam_086
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_003, only: diag_003_0
+  implicit none
+  real :: diag_086_0(pcols)
+contains
+  subroutine aux_cam_086_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: qrl
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.430 + 0.185
+      wrk1 = state%q(i) * 0.542 + wrk0 * 0.279
+      wrk2 = wrk0 * wrk0 + 0.037
+      wrk3 = sqrt(abs(wrk2) + 0.451)
+      qrl = wrk3 * 0.240 + 0.055
+      diag_086_0(i) = wrk0 * 0.523 + diag_003_0(i) * 0.125 + qrl * 0.1
+    end do
+  end subroutine aux_cam_086_main
+  subroutine aux_cam_086_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.333
+    acc = acc * 0.8807 + 0.0471
+    acc = acc * 1.1412 + -0.0755
+    acc = acc * 0.9022 + 0.0430
+    acc = acc * 0.8742 + 0.0124
+    acc = acc * 1.0916 + 0.0612
+    acc = acc * 1.0986 + 0.0890
+    xout = acc
+  end subroutine aux_cam_086_extra0
+  subroutine aux_cam_086_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.501
+    acc = acc * 1.0989 + 0.0708
+    acc = acc * 0.8311 + 0.0721
+    acc = acc * 0.9672 + -0.0425
+    acc = acc * 1.0543 + -0.0739
+    acc = acc * 1.0900 + -0.0201
+    xout = acc
+  end subroutine aux_cam_086_extra1
+  subroutine aux_cam_086_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.123
+    acc = acc * 1.0810 + 0.0836
+    acc = acc * 0.9430 + 0.0048
+    acc = acc * 0.9835 + 0.0317
+    acc = acc * 1.0565 + -0.0109
+    xout = acc
+  end subroutine aux_cam_086_extra2
+end module aux_cam_086

@@ -1,0 +1,51 @@
+module aux_cam_087
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_087_0(pcols)
+  real :: diag_087_1(pcols)
+contains
+  subroutine aux_cam_087_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.672 + 0.042
+      wrk1 = state%q(i) * 0.519 + wrk0 * 0.265
+      wrk2 = sqrt(abs(wrk0) + 0.354)
+      wrk3 = wrk0 * wrk2 + 0.077
+      wrk4 = max(wrk3, 0.067)
+      wrk5 = wrk2 * wrk4 + 0.138
+      wrk6 = max(wrk5, 0.127)
+      diag_087_0(i) = wrk6 * 0.827 + diag_004_0(i) * 0.400
+      diag_087_1(i) = wrk2 * 0.536 + diag_004_0(i) * 0.210
+    end do
+  end subroutine aux_cam_087_main
+  subroutine aux_cam_087_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.184
+    acc = acc * 0.8566 + 0.0447
+    acc = acc * 0.8169 + -0.0703
+    acc = acc * 0.8340 + 0.0983
+    acc = acc * 0.9408 + 0.0244
+    acc = acc * 1.0320 + -0.0226
+    xout = acc
+  end subroutine aux_cam_087_extra0
+  subroutine aux_cam_087_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.192
+    acc = acc * 1.0081 + -0.0530
+    acc = acc * 1.0829 + -0.0754
+    xout = acc
+  end subroutine aux_cam_087_extra1
+end module aux_cam_087

@@ -1,0 +1,37 @@
+module aux_cam_088
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_088_0(pcols)
+  real :: diag_088_1(pcols)
+  real :: diag_088_2(pcols)
+contains
+  subroutine aux_cam_088_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.150 + 0.031
+      wrk1 = state%q(i) * 0.382 + wrk0 * 0.399
+      wrk2 = max(wrk1, 0.091)
+      wrk3 = wrk1 * wrk2 + 0.100
+      wrk4 = wrk0 * wrk3 + 0.064
+      diag_088_0(i) = wrk2 * 0.333
+      diag_088_1(i) = wrk3 * 0.847
+      diag_088_2(i) = wrk4 * 0.684
+    end do
+  end subroutine aux_cam_088_main
+  subroutine aux_cam_088_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.815
+    acc = acc * 0.9853 + 0.0423
+    acc = acc * 0.8329 + 0.0097
+    acc = acc * 1.0854 + -0.0781
+    xout = acc
+  end subroutine aux_cam_088_extra0
+end module aux_cam_088

@@ -1,0 +1,46 @@
+module aux_cam_089
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_013, only: diag_013_0
+  implicit none
+  real :: diag_089_0(pcols)
+contains
+  subroutine aux_cam_089_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.245 + 0.012
+      wrk1 = state%q(i) * 0.743 + wrk0 * 0.346
+      wrk2 = sqrt(abs(wrk0) + 0.101)
+      wrk3 = wrk0 * 0.482 + 0.196
+      wrk4 = sqrt(abs(wrk0) + 0.211)
+      diag_089_0(i) = wrk4 * 0.362 + diag_013_0(i) * 0.097
+    end do
+  end subroutine aux_cam_089_main
+  subroutine aux_cam_089_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.125
+    acc = acc * 1.0249 + -0.0927
+    acc = acc * 1.0436 + -0.0934
+    xout = acc
+  end subroutine aux_cam_089_extra0
+  subroutine aux_cam_089_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.178
+    acc = acc * 1.1227 + -0.0647
+    acc = acc * 0.8393 + -0.0550
+    acc = acc * 1.0701 + -0.0451
+    acc = acc * 0.9472 + -0.0496
+    acc = acc * 0.9002 + 0.0005
+    xout = acc
+  end subroutine aux_cam_089_extra1
+end module aux_cam_089

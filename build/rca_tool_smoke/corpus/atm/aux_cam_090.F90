@@ -1,0 +1,32 @@
+module aux_cam_090
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  implicit none
+  real :: diag_090_0(pcols)
+  real :: diag_090_1(pcols)
+contains
+  subroutine aux_cam_090_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.579 + 0.042
+      wrk1 = state%q(i) * 0.269 + wrk0 * 0.395
+      wrk2 = max(wrk1, 0.048)
+      wrk3 = wrk0 * 0.301 + 0.075
+      wrk4 = sqrt(abs(wrk1) + 0.153)
+      wrk5 = wrk3 * 0.882 + 0.081
+      wrk6 = max(wrk3, 0.004)
+      wrk7 = max(wrk6, 0.102)
+      diag_090_0(i) = wrk4 * 0.369 + diag_015_0(i) * 0.286
+      diag_090_1(i) = wrk1 * 0.369 + diag_015_0(i) * 0.074
+    end do
+  end subroutine aux_cam_090_main
+end module aux_cam_090

@@ -1,0 +1,63 @@
+module aux_cam_091
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_021, only: diag_021_0
+  implicit none
+  real :: diag_091_0(pcols)
+  real :: diag_091_1(pcols)
+  real :: diag_091_2(pcols)
+contains
+  subroutine aux_cam_091_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.660 + 0.033
+      wrk1 = state%q(i) * 0.307 + wrk0 * 0.124
+      wrk2 = max(wrk1, 0.135)
+      wrk3 = wrk1 * wrk1 + 0.190
+      wrk4 = sqrt(abs(wrk2) + 0.026)
+      wrk5 = wrk3 * 0.539 + 0.159
+      diag_091_0(i) = wrk1 * 0.426 + diag_021_0(i) * 0.254
+      diag_091_1(i) = wrk0 * 0.632 + diag_012_0(i) * 0.211
+      diag_091_2(i) = wrk1 * 0.319 + diag_021_0(i) * 0.373
+    end do
+  end subroutine aux_cam_091_main
+  subroutine aux_cam_091_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.015
+    acc = acc * 1.1697 + -0.0007
+    acc = acc * 1.1595 + 0.0351
+    acc = acc * 1.0912 + 0.0785
+    xout = acc
+  end subroutine aux_cam_091_extra0
+  subroutine aux_cam_091_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.385
+    acc = acc * 1.1081 + -0.0898
+    acc = acc * 1.1629 + 0.0903
+    acc = acc * 0.9008 + -0.0963
+    acc = acc * 1.1846 + 0.0681
+    xout = acc
+  end subroutine aux_cam_091_extra1
+  subroutine aux_cam_091_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.902
+    acc = acc * 1.1928 + -0.0521
+    acc = acc * 1.1601 + -0.0612
+    acc = acc * 0.8687 + 0.0346
+    acc = acc * 0.8267 + 0.0072
+    xout = acc
+  end subroutine aux_cam_091_extra2
+end module aux_cam_091

@@ -1,0 +1,63 @@
+module aux_cam_092
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_092_0(pcols)
+  real :: diag_092_1(pcols)
+contains
+  subroutine aux_cam_092_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.446 + 0.107
+      wrk1 = state%q(i) * 0.679 + wrk0 * 0.285
+      wrk2 = max(wrk0, 0.155)
+      wrk3 = max(wrk2, 0.162)
+      wrk4 = max(wrk2, 0.148)
+      wrk5 = wrk0 * wrk4 + 0.019
+      diag_092_0(i) = wrk4 * 0.505 + diag_004_0(i) * 0.373
+      diag_092_1(i) = wrk5 * 0.792 + diag_002_0(i) * 0.397
+    end do
+  end subroutine aux_cam_092_main
+  subroutine aux_cam_092_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.268
+    acc = acc * 0.8478 + -0.0938
+    acc = acc * 1.0271 + -0.0743
+    acc = acc * 0.8238 + 0.0003
+    xout = acc
+  end subroutine aux_cam_092_extra0
+  subroutine aux_cam_092_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.269
+    acc = acc * 1.0672 + 0.0857
+    acc = acc * 0.9694 + -0.0930
+    acc = acc * 0.9538 + 0.0689
+    acc = acc * 0.9892 + 0.0103
+    acc = acc * 0.9515 + -0.0098
+    acc = acc * 0.9279 + 0.0811
+    xout = acc
+  end subroutine aux_cam_092_extra1
+  subroutine aux_cam_092_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.735
+    acc = acc * 1.1034 + 0.0631
+    acc = acc * 0.9717 + 0.0688
+    acc = acc * 0.9243 + 0.0893
+    xout = acc
+  end subroutine aux_cam_092_extra2
+end module aux_cam_092

@@ -1,0 +1,39 @@
+module aux_cam_093
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_009, only: diag_009_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_093_0(pcols)
+  real :: diag_093_1(pcols)
+  real :: diag_093_2(pcols)
+contains
+  subroutine aux_cam_093_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.566 + 0.079
+      wrk1 = state%q(i) * 0.247 + wrk0 * 0.273
+      wrk2 = wrk1 * wrk1 + 0.119
+      wrk3 = max(wrk0, 0.074)
+      wrk4 = sqrt(abs(wrk1) + 0.189)
+      wrk5 = wrk1 * 0.393 + 0.146
+      wrk6 = max(wrk4, 0.109)
+      wrk7 = max(wrk2, 0.144)
+      wrk8 = wrk5 * 0.857 + 0.272
+      omega = wrk8 * 0.487 + 0.156
+      diag_093_0(i) = wrk1 * 0.615 + diag_001_0(i) * 0.126 + omega * 0.1
+      diag_093_1(i) = wrk7 * 0.512 + diag_001_0(i) * 0.261
+      diag_093_2(i) = wrk4 * 0.861 + diag_001_0(i) * 0.230
+    end do
+  end subroutine aux_cam_093_main
+end module aux_cam_093

@@ -1,0 +1,41 @@
+module aux_cam_094
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_005, only: diag_005_0
+  use aux_cam_017, only: diag_017_0
+  implicit none
+  real :: diag_094_0(pcols)
+contains
+  subroutine aux_cam_094_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.396 + 0.150
+      wrk1 = state%q(i) * 0.695 + wrk0 * 0.307
+      wrk2 = wrk0 * 0.205 + 0.021
+      wrk3 = max(wrk0, 0.018)
+      wrk4 = max(wrk0, 0.099)
+      wrk5 = wrk1 * wrk1 + 0.183
+      wrk6 = wrk5 * 0.756 + 0.263
+      diag_094_0(i) = wrk4 * 0.449 + diag_005_0(i) * 0.293
+    end do
+  end subroutine aux_cam_094_main
+  subroutine aux_cam_094_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.698
+    acc = acc * 0.9633 + -0.0464
+    acc = acc * 1.1225 + -0.0684
+    acc = acc * 0.8960 + -0.0947
+    acc = acc * 0.9410 + -0.0280
+    acc = acc * 1.1777 + 0.0474
+    xout = acc
+  end subroutine aux_cam_094_extra0
+end module aux_cam_094

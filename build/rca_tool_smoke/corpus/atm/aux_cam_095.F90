@@ -1,0 +1,55 @@
+module aux_cam_095
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_025, only: diag_025_0
+  use aux_cam_011, only: diag_011_0
+  implicit none
+  real :: diag_095_0(pcols)
+contains
+  subroutine aux_cam_095_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: dum
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.222 + 0.069
+      wrk1 = state%q(i) * 0.143 + wrk0 * 0.236
+      wrk2 = wrk1 * wrk1 + 0.048
+      wrk3 = max(wrk0, 0.178)
+      wrk4 = sqrt(abs(wrk0) + 0.444)
+      wrk5 = wrk2 * wrk4 + 0.101
+      wrk6 = wrk5 * wrk5 + 0.166
+      dum = wrk6 * 0.763 + 0.021
+      diag_095_0(i) = wrk1 * 0.575 + diag_011_0(i) * 0.119 + dum * 0.1
+    end do
+  end subroutine aux_cam_095_main
+  subroutine aux_cam_095_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.893
+    acc = acc * 0.8927 + -0.0046
+    acc = acc * 1.0113 + -0.0317
+    acc = acc * 0.9920 + -0.0531
+    acc = acc * 0.8881 + 0.0926
+    acc = acc * 0.8647 + 0.0226
+    acc = acc * 0.9896 + 0.0550
+    xout = acc
+  end subroutine aux_cam_095_extra0
+  subroutine aux_cam_095_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.150
+    acc = acc * 1.0765 + -0.0173
+    acc = acc * 0.8994 + 0.0228
+    acc = acc * 1.1358 + 0.0838
+    acc = acc * 1.0876 + -0.0288
+    xout = acc
+  end subroutine aux_cam_095_extra1
+end module aux_cam_095

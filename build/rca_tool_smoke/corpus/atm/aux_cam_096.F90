@@ -1,0 +1,29 @@
+module aux_cam_096
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_031, only: diag_031_0
+  implicit none
+  real :: diag_096_0(pcols)
+  real :: diag_096_1(pcols)
+  real :: diag_096_2(pcols)
+contains
+  subroutine aux_cam_096_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.899 + 0.022
+      wrk1 = state%q(i) * 0.300 + wrk0 * 0.300
+      wrk2 = wrk1 * 0.269 + 0.218
+      wrk3 = max(wrk1, 0.111)
+      wrk4 = sqrt(abs(wrk1) + 0.323)
+      diag_096_0(i) = wrk4 * 0.427
+      diag_096_1(i) = wrk4 * 0.495 + diag_000_0(i) * 0.208
+      diag_096_2(i) = wrk2 * 0.285 + diag_031_0(i) * 0.396
+    end do
+  end subroutine aux_cam_096_main
+end module aux_cam_096

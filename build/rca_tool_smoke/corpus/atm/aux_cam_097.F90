@@ -1,0 +1,25 @@
+module aux_cam_097
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_097_0(pcols)
+contains
+  subroutine aux_cam_097_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.545 + 0.013
+      wrk1 = state%q(i) * 0.106 + wrk0 * 0.311
+      wrk2 = wrk1 * wrk1 + 0.099
+      wrk3 = sqrt(abs(wrk2) + 0.494)
+      wrk4 = wrk2 * wrk2 + 0.001
+      wrk5 = wrk1 * 0.400 + 0.021
+      diag_097_0(i) = wrk2 * 0.347
+    end do
+  end subroutine aux_cam_097_main
+end module aux_cam_097

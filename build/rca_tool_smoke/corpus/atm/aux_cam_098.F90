@@ -1,0 +1,23 @@
+module aux_cam_098
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_098_0(pcols)
+contains
+  subroutine aux_cam_098_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.301 + 0.111
+      wrk1 = state%q(i) * 0.160 + wrk0 * 0.342
+      wrk2 = max(wrk1, 0.035)
+      wrk3 = wrk2 * wrk2 + 0.173
+      tref = wrk3 * 0.710 + 0.044
+      diag_098_0(i) = wrk2 * 0.442 + tref * 0.1
+    end do
+  end subroutine aux_cam_098_main
+end module aux_cam_098

@@ -1,0 +1,69 @@
+module aux_cam_099
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_020, only: diag_020_0
+  use aux_cam_006, only: diag_006_0
+  implicit none
+  real :: diag_099_0(pcols)
+  real :: diag_099_1(pcols)
+  real :: diag_099_2(pcols)
+contains
+  subroutine aux_cam_099_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: qrl
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.168 + 0.125
+      wrk1 = state%q(i) * 0.574 + wrk0 * 0.117
+      wrk2 = max(wrk1, 0.199)
+      wrk3 = sqrt(abs(wrk2) + 0.277)
+      wrk4 = sqrt(abs(wrk3) + 0.402)
+      wrk5 = wrk4 * 0.255 + 0.079
+      wrk6 = wrk5 * wrk5 + 0.139
+      qrl = wrk6 * 0.373 + 0.085
+      diag_099_0(i) = wrk3 * 0.265 + qrl * 0.1
+      diag_099_1(i) = wrk0 * 0.370 + diag_001_0(i) * 0.370
+      diag_099_2(i) = wrk4 * 0.356
+    end do
+  end subroutine aux_cam_099_main
+  subroutine aux_cam_099_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.582
+    acc = acc * 1.0390 + -0.0515
+    acc = acc * 1.1140 + 0.0409
+    acc = acc * 0.8315 + 0.0956
+    xout = acc
+  end subroutine aux_cam_099_extra0
+  subroutine aux_cam_099_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.659
+    acc = acc * 1.0338 + -0.0634
+    acc = acc * 0.9051 + 0.0609
+    acc = acc * 1.1336 + 0.0183
+    acc = acc * 0.8955 + 0.0555
+    acc = acc * 0.9911 + 0.0070
+    acc = acc * 0.8247 + -0.0684
+    xout = acc
+  end subroutine aux_cam_099_extra1
+  subroutine aux_cam_099_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.369
+    acc = acc * 1.1025 + -0.0362
+    acc = acc * 1.1335 + 0.0027
+    acc = acc * 0.9216 + 0.0558
+    xout = acc
+  end subroutine aux_cam_099_extra2
+end module aux_cam_099

@@ -1,0 +1,63 @@
+module aux_cam_100
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_040, only: diag_040_0
+  implicit none
+  real :: diag_100_0(pcols)
+contains
+  subroutine aux_cam_100_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.492 + 0.024
+      wrk1 = state%q(i) * 0.347 + wrk0 * 0.261
+      wrk2 = sqrt(abs(wrk0) + 0.102)
+      wrk3 = wrk0 * wrk0 + 0.062
+      wrk4 = max(wrk0, 0.041)
+      wrk5 = wrk3 * 0.646 + 0.086
+      wrk6 = sqrt(abs(wrk4) + 0.109)
+      wrk7 = sqrt(abs(wrk1) + 0.403)
+      diag_100_0(i) = wrk0 * 0.759 + diag_040_0(i) * 0.171
+    end do
+  end subroutine aux_cam_100_main
+  subroutine aux_cam_100_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.858
+    acc = acc * 0.9692 + -0.0436
+    acc = acc * 0.8733 + 0.0351
+    acc = acc * 0.8885 + -0.0421
+    acc = acc * 0.9550 + 0.0572
+    acc = acc * 1.0034 + -0.0484
+    xout = acc
+  end subroutine aux_cam_100_extra0
+  subroutine aux_cam_100_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.617
+    acc = acc * 0.8244 + 0.0765
+    acc = acc * 0.9031 + 0.0860
+    xout = acc
+  end subroutine aux_cam_100_extra1
+  subroutine aux_cam_100_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.119
+    acc = acc * 1.1001 + 0.0575
+    acc = acc * 1.0005 + 0.0075
+    acc = acc * 0.9028 + -0.0913
+    acc = acc * 0.9771 + 0.0513
+    acc = acc * 0.9589 + 0.0305
+    xout = acc
+  end subroutine aux_cam_100_extra2
+end module aux_cam_100

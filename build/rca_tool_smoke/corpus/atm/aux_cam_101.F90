@@ -1,0 +1,179 @@
+module aux_cam_101
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_101_0(pcols)
+  real :: diag_101_1(pcols)
+  real :: diag_101_2(pcols)
+contains
+  subroutine aux_cam_101_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.390 + 0.026
+      wrk1 = state%q(i) * 0.615 + wrk0 * 0.206
+      wrk2 = max(wrk0, 0.014)
+      wrk3 = wrk0 * 0.695 + 0.124
+      wrk4 = max(wrk1, 0.196)
+      wrk5 = max(wrk4, 0.160)
+      wrk6 = max(wrk5, 0.085)
+      wrk7 = wrk5 * wrk6 + 0.186
+      wrk8 = max(wrk6, 0.055)
+      wrk9 = sqrt(abs(wrk3) + 0.012)
+      wrk10 = max(wrk8, 0.114)
+      diag_101_0(i) = wrk3 * 0.599
+      diag_101_1(i) = wrk0 * 0.740
+      diag_101_2(i) = wrk4 * 0.386 + diag_001_0(i) * 0.205
+    end do
+  end subroutine aux_cam_101_main
+  subroutine aux_cam_101_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.536
+    acc = acc * 0.8075 + 0.0590
+    acc = acc * 1.0147 + -0.0941
+    acc = acc * 1.0325 + 0.0540
+    acc = acc * 0.8482 + -0.0499
+    acc = acc * 0.8682 + 0.0813
+    acc = acc * 0.8890 + -0.0597
+    acc = acc * 0.9958 + -0.0417
+    acc = acc * 0.9355 + 0.0383
+    acc = acc * 0.8198 + -0.0667
+    acc = acc * 1.0390 + -0.0607
+    acc = acc * 1.0971 + -0.0158
+    acc = acc * 1.1710 + -0.0139
+    acc = acc * 0.9311 + 0.0715
+    acc = acc * 1.1492 + 0.0741
+    acc = acc * 1.1437 + -0.0110
+    acc = acc * 0.9831 + 0.0207
+    acc = acc * 1.1049 + -0.0864
+    acc = acc * 1.0348 + 0.0496
+    acc = acc * 0.8497 + -0.0174
+    acc = acc * 0.8012 + 0.0323
+    xout = acc
+  end subroutine aux_cam_101_extra0
+  subroutine aux_cam_101_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.137
+    acc = acc * 1.0467 + 0.0930
+    acc = acc * 1.1857 + -0.0380
+    acc = acc * 0.8044 + -0.0240
+    acc = acc * 0.8586 + 0.0064
+    acc = acc * 0.9017 + 0.0090
+    acc = acc * 1.0347 + 0.0997
+    acc = acc * 0.9777 + 0.0392
+    acc = acc * 1.1229 + 0.0539
+    acc = acc * 1.0554 + -0.0536
+    acc = acc * 1.1267 + 0.0642
+    acc = acc * 1.0126 + 0.0490
+    acc = acc * 0.8691 + 0.0802
+    acc = acc * 0.8977 + 0.0180
+    acc = acc * 0.9153 + -0.0765
+    acc = acc * 0.8107 + -0.0208
+    acc = acc * 1.0350 + 0.0990
+    xout = acc
+  end subroutine aux_cam_101_extra1
+  subroutine aux_cam_101_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.849
+    acc = acc * 1.1146 + -0.0656
+    acc = acc * 1.0646 + 0.0057
+    acc = acc * 0.8578 + 0.0702
+    acc = acc * 1.1509 + 0.1000
+    acc = acc * 1.1382 + -0.0386
+    acc = acc * 1.0045 + -0.0471
+    acc = acc * 0.8604 + 0.0369
+    acc = acc * 0.9938 + -0.0003
+    acc = acc * 1.0985 + -0.0593
+    acc = acc * 1.1343 + 0.0050
+    acc = acc * 0.9150 + -0.0977
+    acc = acc * 0.9084 + 0.0552
+    acc = acc * 0.9447 + 0.0641
+    acc = acc * 1.1997 + -0.0822
+    acc = acc * 0.9627 + -0.0370
+    acc = acc * 1.0978 + 0.0104
+    xout = acc
+  end subroutine aux_cam_101_extra2
+  subroutine aux_cam_101_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.760
+    acc = acc * 0.8088 + 0.0153
+    acc = acc * 0.9490 + 0.0237
+    acc = acc * 1.1460 + 0.0908
+    acc = acc * 1.1103 + -0.0268
+    acc = acc * 0.9933 + 0.0743
+    acc = acc * 1.0222 + 0.0241
+    acc = acc * 0.8099 + 0.0303
+    acc = acc * 0.9364 + 0.0394
+    xout = acc
+  end subroutine aux_cam_101_extra3
+  subroutine aux_cam_101_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.771
+    acc = acc * 0.8554 + 0.0741
+    acc = acc * 0.8273 + -0.0238
+    acc = acc * 0.8324 + 0.0469
+    acc = acc * 1.0525 + -0.0260
+    acc = acc * 0.8283 + -0.0332
+    acc = acc * 1.0875 + 0.0493
+    acc = acc * 1.1606 + -0.0555
+    acc = acc * 1.1187 + -0.0025
+    acc = acc * 0.9375 + -0.0895
+    acc = acc * 1.0101 + -0.0412
+    acc = acc * 0.8939 + 0.0625
+    acc = acc * 0.8996 + 0.0354
+    acc = acc * 1.1856 + -0.0877
+    acc = acc * 1.1718 + -0.0384
+    acc = acc * 1.1793 + -0.0525
+    acc = acc * 1.0854 + -0.0750
+    xout = acc
+  end subroutine aux_cam_101_extra4
+  subroutine aux_cam_101_extra5(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.708
+    acc = acc * 0.9671 + 0.0270
+    acc = acc * 1.1879 + -0.0353
+    acc = acc * 0.9920 + -0.0918
+    acc = acc * 1.1752 + 0.0941
+    acc = acc * 0.8199 + -0.0963
+    acc = acc * 1.1188 + -0.0390
+    acc = acc * 1.1342 + -0.0879
+    acc = acc * 1.0145 + 0.0440
+    acc = acc * 0.8775 + 0.0274
+    acc = acc * 1.1908 + -0.0408
+    acc = acc * 0.9709 + 0.0296
+    acc = acc * 1.1976 + 0.0052
+    acc = acc * 0.9243 + -0.0083
+    acc = acc * 1.1613 + -0.0664
+    acc = acc * 0.8770 + 0.0252
+    acc = acc * 1.1308 + -0.0484
+    acc = acc * 0.9611 + 0.0461
+    acc = acc * 0.9411 + -0.0032
+    acc = acc * 0.9704 + -0.0114
+    acc = acc * 1.1530 + -0.0989
+    xout = acc
+  end subroutine aux_cam_101_extra5
+end module aux_cam_101

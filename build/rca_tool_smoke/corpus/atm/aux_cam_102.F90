@@ -1,0 +1,129 @@
+module aux_cam_102
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_013, only: diag_013_0
+  use aux_cam_039, only: diag_039_0
+  use aux_cam_010, only: diag_010_0
+  implicit none
+  real :: diag_102_0(pcols)
+  real :: diag_102_1(pcols)
+  real :: diag_102_2(pcols)
+contains
+  subroutine aux_cam_102_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.391 + 0.124
+      wrk1 = state%q(i) * 0.503 + wrk0 * 0.114
+      wrk2 = sqrt(abs(wrk0) + 0.436)
+      wrk3 = max(wrk1, 0.025)
+      wrk4 = wrk1 * wrk1 + 0.031
+      wrk5 = wrk1 * wrk1 + 0.130
+      wrk6 = wrk1 * 0.316 + 0.079
+      wrk7 = wrk1 * 0.439 + 0.169
+      wrk8 = sqrt(abs(wrk4) + 0.117)
+      wrk9 = wrk6 * wrk6 + 0.026
+      wrk10 = wrk4 * 0.295 + 0.182
+      wrk11 = wrk6 * 0.600 + 0.050
+      wrk12 = max(wrk10, 0.037)
+      wrk13 = wrk8 * 0.343 + 0.185
+      omega = wrk13 * 0.447 + 0.036
+      diag_102_0(i) = wrk2 * 0.313 + diag_039_0(i) * 0.193 + omega * 0.1
+      diag_102_1(i) = wrk8 * 0.229 + diag_010_0(i) * 0.221
+      diag_102_2(i) = wrk5 * 0.761 + diag_010_0(i) * 0.251
+    end do
+  end subroutine aux_cam_102_main
+  subroutine aux_cam_102_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.586
+    acc = acc * 0.9060 + 0.0190
+    acc = acc * 0.9381 + -0.0504
+    acc = acc * 0.9929 + 0.0100
+    acc = acc * 0.9872 + -0.0217
+    acc = acc * 0.9395 + 0.0682
+    acc = acc * 1.1703 + -0.0679
+    acc = acc * 1.0256 + 0.0676
+    acc = acc * 0.9081 + 0.0468
+    acc = acc * 1.0663 + 0.0036
+    acc = acc * 1.0770 + 0.0794
+    xout = acc
+  end subroutine aux_cam_102_extra0
+  subroutine aux_cam_102_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.929
+    acc = acc * 1.1645 + -0.0136
+    acc = acc * 1.0573 + 0.0326
+    acc = acc * 0.8091 + 0.0757
+    acc = acc * 1.0881 + -0.0735
+    acc = acc * 1.1927 + 0.0883
+    acc = acc * 0.8662 + -0.0666
+    acc = acc * 0.8295 + -0.0014
+    acc = acc * 1.0530 + 0.0782
+    acc = acc * 1.1356 + 0.0379
+    xout = acc
+  end subroutine aux_cam_102_extra1
+  subroutine aux_cam_102_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.515
+    acc = acc * 1.1138 + -0.0935
+    acc = acc * 0.8957 + -0.0567
+    acc = acc * 1.1912 + 0.0755
+    acc = acc * 0.8359 + -0.0402
+    acc = acc * 1.0184 + -0.0693
+    acc = acc * 1.1006 + 0.0446
+    acc = acc * 1.0348 + -0.0177
+    acc = acc * 1.1604 + -0.0145
+    acc = acc * 1.0226 + -0.0772
+    acc = acc * 1.1113 + -0.0773
+    acc = acc * 1.1420 + -0.0585
+    acc = acc * 1.1120 + -0.0131
+    acc = acc * 0.8820 + -0.0204
+    acc = acc * 0.9557 + -0.0154
+    acc = acc * 0.9698 + -0.0872
+    acc = acc * 1.1596 + -0.0408
+    acc = acc * 0.9718 + -0.0768
+    acc = acc * 1.0686 + 0.0396
+    acc = acc * 1.0613 + -0.0484
+    acc = acc * 1.0307 + -0.0361
+    xout = acc
+  end subroutine aux_cam_102_extra2
+  subroutine aux_cam_102_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.012
+    acc = acc * 1.1830 + -0.0920
+    acc = acc * 1.0681 + -0.0017
+    acc = acc * 1.0583 + -0.0309
+    acc = acc * 1.0721 + -0.0339
+    acc = acc * 1.1584 + -0.0822
+    acc = acc * 0.9094 + -0.0223
+    acc = acc * 0.8765 + 0.0734
+    acc = acc * 1.1021 + -0.0216
+    acc = acc * 0.9999 + -0.0559
+    acc = acc * 0.9540 + -0.0424
+    acc = acc * 0.8969 + -0.0003
+    acc = acc * 0.8222 + -0.0518
+    xout = acc
+  end subroutine aux_cam_102_extra3
+end module aux_cam_102

@@ -1,0 +1,26 @@
+module aux_cam_103
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_000, only: diag_000_0
+  implicit none
+  real :: diag_103_0(pcols)
+contains
+  subroutine aux_cam_103_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.323 + 0.018
+      wrk1 = state%q(i) * 0.688 + wrk0 * 0.346
+      wrk2 = sqrt(abs(wrk0) + 0.452)
+      wrk3 = wrk2 * wrk2 + 0.111
+      wrk4 = sqrt(abs(wrk3) + 0.280)
+      diag_103_0(i) = wrk3 * 0.751 + diag_006_0(i) * 0.221
+    end do
+  end subroutine aux_cam_103_main
+end module aux_cam_103

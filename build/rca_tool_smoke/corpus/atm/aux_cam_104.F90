@@ -1,0 +1,119 @@
+module aux_cam_104
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_104_0(pcols)
+  real :: diag_104_1(pcols)
+  real :: diag_104_2(pcols)
+contains
+  subroutine aux_cam_104_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.802 + 0.052
+      wrk1 = state%q(i) * 0.500 + wrk0 * 0.388
+      wrk2 = sqrt(abs(wrk0) + 0.426)
+      wrk3 = max(wrk0, 0.095)
+      wrk4 = wrk2 * 0.454 + 0.153
+      wrk5 = sqrt(abs(wrk4) + 0.059)
+      wrk6 = wrk1 * wrk1 + 0.066
+      wrk7 = wrk0 * 0.863 + 0.216
+      wrk8 = max(wrk1, 0.156)
+      wrk9 = wrk1 * wrk8 + 0.118
+      wrk10 = sqrt(abs(wrk0) + 0.232)
+      wrk11 = max(wrk6, 0.129)
+      wrk12 = wrk3 * wrk3 + 0.045
+      diag_104_0(i) = wrk5 * 0.679
+      diag_104_1(i) = wrk10 * 0.666
+      diag_104_2(i) = wrk12 * 0.376
+    end do
+  end subroutine aux_cam_104_main
+  subroutine aux_cam_104_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.066
+    acc = acc * 1.1025 + 0.0005
+    acc = acc * 1.1347 + -0.0577
+    acc = acc * 0.8276 + -0.0134
+    acc = acc * 0.8948 + 0.0570
+    acc = acc * 1.1424 + 0.0466
+    acc = acc * 0.8285 + -0.0148
+    acc = acc * 1.1599 + 0.0769
+    acc = acc * 0.8640 + -0.0281
+    xout = acc
+  end subroutine aux_cam_104_extra0
+  subroutine aux_cam_104_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.398
+    acc = acc * 0.9005 + -0.0448
+    acc = acc * 0.9193 + 0.0701
+    acc = acc * 1.0561 + 0.0988
+    acc = acc * 1.0535 + 0.0567
+    acc = acc * 0.8828 + 0.0453
+    acc = acc * 0.9323 + 0.0577
+    acc = acc * 1.0287 + 0.0982
+    acc = acc * 1.0644 + -0.0423
+    acc = acc * 1.1647 + 0.0486
+    xout = acc
+  end subroutine aux_cam_104_extra1
+  subroutine aux_cam_104_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.285
+    acc = acc * 0.9455 + -0.0755
+    acc = acc * 1.1322 + -0.0716
+    acc = acc * 0.8097 + -0.0962
+    acc = acc * 1.0874 + -0.0558
+    acc = acc * 1.1909 + 0.0565
+    acc = acc * 1.1699 + -0.0883
+    acc = acc * 1.1673 + 0.0097
+    acc = acc * 1.1892 + -0.0101
+    acc = acc * 0.8481 + -0.0926
+    acc = acc * 1.1482 + -0.0086
+    acc = acc * 0.8190 + -0.0616
+    acc = acc * 1.1661 + -0.0353
+    acc = acc * 0.8343 + -0.0542
+    acc = acc * 1.1049 + -0.0804
+    acc = acc * 0.9639 + -0.0669
+    acc = acc * 0.9823 + -0.0393
+    acc = acc * 0.9635 + -0.0595
+    xout = acc
+  end subroutine aux_cam_104_extra2
+  subroutine aux_cam_104_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.673
+    acc = acc * 1.1606 + 0.0426
+    acc = acc * 0.8512 + -0.0820
+    acc = acc * 1.1296 + -0.0044
+    acc = acc * 1.0213 + 0.0608
+    acc = acc * 1.1980 + -0.0997
+    acc = acc * 1.1196 + -0.0311
+    acc = acc * 0.8408 + -0.0531
+    acc = acc * 1.1447 + -0.0835
+    acc = acc * 0.9718 + 0.0138
+    acc = acc * 0.9301 + 0.0715
+    acc = acc * 0.9103 + 0.0898
+    acc = acc * 0.8725 + -0.0042
+    acc = acc * 0.9073 + -0.0272
+    acc = acc * 0.8754 + -0.0385
+    xout = acc
+  end subroutine aux_cam_104_extra3
+end module aux_cam_104

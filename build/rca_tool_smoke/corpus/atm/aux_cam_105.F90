@@ -1,0 +1,120 @@
+module aux_cam_105
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_011, only: diag_011_0
+  implicit none
+  real :: diag_105_0(pcols)
+  real :: diag_105_1(pcols)
+  real :: diag_105_2(pcols)
+contains
+  subroutine aux_cam_105_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: wrk14
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.593 + 0.172
+      wrk1 = state%q(i) * 0.633 + wrk0 * 0.168
+      wrk2 = max(wrk0, 0.133)
+      wrk3 = wrk2 * wrk2 + 0.069
+      wrk4 = max(wrk3, 0.185)
+      wrk5 = wrk3 * wrk4 + 0.103
+      wrk6 = max(wrk5, 0.020)
+      wrk7 = wrk0 * wrk0 + 0.041
+      wrk8 = wrk1 * wrk1 + 0.035
+      wrk9 = max(wrk0, 0.193)
+      wrk10 = wrk2 * wrk2 + 0.198
+      wrk11 = max(wrk1, 0.099)
+      wrk12 = sqrt(abs(wrk0) + 0.393)
+      wrk13 = wrk5 * 0.425 + 0.293
+      wrk14 = wrk10 * wrk13 + 0.154
+      omega = wrk14 * 0.468 + 0.047
+      diag_105_0(i) = wrk1 * 0.527 + diag_015_0(i) * 0.342 + omega * 0.1
+      diag_105_1(i) = wrk12 * 0.603 + diag_011_0(i) * 0.057
+      diag_105_2(i) = wrk0 * 0.210 + diag_011_0(i) * 0.109
+    end do
+  end subroutine aux_cam_105_main
+  subroutine aux_cam_105_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.465
+    acc = acc * 0.9344 + 0.0327
+    acc = acc * 1.1063 + 0.0762
+    acc = acc * 0.8537 + -0.0101
+    acc = acc * 1.1910 + -0.0439
+    acc = acc * 1.1213 + -0.0725
+    acc = acc * 1.1051 + -0.0318
+    acc = acc * 0.8015 + 0.0421
+    acc = acc * 0.8973 + 0.0463
+    acc = acc * 0.8801 + 0.0248
+    acc = acc * 1.0226 + 0.0183
+    acc = acc * 0.8913 + 0.0345
+    acc = acc * 0.8913 + 0.0379
+    acc = acc * 1.1157 + -0.0167
+    acc = acc * 0.9104 + -0.0548
+    acc = acc * 1.0542 + -0.0621
+    acc = acc * 0.8420 + 0.0301
+    acc = acc * 1.0643 + -0.0573
+    xout = acc
+  end subroutine aux_cam_105_extra0
+  subroutine aux_cam_105_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.446
+    acc = acc * 0.9724 + -0.0323
+    acc = acc * 1.1819 + -0.0053
+    acc = acc * 0.8866 + 0.1000
+    acc = acc * 1.0591 + -0.0118
+    acc = acc * 0.9220 + 0.0971
+    acc = acc * 1.0160 + 0.0006
+    acc = acc * 1.1922 + -0.0872
+    acc = acc * 0.9384 + -0.0984
+    acc = acc * 1.0132 + -0.0150
+    acc = acc * 1.0752 + -0.0775
+    acc = acc * 1.0385 + 0.0085
+    acc = acc * 0.9658 + -0.0966
+    acc = acc * 1.1737 + 0.0946
+    acc = acc * 0.9321 + 0.0325
+    acc = acc * 0.8144 + 0.0865
+    acc = acc * 1.0597 + 0.0714
+    acc = acc * 1.1097 + -0.0620
+    acc = acc * 1.0879 + 0.0445
+    xout = acc
+  end subroutine aux_cam_105_extra1
+  subroutine aux_cam_105_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.081
+    acc = acc * 1.0775 + -0.0239
+    acc = acc * 0.8293 + -0.0963
+    acc = acc * 0.8714 + 0.0378
+    acc = acc * 0.9466 + -0.0312
+    acc = acc * 1.1070 + 0.0748
+    acc = acc * 1.0955 + 0.0538
+    acc = acc * 1.0348 + -0.0531
+    acc = acc * 0.8760 + 0.0449
+    acc = acc * 0.9123 + 0.0887
+    acc = acc * 1.1405 + 0.0332
+    acc = acc * 0.8377 + -0.0873
+    acc = acc * 0.9574 + -0.0767
+    xout = acc
+  end subroutine aux_cam_105_extra2
+end module aux_cam_105

@@ -1,0 +1,54 @@
+module aux_cam_106
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_011, only: diag_011_0
+  use aux_cam_023, only: diag_023_0
+  implicit none
+  real :: diag_106_0(pcols)
+  real :: diag_106_1(pcols)
+contains
+  subroutine aux_cam_106_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.757 + 0.155
+      wrk1 = state%q(i) * 0.522 + wrk0 * 0.130
+      wrk2 = wrk1 * 0.344 + 0.073
+      wrk3 = max(wrk1, 0.057)
+      wrk4 = max(wrk2, 0.034)
+      wrk5 = wrk0 * 0.413 + 0.036
+      wrk6 = max(wrk2, 0.147)
+      diag_106_0(i) = wrk5 * 0.563 + diag_011_0(i) * 0.159
+      diag_106_1(i) = wrk4 * 0.414 + diag_002_0(i) * 0.365
+    end do
+  end subroutine aux_cam_106_main
+  subroutine aux_cam_106_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.925
+    acc = acc * 1.0334 + 0.0505
+    acc = acc * 1.0919 + -0.0056
+    acc = acc * 1.1179 + 0.0815
+    acc = acc * 1.0126 + -0.0254
+    acc = acc * 0.9005 + 0.0680
+    xout = acc
+  end subroutine aux_cam_106_extra0
+  subroutine aux_cam_106_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.122
+    acc = acc * 0.8281 + -0.0325
+    acc = acc * 1.0623 + 0.0928
+    acc = acc * 1.0106 + -0.0619
+    xout = acc
+  end subroutine aux_cam_106_extra1
+end module aux_cam_106

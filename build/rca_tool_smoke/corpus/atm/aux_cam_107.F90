@@ -1,0 +1,59 @@
+module aux_cam_107
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  use aux_cam_006, only: diag_006_0
+  implicit none
+  real :: diag_107_0(pcols)
+  real :: diag_107_1(pcols)
+contains
+  subroutine aux_cam_107_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.495 + 0.199
+      wrk1 = state%q(i) * 0.587 + wrk0 * 0.147
+      wrk2 = sqrt(abs(wrk1) + 0.182)
+      wrk3 = max(wrk1, 0.164)
+      wrk4 = wrk1 * wrk1 + 0.076
+      diag_107_0(i) = wrk0 * 0.527 + diag_004_0(i) * 0.183
+      diag_107_1(i) = wrk0 * 0.282 + diag_004_0(i) * 0.196
+    end do
+  end subroutine aux_cam_107_main
+  subroutine aux_cam_107_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.113
+    acc = acc * 0.8213 + -0.0516
+    acc = acc * 0.8234 + -0.0326
+    acc = acc * 1.1864 + -0.0530
+    acc = acc * 1.1886 + -0.0251
+    acc = acc * 0.9891 + 0.0090
+    xout = acc
+  end subroutine aux_cam_107_extra0
+  subroutine aux_cam_107_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.297
+    acc = acc * 0.9401 + -0.0329
+    acc = acc * 1.0414 + 0.0769
+    acc = acc * 0.8929 + 0.0276
+    acc = acc * 0.8203 + -0.0417
+    xout = acc
+  end subroutine aux_cam_107_extra1
+  subroutine aux_cam_107_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.245
+    acc = acc * 0.8156 + 0.0068
+    acc = acc * 1.0050 + -0.0440
+    xout = acc
+  end subroutine aux_cam_107_extra2
+end module aux_cam_107

@@ -1,0 +1,65 @@
+module aux_cam_108
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_lnd_024, only: diag_024_0
+  use aux_cam_000, only: diag_000_0
+  implicit none
+  real :: diag_108_0(pcols)
+  real :: diag_108_1(pcols)
+  real :: diag_108_2(pcols)
+contains
+  subroutine aux_cam_108_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.229 + 0.128
+      wrk1 = state%q(i) * 0.278 + wrk0 * 0.134
+      wrk2 = max(wrk0, 0.116)
+      wrk3 = wrk1 * 0.769 + 0.007
+      wrk4 = sqrt(abs(wrk2) + 0.264)
+      wrk5 = max(wrk1, 0.192)
+      wrk6 = wrk5 * wrk5 + 0.166
+      wrk7 = max(wrk5, 0.067)
+      wrk8 = sqrt(abs(wrk2) + 0.493)
+      diag_108_0(i) = wrk3 * 0.701
+      diag_108_1(i) = wrk1 * 0.454
+      diag_108_2(i) = wrk1 * 0.332
+    end do
+  end subroutine aux_cam_108_main
+  subroutine aux_cam_108_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.925
+    acc = acc * 0.9855 + -0.0613
+    acc = acc * 1.0345 + -0.0940
+    xout = acc
+  end subroutine aux_cam_108_extra0
+  subroutine aux_cam_108_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.544
+    acc = acc * 1.1295 + -0.0005
+    acc = acc * 1.0576 + -0.0736
+    acc = acc * 1.1978 + 0.0623
+    xout = acc
+  end subroutine aux_cam_108_extra1
+  subroutine aux_cam_108_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.137
+    acc = acc * 1.1978 + -0.0889
+    acc = acc * 1.1925 + -0.0275
+    xout = acc
+  end subroutine aux_cam_108_extra2
+end module aux_cam_108

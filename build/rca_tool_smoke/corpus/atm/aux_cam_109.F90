@@ -1,0 +1,34 @@
+module aux_cam_109
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_109_0(pcols)
+contains
+  subroutine aux_cam_109_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.607 + 0.082
+      wrk1 = state%q(i) * 0.153 + wrk0 * 0.161
+      wrk2 = wrk0 * wrk1 + 0.041
+      wrk3 = sqrt(abs(wrk0) + 0.192)
+      diag_109_0(i) = wrk0 * 0.770 + diag_002_0(i) * 0.364
+    end do
+  end subroutine aux_cam_109_main
+  subroutine aux_cam_109_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.020
+    acc = acc * 0.9322 + -0.1000
+    acc = acc * 0.8256 + 0.0824
+    acc = acc * 0.9406 + 0.0370
+    acc = acc * 0.8449 + -0.0174
+    xout = acc
+  end subroutine aux_cam_109_extra0
+end module aux_cam_109

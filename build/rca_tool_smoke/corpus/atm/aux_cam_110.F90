@@ -1,0 +1,29 @@
+module aux_cam_110
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_110_0(pcols)
+contains
+  subroutine aux_cam_110_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.227 + 0.176
+      wrk1 = state%q(i) * 0.401 + wrk0 * 0.224
+      wrk2 = wrk0 * 0.451 + 0.086
+      wrk3 = max(wrk0, 0.066)
+      wrk4 = max(wrk3, 0.159)
+      wrk5 = wrk3 * wrk3 + 0.051
+      wrk6 = max(wrk3, 0.122)
+      omega = wrk6 * 0.437 + 0.027
+      diag_110_0(i) = wrk3 * 0.252 + omega * 0.1
+    end do
+  end subroutine aux_cam_110_main
+end module aux_cam_110

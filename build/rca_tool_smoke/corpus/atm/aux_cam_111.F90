@@ -1,0 +1,52 @@
+module aux_cam_111
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_111_0(pcols)
+  real :: diag_111_1(pcols)
+  real :: diag_111_2(pcols)
+contains
+  subroutine aux_cam_111_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.758 + 0.131
+      wrk1 = state%q(i) * 0.585 + wrk0 * 0.242
+      wrk2 = wrk0 * wrk1 + 0.135
+      wrk3 = wrk1 * wrk2 + 0.154
+      wrk4 = wrk3 * wrk3 + 0.178
+      wrk5 = wrk4 * 0.734 + 0.154
+      wrk6 = sqrt(abs(wrk2) + 0.083)
+      diag_111_0(i) = wrk2 * 0.408 + diag_008_0(i) * 0.144
+      diag_111_1(i) = wrk1 * 0.528 + diag_000_0(i) * 0.316
+      diag_111_2(i) = wrk0 * 0.367 + diag_000_0(i) * 0.090
+    end do
+  end subroutine aux_cam_111_main
+  subroutine aux_cam_111_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.269
+    acc = acc * 0.8553 + 0.0851
+    acc = acc * 1.1963 + 0.0564
+    xout = acc
+  end subroutine aux_cam_111_extra0
+  subroutine aux_cam_111_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.337
+    acc = acc * 1.1195 + -0.0523
+    acc = acc * 1.1603 + 0.0742
+    xout = acc
+  end subroutine aux_cam_111_extra1
+end module aux_cam_111

@@ -1,0 +1,45 @@
+module aux_cam_112
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_003, only: diag_003_0
+  implicit none
+  real :: diag_112_0(pcols)
+contains
+  subroutine aux_cam_112_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.299 + 0.178
+      wrk1 = state%q(i) * 0.689 + wrk0 * 0.277
+      wrk2 = wrk0 * wrk1 + 0.173
+      wrk3 = wrk0 * wrk2 + 0.192
+      wrk4 = wrk2 * 0.512 + 0.196
+      wrk5 = wrk1 * 0.596 + 0.060
+      wrk6 = wrk3 * wrk3 + 0.097
+      wrk7 = wrk4 * wrk4 + 0.144
+      wrk8 = sqrt(abs(wrk3) + 0.482)
+      omega = wrk8 * 0.352 + 0.137
+      diag_112_0(i) = wrk5 * 0.443 + diag_003_0(i) * 0.374 + omega * 0.1
+    end do
+  end subroutine aux_cam_112_main
+  subroutine aux_cam_112_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.738
+    acc = acc * 0.9197 + 0.0381
+    acc = acc * 0.8494 + -0.0843
+    acc = acc * 0.9885 + 0.0812
+    acc = acc * 1.0841 + -0.0024
+    xout = acc
+  end subroutine aux_cam_112_extra0
+end module aux_cam_112

@@ -1,0 +1,29 @@
+module aux_cam_113
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_113_0(pcols)
+  real :: diag_113_1(pcols)
+contains
+  subroutine aux_cam_113_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.528 + 0.013
+      wrk1 = state%q(i) * 0.719 + wrk0 * 0.327
+      wrk2 = sqrt(abs(wrk0) + 0.258)
+      wrk3 = sqrt(abs(wrk1) + 0.224)
+      wrk4 = wrk2 * wrk2 + 0.160
+      wrk5 = wrk0 * 0.603 + 0.299
+      wrk6 = wrk2 * 0.283 + 0.158
+      diag_113_0(i) = wrk5 * 0.279
+      diag_113_1(i) = wrk4 * 0.898
+    end do
+  end subroutine aux_cam_113_main
+end module aux_cam_113

@@ -1,0 +1,32 @@
+module aux_cam_114
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_019, only: diag_019_0
+  implicit none
+  real :: diag_114_0(pcols)
+contains
+  subroutine aux_cam_114_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.186 + 0.037
+      wrk1 = state%q(i) * 0.450 + wrk0 * 0.125
+      wrk2 = wrk1 * wrk1 + 0.166
+      wrk3 = wrk2 * wrk2 + 0.150
+      wrk4 = wrk0 * wrk0 + 0.074
+      wrk5 = wrk4 * 0.781 + 0.056
+      wrk6 = sqrt(abs(wrk1) + 0.467)
+      wrk7 = sqrt(abs(wrk1) + 0.421)
+      diag_114_0(i) = wrk4 * 0.541 + diag_001_0(i) * 0.196
+    end do
+  end subroutine aux_cam_114_main
+end module aux_cam_114

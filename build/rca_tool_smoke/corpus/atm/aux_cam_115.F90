@@ -1,0 +1,29 @@
+module aux_cam_115
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_115_0(pcols)
+contains
+  subroutine aux_cam_115_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.785 + 0.141
+      wrk1 = state%q(i) * 0.793 + wrk0 * 0.397
+      wrk2 = max(wrk1, 0.116)
+      wrk3 = wrk1 * wrk1 + 0.014
+      wrk4 = sqrt(abs(wrk2) + 0.187)
+      wrk5 = max(wrk0, 0.120)
+      wrk6 = max(wrk0, 0.017)
+      wrk7 = wrk3 * wrk6 + 0.164
+      diag_115_0(i) = wrk1 * 0.671
+    end do
+  end subroutine aux_cam_115_main
+end module aux_cam_115

@@ -1,0 +1,32 @@
+module aux_cam_116
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_021, only: diag_021_0
+  use aux_cam_031, only: diag_031_0
+  implicit none
+  real :: diag_116_0(pcols)
+  real :: diag_116_1(pcols)
+  real :: diag_116_2(pcols)
+contains
+  subroutine aux_cam_116_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.821 + 0.169
+      wrk1 = state%q(i) * 0.128 + wrk0 * 0.215
+      wrk2 = wrk0 * wrk1 + 0.017
+      wrk3 = wrk2 * 0.294 + 0.059
+      wrk4 = wrk3 * 0.759 + 0.053
+      wrk5 = wrk3 * 0.759 + 0.109
+      diag_116_0(i) = wrk0 * 0.799 + diag_031_0(i) * 0.105
+      diag_116_1(i) = wrk0 * 0.474 + diag_006_0(i) * 0.233
+      diag_116_2(i) = wrk5 * 0.546 + diag_031_0(i) * 0.216
+    end do
+  end subroutine aux_cam_116_main
+end module aux_cam_116

@@ -1,0 +1,47 @@
+module aux_cam_117
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_lnd_042, only: diag_042_0
+  use aux_cam_007, only: diag_007_0
+  implicit none
+  real :: diag_117_0(pcols)
+  real :: diag_117_1(pcols)
+  real :: diag_117_2(pcols)
+contains
+  subroutine aux_cam_117_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: es
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.553 + 0.095
+      wrk1 = state%q(i) * 0.574 + wrk0 * 0.229
+      wrk2 = wrk0 * wrk1 + 0.022
+      wrk3 = max(wrk2, 0.061)
+      wrk4 = sqrt(abs(wrk3) + 0.020)
+      wrk5 = wrk2 * wrk2 + 0.079
+      wrk6 = wrk1 * 0.313 + 0.209
+      wrk7 = max(wrk4, 0.078)
+      es = wrk7 * 0.293 + 0.137
+      diag_117_0(i) = wrk4 * 0.590 + diag_007_0(i) * 0.379 + es * 0.1
+      diag_117_1(i) = wrk6 * 0.328
+      diag_117_2(i) = wrk1 * 0.678 + diag_000_0(i) * 0.052
+    end do
+  end subroutine aux_cam_117_main
+  subroutine aux_cam_117_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.487
+    acc = acc * 1.0079 + 0.0154
+    acc = acc * 1.1207 + -0.0693
+    xout = acc
+  end subroutine aux_cam_117_extra0
+end module aux_cam_117

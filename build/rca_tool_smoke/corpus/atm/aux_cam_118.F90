@@ -1,0 +1,54 @@
+module aux_cam_118
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_118_0(pcols)
+  real :: diag_118_1(pcols)
+contains
+  subroutine aux_cam_118_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.828 + 0.158
+      wrk1 = state%q(i) * 0.284 + wrk0 * 0.184
+      wrk2 = wrk0 * wrk0 + 0.197
+      wrk3 = wrk0 * wrk0 + 0.077
+      wrk4 = wrk3 * 0.777 + 0.117
+      wrk5 = wrk1 * 0.258 + 0.180
+      wrk6 = wrk5 * 0.763 + 0.116
+      wrk7 = wrk4 * wrk6 + 0.148
+      wrk8 = wrk1 * 0.825 + 0.006
+      diag_118_0(i) = wrk6 * 0.458 + diag_004_0(i) * 0.084
+      diag_118_1(i) = wrk8 * 0.454 + diag_004_0(i) * 0.143
+    end do
+  end subroutine aux_cam_118_main
+  subroutine aux_cam_118_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.989
+    acc = acc * 0.8638 + -0.0626
+    acc = acc * 0.8315 + -0.0483
+    acc = acc * 1.1932 + -0.0292
+    acc = acc * 0.9178 + 0.0798
+    xout = acc
+  end subroutine aux_cam_118_extra0
+  subroutine aux_cam_118_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.473
+    acc = acc * 1.0702 + 0.0092
+    acc = acc * 0.8710 + 0.0994
+    xout = acc
+  end subroutine aux_cam_118_extra1
+end module aux_cam_118

@@ -1,0 +1,44 @@
+module aux_cam_119
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_119_0(pcols)
+  real :: diag_119_1(pcols)
+contains
+  subroutine aux_cam_119_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.593 + 0.069
+      wrk1 = state%q(i) * 0.178 + wrk0 * 0.204
+      wrk2 = wrk1 * 0.809 + 0.238
+      wrk3 = wrk1 * wrk1 + 0.088
+      wrk4 = wrk3 * wrk3 + 0.085
+      wrk5 = max(wrk3, 0.010)
+      wrk6 = wrk3 * wrk5 + 0.130
+      wrk7 = max(wrk4, 0.167)
+      diag_119_0(i) = wrk7 * 0.332
+      diag_119_1(i) = wrk7 * 0.278
+    end do
+  end subroutine aux_cam_119_main
+  subroutine aux_cam_119_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.591
+    acc = acc * 0.8975 + 0.0473
+    acc = acc * 0.9942 + -0.0414
+    acc = acc * 1.0761 + -0.0513
+    acc = acc * 0.9358 + -0.0640
+    acc = acc * 0.8603 + 0.0278
+    acc = acc * 1.0977 + 0.0908
+    xout = acc
+  end subroutine aux_cam_119_extra0
+end module aux_cam_119

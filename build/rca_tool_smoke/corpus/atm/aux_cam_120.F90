@@ -1,0 +1,32 @@
+module aux_cam_120
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_005, only: diag_005_0
+  implicit none
+  real :: diag_120_0(pcols)
+  real :: diag_120_1(pcols)
+  real :: diag_120_2(pcols)
+contains
+  subroutine aux_cam_120_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.328 + 0.095
+      wrk1 = state%q(i) * 0.240 + wrk0 * 0.130
+      wrk2 = max(wrk0, 0.080)
+      wrk3 = sqrt(abs(wrk1) + 0.351)
+      wrk4 = max(wrk2, 0.196)
+      wrk5 = sqrt(abs(wrk3) + 0.420)
+      wrk6 = max(wrk3, 0.105)
+      diag_120_0(i) = wrk2 * 0.656 + diag_005_0(i) * 0.292
+      diag_120_1(i) = wrk5 * 0.787 + diag_005_0(i) * 0.295
+      diag_120_2(i) = wrk5 * 0.339
+    end do
+  end subroutine aux_cam_120_main
+end module aux_cam_120

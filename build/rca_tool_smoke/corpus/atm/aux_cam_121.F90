@@ -1,0 +1,42 @@
+module aux_cam_121
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  use aux_lnd_030, only: diag_030_0
+  implicit none
+  real :: diag_121_0(pcols)
+  real :: diag_121_1(pcols)
+contains
+  subroutine aux_cam_121_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.222 + 0.137
+      wrk1 = state%q(i) * 0.621 + wrk0 * 0.270
+      wrk2 = wrk0 * 0.593 + 0.018
+      wrk3 = wrk1 * wrk2 + 0.035
+      wrk4 = max(wrk3, 0.114)
+      wrk5 = max(wrk0, 0.148)
+      wrk6 = wrk4 * wrk5 + 0.110
+      wrk7 = wrk6 * wrk6 + 0.159
+      diag_121_0(i) = wrk0 * 0.505 + diag_030_0(i) * 0.157
+      diag_121_1(i) = wrk2 * 0.416 + diag_030_0(i) * 0.398
+    end do
+  end subroutine aux_cam_121_main
+  subroutine aux_cam_121_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.854
+    acc = acc * 0.8458 + 0.0029
+    acc = acc * 0.8117 + -0.0068
+    xout = acc
+  end subroutine aux_cam_121_extra0
+end module aux_cam_121

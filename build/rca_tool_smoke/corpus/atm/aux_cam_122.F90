@@ -1,0 +1,36 @@
+module aux_cam_122
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_006, only: diag_006_0
+  implicit none
+  real :: diag_122_0(pcols)
+contains
+  subroutine aux_cam_122_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.189 + 0.151
+      wrk1 = state%q(i) * 0.103 + wrk0 * 0.253
+      wrk2 = wrk0 * 0.429 + 0.211
+      wrk3 = wrk0 * wrk0 + 0.099
+      diag_122_0(i) = wrk2 * 0.817 + diag_008_0(i) * 0.390
+    end do
+  end subroutine aux_cam_122_main
+  subroutine aux_cam_122_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.676
+    acc = acc * 0.8444 + -0.0108
+    acc = acc * 1.1005 + 0.0742
+    acc = acc * 0.8193 + 0.0760
+    acc = acc * 1.0760 + 0.0788
+    acc = acc * 1.1643 + 0.0214
+    xout = acc
+  end subroutine aux_cam_122_extra0
+end module aux_cam_122

@@ -1,0 +1,121 @@
+module aux_cam_123
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_040, only: diag_040_0
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_031, only: diag_031_0
+  implicit none
+  real :: diag_123_0(pcols)
+  real :: diag_123_1(pcols)
+  real :: diag_123_2(pcols)
+contains
+  subroutine aux_cam_123_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.190 + 0.086
+      wrk1 = state%q(i) * 0.595 + wrk0 * 0.264
+      wrk2 = max(wrk1, 0.124)
+      wrk3 = max(wrk0, 0.102)
+      wrk4 = sqrt(abs(wrk1) + 0.448)
+      wrk5 = sqrt(abs(wrk3) + 0.197)
+      wrk6 = sqrt(abs(wrk0) + 0.174)
+      wrk7 = sqrt(abs(wrk2) + 0.416)
+      wrk8 = wrk6 * wrk6 + 0.036
+      wrk9 = max(wrk3, 0.046)
+      wrk10 = wrk0 * wrk0 + 0.114
+      diag_123_0(i) = wrk2 * 0.497 + diag_031_0(i) * 0.090
+      diag_123_1(i) = wrk2 * 0.465 + diag_006_0(i) * 0.252
+      diag_123_2(i) = wrk0 * 0.492 + diag_006_0(i) * 0.341
+    end do
+  end subroutine aux_cam_123_main
+  subroutine aux_cam_123_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.224
+    acc = acc * 0.8716 + 0.0002
+    acc = acc * 0.8021 + 0.0037
+    acc = acc * 0.9275 + 0.0724
+    acc = acc * 0.9060 + 0.0980
+    acc = acc * 0.8097 + 0.0713
+    acc = acc * 1.0034 + -0.0875
+    acc = acc * 1.0757 + 0.0764
+    acc = acc * 1.0399 + 0.0486
+    acc = acc * 0.9772 + 0.0516
+    acc = acc * 0.9301 + -0.0282
+    acc = acc * 1.0860 + -0.0905
+    acc = acc * 1.0923 + 0.0811
+    xout = acc
+  end subroutine aux_cam_123_extra0
+  subroutine aux_cam_123_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.243
+    acc = acc * 1.1705 + 0.0244
+    acc = acc * 0.9300 + -0.0727
+    acc = acc * 1.0682 + -0.0078
+    acc = acc * 0.9639 + 0.0979
+    acc = acc * 0.9026 + 0.0097
+    acc = acc * 1.0442 + -0.0674
+    acc = acc * 0.8425 + 0.0654
+    acc = acc * 0.8113 + -0.0138
+    acc = acc * 0.9870 + 0.0347
+    acc = acc * 0.8255 + 0.0303
+    acc = acc * 0.9278 + 0.0137
+    acc = acc * 0.8320 + -0.0873
+    acc = acc * 1.0000 + 0.0102
+    acc = acc * 1.0135 + -0.0054
+    acc = acc * 0.8143 + -0.0347
+    acc = acc * 1.1399 + -0.0274
+    xout = acc
+  end subroutine aux_cam_123_extra1
+  subroutine aux_cam_123_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.138
+    acc = acc * 1.0875 + 0.0062
+    acc = acc * 0.9018 + -0.0124
+    acc = acc * 0.8950 + 0.0625
+    acc = acc * 1.0341 + -0.0543
+    acc = acc * 1.1209 + -0.0316
+    acc = acc * 0.9160 + 0.0261
+    acc = acc * 1.1249 + 0.0807
+    acc = acc * 0.9115 + 0.0970
+    acc = acc * 1.1563 + 0.0685
+    acc = acc * 1.0433 + 0.0362
+    xout = acc
+  end subroutine aux_cam_123_extra2
+  subroutine aux_cam_123_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.707
+    acc = acc * 0.9812 + 0.0058
+    acc = acc * 0.8615 + -0.0180
+    acc = acc * 1.1550 + -0.0781
+    acc = acc * 0.8586 + -0.0878
+    acc = acc * 1.0923 + -0.0222
+    acc = acc * 0.8593 + -0.0029
+    acc = acc * 1.1167 + 0.0396
+    acc = acc * 1.1871 + 0.0319
+    acc = acc * 0.9708 + 0.0547
+    acc = acc * 0.8204 + -0.0975
+    acc = acc * 0.8842 + -0.0493
+    acc = acc * 1.0034 + -0.0322
+    acc = acc * 1.1883 + 0.0457
+    xout = acc
+  end subroutine aux_cam_123_extra3
+end module aux_cam_123

@@ -1,0 +1,125 @@
+module aux_cam_124
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_lnd_024, only: diag_024_0
+  use aux_cam_023, only: diag_023_0
+  use aux_cam_039, only: diag_039_0
+  implicit none
+  real :: diag_124_0(pcols)
+  real :: diag_124_1(pcols)
+  real :: diag_124_2(pcols)
+contains
+  subroutine aux_cam_124_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.818 + 0.076
+      wrk1 = state%q(i) * 0.332 + wrk0 * 0.349
+      wrk2 = sqrt(abs(wrk1) + 0.219)
+      wrk3 = max(wrk0, 0.111)
+      wrk4 = wrk0 * wrk3 + 0.132
+      wrk5 = wrk3 * 0.820 + 0.061
+      wrk6 = sqrt(abs(wrk1) + 0.382)
+      wrk7 = max(wrk5, 0.127)
+      wrk8 = wrk4 * 0.886 + 0.060
+      wrk9 = wrk7 * wrk7 + 0.022
+      wrk10 = wrk0 * wrk0 + 0.149
+      wrk11 = wrk4 * wrk10 + 0.023
+      wrk12 = wrk7 * 0.857 + 0.266
+      wrk13 = wrk1 * 0.391 + 0.179
+      diag_124_0(i) = wrk3 * 0.868 + diag_039_0(i) * 0.244
+      diag_124_1(i) = wrk2 * 0.226 + diag_023_0(i) * 0.168
+      diag_124_2(i) = wrk9 * 0.545 + diag_039_0(i) * 0.171
+    end do
+  end subroutine aux_cam_124_main
+  subroutine aux_cam_124_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.684
+    acc = acc * 0.9665 + 0.0097
+    acc = acc * 0.8133 + -0.0859
+    acc = acc * 1.1374 + -0.0901
+    acc = acc * 1.1629 + 0.0215
+    acc = acc * 1.1065 + 0.0719
+    acc = acc * 0.8324 + -0.0264
+    acc = acc * 1.0363 + -0.0538
+    acc = acc * 1.1703 + -0.0975
+    acc = acc * 0.9401 + 0.0563
+    acc = acc * 1.0574 + 0.0488
+    acc = acc * 1.1665 + -0.0071
+    acc = acc * 1.1842 + -0.0334
+    acc = acc * 0.9178 + -0.0880
+    acc = acc * 1.0844 + -0.0388
+    acc = acc * 0.8315 + -0.0798
+    acc = acc * 1.1748 + 0.0852
+    acc = acc * 0.9982 + 0.0965
+    acc = acc * 0.9761 + -0.0199
+    acc = acc * 0.9399 + -0.0154
+    xout = acc
+  end subroutine aux_cam_124_extra0
+  subroutine aux_cam_124_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.908
+    acc = acc * 0.8236 + -0.0844
+    acc = acc * 0.8555 + -0.0132
+    acc = acc * 0.9950 + 0.0835
+    acc = acc * 1.0806 + -0.0954
+    acc = acc * 1.1767 + 0.0391
+    acc = acc * 0.8905 + 0.0081
+    acc = acc * 0.9032 + 0.0451
+    acc = acc * 1.1680 + 0.0198
+    acc = acc * 0.8688 + -0.0359
+    acc = acc * 0.9534 + 0.0770
+    acc = acc * 0.9240 + 0.0819
+    acc = acc * 0.9327 + 0.0066
+    acc = acc * 1.1597 + 0.0835
+    acc = acc * 1.1038 + 0.0953
+    acc = acc * 1.1005 + 0.0686
+    acc = acc * 0.9073 + 0.0112
+    acc = acc * 0.8198 + 0.0433
+    acc = acc * 1.0651 + -0.0228
+    acc = acc * 0.8124 + 0.0580
+    acc = acc * 0.9167 + -0.0923
+    xout = acc
+  end subroutine aux_cam_124_extra1
+  subroutine aux_cam_124_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.319
+    acc = acc * 1.0207 + -0.0922
+    acc = acc * 1.0841 + 0.0699
+    acc = acc * 1.1355 + -0.0198
+    acc = acc * 0.8493 + 0.0201
+    acc = acc * 0.9244 + 0.0956
+    acc = acc * 0.9931 + 0.0958
+    acc = acc * 1.1859 + 0.0058
+    acc = acc * 0.9318 + 0.0029
+    acc = acc * 1.0917 + -0.0805
+    acc = acc * 0.8043 + -0.0358
+    acc = acc * 1.0407 + -0.0439
+    acc = acc * 0.8501 + -0.0458
+    acc = acc * 0.9741 + 0.0631
+    acc = acc * 1.1703 + 0.0218
+    acc = acc * 0.8591 + -0.0861
+    acc = acc * 0.9796 + 0.0254
+    acc = acc * 0.8666 + 0.0356
+    xout = acc
+  end subroutine aux_cam_124_extra2
+end module aux_cam_124

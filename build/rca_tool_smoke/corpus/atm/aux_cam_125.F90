@@ -1,0 +1,45 @@
+module aux_cam_125
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  use aux_cam_007, only: diag_007_0
+  use aux_cam_021, only: diag_021_0
+  implicit none
+  real :: diag_125_0(pcols)
+  real :: diag_125_1(pcols)
+contains
+  subroutine aux_cam_125_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.892 + 0.089
+      wrk1 = state%q(i) * 0.667 + wrk0 * 0.338
+      wrk2 = wrk1 * wrk1 + 0.017
+      wrk3 = wrk0 * wrk2 + 0.090
+      wrk4 = sqrt(abs(wrk3) + 0.156)
+      wrk5 = sqrt(abs(wrk4) + 0.359)
+      wrk6 = wrk2 * wrk2 + 0.177
+      wrk7 = wrk4 * 0.211 + 0.086
+      omega = wrk7 * 0.711 + 0.084
+      diag_125_0(i) = wrk0 * 0.555 + diag_004_0(i) * 0.204 + omega * 0.1
+      diag_125_1(i) = wrk5 * 0.687 + diag_007_0(i) * 0.096
+    end do
+  end subroutine aux_cam_125_main
+  subroutine aux_cam_125_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.933
+    acc = acc * 0.9153 + -0.0044
+    acc = acc * 0.8114 + -0.0188
+    xout = acc
+  end subroutine aux_cam_125_extra0
+end module aux_cam_125

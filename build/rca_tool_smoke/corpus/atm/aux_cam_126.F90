@@ -1,0 +1,60 @@
+module aux_cam_126
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_013, only: diag_013_0
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_126_0(pcols)
+contains
+  subroutine aux_cam_126_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.601 + 0.175
+      wrk1 = state%q(i) * 0.158 + wrk0 * 0.212
+      wrk2 = wrk0 * wrk1 + 0.135
+      wrk3 = wrk1 * wrk1 + 0.157
+      wrk4 = wrk3 * 0.712 + 0.069
+      wrk5 = wrk2 * 0.501 + 0.275
+      diag_126_0(i) = wrk0 * 0.454
+    end do
+  end subroutine aux_cam_126_main
+  subroutine aux_cam_126_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.219
+    acc = acc * 0.8234 + 0.0155
+    acc = acc * 0.9002 + -0.0054
+    acc = acc * 1.0809 + -0.0161
+    acc = acc * 0.9647 + 0.0230
+    xout = acc
+  end subroutine aux_cam_126_extra0
+  subroutine aux_cam_126_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.175
+    acc = acc * 1.0583 + 0.0608
+    acc = acc * 1.0131 + -0.0334
+    xout = acc
+  end subroutine aux_cam_126_extra1
+  subroutine aux_cam_126_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.761
+    acc = acc * 0.8749 + 0.0582
+    acc = acc * 1.1135 + 0.0658
+    acc = acc * 0.8001 + -0.0372
+    acc = acc * 0.9531 + -0.0266
+    acc = acc * 1.1215 + -0.0334
+    xout = acc
+  end subroutine aux_cam_126_extra2
+end module aux_cam_126

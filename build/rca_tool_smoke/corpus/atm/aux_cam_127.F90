@@ -1,0 +1,29 @@
+module aux_cam_127
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_127_0(pcols)
+  real :: diag_127_1(pcols)
+  real :: diag_127_2(pcols)
+contains
+  subroutine aux_cam_127_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.749 + 0.064
+      wrk1 = state%q(i) * 0.617 + wrk0 * 0.153
+      wrk2 = max(wrk0, 0.192)
+      wrk3 = wrk1 * wrk1 + 0.092
+      wrk4 = wrk1 * wrk3 + 0.183
+      omega = wrk4 * 0.243 + 0.085
+      diag_127_0(i) = wrk2 * 0.218 + omega * 0.1
+      diag_127_1(i) = wrk2 * 0.301
+      diag_127_2(i) = wrk0 * 0.609
+    end do
+  end subroutine aux_cam_127_main
+end module aux_cam_127

@@ -1,0 +1,55 @@
+module aux_cam_128
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_010, only: diag_010_0
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_128_0(pcols)
+  real :: diag_128_1(pcols)
+contains
+  subroutine aux_cam_128_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.764 + 0.083
+      wrk1 = state%q(i) * 0.682 + wrk0 * 0.343
+      wrk2 = wrk1 * 0.290 + 0.204
+      wrk3 = wrk1 * 0.372 + 0.186
+      wrk4 = wrk1 * wrk1 + 0.003
+      wrk5 = sqrt(abs(wrk1) + 0.239)
+      wrk6 = wrk2 * wrk5 + 0.058
+      wrk7 = sqrt(abs(wrk2) + 0.147)
+      diag_128_0(i) = wrk6 * 0.412 + diag_008_0(i) * 0.209
+      diag_128_1(i) = wrk7 * 0.499 + diag_008_0(i) * 0.246
+    end do
+  end subroutine aux_cam_128_main
+  subroutine aux_cam_128_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.547
+    acc = acc * 1.0695 + 0.0280
+    acc = acc * 0.9602 + -0.0736
+    acc = acc * 0.9308 + -0.0839
+    acc = acc * 0.9027 + 0.0662
+    acc = acc * 1.1000 + -0.0427
+    acc = acc * 1.1107 + -0.0760
+    xout = acc
+  end subroutine aux_cam_128_extra0
+  subroutine aux_cam_128_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.884
+    acc = acc * 1.0104 + 0.0639
+    acc = acc * 1.1746 + 0.0543
+    xout = acc
+  end subroutine aux_cam_128_extra1
+end module aux_cam_128

@@ -1,0 +1,50 @@
+module aux_cam_129
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_025, only: diag_025_0
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_129_0(pcols)
+  real :: diag_129_1(pcols)
+  real :: diag_129_2(pcols)
+contains
+  subroutine aux_cam_129_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.482 + 0.086
+      wrk1 = state%q(i) * 0.642 + wrk0 * 0.236
+      wrk2 = wrk0 * wrk0 + 0.149
+      wrk3 = sqrt(abs(wrk2) + 0.135)
+      diag_129_0(i) = wrk3 * 0.487
+      diag_129_1(i) = wrk1 * 0.204 + diag_012_0(i) * 0.074
+      diag_129_2(i) = wrk1 * 0.533 + diag_012_0(i) * 0.258
+    end do
+  end subroutine aux_cam_129_main
+  subroutine aux_cam_129_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.450
+    acc = acc * 1.0418 + 0.0908
+    acc = acc * 1.0192 + 0.0065
+    acc = acc * 1.0784 + 0.0908
+    xout = acc
+  end subroutine aux_cam_129_extra0
+  subroutine aux_cam_129_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.784
+    acc = acc * 0.8114 + -0.0476
+    acc = acc * 1.0534 + -0.0439
+    acc = acc * 0.8245 + -0.0306
+    acc = acc * 1.1577 + -0.0514
+    acc = acc * 0.9265 + 0.0763
+    acc = acc * 1.1256 + 0.0680
+    xout = acc
+  end subroutine aux_cam_129_extra1
+end module aux_cam_129

@@ -1,0 +1,65 @@
+module aux_cam_130
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_130_0(pcols)
+contains
+  subroutine aux_cam_130_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: es
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.698 + 0.088
+      wrk1 = state%q(i) * 0.174 + wrk0 * 0.232
+      wrk2 = max(wrk1, 0.181)
+      wrk3 = wrk1 * wrk2 + 0.001
+      wrk4 = wrk3 * 0.392 + 0.051
+      wrk5 = wrk3 * wrk4 + 0.059
+      wrk6 = wrk0 * 0.858 + 0.056
+      es = wrk6 * 0.716 + 0.088
+      diag_130_0(i) = wrk5 * 0.797 + es * 0.1
+    end do
+  end subroutine aux_cam_130_main
+  subroutine aux_cam_130_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.353
+    acc = acc * 0.9492 + -0.0987
+    acc = acc * 1.1593 + -0.0121
+    acc = acc * 1.1822 + 0.0561
+    acc = acc * 0.8547 + -0.0565
+    acc = acc * 0.9393 + 0.0442
+    acc = acc * 0.8697 + 0.0883
+    xout = acc
+  end subroutine aux_cam_130_extra0
+  subroutine aux_cam_130_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.643
+    acc = acc * 1.0160 + 0.0657
+    acc = acc * 1.0609 + -0.0318
+    acc = acc * 0.8887 + 0.0492
+    acc = acc * 1.1397 + -0.0203
+    xout = acc
+  end subroutine aux_cam_130_extra1
+  subroutine aux_cam_130_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.562
+    acc = acc * 1.0506 + -0.0769
+    acc = acc * 0.9584 + 0.0052
+    acc = acc * 1.0797 + -0.0946
+    acc = acc * 0.9937 + -0.0451
+    acc = acc * 0.8116 + 0.0642
+    xout = acc
+  end subroutine aux_cam_130_extra2
+end module aux_cam_130

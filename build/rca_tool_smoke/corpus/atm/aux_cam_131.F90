@@ -1,0 +1,111 @@
+module aux_cam_131
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_019, only: diag_019_0
+  implicit none
+  real :: diag_131_0(pcols)
+  real :: diag_131_1(pcols)
+contains
+  subroutine aux_cam_131_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: wrk14
+    real :: wrk15
+    real :: es
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.282 + 0.090
+      wrk1 = state%q(i) * 0.656 + wrk0 * 0.110
+      wrk2 = wrk1 * wrk1 + 0.143
+      wrk3 = sqrt(abs(wrk0) + 0.356)
+      wrk4 = sqrt(abs(wrk3) + 0.404)
+      wrk5 = max(wrk4, 0.094)
+      wrk6 = sqrt(abs(wrk1) + 0.382)
+      wrk7 = sqrt(abs(wrk6) + 0.367)
+      wrk8 = wrk5 * wrk7 + 0.065
+      wrk9 = max(wrk2, 0.073)
+      wrk10 = wrk9 * wrk9 + 0.015
+      wrk11 = wrk2 * wrk10 + 0.028
+      wrk12 = wrk8 * wrk8 + 0.118
+      wrk13 = sqrt(abs(wrk7) + 0.392)
+      wrk14 = wrk3 * wrk3 + 0.124
+      wrk15 = max(wrk9, 0.153)
+      es = wrk15 * 0.331 + 0.059
+      diag_131_0(i) = wrk9 * 0.892 + diag_019_0(i) * 0.242 + es * 0.1
+      diag_131_1(i) = wrk9 * 0.288 + diag_019_0(i) * 0.210
+    end do
+  end subroutine aux_cam_131_main
+  subroutine aux_cam_131_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.835
+    acc = acc * 1.0851 + 0.0282
+    acc = acc * 0.9877 + 0.0016
+    acc = acc * 1.0098 + 0.0654
+    acc = acc * 1.0087 + 0.0801
+    acc = acc * 0.8608 + -0.0952
+    acc = acc * 1.1605 + -0.0410
+    acc = acc * 1.1383 + 0.0218
+    acc = acc * 1.0916 + 0.0800
+    acc = acc * 1.0345 + -0.0302
+    acc = acc * 0.8035 + 0.0245
+    acc = acc * 0.8114 + -0.0401
+    acc = acc * 1.0152 + 0.0388
+    acc = acc * 0.9778 + -0.0881
+    xout = acc
+  end subroutine aux_cam_131_extra0
+  subroutine aux_cam_131_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.880
+    acc = acc * 1.0798 + -0.0752
+    acc = acc * 0.8020 + 0.0245
+    acc = acc * 0.9448 + -0.0789
+    acc = acc * 1.1291 + 0.0182
+    acc = acc * 0.8965 + 0.0977
+    acc = acc * 1.0489 + -0.0883
+    acc = acc * 1.0669 + -0.0700
+    acc = acc * 0.9999 + -0.0128
+    acc = acc * 0.9812 + 0.0427
+    xout = acc
+  end subroutine aux_cam_131_extra1
+  subroutine aux_cam_131_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.909
+    acc = acc * 1.1793 + -0.0472
+    acc = acc * 0.8139 + 0.0859
+    acc = acc * 1.1419 + 0.0952
+    acc = acc * 0.8975 + -0.0516
+    acc = acc * 1.1895 + -0.0638
+    acc = acc * 0.9696 + 0.0766
+    acc = acc * 0.9596 + -0.0380
+    acc = acc * 1.0382 + 0.0286
+    acc = acc * 1.0179 + -0.0106
+    acc = acc * 1.0220 + 0.0411
+    acc = acc * 1.1010 + -0.0403
+    acc = acc * 1.1077 + -0.0710
+    acc = acc * 1.0802 + -0.0982
+    acc = acc * 0.8099 + 0.0351
+    acc = acc * 0.8573 + -0.0938
+    acc = acc * 1.0082 + 0.0505
+    acc = acc * 0.8320 + -0.0305
+    acc = acc * 1.1746 + 0.0970
+    xout = acc
+  end subroutine aux_cam_131_extra2
+end module aux_cam_131

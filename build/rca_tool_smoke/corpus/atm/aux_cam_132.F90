@@ -1,0 +1,43 @@
+module aux_cam_132
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_132_0(pcols)
+  real :: diag_132_1(pcols)
+  real :: diag_132_2(pcols)
+contains
+  subroutine aux_cam_132_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.466 + 0.011
+      wrk1 = state%q(i) * 0.500 + wrk0 * 0.400
+      wrk2 = wrk0 * wrk1 + 0.044
+      wrk3 = wrk0 * 0.816 + 0.102
+      wrk4 = wrk1 * wrk3 + 0.100
+      wrk5 = wrk4 * wrk4 + 0.180
+      wrk6 = sqrt(abs(wrk4) + 0.118)
+      wrk7 = max(wrk2, 0.065)
+      diag_132_0(i) = wrk6 * 0.622
+      diag_132_1(i) = wrk4 * 0.201
+      diag_132_2(i) = wrk0 * 0.652
+    end do
+  end subroutine aux_cam_132_main
+  subroutine aux_cam_132_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.792
+    acc = acc * 0.9486 + 0.0647
+    acc = acc * 1.0711 + -0.0362
+    acc = acc * 1.1838 + -0.0667
+    xout = acc
+  end subroutine aux_cam_132_extra0
+end module aux_cam_132

@@ -1,0 +1,113 @@
+module aux_cam_133
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_133_0(pcols)
+contains
+  subroutine aux_cam_133_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.898 + 0.082
+      wrk1 = state%q(i) * 0.479 + wrk0 * 0.324
+      wrk2 = wrk0 * 0.530 + 0.073
+      wrk3 = wrk2 * wrk2 + 0.181
+      wrk4 = max(wrk2, 0.104)
+      wrk5 = sqrt(abs(wrk1) + 0.042)
+      wrk6 = max(wrk3, 0.090)
+      wrk7 = max(wrk0, 0.115)
+      wrk8 = sqrt(abs(wrk5) + 0.390)
+      wrk9 = wrk6 * wrk6 + 0.098
+      wrk10 = wrk9 * 0.265 + 0.251
+      wrk11 = wrk7 * wrk10 + 0.159
+      wrk12 = sqrt(abs(wrk10) + 0.151)
+      wrk13 = wrk8 * 0.433 + 0.206
+      diag_133_0(i) = wrk11 * 0.745
+    end do
+  end subroutine aux_cam_133_main
+  subroutine aux_cam_133_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.670
+    acc = acc * 0.9706 + -0.0896
+    acc = acc * 1.0719 + -0.0064
+    acc = acc * 1.0985 + 0.0673
+    acc = acc * 1.0272 + -0.0829
+    acc = acc * 0.8147 + -0.0888
+    acc = acc * 0.9909 + -0.0504
+    acc = acc * 1.0251 + 0.0936
+    acc = acc * 0.9216 + -0.0399
+    acc = acc * 1.1744 + 0.0740
+    acc = acc * 1.0000 + -0.0467
+    acc = acc * 0.9178 + -0.0080
+    acc = acc * 1.0576 + -0.0929
+    acc = acc * 1.0666 + -0.0384
+    acc = acc * 0.9317 + 0.0505
+    acc = acc * 0.9022 + -0.0545
+    acc = acc * 1.1964 + 0.0302
+    xout = acc
+  end subroutine aux_cam_133_extra0
+  subroutine aux_cam_133_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.285
+    acc = acc * 0.8473 + -0.0052
+    acc = acc * 1.0170 + -0.0302
+    acc = acc * 0.9483 + -0.0490
+    acc = acc * 1.1265 + -0.0051
+    acc = acc * 0.8760 + 0.0259
+    acc = acc * 1.1809 + -0.0449
+    acc = acc * 1.0328 + -0.0259
+    acc = acc * 1.1094 + 0.0982
+    acc = acc * 1.1929 + 0.0696
+    acc = acc * 0.9009 + 0.0689
+    acc = acc * 0.9040 + 0.0346
+    acc = acc * 1.0146 + -0.0668
+    acc = acc * 1.0141 + 0.0815
+    acc = acc * 1.1595 + -0.0514
+    acc = acc * 0.8069 + 0.0360
+    acc = acc * 0.8242 + 0.0651
+    xout = acc
+  end subroutine aux_cam_133_extra1
+  subroutine aux_cam_133_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.384
+    acc = acc * 1.0738 + -0.0968
+    acc = acc * 1.1707 + -0.0381
+    acc = acc * 0.8579 + 0.0584
+    acc = acc * 1.1208 + -0.0551
+    acc = acc * 0.8620 + 0.0454
+    acc = acc * 1.1480 + -0.0725
+    acc = acc * 0.9784 + -0.0366
+    acc = acc * 1.1269 + -0.0894
+    acc = acc * 1.1129 + -0.0034
+    acc = acc * 1.1606 + -0.0996
+    acc = acc * 1.0427 + 0.0476
+    acc = acc * 1.0402 + 0.0814
+    acc = acc * 0.9594 + 0.0184
+    acc = acc * 0.9243 + 0.0443
+    acc = acc * 1.0364 + -0.0933
+    acc = acc * 0.8437 + -0.0674
+    acc = acc * 0.9914 + -0.0374
+    acc = acc * 1.0693 + -0.0303
+    acc = acc * 0.8943 + -0.0906
+    xout = acc
+  end subroutine aux_cam_133_extra2
+end module aux_cam_133

@@ -1,0 +1,52 @@
+module aux_cam_134
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_134_0(pcols)
+  real :: diag_134_1(pcols)
+  real :: diag_134_2(pcols)
+contains
+  subroutine aux_cam_134_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: qrl
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.634 + 0.066
+      wrk1 = state%q(i) * 0.579 + wrk0 * 0.128
+      wrk2 = max(wrk1, 0.137)
+      wrk3 = wrk1 * 0.603 + 0.178
+      wrk4 = wrk3 * 0.667 + 0.058
+      qrl = wrk4 * 0.471 + 0.149
+      diag_134_0(i) = wrk1 * 0.577 + qrl * 0.1
+      diag_134_1(i) = wrk0 * 0.753 + diag_004_0(i) * 0.370
+      diag_134_2(i) = wrk2 * 0.313 + diag_004_0(i) * 0.117
+    end do
+  end subroutine aux_cam_134_main
+  subroutine aux_cam_134_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.796
+    acc = acc * 1.1868 + 0.0144
+    acc = acc * 0.8668 + -0.0704
+    acc = acc * 0.9589 + -0.0065
+    xout = acc
+  end subroutine aux_cam_134_extra0
+  subroutine aux_cam_134_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.248
+    acc = acc * 0.8222 + -0.0470
+    acc = acc * 0.8626 + -0.0315
+    acc = acc * 1.1132 + 0.0683
+    acc = acc * 1.0483 + 0.0941
+    acc = acc * 0.9639 + 0.0626
+    xout = acc
+  end subroutine aux_cam_134_extra1
+end module aux_cam_134

@@ -1,0 +1,61 @@
+module aux_cam_135
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_009, only: diag_009_0
+  use aux_cam_027, only: diag_027_0
+  implicit none
+  real :: diag_135_0(pcols)
+contains
+  subroutine aux_cam_135_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.108 + 0.016
+      wrk1 = state%q(i) * 0.471 + wrk0 * 0.385
+      wrk2 = max(wrk0, 0.001)
+      wrk3 = wrk0 * wrk2 + 0.117
+      wrk4 = max(wrk1, 0.074)
+      omega = wrk4 * 0.356 + 0.057
+      diag_135_0(i) = wrk2 * 0.699 + diag_002_0(i) * 0.302 + omega * 0.1
+    end do
+  end subroutine aux_cam_135_main
+  subroutine aux_cam_135_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.780
+    acc = acc * 0.9056 + 0.0710
+    acc = acc * 1.1510 + 0.0079
+    acc = acc * 0.9467 + 0.0425
+    acc = acc * 1.0310 + 0.0898
+    acc = acc * 1.1934 + 0.0662
+    xout = acc
+  end subroutine aux_cam_135_extra0
+  subroutine aux_cam_135_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.933
+    acc = acc * 0.8985 + 0.0015
+    acc = acc * 0.9602 + -0.0123
+    acc = acc * 0.9676 + 0.0344
+    acc = acc * 0.9659 + 0.0525
+    xout = acc
+  end subroutine aux_cam_135_extra1
+  subroutine aux_cam_135_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.005
+    acc = acc * 0.8273 + -0.0163
+    acc = acc * 1.0914 + 0.0139
+    acc = acc * 1.0571 + -0.0346
+    xout = acc
+  end subroutine aux_cam_135_extra2
+end module aux_cam_135

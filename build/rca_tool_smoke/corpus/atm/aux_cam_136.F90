@@ -1,0 +1,30 @@
+module aux_cam_136
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_003, only: diag_003_0
+  implicit none
+  real :: diag_136_0(pcols)
+  real :: diag_136_1(pcols)
+  real :: diag_136_2(pcols)
+contains
+  subroutine aux_cam_136_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.344 + 0.162
+      wrk1 = state%q(i) * 0.311 + wrk0 * 0.183
+      wrk2 = sqrt(abs(wrk0) + 0.373)
+      wrk3 = wrk1 * 0.766 + 0.006
+      wrk4 = sqrt(abs(wrk2) + 0.278)
+      omega = wrk4 * 0.202 + 0.016
+      diag_136_0(i) = wrk1 * 0.233 + diag_003_0(i) * 0.169 + omega * 0.1
+      diag_136_1(i) = wrk3 * 0.388 + diag_003_0(i) * 0.347
+      diag_136_2(i) = wrk2 * 0.453 + diag_003_0(i) * 0.360
+    end do
+  end subroutine aux_cam_136_main
+end module aux_cam_136

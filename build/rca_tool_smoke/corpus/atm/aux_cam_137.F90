@@ -1,0 +1,47 @@
+module aux_cam_137
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_000, only: diag_000_0
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_137_0(pcols)
+  real :: diag_137_1(pcols)
+  real :: diag_137_2(pcols)
+contains
+  subroutine aux_cam_137_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: es
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.406 + 0.015
+      wrk1 = state%q(i) * 0.781 + wrk0 * 0.359
+      wrk2 = wrk1 * wrk1 + 0.054
+      wrk3 = sqrt(abs(wrk2) + 0.442)
+      wrk4 = wrk3 * wrk3 + 0.122
+      wrk5 = max(wrk1, 0.130)
+      wrk6 = wrk2 * 0.832 + 0.239
+      es = wrk6 * 0.539 + 0.125
+      diag_137_0(i) = wrk1 * 0.496 + diag_001_0(i) * 0.310 + es * 0.1
+      diag_137_1(i) = wrk0 * 0.414 + diag_001_0(i) * 0.097
+      diag_137_2(i) = wrk6 * 0.879 + diag_000_0(i) * 0.051
+    end do
+  end subroutine aux_cam_137_main
+  subroutine aux_cam_137_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.104
+    acc = acc * 0.9464 + 0.0316
+    acc = acc * 0.8384 + 0.0284
+    acc = acc * 0.8040 + -0.0089
+    acc = acc * 1.0017 + 0.0647
+    xout = acc
+  end subroutine aux_cam_137_extra0
+end module aux_cam_137

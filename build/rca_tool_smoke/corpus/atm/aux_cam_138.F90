@@ -1,0 +1,154 @@
+module aux_cam_138
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_005, only: diag_005_0
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_138_0(pcols)
+  real :: diag_138_1(pcols)
+contains
+  subroutine aux_cam_138_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.381 + 0.020
+      wrk1 = state%q(i) * 0.701 + wrk0 * 0.338
+      wrk2 = max(wrk0, 0.133)
+      wrk3 = wrk0 * wrk0 + 0.067
+      wrk4 = sqrt(abs(wrk0) + 0.148)
+      wrk5 = max(wrk2, 0.174)
+      wrk6 = wrk3 * 0.733 + 0.025
+      wrk7 = wrk4 * wrk4 + 0.123
+      wrk8 = sqrt(abs(wrk3) + 0.070)
+      wrk9 = wrk7 * 0.840 + 0.223
+      diag_138_0(i) = wrk4 * 0.638
+      diag_138_1(i) = wrk3 * 0.812
+    end do
+  end subroutine aux_cam_138_main
+  subroutine aux_cam_138_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.472
+    acc = acc * 0.9921 + -0.0860
+    acc = acc * 0.8759 + 0.0145
+    acc = acc * 1.0458 + 0.0601
+    acc = acc * 0.8862 + 0.0202
+    acc = acc * 1.0587 + -0.0234
+    acc = acc * 1.0576 + 0.0645
+    acc = acc * 1.1124 + -0.0355
+    acc = acc * 1.1022 + 0.0855
+    acc = acc * 0.9716 + 0.0784
+    xout = acc
+  end subroutine aux_cam_138_extra0
+  subroutine aux_cam_138_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.553
+    acc = acc * 0.9755 + -0.0219
+    acc = acc * 0.8030 + -0.0585
+    acc = acc * 0.9854 + -0.0289
+    acc = acc * 0.8057 + -0.0727
+    acc = acc * 0.9689 + -0.0318
+    acc = acc * 1.1197 + -0.0817
+    acc = acc * 0.8821 + 0.0811
+    acc = acc * 1.0391 + -0.0857
+    acc = acc * 1.1320 + 0.0130
+    acc = acc * 0.9949 + 0.0585
+    acc = acc * 1.1283 + -0.0498
+    acc = acc * 1.1940 + -0.0905
+    acc = acc * 1.1598 + -0.0129
+    acc = acc * 1.0034 + -0.0187
+    acc = acc * 1.1734 + -0.0373
+    acc = acc * 0.8300 + 0.0960
+    xout = acc
+  end subroutine aux_cam_138_extra1
+  subroutine aux_cam_138_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.105
+    acc = acc * 0.9560 + 0.0044
+    acc = acc * 1.1503 + -0.0567
+    acc = acc * 1.0470 + -0.0569
+    acc = acc * 1.0701 + -0.0769
+    acc = acc * 0.9143 + 0.0081
+    acc = acc * 1.1203 + -0.0623
+    acc = acc * 1.0950 + 0.0291
+    acc = acc * 0.8187 + -0.0887
+    acc = acc * 1.1483 + 0.0332
+    acc = acc * 1.1383 + 0.0008
+    acc = acc * 1.1515 + 0.0665
+    acc = acc * 1.0769 + -0.0488
+    acc = acc * 1.0494 + -0.0367
+    acc = acc * 1.0743 + -0.0383
+    acc = acc * 1.1507 + -0.0274
+    acc = acc * 0.8423 + -0.0640
+    xout = acc
+  end subroutine aux_cam_138_extra2
+  subroutine aux_cam_138_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.806
+    acc = acc * 0.9733 + -0.0492
+    acc = acc * 0.9888 + -0.0092
+    acc = acc * 0.9453 + -0.0842
+    acc = acc * 0.9030 + 0.0828
+    acc = acc * 1.0044 + 0.0419
+    acc = acc * 1.0722 + -0.0296
+    acc = acc * 1.1108 + 0.0450
+    acc = acc * 0.8602 + 0.0849
+    acc = acc * 1.0646 + 0.0101
+    acc = acc * 1.1814 + -0.0632
+    acc = acc * 1.0691 + -0.0316
+    xout = acc
+  end subroutine aux_cam_138_extra3
+  subroutine aux_cam_138_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.375
+    acc = acc * 1.0951 + 0.0663
+    acc = acc * 0.9607 + 0.0750
+    acc = acc * 0.9960 + -0.0235
+    acc = acc * 1.1764 + -0.0111
+    acc = acc * 0.9912 + -0.0808
+    acc = acc * 0.8677 + 0.0617
+    acc = acc * 0.8751 + 0.0884
+    acc = acc * 0.9297 + 0.0142
+    acc = acc * 1.0657 + -0.0376
+    acc = acc * 1.0467 + -0.0711
+    acc = acc * 1.0806 + -0.0841
+    xout = acc
+  end subroutine aux_cam_138_extra4
+  subroutine aux_cam_138_extra5(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.532
+    acc = acc * 1.0589 + -0.0181
+    acc = acc * 0.8379 + -0.0127
+    acc = acc * 1.1290 + 0.0814
+    acc = acc * 0.9789 + -0.0222
+    acc = acc * 1.0433 + -0.0580
+    acc = acc * 1.0848 + 0.0210
+    acc = acc * 1.1136 + -0.0310
+    acc = acc * 1.1321 + 0.0114
+    acc = acc * 0.9497 + -0.0646
+    acc = acc * 1.1936 + -0.0167
+    acc = acc * 0.8460 + -0.0869
+    acc = acc * 1.0389 + -0.0220
+    xout = acc
+  end subroutine aux_cam_138_extra5
+end module aux_cam_138

@@ -1,0 +1,97 @@
+module aux_cam_139
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_139_0(pcols)
+contains
+  subroutine aux_cam_139_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: wrk14
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.845 + 0.104
+      wrk1 = state%q(i) * 0.134 + wrk0 * 0.360
+      wrk2 = wrk1 * wrk1 + 0.032
+      wrk3 = max(wrk0, 0.192)
+      wrk4 = sqrt(abs(wrk0) + 0.452)
+      wrk5 = sqrt(abs(wrk3) + 0.394)
+      wrk6 = sqrt(abs(wrk5) + 0.066)
+      wrk7 = wrk1 * wrk6 + 0.095
+      wrk8 = wrk2 * 0.826 + 0.268
+      wrk9 = wrk7 * wrk7 + 0.191
+      wrk10 = sqrt(abs(wrk3) + 0.104)
+      wrk11 = wrk1 * 0.868 + 0.228
+      wrk12 = wrk10 * 0.729 + 0.242
+      wrk13 = max(wrk3, 0.061)
+      wrk14 = wrk10 * 0.874 + 0.216
+      diag_139_0(i) = wrk2 * 0.248
+    end do
+  end subroutine aux_cam_139_main
+  subroutine aux_cam_139_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.560
+    acc = acc * 1.1675 + 0.0144
+    acc = acc * 1.1962 + 0.0704
+    acc = acc * 1.1935 + -0.0269
+    acc = acc * 0.8889 + -0.0343
+    acc = acc * 0.9029 + 0.0947
+    acc = acc * 0.9653 + -0.0325
+    acc = acc * 0.9292 + 0.0731
+    acc = acc * 1.1249 + 0.0747
+    acc = acc * 1.0815 + 0.0648
+    xout = acc
+  end subroutine aux_cam_139_extra0
+  subroutine aux_cam_139_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.333
+    acc = acc * 0.9323 + -0.0395
+    acc = acc * 0.9493 + -0.0853
+    acc = acc * 1.0820 + 0.0073
+    acc = acc * 1.1779 + 0.0417
+    acc = acc * 0.8056 + -0.0894
+    acc = acc * 1.1598 + 0.0545
+    acc = acc * 0.8350 + -0.0908
+    acc = acc * 0.9789 + 0.0120
+    xout = acc
+  end subroutine aux_cam_139_extra1
+  subroutine aux_cam_139_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.612
+    acc = acc * 0.8854 + -0.0798
+    acc = acc * 0.9972 + 0.0144
+    acc = acc * 1.0634 + 0.0890
+    acc = acc * 1.0803 + -0.0124
+    acc = acc * 0.9162 + 0.0281
+    acc = acc * 1.0387 + -0.0525
+    acc = acc * 1.0172 + -0.0944
+    acc = acc * 0.8893 + 0.0003
+    acc = acc * 0.9230 + 0.0468
+    acc = acc * 1.0670 + 0.0933
+    acc = acc * 1.0090 + 0.0676
+    acc = acc * 1.0445 + -0.0971
+    acc = acc * 1.0164 + 0.0480
+    acc = acc * 1.1220 + 0.0700
+    acc = acc * 0.9521 + 0.0580
+    acc = acc * 1.0933 + 0.0768
+    xout = acc
+  end subroutine aux_cam_139_extra2
+end module aux_cam_139

@@ -1,0 +1,38 @@
+module aux_cam_140
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_140_0(pcols)
+  real :: diag_140_1(pcols)
+contains
+  subroutine aux_cam_140_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.411 + 0.131
+      wrk1 = state%q(i) * 0.661 + wrk0 * 0.124
+      wrk2 = max(wrk1, 0.040)
+      wrk3 = wrk0 * wrk0 + 0.065
+      wrk4 = wrk3 * 0.838 + 0.041
+      diag_140_0(i) = wrk4 * 0.671
+      diag_140_1(i) = wrk2 * 0.817
+    end do
+  end subroutine aux_cam_140_main
+  subroutine aux_cam_140_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.842
+    acc = acc * 0.8420 + -0.0119
+    acc = acc * 1.0078 + 0.0385
+    acc = acc * 1.0970 + 0.0371
+    acc = acc * 0.8386 + -0.0458
+    acc = acc * 1.1312 + -0.0073
+    acc = acc * 1.0171 + 0.0184
+    xout = acc
+  end subroutine aux_cam_140_extra0
+end module aux_cam_140

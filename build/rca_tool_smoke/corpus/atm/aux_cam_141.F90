@@ -1,0 +1,52 @@
+module aux_cam_141
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  implicit none
+  real :: diag_141_0(pcols)
+contains
+  subroutine aux_cam_141_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.446 + 0.143
+      wrk1 = state%q(i) * 0.258 + wrk0 * 0.332
+      wrk2 = wrk0 * 0.895 + 0.135
+      wrk3 = max(wrk1, 0.131)
+      wrk4 = max(wrk1, 0.121)
+      wrk5 = sqrt(abs(wrk0) + 0.113)
+      wrk6 = sqrt(abs(wrk2) + 0.333)
+      tref = wrk6 * 0.773 + 0.015
+      diag_141_0(i) = wrk6 * 0.858 + diag_001_0(i) * 0.159 + tref * 0.1
+    end do
+  end subroutine aux_cam_141_main
+  subroutine aux_cam_141_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.816
+    acc = acc * 1.0407 + 0.0320
+    acc = acc * 1.0249 + 0.0454
+    acc = acc * 0.9241 + 0.0230
+    acc = acc * 0.8473 + 0.0717
+    xout = acc
+  end subroutine aux_cam_141_extra0
+  subroutine aux_cam_141_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.258
+    acc = acc * 0.9667 + -0.0878
+    acc = acc * 0.8100 + 0.0975
+    acc = acc * 0.8616 + 0.0082
+    acc = acc * 1.1246 + 0.0257
+    xout = acc
+  end subroutine aux_cam_141_extra1
+end module aux_cam_141

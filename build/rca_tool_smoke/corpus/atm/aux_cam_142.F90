@@ -1,0 +1,57 @@
+module aux_cam_142
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_000, only: diag_000_0
+  implicit none
+  real :: diag_142_0(pcols)
+  real :: diag_142_1(pcols)
+  real :: diag_142_2(pcols)
+contains
+  subroutine aux_cam_142_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.771 + 0.041
+      wrk1 = state%q(i) * 0.562 + wrk0 * 0.318
+      wrk2 = sqrt(abs(wrk1) + 0.042)
+      wrk3 = max(wrk2, 0.092)
+      diag_142_0(i) = wrk2 * 0.554 + diag_000_0(i) * 0.302
+      diag_142_1(i) = wrk1 * 0.544
+      diag_142_2(i) = wrk3 * 0.677 + diag_000_0(i) * 0.200
+    end do
+  end subroutine aux_cam_142_main
+  subroutine aux_cam_142_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.427
+    acc = acc * 1.1149 + -0.0939
+    acc = acc * 0.9453 + -0.0970
+    xout = acc
+  end subroutine aux_cam_142_extra0
+  subroutine aux_cam_142_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.844
+    acc = acc * 0.8946 + 0.0542
+    acc = acc * 0.9687 + -0.0668
+    xout = acc
+  end subroutine aux_cam_142_extra1
+  subroutine aux_cam_142_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.701
+    acc = acc * 0.8510 + 0.0350
+    acc = acc * 0.8857 + 0.0199
+    acc = acc * 1.0159 + 0.0266
+    acc = acc * 1.0968 + -0.0943
+    acc = acc * 0.9993 + 0.0283
+    xout = acc
+  end subroutine aux_cam_142_extra2
+end module aux_cam_142

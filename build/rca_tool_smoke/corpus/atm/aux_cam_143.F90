@@ -1,0 +1,23 @@
+module aux_cam_143
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_143_0(pcols)
+contains
+  subroutine aux_cam_143_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.444 + 0.051
+      wrk1 = state%q(i) * 0.226 + wrk0 * 0.382
+      wrk2 = wrk1 * 0.368 + 0.009
+      wrk3 = max(wrk0, 0.123)
+      wrk4 = wrk2 * wrk3 + 0.090
+      diag_143_0(i) = wrk0 * 0.529
+    end do
+  end subroutine aux_cam_143_main
+end module aux_cam_143

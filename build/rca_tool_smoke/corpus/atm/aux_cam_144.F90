@@ -1,0 +1,26 @@
+module aux_cam_144
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_008, only: diag_008_0
+  use aux_cam_031, only: diag_031_0
+  implicit none
+  real :: diag_144_0(pcols)
+contains
+  subroutine aux_cam_144_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.420 + 0.024
+      wrk1 = state%q(i) * 0.468 + wrk0 * 0.264
+      wrk2 = wrk1 * wrk1 + 0.128
+      wrk3 = max(wrk2, 0.143)
+      wrk4 = sqrt(abs(wrk3) + 0.369)
+      diag_144_0(i) = wrk4 * 0.856 + diag_008_0(i) * 0.353
+    end do
+  end subroutine aux_cam_144_main
+end module aux_cam_144

@@ -1,0 +1,53 @@
+module aux_cam_145
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_145_0(pcols)
+contains
+  subroutine aux_cam_145_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.609 + 0.034
+      wrk1 = state%q(i) * 0.231 + wrk0 * 0.331
+      wrk2 = max(wrk0, 0.082)
+      wrk3 = wrk0 * 0.457 + 0.134
+      wrk4 = wrk0 * wrk3 + 0.095
+      wrk5 = max(wrk4, 0.087)
+      diag_145_0(i) = wrk3 * 0.308
+    end do
+  end subroutine aux_cam_145_main
+  subroutine aux_cam_145_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.017
+    acc = acc * 0.9155 + -0.0088
+    acc = acc * 0.8819 + 0.0430
+    acc = acc * 1.1391 + 0.0078
+    xout = acc
+  end subroutine aux_cam_145_extra0
+  subroutine aux_cam_145_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.327
+    acc = acc * 0.8122 + -0.0456
+    acc = acc * 0.9386 + 0.0916
+    xout = acc
+  end subroutine aux_cam_145_extra1
+  subroutine aux_cam_145_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.445
+    acc = acc * 0.8220 + 0.0584
+    acc = acc * 0.8063 + -0.0494
+    xout = acc
+  end subroutine aux_cam_145_extra2
+end module aux_cam_145

@@ -1,0 +1,42 @@
+module aux_cam_146
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_021, only: diag_021_0
+  implicit none
+  real :: diag_146_0(pcols)
+contains
+  subroutine aux_cam_146_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.468 + 0.153
+      wrk1 = state%q(i) * 0.523 + wrk0 * 0.376
+      wrk2 = wrk0 * 0.661 + 0.049
+      wrk3 = wrk0 * wrk2 + 0.001
+      wrk4 = max(wrk1, 0.187)
+      wrk5 = sqrt(abs(wrk3) + 0.168)
+      wrk6 = wrk3 * wrk3 + 0.039
+      wrk7 = wrk3 * 0.648 + 0.148
+      diag_146_0(i) = wrk1 * 0.559 + diag_021_0(i) * 0.349
+    end do
+  end subroutine aux_cam_146_main
+  subroutine aux_cam_146_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.898
+    acc = acc * 0.8208 + -0.0465
+    acc = acc * 0.8020 + -0.0782
+    acc = acc * 1.1451 + 0.0899
+    acc = acc * 0.8020 + 0.0395
+    acc = acc * 0.8759 + -0.0911
+    xout = acc
+  end subroutine aux_cam_146_extra0
+end module aux_cam_146

@@ -1,0 +1,54 @@
+module aux_cam_147
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_010, only: diag_010_0
+  implicit none
+  real :: diag_147_0(pcols)
+  real :: diag_147_1(pcols)
+  real :: diag_147_2(pcols)
+contains
+  subroutine aux_cam_147_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: u
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.420 + 0.058
+      wrk1 = state%q(i) * 0.730 + wrk0 * 0.161
+      wrk2 = max(wrk1, 0.175)
+      wrk3 = sqrt(abs(wrk0) + 0.114)
+      wrk4 = max(wrk0, 0.083)
+      wrk5 = sqrt(abs(wrk3) + 0.253)
+      u = wrk5 * 0.717 + 0.026
+      diag_147_0(i) = wrk4 * 0.559 + diag_010_0(i) * 0.303 + u * 0.1
+      diag_147_1(i) = wrk3 * 0.451 + diag_010_0(i) * 0.211
+      diag_147_2(i) = wrk4 * 0.608 + diag_010_0(i) * 0.180
+    end do
+  end subroutine aux_cam_147_main
+  subroutine aux_cam_147_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.134
+    acc = acc * 1.1308 + -0.0906
+    acc = acc * 0.9882 + 0.0264
+    acc = acc * 1.1494 + 0.0613
+    acc = acc * 0.8285 + -0.0697
+    acc = acc * 0.8015 + -0.0727
+    xout = acc
+  end subroutine aux_cam_147_extra0
+  subroutine aux_cam_147_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.280
+    acc = acc * 0.9505 + 0.0476
+    acc = acc * 1.1200 + -0.0481
+    acc = acc * 1.0204 + 0.0092
+    xout = acc
+  end subroutine aux_cam_147_extra1
+end module aux_cam_147

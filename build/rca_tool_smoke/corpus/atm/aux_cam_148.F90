@@ -1,0 +1,45 @@
+module aux_cam_148
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_015, only: diag_015_0
+  use aux_lnd_024, only: diag_024_0
+  implicit none
+  real :: diag_148_0(pcols)
+  real :: diag_148_1(pcols)
+  real :: diag_148_2(pcols)
+contains
+  subroutine aux_cam_148_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: dum
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.826 + 0.172
+      wrk1 = state%q(i) * 0.662 + wrk0 * 0.164
+      wrk2 = sqrt(abs(wrk1) + 0.432)
+      wrk3 = sqrt(abs(wrk2) + 0.157)
+      wrk4 = sqrt(abs(wrk2) + 0.465)
+      wrk5 = sqrt(abs(wrk4) + 0.188)
+      wrk6 = wrk4 * wrk4 + 0.163
+      dum = wrk6 * 0.284 + 0.079
+      diag_148_0(i) = wrk4 * 0.342 + diag_002_0(i) * 0.257 + dum * 0.1
+      diag_148_1(i) = wrk0 * 0.201 + diag_015_0(i) * 0.368
+      diag_148_2(i) = wrk6 * 0.587 + diag_002_0(i) * 0.310
+    end do
+  end subroutine aux_cam_148_main
+  subroutine aux_cam_148_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.365
+    acc = acc * 1.0764 + 0.0296
+    acc = acc * 0.8829 + 0.0973
+    xout = acc
+  end subroutine aux_cam_148_extra0
+end module aux_cam_148

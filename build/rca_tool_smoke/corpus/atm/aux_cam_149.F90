@@ -1,0 +1,58 @@
+module aux_cam_149
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_149_0(pcols)
+  real :: diag_149_1(pcols)
+contains
+  subroutine aux_cam_149_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.139 + 0.115
+      wrk1 = state%q(i) * 0.345 + wrk0 * 0.184
+      wrk2 = wrk1 * wrk1 + 0.149
+      wrk3 = sqrt(abs(wrk0) + 0.404)
+      wrk4 = sqrt(abs(wrk0) + 0.237)
+      diag_149_0(i) = wrk1 * 0.614
+      diag_149_1(i) = wrk3 * 0.333
+    end do
+  end subroutine aux_cam_149_main
+  subroutine aux_cam_149_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.410
+    acc = acc * 0.9288 + 0.0725
+    acc = acc * 0.8601 + -0.0438
+    acc = acc * 1.1226 + 0.0630
+    xout = acc
+  end subroutine aux_cam_149_extra0
+  subroutine aux_cam_149_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.755
+    acc = acc * 1.0508 + -0.0276
+    acc = acc * 1.0936 + 0.0031
+    acc = acc * 1.1966 + 0.0794
+    acc = acc * 1.1309 + 0.0773
+    acc = acc * 0.9675 + -0.0333
+    acc = acc * 0.8354 + -0.0281
+    xout = acc
+  end subroutine aux_cam_149_extra1
+  subroutine aux_cam_149_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.579
+    acc = acc * 0.9089 + -0.0350
+    acc = acc * 1.0088 + 0.0622
+    acc = acc * 1.0527 + -0.0066
+    xout = acc
+  end subroutine aux_cam_149_extra2
+end module aux_cam_149

@@ -1,0 +1,47 @@
+module aux_cam_150
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  use aux_cam_017, only: diag_017_0
+  implicit none
+  real :: diag_150_0(pcols)
+  real :: diag_150_1(pcols)
+contains
+  subroutine aux_cam_150_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: dum
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.368 + 0.170
+      wrk1 = state%q(i) * 0.126 + wrk0 * 0.334
+      wrk2 = wrk1 * wrk1 + 0.195
+      wrk3 = max(wrk2, 0.074)
+      dum = wrk3 * 0.325 + 0.059
+      diag_150_0(i) = wrk0 * 0.420 + dum * 0.1
+      diag_150_1(i) = wrk1 * 0.680 + diag_017_0(i) * 0.201
+    end do
+  end subroutine aux_cam_150_main
+  subroutine aux_cam_150_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.769
+    acc = acc * 0.9586 + 0.0880
+    acc = acc * 1.0546 + -0.0163
+    acc = acc * 0.8275 + 0.0553
+    acc = acc * 0.9564 + -0.0949
+    xout = acc
+  end subroutine aux_cam_150_extra0
+  subroutine aux_cam_150_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.518
+    acc = acc * 1.0067 + -0.0217
+    acc = acc * 1.0462 + 0.0670
+    xout = acc
+  end subroutine aux_cam_150_extra1
+end module aux_cam_150

@@ -1,0 +1,32 @@
+module aux_cam_151
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_021, only: diag_021_0
+  implicit none
+  real :: diag_151_0(pcols)
+  real :: diag_151_1(pcols)
+  real :: diag_151_2(pcols)
+contains
+  subroutine aux_cam_151_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.488 + 0.063
+      wrk1 = state%q(i) * 0.432 + wrk0 * 0.149
+      wrk2 = wrk0 * 0.684 + 0.255
+      wrk3 = wrk1 * wrk1 + 0.136
+      wrk4 = max(wrk0, 0.104)
+      wrk5 = max(wrk4, 0.114)
+      tref = wrk5 * 0.394 + 0.003
+      diag_151_0(i) = wrk4 * 0.551 + diag_021_0(i) * 0.254 + tref * 0.1
+      diag_151_1(i) = wrk5 * 0.338 + diag_021_0(i) * 0.394
+      diag_151_2(i) = wrk5 * 0.390 + diag_021_0(i) * 0.345
+    end do
+  end subroutine aux_cam_151_main
+end module aux_cam_151

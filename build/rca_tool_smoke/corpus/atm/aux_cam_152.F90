@@ -1,0 +1,39 @@
+module aux_cam_152
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_023, only: diag_023_0
+  implicit none
+  real :: diag_152_0(pcols)
+  real :: diag_152_1(pcols)
+contains
+  subroutine aux_cam_152_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.197 + 0.147
+      wrk1 = state%q(i) * 0.357 + wrk0 * 0.180
+      wrk2 = wrk0 * wrk1 + 0.076
+      wrk3 = wrk2 * wrk2 + 0.057
+      wrk4 = sqrt(abs(wrk3) + 0.227)
+      wrk5 = wrk3 * wrk3 + 0.141
+      wrk6 = max(wrk0, 0.019)
+      diag_152_0(i) = wrk1 * 0.585 + diag_023_0(i) * 0.193
+      diag_152_1(i) = wrk1 * 0.881 + diag_023_0(i) * 0.350
+    end do
+  end subroutine aux_cam_152_main
+  subroutine aux_cam_152_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.658
+    acc = acc * 0.9502 + -0.0050
+    acc = acc * 0.9322 + 0.0522
+    xout = acc
+  end subroutine aux_cam_152_extra0
+end module aux_cam_152

@@ -1,0 +1,59 @@
+module aux_cam_153
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_153_0(pcols)
+  real :: diag_153_1(pcols)
+  real :: diag_153_2(pcols)
+contains
+  subroutine aux_cam_153_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.536 + 0.022
+      wrk1 = state%q(i) * 0.602 + wrk0 * 0.385
+      wrk2 = wrk0 * 0.720 + 0.202
+      wrk3 = max(wrk0, 0.066)
+      wrk4 = wrk3 * wrk3 + 0.146
+      wrk5 = sqrt(abs(wrk4) + 0.083)
+      wrk6 = wrk1 * 0.708 + 0.007
+      wrk7 = wrk4 * wrk4 + 0.071
+      diag_153_0(i) = wrk3 * 0.607 + diag_012_0(i) * 0.191
+      diag_153_1(i) = wrk5 * 0.867 + diag_012_0(i) * 0.086
+      diag_153_2(i) = wrk1 * 0.540 + diag_012_0(i) * 0.086
+    end do
+  end subroutine aux_cam_153_main
+  subroutine aux_cam_153_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.795
+    acc = acc * 0.9232 + -0.0962
+    acc = acc * 0.9400 + 0.0425
+    acc = acc * 1.1015 + 0.0149
+    acc = acc * 1.1996 + 0.0554
+    acc = acc * 0.9705 + 0.0777
+    xout = acc
+  end subroutine aux_cam_153_extra0
+  subroutine aux_cam_153_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.579
+    acc = acc * 0.9526 + 0.0559
+    acc = acc * 0.8864 + -0.0571
+    acc = acc * 0.9498 + 0.0158
+    acc = acc * 0.9723 + -0.0753
+    acc = acc * 0.9560 + -0.0095
+    acc = acc * 0.8008 + 0.0805
+    xout = acc
+  end subroutine aux_cam_153_extra1
+end module aux_cam_153

@@ -1,0 +1,29 @@
+module aux_cam_154
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  use aux_cam_006, only: diag_006_0
+  implicit none
+  real :: diag_154_0(pcols)
+  real :: diag_154_1(pcols)
+  real :: diag_154_2(pcols)
+contains
+  subroutine aux_cam_154_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.173 + 0.197
+      wrk1 = state%q(i) * 0.221 + wrk0 * 0.138
+      wrk2 = sqrt(abs(wrk0) + 0.453)
+      wrk3 = wrk2 * 0.702 + 0.289
+      wrk4 = sqrt(abs(wrk3) + 0.287)
+      diag_154_0(i) = wrk2 * 0.540 + diag_015_0(i) * 0.093
+      diag_154_1(i) = wrk2 * 0.497 + diag_006_0(i) * 0.259
+      diag_154_2(i) = wrk4 * 0.351
+    end do
+  end subroutine aux_cam_154_main
+end module aux_cam_154

@@ -1,0 +1,39 @@
+module aux_cam_155
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_lnd_030, only: diag_030_0
+  implicit none
+  real :: diag_155_0(pcols)
+  real :: diag_155_1(pcols)
+  real :: diag_155_2(pcols)
+contains
+  subroutine aux_cam_155_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.528 + 0.037
+      wrk1 = state%q(i) * 0.213 + wrk0 * 0.234
+      wrk2 = wrk1 * wrk1 + 0.158
+      wrk3 = max(wrk1, 0.162)
+      diag_155_0(i) = wrk2 * 0.883 + diag_030_0(i) * 0.157
+      diag_155_1(i) = wrk3 * 0.214 + diag_030_0(i) * 0.155
+      diag_155_2(i) = wrk3 * 0.680 + diag_030_0(i) * 0.061
+    end do
+  end subroutine aux_cam_155_main
+  subroutine aux_cam_155_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.164
+    acc = acc * 0.8428 + -0.0433
+    acc = acc * 0.9643 + 0.0141
+    acc = acc * 0.8038 + -0.0163
+    acc = acc * 0.9611 + -0.0792
+    acc = acc * 1.1797 + 0.0583
+    acc = acc * 0.9926 + 0.0841
+    xout = acc
+  end subroutine aux_cam_155_extra0
+end module aux_cam_155

@@ -1,0 +1,54 @@
+module aux_cam_156
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_039, only: diag_039_0
+  implicit none
+  real :: diag_156_0(pcols)
+contains
+  subroutine aux_cam_156_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.831 + 0.141
+      wrk1 = state%q(i) * 0.547 + wrk0 * 0.129
+      wrk2 = wrk1 * wrk1 + 0.161
+      wrk3 = wrk2 * wrk2 + 0.161
+      wrk4 = max(wrk1, 0.163)
+      wrk5 = max(wrk3, 0.095)
+      wrk6 = max(wrk4, 0.038)
+      diag_156_0(i) = wrk2 * 0.477
+    end do
+  end subroutine aux_cam_156_main
+  subroutine aux_cam_156_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.464
+    acc = acc * 1.1783 + -0.0424
+    acc = acc * 0.8006 + -0.0411
+    acc = acc * 1.1235 + -0.0396
+    acc = acc * 0.9372 + -0.0126
+    xout = acc
+  end subroutine aux_cam_156_extra0
+  subroutine aux_cam_156_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.550
+    acc = acc * 0.9419 + -0.0897
+    acc = acc * 1.0640 + 0.0671
+    acc = acc * 0.9598 + -0.0111
+    acc = acc * 0.9718 + 0.0886
+    acc = acc * 1.0292 + 0.0909
+    acc = acc * 1.0340 + -0.0075
+    xout = acc
+  end subroutine aux_cam_156_extra1
+end module aux_cam_156

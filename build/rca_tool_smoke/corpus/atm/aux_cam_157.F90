@@ -1,0 +1,47 @@
+module aux_cam_157
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_lnd_024, only: diag_024_0
+  use aux_cam_016, only: diag_016_0
+  implicit none
+  real :: diag_157_0(pcols)
+contains
+  subroutine aux_cam_157_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.695 + 0.177
+      wrk1 = state%q(i) * 0.774 + wrk0 * 0.215
+      wrk2 = wrk1 * wrk1 + 0.148
+      wrk3 = wrk2 * 0.231 + 0.057
+      wrk4 = wrk2 * 0.577 + 0.199
+      omega = wrk4 * 0.745 + 0.192
+      diag_157_0(i) = wrk2 * 0.724 + omega * 0.1
+    end do
+  end subroutine aux_cam_157_main
+  subroutine aux_cam_157_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.534
+    acc = acc * 1.1856 + -0.0174
+    acc = acc * 1.0728 + 0.0266
+    acc = acc * 1.0166 + 0.0904
+    xout = acc
+  end subroutine aux_cam_157_extra0
+  subroutine aux_cam_157_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.413
+    acc = acc * 1.1510 + -0.0496
+    acc = acc * 1.0793 + 0.0594
+    acc = acc * 0.9225 + 0.0173
+    xout = acc
+  end subroutine aux_cam_157_extra1
+end module aux_cam_157

@@ -1,0 +1,62 @@
+module aux_cam_158
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_015, only: diag_015_0
+  implicit none
+  real :: diag_158_0(pcols)
+contains
+  subroutine aux_cam_158_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.118 + 0.076
+      wrk1 = state%q(i) * 0.292 + wrk0 * 0.200
+      wrk2 = max(wrk1, 0.154)
+      wrk3 = wrk1 * wrk2 + 0.125
+      wrk4 = sqrt(abs(wrk1) + 0.028)
+      wrk5 = wrk4 * 0.298 + 0.091
+      diag_158_0(i) = wrk4 * 0.748
+    end do
+  end subroutine aux_cam_158_main
+  subroutine aux_cam_158_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.184
+    acc = acc * 0.9135 + 0.0586
+    acc = acc * 1.0519 + 0.0529
+    acc = acc * 0.9105 + 0.0136
+    acc = acc * 0.9769 + -0.0518
+    acc = acc * 0.8509 + 0.0142
+    xout = acc
+  end subroutine aux_cam_158_extra0
+  subroutine aux_cam_158_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.525
+    acc = acc * 0.9768 + 0.0548
+    acc = acc * 0.9275 + 0.0553
+    acc = acc * 1.0516 + 0.0834
+    acc = acc * 0.8591 + 0.0972
+    acc = acc * 1.0753 + -0.0382
+    xout = acc
+  end subroutine aux_cam_158_extra1
+  subroutine aux_cam_158_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.359
+    acc = acc * 1.0460 + -0.0071
+    acc = acc * 1.1005 + 0.0967
+    acc = acc * 1.1922 + 0.0797
+    acc = acc * 1.0904 + 0.0374
+    acc = acc * 0.9381 + 0.0975
+    xout = acc
+  end subroutine aux_cam_158_extra2
+end module aux_cam_158

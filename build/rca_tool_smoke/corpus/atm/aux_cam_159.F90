@@ -1,0 +1,36 @@
+module aux_cam_159
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_002, only: diag_002_0
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_159_0(pcols)
+  real :: diag_159_1(pcols)
+  real :: diag_159_2(pcols)
+contains
+  subroutine aux_cam_159_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.452 + 0.167
+      wrk1 = state%q(i) * 0.117 + wrk0 * 0.400
+      wrk2 = max(wrk0, 0.100)
+      wrk3 = wrk1 * 0.568 + 0.068
+      wrk4 = wrk2 * 0.379 + 0.067
+      wrk5 = wrk0 * wrk4 + 0.006
+      wrk6 = max(wrk3, 0.168)
+      tref = wrk6 * 0.772 + 0.196
+      diag_159_0(i) = wrk6 * 0.773 + diag_001_0(i) * 0.165 + tref * 0.1
+      diag_159_1(i) = wrk2 * 0.354 + diag_001_0(i) * 0.116
+      diag_159_2(i) = wrk2 * 0.467 + diag_008_0(i) * 0.376
+    end do
+  end subroutine aux_cam_159_main
+end module aux_cam_159

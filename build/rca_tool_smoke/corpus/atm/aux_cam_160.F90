@@ -1,0 +1,29 @@
+module aux_cam_160
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_022, only: diag_022_0
+  use aux_cam_012, only: diag_012_0
+  implicit none
+  real :: diag_160_0(pcols)
+  real :: diag_160_1(pcols)
+contains
+  subroutine aux_cam_160_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.471 + 0.195
+      wrk1 = state%q(i) * 0.256 + wrk0 * 0.332
+      wrk2 = wrk0 * 0.383 + 0.186
+      wrk3 = sqrt(abs(wrk0) + 0.058)
+      wrk4 = max(wrk0, 0.018)
+      wrk5 = sqrt(abs(wrk1) + 0.247)
+      diag_160_0(i) = wrk5 * 0.838 + diag_022_0(i) * 0.329
+      diag_160_1(i) = wrk3 * 0.335
+    end do
+  end subroutine aux_cam_160_main
+end module aux_cam_160

@@ -1,0 +1,45 @@
+module aux_cam_161
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_161_0(pcols)
+  real :: diag_161_1(pcols)
+  real :: diag_161_2(pcols)
+contains
+  subroutine aux_cam_161_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.356 + 0.195
+      wrk1 = state%q(i) * 0.703 + wrk0 * 0.292
+      wrk2 = sqrt(abs(wrk0) + 0.052)
+      wrk3 = wrk1 * 0.208 + 0.210
+      wrk4 = wrk3 * wrk3 + 0.170
+      wrk5 = wrk1 * 0.334 + 0.117
+      wrk6 = max(wrk1, 0.051)
+      wrk7 = wrk3 * wrk6 + 0.127
+      tref = wrk7 * 0.585 + 0.070
+      diag_161_0(i) = wrk1 * 0.656 + tref * 0.1
+      diag_161_1(i) = wrk1 * 0.414
+      diag_161_2(i) = wrk0 * 0.423
+    end do
+  end subroutine aux_cam_161_main
+  subroutine aux_cam_161_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.732
+    acc = acc * 1.0220 + -0.0255
+    acc = acc * 1.0484 + -0.0286
+    acc = acc * 0.8581 + 0.0379
+    xout = acc
+  end subroutine aux_cam_161_extra0
+end module aux_cam_161

@@ -1,0 +1,31 @@
+module aux_cam_162
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_026, only: diag_026_0
+  implicit none
+  real :: diag_162_0(pcols)
+  real :: diag_162_1(pcols)
+  real :: diag_162_2(pcols)
+contains
+  subroutine aux_cam_162_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: dum
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.321 + 0.188
+      wrk1 = state%q(i) * 0.105 + wrk0 * 0.271
+      wrk2 = max(wrk1, 0.137)
+      wrk3 = wrk0 * wrk0 + 0.093
+      wrk4 = max(wrk2, 0.183)
+      dum = wrk4 * 0.292 + 0.090
+      diag_162_0(i) = wrk3 * 0.748 + diag_001_0(i) * 0.277 + dum * 0.1
+      diag_162_1(i) = wrk1 * 0.380 + diag_001_0(i) * 0.055
+      diag_162_2(i) = wrk3 * 0.683 + diag_026_0(i) * 0.205
+    end do
+  end subroutine aux_cam_162_main
+end module aux_cam_162

@@ -1,0 +1,46 @@
+module aux_cam_163
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_023, only: diag_023_0
+  implicit none
+  real :: diag_163_0(pcols)
+  real :: diag_163_1(pcols)
+contains
+  subroutine aux_cam_163_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: tref
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.705 + 0.089
+      wrk1 = state%q(i) * 0.554 + wrk0 * 0.300
+      wrk2 = wrk0 * 0.719 + 0.004
+      wrk3 = wrk2 * wrk2 + 0.087
+      wrk4 = wrk0 * 0.352 + 0.257
+      wrk5 = sqrt(abs(wrk4) + 0.442)
+      wrk6 = wrk5 * 0.529 + 0.137
+      wrk7 = wrk5 * 0.635 + 0.287
+      wrk8 = max(wrk7, 0.111)
+      tref = wrk8 * 0.632 + 0.004
+      diag_163_0(i) = wrk2 * 0.586 + diag_006_0(i) * 0.090 + tref * 0.1
+      diag_163_1(i) = wrk7 * 0.699 + diag_006_0(i) * 0.061
+    end do
+  end subroutine aux_cam_163_main
+  subroutine aux_cam_163_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.259
+    acc = acc * 0.9002 + 0.0050
+    acc = acc * 0.9660 + -0.0999
+    xout = acc
+  end subroutine aux_cam_163_extra0
+end module aux_cam_163

@@ -1,0 +1,67 @@
+module aux_cam_164
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_006, only: diag_006_0
+  use aux_cam_012, only: diag_012_0
+  use aux_cam_013, only: diag_013_0
+  implicit none
+  real :: diag_164_0(pcols)
+contains
+  subroutine aux_cam_164_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.733 + 0.044
+      wrk1 = state%q(i) * 0.106 + wrk0 * 0.371
+      wrk2 = max(wrk0, 0.101)
+      wrk3 = sqrt(abs(wrk2) + 0.152)
+      wrk4 = sqrt(abs(wrk3) + 0.241)
+      wrk5 = wrk1 * 0.861 + 0.192
+      omega = wrk5 * 0.290 + 0.116
+      diag_164_0(i) = wrk0 * 0.673 + diag_006_0(i) * 0.334 + omega * 0.1
+    end do
+  end subroutine aux_cam_164_main
+  subroutine aux_cam_164_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.675
+    acc = acc * 0.8635 + -0.0630
+    acc = acc * 0.8673 + -0.0622
+    acc = acc * 1.1802 + -0.0740
+    acc = acc * 1.0451 + -0.0193
+    acc = acc * 1.0498 + -0.0444
+    xout = acc
+  end subroutine aux_cam_164_extra0
+  subroutine aux_cam_164_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.819
+    acc = acc * 1.0044 + 0.0684
+    acc = acc * 0.8883 + -0.0404
+    acc = acc * 0.8445 + 0.0299
+    acc = acc * 0.9283 + 0.0409
+    acc = acc * 1.1043 + 0.0130
+    acc = acc * 1.0260 + -0.0362
+    xout = acc
+  end subroutine aux_cam_164_extra1
+  subroutine aux_cam_164_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.305
+    acc = acc * 0.8625 + -0.0393
+    acc = acc * 1.1640 + 0.0189
+    acc = acc * 1.1512 + -0.0926
+    acc = acc * 0.8441 + -0.0681
+    acc = acc * 0.9574 + 0.0047
+    xout = acc
+  end subroutine aux_cam_164_extra2
+end module aux_cam_164

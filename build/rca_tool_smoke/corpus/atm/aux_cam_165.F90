@@ -1,0 +1,39 @@
+module aux_cam_165
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_006, only: diag_006_0
+  implicit none
+  real :: diag_165_0(pcols)
+contains
+  subroutine aux_cam_165_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.491 + 0.097
+      wrk1 = state%q(i) * 0.316 + wrk0 * 0.358
+      wrk2 = wrk0 * 0.660 + 0.198
+      wrk3 = wrk1 * 0.269 + 0.299
+      wrk4 = wrk3 * wrk3 + 0.008
+      wrk5 = max(wrk4, 0.074)
+      wrk6 = wrk5 * wrk5 + 0.066
+      wrk7 = max(wrk5, 0.035)
+      diag_165_0(i) = wrk4 * 0.678 + diag_006_0(i) * 0.165
+    end do
+  end subroutine aux_cam_165_main
+  subroutine aux_cam_165_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.764
+    acc = acc * 1.1932 + 0.0406
+    acc = acc * 1.0320 + -0.0930
+    xout = acc
+  end subroutine aux_cam_165_extra0
+end module aux_cam_165

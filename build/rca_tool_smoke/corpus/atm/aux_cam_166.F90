@@ -1,0 +1,68 @@
+module aux_cam_166
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_013, only: diag_013_0
+  implicit none
+  real :: diag_166_0(pcols)
+  real :: diag_166_1(pcols)
+  real :: diag_166_2(pcols)
+contains
+  subroutine aux_cam_166_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.378 + 0.055
+      wrk1 = state%q(i) * 0.275 + wrk0 * 0.165
+      wrk2 = wrk0 * 0.808 + 0.039
+      wrk3 = sqrt(abs(wrk2) + 0.067)
+      wrk4 = max(wrk3, 0.078)
+      wrk5 = sqrt(abs(wrk4) + 0.150)
+      omega = wrk5 * 0.366 + 0.113
+      diag_166_0(i) = wrk1 * 0.384 + diag_013_0(i) * 0.294 + omega * 0.1
+      diag_166_1(i) = wrk4 * 0.878 + diag_013_0(i) * 0.361
+      diag_166_2(i) = wrk4 * 0.669 + diag_013_0(i) * 0.353
+    end do
+  end subroutine aux_cam_166_main
+  subroutine aux_cam_166_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.064
+    acc = acc * 0.9154 + -0.0284
+    acc = acc * 1.0038 + -0.0381
+    acc = acc * 1.0570 + -0.0665
+    acc = acc * 1.1561 + -0.0530
+    xout = acc
+  end subroutine aux_cam_166_extra0
+  subroutine aux_cam_166_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.752
+    acc = acc * 0.8081 + -0.0508
+    acc = acc * 0.8142 + -0.0684
+    acc = acc * 0.9404 + -0.0301
+    acc = acc * 0.9969 + 0.0666
+    acc = acc * 1.1445 + 0.0239
+    xout = acc
+  end subroutine aux_cam_166_extra1
+  subroutine aux_cam_166_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.404
+    acc = acc * 1.1604 + -0.0572
+    acc = acc * 1.1122 + 0.0594
+    acc = acc * 1.0613 + -0.0356
+    acc = acc * 0.9126 + 0.0159
+    acc = acc * 0.9394 + -0.0435
+    acc = acc * 1.0030 + -0.0661
+    xout = acc
+  end subroutine aux_cam_166_extra2
+end module aux_cam_166

@@ -1,0 +1,52 @@
+module aux_cam_167
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_167_0(pcols)
+  real :: diag_167_1(pcols)
+contains
+  subroutine aux_cam_167_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: qrl
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.725 + 0.053
+      wrk1 = state%q(i) * 0.243 + wrk0 * 0.381
+      wrk2 = max(wrk1, 0.137)
+      wrk3 = sqrt(abs(wrk1) + 0.333)
+      wrk4 = wrk2 * wrk3 + 0.079
+      wrk5 = wrk1 * 0.710 + 0.110
+      wrk6 = sqrt(abs(wrk4) + 0.288)
+      qrl = wrk6 * 0.254 + 0.061
+      diag_167_0(i) = wrk0 * 0.388 + qrl * 0.1
+      diag_167_1(i) = wrk4 * 0.650
+    end do
+  end subroutine aux_cam_167_main
+  subroutine aux_cam_167_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.916
+    acc = acc * 1.1636 + 0.0938
+    acc = acc * 0.9991 + -0.0509
+    xout = acc
+  end subroutine aux_cam_167_extra0
+  subroutine aux_cam_167_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.668
+    acc = acc * 1.0350 + -0.0622
+    acc = acc * 0.8485 + -0.0913
+    acc = acc * 1.0559 + 0.0499
+    acc = acc * 1.0253 + -0.0302
+    acc = acc * 0.9080 + -0.0399
+    xout = acc
+  end subroutine aux_cam_167_extra1
+end module aux_cam_167

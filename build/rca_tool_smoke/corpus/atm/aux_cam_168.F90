@@ -1,0 +1,52 @@
+module aux_cam_168
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_004, only: diag_004_0
+  implicit none
+  real :: diag_168_0(pcols)
+contains
+  subroutine aux_cam_168_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.394 + 0.028
+      wrk1 = state%q(i) * 0.266 + wrk0 * 0.355
+      wrk2 = wrk0 * 0.394 + 0.076
+      wrk3 = sqrt(abs(wrk2) + 0.096)
+      wrk4 = wrk0 * wrk0 + 0.103
+      wrk5 = wrk2 * wrk2 + 0.070
+      wrk6 = sqrt(abs(wrk0) + 0.126)
+      wrk7 = wrk2 * 0.892 + 0.092
+      wrk8 = sqrt(abs(wrk3) + 0.214)
+      diag_168_0(i) = wrk5 * 0.549 + diag_004_0(i) * 0.181
+    end do
+  end subroutine aux_cam_168_main
+  subroutine aux_cam_168_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.889
+    acc = acc * 0.8296 + -0.0774
+    acc = acc * 0.9738 + -0.0106
+    acc = acc * 0.9207 + 0.0196
+    acc = acc * 1.1644 + -0.0771
+    xout = acc
+  end subroutine aux_cam_168_extra0
+  subroutine aux_cam_168_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.345
+    acc = acc * 0.8397 + -0.0773
+    acc = acc * 0.9996 + 0.0335
+    xout = acc
+  end subroutine aux_cam_168_extra1
+end module aux_cam_168

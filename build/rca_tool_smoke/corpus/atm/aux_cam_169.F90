@@ -1,0 +1,29 @@
+module aux_cam_169
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_169_0(pcols)
+  real :: diag_169_1(pcols)
+  real :: diag_169_2(pcols)
+contains
+  subroutine aux_cam_169_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.591 + 0.077
+      wrk1 = state%q(i) * 0.263 + wrk0 * 0.266
+      wrk2 = wrk0 * 0.894 + 0.261
+      wrk3 = max(wrk2, 0.145)
+      wrk4 = sqrt(abs(wrk1) + 0.486)
+      wrk5 = wrk4 * wrk4 + 0.023
+      diag_169_0(i) = wrk3 * 0.378
+      diag_169_1(i) = wrk3 * 0.430
+      diag_169_2(i) = wrk3 * 0.753
+    end do
+  end subroutine aux_cam_169_main
+end module aux_cam_169

@@ -1,0 +1,40 @@
+module aux_cam_170
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_170_0(pcols)
+  real :: diag_170_1(pcols)
+  real :: diag_170_2(pcols)
+contains
+  subroutine aux_cam_170_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: dum
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.734 + 0.051
+      wrk1 = state%q(i) * 0.686 + wrk0 * 0.373
+      wrk2 = sqrt(abs(wrk0) + 0.200)
+      wrk3 = wrk2 * 0.743 + 0.016
+      wrk4 = wrk0 * 0.419 + 0.126
+      dum = wrk4 * 0.371 + 0.050
+      diag_170_0(i) = wrk4 * 0.299 + dum * 0.1
+      diag_170_1(i) = wrk2 * 0.782
+      diag_170_2(i) = wrk4 * 0.884
+    end do
+  end subroutine aux_cam_170_main
+  subroutine aux_cam_170_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.856
+    acc = acc * 1.1242 + 0.0070
+    acc = acc * 1.1349 + -0.0422
+    acc = acc * 1.0383 + -0.0142
+    acc = acc * 0.8288 + 0.0167
+    xout = acc
+  end subroutine aux_cam_170_extra0
+end module aux_cam_170

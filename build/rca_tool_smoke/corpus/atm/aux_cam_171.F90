@@ -1,0 +1,48 @@
+module aux_cam_171
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_171_0(pcols)
+  real :: diag_171_1(pcols)
+  real :: diag_171_2(pcols)
+contains
+  subroutine aux_cam_171_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.668 + 0.046
+      wrk1 = state%q(i) * 0.181 + wrk0 * 0.262
+      wrk2 = max(wrk1, 0.145)
+      wrk3 = max(wrk2, 0.017)
+      wrk4 = max(wrk3, 0.160)
+      diag_171_0(i) = wrk0 * 0.341
+      diag_171_1(i) = wrk0 * 0.704
+      diag_171_2(i) = wrk3 * 0.618
+    end do
+  end subroutine aux_cam_171_main
+  subroutine aux_cam_171_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.297
+    acc = acc * 0.9657 + -0.0286
+    acc = acc * 1.1121 + -0.0452
+    acc = acc * 0.8096 + 0.0706
+    acc = acc * 1.1979 + 0.0935
+    xout = acc
+  end subroutine aux_cam_171_extra0
+  subroutine aux_cam_171_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.547
+    acc = acc * 0.8864 + -0.0075
+    acc = acc * 0.9211 + -0.0973
+    acc = acc * 0.9231 + 0.0198
+    xout = acc
+  end subroutine aux_cam_171_extra1
+end module aux_cam_171

@@ -1,0 +1,138 @@
+module aux_cam_172
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_013, only: diag_013_0
+  use aux_cam_017, only: diag_017_0
+  use aux_cam_025, only: diag_025_0
+  implicit none
+  real :: diag_172_0(pcols)
+  real :: diag_172_1(pcols)
+  real :: diag_172_2(pcols)
+contains
+  subroutine aux_cam_172_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.503 + 0.121
+      wrk1 = state%q(i) * 0.656 + wrk0 * 0.219
+      wrk2 = max(wrk0, 0.193)
+      wrk3 = max(wrk2, 0.196)
+      wrk4 = sqrt(abs(wrk3) + 0.204)
+      wrk5 = sqrt(abs(wrk1) + 0.373)
+      wrk6 = sqrt(abs(wrk4) + 0.441)
+      wrk7 = wrk5 * wrk6 + 0.133
+      wrk8 = wrk4 * 0.260 + 0.047
+      wrk9 = sqrt(abs(wrk5) + 0.269)
+      diag_172_0(i) = wrk9 * 0.637 + diag_013_0(i) * 0.259
+      diag_172_1(i) = wrk6 * 0.777 + diag_013_0(i) * 0.141
+      diag_172_2(i) = wrk8 * 0.690
+    end do
+  end subroutine aux_cam_172_main
+  subroutine aux_cam_172_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.946
+    acc = acc * 0.8791 + 0.0418
+    acc = acc * 0.9321 + 0.0236
+    acc = acc * 0.9588 + -0.0730
+    acc = acc * 1.0120 + -0.0143
+    acc = acc * 0.8281 + 0.0007
+    acc = acc * 1.0153 + 0.0422
+    acc = acc * 1.0914 + 0.0139
+    acc = acc * 1.1830 + 0.0069
+    acc = acc * 0.9942 + 0.0916
+    acc = acc * 0.8753 + -0.0320
+    acc = acc * 1.1300 + -0.0584
+    acc = acc * 0.8995 + 0.0481
+    acc = acc * 1.0258 + -0.0290
+    acc = acc * 1.1160 + 0.0347
+    acc = acc * 1.0982 + -0.0735
+    acc = acc * 1.0521 + 0.0796
+    acc = acc * 0.9877 + 0.0414
+    acc = acc * 1.0810 + -0.0127
+    acc = acc * 1.0686 + 0.0591
+    acc = acc * 1.1235 + -0.0288
+    xout = acc
+  end subroutine aux_cam_172_extra0
+  subroutine aux_cam_172_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.474
+    acc = acc * 0.9308 + -0.0625
+    acc = acc * 1.1341 + -0.0425
+    acc = acc * 0.8049 + -0.0365
+    acc = acc * 0.9798 + 0.0583
+    acc = acc * 0.9440 + -0.0621
+    acc = acc * 1.0163 + 0.0313
+    acc = acc * 1.0593 + 0.0870
+    acc = acc * 0.9311 + -0.0712
+    acc = acc * 1.0965 + -0.0246
+    acc = acc * 0.9807 + -0.0272
+    acc = acc * 1.1777 + -0.0608
+    acc = acc * 1.1300 + 0.0906
+    acc = acc * 0.8345 + -0.0674
+    xout = acc
+  end subroutine aux_cam_172_extra1
+  subroutine aux_cam_172_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.485
+    acc = acc * 1.0322 + -0.0017
+    acc = acc * 0.8181 + -0.0366
+    acc = acc * 0.9405 + 0.0959
+    acc = acc * 0.8680 + -0.0526
+    acc = acc * 1.0041 + -0.0190
+    acc = acc * 1.0902 + -0.0577
+    acc = acc * 0.9886 + -0.0789
+    acc = acc * 1.1005 + -0.0976
+    acc = acc * 0.8259 + -0.0687
+    acc = acc * 0.9215 + -0.0504
+    acc = acc * 1.0290 + 0.0745
+    acc = acc * 1.0736 + 0.0435
+    acc = acc * 1.0346 + 0.0662
+    acc = acc * 1.1256 + -0.0731
+    acc = acc * 1.0421 + 0.0538
+    acc = acc * 1.1094 + -0.0639
+    acc = acc * 1.0091 + 0.0273
+    xout = acc
+  end subroutine aux_cam_172_extra2
+  subroutine aux_cam_172_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.743
+    acc = acc * 1.0637 + 0.0467
+    acc = acc * 0.9863 + -0.0316
+    acc = acc * 0.8346 + -0.0623
+    acc = acc * 0.9465 + -0.0922
+    acc = acc * 0.8031 + 0.0949
+    acc = acc * 1.0850 + 0.0681
+    acc = acc * 0.8820 + 0.0208
+    acc = acc * 0.8520 + -0.0919
+    acc = acc * 0.9760 + -0.0904
+    acc = acc * 1.0610 + 0.0774
+    acc = acc * 1.0194 + 0.0409
+    acc = acc * 0.9338 + -0.0858
+    acc = acc * 1.0306 + -0.0921
+    acc = acc * 1.1680 + 0.0411
+    acc = acc * 1.0661 + 0.0872
+    acc = acc * 1.0305 + 0.0136
+    acc = acc * 1.0451 + -0.0335
+    acc = acc * 1.0782 + -0.0470
+    acc = acc * 0.9346 + -0.0052
+    acc = acc * 1.1437 + -0.0342
+    xout = acc
+  end subroutine aux_cam_172_extra3
+end module aux_cam_172

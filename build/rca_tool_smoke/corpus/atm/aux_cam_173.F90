@@ -1,0 +1,58 @@
+module aux_cam_173
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_173_0(pcols)
+contains
+  subroutine aux_cam_173_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.646 + 0.167
+      wrk1 = state%q(i) * 0.282 + wrk0 * 0.102
+      wrk2 = max(wrk1, 0.168)
+      wrk3 = wrk0 * wrk0 + 0.076
+      wrk4 = max(wrk3, 0.070)
+      wrk5 = max(wrk1, 0.189)
+      wrk6 = sqrt(abs(wrk4) + 0.118)
+      wrk7 = sqrt(abs(wrk1) + 0.374)
+      diag_173_0(i) = wrk3 * 0.891
+    end do
+  end subroutine aux_cam_173_main
+  subroutine aux_cam_173_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.408
+    acc = acc * 0.9387 + 0.0439
+    acc = acc * 1.0660 + 0.0575
+    acc = acc * 0.9610 + -0.0466
+    xout = acc
+  end subroutine aux_cam_173_extra0
+  subroutine aux_cam_173_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.078
+    acc = acc * 0.8913 + 0.0187
+    acc = acc * 1.1178 + -0.0565
+    xout = acc
+  end subroutine aux_cam_173_extra1
+  subroutine aux_cam_173_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.834
+    acc = acc * 0.9609 + -0.0137
+    acc = acc * 1.1962 + -0.0236
+    acc = acc * 1.0156 + -0.0435
+    xout = acc
+  end subroutine aux_cam_173_extra2
+end module aux_cam_173

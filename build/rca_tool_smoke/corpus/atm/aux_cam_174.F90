@@ -1,0 +1,50 @@
+module aux_cam_174
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_174_0(pcols)
+contains
+  subroutine aux_cam_174_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.223 + 0.100
+      wrk1 = state%q(i) * 0.398 + wrk0 * 0.260
+      wrk2 = wrk0 * wrk0 + 0.194
+      wrk3 = max(wrk2, 0.046)
+      wrk4 = max(wrk0, 0.062)
+      wrk5 = wrk2 * wrk4 + 0.021
+      wrk6 = max(wrk2, 0.160)
+      diag_174_0(i) = wrk5 * 0.386
+    end do
+  end subroutine aux_cam_174_main
+  subroutine aux_cam_174_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.853
+    acc = acc * 1.0897 + 0.0103
+    acc = acc * 0.9160 + -0.0928
+    acc = acc * 1.0135 + -0.0821
+    xout = acc
+  end subroutine aux_cam_174_extra0
+  subroutine aux_cam_174_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.611
+    acc = acc * 0.9840 + -0.0674
+    acc = acc * 0.8106 + -0.0558
+    acc = acc * 1.0330 + -0.0765
+    acc = acc * 1.0969 + -0.0637
+    acc = acc * 1.0982 + 0.0012
+    acc = acc * 0.8413 + 0.0810
+    xout = acc
+  end subroutine aux_cam_174_extra1
+end module aux_cam_174

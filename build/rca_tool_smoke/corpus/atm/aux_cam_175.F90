@@ -1,0 +1,56 @@
+module aux_cam_175
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_013, only: diag_013_0
+  implicit none
+  real :: diag_175_0(pcols)
+  real :: diag_175_1(pcols)
+contains
+  subroutine aux_cam_175_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.559 + 0.084
+      wrk1 = state%q(i) * 0.167 + wrk0 * 0.276
+      wrk2 = wrk1 * 0.331 + 0.109
+      wrk3 = wrk0 * wrk0 + 0.183
+      wrk4 = sqrt(abs(wrk2) + 0.169)
+      wrk5 = wrk1 * 0.571 + 0.081
+      wrk6 = wrk3 * wrk5 + 0.155
+      wrk7 = max(wrk4, 0.038)
+      diag_175_0(i) = wrk3 * 0.409 + diag_013_0(i) * 0.149
+      diag_175_1(i) = wrk0 * 0.274 + diag_013_0(i) * 0.217
+    end do
+  end subroutine aux_cam_175_main
+  subroutine aux_cam_175_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.877
+    acc = acc * 1.1369 + -0.0446
+    acc = acc * 0.9508 + 0.0391
+    acc = acc * 1.0418 + 0.0910
+    acc = acc * 0.9324 + 0.0291
+    acc = acc * 1.1090 + -0.0610
+    acc = acc * 1.1029 + 0.0296
+    xout = acc
+  end subroutine aux_cam_175_extra0
+  subroutine aux_cam_175_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.274
+    acc = acc * 1.0419 + -0.0029
+    acc = acc * 0.8159 + 0.0877
+    acc = acc * 1.0588 + -0.0374
+    acc = acc * 0.8772 + 0.0985
+    xout = acc
+  end subroutine aux_cam_175_extra1
+end module aux_cam_175

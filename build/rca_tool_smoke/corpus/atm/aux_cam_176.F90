@@ -1,0 +1,98 @@
+module aux_cam_176
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_005, only: diag_005_0
+  implicit none
+  real :: diag_176_0(pcols)
+  real :: diag_176_1(pcols)
+contains
+  subroutine aux_cam_176_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.172 + 0.119
+      wrk1 = state%q(i) * 0.448 + wrk0 * 0.386
+      wrk2 = wrk0 * 0.380 + 0.070
+      wrk3 = wrk1 * wrk2 + 0.157
+      wrk4 = wrk2 * 0.553 + 0.165
+      wrk5 = sqrt(abs(wrk4) + 0.161)
+      wrk6 = wrk2 * wrk2 + 0.044
+      wrk7 = max(wrk1, 0.171)
+      wrk8 = max(wrk1, 0.143)
+      wrk9 = sqrt(abs(wrk2) + 0.472)
+      wrk10 = wrk7 * wrk9 + 0.008
+      wrk11 = wrk10 * wrk10 + 0.092
+      wrk12 = max(wrk11, 0.150)
+      wrk13 = wrk5 * 0.670 + 0.143
+      omega = wrk13 * 0.318 + 0.132
+      diag_176_0(i) = wrk1 * 0.714 + omega * 0.1
+      diag_176_1(i) = wrk5 * 0.439 + diag_005_0(i) * 0.385
+    end do
+  end subroutine aux_cam_176_main
+  subroutine aux_cam_176_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.204
+    acc = acc * 0.9144 + 0.0101
+    acc = acc * 1.1718 + 0.0502
+    acc = acc * 1.0368 + -0.0025
+    acc = acc * 1.0818 + 0.0655
+    acc = acc * 0.8978 + 0.0770
+    acc = acc * 0.9557 + -0.0264
+    acc = acc * 1.0412 + -0.0656
+    acc = acc * 1.1524 + 0.0115
+    acc = acc * 1.0190 + -0.0755
+    xout = acc
+  end subroutine aux_cam_176_extra0
+  subroutine aux_cam_176_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.338
+    acc = acc * 0.8536 + 0.0930
+    acc = acc * 1.0277 + -0.0453
+    acc = acc * 1.0774 + 0.0058
+    acc = acc * 1.1384 + -0.0644
+    acc = acc * 1.0051 + -0.0806
+    acc = acc * 1.1961 + -0.0495
+    acc = acc * 0.8315 + 0.0601
+    acc = acc * 1.0765 + 0.0169
+    acc = acc * 1.0531 + 0.0470
+    acc = acc * 1.0535 + 0.0238
+    acc = acc * 1.0269 + -0.0264
+    acc = acc * 0.8254 + -0.0963
+    acc = acc * 1.1079 + -0.0047
+    acc = acc * 0.8583 + 0.0705
+    xout = acc
+  end subroutine aux_cam_176_extra1
+  subroutine aux_cam_176_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.581
+    acc = acc * 1.0618 + 0.0155
+    acc = acc * 1.1347 + 0.0799
+    acc = acc * 0.8300 + -0.0146
+    acc = acc * 0.8505 + -0.0632
+    acc = acc * 0.8021 + -0.0945
+    acc = acc * 1.1270 + 0.0765
+    acc = acc * 0.9505 + 0.0507
+    acc = acc * 1.1913 + -0.0568
+    xout = acc
+  end subroutine aux_cam_176_extra2
+end module aux_cam_176

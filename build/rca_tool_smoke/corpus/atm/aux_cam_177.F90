@@ -1,0 +1,46 @@
+module aux_cam_177
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_000, only: diag_000_0
+  implicit none
+  real :: diag_177_0(pcols)
+contains
+  subroutine aux_cam_177_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.622 + 0.104
+      wrk1 = state%q(i) * 0.390 + wrk0 * 0.313
+      wrk2 = sqrt(abs(wrk0) + 0.074)
+      wrk3 = max(wrk2, 0.105)
+      wrk4 = wrk1 * 0.807 + 0.093
+      wrk5 = sqrt(abs(wrk0) + 0.142)
+      diag_177_0(i) = wrk4 * 0.474 + diag_000_0(i) * 0.203
+    end do
+  end subroutine aux_cam_177_main
+  subroutine aux_cam_177_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.951
+    acc = acc * 0.8869 + 0.0845
+    acc = acc * 0.8025 + -0.0503
+    acc = acc * 0.8389 + 0.0070
+    xout = acc
+  end subroutine aux_cam_177_extra0
+  subroutine aux_cam_177_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.398
+    acc = acc * 1.0132 + -0.0631
+    acc = acc * 1.1431 + 0.0790
+    acc = acc * 1.1341 + -0.0547
+    xout = acc
+  end subroutine aux_cam_177_extra1
+end module aux_cam_177

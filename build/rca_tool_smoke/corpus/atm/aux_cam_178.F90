@@ -1,0 +1,108 @@
+module aux_cam_178
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  use aux_cam_022, only: diag_022_0
+  use aux_cam_031, only: diag_031_0
+  implicit none
+  real :: diag_178_0(pcols)
+contains
+  subroutine aux_cam_178_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: omega
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.572 + 0.133
+      wrk1 = state%q(i) * 0.591 + wrk0 * 0.388
+      wrk2 = max(wrk1, 0.161)
+      wrk3 = wrk0 * wrk2 + 0.014
+      wrk4 = sqrt(abs(wrk1) + 0.094)
+      wrk5 = sqrt(abs(wrk1) + 0.093)
+      wrk6 = wrk3 * 0.611 + 0.004
+      wrk7 = max(wrk2, 0.020)
+      wrk8 = sqrt(abs(wrk5) + 0.286)
+      wrk9 = max(wrk4, 0.153)
+      wrk10 = wrk1 * 0.423 + 0.187
+      wrk11 = wrk8 * 0.527 + 0.292
+      omega = wrk11 * 0.674 + 0.082
+      diag_178_0(i) = wrk0 * 0.361 + diag_022_0(i) * 0.375 + omega * 0.1
+    end do
+  end subroutine aux_cam_178_main
+  subroutine aux_cam_178_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.828
+    acc = acc * 1.0400 + -0.0811
+    acc = acc * 1.0514 + -0.0667
+    acc = acc * 0.9863 + 0.0835
+    acc = acc * 1.1625 + 0.0818
+    acc = acc * 1.1280 + 0.0355
+    acc = acc * 1.0617 + 0.0205
+    acc = acc * 1.0357 + 0.0996
+    acc = acc * 1.1615 + 0.0180
+    xout = acc
+  end subroutine aux_cam_178_extra0
+  subroutine aux_cam_178_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.327
+    acc = acc * 1.1292 + 0.0624
+    acc = acc * 1.0408 + 0.0905
+    acc = acc * 1.0142 + -0.0931
+    acc = acc * 1.0287 + -0.0245
+    acc = acc * 0.9806 + 0.0737
+    acc = acc * 0.8895 + 0.0495
+    acc = acc * 0.9734 + 0.0900
+    acc = acc * 0.8057 + 0.0404
+    acc = acc * 1.0070 + 0.0775
+    acc = acc * 0.8469 + 0.0675
+    acc = acc * 1.1747 + -0.0138
+    acc = acc * 1.1527 + 0.0209
+    acc = acc * 1.0788 + 0.0732
+    acc = acc * 1.0111 + 0.0221
+    acc = acc * 0.9894 + -0.0768
+    acc = acc * 1.0783 + -0.0258
+    acc = acc * 0.9160 + 0.0655
+    acc = acc * 1.1434 + -0.0185
+    acc = acc * 0.9293 + 0.0018
+    acc = acc * 1.1200 + 0.0219
+    xout = acc
+  end subroutine aux_cam_178_extra1
+  subroutine aux_cam_178_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.910
+    acc = acc * 0.9055 + -0.0026
+    acc = acc * 1.0674 + 0.0563
+    acc = acc * 1.1140 + -0.0574
+    acc = acc * 0.9232 + -0.0773
+    acc = acc * 0.8334 + 0.0841
+    acc = acc * 0.8352 + -0.0057
+    acc = acc * 1.1134 + 0.0192
+    acc = acc * 1.0131 + -0.0459
+    acc = acc * 1.0860 + 0.0867
+    acc = acc * 1.1805 + 0.0448
+    acc = acc * 1.0673 + -0.0350
+    acc = acc * 1.1768 + -0.0146
+    acc = acc * 0.9965 + 0.0353
+    acc = acc * 0.9476 + 0.0790
+    acc = acc * 0.9667 + -0.0977
+    acc = acc * 0.9686 + 0.0987
+    acc = acc * 0.9486 + 0.0895
+    acc = acc * 1.0794 + 0.0435
+    xout = acc
+  end subroutine aux_cam_178_extra2
+end module aux_cam_178

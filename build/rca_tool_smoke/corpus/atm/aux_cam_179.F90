@@ -1,0 +1,47 @@
+module aux_cam_179
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: diag_179_0(pcols)
+  real :: diag_179_1(pcols)
+  real :: diag_179_2(pcols)
+contains
+  subroutine aux_cam_179_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    do i = 1, pcols
+      wrk0 = state%t(i) * 0.892 + 0.158
+      wrk1 = state%q(i) * 0.193 + wrk0 * 0.150
+      wrk2 = max(wrk0, 0.120)
+      wrk3 = sqrt(abs(wrk1) + 0.073)
+      wrk4 = sqrt(abs(wrk2) + 0.420)
+      wrk5 = wrk4 * 0.855 + 0.083
+      wrk6 = max(wrk4, 0.135)
+      wrk7 = wrk0 * wrk6 + 0.017
+      wrk8 = sqrt(abs(wrk3) + 0.172)
+      diag_179_0(i) = wrk5 * 0.229
+      diag_179_1(i) = wrk8 * 0.849
+      diag_179_2(i) = wrk8 * 0.884
+    end do
+  end subroutine aux_cam_179_main
+  subroutine aux_cam_179_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.644
+    acc = acc * 1.1338 + 0.0725
+    acc = acc * 0.9839 + 0.0044
+    acc = acc * 1.0273 + 0.0575
+    acc = acc * 0.8098 + -0.0731
+    acc = acc * 0.8693 + 0.0708
+    xout = acc
+  end subroutine aux_cam_179_extra0
+end module aux_cam_179

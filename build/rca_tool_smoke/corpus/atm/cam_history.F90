@@ -1,0 +1,15 @@
+
+module cam_history
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: physics_state, state
+  implicit none
+contains
+  subroutine write_state_history()
+    call outfld('OMEGA', state%omega)
+    call outfld('VV', state%v)
+    call outfld('UU', state%u)
+    call outfld('Z3', state%z3)
+    call outfld('T', state%t)
+    call outfld('Q', state%q)
+  end subroutine write_state_history
+end module cam_history

@@ -1,0 +1,19 @@
+
+module cam_physics
+  use shr_kind_mod, only: pcols, tlo, thi
+  use phys_state_mod, only: physics_state, state, clamp_state
+  use micro_mg, only: micro_mg_tend
+  implicit none
+  real :: ttend_phys(pcols)
+  real :: qtend_phys(pcols)
+contains
+  subroutine physics_step()
+    integer :: i
+    call micro_mg_tend(ttend_phys, qtend_phys)
+    do i = 1, pcols
+      state%t(i) = state%t(i) + 0.04 * ttend_phys(i)
+      state%q(i) = state%q(i) + 0.04 * qtend_phys(i)
+    end do
+    call clamp_state()
+  end subroutine physics_step
+end module cam_physics

@@ -1,0 +1,37 @@
+
+module camsrf
+  use shr_kind_mod, only: pcols, cpair
+  use phys_state_mod, only: physics_state, state
+  use micro_mg, only: tlat_col, prect_col
+  use lnd_soil, only: snowd
+  implicit none
+  real :: wsx(pcols)
+  real :: tref(pcols)
+  real :: shf(pcols)
+  real :: u10(pcols)
+  real :: snowhland(pcols)
+  real :: psout(pcols)
+  real :: omegat(pcols)
+contains
+  subroutine srf_diag()
+    ! Surface diagnostics: strongly driven by the state and by MG1
+    ! tendencies (tlat), so the AVX2/FMA experiment surfaces here first.
+    integer :: i
+    do i = 1, pcols
+      wsx(i) = 0.5 * state%u(i) * state%u(i) + 0.3 * state%v(i)
+      tref(i) = 0.8 * state%t(i) + 0.17 * tlat_col(i)
+      shf(i) = 0.6 * tref(i) * state%q(i) + 0.1 * tlat_col(i)
+      u10(i) = 0.85 * state%u(i) + 0.1 * wsx(i)
+      snowhland(i) = 0.5 * snowd(i) + 0.45 * prect_col(i)
+      psout(i) = state%ps(i)
+      omegat(i) = state%omega(i) * state%t(i)
+    end do
+    call outfld('TAUX', wsx)
+    call outfld('TREFHT', tref)
+    call outfld('SHFLX', shf)
+    call outfld('U10', u10)
+    call outfld('SNOWHLND', snowhland)
+    call outfld('PS', psout)
+    call outfld('OMEGAT', omegat)
+  end subroutine srf_diag
+end module camsrf

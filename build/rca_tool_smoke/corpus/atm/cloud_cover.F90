@@ -1,0 +1,51 @@
+
+module cloud_cover
+  use shr_kind_mod, only: pcols, qsmall
+  use phys_state_mod, only: physics_state, state
+  use wv_saturation, only: svp, goffgratch_svp
+  use aerosol_intr, only: aer_load
+  implicit none
+  real :: cld(pcols)
+  real :: cllow(pcols)
+  real :: clmed(pcols)
+  real :: clhgh(pcols)
+  real :: cltot(pcols)
+  real :: ccn(pcols)
+  real :: concld(pcols)
+  real :: cldgeom(pcols)
+contains
+  subroutine cldfrc_run()
+    ! Cloud geometry: a dense non-stochastic web; its aggregation sinks
+    ! dominate the radiation community's in-centrality, which is why the
+    ! RAND-MT experiment's first sampling round sees no PRNG influence.
+    integer :: i
+    real :: es
+    real :: rh
+    real :: icecldf
+    real :: liqcldf
+    real :: rhwght
+    real :: ovrlp
+    do i = 1, pcols
+      es = svp(state%t(i))
+      rh = state%q(i) / max(es, 0.05)
+      rhwght = min(max((rh - 0.55) * 1.8, 0.0), 1.0)
+      icecldf = rhwght * 0.6 + 0.1 * state%z3(i)
+      liqcldf = rhwght * 0.7 + 0.05 * state%q(i)
+      cld(i) = max(icecldf, liqcldf)
+      ovrlp = icecldf * liqcldf + 0.02 * rhwght
+      concld(i) = 0.3 * ovrlp + 0.1 * cld(i)
+      cllow(i) = cld(i) * 0.55 + 0.08 * state%ps(i) + 0.05 * concld(i)
+      clmed(i) = cld(i) * 0.3 + 0.05 * state%omega(i) + 0.04 * ovrlp
+      clhgh(i) = cld(i) * 0.18 + 0.04 * state%z3(i) + 0.03 * icecldf
+      cltot(i) = min(cllow(i) + clmed(i) + clhgh(i), 1.0)
+      cldgeom(i) = 0.4 * cltot(i) + 0.2 * concld(i) + 0.1 * liqcldf
+      ccn(i) = 0.4 * aer_load(i) + 0.25 * cld(i) + 0.05 * cldgeom(i)
+    end do
+    call outfld('CLOUD', cld)
+    call outfld('CLDLOW', cllow)
+    call outfld('CLDMED', clmed)
+    call outfld('CLDHGH', clhgh)
+    call outfld('CLDTOT', cltot)
+    call outfld('CCN3', ccn)
+  end subroutine cldfrc_run
+end module cloud_cover

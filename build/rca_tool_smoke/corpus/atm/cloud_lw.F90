@@ -1,0 +1,45 @@
+
+module cloud_lw
+  use shr_kind_mod, only: pcols
+  use cloud_cover, only: cld, cldgeom, concld, cltot
+  implicit none
+  real :: flwds(pcols)
+  real :: qrl(pcols)
+  real :: flns(pcols)
+  real :: rnd_lw(pcols)
+  real :: netlw(pcols)
+contains
+  subroutine lw_run()
+    ! Longwave radiative transfer. The band absorber web (abs1..abs4,
+    ! netlw, lwup/lwdn) is deterministic and aggregation-heavy, so the
+    ! radiation community's eigenvector in-centrality concentrates there;
+    ! only the emissivity overlap (emis <- PRNG) is stochastic — the
+    ! RAND-MT bug-location family. That separation is why the first
+    ! sampling round of RAND-MT sees no difference (paper Figure 5c).
+    integer :: i
+    real :: emis
+    real :: abs1
+    real :: abs2
+    real :: abs3
+    real :: abs4
+    real :: lwup
+    real :: lwdn
+    call shr_rand_uniform(rnd_lw)
+    do i = 1, pcols
+      abs1 = 0.4 * cldgeom(i) + 0.2 * cld(i)
+      abs2 = 0.3 * cltot(i) + 0.25 * concld(i) + 0.1 * abs1
+      abs3 = 0.35 * abs1 + 0.3 * abs2 + 0.05 * cldgeom(i)
+      abs4 = 0.2 * abs1 + 0.2 * abs2 + 0.2 * abs3 + 0.1 * cltot(i)
+      lwup = 0.5 * abs3 + 0.3 * abs4 + 0.1 * concld(i)
+      lwdn = 0.4 * abs4 + 0.3 * abs2 + 0.2 * lwup
+      netlw(i) = 0.5 * lwup + 0.4 * lwdn + 0.05 * abs3
+      emis = 0.60 + 0.35 * rnd_lw(i)
+      flwds(i) = emis * cld(i) * 0.55 + 0.1 * lwdn
+      qrl(i) = flwds(i) * 0.45 - 0.1 * emis
+      flns(i) = 0.7 * flwds(i) + 0.05 * emis
+    end do
+    call outfld('FLDS', flwds)
+    call outfld('QRL', qrl)
+    call outfld('FLNS', flns)
+  end subroutine lw_run
+end module cloud_lw

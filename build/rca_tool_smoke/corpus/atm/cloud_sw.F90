@@ -1,0 +1,23 @@
+
+module cloud_sw
+  use shr_kind_mod, only: pcols
+  use cloud_cover, only: cld, concld
+  implicit none
+  real :: fsds(pcols)
+  real :: qrs(pcols)
+  real :: rnd_sw(pcols)
+contains
+  subroutine sw_run()
+    ! Shortwave counterpart; second PRNG consumer (RAND-MT bug family).
+    integer :: i
+    real :: ssa
+    call shr_rand_uniform(rnd_sw)
+    do i = 1, pcols
+      ssa = 0.55 + 0.4 * rnd_sw(i)
+      fsds(i) = ssa * (1.0 - cld(i)) * 0.9 + 0.1 * concld(i)
+      qrs(i) = fsds(i) * 0.5 - 0.1 * cld(i)
+    end do
+    call outfld('FSDS', fsds)
+    call outfld('QRS', qrs)
+  end subroutine sw_run
+end module cloud_sw

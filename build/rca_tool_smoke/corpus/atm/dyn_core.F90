@@ -1,0 +1,48 @@
+
+module dyn_core
+  use shr_kind_mod, only: pcols, tlo, thi
+  use phys_state_mod, only: physics_state, state, clamp_state
+  use dyn_hydro, only: pint, pmid, pdel, rpdel, etadot, compute_hydro_pressure
+  implicit none
+  real :: wrk_omega(pcols)
+  real :: vort(pcols)
+  real :: divg(pcols)
+contains
+  subroutine dyn_step()
+    call compute_hydro_pressure()
+    call advance_state()
+    call compute_omega()
+  end subroutine dyn_step
+  subroutine advance_state()
+    ! Coupled logistic maps: the chaotic advection core. FMA-sensitive
+    ! contractions appear in the mixing expressions.
+    integer :: i
+    real :: tn
+    real :: un
+    real :: vn
+    real :: qn
+    do i = 1, pcols
+      tn = 3.90 * state%t(i) * (1.0 - state%t(i))
+      un = 3.87 * state%u(i) * (1.0 - state%u(i))
+      vn = 3.93 * state%v(i) * (1.0 - state%v(i))
+      qn = 3.81 * state%q(i) * (1.0 - state%q(i))
+      state%t(i) = 0.92 * tn + 0.03 * un + 0.03 * pmid(i) + 0.01 * qn
+      state%u(i) = 0.90 * un + 0.05 * vn + 0.04 * pint(i)
+      state%v(i) = 0.91 * vn + 0.05 * un + 0.03 * pmid(i)
+      state%q(i) = 0.93 * qn + 0.04 * tn + 0.02 * pmid(i)
+      state%ps(i) = 0.90 * state%ps(i) + 0.06 * pmid(i) + 0.02 * tn
+    end do
+    call clamp_state()
+  end subroutine advance_state
+  subroutine compute_omega()
+    ! Vertical pressure velocity; RANDOMBUG corrupts the store index.
+    integer :: i
+    do i = 1, pcols
+      vort(i) = 0.3 * state%u(i) * rpdel(i) - 0.2 * state%v(i) * pdel(i)
+      divg(i) = 0.25 * etadot(i) + 0.1 * vort(i)
+      wrk_omega(i) = (pint(i) - pmid(i)) * state%u(i) + 0.2 * state%v(i) + 0.1 * divg(i)
+      state%omega(i) = wrk_omega(i)
+      state%z3(i) = 0.5 * state%t(i) + 0.3 * pmid(i) + 0.1
+    end do
+  end subroutine compute_omega
+end module dyn_core

@@ -1,0 +1,43 @@
+
+module dyn_hydro
+  use shr_kind_mod, only: pcols, rair, gravit
+  use phys_state_mod, only: physics_state, state
+  implicit none
+  real :: pint(pcols)
+  real :: pmid(pcols)
+  real :: pdel(pcols)
+  real :: rpdel(pcols)
+  real :: lnpint(pcols)
+  real :: etadot(pcols)
+contains
+  subroutine compute_hydro_pressure()
+    ! Hydrostatic pressure layer integration (normalized units). DYN3BUG
+    ! flips the interface weight 0.50 -> 0.55 here. The vertical-coordinate
+    ! web (pdel/rpdel/lnpint/etadot plus the geopotential chain) gives the
+    ! dycore its own community structure, as in the paper's Figure 13b.
+    integer :: i
+    real :: dz
+    real :: rho
+    real :: hybi
+    real :: hyai
+    real :: zvir
+    real :: phis
+    do i = 1, pcols
+      dz = state%z3(i) * 0.06 + 0.01
+      rho = state%ps(i) / max(state%t(i), 0.05)
+      hyai = 0.3 + 0.1 * dz
+      hybi = 0.6 - 0.2 * dz
+      pint(i) = state%ps(i) * 0.50 + 2.0 * gravit / rair * rho * dz
+      pmid(i) = 0.5 * pint(i) + 0.4 * state%ps(i) + 0.05 * hyai
+      pmid(i) = min(max(pmid(i), 0.02), 0.98)
+      pint(i) = min(max(pint(i), 0.02), 0.98)
+      pdel(i) = max(pint(i) - pmid(i) * hybi, 0.01)
+      rpdel(i) = 0.1 / pdel(i)
+      rpdel(i) = min(rpdel(i), 0.95)
+      lnpint(i) = log(pint(i) + 1.0)
+      zvir = 0.61 * state%q(i)
+      phis = 0.2 * dz + 0.1 * lnpint(i)
+      etadot(i) = rpdel(i) * (pint(i) - pmid(i)) + 0.05 * zvir + 0.02 * phis
+    end do
+  end subroutine compute_hydro_pressure
+end module dyn_hydro

@@ -1,0 +1,83 @@
+
+module micro_mg
+  use shr_kind_mod, only: pcols, qsmall, latvap, cpair, tlo, thi
+  use phys_state_mod, only: physics_state, state
+  use wv_saturation, only: goffgratch_svp
+  use aerosol_intr, only: aer_load
+  implicit none
+  real :: qsout_col(pcols)
+  real :: nsout_col(pcols)
+  real :: prect_col(pcols)
+  real :: tlat_col(pcols)
+contains
+  subroutine micro_mg_tend(ttend, qtend)
+    real, intent(out) :: ttend(pcols)
+    real, intent(out) :: qtend(pcols)
+    real :: dum
+    real :: ratio
+    real :: es
+    real :: qvl
+    real :: qcic(pcols)
+    real :: qiic(pcols)
+    real :: qniic(pcols)
+    real :: nric(pcols)
+    real :: nsic(pcols)
+    real :: qctend(pcols)
+    real :: qric(pcols)
+    real :: qitend(pcols)
+    real :: prds(pcols)
+    real :: pre(pcols)
+    real :: nctend(pcols)
+    real :: qvlat(pcols)
+    real :: tlat(pcols)
+    real :: mnuccc(pcols)
+    real :: nitend(pcols)
+    real :: nsagg(pcols)
+    real :: qsout(pcols)
+    integer :: i
+    do i = 1, pcols
+      es = goffgratch_svp(state%t(i))
+      qvl = state%q(i) - es * 0.31
+      ! dum: heavily reused temporary, repeatedly overwritten (CESM style).
+      ! Each `x*y - 0.999999*(x*y)` is a catastrophic cancellation whose
+      ! fused-vs-unfused difference is ~1e-10 relative: the FMA signal.
+      dum = qvl * aer_load(i) - 0.999999 * (qvl * aer_load(i))
+      ratio = dum / (0.000001 * max(abs(qvl) * aer_load(i), 0.05)) + 0.02 * es
+      qcic(i) = max(state%q(i) * ratio, 0.0) * 0.5 + 0.05 * aer_load(i)
+      dum = qcic(i) * es - 0.999999 * (qcic(i) * es)
+      qiic(i) = dum * 80000.0 + 0.12 * qcic(i)
+      qniic(i) = 0.6 * qiic(i) + 0.3 * qcic(i) + 0.02 * aer_load(i)
+      nric(i) = 0.5 * qniic(i) + 0.1 * es
+      nsic(i) = 0.45 * qniic(i) + 0.08 * state%t(i)
+      dum = nric(i) * state%u(i) - 0.999999 * (nric(i) * state%u(i))
+      qric(i) = dum * 60000.0 + 0.2 * nric(i)
+      qctend(i) = 0.0 - 0.4 * qcic(i) + 0.1 * qric(i)
+      qitend(i) = 0.0 - 0.3 * qiic(i) + 0.05 * qniic(i)
+      prds(i) = 0.2 * nsic(i) - 0.1 * qitend(i)
+      pre(i) = 0.0 - 0.25 * qric(i) - 0.05 * prds(i)
+      dum = pre(i) * state%q(i) - 0.999999 * (pre(i) * state%q(i))
+      nctend(i) = dum * 70000.0 - 0.35 * nric(i)
+      qvlat(i) = 0.0 - pre(i) - prds(i) + 0.02 * qvl + 0.05 * ratio
+      tlat(i) = (0.0 - qvlat(i)) * (latvap / (latvap + cpair * 1500.0)) + 0.05 * prds(i)
+      mnuccc(i) = 0.15 * qcic(i) * nsic(i) + 0.01 * dum
+      nitend(i) = 0.3 * mnuccc(i) - 0.2 * nsic(i) + 0.05 * dum
+      nsagg(i) = 0.22 * nsic(i) - 0.07 * nitend(i)
+      qsout(i) = max(0.3 * qniic(i) + 0.1 * nsagg(i), 0.0)
+      ! dum churn, CESM-style: the temporary is reassigned from nearly every
+      ! process variable, which is what makes it the most in-central node of
+      ! the physics community (paper §6.4).
+      dum = tlat(i) * 0.1 + qniic(i)
+      dum = nsic(i) + nric(i) * 0.2
+      dum = qsout(i) * 0.3 + mnuccc(i)
+      dum = qctend(i) + 0.15 * qitend(i)
+      dum = prds(i) + 0.1 * nsagg(i)
+      dum = qvlat(i) * 0.2 + pre(i)
+      ttend(i) = tlat(i) * 0.5 + 0.05 * mnuccc(i) + 0.001 * dum
+      qtend(i) = qvlat(i) * 0.5 + 0.03 * qctend(i)
+      qsout_col(i) = qsout(i)
+      nsout_col(i) = 0.8 * nsagg(i) + 0.1 * qsout(i)
+      prect_col(i) = max(0.0 - pre(i), 0.0) + 0.1 * qsout(i)
+      tlat_col(i) = tlat(i)
+    end do
+  end subroutine micro_mg_tend
+end module micro_mg

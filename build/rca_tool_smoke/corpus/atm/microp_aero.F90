@@ -1,0 +1,22 @@
+
+module microp_aero
+  use shr_kind_mod, only: pcols
+  use lnd_soil, only: soilw
+  implicit none
+  real :: wsub(pcols)
+  real :: tke(pcols)
+contains
+  subroutine microp_aero_run()
+    ! Sub-grid vertical velocity from land-driven turbulence. WSUBBUG
+    ! transposes the 0.20 coefficient to 2.00; the variable is written to
+    ! the history file on the very next line, so the bug is isolated.
+    integer :: i
+    real :: wdiag
+    do i = 1, pcols
+      tke(i) = 0.4 * soilw(i) + 0.3
+      wdiag = sqrt(tke(i)) * 0.5
+      wsub(i) = max(0.20 * wdiag, 0.01)
+    end do
+    call outfld('WSUB', wsub)
+  end subroutine microp_aero_run
+end module microp_aero

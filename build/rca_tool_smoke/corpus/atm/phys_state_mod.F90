@@ -1,0 +1,38 @@
+
+module phys_state_mod
+  use shr_kind_mod, only: pcols, tlo, thi
+  implicit none
+  type physics_state
+    real :: t(pcols)
+    real :: u(pcols)
+    real :: v(pcols)
+    real :: q(pcols)
+    real :: ps(pcols)
+    real :: omega(pcols)
+    real :: z3(pcols)
+  end type
+  type(physics_state) :: state
+contains
+  subroutine init_state()
+    integer :: i
+    do i = 1, pcols
+      state%t(i) = 0.41 + 0.031 * real(i)
+      state%u(i) = 0.32 + 0.027 * real(i)
+      state%v(i) = 0.28 + 0.022 * real(i)
+      state%q(i) = 0.47 + 0.019 * real(i)
+      state%ps(i) = 0.55 + 0.017 * real(i)
+      state%omega(i) = 0.1
+      state%z3(i) = 0.3
+    end do
+  end subroutine init_state
+  subroutine clamp_state()
+    integer :: i
+    do i = 1, pcols
+      state%t(i) = min(max(state%t(i), tlo), thi)
+      state%u(i) = min(max(state%u(i), tlo), thi)
+      state%v(i) = min(max(state%v(i), tlo), thi)
+      state%q(i) = min(max(state%q(i), tlo), thi)
+      state%ps(i) = min(max(state%ps(i), tlo), thi)
+    end do
+  end subroutine clamp_state
+end module phys_state_mod

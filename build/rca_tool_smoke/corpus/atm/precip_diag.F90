@@ -1,0 +1,25 @@
+
+module precip_diag
+  use shr_kind_mod, only: pcols, qsmall
+  use micro_mg, only: qsout_col, nsout_col, prect_col
+  use cloud_cover, only: cld
+  implicit none
+  real :: qsout2(pcols)
+  real :: nsout2(pcols)
+  real :: freqs(pcols)
+  real :: snowl(pcols)
+contains
+  subroutine precip_run()
+    integer :: i
+    do i = 1, pcols
+      qsout2(i) = qsout_col(i) * cld(i) + 0.02 * prect_col(i)
+      nsout2(i) = nsout_col(i) * cld(i) + 0.01 * prect_col(i)
+      freqs(i) = merge(1.0, 0.12 * qsout2(i), qsout2(i) > 0.05)
+      snowl(i) = 0.6 * qsout2(i) + 0.1 * nsout2(i)
+    end do
+    call outfld('AQSNOW', qsout2)
+    call outfld('ANSNOW', nsout2)
+    call outfld('FREQS', freqs)
+    call outfld('PRECSL', snowl)
+  end subroutine precip_run
+end module precip_diag

@@ -1,0 +1,26 @@
+
+module wv_saturation
+  use shr_kind_mod, only: tmelt
+  implicit none
+  real, parameter :: tboil_coeff = 8.1328e-3
+  interface svp
+    module procedure goffgratch_svp, murphy_koop_svp
+  end interface
+contains
+  function goffgratch_svp(t) result(es)
+    ! Goff & Gratch saturation vapor pressure (normalized form). The
+    ! GOFFGRATCH experiment perturbs tboil_coeff above.
+    real, intent(in) :: t
+    real :: es
+    real :: expo
+    expo = t * (1.0 - tboil_coeff * 373.16)
+    es = 0.12 + 0.8 * exp(expo)
+    es = min(es, 0.98)
+  end function goffgratch_svp
+  function murphy_koop_svp(t) result(es)
+    real, intent(in) :: t
+    real :: es
+    es = 0.10 + 0.78 * exp(t * (0.0 - 2.10))
+    es = min(es, 0.98)
+  end function murphy_koop_svp
+end module wv_saturation

@@ -1,0 +1,127 @@
+
+module cam_driver
+  use shr_kind_mod, only: pcols
+  use phys_state_mod, only: init_state
+  use dyn_core, only: dyn_step
+  use cam_physics, only: physics_step
+  use cloud_cover, only: cldfrc_run
+  use cloud_lw, only: lw_run
+  use cloud_sw, only: sw_run
+  use precip_diag, only: precip_run
+  use microp_aero, only: microp_aero_run
+  use camsrf, only: srf_diag
+  use cam_history, only: write_state_history
+  use lnd_soil, only: lnd_init, lnd_step
+  use ocn_pop, only: ocn_init, ocn_step
+  use aerosol_intr, only: aerosol_init, collect_aerosols
+  use aux_cam_000, only: aux_cam_000_main
+  use aux_cam_001, only: aux_cam_001_main
+  use aux_cam_002, only: aux_cam_002_main
+  use aux_cam_003, only: aux_cam_003_main
+  use aux_cam_004, only: aux_cam_004_main
+  use aux_cam_005, only: aux_cam_005_main
+  use aux_cam_006, only: aux_cam_006_main
+  use aux_cam_007, only: aux_cam_007_main
+  use aux_cam_008, only: aux_cam_008_main
+  use aux_cam_009, only: aux_cam_009_main
+  use aux_cam_010, only: aux_cam_010_main
+  use aux_cam_011, only: aux_cam_011_main
+  use aux_cam_012, only: aux_cam_012_main
+  use aux_cam_013, only: aux_cam_013_main
+  use aux_cam_014, only: aux_cam_014_main
+  use aux_cam_015, only: aux_cam_015_main
+  use aux_cam_016, only: aux_cam_016_main
+  use aux_cam_017, only: aux_cam_017_main
+  use aux_lnd_018, only: aux_lnd_018_main
+  use aux_cam_019, only: aux_cam_019_main
+  use aux_cam_020, only: aux_cam_020_main
+  use aux_cam_021, only: aux_cam_021_main
+  use aux_cam_022, only: aux_cam_022_main
+  use aux_cam_023, only: aux_cam_023_main
+  use aux_lnd_024, only: aux_lnd_024_main
+  use aux_cam_025, only: aux_cam_025_main
+  use aux_cam_026, only: aux_cam_026_main
+  use aux_cam_027, only: aux_cam_027_main
+  use aux_cam_028, only: aux_cam_028_main
+  use aux_cam_029, only: aux_cam_029_main
+  use aux_lnd_030, only: aux_lnd_030_main
+  use aux_cam_031, only: aux_cam_031_main
+  use aux_cam_032, only: aux_cam_032_main
+  use aux_cam_033, only: aux_cam_033_main
+  use aux_cam_034, only: aux_cam_034_main
+  use aux_cam_035, only: aux_cam_035_main
+  use aux_lnd_036, only: aux_lnd_036_main
+  use aux_cam_037, only: aux_cam_037_main
+  use aux_cam_038, only: aux_cam_038_main
+  use aux_cam_039, only: aux_cam_039_main
+  use aux_cam_040, only: aux_cam_040_main
+  use aux_cam_041, only: aux_cam_041_main
+  use aux_lnd_042, only: aux_lnd_042_main
+  use aux_cam_043, only: aux_cam_043_main
+  implicit none
+contains
+  subroutine cam_init()
+    call init_state()
+    call lnd_init()
+    call ocn_init()
+    call aerosol_init()
+  end subroutine cam_init
+  subroutine cam_step()
+    call aux_cam_000_main()
+    call aux_cam_001_main()
+    call aux_cam_002_main()
+    call aux_cam_003_main()
+    call aux_cam_004_main()
+    call aux_cam_005_main()
+    call aux_cam_006_main()
+    call aux_cam_007_main()
+    call aux_cam_008_main()
+    call aux_cam_009_main()
+    call aux_cam_010_main()
+    call aux_cam_011_main()
+    call aux_cam_012_main()
+    call collect_aerosols()
+    call dyn_step()
+    call physics_step()
+    call cldfrc_run()
+    call lw_run()
+    call sw_run()
+    call precip_run()
+    call microp_aero_run()
+    call srf_diag()
+    call lnd_step()
+    call ocn_step()
+    call aux_cam_013_main()
+    call aux_cam_014_main()
+    call aux_cam_015_main()
+    call aux_cam_016_main()
+    call aux_cam_017_main()
+    call aux_lnd_018_main()
+    call aux_cam_019_main()
+    call aux_cam_020_main()
+    call aux_cam_021_main()
+    call aux_cam_022_main()
+    call aux_cam_023_main()
+    call aux_lnd_024_main()
+    call aux_cam_025_main()
+    call aux_cam_026_main()
+    call aux_cam_027_main()
+    call aux_cam_028_main()
+    call aux_cam_029_main()
+    call aux_lnd_030_main()
+    call aux_cam_031_main()
+    call aux_cam_032_main()
+    call aux_cam_033_main()
+    call aux_cam_034_main()
+    call aux_cam_035_main()
+    call aux_lnd_036_main()
+    call aux_cam_037_main()
+    call aux_cam_038_main()
+    call aux_cam_039_main()
+    call aux_cam_040_main()
+    call aux_cam_041_main()
+    call aux_lnd_042_main()
+    call aux_cam_043_main()
+    call write_state_history()
+  end subroutine cam_step
+end module cam_driver

@@ -1,0 +1,66 @@
+module aux_lnd_018
+  use shr_kind_mod, only: pcols
+  use lnd_soil, only: soilw, snowd
+  use aux_cam_001, only: diag_001_0
+  use aux_cam_008, only: diag_008_0
+  implicit none
+  real :: diag_018_0(pcols)
+  real :: diag_018_1(pcols)
+contains
+  subroutine aux_lnd_018_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = soilw(i) * 0.598 + 0.079
+      wrk1 = snowd(i) * 0.448 + wrk0 * 0.227
+      wrk2 = wrk1 * wrk1 + 0.170
+      wrk3 = max(wrk2, 0.000)
+      wrk4 = wrk1 * wrk1 + 0.014
+      wrk5 = wrk3 * 0.609 + 0.139
+      wrk6 = sqrt(abs(wrk0) + 0.422)
+      wrk7 = max(wrk4, 0.108)
+      diag_018_0(i) = wrk2 * 0.585 + diag_001_0(i) * 0.205
+      diag_018_1(i) = wrk1 * 0.750 + diag_001_0(i) * 0.163
+    end do
+    call outfld('AUX018', diag_018_0)
+  end subroutine aux_lnd_018_main
+  subroutine aux_lnd_018_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.671
+    acc = acc * 1.0376 + -0.0882
+    acc = acc * 0.9742 + 0.0821
+    acc = acc * 0.8714 + 0.0979
+    xout = acc
+  end subroutine aux_lnd_018_extra0
+  subroutine aux_lnd_018_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.991
+    acc = acc * 0.9189 + -0.0183
+    acc = acc * 0.8456 + -0.0590
+    acc = acc * 1.1908 + -0.0771
+    xout = acc
+  end subroutine aux_lnd_018_extra1
+  subroutine aux_lnd_018_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.156
+    acc = acc * 0.9148 + 0.0002
+    acc = acc * 1.1111 + 0.0568
+    acc = acc * 1.1061 + -0.0340
+    acc = acc * 0.9767 + 0.0313
+    acc = acc * 1.0299 + -0.0599
+    xout = acc
+  end subroutine aux_lnd_018_extra2
+end module aux_lnd_018

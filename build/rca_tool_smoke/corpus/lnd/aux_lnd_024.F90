@@ -1,0 +1,143 @@
+module aux_lnd_024
+  use shr_kind_mod, only: pcols
+  use lnd_soil, only: soilw, snowd
+  implicit none
+  real :: diag_024_0(pcols)
+contains
+  subroutine aux_lnd_024_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: qrl
+    do i = 1, pcols
+      wrk0 = soilw(i) * 0.209 + 0.195
+      wrk1 = snowd(i) * 0.633 + wrk0 * 0.129
+      wrk2 = wrk1 * wrk1 + 0.165
+      wrk3 = sqrt(abs(wrk2) + 0.141)
+      wrk4 = wrk0 * wrk0 + 0.125
+      wrk5 = sqrt(abs(wrk0) + 0.384)
+      wrk6 = wrk2 * 0.348 + 0.260
+      wrk7 = wrk5 * wrk6 + 0.191
+      wrk8 = wrk2 * 0.562 + 0.196
+      wrk9 = wrk2 * 0.721 + 0.046
+      wrk10 = wrk1 * 0.317 + 0.095
+      wrk11 = max(wrk0, 0.193)
+      wrk12 = max(wrk2, 0.020)
+      qrl = wrk12 * 0.506 + 0.053
+      diag_024_0(i) = wrk9 * 0.605 + qrl * 0.1
+    end do
+  end subroutine aux_lnd_024_main
+  subroutine aux_lnd_024_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.098
+    acc = acc * 0.9438 + -0.0537
+    acc = acc * 1.1468 + -0.0339
+    acc = acc * 0.8727 + -0.0569
+    acc = acc * 1.0893 + -0.0164
+    acc = acc * 0.8238 + 0.0013
+    acc = acc * 0.8904 + 0.0945
+    acc = acc * 1.0239 + 0.0500
+    acc = acc * 1.1523 + -0.0235
+    acc = acc * 1.1258 + -0.0697
+    acc = acc * 0.9706 + -0.0733
+    acc = acc * 0.9919 + -0.0470
+    acc = acc * 1.1935 + -0.0632
+    acc = acc * 0.8913 + -0.0341
+    acc = acc * 0.8818 + -0.0139
+    acc = acc * 0.8840 + 0.0163
+    acc = acc * 1.1469 + 0.0460
+    xout = acc
+  end subroutine aux_lnd_024_extra0
+  subroutine aux_lnd_024_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.077
+    acc = acc * 1.1915 + 0.0763
+    acc = acc * 0.9047 + 0.0432
+    acc = acc * 0.8702 + -0.0509
+    acc = acc * 1.0191 + 0.0175
+    acc = acc * 0.9029 + 0.0005
+    acc = acc * 0.8661 + -0.0918
+    acc = acc * 1.1648 + 0.0648
+    acc = acc * 0.8917 + -0.0059
+    acc = acc * 0.9546 + -0.0149
+    acc = acc * 1.0717 + 0.0747
+    acc = acc * 0.9277 + 0.0592
+    acc = acc * 1.0814 + -0.0585
+    acc = acc * 0.8937 + 0.0320
+    acc = acc * 1.0909 + 0.0912
+    acc = acc * 0.8334 + -0.0365
+    xout = acc
+  end subroutine aux_lnd_024_extra1
+  subroutine aux_lnd_024_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.556
+    acc = acc * 0.9198 + 0.0048
+    acc = acc * 0.8379 + -0.0802
+    acc = acc * 1.0924 + -0.0188
+    acc = acc * 1.1677 + 0.0662
+    acc = acc * 0.8771 + -0.0052
+    acc = acc * 1.0197 + -0.0306
+    acc = acc * 1.0404 + -0.0848
+    acc = acc * 0.9244 + 0.0969
+    acc = acc * 1.1166 + 0.0499
+    acc = acc * 0.9944 + 0.0030
+    xout = acc
+  end subroutine aux_lnd_024_extra2
+  subroutine aux_lnd_024_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.656
+    acc = acc * 0.9545 + -0.0723
+    acc = acc * 0.9259 + -0.0501
+    acc = acc * 1.0601 + -0.0397
+    acc = acc * 0.9264 + 0.0393
+    acc = acc * 0.8885 + 0.0126
+    acc = acc * 1.1679 + -0.0707
+    acc = acc * 0.8688 + -0.0357
+    acc = acc * 1.0194 + -0.0884
+    acc = acc * 0.9349 + -0.0332
+    acc = acc * 0.8383 + 0.0732
+    acc = acc * 1.1821 + 0.0674
+    acc = acc * 0.9893 + -0.0175
+    acc = acc * 0.9308 + 0.0872
+    acc = acc * 1.1753 + 0.0011
+    acc = acc * 1.1754 + -0.0575
+    xout = acc
+  end subroutine aux_lnd_024_extra3
+  subroutine aux_lnd_024_extra4(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.953
+    acc = acc * 0.9033 + -0.0228
+    acc = acc * 0.9155 + 0.0931
+    acc = acc * 0.9995 + 0.0704
+    acc = acc * 1.1874 + 0.0671
+    acc = acc * 1.0010 + 0.0139
+    acc = acc * 1.0202 + -0.0311
+    acc = acc * 0.9232 + -0.0301
+    acc = acc * 1.1198 + -0.0947
+    acc = acc * 1.0394 + 0.0873
+    acc = acc * 0.8613 + 0.0657
+    acc = acc * 1.1992 + -0.0579
+    xout = acc
+  end subroutine aux_lnd_024_extra4
+end module aux_lnd_024

@@ -1,0 +1,58 @@
+module aux_lnd_030
+  use shr_kind_mod, only: pcols
+  use lnd_soil, only: soilw, snowd
+  implicit none
+  real :: diag_030_0(pcols)
+contains
+  subroutine aux_lnd_030_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    do i = 1, pcols
+      wrk0 = soilw(i) * 0.758 + 0.030
+      wrk1 = snowd(i) * 0.767 + wrk0 * 0.251
+      wrk2 = wrk1 * 0.514 + 0.059
+      wrk3 = wrk2 * wrk2 + 0.068
+      diag_030_0(i) = wrk2 * 0.403
+    end do
+    call outfld('AUX030', diag_030_0)
+  end subroutine aux_lnd_030_main
+  subroutine aux_lnd_030_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.316
+    acc = acc * 0.8522 + 0.0841
+    acc = acc * 0.8688 + -0.0781
+    acc = acc * 1.1391 + -0.0594
+    acc = acc * 1.1119 + 0.0681
+    acc = acc * 0.8742 + -0.0251
+    acc = acc * 1.1765 + 0.0155
+    xout = acc
+  end subroutine aux_lnd_030_extra0
+  subroutine aux_lnd_030_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.106
+    acc = acc * 1.1629 + -0.0597
+    acc = acc * 0.8088 + 0.0160
+    acc = acc * 0.8400 + -0.0005
+    acc = acc * 0.9726 + 0.0835
+    acc = acc * 1.1520 + 0.0764
+    acc = acc * 1.0796 + -0.0864
+    xout = acc
+  end subroutine aux_lnd_030_extra1
+  subroutine aux_lnd_030_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.475
+    acc = acc * 0.8452 + 0.0632
+    acc = acc * 1.1382 + 0.0991
+    acc = acc * 1.1861 + 0.0534
+    xout = acc
+  end subroutine aux_lnd_030_extra2
+end module aux_lnd_030

@@ -1,0 +1,136 @@
+module aux_lnd_036
+  use shr_kind_mod, only: pcols
+  use lnd_soil, only: soilw, snowd
+  use aux_cam_023, only: diag_023_0
+  use aux_cam_003, only: diag_003_0
+  implicit none
+  real :: diag_036_0(pcols)
+  real :: diag_036_1(pcols)
+  real :: diag_036_2(pcols)
+contains
+  subroutine aux_lnd_036_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    real :: wrk8
+    real :: wrk9
+    real :: wrk10
+    real :: wrk11
+    real :: wrk12
+    real :: wrk13
+    real :: wrk14
+    do i = 1, pcols
+      wrk0 = soilw(i) * 0.483 + 0.166
+      wrk1 = snowd(i) * 0.463 + wrk0 * 0.362
+      wrk2 = sqrt(abs(wrk1) + 0.129)
+      wrk3 = wrk2 * wrk2 + 0.105
+      wrk4 = sqrt(abs(wrk0) + 0.159)
+      wrk5 = wrk1 * 0.435 + 0.011
+      wrk6 = wrk5 * wrk5 + 0.197
+      wrk7 = sqrt(abs(wrk4) + 0.421)
+      wrk8 = wrk2 * 0.562 + 0.201
+      wrk9 = wrk0 * 0.367 + 0.227
+      wrk10 = wrk1 * wrk9 + 0.166
+      wrk11 = wrk3 * wrk10 + 0.051
+      wrk12 = sqrt(abs(wrk5) + 0.164)
+      wrk13 = sqrt(abs(wrk1) + 0.180)
+      wrk14 = max(wrk1, 0.061)
+      diag_036_0(i) = wrk7 * 0.232 + diag_003_0(i) * 0.320
+      diag_036_1(i) = wrk7 * 0.706 + diag_003_0(i) * 0.079
+      diag_036_2(i) = wrk8 * 0.547 + diag_003_0(i) * 0.260
+    end do
+    call outfld('AUX036', diag_036_0)
+  end subroutine aux_lnd_036_main
+  subroutine aux_lnd_036_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.892
+    acc = acc * 1.0169 + -0.0070
+    acc = acc * 1.1623 + 0.0718
+    acc = acc * 1.1110 + 0.0525
+    acc = acc * 0.8755 + -0.0528
+    acc = acc * 0.9435 + -0.0812
+    acc = acc * 1.1068 + 0.0189
+    acc = acc * 1.0144 + 0.0338
+    acc = acc * 0.9473 + -0.0370
+    acc = acc * 1.0899 + 0.0474
+    acc = acc * 0.9808 + 0.0993
+    acc = acc * 1.0302 + -0.0638
+    xout = acc
+  end subroutine aux_lnd_036_extra0
+  subroutine aux_lnd_036_extra1(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.381
+    acc = acc * 1.0901 + -0.0636
+    acc = acc * 0.9442 + -0.0201
+    acc = acc * 1.0283 + -0.0414
+    acc = acc * 1.0172 + -0.0075
+    acc = acc * 0.9944 + 0.0996
+    acc = acc * 0.8502 + 0.0442
+    acc = acc * 1.1344 + 0.0817
+    acc = acc * 0.8829 + -0.0588
+    acc = acc * 1.0340 + 0.0319
+    xout = acc
+  end subroutine aux_lnd_036_extra1
+  subroutine aux_lnd_036_extra2(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.027
+    acc = acc * 0.8395 + 0.0799
+    acc = acc * 1.0945 + -0.0938
+    acc = acc * 0.8191 + 0.0120
+    acc = acc * 0.8621 + -0.0111
+    acc = acc * 0.8993 + -0.0743
+    acc = acc * 1.0852 + -0.0436
+    acc = acc * 0.8077 + -0.0357
+    acc = acc * 0.9588 + 0.0807
+    acc = acc * 1.1623 + 0.0074
+    acc = acc * 1.0229 + 0.0528
+    acc = acc * 1.0971 + 0.0533
+    acc = acc * 1.0919 + -0.0356
+    acc = acc * 1.1190 + 0.0262
+    acc = acc * 0.9824 + -0.0720
+    acc = acc * 0.9868 + -0.0212
+    acc = acc * 1.0583 + -0.0578
+    acc = acc * 1.0183 + -0.0154
+    acc = acc * 0.9221 + 0.0903
+    xout = acc
+  end subroutine aux_lnd_036_extra2
+  subroutine aux_lnd_036_extra3(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 1.461
+    acc = acc * 1.0375 + 0.0789
+    acc = acc * 1.1490 + -0.0494
+    acc = acc * 0.9761 + -0.0562
+    acc = acc * 1.1646 + -0.0395
+    acc = acc * 0.9787 + 0.0074
+    acc = acc * 1.1127 + -0.0454
+    acc = acc * 0.8086 + 0.0618
+    acc = acc * 1.0383 + 0.0036
+    acc = acc * 1.1852 + 0.0172
+    acc = acc * 1.1376 + 0.0977
+    acc = acc * 1.0356 + 0.0160
+    acc = acc * 0.8472 + 0.0312
+    acc = acc * 0.9684 + 0.0961
+    acc = acc * 0.8695 + -0.0949
+    acc = acc * 0.9013 + 0.0250
+    acc = acc * 0.8587 + 0.0825
+    acc = acc * 0.9494 + -0.0494
+    acc = acc * 0.8047 + 0.0044
+    acc = acc * 0.8299 + 0.0077
+    acc = acc * 1.0521 + -0.0783
+    xout = acc
+  end subroutine aux_lnd_036_extra3
+end module aux_lnd_036

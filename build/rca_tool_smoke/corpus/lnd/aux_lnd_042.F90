@@ -1,0 +1,44 @@
+module aux_lnd_042
+  use shr_kind_mod, only: pcols
+  use lnd_soil, only: soilw, snowd
+  use aux_lnd_024, only: diag_024_0
+  implicit none
+  real :: diag_042_0(pcols)
+  real :: diag_042_1(pcols)
+contains
+  subroutine aux_lnd_042_main()
+    integer :: i
+    real :: wrk0
+    real :: wrk1
+    real :: wrk2
+    real :: wrk3
+    real :: wrk4
+    real :: wrk5
+    real :: wrk6
+    real :: wrk7
+    do i = 1, pcols
+      wrk0 = soilw(i) * 0.804 + 0.080
+      wrk1 = snowd(i) * 0.798 + wrk0 * 0.353
+      wrk2 = max(wrk0, 0.101)
+      wrk3 = max(wrk0, 0.105)
+      wrk4 = sqrt(abs(wrk2) + 0.066)
+      wrk5 = sqrt(abs(wrk2) + 0.165)
+      wrk6 = max(wrk0, 0.015)
+      wrk7 = wrk6 * 0.281 + 0.024
+      diag_042_0(i) = wrk7 * 0.815 + diag_024_0(i) * 0.210
+      diag_042_1(i) = wrk7 * 0.726 + diag_024_0(i) * 0.394
+    end do
+    call outfld('AUX042', diag_042_0)
+  end subroutine aux_lnd_042_main
+  subroutine aux_lnd_042_extra0(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    real :: acc
+    acc = xin * 0.906
+    acc = acc * 0.9288 + -0.0944
+    acc = acc * 0.9502 + 0.0533
+    acc = acc * 0.9067 + 0.0222
+    acc = acc * 0.9922 + 0.0205
+    xout = acc
+  end subroutine aux_lnd_042_extra0
+end module aux_lnd_042

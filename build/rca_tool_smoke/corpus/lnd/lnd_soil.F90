@@ -1,0 +1,24 @@
+
+module lnd_soil
+  use shr_kind_mod, only: pcols
+  implicit none
+  real :: soilw(pcols)
+  real :: snowd(pcols)
+contains
+  subroutine lnd_init()
+    integer :: i
+    do i = 1, pcols
+      soilw(i) = 0.31 + 0.042 * real(i)
+      snowd(i) = 0.22 + 0.013 * real(i)
+    end do
+  end subroutine lnd_init
+  subroutine lnd_step()
+    ! Land component: its own chaotic moisture field, outside CAM.
+    integer :: i
+    do i = 1, pcols
+      soilw(i) = 3.88 * soilw(i) * (1.0 - soilw(i))
+      soilw(i) = min(max(soilw(i), 0.02), 0.98)
+      snowd(i) = 0.9 * snowd(i) + 0.06 * soilw(i) + 0.01
+    end do
+  end subroutine lnd_step
+end module lnd_soil

@@ -1,0 +1,30 @@
+
+module ocn_pop
+  use shr_kind_mod, only: pcols
+  use camsrf, only: wsx, shf
+  implicit none
+  real :: sst(pcols)
+  real :: ssh(pcols)
+  real :: uocn(pcols)
+contains
+  subroutine ocn_init()
+    integer :: i
+    do i = 1, pcols
+      sst(i) = 0.45 + 0.021 * real(i)
+      ssh(i) = 0.35 + 0.012 * real(i)
+      uocn(i) = 0.25 + 0.017 * real(i)
+    end do
+  end subroutine ocn_init
+  subroutine ocn_step()
+    integer :: i
+    do i = 1, pcols
+      sst(i) = 3.7 * sst(i) * (1.0 - sst(i)) * 0.9 + 0.06 * shf(i)
+      sst(i) = min(max(sst(i), 0.02), 0.98)
+      uocn(i) = 0.88 * uocn(i) + 0.1 * wsx(i)
+      ssh(i) = 0.85 * ssh(i) + 0.09 * uocn(i) + 0.05 * sst(i)
+    end do
+    call outfld('SST', sst)
+    call outfld('SSH', ssh)
+    call outfld('UOCN', uocn)
+  end subroutine ocn_step
+end module ocn_pop

@@ -1,0 +1,14 @@
+
+module shr_kind_mod
+  implicit none
+  integer, parameter :: r8 = 8
+  integer, parameter :: pcols = 8
+  real, parameter :: gravit = 9.80616
+  real, parameter :: rair = 287.042
+  real, parameter :: cpair = 1004.64
+  real, parameter :: latvap = 2501000.0
+  real, parameter :: tmelt = 273.15
+  real, parameter :: qsmall = 1.0e-18
+  real, parameter :: tlo = 0.02
+  real, parameter :: thi = 0.98
+end module shr_kind_mod

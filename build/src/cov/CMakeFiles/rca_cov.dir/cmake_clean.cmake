@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_cov.dir/coverage_filter.cpp.o"
+  "CMakeFiles/rca_cov.dir/coverage_filter.cpp.o.d"
+  "librca_cov.a"
+  "librca_cov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

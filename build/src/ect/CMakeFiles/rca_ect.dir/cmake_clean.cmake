@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_ect.dir/ect.cpp.o"
+  "CMakeFiles/rca_ect.dir/ect.cpp.o.d"
+  "librca_ect.a"
+  "librca_ect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_ect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_engine.dir/pipeline.cpp.o"
+  "CMakeFiles/rca_engine.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rca_engine.dir/refinement.cpp.o"
+  "CMakeFiles/rca_engine.dir/refinement.cpp.o.d"
+  "librca_engine.a"
+  "librca_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

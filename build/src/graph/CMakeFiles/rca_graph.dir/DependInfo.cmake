@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/betweenness.cpp" "src/graph/CMakeFiles/rca_graph.dir/betweenness.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/betweenness.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/rca_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/bridges.cpp" "src/graph/CMakeFiles/rca_graph.dir/bridges.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/bridges.cpp.o.d"
+  "/root/repo/src/graph/centrality.cpp" "src/graph/CMakeFiles/rca_graph.dir/centrality.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/centrality.cpp.o.d"
+  "/root/repo/src/graph/degree_dist.cpp" "src/graph/CMakeFiles/rca_graph.dir/degree_dist.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/degree_dist.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/rca_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/dot_export.cpp" "src/graph/CMakeFiles/rca_graph.dir/dot_export.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/dot_export.cpp.o.d"
+  "/root/repo/src/graph/girvan_newman.cpp" "src/graph/CMakeFiles/rca_graph.dir/girvan_newman.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/girvan_newman.cpp.o.d"
+  "/root/repo/src/graph/louvain.cpp" "src/graph/CMakeFiles/rca_graph.dir/louvain.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/louvain.cpp.o.d"
+  "/root/repo/src/graph/nonbacktracking.cpp" "src/graph/CMakeFiles/rca_graph.dir/nonbacktracking.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/nonbacktracking.cpp.o.d"
+  "/root/repo/src/graph/scc.cpp" "src/graph/CMakeFiles/rca_graph.dir/scc.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/scc.cpp.o.d"
+  "/root/repo/src/graph/ugraph.cpp" "src/graph/CMakeFiles/rca_graph.dir/ugraph.cpp.o" "gcc" "src/graph/CMakeFiles/rca_graph.dir/ugraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

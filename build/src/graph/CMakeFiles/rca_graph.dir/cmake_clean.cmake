@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_graph.dir/betweenness.cpp.o"
+  "CMakeFiles/rca_graph.dir/betweenness.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/bfs.cpp.o"
+  "CMakeFiles/rca_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/bridges.cpp.o"
+  "CMakeFiles/rca_graph.dir/bridges.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/centrality.cpp.o"
+  "CMakeFiles/rca_graph.dir/centrality.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/degree_dist.cpp.o"
+  "CMakeFiles/rca_graph.dir/degree_dist.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/digraph.cpp.o"
+  "CMakeFiles/rca_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/dot_export.cpp.o"
+  "CMakeFiles/rca_graph.dir/dot_export.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/girvan_newman.cpp.o"
+  "CMakeFiles/rca_graph.dir/girvan_newman.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/louvain.cpp.o"
+  "CMakeFiles/rca_graph.dir/louvain.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/nonbacktracking.cpp.o"
+  "CMakeFiles/rca_graph.dir/nonbacktracking.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/scc.cpp.o"
+  "CMakeFiles/rca_graph.dir/scc.cpp.o.d"
+  "CMakeFiles/rca_graph.dir/ugraph.cpp.o"
+  "CMakeFiles/rca_graph.dir/ugraph.cpp.o.d"
+  "librca_graph.a"
+  "librca_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/rca_interp.dir/interpreter.cpp.o.d"
+  "CMakeFiles/rca_interp.dir/value.cpp.o"
+  "CMakeFiles/rca_interp.dir/value.cpp.o.d"
+  "librca_interp.a"
+  "librca_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

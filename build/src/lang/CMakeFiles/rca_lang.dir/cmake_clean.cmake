@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_lang.dir/ast.cpp.o"
+  "CMakeFiles/rca_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/rca_lang.dir/lexer.cpp.o"
+  "CMakeFiles/rca_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/rca_lang.dir/parser.cpp.o"
+  "CMakeFiles/rca_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/rca_lang.dir/printer.cpp.o"
+  "CMakeFiles/rca_lang.dir/printer.cpp.o.d"
+  "librca_lang.a"
+  "librca_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

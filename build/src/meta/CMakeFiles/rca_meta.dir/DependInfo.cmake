@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/builder.cpp" "src/meta/CMakeFiles/rca_meta.dir/builder.cpp.o" "gcc" "src/meta/CMakeFiles/rca_meta.dir/builder.cpp.o.d"
+  "/root/repo/src/meta/metagraph.cpp" "src/meta/CMakeFiles/rca_meta.dir/metagraph.cpp.o" "gcc" "src/meta/CMakeFiles/rca_meta.dir/metagraph.cpp.o.d"
+  "/root/repo/src/meta/serialize.cpp" "src/meta/CMakeFiles/rca_meta.dir/serialize.cpp.o" "gcc" "src/meta/CMakeFiles/rca_meta.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rca_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/rca_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/rca_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_meta.dir/builder.cpp.o"
+  "CMakeFiles/rca_meta.dir/builder.cpp.o.d"
+  "CMakeFiles/rca_meta.dir/metagraph.cpp.o"
+  "CMakeFiles/rca_meta.dir/metagraph.cpp.o.d"
+  "CMakeFiles/rca_meta.dir/serialize.cpp.o"
+  "CMakeFiles/rca_meta.dir/serialize.cpp.o.d"
+  "librca_meta.a"
+  "librca_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

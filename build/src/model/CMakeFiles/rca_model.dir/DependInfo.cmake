@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/corpus.cpp" "src/model/CMakeFiles/rca_model.dir/corpus.cpp.o" "gcc" "src/model/CMakeFiles/rca_model.dir/corpus.cpp.o.d"
+  "/root/repo/src/model/corpus_core.cpp" "src/model/CMakeFiles/rca_model.dir/corpus_core.cpp.o" "gcc" "src/model/CMakeFiles/rca_model.dir/corpus_core.cpp.o.d"
+  "/root/repo/src/model/corpus_filler.cpp" "src/model/CMakeFiles/rca_model.dir/corpus_filler.cpp.o" "gcc" "src/model/CMakeFiles/rca_model.dir/corpus_filler.cpp.o.d"
+  "/root/repo/src/model/experiments.cpp" "src/model/CMakeFiles/rca_model.dir/experiments.cpp.o" "gcc" "src/model/CMakeFiles/rca_model.dir/experiments.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/rca_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/rca_model.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/rca_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/rca_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/rca_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rca_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rca_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rca_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_model.dir/corpus.cpp.o"
+  "CMakeFiles/rca_model.dir/corpus.cpp.o.d"
+  "CMakeFiles/rca_model.dir/corpus_core.cpp.o"
+  "CMakeFiles/rca_model.dir/corpus_core.cpp.o.d"
+  "CMakeFiles/rca_model.dir/corpus_filler.cpp.o"
+  "CMakeFiles/rca_model.dir/corpus_filler.cpp.o.d"
+  "CMakeFiles/rca_model.dir/experiments.cpp.o"
+  "CMakeFiles/rca_model.dir/experiments.cpp.o.d"
+  "CMakeFiles/rca_model.dir/model.cpp.o"
+  "CMakeFiles/rca_model.dir/model.cpp.o.d"
+  "librca_model.a"
+  "librca_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librca_model.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_slice.dir/slicer.cpp.o"
+  "CMakeFiles/rca_slice.dir/slicer.cpp.o.d"
+  "librca_slice.a"
+  "librca_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

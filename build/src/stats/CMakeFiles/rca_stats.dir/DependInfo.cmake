@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/rca_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/rca_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/lasso.cpp" "src/stats/CMakeFiles/rca_stats.dir/lasso.cpp.o" "gcc" "src/stats/CMakeFiles/rca_stats.dir/lasso.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/rca_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/rca_stats.dir/pca.cpp.o.d"
+  "/root/repo/src/stats/selection.cpp" "src/stats/CMakeFiles/rca_stats.dir/selection.cpp.o" "gcc" "src/stats/CMakeFiles/rca_stats.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

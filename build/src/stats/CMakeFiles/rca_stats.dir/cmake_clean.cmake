@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/rca_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/rca_stats.dir/lasso.cpp.o"
+  "CMakeFiles/rca_stats.dir/lasso.cpp.o.d"
+  "CMakeFiles/rca_stats.dir/pca.cpp.o"
+  "CMakeFiles/rca_stats.dir/pca.cpp.o.d"
+  "CMakeFiles/rca_stats.dir/selection.cpp.o"
+  "CMakeFiles/rca_stats.dir/selection.cpp.o.d"
+  "librca_stats.a"
+  "librca_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_support.dir/args.cpp.o"
+  "CMakeFiles/rca_support.dir/args.cpp.o.d"
+  "CMakeFiles/rca_support.dir/json.cpp.o"
+  "CMakeFiles/rca_support.dir/json.cpp.o.d"
+  "CMakeFiles/rca_support.dir/rng.cpp.o"
+  "CMakeFiles/rca_support.dir/rng.cpp.o.d"
+  "CMakeFiles/rca_support.dir/strings.cpp.o"
+  "CMakeFiles/rca_support.dir/strings.cpp.o.d"
+  "CMakeFiles/rca_support.dir/table.cpp.o"
+  "CMakeFiles/rca_support.dir/table.cpp.o.d"
+  "CMakeFiles/rca_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/rca_support.dir/thread_pool.cpp.o.d"
+  "librca_support.a"
+  "librca_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ect_test.dir/ect_test.cpp.o"
+  "CMakeFiles/ect_test.dir/ect_test.cpp.o.d"
+  "ect_test"
+  "ect_test.pdb"
+  "ect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
