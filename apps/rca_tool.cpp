@@ -32,6 +32,7 @@
 #include "meta/serialize.hpp"
 #include "model/corpus.hpp"
 #include "model/model.hpp"
+#include "obs/obs.hpp"
 #include "slice/slicer.hpp"
 #include "support/args.hpp"
 #include "support/json.hpp"
@@ -55,6 +56,10 @@ int usage() {
       "  communities  Girvan-Newman or Louvain partition of a slice\n"
       "  centrality   rank nodes or modules\n"
       "  analyze      run a full paper experiment on the synthetic model\n"
+      "\n"
+      "global options (any subcommand):\n"
+      "  --metrics-out FILE   record spans/counters/histograms, write JSON\n"
+      "  --trace              print the span tree to stderr on exit\n"
       "\n"
       "run `rca-tool <subcommand> --help` semantics are documented at the\n"
       "top of apps/rca_tool.cpp and in README.md.\n";
@@ -497,6 +502,16 @@ int cmd_analyze(const Args& args) {
 int main(int argc, char** argv) {
   try {
     Args args(argc, argv);
+    // Observability: --metrics-out FILE and/or --trace turn the global
+    // metrics sink on for any subcommand.
+    const bool want_metrics = args.has("metrics-out");
+    const bool want_trace = args.has("trace");
+    const std::string metrics_path = args.get("metrics-out");
+    if (want_metrics && metrics_path.empty()) {
+      throw Error("--metrics-out needs a file path");
+    }
+    if (want_metrics || want_trace) obs::global().set_enabled(true);
+
     int rc;
     if (args.command() == "generate") rc = cmd_generate(args);
     else if (args.command() == "graph") rc = cmd_graph(args);
@@ -508,6 +523,15 @@ int main(int argc, char** argv) {
     else return usage();
     for (const auto& key : args.unused_keys()) {
       std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+    }
+    if (want_metrics) {
+      write_file(metrics_path, obs::global().to_json() + "\n");
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    if (want_trace) {
+      std::ostringstream trace;
+      obs::global().write_trace(trace);
+      std::fputs(trace.str().c_str(), stderr);
     }
     return rc;
   } catch (const std::exception& e) {

@@ -5,14 +5,17 @@
 //   * variable digraph: ~100k nodes / ~170k edges;
 //   * module quotient graph: 561 nodes / 4,245 edges.
 // Our corpus is scaled (~1/10 modules); the *ratios* are the comparison.
+#include <fstream>
+
 #include "bench/bench_common.hpp"
 #include "cov/coverage_filter.hpp"
 #include "graph/centrality.hpp"
+#include "obs/obs.hpp"
 #include "support/stopwatch.hpp"
 
 using namespace rca;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Pipeline statistics — search-space reduction stages",
                 "paper: 2400->820 modules; -30% modules/-60% subprograms by "
                 "coverage; ~100k/170k graph; 561/4245 quotient");
@@ -85,6 +88,36 @@ int main() {
       model.parse_failures() == 0;
   std::printf("\nshape check (each stage reduces as in the paper): %s\n",
               shape_holds ? "HOLDS" : "VIOLATED");
+
+  // Observability overhead: the same experiment with the metrics sink
+  // disabled (instrumentation compiled in, branches off) and enabled. The
+  // disabled-sink run must stay within noise of uninstrumented speed.
+  obs::global().set_enabled(false);
+  pipe.run_experiment(model::ExperimentId::kGoffGratch);  // warm caches
+  Stopwatch off_sw;
+  pipe.run_experiment(model::ExperimentId::kGoffGratch);
+  const double off_s = off_sw.seconds();
+
+  obs::global().set_enabled(true);
+  obs::global().reset();
+  Stopwatch on_sw;
+  pipe.run_experiment(model::ExperimentId::kGoffGratch);
+  const double on_s = on_sw.seconds();
+  obs::global().set_enabled(false);
+
+  std::printf("\nobservability overhead (GOFFGRATCH experiment):\n");
+  std::printf("  sink disabled: %.3fs\n  sink enabled:  %.3fs (+%.1f%%)\n",
+              off_s, on_s, off_s > 0 ? (on_s / off_s - 1.0) * 100.0 : 0.0);
+
+  const std::string metrics_path =
+      argc > 1 ? argv[1] : "pipeline_stats_metrics.json";
+  std::ofstream out(metrics_path);
+  out << obs::global().to_json() << "\n";
+  std::printf("wrote metrics to %s (%zu spans, model runs: %llu)\n",
+              metrics_path.c_str(), obs::global().spans().size(),
+              static_cast<unsigned long long>(
+                  obs::global().counter("model.runs")));
+
   std::printf("elapsed: %.1fs\n", sw.seconds());
   return shape_holds ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 #include "support/error.hpp"
 
@@ -69,6 +70,12 @@ Verdict EnsembleConsistencyTest::evaluate(
     if (fail_counts[k] >= majority) verdict.failing_pcs.push_back(k);
   }
   verdict.pass = verdict.failing_pcs.size() < opts_.min_failing_pcs;
+  obs::count("ect.evaluations");
+  obs::count("ect.pc_failures", verdict.failing_pcs.size());
+  std::size_t run_pc_failures = 0;
+  for (const RunScore& rs : verdict.runs) run_pc_failures += rs.failing_pcs.size();
+  obs::count("ect.run_pc_failures", run_pc_failures);
+  if (!verdict.pass) obs::count("ect.fail_verdicts");
   return verdict;
 }
 

@@ -4,6 +4,7 @@
 
 #include "meta/builder.hpp"
 #include "model/corpus.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace rca::engine {
@@ -11,6 +12,7 @@ namespace rca::engine {
 using graph::NodeId;
 
 Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+  obs::Span span("pipeline.init");
   if (config_.threads > 0) {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
     config_.refinement.pool = pool_.get();
@@ -32,6 +34,12 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
                                      config_.ensemble_members, &names_, 1);
   ect_ = std::make_unique<ect::EnsembleConsistencyTest>(ensemble_, names_,
                                                         config_.ect);
+  span.attr("graph_nodes", mg_.node_count());
+  span.attr("graph_edges", mg_.graph().edge_count());
+  span.attr("ensemble_members", config_.ensemble_members);
+  obs::gauge("pipeline.graph_nodes", static_cast<double>(mg_.node_count()));
+  obs::gauge("pipeline.graph_edges",
+             static_cast<double>(mg_.graph().edge_count()));
 }
 
 const model::CesmModel& Pipeline::experiment_model(
@@ -82,17 +90,26 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
                                        bool runtime_sampling) {
   ExperimentOutcome outcome;
   outcome.spec = &model::experiment(id);
+  obs::Span experiment_span("experiment");
+  experiment_span.attr("name", outcome.spec->name);
+  experiment_span.attr("runtime_sampling", runtime_sampling);
   const model::CesmModel& exp_model = experiment_model(*outcome.spec);
   const model::RunConfig exp_config =
       model::experiment_run_config(*outcome.spec, config_.base_run);
 
   // 0. UF-ECT verdict on a 3-run experimental set.
-  const auto verdict_runs =
-      model::experiment_set(exp_model, exp_config, 3, 5000, names_);
-  outcome.verdict = ect_->evaluate(verdict_runs);
+  {
+    obs::Span span("ect");
+    const auto verdict_runs =
+        model::experiment_set(exp_model, exp_config, 3, 5000, names_);
+    outcome.verdict = ect_->evaluate(verdict_runs);
+    span.attr("pass", outcome.verdict.pass);
+    span.attr("failing_pcs", outcome.verdict.failing_pcs.size());
+  }
 
   // 1. Variable selection (§3): both methods reported; lasso drives the
   //    slice (falling back to median ranking if lasso selects nothing).
+  obs::Span selection_span("selection");
   const auto exp_runs = model::experiment_set(
       exp_model, exp_config, config_.experimental_runs, 6000, names_);
   stats::Matrix exp_matrix(exp_runs.size(), names_.size());
@@ -140,8 +157,13 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
   }
   RCA_CHECK_MSG(!outcome.internal_names.empty(),
                 "no internal names resolved for selected outputs");
+  selection_span.attr("criteria", outcome.criteria_outputs.size());
+  selection_span.attr("internal_names", outcome.internal_names.size());
+  selection_span.attr("lasso_selected", outcome.lasso_selected.size());
+  selection_span.end();
 
   // 3-4. Backward slice and induced subgraph.
+  obs::Span slice_span("slice");
   slice::SliceOptions slice_opts;
   if (config_.restrict_to_cam) {
     slice_opts.module_filter = [](const std::string& m) {
@@ -151,8 +173,16 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
   slice_opts.drop_components_smaller_than = config_.drop_small_components;
   outcome.slice = slice::backward_slice(mg_, outcome.internal_names,
                                         slice_opts);
+  slice_span.attr("nodes", outcome.slice.nodes.size());
+  slice_span.attr("edges", outcome.slice.subgraph.edge_count());
+  obs::gauge("pipeline.slice_nodes",
+             static_cast<double>(outcome.slice.nodes.size()));
+  obs::gauge("pipeline.slice_edges",
+             static_cast<double>(outcome.slice.subgraph.edge_count()));
+  slice_span.end();
 
   // 5-9. Iterative refinement.
+  obs::Span refinement_span("refinement");
   outcome.bug_nodes = bug_nodes(*outcome.spec);
   std::unique_ptr<Sampler> sampler;
   if (runtime_sampling) {
@@ -169,6 +199,9 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
   RefinementEngine engine(mg_, *sampler, config_.refinement);
   outcome.refinement = engine.run(outcome.slice.nodes, outcome.bug_nodes,
                                   outcome.slice.targets);
+  refinement_span.attr("iterations", outcome.refinement.iterations.size());
+  refinement_span.attr("final_nodes", outcome.refinement.final_nodes.size());
+  refinement_span.attr("stalled", outcome.refinement.stalled);
   return outcome;
 }
 

@@ -9,6 +9,7 @@
 #include "graph/girvan_newman.hpp"
 #include "graph/louvain.hpp"
 #include "graph/nonbacktracking.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace rca::engine {
@@ -170,6 +171,9 @@ RefinementResult RefinementEngine::run(
 
   for (std::size_t iter = 1; iter <= opts_.max_iterations; ++iter) {
     if (current.size() <= opts_.small_enough) break;
+    obs::Span iter_span("refinement.iteration");
+    obs::count("refinement.iterations");
+    iter_span.attr("iteration", iter);
 
     // Induce the working subgraph; local ids index into `current`.
     graph::Digraph sub = induced_subgraph(mg_.graph(), current, nullptr);
@@ -177,6 +181,8 @@ RefinementResult RefinementEngine::run(
     IterationReport report;
     report.subgraph_nodes = sub.node_count();
     report.subgraph_edges = sub.edge_count();
+    iter_span.attr("subgraph_nodes", report.subgraph_nodes);
+    iter_span.attr("subgraph_edges", report.subgraph_edges);
 
     // Step 5: community detection on the weakly connected (undirected)
     // view — Girvan-Newman by default, Louvain optionally.
@@ -192,6 +198,11 @@ RefinementResult RefinementEngine::run(
 
     // Step 6: eigenvector in-centrality per community, top-m sites.
     // Step 7: sample each community independently (parallel tasks).
+    iter_span.attr("communities", communities.communities.size());
+    for (const auto& comm : communities.communities) {
+      obs::observe("refinement.community_size",
+                   static_cast<double>(comm.size()));
+    }
     report.communities.resize(communities.communities.size());
     auto sample_community = [&](std::size_t c) {
       const std::vector<NodeId>& members_local = communities.communities[c];
@@ -248,6 +259,10 @@ RefinementResult RefinementEngine::run(
     if (report.detected && result.first_detection_at == 0) {
       result.first_detection_at = iter;
     }
+    iter_span.attr("sampled_sites", all_sampled_local.size());
+    iter_span.attr("differing_sites", all_differing_local.size());
+    obs::count("refinement.sampled_sites", all_sampled_local.size());
+    obs::count("refinement.differing_sites", all_differing_local.size());
 
     // Step 8.
     std::vector<NodeId> next;

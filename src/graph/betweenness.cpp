@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/obs.hpp"
+
 namespace rca::graph {
 
 namespace {
@@ -79,6 +81,10 @@ std::vector<double> edge_betweenness(const UGraph& g, ThreadPool* pool,
   }
   std::vector<double> result(g.total_edges(), 0.0);
   if (n == 0 || sources->empty()) return result;
+  obs::count("graph.betweenness.edge_calls");
+  obs::count("graph.betweenness.sweeps", sources->size());
+  obs::observe("graph.betweenness.sources",
+               static_cast<double>(sources->size()));
 
   if (pool && pool->size() > 1) {
     std::mutex merge_mutex;
@@ -109,6 +115,8 @@ std::vector<double> node_betweenness(const Digraph& g, ThreadPool* pool) {
   const std::size_t n = g.node_count();
   std::vector<double> result(n, 0.0);
   if (n == 0) return result;
+  obs::count("graph.betweenness.node_calls");
+  obs::count("graph.betweenness.sweeps", n);
 
   auto run_source = [&g, n](NodeId s, BrandesScratch& scratch,
                             std::vector<double>& acc) {

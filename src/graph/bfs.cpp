@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace rca::graph {
@@ -30,6 +31,23 @@ std::vector<std::uint32_t> bfs_impl(std::size_t n,
         dist[v] = dist[u] + 1;
         queue.push_back(v);
       }
+    }
+  }
+  if (obs::global().enabled()) {
+    // Reconstruct per-level frontier sizes from the distance array; only
+    // paid for when the metrics sink is live.
+    std::vector<std::uint32_t> level_counts;
+    std::uint32_t reached = 0;
+    for (std::uint32_t d : dist) {
+      if (d == kUnreached) continue;
+      ++reached;
+      if (level_counts.size() <= d) level_counts.resize(d + 1, 0);
+      ++level_counts[d];
+    }
+    obs::count("graph.bfs.runs");
+    obs::observe("graph.bfs.reached_nodes", static_cast<double>(reached));
+    for (std::uint32_t frontier : level_counts) {
+      obs::observe("graph.bfs.frontier_size", static_cast<double>(frontier));
     }
   }
   return dist;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/betweenness.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace rca::graph {
@@ -43,21 +44,28 @@ std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool) {
     for (NodeId v = 0; v < g.node_count(); ++v) {
       if (comp[v] == affected) sources.push_back(v);
     }
+    obs::count("graph.gn.betweenness_recomputes");
     std::vector<double> partial = edge_betweenness(g, pool, &sources);
     for (EdgeId e = 0; e < g.total_edges(); ++e) {
       if (g.edge(e).removed) continue;
       if (comp[g.edge(e).u] == affected) bc[e] = partial[e];
     }
   }
+  obs::count("graph.gn.edges_removed", removed);
   return removed;
 }
 
 GirvanNewmanResult girvan_newman(const Digraph& g,
                                  const GirvanNewmanOptions& opts) {
   RCA_CHECK_MSG(opts.iterations >= 0, "negative G-N iteration count");
+  obs::Span span("graph.girvan_newman");
+  span.attr("nodes", g.node_count());
+  span.attr("edges", g.edge_count());
+  obs::count("graph.gn.runs");
   UGraph ug(g);
   GirvanNewmanResult result;
   for (int it = 0; it < opts.iterations; ++it) {
+    obs::count("graph.gn.iterations");
     result.edges_removed += girvan_newman_step(ug, opts.pool);
   }
 
@@ -77,6 +85,8 @@ GirvanNewmanResult girvan_newman(const Digraph& g,
               if (a.size() != b.size()) return a.size() > b.size();
               return a.front() < b.front();  // deterministic tie-break
             });
+  span.attr("edges_removed", result.edges_removed);
+  span.attr("communities", result.communities.size());
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace rca::graph {
@@ -175,6 +176,10 @@ double modularity(const Digraph& g, const std::vector<NodeId>& community) {
 }
 
 LouvainResult louvain(const Digraph& g, const LouvainOptions& opts) {
+  obs::Span span("graph.louvain");
+  span.attr("nodes", g.node_count());
+  span.attr("edges", g.edge_count());
+  obs::count("graph.louvain.runs");
   LouvainResult result;
   const std::size_t n = g.node_count();
   result.assignment.resize(n);
@@ -222,6 +227,10 @@ LouvainResult louvain(const Digraph& g, const LouvainOptions& opts) {
               if (a.size() != b.size()) return a.size() > b.size();
               return a.front() < b.front();
             });
+  obs::count("graph.louvain.levels", result.levels);
+  span.attr("levels", result.levels);
+  span.attr("communities", result.communities.size());
+  span.attr("modularity", result.modularity);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "lang/parser.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -75,6 +76,9 @@ std::unique_ptr<interp::Interpreter> make_interpreter(
 }  // namespace
 
 RunResult CesmModel::run(const RunConfig& config) const {
+  obs::count("model.runs");
+  obs::count("model.timesteps", static_cast<std::uint64_t>(config.timesteps));
+  obs::count("model.watches", config.watches.size());
   auto interp = make_interpreter(module_ptrs_, config);
   interp->call("cam_driver", "cam_init");
   perturb_initial_conditions(*interp, config.member_seed, config.perturbation);
@@ -113,6 +117,8 @@ stats::Matrix ensemble_matrix(const CesmModel& model, const RunConfig& base,
                               std::vector<std::string>* names,
                               std::uint64_t first_seed) {
   RCA_CHECK_MSG(members >= 2, "ensemble needs at least two members");
+  obs::Span span("model.ensemble");
+  span.attr("members", members);
   stats::Matrix data;
   for (std::size_t m = 0; m < members; ++m) {
     RunConfig config = base;

@@ -1,0 +1,312 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/json.hpp"
+
+namespace rca::obs {
+
+namespace {
+
+/// Innermost open span per thread; parents are resolved through this stack,
+/// so nested RAII spans on one thread link up without any caller plumbing.
+thread_local std::vector<std::uint32_t> t_open_spans;
+
+double us_since(std::chrono::steady_clock::time_point epoch) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+/// Power-of-two bucket index: 0 for values < 1, else 1+floor(log2(v)).
+std::size_t bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // also catches NaN
+  int exp = 0;
+  (void)std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  return static_cast<std::size_t>(std::min(exp, 63));
+}
+
+void json_attr_value(JsonWriter& w, const AttrValue& a) {
+  switch (a.kind) {
+    case AttrValue::Kind::kInt:
+      w.integer(a.i);
+      return;
+    case AttrValue::Kind::kDouble:
+      w.number(a.d);
+      return;
+    case AttrValue::Kind::kString:
+      w.string_value(a.s);
+      return;
+  }
+}
+
+}  // namespace
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  t_open_spans.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Registry::counter_add(const std::string& name, std::uint64_t delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Registry::gauge_set(const std::string& name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void Registry::histogram_record(const std::string& name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramData& h = histograms_[name];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  const std::size_t idx = bucket_index(value);
+  if (h.buckets.size() <= idx) h.buckets.resize(idx + 1, 0);
+  ++h.buckets[idx];
+}
+
+std::uint32_t Registry::begin_span(const std::string& name) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord rec;
+  rec.id = static_cast<std::uint32_t>(spans_.size() + 1);
+  rec.parent = t_open_spans.empty() ? 0 : t_open_spans.back();
+  rec.name = name;
+  rec.start_us = us_since(epoch_);
+  spans_.push_back(std::move(rec));
+  t_open_spans.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Registry::span_attr(std::uint32_t id, const std::string& key,
+                         AttrValue value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(key, std::move(value));
+}
+
+void Registry::end_span(std::uint32_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  SpanRecord& rec = spans_[id - 1];
+  if (rec.duration_us < 0.0) {
+    rec.duration_us = us_since(epoch_) - rec.start_us;
+  }
+  // RAII guarantees LIFO per thread, but be defensive about stray ids.
+  auto it = std::find(t_open_spans.begin(), t_open_spans.end(), id);
+  if (it != t_open_spans.end()) t_open_spans.erase(it, t_open_spans.end());
+}
+
+std::uint64_t Registry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramData Registry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramData{} : it->second;
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<SpanRecord> Registry::spans_named(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans_) {
+    if (s.name == name && s.duration_us >= 0.0) out.push_back(s);
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.string_value("rca.metrics.v1");
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : counters_) {
+    w.key(name);
+    w.integer(static_cast<long long>(value));
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : gauges_) {
+    w.key(name);
+    w.number(value);
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.integer(static_cast<long long>(h.count));
+    w.key("sum");
+    w.number(h.sum);
+    w.key("min");
+    w.number(h.min);
+    w.key("max");
+    w.number(h.max);
+    w.key("mean");
+    w.number(h.mean());
+    // Nonzero power-of-two buckets as [upper_bound, count] pairs.
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t k = 0; k < h.buckets.size(); ++k) {
+      if (h.buckets[k] == 0) continue;
+      w.begin_array();
+      w.number(std::ldexp(1.0, static_cast<int>(k)));  // 2^k
+      w.integer(static_cast<long long>(h.buckets[k]));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("spans");
+  w.begin_array();
+  for (const SpanRecord& s : spans_) {
+    w.begin_object();
+    w.key("id");
+    w.integer(s.id);
+    w.key("parent");
+    w.integer(s.parent);
+    w.key("name");
+    w.string_value(s.name);
+    w.key("start_us");
+    w.number(s.start_us);
+    w.key("duration_us");
+    w.number(s.duration_us);
+    w.key("attrs");
+    w.begin_object();
+    for (const auto& [key, value] : s.attrs) {
+      w.key(key);
+      json_attr_value(w, value);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+void Registry::write_trace(std::ostream& out) const {
+  std::vector<SpanRecord> all = spans();
+  // children[i]: indices of spans whose parent is span id i+1 (0 = roots).
+  std::vector<std::vector<std::size_t>> children(all.size() + 1);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const std::uint32_t p = all[i].parent <= all.size() ? all[i].parent : 0;
+    children[p].push_back(i);
+  }
+  // Depth-first, creation order among siblings.
+  struct Frame {
+    std::size_t index;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const SpanRecord& s = all[f.index];
+    for (int d = 0; d < f.depth; ++d) out << "  ";
+    out << s.name << "  " << s.duration_us / 1000.0 << " ms";
+    for (const auto& [key, value] : s.attrs) {
+      out << "  " << key << "=";
+      switch (value.kind) {
+        case AttrValue::Kind::kInt: out << value.i; break;
+        case AttrValue::Kind::kDouble: out << value.d; break;
+        case AttrValue::Kind::kString: out << value.s; break;
+      }
+    }
+    out << "\n";
+    const auto& kids = children[s.id];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+}
+
+Registry& global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Span::Span(const char* name) {
+  Registry& r = global();
+  if (!r.enabled()) return;
+  reg_ = &r;
+  id_ = r.begin_span(name);
+}
+
+Span::~Span() {
+  if (reg_) reg_->end_span(id_);
+}
+
+void Span::end() {
+  if (reg_) reg_->end_span(id_);
+  reg_ = nullptr;
+}
+
+void Span::attr_int(const char* key, long long value) {
+  if (reg_) reg_->span_attr(id_, key, AttrValue::of(value));
+}
+void Span::attr(const char* key, double value) {
+  if (reg_) reg_->span_attr(id_, key, AttrValue::of(value));
+}
+void Span::attr(const char* key, const std::string& value) {
+  if (reg_) reg_->span_attr(id_, key, AttrValue::of(value));
+}
+void Span::attr(const char* key, const char* value) {
+  if (reg_) reg_->span_attr(id_, key, AttrValue::of(std::string(value)));
+}
+void Span::attr(const char* key, bool value) {
+  if (reg_) reg_->span_attr(id_, key, AttrValue::of(static_cast<long long>(value)));
+}
+
+}  // namespace rca::obs

@@ -1,0 +1,173 @@
+// Observability layer: hierarchical trace spans, counters/gauges/histograms
+// and a registry that serializes everything to JSON (support/json).
+//
+// The paper's pipeline (ECT verdict -> variable selection -> backward slice
+// -> Girvan-Newman refinement) hides wall-time and graph-size blowups inside
+// individual stages — betweenness recomputation dominates (§5). Every hot
+// path records into the process-wide registry so a run can emit a
+// machine-readable metrics.json that CI diffs against a baseline.
+//
+// Overhead discipline: recording is OFF by default. Every entry point is a
+// single relaxed atomic load + predicted branch when disabled, so the
+// instrumented binary runs at uninstrumented speed with the sink off
+// (verified by bench/pipeline_stats).
+//
+//   obs::global().set_enabled(true);
+//   {
+//     obs::Span span("slice");
+//     span.attr("nodes", result.nodes.size());
+//   }                       // duration recorded on scope exit
+//   obs::count("model.runs");
+//   obs::observe("graph.bfs.reached_nodes", reached);
+//   std::string json = obs::global().to_json();
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rca::obs {
+
+/// Typed span attribute (int / double / string).
+struct AttrValue {
+  enum class Kind { kInt, kDouble, kString };
+  Kind kind = Kind::kInt;
+  long long i = 0;
+  double d = 0.0;
+  std::string s;
+
+  static AttrValue of(long long v) { return {Kind::kInt, v, 0.0, {}}; }
+  static AttrValue of(double v) { return {Kind::kDouble, 0, v, {}}; }
+  static AttrValue of(std::string v) {
+    return {Kind::kString, 0, 0.0, std::move(v)};
+  }
+};
+
+/// One completed (or still-open) trace span. Ids are 1-based; parent 0 means
+/// a root span. `start_us` is relative to the registry epoch.
+struct SpanRecord {
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;
+  std::string name;
+  double start_us = 0.0;
+  double duration_us = -1.0;  // -1 while open
+  std::vector<std::pair<std::string, AttrValue>> attrs;
+};
+
+/// Histogram aggregate with power-of-two buckets: bucket k counts values in
+/// [2^(k-1), 2^k), bucket 0 counts values < 1.
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  // sized on demand
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Process-wide metrics + trace sink. Thread-safe; all mutation is gated on
+/// the enabled flag so a disabled registry costs one atomic load per call.
+class Registry {
+ public:
+  Registry();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Drops all recorded spans and metrics (the enabled flag is kept).
+  void reset();
+
+  // -- metrics ------------------------------------------------------------
+  void counter_add(const std::string& name, std::uint64_t delta = 1);
+  void gauge_set(const std::string& name, double value);
+  void histogram_record(const std::string& name, double value);
+
+  // -- spans (normally driven by the Span RAII wrapper) -------------------
+  /// Opens a span; the parent is the innermost open span on this thread.
+  std::uint32_t begin_span(const std::string& name);
+  void span_attr(std::uint32_t id, const std::string& key, AttrValue value);
+  void end_span(std::uint32_t id);
+
+  // -- introspection (tests, reports) -------------------------------------
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  HistogramData histogram(const std::string& name) const;
+  std::vector<SpanRecord> spans() const;
+  /// Completed spans with the given name.
+  std::vector<SpanRecord> spans_named(const std::string& name) const;
+
+  /// Serializes the whole registry (schema rca.metrics.v1). Deterministic
+  /// member order: counters/gauges/histograms sorted by name, spans in
+  /// creation order.
+  std::string to_json() const;
+  /// Human-readable span tree (for --trace).
+  void write_trace(std::ostream& out) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+  std::vector<SpanRecord> spans_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The process-wide registry every instrumentation site records into.
+Registry& global();
+
+/// RAII trace span on the global registry. Construction is a no-op (null
+/// registry pointer, no allocation) when recording is disabled.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Attach a key/value attribute; no-op when the span is disabled.
+  void attr(const char* key, double value);
+  void attr(const char* key, const std::string& value);
+  void attr(const char* key, const char* value);
+  void attr(const char* key, bool value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void attr(const char* key, T value) {
+    attr_int(key, static_cast<long long>(value));
+  }
+
+  /// Ends the span early (destructor then does nothing).
+  void end();
+
+  bool active() const { return reg_ != nullptr; }
+
+ private:
+  void attr_int(const char* key, long long value);
+
+  Registry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+// -- global-registry conveniences; single branch when disabled -------------
+inline void count(const char* name, std::uint64_t delta = 1) {
+  Registry& r = global();
+  if (r.enabled()) r.counter_add(name, delta);
+}
+inline void gauge(const char* name, double value) {
+  Registry& r = global();
+  if (r.enabled()) r.gauge_set(name, value);
+}
+inline void observe(const char* name, double value) {
+  Registry& r = global();
+  if (r.enabled()) r.histogram_record(name, value);
+}
+
+}  // namespace rca::obs

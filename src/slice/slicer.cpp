@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "graph/bfs.hpp"
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace rca::slice {
@@ -63,6 +64,9 @@ SliceResult backward_slice_nodes(const meta::Metagraph& mg,
                                  const std::vector<NodeId>& targets,
                                  const SliceOptions& opts) {
   RCA_CHECK_MSG(!targets.empty(), "backward slice needs at least one target");
+  obs::Span span("slice.backward");
+  span.attr("targets", targets.size());
+  obs::count("slice.runs");
   // Union of all BFS shortest-path node sets terminating on the targets ==
   // ancestors(targets) ∪ targets (reverse BFS).
   std::vector<NodeId> reach = graph::ancestors_of(mg.graph(), targets);
@@ -73,8 +77,15 @@ SliceResult backward_slice_nodes(const meta::Metagraph& mg,
       admitted.push_back(v);
     }
   }
-  return finish_slice(mg, std::move(admitted),
-                      std::vector<NodeId>(targets), opts);
+  span.attr("reached", reach.size());
+  SliceResult result = finish_slice(mg, std::move(admitted),
+                                    std::vector<NodeId>(targets), opts);
+  span.attr("nodes", result.nodes.size());
+  span.attr("edges", result.subgraph.edge_count());
+  obs::observe("slice.nodes", static_cast<double>(result.nodes.size()));
+  obs::observe("slice.edges",
+               static_cast<double>(result.subgraph.edge_count()));
+  return result;
 }
 
 SliceResult backward_slice(const meta::Metagraph& mg,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 
 namespace rca::stats {
@@ -107,6 +108,10 @@ LassoModel lasso_logistic(const Matrix& x, const std::vector<int>& y,
     }
     if (max_delta < opts.tolerance) break;
   }
+  obs::count("stats.lasso.fits");
+  obs::count("stats.lasso.iterations", model.iterations);
+  obs::observe("stats.lasso.iterations_per_fit",
+               static_cast<double>(model.iterations));
   return model;
 }
 
@@ -157,6 +162,7 @@ std::vector<std::size_t> select_variables(const Matrix& x,
   std::size_t best_gap = static_cast<std::size_t>(-1);
 
   for (std::size_t it = 0; it < max_bisections; ++it) {
+    obs::count("stats.lasso.bisections");
     const double lam = std::sqrt(lo * hi);  // geometric bisection
     opts.lambda = lam;
     LassoModel model = lasso_logistic(x, y, opts);

@@ -6,6 +6,7 @@
 #include "engine/refinement.hpp"
 #include "lang/parser.hpp"
 #include "meta/builder.hpp"
+#include "obs/obs.hpp"
 
 namespace rca::engine {
 namespace {
@@ -377,6 +378,44 @@ end module
   EXPECT_GT(near_mag, far_mag);
 }
 
+
+TEST(PipelineIntegration, EmitsOneSpanPerPipelineStage) {
+  // The observability layer must record exactly one span per Figure-1 stage
+  // per experiment, nested under the experiment root, with sane durations
+  // and the graph-size attributes CI's perf tripwire reads.
+  Pipeline& pipe = shared_pipeline();
+  obs::global().set_enabled(true);
+  obs::global().reset();
+  pipe.run_experiment(model::ExperimentId::kGoffGratch);
+  obs::global().set_enabled(false);
+
+  auto roots = obs::global().spans_named("experiment");
+  ASSERT_EQ(roots.size(), 1u);
+  for (const char* stage : {"ect", "selection", "slice", "refinement"}) {
+    auto spans = obs::global().spans_named(stage);
+    ASSERT_EQ(spans.size(), 1u) << stage;
+    EXPECT_EQ(spans[0].parent, roots[0].id) << stage;
+    EXPECT_GE(spans[0].duration_us, 0.0) << stage;
+    // A stage of this scaled model finishes in well under a minute.
+    EXPECT_LT(spans[0].duration_us, 60e6) << stage;
+    // Child stages are contained in the experiment window.
+    EXPECT_GE(spans[0].start_us, roots[0].start_us) << stage;
+    EXPECT_LE(spans[0].start_us + spans[0].duration_us,
+              roots[0].start_us + roots[0].duration_us + 1.0)
+        << stage;
+  }
+
+  // Graph-size counters the perf tripwire diffs.
+  EXPECT_GT(obs::global().gauge("pipeline.slice_nodes"), 0.0);
+  EXPECT_GT(obs::global().counter("model.runs"), 0u);
+  EXPECT_GT(obs::global().counter("graph.betweenness.sweeps"), 0u);
+  EXPECT_GT(obs::global().counter("refinement.iterations"), 0u);
+
+  // The whole registry serializes to a document the smoke test greps.
+  const std::string json = obs::global().to_json();
+  EXPECT_NE(json.find("\"schema\":\"rca.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"slice\""), std::string::npos);
+}
 
 TEST(PipelineIntegration, ParallelSamplingMatchesSerial) {
   // Per-community sampling on a thread pool (Algorithm 5.4's parallelism)

@@ -19,3 +19,30 @@ run(info --graph mg.tsv)
 run(slice --graph mg.tsv --output flds --cam-only --show 3)
 run(communities --graph mg.tsv --method louvain --min-size 5)
 run(centrality --graph mg.tsv --modules --kind inout-eigenvector --top 5)
+
+# Full analysis with the observability sink on: the metrics document must be
+# an rca.metrics.v1 JSON with one span per pipeline stage and the graph-size
+# counters CI's perf tripwire diffs.
+run(analyze --experiment goffgratch --members 16 --metrics-out metrics.json --trace)
+file(READ ${WORKDIR}/metrics.json metrics)
+string(JSON schema ERROR_VARIABLE schema_err GET ${metrics} schema)
+if(schema_err OR NOT schema STREQUAL "rca.metrics.v1")
+  message(FATAL_ERROR "analyze --metrics-out wrote an invalid document: ${schema_err}")
+endif()
+foreach(stage experiment ect selection slice refinement)
+  if(NOT metrics MATCHES "\"name\":\"${stage}\"")
+    message(FATAL_ERROR "metrics.json is missing the '${stage}' span")
+  endif()
+endforeach()
+foreach(counter model.runs graph.betweenness.sweeps refinement.iterations)
+  string(JSON val ERROR_VARIABLE err GET ${metrics} counters ${counter})
+  if(err OR val LESS 1)
+    message(FATAL_ERROR "metrics.json counter '${counter}' missing or zero: ${err}")
+  endif()
+endforeach()
+foreach(gauge pipeline.graph_nodes pipeline.graph_edges pipeline.slice_nodes)
+  string(JSON val ERROR_VARIABLE err GET ${metrics} gauges ${gauge})
+  if(err OR val LESS 1)
+    message(FATAL_ERROR "metrics.json gauge '${gauge}' missing or zero: ${err}")
+  endif()
+endforeach()

@@ -1,0 +1,148 @@
+# metrics_diff — compare two rca.metrics.v1 JSON files with tolerances.
+#
+# Usage:
+#   cmake -DBASELINE=a.json -DCURRENT=b.json \
+#         [-DCOUNTER_TOL_PERCENT=0] [-DSPAN_TOL_PERCENT=100] \
+#         [-DIGNORE='regex'] \
+#         -P tools/metrics_diff.cmake
+#
+# Counters are the deterministic part of a run (graph sizes, model runs,
+# betweenness sweeps, refinement iterations): they must match within
+# COUNTER_TOL_PERCENT (default 0 = exact). Span durations are wall-clock and
+# noisy: per-name total duration must match within SPAN_TOL_PERCENT (default
+# 100, i.e. no more than 2x slower). Exits fatally on the first violation —
+# CI uses this as a perf-regression tripwire.
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED BASELINE OR NOT DEFINED CURRENT)
+  message(FATAL_ERROR "usage: cmake -DBASELINE=a.json -DCURRENT=b.json -P metrics_diff.cmake")
+endif()
+if(NOT DEFINED COUNTER_TOL_PERCENT)
+  set(COUNTER_TOL_PERCENT 0)
+endif()
+if(NOT DEFINED SPAN_TOL_PERCENT)
+  set(SPAN_TOL_PERCENT 100)
+endif()
+
+file(READ ${BASELINE} base_json)
+file(READ ${CURRENT} cur_json)
+
+string(JSON base_schema ERROR_VARIABLE base_err GET ${base_json} schema)
+if(base_err OR NOT base_schema STREQUAL "rca.metrics.v1")
+  message(FATAL_ERROR "metrics_diff: ${BASELINE} is not an rca.metrics.v1 document")
+endif()
+string(JSON cur_schema ERROR_VARIABLE cur_err GET ${cur_json} schema)
+if(cur_err OR NOT cur_schema STREQUAL "rca.metrics.v1")
+  message(FATAL_ERROR "metrics_diff: ${CURRENT} is not an rca.metrics.v1 document")
+endif()
+
+# Truncate a JSON number (possibly with fraction/exponent) to an integer
+# CMake's math() can handle.
+function(to_int value out)
+  string(REGEX MATCH "^-?[0-9]+" int_part "${value}")
+  if(int_part STREQUAL "")
+    set(int_part 0)
+  endif()
+  set(${out} ${int_part} PARENT_SCOPE)
+endfunction()
+
+# |a - b| <= max(|a|, floor) * tol_percent / 100, integer arithmetic.
+function(check_within a b tol_percent what)
+  to_int("${a}" ia)
+  to_int("${b}" ib)
+  math(EXPR diff "${ia} - ${ib}")
+  if(diff LESS 0)
+    math(EXPR diff "0 - ${diff}")
+  endif()
+  set(mag ${ia})
+  if(mag LESS 0)
+    math(EXPR mag "0 - ${mag}")
+  endif()
+  math(EXPR allowed "(${mag} * ${tol_percent}) / 100")
+  if(diff GREATER allowed)
+    message(FATAL_ERROR
+      "metrics_diff: ${what} drifted beyond ${tol_percent}%: "
+      "baseline=${a} current=${b}")
+  endif()
+endfunction()
+
+# ---------------------------------------------------------------------------
+# Counters: every baseline counter must exist and match within tolerance.
+# ---------------------------------------------------------------------------
+string(JSON base_counters GET ${base_json} counters)
+string(JSON cur_counters GET ${cur_json} counters)
+string(JSON n_counters LENGTH ${base_counters})
+set(checked 0)
+if(n_counters GREATER 0)
+  math(EXPR last "${n_counters} - 1")
+  foreach(i RANGE ${last})
+    string(JSON name MEMBER ${base_counters} ${i})
+    if(DEFINED IGNORE AND name MATCHES "${IGNORE}")
+      continue()
+    endif()
+    string(JSON base_val GET ${base_counters} ${name})
+    string(JSON cur_val ERROR_VARIABLE err GET ${cur_counters} ${name})
+    if(err)
+      message(FATAL_ERROR "metrics_diff: counter '${name}' missing from ${CURRENT}")
+    endif()
+    check_within("${base_val}" "${cur_val}" ${COUNTER_TOL_PERCENT} "counter '${name}'")
+    math(EXPR checked "${checked} + 1")
+  endforeach()
+endif()
+message(STATUS "metrics_diff: ${checked} counters within ${COUNTER_TOL_PERCENT}%")
+
+# ---------------------------------------------------------------------------
+# Spans: total duration per span name, compared within SPAN_TOL_PERCENT.
+# Duration regressions only trip when the current run is SLOWER.
+# ---------------------------------------------------------------------------
+function(sum_durations json out_names_var)
+  string(JSON spans GET ${json} spans)
+  string(JSON n LENGTH ${spans})
+  set(names "")
+  if(n GREATER 0)
+    math(EXPR last "${n} - 1")
+    foreach(i RANGE ${last})
+      string(JSON name GET ${spans} ${i} name)
+      string(JSON dur GET ${spans} ${i} duration_us)
+      to_int("${dur}" idur)
+      if(idur LESS 0)
+        continue()  # still-open span
+      endif()
+      string(MAKE_C_IDENTIFIER "${name}" key)
+      if(NOT DEFINED sum_${key})
+        set(sum_${key} 0)
+        list(APPEND names "${name}")
+      endif()
+      math(EXPR sum_${key} "${sum_${key}} + ${idur}")
+    endforeach()
+  endif()
+  foreach(name IN LISTS names)
+    string(MAKE_C_IDENTIFIER "${name}" key)
+    set(${out_names_var}_${key} ${sum_${key}} PARENT_SCOPE)
+  endforeach()
+  set(${out_names_var} "${names}" PARENT_SCOPE)
+endfunction()
+
+sum_durations(${base_json} base_span)
+sum_durations(${cur_json} cur_span)
+
+set(span_checked 0)
+foreach(name IN LISTS base_span)
+  if(DEFINED IGNORE AND name MATCHES "${IGNORE}")
+    continue()
+  endif()
+  string(MAKE_C_IDENTIFIER "${name}" key)
+  if(NOT DEFINED cur_span_${key})
+    message(FATAL_ERROR "metrics_diff: span '${name}' missing from ${CURRENT}")
+  endif()
+  # Only a slowdown is a regression; allow baseline * (100+tol)/100.
+  math(EXPR allowed "(${base_span_${key}} * (100 + ${SPAN_TOL_PERCENT})) / 100")
+  if(cur_span_${key} GREATER allowed)
+    message(FATAL_ERROR
+      "metrics_diff: span '${name}' slowed beyond ${SPAN_TOL_PERCENT}%: "
+      "baseline=${base_span_${key}}us current=${cur_span_${key}}us")
+  endif()
+  math(EXPR span_checked "${span_checked} + 1")
+endforeach()
+message(STATUS "metrics_diff: ${span_checked} span groups within +${SPAN_TOL_PERCENT}%")
+message(STATUS "metrics_diff: OK")
