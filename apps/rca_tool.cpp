@@ -2,6 +2,7 @@
 //
 //   rca-tool generate    --out DIR [--seed N] [--bug NAME] [--aux N]
 //   rca-tool graph       --src DIR [--build-list FILE] [--coverage] --out FILE
+//                        [--format v1|v2] [--jobs N] [--snapshot DIR]
 //   rca-tool info        --graph FILE
 //   rca-tool slice       --graph FILE (--target NAME | --output LABEL)...
 //                        [--cam-only] [--drop-small N] [--dot FILE]
@@ -9,7 +10,12 @@
 //                        [--iterations N] [--dot FILE]
 //   rca-tool centrality  --graph FILE [--kind KIND] [--top N] [--modules]
 //   rca-tool analyze     --experiment NAME [--runtime-sampling]
-//                        [--members N] [--seed N]
+//                        [--members N] [--seed N] [--jobs N]
+//                        [--snapshot DIR] [--graph-out FILE]
+//
+// `--jobs N` parses/builds on N worker threads (bit-identical to serial);
+// `--snapshot DIR` caches built metagraphs keyed on source content, so an
+// unchanged corpus skips parse+build (counter meta.snapshot.hits).
 //
 // `generate` writes a synthetic-CESM source tree; `graph` parses any
 // directory of Fortran-subset files into a serialized metagraph; the rest
@@ -18,7 +24,10 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "engine/pipeline.hpp"
 #include "graph/centrality.hpp"
@@ -30,6 +39,7 @@
 #include "lang/parser.hpp"
 #include "meta/builder.hpp"
 #include "meta/serialize.hpp"
+#include "meta/snapshot_cache.hpp"
 #include "model/corpus.hpp"
 #include "model/model.hpp"
 #include "obs/obs.hpp"
@@ -38,6 +48,7 @@
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace fs = std::filesystem;
 using namespace rca;
@@ -124,6 +135,20 @@ int cmd_graph(const Args& args) {
   const fs::path out_path = args.get("out", "metagraph.tsv");
   if (src_dir.empty()) throw Error("graph: --src DIR is required");
 
+  const std::string format_name = args.get("format", "v1");
+  meta::SnapshotFormat format;
+  if (format_name == "v1") {
+    format = meta::SnapshotFormat::kV1Text;
+  } else if (format_name == "v2") {
+    format = meta::SnapshotFormat::kV2Binary;
+  } else {
+    throw Error("graph: unknown --format '" + format_name + "' (v1|v2)");
+  }
+
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+
   // Optional build-configuration list (one module name per line).
   std::vector<std::string> build_list;
   if (args.has("build-list")) {
@@ -142,60 +167,117 @@ int cmd_graph(const Args& args) {
     return false;
   };
 
-  // Parse every Fortran-ish file under --src.
-  std::vector<lang::SourceFile> files;
-  std::size_t parse_failures = 0;
+  // Collect every Fortran-ish file under --src in sorted path order —
+  // directory iteration order is filesystem-dependent, and node ids must
+  // not depend on it.
+  std::vector<std::pair<std::string, std::string>> sources;  // path, text
   for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
     if (!entry.is_regular_file()) continue;
     const std::string ext = to_lower(entry.path().extension().string());
     if (ext != ".f90" && ext != ".f" && ext != ".f95") continue;
-    try {
-      lang::Parser parser(entry.path().string(), read_file(entry.path()));
-      files.push_back(parser.parse_file());
-    } catch (const ParseError& e) {
-      ++parse_failures;
-      std::fprintf(stderr, "parse failure: %s\n", e.what());
-    }
+    sources.emplace_back(entry.path().string(), read_file(entry.path()));
   }
-  std::vector<const lang::Module*> modules;
-  for (const auto& f : files) {
-    for (const auto& m : f.modules) {
-      if (in_build(m.name)) modules.push_back(&m);
-    }
-  }
-  std::printf("parsed %zu files (%zu failures), %zu modules in build "
-              "configuration\n", files.size(), parse_failures, modules.size());
+  std::sort(sources.begin(), sources.end());
 
-  meta::BuilderOptions opts;
-  std::unique_ptr<interp::Interpreter> cov_interp;
-  interp::CoverageRecorder recorder;
-  if (args.has("coverage")) {
-    // Instrumented short run: requires the corpus driver convention
-    // (cam_driver::cam_init / cam_step), as `generate` emits.
-    cov_interp = std::make_unique<interp::Interpreter>(modules);
-    cov_interp->call("cam_driver", "cam_init");
-    const int steps = static_cast<int>(args.get_int("coverage-steps", 2));
-    for (int s = 0; s < steps; ++s) cov_interp->call("cam_driver", "cam_step");
-    recorder = cov_interp->coverage();
-    // Declaration-only modules are always kept (cannot register execution).
-    opts.module_filter = [&recorder, &modules](const std::string& m) {
-      if (recorder.module_executed(m)) return true;
-      for (const lang::Module* mod : modules) {
-        if (mod->name == m) return mod->subprograms.empty();
+  const bool coverage = args.has("coverage");
+  const int cov_steps = static_cast<int>(args.get_int("coverage-steps", 2));
+
+  // Snapshot cache key: every (path, text) pair plus the build/coverage
+  // configuration. A hit skips parse+build entirely.
+  std::optional<meta::SnapshotCache> cache;
+  meta::SnapshotKey key;
+  if (args.has("snapshot")) {
+    cache.emplace(args.get("snapshot"));
+    key.add("rca-graph-snapshot-v1");
+    key.add_u64(coverage ? 1 : 0);
+    key.add_u64(static_cast<std::uint64_t>(cov_steps));
+    for (const auto& name : build_list) key.add(name);
+    for (const auto& [path, text] : sources) {
+      key.add(path);
+      key.add(text);
+    }
+  }
+
+  std::optional<meta::Metagraph> mg;
+  if (cache) mg = cache->try_load(key);
+  if (mg) {
+    std::printf("snapshot cache hit: skipping parse+build (%s)\n",
+                cache->path_for(key).c_str());
+  } else {
+    // Parse into file-order slots (independent per file, so the pool can
+    // schedule them freely without changing the result).
+    std::vector<std::optional<lang::SourceFile>> slots(sources.size());
+    std::vector<std::string> errors(sources.size());
+    auto parse_one = [&sources, &slots, &errors](std::size_t i) {
+      try {
+        lang::Parser parser(sources[i].first, sources[i].second);
+        slots[i] = parser.parse_file();
+      } catch (const ParseError& e) {
+        errors[i] = e.what();
       }
-      return false;
     };
-    opts.subprogram_filter = [&recorder](const std::string& m,
-                                         const std::string& s) {
-      return recorder.subprogram_executed(m, s);
-    };
+    if (pool && sources.size() > 1) {
+      pool->parallel_for(sources.size(), parse_one);
+    } else {
+      for (std::size_t i = 0; i < sources.size(); ++i) parse_one(i);
+    }
+
+    std::vector<lang::SourceFile> files;
+    files.reserve(sources.size());
+    std::size_t parse_failures = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!errors[i].empty()) {
+        ++parse_failures;
+        std::fprintf(stderr, "parse failure: %s\n", errors[i].c_str());
+        continue;
+      }
+      if (slots[i]) files.push_back(std::move(*slots[i]));
+    }
+    std::vector<const lang::Module*> modules;
+    for (const auto& f : files) {
+      for (const auto& m : f.modules) {
+        if (in_build(m.name)) modules.push_back(&m);
+      }
+    }
+    std::printf("parsed %zu files (%zu failures), %zu modules in build "
+                "configuration\n", files.size(), parse_failures,
+                modules.size());
+
+    meta::BuilderOptions opts;
+    opts.pool = pool.get();
+    std::unique_ptr<interp::Interpreter> cov_interp;
+    interp::CoverageRecorder recorder;
+    if (coverage) {
+      // Instrumented short run: requires the corpus driver convention
+      // (cam_driver::cam_init / cam_step), as `generate` emits.
+      cov_interp = std::make_unique<interp::Interpreter>(modules);
+      cov_interp->call("cam_driver", "cam_init");
+      for (int s = 0; s < cov_steps; ++s) {
+        cov_interp->call("cam_driver", "cam_step");
+      }
+      recorder = cov_interp->coverage();
+      // Declaration-only modules are always kept (cannot register execution).
+      opts.module_filter = [&recorder, &modules](const std::string& m) {
+        if (recorder.module_executed(m)) return true;
+        for (const lang::Module* mod : modules) {
+          if (mod->name == m) return mod->subprograms.empty();
+        }
+        return false;
+      };
+      opts.subprogram_filter = [&recorder](const std::string& m,
+                                           const std::string& s) {
+        return recorder.subprogram_executed(m, s);
+      };
+    }
+
+    mg = meta::build_metagraph(modules, opts);
+    if (cache) cache->store(key, *mg);
   }
 
-  meta::Metagraph mg = meta::build_metagraph(modules, opts);
-  std::ofstream out(out_path);
-  meta::save_metagraph(mg, out);
+  std::ofstream out(out_path, std::ios::binary);
+  meta::save_metagraph(*mg, out, format);
   std::printf("metagraph: %zu nodes, %zu edges, %zu I/O labels -> %s\n",
-              mg.node_count(), mg.graph().edge_count(), mg.io_map().size(),
+              mg->node_count(), mg->graph().edge_count(), mg->io_map().size(),
               out_path.string().c_str());
   return 0;
 }
@@ -207,7 +289,7 @@ int cmd_graph(const Args& args) {
 meta::Metagraph load_graph(const Args& args) {
   const std::string path = args.get("graph");
   if (path.empty()) throw Error("--graph FILE is required");
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);  // v2 payloads are binary
   if (!in) throw Error("cannot read " + path);
   return meta::load_metagraph(in);
 }
@@ -415,7 +497,15 @@ int cmd_analyze(const Args& args) {
   config.ensemble_members =
       static_cast<std::size_t>(args.get_int("members", 30));
   config.corpus.seed = static_cast<std::uint64_t>(args.get_int("seed", 2019));
+  config.threads = static_cast<std::size_t>(args.get_int("jobs", 0));
+  config.snapshot_dir = args.get("snapshot");
   engine::Pipeline pipe(std::move(config));
+  if (args.has("graph-out")) {
+    // The coverage-filtered metagraph as v1 text, so cold- and warm-cache
+    // runs can be byte-compared.
+    write_file(args.get("graph-out"),
+               meta::save_metagraph_to_string(pipe.metagraph()));
+  }
   engine::ExperimentOutcome outcome =
       args.has("runtime-sampling") ? pipe.run_experiment_runtime_sampling(id)
                                    : pipe.run_experiment(id);

@@ -1,14 +1,22 @@
 // google-benchmark microbenchmarks for the frontend and pipeline stages:
-// lexing, parsing, metagraph construction, and model execution throughput
-// on the synthetic corpus.
+// lexing, parsing, metagraph construction, model execution throughput, and
+// the snapshot formats on the synthetic corpus. The *Parallel benchmarks
+// take the worker count as their argument; the acceptance target is >=2x
+// front-end speedup at 8 workers on an 8-core host.
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "lang/lexer.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
 #include "meta/builder.hpp"
+#include "meta/serialize.hpp"
 #include "model/corpus.hpp"
 #include "model/model.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rca {
 namespace {
@@ -70,6 +78,85 @@ void BM_BuildMetagraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildMetagraph);
+
+// Same parse work as BM_ParseCorpus, spread over a worker pool with
+// file-order slots — the scheme the model and the CLI use. Real time, not
+// CPU time: the main thread mostly waits on the pool.
+void BM_ParseCorpusParallel(benchmark::State& state) {
+  const auto& files = corpus().files;
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+  for (auto _ : state) {
+    std::vector<std::optional<lang::SourceFile>> slots(files.size());
+    auto parse_one = [&files, &slots](std::size_t i) {
+      lang::Parser parser(files[i].path, files[i].text);
+      slots[i] = parser.parse_file();
+    };
+    if (pool) {
+      pool->parallel_for(files.size(), parse_one);
+    } else {
+      for (std::size_t i = 0; i < files.size(); ++i) parse_one(i);
+    }
+    benchmark::DoNotOptimize(slots);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_bytes()));
+}
+BENCHMARK(BM_ParseCorpusParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_BuildMetagraphParallel(benchmark::State& state) {
+  static model::CesmModel* model = new model::CesmModel(model::CorpusSpec{});
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+  meta::BuilderOptions opts;
+  opts.pool = pool ? &*pool : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        meta::build_metagraph(model->compiled_modules(), opts));
+  }
+}
+BENCHMARK(BM_BuildMetagraphParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+const meta::Metagraph& bench_metagraph() {
+  static const meta::Metagraph* mg = [] {
+    static model::CesmModel model{model::CorpusSpec{}};
+    return new meta::Metagraph(meta::build_metagraph(model.compiled_modules()));
+  }();
+  return *mg;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto format = state.range(0) == 2 ? meta::SnapshotFormat::kV2Binary
+                                          : meta::SnapshotFormat::kV1Text;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string s = meta::save_metagraph_to_string(bench_metagraph(), format);
+    bytes = s.size();
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotSave)->Arg(1)->Arg(2);
+
+// Loading a snapshot is the warm-cache replacement for parse+build; compare
+// against BM_ParseCorpus + BM_BuildMetagraph for the cache win.
+void BM_SnapshotLoad(benchmark::State& state) {
+  const auto format = state.range(0) == 2 ? meta::SnapshotFormat::kV2Binary
+                                          : meta::SnapshotFormat::kV1Text;
+  const std::string bytes =
+      meta::save_metagraph_to_string(bench_metagraph(), format);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meta::load_metagraph_from_string(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(1)->Arg(2);
 
 void BM_ModelNineSteps(benchmark::State& state) {
   model::CesmModel model(model::CorpusSpec{});

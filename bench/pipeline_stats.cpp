@@ -5,13 +5,18 @@
 //   * variable digraph: ~100k nodes / ~170k edges;
 //   * module quotient graph: 561 nodes / 4,245 edges.
 // Our corpus is scaled (~1/10 modules); the *ratios* are the comparison.
+#include <algorithm>
 #include <fstream>
+#include <thread>
 
 #include "bench/bench_common.hpp"
 #include "cov/coverage_filter.hpp"
 #include "graph/centrality.hpp"
+#include "meta/builder.hpp"
+#include "meta/serialize.hpp"
 #include "obs/obs.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace rca;
 
@@ -89,6 +94,49 @@ int main(int argc, char** argv) {
   std::printf("\nshape check (each stage reduces as in the paper): %s\n",
               shape_holds ? "HOLDS" : "VIOLATED");
 
+  // Front-end scaling: the generate+parse+build path serially vs on a pool
+  // sized to this host, with a byte-identity check (the parallel front end
+  // must be a pure speedup, never a different graph). On a single-core
+  // container the speedup collapses to ~1x by construction.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  Stopwatch fe_serial_sw;
+  model::CesmModel fe_serial(config.corpus);
+  meta::Metagraph fe_serial_mg =
+      meta::build_metagraph(fe_serial.compiled_modules());
+  const double fe_serial_s = fe_serial_sw.seconds();
+
+  ThreadPool fe_pool(hw);
+  meta::BuilderOptions fe_opts;
+  fe_opts.pool = &fe_pool;
+  Stopwatch fe_par_sw;
+  model::CesmModel fe_par(config.corpus, &fe_pool);
+  meta::Metagraph fe_par_mg =
+      meta::build_metagraph(fe_par.compiled_modules(), fe_opts);
+  const double fe_par_s = fe_par_sw.seconds();
+
+  const bool fe_identical = meta::save_metagraph_to_string(fe_serial_mg) ==
+                            meta::save_metagraph_to_string(fe_par_mg);
+  std::printf("\nfront end (generate+parse+build, %u workers):\n", hw);
+  std::printf("  serial:   %.3fs\n  parallel: %.3fs (%.2fx)  graphs %s\n",
+              fe_serial_s, fe_par_s,
+              fe_par_s > 0 ? fe_serial_s / fe_par_s : 0.0,
+              fe_identical ? "byte-identical" : "DIFFER (BUG)");
+
+  // Snapshot formats: size and load time, the warm-cache alternative to the
+  // front end above.
+  const std::string v1 = meta::save_metagraph_to_string(fe_serial_mg);
+  const std::string v2 = meta::save_metagraph_to_string(
+      fe_serial_mg, meta::SnapshotFormat::kV2Binary);
+  Stopwatch load_sw;
+  meta::Metagraph reloaded = meta::load_metagraph_from_string(v2);
+  const double load_s = load_sw.seconds();
+  std::printf("snapshot: v1 text %zu bytes, v2 binary %zu bytes (%.0f%%); "
+              "v2 load %.3fs vs front end %.3fs (%.0fx)\n",
+              v1.size(), v2.size(), 100.0 * v2.size() / v1.size(), load_s,
+              fe_serial_s, load_s > 0 ? fe_serial_s / load_s : 0.0);
+  const bool snapshot_ok =
+      fe_identical && meta::save_metagraph_to_string(reloaded) == v1;
+
   // Observability overhead: the same experiment with the metrics sink
   // disabled (instrumentation compiled in, branches off) and enabled. The
   // disabled-sink run must stay within noise of uninstrumented speed.
@@ -119,5 +167,5 @@ int main(int argc, char** argv) {
                   obs::global().counter("model.runs")));
 
   std::printf("elapsed: %.1fs\n", sw.seconds());
-  return shape_holds ? 0 : 1;
+  return (shape_holds && snapshot_ok) ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #include "engine/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "meta/builder.hpp"
+#include "meta/snapshot_cache.hpp"
 #include "model/corpus.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
@@ -17,17 +19,48 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
     pool_ = std::make_unique<ThreadPool>(config_.threads);
     config_.refinement.pool = pool_.get();
   }
-  control_ = std::make_unique<model::CesmModel>(config_.corpus);
+  control_ = std::make_unique<model::CesmModel>(config_.corpus, pool_.get());
   RCA_CHECK_MSG(control_->parse_failures() == 0,
                 "control corpus failed to parse");
 
-  // Coverage run (time step 2, like the paper) and filtered metagraph.
-  coverage_ = control_->coverage_run(2);
-  filter_ = cov::CoverageFilter(coverage_, &control_->compiled_modules());
-  meta::BuilderOptions builder_opts;
-  builder_opts.module_filter = filter_.module_predicate();
-  builder_opts.subprogram_filter = filter_.subprogram_predicate();
-  mg_ = meta::build_metagraph(control_->compiled_modules(), builder_opts);
+  // Snapshot cache key: the exact inputs that determine the coverage-filtered
+  // metagraph — every corpus file's (path, text), the compiled-module list
+  // and the coverage configuration. Any touched source changes the key.
+  constexpr int kCoverageTimesteps = 2;
+  std::optional<meta::SnapshotCache> cache;
+  meta::SnapshotKey key;
+  if (!config_.snapshot_dir.empty()) {
+    cache.emplace(config_.snapshot_dir);
+    key.add("rca-pipeline-snapshot-v1");
+    key.add_u64(static_cast<std::uint64_t>(kCoverageTimesteps));
+    for (const auto& name : control_->corpus().compiled_modules) {
+      key.add(name);
+    }
+    for (const model::GeneratedFile& file : control_->corpus().files) {
+      key.add(file.path);
+      key.add(file.text);
+    }
+  }
+
+  bool cache_hit = false;
+  if (cache) {
+    if (std::optional<meta::Metagraph> snap = cache->try_load(key)) {
+      mg_ = std::move(*snap);
+      cache_hit = true;
+    }
+  }
+  if (!cache_hit) {
+    // Coverage run (time step 2, like the paper) and filtered metagraph.
+    coverage_ = control_->coverage_run(kCoverageTimesteps);
+    filter_ = cov::CoverageFilter(coverage_, &control_->compiled_modules());
+    meta::BuilderOptions builder_opts;
+    builder_opts.module_filter = filter_.module_predicate();
+    builder_opts.subprogram_filter = filter_.subprogram_predicate();
+    builder_opts.pool = pool_.get();
+    mg_ = meta::build_metagraph(control_->compiled_modules(), builder_opts);
+    if (cache) cache->store(key, mg_);
+  }
+  span.attr("snapshot_cache_hit", cache_hit);
 
   // Accepted ensemble.
   ensemble_ = model::ensemble_matrix(*control_, config_.base_run,
@@ -50,7 +83,8 @@ const model::CesmModel& Pipeline::experiment_model(
   }
   model::CorpusSpec corpus_spec =
       model::experiment_corpus_spec(spec, config_.corpus);
-  bug_models_.push_back(std::make_unique<model::CesmModel>(corpus_spec));
+  bug_models_.push_back(
+      std::make_unique<model::CesmModel>(corpus_spec, pool_.get()));
   bug_model_ids_.push_back(spec.bug);
   RCA_CHECK_MSG(bug_models_.back()->parse_failures() == 0,
                 "bug corpus failed to parse");
@@ -171,6 +205,7 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
     };
   }
   slice_opts.drop_components_smaller_than = config_.drop_small_components;
+  slice_opts.pool = pool_.get();
   outcome.slice = slice::backward_slice(mg_, outcome.internal_names,
                                         slice_opts);
   slice_span.attr("nodes", outcome.slice.nodes.size());

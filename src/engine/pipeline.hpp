@@ -29,9 +29,15 @@ struct PipelineConfig {
   bool restrict_to_cam = true;          // paper restricts subgraphs to CAM
   std::size_t drop_small_components = 4;
   RefinementOptions refinement;
-  /// Worker threads for per-community sampling and parallel betweenness
-  /// (Algorithm 5.4's "performed in parallel"). 0 = serial.
+  /// Worker threads for the parallel front end (corpus parse, metagraph
+  /// build, multi-target slice) plus per-community sampling and parallel
+  /// betweenness (Algorithm 5.4's "performed in parallel"). 0 = serial.
   std::size_t threads = 0;
+  /// Metagraph snapshot-cache directory. Non-empty enables the cache: the
+  /// coverage run + metagraph build are skipped when a snapshot keyed on the
+  /// corpus content already exists (meta.snapshot.hits counter; the loaded
+  /// graph is byte-identical to a fresh build). Empty disables caching.
+  std::string snapshot_dir;
 
   PipelineConfig() {
     ect.num_pcs = 10;

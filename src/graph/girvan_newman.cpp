@@ -14,14 +14,24 @@ std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool) {
   g.components(&before);
 
   std::vector<double> bc = edge_betweenness(g, pool);
+
+  // Live-edge index, ascending by id. Scanning this instead of
+  // [0, total_edges()) skips already-removed edges, which otherwise dominate
+  // the max-scan late in a long removal run; ascending order + strict '>'
+  // preserves the lowest-id tie-break of the full scan exactly.
+  std::vector<EdgeId> live;
+  live.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.total_edges(); ++e) {
+    if (!g.edge(e).removed) live.push_back(e);
+  }
+
   std::size_t removed = 0;
   for (;;) {
     // Pick the live edge with maximum betweenness (ties: lowest id, for
     // determinism).
     EdgeId best = kInvalidNode;
     double best_val = -1.0;
-    for (EdgeId e = 0; e < g.total_edges(); ++e) {
-      if (g.edge(e).removed) continue;
+    for (EdgeId e : live) {
       if (bc[e] > best_val) {
         best_val = bc[e];
         best = e;
@@ -30,6 +40,7 @@ std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool) {
     if (best == kInvalidNode) break;  // no edges left
     const NodeId eu = g.edge(best).u;
     g.remove_edge(best);
+    live.erase(std::lower_bound(live.begin(), live.end(), best));
     ++removed;
 
     std::size_t after = 0;
@@ -46,8 +57,7 @@ std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool) {
     }
     obs::count("graph.gn.betweenness_recomputes");
     std::vector<double> partial = edge_betweenness(g, pool, &sources);
-    for (EdgeId e = 0; e < g.total_edges(); ++e) {
-      if (g.edge(e).removed) continue;
+    for (EdgeId e : live) {
       if (comp[g.edge(e).u] == affected) bc[e] = partial[e];
     }
   }

@@ -1,11 +1,13 @@
 #include "meta/builder.hpp"
 
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "interp/intrinsics.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rca::meta {
 
@@ -106,34 +108,101 @@ SymbolTables build_symbol_tables(const std::vector<const Module*>& modules,
   return tables;
 }
 
-class Builder {
+std::vector<const Module*> filter_modules(
+    const std::vector<const Module*>& modules, const BuilderOptions& opts) {
+  if (!opts.module_filter) return modules;
+  std::vector<const Module*> kept;
+  for (const Module* m : modules) {
+    if (opts.module_filter(m->name)) kept.push_back(m);
+  }
+  return kept;
+}
+
+/// The dependence fragment one module walk produces: an op log against
+/// module-local node ids. Replaying a fragment issues the exact sequence of
+/// intern / add_edge / add_io_mapping calls the serial walk of that module
+/// would issue, so replaying fragments in module order reproduces the serial
+/// metagraph bit-for-bit — intern is idempotent, node ids are assigned by
+/// first-intern order, and edge/io insertion order is preserved.
+struct Fragment {
+  struct NodeKey {
+    std::string module;
+    std::string subprogram;
+    std::string canonical;
+    int line = 0;
+    bool is_intrinsic = false;
+    bool is_prng_site = false;
+  };
+  enum class OpKind : std::uint8_t { kNode, kEdge, kIo };
+  struct Op {
+    OpKind kind;
+    // kNode: a = key index. kEdge: a -> b (local ids).
+    // kIo: a = io_labels index, b = local node id.
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+  };
+
+  std::vector<NodeKey> keys;
+  std::vector<Op> ops;
+  std::vector<std::string> io_labels;
+  std::size_t assignments_processed = 0;
+  std::size_t assignments_failed = 0;
+  std::size_t calls_processed = 0;
+};
+
+/// Walks one module's statements, recording the dependence fragment.
+/// Mirrors the original serial Builder exactly; `intern()` dedupes locally
+/// on the same (module, subprogram, canonical) key the Metagraph uses, so
+/// equality of local ids coincides with equality of the global ids they map
+/// to (the `src != target` self-edge guards keep their serial semantics).
+class ModuleWalker {
  public:
-  Builder(const std::vector<const Module*>& modules,
-          const BuilderOptions& opts)
-      : opts_(opts), tables_(build_symbol_tables(filter_modules(modules, opts),
-                                                 opts)) {
-    for (const Module* m : filter_modules(modules, opts)) build_module(*m);
+  ModuleWalker(const Module& m, const SymbolTables& tables,
+               const BuilderOptions& opts, Fragment& frag)
+      : opts_(opts), tables_(tables), frag_(frag) {
+    build_module(m);
   }
-
-  static std::vector<const Module*> filter_modules(
-      const std::vector<const Module*>& modules, const BuilderOptions& opts) {
-    if (!opts.module_filter) return modules;
-    std::vector<const Module*> kept;
-    for (const Module* m : modules) {
-      if (opts.module_filter(m->name)) kept.push_back(m);
-    }
-    return kept;
-  }
-
-  Metagraph take() { return std::move(mg_); }
 
  private:
+  using LocalId = std::uint32_t;
+
   struct Scope {
     const Module* mod = nullptr;
     const Subprogram* sub = nullptr;  // null at module level
     // Names declared in the current subprogram (locals + dummies + result).
     std::unordered_set<std::string> locals;
   };
+
+  LocalId intern(const std::string& module, const std::string& subprogram,
+                 const std::string& canonical, int line,
+                 bool is_intrinsic = false, bool is_prng_site = false) {
+    const std::string key = module + "\x1f" + subprogram + "\x1f" + canonical;
+    auto it = local_ids_.find(key);
+    if (it != local_ids_.end()) return it->second;
+    const LocalId id = static_cast<LocalId>(frag_.keys.size());
+    frag_.keys.push_back(Fragment::NodeKey{module, subprogram, canonical, line,
+                                           is_intrinsic, is_prng_site});
+    frag_.ops.push_back({Fragment::OpKind::kNode, id, 0});
+    local_ids_.emplace(key, id);
+    return id;
+  }
+
+  void add_edge(LocalId u, LocalId v) {
+    frag_.ops.push_back({Fragment::OpKind::kEdge, u, v});
+  }
+
+  void add_io_mapping(const std::string& label, LocalId node) {
+    auto it = io_label_ids_.find(label);
+    std::uint32_t idx;
+    if (it != io_label_ids_.end()) {
+      idx = it->second;
+    } else {
+      idx = static_cast<std::uint32_t>(frag_.io_labels.size());
+      frag_.io_labels.push_back(label);
+      io_label_ids_.emplace(label, idx);
+    }
+    frag_.ops.push_back({Fragment::OpKind::kIo, idx, node});
+  }
 
   void build_module(const Module& m) {
     for (const auto& sp : m.subprograms) {
@@ -153,19 +222,19 @@ class Builder {
   void walk_stmt(const Stmt& s, Scope& scope) {
     switch (s.kind) {
       case StmtKind::kAssign:
-        ++mg_.assignments_processed;
+        ++frag_.assignments_processed;
         try {
           process_assignment(s, scope);
         } catch (const Error&) {
-          ++mg_.assignments_failed;
+          ++frag_.assignments_failed;
         }
         break;
       case StmtKind::kCall:
-        ++mg_.calls_processed;
+        ++frag_.calls_processed;
         try {
           process_call(s, scope);
         } catch (const Error&) {
-          ++mg_.assignments_failed;
+          ++frag_.assignments_failed;
         }
         break;
       case StmtKind::kIf:
@@ -185,11 +254,11 @@ class Builder {
   }
 
   void process_assignment(const Stmt& s, Scope& scope) {
-    const NodeId target = node_for_ref(*s.lhs, scope);
-    std::vector<NodeId> sources;
+    const LocalId target = node_for_ref(*s.lhs, scope);
+    std::vector<LocalId> sources;
     expr_sources(*s.rhs, scope, &sources);
-    for (NodeId src : sources) {
-      if (src != target) mg_.graph().add_edge(src, target);
+    for (LocalId src : sources) {
+      if (src != target) add_edge(src, target);
     }
   }
 
@@ -198,8 +267,8 @@ class Builder {
     if (s.callee == "outfld") {
       if (s.args.size() == 2 && s.args[0]->kind == ExprKind::kString &&
           s.args[1]->is_ref()) {
-        const NodeId var = node_for_ref(*s.args[1], scope);
-        mg_.add_io_mapping(to_lower(s.args[0]->text), var);
+        const LocalId var = node_for_ref(*s.args[1], scope);
+        add_io_mapping(to_lower(s.args[0]->text), var);
       }
       return;
     }
@@ -207,12 +276,12 @@ class Builder {
       // PRNG call site: a localized pseudo-source feeding the argument —
       // the RAND-MT experiment's "bug location" markers.
       if (s.args.size() == 1 && s.args[0]->is_ref()) {
-        const NodeId site = mg_.intern(
+        const LocalId site = intern(
             scope.mod->name, scope.sub ? scope.sub->name : "",
             strfmt("shr_rand_uniform_%d", s.line), s.line,
             /*is_intrinsic=*/false, /*is_prng_site=*/true);
-        const NodeId var = node_for_ref(*s.args[0], scope);
-        mg_.graph().add_edge(site, var);
+        const LocalId var = node_for_ref(*s.args[0], scope);
+        add_edge(site, var);
       }
       return;
     }
@@ -233,8 +302,7 @@ class Builder {
                       const std::vector<lang::ExprPtr>& args, Scope& scope) {
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string& param = sp.params[i];
-      const NodeId dummy = mg_.intern(home.name, sp.name, param,
-                                      sp.line);
+      const LocalId dummy = intern(home.name, sp.name, param, sp.line);
       Intent intent = Intent::kNone;
       if (opts_.use_intent_info) {
         for (const auto& d : sp.decls) {
@@ -247,17 +315,17 @@ class Builder {
       const bool flows_in = intent != Intent::kOut;
       const bool flows_out = intent != Intent::kIn;
       if (flows_in) {
-        std::vector<NodeId> sources;
+        std::vector<LocalId> sources;
         expr_sources(*args[i], scope, &sources);
-        for (NodeId src : sources) {
-          if (src != dummy) mg_.graph().add_edge(src, dummy);
+        for (LocalId src : sources) {
+          if (src != dummy) add_edge(src, dummy);
         }
       }
       if (flows_out && args[i]->is_ref()) {
         // Writable actual: the dummy's final value flows back.
         try {
-          const NodeId actual = node_for_ref(*args[i], scope);
-          if (actual != dummy) mg_.graph().add_edge(dummy, actual);
+          const LocalId actual = node_for_ref(*args[i], scope);
+          if (actual != dummy) add_edge(dummy, actual);
         } catch (const Error&) {
           // Expression actuals (function results etc.) have no write-back.
         }
@@ -267,7 +335,7 @@ class Builder {
 
   /// Collects the nodes whose values flow into `e` (paper: the expression's
   /// RHS variables, arrays, and function/subroutine-argument outputs).
-  void expr_sources(const Expr& e, Scope& scope, std::vector<NodeId>* out) {
+  void expr_sources(const Expr& e, Scope& scope, std::vector<LocalId>* out) {
     switch (e.kind) {
       case ExprKind::kNumber:
       case ExprKind::kString:
@@ -307,22 +375,22 @@ class Builder {
         if (!cand.sp->is_function()) continue;
         if (cand.sp->params.size() != head.args.size()) continue;
         bind_arguments(*cand.module, *cand.sp, head.args, scope);
-        out->push_back(mg_.intern(cand.module->name, cand.sp->name,
-                                  cand.sp->result_name, cand.sp->line));
+        out->push_back(intern(cand.module->name, cand.sp->name,
+                              cand.sp->result_name, cand.sp->line));
       }
       return;
     }
     if (interp::is_intrinsic_function(head.name)) {
       // Localized intrinsic pseudo-node: inputs -> site -> consumer.
-      const NodeId site = mg_.intern(
+      const LocalId site = intern(
           scope.mod->name, scope.sub ? scope.sub->name : "",
           strfmt("%s_%d", head.name.c_str(), e.line), e.line,
           /*is_intrinsic=*/true);
       for (const auto& arg : head.args) {
-        std::vector<NodeId> inputs;
+        std::vector<LocalId> inputs;
         expr_sources(*arg, scope, &inputs);
-        for (NodeId in : inputs) {
-          if (in != site) mg_.graph().add_edge(in, site);
+        for (LocalId in : inputs) {
+          if (in != site) add_edge(in, site);
         }
       }
       out->push_back(site);
@@ -351,14 +419,14 @@ class Builder {
 
   /// Node for a reference chain: resolves the base name's owning scope and
   /// interns (module, scope, canonical-name).
-  NodeId node_for_ref(const Expr& e, Scope& scope) {
+  LocalId node_for_ref(const Expr& e, Scope& scope) {
     RCA_CHECK_MSG(e.is_ref(), "node_for_ref on non-reference");
     const std::string& base = e.base_name();
     const std::string& canonical = e.canonical_name();
     if (canonical == "__slice__") throw Error("slice marker is not a variable");
 
     if (scope.sub && scope.locals.count(base)) {
-      return mg_.intern(scope.mod->name, scope.sub->name, canonical, e.line);
+      return intern(scope.mod->name, scope.sub->name, canonical, e.line);
     }
     const auto& syms = tables_.modules.at(scope.mod->name);
     auto vit = syms.vars.find(base);
@@ -370,25 +438,75 @@ class Builder {
       const std::string& remote = vit->second.second;
       const std::string& canon =
           (e.segments.size() > 1) ? canonical : remote;
-      return mg_.intern(owner->name, "", canon, e.line);
+      return intern(owner->name, "", canon, e.line);
     }
     // Unresolved: keep it local to the current scope (static fallback —
     // counted as a node so the slice stays sound).
-    return mg_.intern(scope.mod->name, scope.sub ? scope.sub->name : "",
-                      canonical, e.line);
+    return intern(scope.mod->name, scope.sub ? scope.sub->name : "",
+                  canonical, e.line);
   }
 
-  BuilderOptions opts_;
-  SymbolTables tables_;
-  Metagraph mg_;
+  const BuilderOptions& opts_;
+  const SymbolTables& tables_;
+  Fragment& frag_;
+  std::unordered_map<std::string, LocalId> local_ids_;
+  std::unordered_map<std::string, std::uint32_t> io_label_ids_;
 };
+
+/// Replays a fragment's op log against the shared metagraph, translating
+/// local ids through the global intern (idempotent across fragments: the
+/// first fragment in module order to intern a key sets its line/flags,
+/// exactly as the serial walk would).
+void replay_fragment(const Fragment& frag, Metagraph& mg) {
+  std::vector<NodeId> global(frag.keys.size());
+  for (const Fragment::Op& op : frag.ops) {
+    switch (op.kind) {
+      case Fragment::OpKind::kNode: {
+        const Fragment::NodeKey& k = frag.keys[op.a];
+        global[op.a] = mg.intern(k.module, k.subprogram, k.canonical, k.line,
+                                 k.is_intrinsic, k.is_prng_site);
+        break;
+      }
+      case Fragment::OpKind::kEdge:
+        mg.graph().add_edge(global[op.a], global[op.b]);
+        break;
+      case Fragment::OpKind::kIo:
+        mg.add_io_mapping(frag.io_labels[op.a], global[op.b]);
+        break;
+    }
+  }
+  mg.assignments_processed += frag.assignments_processed;
+  mg.assignments_failed += frag.assignments_failed;
+  mg.calls_processed += frag.calls_processed;
+}
 
 }  // namespace
 
 Metagraph build_metagraph(const std::vector<const Module*>& modules,
                           const BuilderOptions& opts) {
-  Builder builder(modules, opts);
-  return builder.take();
+  const std::vector<const Module*> kept = filter_modules(modules, opts);
+  const SymbolTables tables = build_symbol_tables(kept, opts);
+
+  auto walk_one = [&kept, &tables, &opts](std::size_t i) {
+    Fragment frag;
+    ModuleWalker(*kept[i], tables, opts, frag);
+    return frag;
+  };
+
+  std::vector<Fragment> fragments;
+  if (opts.pool != nullptr && kept.size() > 1) {
+    fragments = opts.pool->parallel_map<Fragment>(kept.size(), walk_one);
+  } else {
+    fragments.reserve(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      fragments.push_back(walk_one(i));
+    }
+  }
+
+  // Deterministic reduction: module order, not completion order.
+  Metagraph mg;
+  for (const Fragment& frag : fragments) replay_fragment(frag, mg);
+  return mg;
 }
 
 }  // namespace rca::meta

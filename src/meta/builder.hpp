@@ -23,6 +23,10 @@
 #include "lang/ast.hpp"
 #include "meta/metagraph.hpp"
 
+namespace rca {
+class ThreadPool;
+}
+
 namespace rca::meta {
 
 struct BuilderOptions {
@@ -37,6 +41,11 @@ struct BuilderOptions {
   std::function<bool(const std::string& module)> module_filter;
   std::function<bool(const std::string& module, const std::string& sub)>
       subprogram_filter;
+
+  /// When set, module walks run concurrently on this pool and their
+  /// dependence fragments are replayed in module order — the result is
+  /// bit-identical to the serial build (node ids, edge order, io map).
+  rca::ThreadPool* pool = nullptr;
 };
 
 /// Builds the metagraph for a corpus. Module pointers must stay valid while

@@ -13,6 +13,7 @@
 //     spurious highly connected nodes.
 #pragma once
 
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,9 +71,10 @@ class Metagraph {
 
   /// Map: output label written via `call outfld('LABEL', var)` (lower-cased)
   /// -> internal variable nodes passed at any call site. This is the paper's
-  /// instrumented I/O-name mapping (§5.1).
-  const std::unordered_map<std::string, std::vector<graph::NodeId>>& io_map()
-      const {
+  /// instrumented I/O-name mapping (§5.1). Ordered (std::map) so that every
+  /// serialization of the same graph is byte-identical regardless of label
+  /// insertion order — the snapshot cache diffs saved text exactly.
+  const std::map<std::string, std::vector<graph::NodeId>>& io_map() const {
     return io_map_;
   }
   void add_io_mapping(const std::string& label, graph::NodeId node);
@@ -95,7 +97,7 @@ class Metagraph {
   std::unordered_map<std::string, std::vector<graph::NodeId>> by_canonical_;
   std::unordered_map<std::string, std::vector<graph::NodeId>> by_module_;
   std::vector<std::string> module_order_;
-  std::unordered_map<std::string, std::vector<graph::NodeId>> io_map_;
+  std::map<std::string, std::vector<graph::NodeId>> io_map_;
   std::unordered_map<std::string, int> unique_name_uses_;
 };
 

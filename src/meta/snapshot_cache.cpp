@@ -1,0 +1,98 @@
+#include "meta/snapshot_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "meta/serialize.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+
+namespace rca::meta {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string le64(std::uint64_t value) {
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+SnapshotKey& SnapshotKey::add(std::string_view bytes) {
+  hash_ = detail::fnv1a64(le64(bytes.size()), hash_);
+  hash_ = detail::fnv1a64(bytes, hash_);
+  return *this;
+}
+
+SnapshotKey& SnapshotKey::add_u64(std::uint64_t value) {
+  hash_ = detail::fnv1a64(le64(value), hash_);
+  return *this;
+}
+
+std::string SnapshotKey::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash_));
+  return std::string(buf, 16);
+}
+
+SnapshotCache::SnapshotCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string SnapshotCache::path_for(const SnapshotKey& key) const {
+  return (fs::path(dir_) / (key.hex() + ".rmg2")).string();
+}
+
+std::optional<Metagraph> SnapshotCache::try_load(const SnapshotKey& key) const {
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    obs::count("meta.snapshot.misses");
+    return std::nullopt;
+  }
+  try {
+    Metagraph mg = load_metagraph(in);
+    obs::count("meta.snapshot.hits");
+    return mg;
+  } catch (const Error&) {
+    // Corrupt entry (torn write, stale format): treat as a miss; the caller
+    // rebuilds and store() overwrites it.
+    obs::count("meta.snapshot.misses");
+    obs::count("meta.snapshot.corrupt");
+    return std::nullopt;
+  }
+}
+
+bool SnapshotCache::store(const SnapshotKey& key, const Metagraph& mg) const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return false;
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    save_metagraph(mg, out, SnapshotFormat::kV2Binary);
+    out.flush();
+    if (!out.good()) {
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  obs::count("meta.snapshot.stores");
+  return true;
+}
+
+}  // namespace rca::meta

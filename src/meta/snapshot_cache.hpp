@@ -1,0 +1,61 @@
+// Content-addressed snapshot cache for built metagraphs.
+//
+// The paper's front end (parse every compiled module, extract dependence
+// edges) is the pipeline's cold-start cost; like CPDA's amortized dependence
+// models, we build once and reuse. A cache key is a content hash over the
+// exact inputs that determine the graph — every (path, text) source pair
+// plus the build/coverage configuration — so an unchanged corpus hits and
+// any touched file misses. Entries are v2 binary snapshots (serialize.hpp)
+// stored as <dir>/<key-hex>.rmg2.
+//
+// Failure policy: a missing or corrupt entry is a miss, never an error —
+// the caller falls back to a fresh parse+build and re-stores. Hits, misses
+// and stores are counted on the obs registry (meta.snapshot.{hits,misses,
+// stores}) so `--metrics-out` makes cache behaviour visible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "meta/metagraph.hpp"
+
+namespace rca::meta {
+
+/// Incremental FNV-1a 64 content hash. Every add() is length-prefixed, so
+/// ("ab","c") and ("a","bc") produce different keys.
+class SnapshotKey {
+ public:
+  SnapshotKey& add(std::string_view bytes);
+  SnapshotKey& add_u64(std::uint64_t value);
+
+  std::uint64_t digest() const { return hash_; }
+  /// 16 lowercase hex digits — the cache file stem.
+  std::string hex() const;
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+class SnapshotCache {
+ public:
+  /// The directory is created lazily on the first store().
+  explicit SnapshotCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string path_for(const SnapshotKey& key) const;
+
+  /// Loads the snapshot for `key`; absent or corrupt entries return nullopt
+  /// (counted as a miss) instead of throwing.
+  std::optional<Metagraph> try_load(const SnapshotKey& key) const;
+
+  /// Durably stores `mg` under `key` (tmp file + rename). Best-effort:
+  /// returns false on I/O failure without throwing.
+  bool store(const SnapshotKey& key, const Metagraph& mg) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace rca::meta

@@ -2,35 +2,55 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "lang/parser.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rca::model {
 
-CesmModel::CesmModel(const CorpusSpec& spec)
+CesmModel::CesmModel(const CorpusSpec& spec, rca::ThreadPool* pool)
     : spec_(spec), corpus_(generate_corpus(spec)) {
   // Parse only the compiled (build-configuration) files — the KGen-style
   // 2400 -> 820 reduction happens before parsing in the paper too.
   std::unordered_map<std::string, bool> compiled;
   for (const auto& name : corpus_.compiled_modules) compiled[name] = true;
 
-  parsed_files_.reserve(corpus_.files.size());
-  for (const GeneratedFile& file : corpus_.files) {
+  // Each file lexes/parses independently; slots keep file order so the
+  // assembly below is deterministic regardless of scheduling.
+  std::vector<std::optional<lang::SourceFile>> slots(corpus_.files.size());
+  std::vector<char> failed(corpus_.files.size(), 0);
+  auto parse_one = [this, &slots, &failed](std::size_t i) {
+    const GeneratedFile& file = corpus_.files[i];
     try {
       lang::Parser parser(file.path, file.text);
-      lang::SourceFile parsed = parser.parse_file();
-      bool any_compiled = false;
-      for (const auto& m : parsed.modules) {
-        if (compiled.count(m.name)) any_compiled = true;
-      }
-      if (!any_compiled) continue;
-      parsed_files_.push_back(std::move(parsed));
+      slots[i] = parser.parse_file();
     } catch (const ParseError&) {
-      ++parse_failures_;
+      failed[i] = 1;
     }
+  };
+  if (pool != nullptr && corpus_.files.size() > 1) {
+    pool->parallel_for(corpus_.files.size(), parse_one);
+  } else {
+    for (std::size_t i = 0; i < corpus_.files.size(); ++i) parse_one(i);
+  }
+
+  parsed_files_.reserve(corpus_.files.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (failed[i]) {
+      ++parse_failures_;
+      continue;
+    }
+    if (!slots[i]) continue;
+    bool any_compiled = false;
+    for (const auto& m : slots[i]->modules) {
+      if (compiled.count(m.name)) any_compiled = true;
+    }
+    if (!any_compiled) continue;
+    parsed_files_.push_back(std::move(*slots[i]));
   }
   for (const auto& f : parsed_files_) {
     for (const auto& m : f.modules) {

@@ -19,6 +19,10 @@
 #include "model/corpus.hpp"
 #include "stats/matrix.hpp"
 
+namespace rca {
+class ThreadPool;
+}
+
 namespace rca::model {
 
 struct RunConfig {
@@ -54,7 +58,10 @@ struct RunResult {
 
 class CesmModel {
  public:
-  explicit CesmModel(const CorpusSpec& spec);
+  /// When `pool` is non-null the corpus files are lexed/parsed concurrently
+  /// (each file is independent); the compiled-module filter then runs
+  /// serially in file order, so the module list is identical either way.
+  explicit CesmModel(const CorpusSpec& spec, rca::ThreadPool* pool = nullptr);
 
   const CorpusSpec& spec() const { return spec_; }
   const GeneratedCorpus& corpus() const { return corpus_; }

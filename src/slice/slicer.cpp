@@ -6,6 +6,7 @@
 #include "graph/bfs.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rca::slice {
 
@@ -69,7 +70,23 @@ SliceResult backward_slice_nodes(const meta::Metagraph& mg,
   obs::count("slice.runs");
   // Union of all BFS shortest-path node sets terminating on the targets ==
   // ancestors(targets) ∪ targets (reverse BFS).
-  std::vector<NodeId> reach = graph::ancestors_of(mg.graph(), targets);
+  std::vector<NodeId> reach;
+  if (opts.pool != nullptr && targets.size() > 1) {
+    // One reverse BFS per target on the pool; sort+unique makes the union
+    // independent of completion order and equal to the multi-source set.
+    const std::vector<std::vector<NodeId>> per_target =
+        opts.pool->parallel_map<std::vector<NodeId>>(
+            targets.size(), [&mg, &targets](std::size_t i) {
+              return graph::ancestors_of(mg.graph(), {targets[i]});
+            });
+    for (const auto& part : per_target) {
+      reach.insert(reach.end(), part.begin(), part.end());
+    }
+    std::sort(reach.begin(), reach.end());
+    reach.erase(std::unique(reach.begin(), reach.end()), reach.end());
+  } else {
+    reach = graph::ancestors_of(mg.graph(), targets);
+  }
   std::vector<NodeId> admitted;
   admitted.reserve(reach.size());
   for (NodeId v : reach) {

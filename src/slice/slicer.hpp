@@ -16,6 +16,10 @@
 #include "graph/digraph.hpp"
 #include "meta/metagraph.hpp"
 
+namespace rca {
+class ThreadPool;
+}
+
 namespace rca::slice {
 
 struct SliceOptions {
@@ -26,6 +30,11 @@ struct SliceOptions {
   /// (the paper removes residual clusters of fewer than 4 nodes for plot
   /// clarity; 0/1 keeps everything).
   std::size_t drop_components_smaller_than = 0;
+  /// When set and the criterion has several targets, run one reverse BFS per
+  /// target concurrently and take the deterministic union — identical
+  /// node-for-node to the serial multi-source traversal (the ancestor set of
+  /// a target union is the union of per-target ancestor sets).
+  rca::ThreadPool* pool = nullptr;
 };
 
 struct SliceResult {

@@ -46,6 +46,17 @@ class ThreadPool {
   /// Exceptions from any iteration are rethrown (first one wins).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Compute fn(i) for i in [0, n) across the pool and return the results in
+  /// index order — the scheduling is free but the output is deterministic,
+  /// which is what the parallel front-end's ordered reductions rely on.
+  /// R must be default-constructible.
+  template <typename R, typename F>
+  std::vector<R> parallel_map(std::size_t n, const F& fn) {
+    std::vector<R> out(n);
+    parallel_for(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
  private:
   void worker_loop();
 

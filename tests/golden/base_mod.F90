@@ -1,0 +1,23 @@
+! Golden-fixture base module: module-level arrays, a derived type, and a
+! module variable other fixtures import. Any change to this corpus requires
+! regenerating tests/golden/expected.tsv (see README "Golden fixtures").
+module gold_base
+  implicit none
+  real :: alpha(4)
+  real :: beta(4)
+  type gold_state
+    real :: t(4)
+    real :: q(4)
+  end type
+  type(gold_state) :: gstate
+contains
+  subroutine base_init()
+    integer :: i
+    do i = 1, 4
+      alpha(i) = 0.25 * real(i)
+      beta(i) = alpha(i) + 0.5
+      gstate%t(i) = 0.3 + alpha(i)
+      gstate%q(i) = 0.1 * beta(i)
+    end do
+  end subroutine base_init
+end module gold_base

@@ -1,0 +1,20 @@
+! Golden-fixture diagnostics module: intent(in)/intent(out) dummy-argument
+! binding across modules, plus a second output label.
+module gold_diag
+  use gold_base, only: beta
+  use gold_physics, only: flux
+  implicit none
+  real :: diag_out(4)
+  real :: diag_peak
+contains
+  subroutine accumulate(xin, xout)
+    real, intent(in) :: xin
+    real, intent(out) :: xout
+    xout = 0.5 * xin + 0.25 * beta(1)
+  end subroutine accumulate
+  subroutine diag_step()
+    call accumulate(flux(1), diag_peak)
+    diag_out(1) = diag_peak + 0.1 * flux(2)
+    call outfld('GDIAG', diag_out)
+  end subroutine diag_step
+end module gold_diag

@@ -1,0 +1,34 @@
+! Golden-fixture physics module: use-imports, an interface mapping to two
+! candidate functions, intrinsic call sites, a PRNG pseudo-source, derived
+! chains, and history output.
+module gold_physics
+  use gold_base, only: alpha, beta, gstate
+  implicit none
+  real :: flux(4)
+  real :: rnd(4)
+  interface blend
+    module procedure blend_linear, blend_sqrt
+  end interface
+contains
+  function blend_linear(x) result(bl)
+    real, intent(in) :: x
+    real :: bl
+    bl = 0.7 * x + 0.3
+  end function blend_linear
+  function blend_sqrt(x) result(bs)
+    real, intent(in) :: x
+    real :: bs
+    bs = sqrt(x) * 0.9
+  end function blend_sqrt
+  subroutine physics_step()
+    integer :: i
+    real :: tmp
+    call shr_rand_uniform(rnd)
+    do i = 1, 4
+      tmp = blend(alpha(i)) + 0.2 * rnd(i)
+      flux(i) = max(tmp * gstate%t(i), 0.01) + min(beta(i), 1.0)
+      gstate%q(i) = 0.95 * gstate%q(i) + 0.05 * flux(i)
+    end do
+    call outfld('GFLUX', flux)
+  end subroutine physics_step
+end module gold_physics

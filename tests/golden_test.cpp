@@ -1,0 +1,95 @@
+// Golden snapshot test: tests/golden/ holds a tiny fixture corpus plus the
+// exact v1 text metagraph it must build (expected.tsv). Any front-end change
+// that alters node identity, intern order, edge extraction or the io map
+// shows up here as a byte diff — refactors cannot silently change the graph.
+//
+// To regenerate after an INTENTIONAL builder change:
+//   rca-tool graph --src tests/golden --out tests/golden/expected.tsv
+// then review the diff like any other source change (see README).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/parser.hpp"
+#include "meta/builder.hpp"
+#include "meta/serialize.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rca::meta {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Fixture {
+  std::vector<lang::SourceFile> files;
+  std::vector<const lang::Module*> modules;
+};
+
+/// Parses the fixture corpus in sorted-path order (the same order
+/// `rca-tool graph` uses), so the golden bytes are reproducible.
+Fixture parse_fixture() {
+  const fs::path dir = RCA_GOLDEN_DIR;
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".F90") continue;
+    sources.emplace_back(entry.path().string(), read_file(entry.path()));
+  }
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(sources.size(), 3u);
+
+  Fixture fx;
+  for (const auto& [path, text] : sources) {
+    fx.files.push_back(lang::Parser(path, text).parse_file());
+  }
+  for (const auto& f : fx.files) {
+    for (const auto& m : f.modules) fx.modules.push_back(&m);
+  }
+  return fx;
+}
+
+TEST(GoldenSnapshot, FixtureBuildsExactExpectedMetagraph) {
+  const Fixture fx = parse_fixture();
+  const Metagraph mg = build_metagraph(fx.modules);
+  const std::string expected =
+      read_file(fs::path(RCA_GOLDEN_DIR) / "expected.tsv");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(save_metagraph_to_string(mg), expected)
+      << "front-end output changed; if intentional, regenerate with\n"
+         "  rca-tool graph --src tests/golden --out tests/golden/expected.tsv";
+}
+
+TEST(GoldenSnapshot, ParallelBuildMatchesTheSameGolden) {
+  const Fixture fx = parse_fixture();
+  ThreadPool pool(3);
+  BuilderOptions opts;
+  opts.pool = &pool;
+  const Metagraph mg = build_metagraph(fx.modules, opts);
+  EXPECT_EQ(save_metagraph_to_string(mg),
+            read_file(fs::path(RCA_GOLDEN_DIR) / "expected.tsv"));
+}
+
+TEST(GoldenSnapshot, V2RoundTripMatchesTheSameGolden) {
+  const Fixture fx = parse_fixture();
+  const Metagraph mg = build_metagraph(fx.modules);
+  const Metagraph loaded = load_metagraph_from_string(
+      save_metagraph_to_string(mg, SnapshotFormat::kV2Binary));
+  EXPECT_EQ(save_metagraph_to_string(loaded),
+            read_file(fs::path(RCA_GOLDEN_DIR) / "expected.tsv"));
+}
+
+}  // namespace
+}  // namespace rca::meta

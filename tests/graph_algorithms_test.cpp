@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "graph/centrality.hpp"
+#include "graph/girvan_newman.hpp"
 #include "graph/louvain.hpp"
 #include "graph/bridges.hpp"
 #include "graph/scc.hpp"
@@ -203,6 +204,88 @@ TEST(Bridges, CycleHasNone) {
   g.add_edge(3, 0);
   UGraph ug(g);
   EXPECT_TRUE(find_bridges(ug).empty());
+}
+
+// UGraph assigns its own edge ids (by adjacency order, not digraph
+// insertion order), so tests locate edges by their endpoints.
+EdgeId edge_between(const UGraph& ug, NodeId u, NodeId v) {
+  for (EdgeId e = 0; e < ug.total_edges(); ++e) {
+    const auto& ed = ug.edge(e);
+    if ((ed.u == u && ed.v == v) || (ed.u == v && ed.v == u)) return e;
+  }
+  ADD_FAILURE() << "no edge " << u << "-" << v;
+  return 0;
+}
+
+// Regression tests for the girvan_newman_step live-edge index: removal
+// counts per step are pinned exactly, so a scan that revisits removed edges
+// (or loses the lowest-id tie-break) changes these numbers.
+TEST(GirvanNewmanStep, BridgeBetweenTrianglesGoesFirst) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(3, 5);
+  g.add_edge(4, 5);
+  g.add_edge(2, 3);  // bridge: the unique max-betweenness edge
+  UGraph ug(g);
+  EXPECT_EQ(girvan_newman_step(ug), 1u);
+  std::size_t count = 0;
+  ug.components(&count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_TRUE(ug.edge(edge_between(ug, 2, 3)).removed);
+}
+
+TEST(GirvanNewmanStep, SixCycleNeedsExactlyTwoRemovals) {
+  // All six edges tie on betweenness, so the lowest id (0-1) goes first.
+  // That leaves the path 1-2-3-4-5-0, whose middle edge (3-4, id 3) is the
+  // next unique maximum; removing it splits the graph and ends the step.
+  Digraph g(6);
+  for (NodeId v = 0; v < 6; ++v) g.add_edge(v, (v + 1) % 6);
+  UGraph ug(g);
+  EXPECT_EQ(girvan_newman_step(ug), 2u);
+  EXPECT_TRUE(ug.edge(0).removed);
+  EXPECT_TRUE(ug.edge(3).removed);
+  std::size_t count = 0;
+  ug.components(&count);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(GirvanNewmanStep, SkipsEdgesRemovedBeforeTheStep) {
+  // Pre-removing the bridge must keep it out of the live scan: the step then
+  // splits one triangle (lowest-id edge, then one of the tied remainder).
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(3, 5);
+  g.add_edge(4, 5);
+  g.add_edge(2, 3);
+  UGraph ug(g);
+  ug.remove_edge(edge_between(ug, 2, 3));  // the bridge
+  EXPECT_EQ(girvan_newman_step(ug), 2u);
+  std::size_t count = 0;
+  ug.components(&count);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(GirvanNewmanStep, RepeatedStepsKeepPeelingDeterministically) {
+  Digraph g = two_cliques_with_bridge();
+  UGraph ug(g);
+  const std::size_t first = girvan_newman_step(ug);
+  EXPECT_EQ(first, 1u);  // the bridge
+  std::size_t count = 0;
+  ug.components(&count);
+  EXPECT_EQ(count, 2u);
+  // A second step must make progress on the surviving cliques and produce
+  // the same counts every run.
+  UGraph replay(g);
+  girvan_newman_step(replay);
+  const std::size_t second = girvan_newman_step(ug);
+  EXPECT_EQ(second, girvan_newman_step(replay));
+  EXPECT_GE(second, 1u);
 }
 
 TEST(Bridges, RespectsRemovedEdges) {

@@ -16,10 +16,12 @@
 #include "lang/printer.hpp"
 #include "interp/interpreter.hpp"
 #include "meta/builder.hpp"
+#include "meta/serialize.hpp"
 #include "model/corpus.hpp"
 #include "model/model.hpp"
 #include "slice/slicer.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rca {
 namespace {
@@ -238,6 +240,83 @@ TEST(StaticDynamicConsistency, EveryRuntimeAssignmentHasAGraphNode) {
   }
   EXPECT_GT(exact * 10, interp.assigned_keys().size() * 8);  // >80% exact
 }
+
+// ---------------------------------------------------------------------------
+// Parallel front-end determinism: the concurrent parse + fragment-replay
+// build must be BYTE-identical to the serial build at any thread count, and
+// the per-target parallel slice must equal the serial multi-source slice
+// node-for-node.
+// ---------------------------------------------------------------------------
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static model::CorpusSpec small_spec(std::uint64_t seed) {
+    model::CorpusSpec spec;
+    spec.seed = seed;
+    spec.total_aux_modules = 40;
+    spec.compiled_aux_modules = 20;
+    spec.executed_aux_modules = 14;
+    return spec;
+  }
+};
+
+TEST_P(ParallelDeterminism, ParallelBuildIsByteIdenticalToSerial) {
+  const model::CorpusSpec spec = small_spec(GetParam());
+  model::CesmModel serial_model(spec);
+  ASSERT_EQ(serial_model.parse_failures(), 0u);
+  const meta::Metagraph serial_mg =
+      meta::build_metagraph(serial_model.compiled_modules());
+  const std::string serial_text = meta::save_metagraph_to_string(serial_mg);
+
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    ThreadPool pool(jobs);
+    // Parallel parse must yield the same module list...
+    model::CesmModel par_model(spec, &pool);
+    ASSERT_EQ(par_model.parse_failures(), 0u);
+    ASSERT_EQ(par_model.compiled_modules().size(),
+              serial_model.compiled_modules().size());
+    // ...and the parallel fragment build the same serialized bytes.
+    meta::BuilderOptions opts;
+    opts.pool = &pool;
+    const meta::Metagraph par_mg =
+        meta::build_metagraph(par_model.compiled_modules(), opts);
+    EXPECT_EQ(meta::save_metagraph_to_string(par_mg), serial_text)
+        << "divergence at " << jobs << " threads, seed " << GetParam();
+    EXPECT_EQ(par_mg.assignments_processed, serial_mg.assignments_processed);
+    EXPECT_EQ(par_mg.assignments_failed, serial_mg.assignments_failed);
+    EXPECT_EQ(par_mg.calls_processed, serial_mg.calls_processed);
+  }
+}
+
+TEST_P(ParallelDeterminism, ParallelSliceEqualsSerialNodeForNode) {
+  static std::unique_ptr<model::CesmModel> model =
+      std::make_unique<model::CesmModel>(model::CorpusSpec{});
+  static meta::Metagraph mg = meta::build_metagraph(model->compiled_modules());
+
+  SplitMix64 rng(GetParam() * 6151 + 3);
+  std::vector<NodeId> targets;
+  const std::size_t want = 2 + rng.next() % 5;
+  while (targets.size() < want) {
+    const NodeId v = static_cast<NodeId>(rng.next() % mg.node_count());
+    if (std::find(targets.begin(), targets.end(), v) == targets.end()) {
+      targets.push_back(v);
+    }
+  }
+  const slice::SliceResult serial = slice::backward_slice_nodes(mg, targets);
+  for (std::size_t jobs : {2u, 8u}) {
+    ThreadPool pool(jobs);
+    slice::SliceOptions opts;
+    opts.pool = &pool;
+    const slice::SliceResult par =
+        slice::backward_slice_nodes(mg, targets, opts);
+    EXPECT_EQ(par.nodes, serial.nodes);
+    EXPECT_EQ(par.targets, serial.targets);
+    EXPECT_EQ(par.subgraph.edge_count(), serial.subgraph.edge_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
+                         ::testing::Values(11u, 22u, 33u));
 
 // ---------------------------------------------------------------------------
 // ECT calibration: the false-positive rate falls as the threshold loosens.

@@ -11,6 +11,25 @@ function(run)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "rca-tool ${ARGN} failed (${rc}):\n${out}\n${err}")
   endif()
+  set(run_out "${out}" PARENT_SCOPE)
+endfunction()
+
+# Asserts counter `name` in metrics file `file` equals `expected`.
+function(expect_counter file name expected)
+  file(READ ${WORKDIR}/${file} doc)
+  string(JSON val ERROR_VARIABLE err GET ${doc} counters ${name})
+  if(err OR NOT val EQUAL expected)
+    message(FATAL_ERROR
+      "${file}: counter '${name}' expected ${expected}, got '${val}' ${err}")
+  endif()
+endfunction()
+
+function(expect_same_bytes a b why)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORKDIR}/${a} ${WORKDIR}/${b} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${a} and ${b} differ: ${why}")
+  endif()
 endfunction()
 
 run(generate --out corpus --seed 11)
@@ -46,3 +65,46 @@ foreach(gauge pipeline.graph_nodes pipeline.graph_edges pipeline.slice_nodes)
     message(FATAL_ERROR "metrics.json gauge '${gauge}' missing or zero: ${err}")
   endif()
 endforeach()
+
+# ---------------------------------------------------------------------------
+# Snapshot cache behaviour: a cold `graph --snapshot` builds and stores, a
+# warm rerun reports a hit, skips parse+build, and emits byte-identical
+# output; touching any source file invalidates the key.
+run(graph --src corpus --build-list corpus/build_list.txt --coverage
+    --snapshot cache --out mg_cold.tsv --metrics-out m_cold.json)
+expect_counter(m_cold.json meta.snapshot.misses 1)
+expect_counter(m_cold.json meta.snapshot.stores 1)
+
+run(graph --src corpus --build-list corpus/build_list.txt --coverage
+    --snapshot cache --out mg_warm.tsv --metrics-out m_warm.json)
+if(NOT run_out MATCHES "snapshot cache hit")
+  message(FATAL_ERROR "warm graph run did not report a snapshot cache hit:\n${run_out}")
+endif()
+expect_counter(m_warm.json meta.snapshot.hits 1)
+expect_same_bytes(mg_cold.tsv mg_warm.tsv "warm cache hit changed the metagraph")
+expect_same_bytes(mg_cold.tsv mg.tsv "snapshot path changed the metagraph")
+
+# Any source edit must invalidate the cache key (content-hashed, not mtime).
+file(GLOB_RECURSE corpus_files ${WORKDIR}/corpus/*.F90)
+list(SORT corpus_files)
+list(GET corpus_files 0 touched_file)
+file(APPEND ${touched_file} "! touched by smoke test\n")
+run(graph --src corpus --build-list corpus/build_list.txt --coverage
+    --snapshot cache --out mg_touched.tsv --metrics-out m_touched.json)
+expect_counter(m_touched.json meta.snapshot.misses 1)
+expect_counter(m_touched.json meta.snapshot.stores 1)
+file(READ ${touched_file} restored)
+string(REPLACE "! touched by smoke test\n" "" restored "${restored}")
+file(WRITE ${touched_file} "${restored}")
+
+# The analyze pipeline shares the same cache machinery: a warm run skips the
+# front end yet reproduces the graph and the JSON report byte-for-byte.
+run(analyze --experiment goffgratch --members 16 --snapshot acache
+    --graph-out amg_cold.tsv --json a_cold.json --metrics-out am_cold.json)
+expect_counter(am_cold.json meta.snapshot.misses 1)
+expect_counter(am_cold.json meta.snapshot.stores 1)
+run(analyze --experiment goffgratch --members 16 --snapshot acache
+    --graph-out amg_warm.tsv --json a_warm.json --metrics-out am_warm.json)
+expect_counter(am_warm.json meta.snapshot.hits 1)
+expect_same_bytes(amg_cold.tsv amg_warm.tsv "warm analyze changed the metagraph")
+expect_same_bytes(a_cold.json a_warm.json "warm analyze changed the report")
