@@ -3,6 +3,9 @@
 //   rca-tool generate    --out DIR [--seed N] [--bug NAME] [--aux N]
 //   rca-tool graph       --src DIR [--build-list FILE] [--coverage] --out FILE
 //                        [--format v1|v2] [--jobs N] [--snapshot DIR]
+//                        [--prune-dead-stores]
+//   rca-tool lint        --src DIR [--build-list FILE] [--jobs N]
+//                        [--json FILE] [--tsv FILE] [--fail-on error|warn|none]
 //   rca-tool info        --graph FILE
 //   rca-tool slice       --graph FILE (--target NAME | --output LABEL)...
 //                        [--cam-only] [--drop-small N] [--dot FILE]
@@ -12,6 +15,7 @@
 //   rca-tool analyze     --experiment NAME [--runtime-sampling]
 //                        [--members N] [--seed N] [--jobs N]
 //                        [--snapshot DIR] [--graph-out FILE]
+//                        [--prune-dead-stores]
 //
 // `--jobs N` parses/builds on N worker threads (bit-identical to serial);
 // `--snapshot DIR` caches built metagraphs keyed on source content, so an
@@ -29,6 +33,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/passes.hpp"
 #include "engine/pipeline.hpp"
 #include "graph/centrality.hpp"
 #include "graph/degree_dist.hpp"
@@ -62,6 +67,7 @@ int usage() {
       "subcommands:\n"
       "  generate     write a synthetic-CESM corpus to disk\n"
       "  graph        parse sources into a serialized variable digraph\n"
+      "  lint         run the dataflow lint passes, report diagnostics\n"
       "  info         summarize a saved graph\n"
       "  slice        backward slice from output labels / canonical names\n"
       "  communities  Girvan-Newman or Louvain partition of a slice\n"
@@ -127,6 +133,73 @@ int cmd_generate(const Args& args) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared front-end helpers (graph, lint).
+// ---------------------------------------------------------------------------
+
+/// Every Fortran-ish file under `src_dir` as (path, text), in sorted path
+/// order — directory iteration order is filesystem-dependent, and node ids /
+/// diagnostic order must not depend on it.
+std::vector<std::pair<std::string, std::string>> collect_fortran_sources(
+    const fs::path& src_dir) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = to_lower(entry.path().extension().string());
+    if (ext != ".f90" && ext != ".f" && ext != ".f95") continue;
+    sources.emplace_back(entry.path().string(), read_file(entry.path()));
+  }
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
+/// Optional build-configuration list (one module name per line).
+std::vector<std::string> read_build_list(const Args& args) {
+  std::vector<std::string> build_list;
+  if (args.has("build-list")) {
+    std::istringstream in(read_file(args.get("build-list")));
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string name = std::string(trim(line));
+      if (!name.empty()) build_list.push_back(name);
+    }
+  }
+  return build_list;
+}
+
+/// Parses sources into file-order slots (independent per file, so the pool
+/// can schedule them freely without changing the result). Parse failures
+/// land in `errors` by index, paired with their source path.
+std::vector<lang::SourceFile> parse_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    ThreadPool* pool, std::vector<std::pair<std::string, std::string>>* errors) {
+  std::vector<std::optional<lang::SourceFile>> slots(sources.size());
+  std::vector<std::string> messages(sources.size());
+  auto parse_one = [&sources, &slots, &messages](std::size_t i) {
+    try {
+      lang::Parser parser(sources[i].first, sources[i].second);
+      slots[i] = parser.parse_file();
+    } catch (const ParseError& e) {
+      messages[i] = e.what();
+    }
+  };
+  if (pool != nullptr && sources.size() > 1) {
+    pool->parallel_for(sources.size(), parse_one);
+  } else {
+    for (std::size_t i = 0; i < sources.size(); ++i) parse_one(i);
+  }
+  std::vector<lang::SourceFile> files;
+  files.reserve(sources.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!messages[i].empty()) {
+      errors->emplace_back(sources[i].first, messages[i]);
+      continue;
+    }
+    if (slots[i]) files.push_back(std::move(*slots[i]));
+  }
+  return files;
+}
+
+// ---------------------------------------------------------------------------
 // graph
 // ---------------------------------------------------------------------------
 
@@ -149,16 +222,7 @@ int cmd_graph(const Args& args) {
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
 
-  // Optional build-configuration list (one module name per line).
-  std::vector<std::string> build_list;
-  if (args.has("build-list")) {
-    std::istringstream in(read_file(args.get("build-list")));
-    std::string line;
-    while (std::getline(in, line)) {
-      const std::string name = std::string(trim(line));
-      if (!name.empty()) build_list.push_back(name);
-    }
-  }
+  const std::vector<std::string> build_list = read_build_list(args);
   auto in_build = [&build_list](const std::string& module) {
     if (build_list.empty()) return true;
     for (const auto& name : build_list) {
@@ -167,30 +231,23 @@ int cmd_graph(const Args& args) {
     return false;
   };
 
-  // Collect every Fortran-ish file under --src in sorted path order —
-  // directory iteration order is filesystem-dependent, and node ids must
-  // not depend on it.
-  std::vector<std::pair<std::string, std::string>> sources;  // path, text
-  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = to_lower(entry.path().extension().string());
-    if (ext != ".f90" && ext != ".f" && ext != ".f95") continue;
-    sources.emplace_back(entry.path().string(), read_file(entry.path()));
-  }
-  std::sort(sources.begin(), sources.end());
+  const std::vector<std::pair<std::string, std::string>> sources =
+      collect_fortran_sources(src_dir);
 
   const bool coverage = args.has("coverage");
   const int cov_steps = static_cast<int>(args.get_int("coverage-steps", 2));
+  const bool prune = args.has("prune-dead-stores");
 
-  // Snapshot cache key: every (path, text) pair plus the build/coverage
-  // configuration. A hit skips parse+build entirely.
+  // Snapshot cache key: every (path, text) pair plus the build/coverage/
+  // pruning configuration. A hit skips parse+build entirely.
   std::optional<meta::SnapshotCache> cache;
   meta::SnapshotKey key;
   if (args.has("snapshot")) {
     cache.emplace(args.get("snapshot"));
-    key.add("rca-graph-snapshot-v1");
+    key.add("rca-graph-snapshot-v2");
     key.add_u64(coverage ? 1 : 0);
     key.add_u64(static_cast<std::uint64_t>(cov_steps));
+    key.add_u64(prune ? 1 : 0);
     for (const auto& name : build_list) key.add(name);
     for (const auto& [path, text] : sources) {
       key.add(path);
@@ -204,35 +261,14 @@ int cmd_graph(const Args& args) {
     std::printf("snapshot cache hit: skipping parse+build (%s)\n",
                 cache->path_for(key).c_str());
   } else {
-    // Parse into file-order slots (independent per file, so the pool can
-    // schedule them freely without changing the result).
-    std::vector<std::optional<lang::SourceFile>> slots(sources.size());
-    std::vector<std::string> errors(sources.size());
-    auto parse_one = [&sources, &slots, &errors](std::size_t i) {
-      try {
-        lang::Parser parser(sources[i].first, sources[i].second);
-        slots[i] = parser.parse_file();
-      } catch (const ParseError& e) {
-        errors[i] = e.what();
-      }
-    };
-    if (pool && sources.size() > 1) {
-      pool->parallel_for(sources.size(), parse_one);
-    } else {
-      for (std::size_t i = 0; i < sources.size(); ++i) parse_one(i);
+    std::vector<std::pair<std::string, std::string>> parse_errors;
+    std::vector<lang::SourceFile> files =
+        parse_sources(sources, pool.get(), &parse_errors);
+    for (const auto& [path, message] : parse_errors) {
+      (void)path;
+      std::fprintf(stderr, "parse failure: %s\n", message.c_str());
     }
-
-    std::vector<lang::SourceFile> files;
-    files.reserve(sources.size());
-    std::size_t parse_failures = 0;
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      if (!errors[i].empty()) {
-        ++parse_failures;
-        std::fprintf(stderr, "parse failure: %s\n", errors[i].c_str());
-        continue;
-      }
-      if (slots[i]) files.push_back(std::move(*slots[i]));
-    }
+    const std::size_t parse_failures = parse_errors.size();
     std::vector<const lang::Module*> modules;
     for (const auto& f : files) {
       for (const auto& m : f.modules) {
@@ -245,6 +281,7 @@ int cmd_graph(const Args& args) {
 
     meta::BuilderOptions opts;
     opts.pool = pool.get();
+    opts.prune_dead_stores = prune;
     std::unique_ptr<interp::Interpreter> cov_interp;
     interp::CoverageRecorder recorder;
     if (coverage) {
@@ -271,6 +308,9 @@ int cmd_graph(const Args& args) {
     }
 
     mg = meta::build_metagraph(modules, opts);
+    if (prune) {
+      std::printf("dead stores pruned: %zu\n", mg->dead_stores_pruned);
+    }
     if (cache) cache->store(key, *mg);
   }
 
@@ -279,6 +319,83 @@ int cmd_graph(const Args& args) {
   std::printf("metagraph: %zu nodes, %zu edges, %zu I/O labels -> %s\n",
               mg->node_count(), mg->graph().edge_count(), mg->io_map().size(),
               out_path.string().c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// lint
+// ---------------------------------------------------------------------------
+
+int cmd_lint(const Args& args) {
+  const fs::path src_dir = args.get("src");
+  if (src_dir.empty()) throw Error("lint: --src DIR is required");
+  const std::string fail_on = args.get("fail-on", "error");
+  if (fail_on != "error" && fail_on != "warn" && fail_on != "none") {
+    throw Error("lint: unknown --fail-on '" + fail_on +
+                "' (error|warn|none)");
+  }
+
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+
+  const std::vector<std::string> build_list = read_build_list(args);
+  auto in_build = [&build_list](const std::string& module) {
+    if (build_list.empty()) return true;
+    for (const auto& name : build_list) {
+      if (name == module) return true;
+    }
+    return false;
+  };
+
+  const std::vector<std::pair<std::string, std::string>> sources =
+      collect_fortran_sources(src_dir);
+  std::vector<std::pair<std::string, std::string>> parse_errors;
+  std::vector<lang::SourceFile> files =
+      parse_sources(sources, pool.get(), &parse_errors);
+  std::vector<const lang::Module*> modules;
+  for (const auto& f : files) {
+    for (const auto& m : f.modules) {
+      if (in_build(m.name)) modules.push_back(&m);
+    }
+  }
+
+  analysis::PassManager pm = analysis::PassManager::default_passes();
+  analysis::AnalysisResult result = pm.run(modules);
+  // A file the front end cannot parse is itself a finding; fold parse
+  // failures into the diagnostic stream so every emitter sees them.
+  for (const auto& [path, message] : parse_errors) {
+    analysis::Diagnostic d;
+    d.rule = "parse-error";
+    d.severity = analysis::Severity::kError;
+    d.file = path;
+    d.message = message;
+    result.diagnostics.push_back(std::move(d));
+  }
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            analysis::diagnostic_less);
+
+  std::fputs(analysis::diagnostics_to_text(result.diagnostics).c_str(),
+             stdout);
+  const std::size_t errors = result.count(analysis::Severity::kError);
+  const std::size_t warnings = result.count(analysis::Severity::kWarning);
+  std::printf("lint: %zu error(s), %zu warning(s) in %zu modules / %zu "
+              "subprograms\n",
+              errors, warnings, result.modules, result.subprograms);
+
+  if (args.has("json")) {
+    write_file(args.get("json"),
+               analysis::diagnostics_to_json(result.diagnostics) + "\n");
+    std::printf("wrote JSON diagnostics to %s\n", args.get("json").c_str());
+  }
+  if (args.has("tsv")) {
+    write_file(args.get("tsv"),
+               analysis::diagnostics_to_tsv(result.diagnostics));
+    std::printf("wrote TSV diagnostics to %s\n", args.get("tsv").c_str());
+  }
+
+  if (fail_on == "error") return errors > 0 ? 1 : 0;
+  if (fail_on == "warn") return errors + warnings > 0 ? 1 : 0;
   return 0;
 }
 
@@ -499,6 +616,7 @@ int cmd_analyze(const Args& args) {
   config.corpus.seed = static_cast<std::uint64_t>(args.get_int("seed", 2019));
   config.threads = static_cast<std::size_t>(args.get_int("jobs", 0));
   config.snapshot_dir = args.get("snapshot");
+  config.prune_dead_stores = args.has("prune-dead-stores");
   engine::Pipeline pipe(std::move(config));
   if (args.has("graph-out")) {
     // The coverage-filtered metagraph as v1 text, so cold- and warm-cache
@@ -605,6 +723,7 @@ int main(int argc, char** argv) {
     int rc;
     if (args.command() == "generate") rc = cmd_generate(args);
     else if (args.command() == "graph") rc = cmd_graph(args);
+    else if (args.command() == "lint") rc = cmd_lint(args);
     else if (args.command() == "info") rc = cmd_info(args);
     else if (args.command() == "slice") rc = cmd_slice(args);
     else if (args.command() == "communities") rc = cmd_communities(args);

@@ -1,0 +1,130 @@
+#include "analysis/cfg.hpp"
+
+namespace rca::analysis {
+
+using lang::Stmt;
+using lang::StmtKind;
+
+std::vector<std::vector<int>> Cfg::predecessors() const {
+  std::vector<std::vector<int>> preds(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (int s : blocks[b].succs) preds[s].push_back(static_cast<int>(b));
+  }
+  return preds;
+}
+
+namespace {
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(const lang::Subprogram& sp) {
+    cfg_.blocks.resize(2);  // 0 = entry, 1 = exit
+    int cur = walk_list(sp.body, cfg_.entry);
+    link(cur, cfg_.exit);
+  }
+
+  Cfg take() { return std::move(cfg_); }
+
+ private:
+  struct LoopTargets {
+    int header = 0;  // `cycle` target
+    int after = 0;   // `exit` target
+  };
+
+  int new_block() {
+    cfg_.blocks.emplace_back();
+    return static_cast<int>(cfg_.blocks.size()) - 1;
+  }
+
+  void link(int from, int to) { cfg_.blocks[from].succs.push_back(to); }
+
+  /// Walks a statement list appending to block `cur`; returns the block the
+  /// list falls through to.
+  int walk_list(const std::vector<lang::StmtPtr>& stmts, int cur) {
+    for (const auto& s : stmts) cur = walk_stmt(*s, cur);
+    return cur;
+  }
+
+  int walk_stmt(const Stmt& s, int cur) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+      case StmtKind::kCall:
+        cfg_.blocks[cur].stmts.push_back({CfgStmt::Role::kSimple, &s, nullptr});
+        return cur;
+      case StmtKind::kReturn:
+        link(cur, cfg_.exit);
+        return new_block();  // fallthrough block is unreachable
+      case StmtKind::kExit:
+        if (!loops_.empty()) link(cur, loops_.back().after);
+        return new_block();
+      case StmtKind::kCycle:
+        if (!loops_.empty()) link(cur, loops_.back().header);
+        return new_block();
+      case StmtKind::kIf:
+        return walk_if(s, cur);
+      case StmtKind::kDo:
+      case StmtKind::kDoWhile:
+        return walk_loop(s, cur);
+    }
+    return cur;
+  }
+
+  int walk_if(const Stmt& s, int cur) {
+    const int join = new_block();
+    // Condition chain: each cond block branches into its body and falls
+    // through (cond false) to the next condition / else / join.
+    cfg_.blocks[cur].stmts.push_back({CfgStmt::Role::kCond, &s, s.cond.get()});
+    int cond_block = cur;
+
+    auto add_arm = [this, join](int from, const std::vector<lang::StmtPtr>& body) {
+      const int arm = new_block();
+      link(from, arm);
+      link(walk_list(body, arm), join);
+    };
+
+    add_arm(cond_block, s.body);
+    for (const auto& ei : s.elseifs) {
+      const int next_cond = new_block();
+      link(cond_block, next_cond);
+      cfg_.blocks[next_cond].stmts.push_back(
+          {CfgStmt::Role::kCond, &s, ei.cond.get()});
+      cond_block = next_cond;
+      add_arm(cond_block, ei.body);
+    }
+    if (!s.else_body.empty()) {
+      add_arm(cond_block, s.else_body);
+    } else {
+      link(cond_block, join);  // all conditions false: skip
+    }
+    return join;
+  }
+
+  int walk_loop(const Stmt& s, int cur) {
+    const int header = new_block();
+    const int body = new_block();
+    const int after = new_block();
+    link(cur, header);
+    if (s.kind == StmtKind::kDo) {
+      cfg_.blocks[header].stmts.push_back(
+          {CfgStmt::Role::kDoHeader, &s, nullptr});
+    } else {
+      cfg_.blocks[header].stmts.push_back(
+          {CfgStmt::Role::kCond, &s, s.cond.get()});
+    }
+    link(header, body);
+    link(header, after);  // zero-trip / loop-done path
+    loops_.push_back({header, after});
+    link(walk_list(s.body, body), header);  // back edge
+    loops_.pop_back();
+    return after;
+  }
+
+  Cfg cfg_;
+  std::vector<LoopTargets> loops_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const lang::Subprogram& sp) { return CfgBuilder(sp).take(); }
+
+}  // namespace rca::analysis

@@ -1,0 +1,48 @@
+// Per-subprogram control-flow graph over the structured AST.
+//
+// Blocks hold the simple statements (assignments, calls) plus pseudo-entries
+// for the value-reading parts of control statements: an `if`/`do while`
+// condition contributes a kCond entry in the block that evaluates it, and a
+// counted-do header contributes a kDoHeader entry (reads bounds, defines the
+// loop variable). `exit`, `cycle` and `return` become edges to the loop-exit,
+// loop-header and subprogram-exit blocks respectively, so the reaching-
+// definitions and liveness analyses (dataflow.hpp) see every path the
+// builder's edge extraction over-approximates.
+#pragma once
+
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace rca::analysis {
+
+struct CfgStmt {
+  enum class Role {
+    kSimple,    // assignment or call: `stmt`
+    kCond,      // if/elseif/do-while condition: `cond` (stmt = owner)
+    kDoHeader,  // counted do: reads from/to/step, defines stmt->do_var
+  };
+  Role role = Role::kSimple;
+  const lang::Stmt* stmt = nullptr;
+  const lang::Expr* cond = nullptr;  // kCond only
+};
+
+struct BasicBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<int> succs;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit = 1;
+
+  std::size_t size() const { return blocks.size(); }
+  /// Predecessor lists derived from succs (for backward analyses).
+  std::vector<std::vector<int>> predecessors() const;
+};
+
+/// Builds the CFG for one subprogram body.
+Cfg build_cfg(const lang::Subprogram& sp);
+
+}  // namespace rca::analysis

@@ -1,0 +1,120 @@
+// Per-subprogram dataflow analyses over the CFG (cfg.hpp).
+//
+// The variable table covers dummies, locals and the function result —
+// module-level variables are deliberately excluded: their lifetimes span
+// calls, so no intraprocedural fact about them is sound. Three analyses run
+// over the use/def facts extracted per CFG statement:
+//
+//   * reaching definitions (forward may) with a per-variable "uninitialized"
+//     pseudo-definition seeded at entry, classifying each read as definitely
+//     or maybe before any assignment;
+//   * liveness (backward may), whose live-out sets identify dead stores:
+//     whole-variable assignments to locals that no path reads again;
+//   * flat def/use counts feeding the unused-variable and intent rules.
+//
+// Calls are modelled conservatively: a by-reference argument is both a use
+// and a non-killing may-definition of its base variable, so a `call` that
+// initializes an argument suppresses use-before-def reports downstream.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "lang/ast.hpp"
+
+namespace rca::analysis {
+
+enum class VarKind { kDummy, kLocal, kResult };
+
+struct VarInfo {
+  std::string name;
+  VarKind kind = VarKind::kLocal;
+  lang::Intent intent = lang::Intent::kNone;
+  bool has_init = false;      // parameter constant or initializer present
+  bool is_parameter = false;  // named constant
+  bool is_array = false;
+  int line = 0;
+  const lang::VarDecl* decl = nullptr;  // null for undeclared dummies/results
+};
+
+/// Name -> slot table of the variables a subprogram owns.
+class VarTable {
+ public:
+  explicit VarTable(const lang::Subprogram& sp);
+
+  int lookup(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+  const VarInfo& var(int id) const { return vars_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return vars_.size(); }
+  const std::vector<VarInfo>& vars() const { return vars_; }
+
+ private:
+  std::vector<VarInfo> vars_;
+  std::unordered_map<std::string, int> index_;
+};
+
+/// Extra name resolution the dataflow walker uses to classify the ambiguous
+/// single-segment `name(...)` form when `name` is not a subprogram variable.
+/// Both sets are optional; absent sets make the walker conservative (treat as
+/// a call whose reference arguments may be written).
+struct DataflowContext {
+  const std::unordered_set<std::string>* module_vars = nullptr;  // data names
+  const std::unordered_set<std::string>* procedures = nullptr;   // callables
+};
+
+struct UseSite {
+  int var = -1;
+  const lang::Expr* expr = nullptr;  // the reference that reads the variable
+  // The read is a whole variable passed by reference to a callee. It counts
+  // for liveness and use totals, but use-before-def never reports it:
+  // `call init(y)` is the canonical initialization idiom, and whether the
+  // callee reads the dummy first is not knowable intraprocedurally.
+  bool via_call = false;
+};
+
+/// Use/def facts for one CfgStmt. Uses are evaluated before the def
+/// (right-hand side before left, loop bounds before the loop variable).
+struct StmtFacts {
+  std::vector<UseSite> uses;
+  int def = -1;               // assignment target / do variable, -1 if none
+  bool kills = false;         // def overwrites the whole variable
+  std::vector<int> may_defs;  // by-reference call arguments (never kill)
+};
+
+/// A read classified by reaching definitions.
+struct UseBeforeDef {
+  int var = -1;
+  const lang::Expr* expr = nullptr;
+  bool definite = false;  // only the uninitialized pseudo-def reaches
+};
+
+struct DataflowResult {
+  Cfg cfg;
+  VarTable vars;
+  std::vector<std::vector<StmtFacts>> facts;  // parallel to cfg.blocks[b].stmts
+  std::vector<UseBeforeDef> use_before_def;
+  std::vector<const lang::Stmt*> dead_stores;  // kAssign stmts, source order
+  std::vector<int> def_counts;  // per var, includes may-defs
+  std::vector<int> use_counts;  // per var, includes declaration expressions
+
+  explicit DataflowResult(const lang::Subprogram& sp)
+      : cfg(build_cfg(sp)), vars(sp) {}
+};
+
+DataflowResult analyze_dataflow(const lang::Subprogram& sp,
+                                const DataflowContext& ctx = {});
+
+/// The assignment statements `prune_dead_stores` may drop: whole-variable
+/// stores to plain locals (no initializer, not the result, not a dummy) that
+/// are never live afterwards.
+std::unordered_set<const lang::Stmt*> dead_store_stmts(
+    const lang::Subprogram& sp, const DataflowContext& ctx = {});
+std::unordered_set<const lang::Stmt*> dead_store_stmts(
+    const lang::Module& m, const DataflowContext& ctx = {});
+
+}  // namespace rca::analysis

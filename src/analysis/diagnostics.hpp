@@ -1,0 +1,51 @@
+// Structured lint diagnostics (static-analysis subsystem).
+//
+// Every analysis pass reports findings as Diagnostic records — severity,
+// stable rule id, source position (start + end, from the AST's extent
+// fields), the owning module/subprogram, and the canonical variable name the
+// metagraph would intern for the same site — so a diagnostic can be joined
+// against metagraph node metadata by (module, subprogram, name).
+//
+// Three emitters share the same record stream:
+//   * text   — one human-readable line per finding (compiler style);
+//   * JSON   — schema `rca.diagnostics.v1`, for CI artifacts and tooling;
+//   * TSV    — position-stable byte-exact table, pinned by the golden test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rca::analysis {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  std::string rule;        // stable id, e.g. "dead-store"
+  Severity severity = Severity::kWarning;
+  std::string module;      // owning module
+  std::string subprogram;  // empty for module-level findings
+  std::string name;        // canonical variable/procedure name
+  std::string message;     // human-readable explanation
+  std::string file;        // source path (omitted from the TSV emitter)
+  int line = 0;
+  int column = 0;
+  int end_line = 0;
+};
+
+/// Orders by (module, line, column, rule, name, message): source order
+/// within a module, deterministic everywhere.
+bool diagnostic_less(const Diagnostic& a, const Diagnostic& b);
+
+/// `file:line:col: severity: message [rule] (module::subprogram)` lines.
+std::string diagnostics_to_text(const std::vector<Diagnostic>& diags);
+
+/// Schema rca.diagnostics.v1: {"schema", "counts", "diagnostics": [...]}.
+std::string diagnostics_to_json(const std::vector<Diagnostic>& diags);
+
+/// Byte-stable TSV (header + one row per finding, no file paths) for
+/// golden-corpus pinning.
+std::string diagnostics_to_tsv(const std::vector<Diagnostic>& diags);
+
+}  // namespace rca::analysis

@@ -1,0 +1,673 @@
+#include "analysis/passes.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "obs/obs.hpp"
+#include "support/strings.hpp"
+
+namespace rca::analysis {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::Intent;
+using lang::Module;
+using lang::Op;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Subprogram;
+using lang::TypeKind;
+using lang::VarDecl;
+
+// ---------------------------------------------------------------------------
+// ProgramSymbols (mirrors meta/builder.cpp pass 1, without coverage filters).
+// ---------------------------------------------------------------------------
+
+ProgramSymbols::ProgramSymbols(const std::vector<const Module*>& modules) {
+  for (const Module* m : modules) {
+    auto& syms = modules_[m->name];
+    syms.ast = m;
+    for (const auto& sp : m->subprograms) {
+      syms.procs[sp.name].push_back(ProcRef{m, &sp});
+    }
+    for (const auto& d : m->decls) {
+      syms.vars[d.name] = {m, d.name};
+    }
+  }
+  for (const Module* m : modules) {
+    auto& syms = modules_[m->name];
+    for (const auto& iface : m->interfaces) {
+      for (const auto& proc : iface.procedures) {
+        auto it = syms.procs.find(proc);
+        if (it == syms.procs.end()) continue;  // tolerated: dangling interface
+        auto& vec = syms.procs[iface.name];
+        vec.insert(vec.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+  for (const Module* m : modules) {
+    auto& syms = modules_[m->name];
+    auto process_use = [this, &syms](const lang::UseStmt& use) {
+      auto sit = modules_.find(use.module);
+      if (sit == modules_.end()) return;  // unresolved module: skip
+      const auto& src = sit->second;
+      auto import_one = [&](const std::string& local,
+                            const std::string& remote) {
+        auto pit = src.procs.find(remote);
+        if (pit != src.procs.end()) {
+          auto& vec = syms.procs[local];
+          vec.insert(vec.end(), pit->second.begin(), pit->second.end());
+        }
+        auto vit = src.vars.find(remote);
+        if (vit != src.vars.end()) {
+          syms.vars.emplace(local, vit->second);
+        }
+      };
+      if (use.has_only) {
+        for (const auto& r : use.renames) import_one(r.local, r.remote);
+      } else {
+        for (const auto& [name, _] : src.procs) import_one(name, name);
+        for (const auto& [name, _] : src.vars) import_one(name, name);
+      }
+    };
+    for (const auto& use : m->uses) process_use(use);
+    for (const auto& sp : m->subprograms) {
+      for (const auto& use : sp.uses) process_use(use);
+    }
+  }
+  for (auto& [_, syms] : modules_) {
+    for (const auto& [name, __] : syms.vars) syms.var_names.insert(name);
+    for (const auto& [name, __] : syms.procs) syms.proc_names.insert(name);
+  }
+}
+
+const ProgramSymbols::ModuleSyms* ProgramSymbols::module(
+    const std::string& name) const {
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Shared pass helpers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Diagnostic make_diag(const std::string& rule, Severity sev,
+                     const ModuleAnalysis& ma, const Subprogram& sp,
+                     const std::string& name, std::string message, int line,
+                     int column, int end_line) {
+  Diagnostic d;
+  d.rule = rule;
+  d.severity = sev;
+  d.module = ma.module->name;
+  d.subprogram = sp.name;
+  d.name = name;
+  d.message = std::move(message);
+  d.file = ma.module->file;
+  d.line = line;
+  d.column = column;
+  d.end_line = end_line ? end_line : line;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// use-before-def.
+// ---------------------------------------------------------------------------
+
+void pass_use_before_def(const ModuleAnalysis& ma, const ProgramSymbols&,
+                         std::vector<Diagnostic>* out) {
+  for (std::size_t s = 0; s < ma.subs.size(); ++s) {
+    const Subprogram& sp = ma.module->subprograms[s];
+    const DataflowResult& flow = ma.subs[s];
+    // One report per variable: its first flagged read in source order.
+    std::unordered_map<int, const UseBeforeDef*> first;
+    for (const UseBeforeDef& u : flow.use_before_def) {
+      // A loop that fills an array element-by-element leaves the
+      // uninitialized pseudo-def reachable; only the definite case is
+      // trustworthy for arrays.
+      if (!u.definite && flow.vars.var(u.var).is_array) continue;
+      auto [it, inserted] = first.emplace(u.var, &u);
+      if (!inserted &&
+          std::tie(u.expr->line, u.expr->column) <
+              std::tie(it->second->expr->line, it->second->expr->column)) {
+        it->second = &u;
+      }
+    }
+    std::vector<const UseBeforeDef*> ordered;
+    ordered.reserve(first.size());
+    for (const auto& [_, u] : first) ordered.push_back(u);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const UseBeforeDef* a, const UseBeforeDef* b) {
+                return std::tie(a->expr->line, a->expr->column, a->var) <
+                       std::tie(b->expr->line, b->expr->column, b->var);
+              });
+    for (const UseBeforeDef* u : ordered) {
+      const VarInfo& info = flow.vars.var(u->var);
+      std::string msg;
+      if (u->definite) {
+        msg = info.kind == VarKind::kDummy
+                  ? strfmt("intent(out) argument '%s' is read before it is "
+                           "assigned",
+                           info.name.c_str())
+                  : strfmt("'%s' is read before any assignment",
+                           info.name.c_str());
+      } else {
+        msg = strfmt("'%s' may be read before it is assigned",
+                     info.name.c_str());
+      }
+      out->push_back(make_diag(
+          "use-before-def", u->definite ? Severity::kError : Severity::kWarning,
+          ma, sp, info.name, std::move(msg), u->expr->line, u->expr->column,
+          u->expr->end_line));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dead-store.
+// ---------------------------------------------------------------------------
+
+void pass_dead_store(const ModuleAnalysis& ma, const ProgramSymbols&,
+                     std::vector<Diagnostic>* out) {
+  for (std::size_t s = 0; s < ma.subs.size(); ++s) {
+    const Subprogram& sp = ma.module->subprograms[s];
+    const DataflowResult& flow = ma.subs[s];
+    for (const Stmt* st : flow.dead_stores) {
+      const int id = flow.vars.lookup(st->lhs->base_name());
+      if (id < 0) continue;
+      // A variable with no reads at all is the unused-variable rule's
+      // finding; flagging each of its stores too would be noise.
+      if (flow.use_counts[static_cast<std::size_t>(id)] == 0) continue;
+      const VarInfo& info = flow.vars.var(id);
+      out->push_back(make_diag(
+          "dead-store", Severity::kWarning, ma, sp, info.name,
+          strfmt("value assigned to '%s' is never used", info.name.c_str()),
+          st->line, st->column, st->end_line));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unused-variable.
+// ---------------------------------------------------------------------------
+
+void pass_unused_variable(const ModuleAnalysis& ma, const ProgramSymbols&,
+                          std::vector<Diagnostic>* out) {
+  for (std::size_t s = 0; s < ma.subs.size(); ++s) {
+    const Subprogram& sp = ma.module->subprograms[s];
+    const DataflowResult& flow = ma.subs[s];
+    for (std::size_t v = 0; v < flow.vars.size(); ++v) {
+      const VarInfo& info = flow.vars.var(static_cast<int>(v));
+      if (info.kind != VarKind::kLocal) continue;  // dummies bind interfaces
+      if (flow.use_counts[v] > 0) continue;
+      const char* what = info.is_parameter ? "parameter" : "local variable";
+      std::string msg =
+          flow.def_counts[v] > 0
+              ? strfmt("%s '%s' is assigned but its value is never used", what,
+                       info.name.c_str())
+              : strfmt("%s '%s' is never used", what, info.name.c_str());
+      out->push_back(make_diag("unused-variable", Severity::kWarning, ma, sp,
+                               info.name, std::move(msg), info.line, 0,
+                               info.line));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// intent-violation.
+// ---------------------------------------------------------------------------
+
+void pass_intent_violation(const ModuleAnalysis& ma, const ProgramSymbols&,
+                           std::vector<Diagnostic>* out) {
+  for (std::size_t s = 0; s < ma.subs.size(); ++s) {
+    const Subprogram& sp = ma.module->subprograms[s];
+    const DataflowResult& flow = ma.subs[s];
+
+    // Direct writes to intent(in) dummies; first site per variable. Call
+    // may-defs are speculative (callee intent unknown) and stay exempt.
+    std::unordered_map<int, const Stmt*> first_write;
+    for (std::size_t b = 0; b < flow.facts.size(); ++b) {
+      for (std::size_t i = 0; i < flow.facts[b].size(); ++i) {
+        const StmtFacts& f = flow.facts[b][i];
+        if (f.def < 0) continue;
+        const VarInfo& info = flow.vars.var(f.def);
+        if (info.kind != VarKind::kDummy || info.intent != Intent::kIn) {
+          continue;
+        }
+        const Stmt* st = flow.cfg.blocks[b].stmts[i].stmt;
+        auto [it, inserted] = first_write.emplace(f.def, st);
+        if (!inserted && std::tie(st->line, st->column) <
+                             std::tie(it->second->line, it->second->column)) {
+          it->second = st;
+        }
+      }
+    }
+    std::vector<std::pair<int, const Stmt*>> writes(first_write.begin(),
+                                                    first_write.end());
+    std::sort(writes.begin(), writes.end(),
+              [](const auto& a, const auto& b) {
+                return std::tie(a.second->line, a.second->column, a.first) <
+                       std::tie(b.second->line, b.second->column, b.first);
+              });
+    for (const auto& [v, st] : writes) {
+      const VarInfo& info = flow.vars.var(v);
+      out->push_back(make_diag(
+          "intent-violation", Severity::kError, ma, sp, info.name,
+          strfmt("dummy argument '%s' has intent(in) and cannot be assigned",
+                 info.name.c_str()),
+          st->line, st->column, st->end_line));
+    }
+
+    for (std::size_t v = 0; v < flow.vars.size(); ++v) {
+      const VarInfo& info = flow.vars.var(static_cast<int>(v));
+      if (info.kind != VarKind::kDummy || info.intent != Intent::kOut) {
+        continue;
+      }
+      if (flow.def_counts[v] > 0) continue;
+      out->push_back(make_diag(
+          "intent-violation", Severity::kWarning, ma, sp, info.name,
+          strfmt("dummy argument '%s' has intent(out) but is never assigned",
+                 info.name.c_str()),
+          info.line, 0, info.line));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// shadowing.
+// ---------------------------------------------------------------------------
+
+void pass_shadowing(const ModuleAnalysis& ma, const ProgramSymbols& symbols,
+                    std::vector<Diagnostic>* out) {
+  const ProgramSymbols::ModuleSyms* syms = symbols.module(ma.module->name);
+  if (syms == nullptr) return;
+  for (std::size_t s = 0; s < ma.subs.size(); ++s) {
+    const Subprogram& sp = ma.module->subprograms[s];
+    const DataflowResult& flow = ma.subs[s];
+    for (const VarInfo& info : flow.vars.vars()) {
+      if (info.kind == VarKind::kResult) continue;  // `f = ...` is the result
+      if (info.name == sp.name) continue;
+      const char* what = info.kind == VarKind::kDummy ? "dummy argument"
+                                                      : "local variable";
+      auto vit = syms->vars.find(info.name);
+      if (vit != syms->vars.end()) {
+        const Module* owner = vit->second.first;
+        std::string msg =
+            owner == ma.module
+                ? strfmt("%s '%s' shadows a module variable", what,
+                         info.name.c_str())
+                : strfmt("%s '%s' shadows a module variable imported from "
+                         "'%s'",
+                         what, info.name.c_str(), owner->name.c_str());
+        out->push_back(make_diag("shadowing", Severity::kWarning, ma, sp,
+                                 info.name, std::move(msg), info.line, 0,
+                                 info.line));
+        continue;
+      }
+      auto pit = syms->procs.find(info.name);
+      if (pit != syms->procs.end() && !pit->second.empty()) {
+        const Module* owner = pit->second.front().module;
+        out->push_back(make_diag(
+            "shadowing", Severity::kWarning, ma, sp, info.name,
+            strfmt("%s '%s' shadows procedure '%s::%s'", what,
+                   info.name.c_str(), owner->name.c_str(), info.name.c_str()),
+            info.line, 0, info.line));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// call-mismatch.
+// ---------------------------------------------------------------------------
+
+enum class TypeClass { kUnknown, kNumeric, kLogical, kCharacter, kDerived };
+
+struct TypeGuess {
+  TypeClass cls = TypeClass::kUnknown;
+  std::string derived;
+};
+
+const char* type_class_name(const TypeGuess& g) {
+  switch (g.cls) {
+    case TypeClass::kUnknown: return "unknown";
+    case TypeClass::kNumeric: return "numeric";
+    case TypeClass::kLogical: return "logical";
+    case TypeClass::kCharacter: return "character";
+    case TypeClass::kDerived: return "derived";
+  }
+  return "?";
+}
+
+TypeGuess class_of_spec(const lang::TypeSpec& t) {
+  switch (t.kind) {
+    case TypeKind::kReal:
+    case TypeKind::kInteger:
+      return {TypeClass::kNumeric, {}};
+    case TypeKind::kLogical:
+      return {TypeClass::kLogical, {}};
+    case TypeKind::kCharacter:
+      return {TypeClass::kCharacter, {}};
+    case TypeKind::kDerived:
+      return {TypeClass::kDerived, t.derived_name};
+  }
+  return {};
+}
+
+bool is_logical_op(Op op) {
+  switch (op) {
+    case Op::kEq: case Op::kNe: case Op::kLt: case Op::kLe:
+    case Op::kGt: case Op::kGe: case Op::kAnd: case Op::kOr: case Op::kNot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Best-effort static type of an actual argument. Unknown never mismatches.
+TypeGuess guess_type(const Expr* e, const VarTable& vars,
+                     const ProgramSymbols::ModuleSyms* syms) {
+  if (e == nullptr) return {};
+  switch (e->kind) {
+    case ExprKind::kNumber:
+      return {TypeClass::kNumeric, {}};
+    case ExprKind::kString:
+      return {TypeClass::kCharacter, {}};
+    case ExprKind::kLogical:
+      return {TypeClass::kLogical, {}};
+    case ExprKind::kUnary:
+      return is_logical_op(e->op) ? TypeGuess{TypeClass::kLogical, {}}
+                                  : guess_type(e->rhs.get(), vars, syms);
+    case ExprKind::kBinary:
+      return is_logical_op(e->op) ? TypeGuess{TypeClass::kLogical, {}}
+                                  : TypeGuess{TypeClass::kNumeric, {}};
+    case ExprKind::kRef:
+      break;
+  }
+  if (e->segments.size() > 1) return {};  // component types stay unresolved
+  const int id = vars.lookup(e->base_name());
+  if (id >= 0) {
+    const VarInfo& info = vars.var(id);
+    return info.decl != nullptr ? class_of_spec(info.decl->type) : TypeGuess{};
+  }
+  if (syms != nullptr) {
+    auto vit = syms->vars.find(e->base_name());
+    if (vit != syms->vars.end()) {
+      const VarDecl* d = vit->second.first->find_decl(vit->second.second);
+      if (d != nullptr) return class_of_spec(d->type);
+    }
+  }
+  return {};  // function result or unresolved: unknown
+}
+
+bool types_match(const TypeGuess& actual, const TypeGuess& dummy) {
+  if (actual.cls == TypeClass::kUnknown || dummy.cls == TypeClass::kUnknown) {
+    return true;
+  }
+  if (actual.cls != dummy.cls) return false;
+  if (actual.cls == TypeClass::kDerived) return actual.derived == dummy.derived;
+  return true;
+}
+
+TypeGuess dummy_type(const Subprogram& sp, const std::string& param) {
+  for (const VarDecl& d : sp.decls) {
+    if (d.name == param) return class_of_spec(d.type);
+  }
+  return {};
+}
+
+class CallChecker {
+ public:
+  CallChecker(const ModuleAnalysis& ma, const ProgramSymbols& symbols,
+              std::vector<Diagnostic>* out)
+      : ma_(ma), syms_(symbols.module(ma.module->name)), out_(out) {}
+
+  void run() {
+    if (syms_ == nullptr) return;
+    for (std::size_t s = 0; s < ma_.subs.size(); ++s) {
+      sp_ = &ma_.module->subprograms[s];
+      vars_ = &ma_.subs[s].vars;
+      for (const auto& st : sp_->body) walk_stmt(*st);
+    }
+  }
+
+ private:
+  void walk_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        walk_expr(s.lhs.get());
+        walk_expr(s.rhs.get());
+        break;
+      case StmtKind::kCall:
+        check_call(s);
+        for (const auto& a : s.args) walk_expr(a.get());
+        break;
+      case StmtKind::kIf:
+        walk_expr(s.cond.get());
+        for (const auto& st : s.body) walk_stmt(*st);
+        for (const auto& ei : s.elseifs) {
+          walk_expr(ei.cond.get());
+          for (const auto& st : ei.body) walk_stmt(*st);
+        }
+        for (const auto& st : s.else_body) walk_stmt(*st);
+        break;
+      case StmtKind::kDo:
+        walk_expr(s.from.get());
+        walk_expr(s.to.get());
+        walk_expr(s.step.get());
+        for (const auto& st : s.body) walk_stmt(*st);
+        break;
+      case StmtKind::kDoWhile:
+        walk_expr(s.cond.get());
+        for (const auto& st : s.body) walk_stmt(*st);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void walk_expr(const Expr* e) {
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::kUnary || e->kind == ExprKind::kBinary) {
+      walk_expr(e->lhs.get());
+      walk_expr(e->rhs.get());
+      return;
+    }
+    if (e->kind != ExprKind::kRef) return;
+    if (e->is_call_or_index() && vars_->lookup(e->base_name()) < 0 &&
+        syms_->vars.find(e->base_name()) == syms_->vars.end()) {
+      auto pit = syms_->procs.find(e->base_name());
+      if (pit != syms_->procs.end()) {
+        check_candidates(e->base_name(), e->segments[0].args, pit->second,
+                         /*functions_only=*/true, e->line, e->column,
+                         e->end_line);
+      }
+    }
+    for (const auto& seg : e->segments) {
+      for (const auto& a : seg.args) walk_expr(a.get());
+    }
+  }
+
+  void check_call(const Stmt& s) {
+    // Builtins with dedicated graph semantics are not user procedures.
+    if (s.callee == "outfld" || s.callee == "shr_rand_uniform") return;
+    auto pit = syms_->procs.find(s.callee);
+    if (pit == syms_->procs.end()) return;  // unresolved: builder skips too
+    check_candidates(s.callee, s.args, pit->second, /*functions_only=*/false,
+                     s.line, s.column, s.end_line);
+  }
+
+  void check_candidates(const std::string& name,
+                        const std::vector<lang::ExprPtr>& args,
+                        const std::vector<ProcRef>& cands, bool functions_only,
+                        int line, int column, int end_line) {
+    std::vector<const ProcRef*> usable;
+    for (const ProcRef& c : cands) {
+      if (functions_only && !c.sp->is_function()) continue;
+      usable.push_back(&c);
+    }
+    if (usable.empty()) return;
+
+    std::vector<const ProcRef*> arity_ok;
+    for (const ProcRef* c : usable) {
+      if (c->sp->params.size() == args.size()) arity_ok.push_back(c);
+    }
+    if (arity_ok.empty()) {
+      std::string msg;
+      if (usable.size() == 1) {
+        msg = strfmt("call to '%s' passes %zu argument(s) but '%s::%s' takes "
+                     "%zu",
+                     name.c_str(), args.size(),
+                     usable[0]->module->name.c_str(),
+                     usable[0]->sp->name.c_str(),
+                     usable[0]->sp->params.size());
+      } else {
+        msg = strfmt("no candidate of '%s' accepts %zu argument(s)",
+                     name.c_str(), args.size());
+      }
+      out_->push_back(make_diag("call-mismatch", Severity::kError, ma_, *sp_,
+                                name, std::move(msg), line, column, end_line));
+      return;
+    }
+
+    for (const ProcRef* c : arity_ok) {
+      if (candidate_type_viable(*c, args)) return;
+    }
+    std::string msg;
+    if (arity_ok.size() == 1) {
+      const ProcRef& c = *arity_ok[0];
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        const TypeGuess actual = guess_type(args[i].get(), *vars_, syms_);
+        const TypeGuess dummy = dummy_type(*c.sp, c.sp->params[i]);
+        if (!types_match(actual, dummy)) {
+          msg = strfmt("argument %zu of '%s' is %s but dummy '%s' is %s",
+                       i + 1, name.c_str(), type_class_name(actual),
+                       c.sp->params[i].c_str(), type_class_name(dummy));
+          break;
+        }
+      }
+    }
+    if (msg.empty()) {
+      msg = strfmt("no candidate of '%s' matches the argument types",
+                   name.c_str());
+    }
+    out_->push_back(make_diag("call-mismatch", Severity::kError, ma_, *sp_,
+                              name, std::move(msg), line, column, end_line));
+  }
+
+  bool candidate_type_viable(const ProcRef& c,
+                             const std::vector<lang::ExprPtr>& args) const {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const TypeGuess actual = guess_type(args[i].get(), *vars_, syms_);
+      const TypeGuess dummy = dummy_type(*c.sp, c.sp->params[i]);
+      if (!types_match(actual, dummy)) return false;
+    }
+    return true;
+  }
+
+  const ModuleAnalysis& ma_;
+  const ProgramSymbols::ModuleSyms* syms_ = nullptr;
+  const Subprogram* sp_ = nullptr;
+  const VarTable* vars_ = nullptr;
+  std::vector<Diagnostic>* out_ = nullptr;
+};
+
+void pass_call_mismatch(const ModuleAnalysis& ma, const ProgramSymbols& symbols,
+                        std::vector<Diagnostic>* out) {
+  CallChecker(ma, symbols, out).run();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PassManager.
+// ---------------------------------------------------------------------------
+
+std::size_t AnalysisResult::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+void PassManager::add_pass(std::string id, PassFn fn) {
+  ids_.push_back(id);
+  passes_.push_back(Pass{std::move(id), std::move(fn)});
+}
+
+AnalysisResult PassManager::run(
+    const std::vector<const Module*>& modules) const {
+  obs::Span span("lint");
+  ProgramSymbols symbols(modules);
+
+  std::vector<ModuleAnalysis> analyses;
+  analyses.reserve(modules.size());
+  std::size_t subprograms = 0;
+  {
+    obs::Span flow_span("lint.dataflow");
+    for (const Module* m : modules) {
+      ModuleAnalysis ma;
+      ma.module = m;
+      DataflowContext ctx;
+      const ProgramSymbols::ModuleSyms* syms = symbols.module(m->name);
+      if (syms != nullptr) {
+        ctx.module_vars = &syms->var_names;
+        ctx.procedures = &syms->proc_names;
+      }
+      ma.subs.reserve(m->subprograms.size());
+      for (const Subprogram& sp : m->subprograms) {
+        ma.subs.push_back(analyze_dataflow(sp, ctx));
+        ++subprograms;
+      }
+      analyses.push_back(std::move(ma));
+    }
+  }
+
+  AnalysisResult result;
+  result.modules = modules.size();
+  result.subprograms = subprograms;
+  obs::Registry& reg = obs::global();
+  for (const Pass& p : passes_) {
+    std::uint32_t sid = 0;
+    if (reg.enabled()) sid = reg.begin_span("lint.pass." + p.id);
+    const std::size_t before = result.diagnostics.size();
+    for (const ModuleAnalysis& ma : analyses) {
+      p.fn(ma, symbols, &result.diagnostics);
+    }
+    const std::size_t found = result.diagnostics.size() - before;
+    if (reg.enabled()) {
+      reg.counter_add("lint.rule." + p.id, found);
+      if (sid != 0) {
+        reg.span_attr(sid, "diagnostics",
+                      obs::AttrValue::of(static_cast<long long>(found)));
+        reg.end_span(sid);
+      }
+    }
+  }
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            diagnostic_less);
+
+  obs::count("lint.modules", modules.size());
+  obs::count("lint.subprograms", subprograms);
+  obs::count("lint.diagnostics", result.diagnostics.size());
+  obs::count("lint.errors", result.count(Severity::kError));
+  obs::count("lint.warnings", result.count(Severity::kWarning));
+  span.attr("modules", modules.size());
+  span.attr("diagnostics", result.diagnostics.size());
+  return result;
+}
+
+PassManager PassManager::default_passes() {
+  PassManager pm;
+  pm.add_pass("use-before-def", pass_use_before_def);
+  pm.add_pass("dead-store", pass_dead_store);
+  pm.add_pass("unused-variable", pass_unused_variable);
+  pm.add_pass("intent-violation", pass_intent_violation);
+  pm.add_pass("shadowing", pass_shadowing);
+  pm.add_pass("call-mismatch", pass_call_mismatch);
+  return pm;
+}
+
+}  // namespace rca::analysis

@@ -1,0 +1,107 @@
+// Lint pass manager: named analysis passes over parsed modules.
+//
+// A pass sees one module at a time plus (a) the per-subprogram dataflow
+// results computed once up front (cfg.hpp / dataflow.hpp) and (b) the
+// program-wide symbol tables, which mirror the metagraph builder's name
+// resolution: own subprograms, interface blocks expanded to their module
+// procedures, and use-imports with only-lists and renames (direct imports
+// only, matching the builder). Passes append structured Diagnostic records;
+// the manager sorts them deterministically and feeds the `lint.*` counters
+// and per-pass spans in the observability registry.
+//
+// Default rules:
+//   use-before-def   read of a variable no assignment reaches (error when
+//                    only the uninitialized state reaches, warning when
+//                    some path assigns first)
+//   dead-store       whole-variable assignment to a local never read after
+//   unused-variable  local declared (or assigned) but never read
+//   intent-violation assignment to an intent(in) dummy; intent(out) dummy
+//                    never assigned
+//   shadowing        local/dummy hiding a visible module variable/procedure
+//   call-mismatch    no candidate of a resolved callee matches the call's
+//                    arity, or none is type-viable for its arguments
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/diagnostics.hpp"
+#include "lang/ast.hpp"
+
+namespace rca::analysis {
+
+/// One candidate procedure a name may resolve to.
+struct ProcRef {
+  const lang::Module* module = nullptr;
+  const lang::Subprogram* sp = nullptr;
+};
+
+/// Program-wide name resolution, one entry per module (builder-compatible).
+class ProgramSymbols {
+ public:
+  explicit ProgramSymbols(const std::vector<const lang::Module*>& modules);
+
+  struct ModuleSyms {
+    const lang::Module* ast = nullptr;
+    // Local name -> candidates (own subprograms + expanded interfaces +
+    // imports, honoring only-lists and renames).
+    std::unordered_map<std::string, std::vector<ProcRef>> procs;
+    // Local name -> (owning module, remote name) for module variables.
+    std::unordered_map<std::string,
+                       std::pair<const lang::Module*, std::string>>
+        vars;
+    // Key sets, shaped for DataflowContext.
+    std::unordered_set<std::string> var_names;
+    std::unordered_set<std::string> proc_names;
+  };
+
+  /// Null if the module is unknown.
+  const ModuleSyms* module(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, ModuleSyms> modules_;
+};
+
+/// Dataflow results for every subprogram of one module, computed once and
+/// shared by all passes.
+struct ModuleAnalysis {
+  const lang::Module* module = nullptr;
+  std::vector<DataflowResult> subs;  // parallel to module->subprograms
+};
+
+using PassFn = std::function<void(const ModuleAnalysis&, const ProgramSymbols&,
+                                  std::vector<Diagnostic>*)>;
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;  // sorted by diagnostic_less
+  std::size_t modules = 0;
+  std::size_t subprograms = 0;
+
+  std::size_t count(Severity s) const;
+};
+
+class PassManager {
+ public:
+  void add_pass(std::string id, PassFn fn);
+  const std::vector<std::string>& pass_ids() const { return ids_; }
+
+  /// Runs every pass over every module; diagnostics come back sorted.
+  AnalysisResult run(const std::vector<const lang::Module*>& modules) const;
+
+  /// Manager preloaded with the six default rules (ids as documented above).
+  static PassManager default_passes();
+
+ private:
+  struct Pass {
+    std::string id;
+    PassFn fn;
+  };
+  std::vector<Pass> passes_;
+  std::vector<std::string> ids_;
+};
+
+}  // namespace rca::analysis

@@ -31,8 +31,9 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   meta::SnapshotKey key;
   if (!config_.snapshot_dir.empty()) {
     cache.emplace(config_.snapshot_dir);
-    key.add("rca-pipeline-snapshot-v1");
+    key.add("rca-pipeline-snapshot-v2");
     key.add_u64(static_cast<std::uint64_t>(kCoverageTimesteps));
+    key.add_u64(config_.prune_dead_stores ? 1 : 0);
     for (const auto& name : control_->corpus().compiled_modules) {
       key.add(name);
     }
@@ -57,10 +58,15 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
     builder_opts.module_filter = filter_.module_predicate();
     builder_opts.subprogram_filter = filter_.subprogram_predicate();
     builder_opts.pool = pool_.get();
+    builder_opts.prune_dead_stores = config_.prune_dead_stores;
     mg_ = meta::build_metagraph(control_->compiled_modules(), builder_opts);
     if (cache) cache->store(key, mg_);
   }
   span.attr("snapshot_cache_hit", cache_hit);
+  if (config_.prune_dead_stores) {
+    span.attr("dead_stores_pruned", mg_.dead_stores_pruned);
+    obs::count("meta.dead_stores_pruned", mg_.dead_stores_pruned);
+  }
 
   // Accepted ensemble.
   ensemble_ = model::ensemble_matrix(*control_, config_.base_run,

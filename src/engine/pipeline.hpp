@@ -38,6 +38,11 @@ struct PipelineConfig {
   /// corpus content already exists (meta.snapshot.hits counter; the loaded
   /// graph is byte-identical to a fresh build). Empty disables caching.
   std::string snapshot_dir;
+  /// Forwarded to BuilderOptions::prune_dead_stores: drop assignments the
+  /// liveness analysis (src/analysis) proves dead before they add edges.
+  /// Part of the snapshot key, so pruned and unpruned graphs never collide
+  /// in the cache.
+  bool prune_dead_stores = false;
 
   PipelineConfig() {
     ect.num_pcs = 10;

@@ -30,6 +30,7 @@ ExprPtr make_number(double v, bool is_int, int line) {
   e->number = v;
   e->is_int = is_int;
   e->line = line;
+  e->end_line = line;
   return e;
 }
 
@@ -38,6 +39,7 @@ ExprPtr make_string(std::string s, int line) {
   e->kind = ExprKind::kString;
   e->text = std::move(s);
   e->line = line;
+  e->end_line = line;
   return e;
 }
 
@@ -46,6 +48,7 @@ ExprPtr make_logical(bool v, int line) {
   e->kind = ExprKind::kLogical;
   e->bool_value = v;
   e->line = line;
+  e->end_line = line;
   return e;
 }
 
@@ -56,6 +59,7 @@ ExprPtr make_ref(std::string name, int line) {
   seg.name = std::move(name);
   e->segments.push_back(std::move(seg));
   e->line = line;
+  e->end_line = line;
   return e;
 }
 
@@ -66,6 +70,9 @@ ExprPtr make_binary(Op op, ExprPtr lhs, ExprPtr rhs, int line) {
   e->lhs = std::move(lhs);
   e->rhs = std::move(rhs);
   e->line = line;
+  e->column = e->lhs ? e->lhs->column : 0;
+  e->end_line = e->rhs ? e->rhs->end_line : line;
+  e->end_column = e->rhs ? e->rhs->end_column : 0;
   return e;
 }
 
@@ -75,6 +82,8 @@ ExprPtr make_unary(Op op, ExprPtr operand, int line) {
   e->op = op;
   e->rhs = std::move(operand);
   e->line = line;
+  e->end_line = e->rhs ? e->rhs->end_line : line;
+  e->end_column = e->rhs ? e->rhs->end_column : 0;
   return e;
 }
 
@@ -83,6 +92,8 @@ ExprPtr clone_expr(const Expr& e) {
   out->kind = e.kind;
   out->line = e.line;
   out->column = e.column;
+  out->end_line = e.end_line;
+  out->end_column = e.end_column;
   out->number = e.number;
   out->is_int = e.is_int;
   out->bool_value = e.bool_value;

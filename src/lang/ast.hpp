@@ -66,6 +66,12 @@ struct Expr {
   ExprKind kind = ExprKind::kNumber;
   int line = 0;
   int column = 0;
+  // End of the expression's source extent: the line of its last token and
+  // one past that token's final character (identifiers/strings; other token
+  // kinds approximate with their start column). Diagnostics and metagraph
+  // node metadata both read these fields, so reported positions agree.
+  int end_line = 0;
+  int end_column = 0;
 
   // kNumber / kLogical.
   double number = 0.0;
@@ -133,6 +139,8 @@ struct ElseIf {
 struct Stmt {
   StmtKind kind = StmtKind::kAssign;
   int line = 0;
+  int column = 0;
+  int end_line = 0;  // last line of the statement (the `end if` line etc.)
 
   // kAssign.
   ExprPtr lhs;

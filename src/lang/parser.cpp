@@ -24,6 +24,20 @@ const Token& Parser::advance() {
   return t;
 }
 
+const Token& Parser::prev() const {
+  return tokens_[pos_ > 0 ? pos_ - 1 : 0];
+}
+
+int Parser::token_end_column(const Token& t) {
+  if (t.kind == Tok::kIdentifier) {
+    return t.column + static_cast<int>(t.text.size());
+  }
+  if (t.kind == Tok::kString) {  // +2 for the quotes
+    return t.column + static_cast<int>(t.text.size()) + 2;
+  }
+  return t.column + 1;
+}
+
 bool Parser::accept(Tok k) {
   if (!at(k)) return false;
   advance();
@@ -420,17 +434,21 @@ StmtPtr Parser::parse_stmt() {
 StmtPtr Parser::parse_simple_stmt() {
   auto s = std::make_unique<Stmt>();
   s->line = peek().line;
+  s->column = peek().column;
 
   if (accept_kw("return")) {
     s->kind = StmtKind::kReturn;
+    s->end_line = prev().line;
     return s;
   }
   if (accept_kw("exit")) {
     s->kind = StmtKind::kExit;
+    s->end_line = prev().line;
     return s;
   }
   if (accept_kw("cycle")) {
     s->kind = StmtKind::kCycle;
+    s->end_line = prev().line;
     return s;
   }
   if (accept_kw("call")) {
@@ -444,6 +462,7 @@ StmtPtr Parser::parse_simple_stmt() {
       }
       expect(Tok::kRParen, "call statement");
     }
+    s->end_line = prev().line;
     return s;
   }
 
@@ -453,12 +472,14 @@ StmtPtr Parser::parse_simple_stmt() {
   s->lhs = parse_ref();
   expect(Tok::kAssign, "assignment");
   s->rhs = parse_expr();
+  s->end_line = prev().line;
   return s;
 }
 
 StmtPtr Parser::parse_if() {
   auto s = std::make_unique<Stmt>();
   s->line = peek().line;
+  s->column = peek().column;
   s->kind = StmtKind::kIf;
   expect_kw("if", "if statement");
   expect(Tok::kLParen, "if condition");
@@ -468,6 +489,7 @@ StmtPtr Parser::parse_if() {
   if (!accept_kw("then")) {
     // Single-statement logical if: `if (cond) stmt`.
     s->body.push_back(parse_simple_stmt());
+    s->end_line = s->body.back()->end_line;
     expect_newline("if statement");
     return s;
   }
@@ -500,6 +522,7 @@ StmtPtr Parser::parse_if() {
     }
     break;
   }
+  s->end_line = peek().line;
   if (accept_kw("endif")) {
     expect_newline("endif");
   } else {
@@ -513,6 +536,7 @@ StmtPtr Parser::parse_if() {
 StmtPtr Parser::parse_do() {
   auto s = std::make_unique<Stmt>();
   s->line = peek().line;
+  s->column = peek().column;
   expect_kw("do", "do statement");
 
   if (accept_kw("while")) {
@@ -533,6 +557,7 @@ StmtPtr Parser::parse_do() {
   }
 
   s->body = parse_stmt_list({"end", "enddo"});
+  s->end_line = peek().line;
   if (accept_kw("enddo")) {
     expect_newline("enddo");
   } else {
@@ -648,18 +673,32 @@ ExprPtr Parser::parse_primary() {
   switch (t.kind) {
     case Tok::kNumber: {
       advance();
-      return make_number(t.number, t.is_int, t.line);
+      ExprPtr e = make_number(t.number, t.is_int, t.line);
+      e->column = t.column;
+      e->end_column = token_end_column(t);
+      return e;
     }
     case Tok::kString: {
       advance();
-      return make_string(t.text, t.line);
+      ExprPtr e = make_string(t.text, t.line);
+      e->column = t.column;
+      e->end_column = token_end_column(t);
+      return e;
     }
-    case Tok::kDotTrue:
+    case Tok::kDotTrue: {
       advance();
-      return make_logical(true, t.line);
-    case Tok::kDotFalse:
+      ExprPtr e = make_logical(true, t.line);
+      e->column = t.column;
+      e->end_column = token_end_column(t);
+      return e;
+    }
+    case Tok::kDotFalse: {
       advance();
-      return make_logical(false, t.line);
+      ExprPtr e = make_logical(false, t.line);
+      e->column = t.column;
+      e->end_column = token_end_column(t);
+      return e;
+    }
     case Tok::kLParen: {
       advance();
       ExprPtr inner = parse_expr();
@@ -688,6 +727,8 @@ ExprPtr Parser::parse_ref() {
     e->segments.push_back(std::move(seg));
     if (!accept(Tok::kPercent)) break;
   }
+  e->end_line = prev().line;
+  e->end_column = token_end_column(prev());
   return e;
 }
 

@@ -26,6 +26,10 @@ class Parser {
  private:
   const Token& peek(int ahead = 0) const;
   const Token& advance();
+  /// Most recently consumed token (for end-of-extent positions).
+  const Token& prev() const;
+  /// One past the last character of `t` (exact for identifiers/strings).
+  static int token_end_column(const Token& t);
   bool at(Tok k) const { return peek().is(k); }
   bool at_kw(const char* kw) const { return peek().is_kw(kw); }
   bool accept(Tok k);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/dataflow.hpp"
 #include "interp/intrinsics.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -148,6 +149,7 @@ struct Fragment {
   std::size_t assignments_processed = 0;
   std::size_t assignments_failed = 0;
   std::size_t calls_processed = 0;
+  std::size_t dead_stores_pruned = 0;
 };
 
 /// Walks one module's statements, recording the dependence fragment.
@@ -215,13 +217,26 @@ class ModuleWalker {
       for (const auto& p : sp.params) scope.locals.insert(p);
       for (const auto& d : sp.decls) scope.locals.insert(d.name);
       if (sp.is_function()) scope.locals.insert(sp.result_name);
+      if (opts_.prune_dead_stores) {
+        dead_stores_ = analysis::dead_store_stmts(sp);
+      }
       for (const auto& st : sp.body) walk_stmt(*st, scope);
+      dead_stores_.clear();
     }
   }
 
   void walk_stmt(const Stmt& s, Scope& scope) {
     switch (s.kind) {
       case StmtKind::kAssign:
+        // Liveness pruning: a provably dead store contributes nothing the
+        // program can read, so its source->target edges would only widen
+        // backward slices. Stores whose RHS binds a user function are kept —
+        // dropping them would also drop the callee's argument/result edges.
+        if (!dead_stores_.empty() && dead_stores_.count(&s) != 0 &&
+            !binds_procedure(*s.rhs, scope)) {
+          ++frag_.dead_stores_pruned;
+          break;
+        }
         ++frag_.assignments_processed;
         try {
           process_assignment(s, scope);
@@ -404,6 +419,44 @@ class ModuleWalker {
     return e.segments.size() == 1 && e.segments[0].name == "__slice__";
   }
 
+  /// True when evaluating `e` would bind a user function's dummies/result
+  /// into the graph (expr_sources' call case) — such expressions are not
+  /// safe to prune with the statement that contains them.
+  bool binds_procedure(const Expr& e, const Scope& scope) const {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+      case ExprKind::kString:
+      case ExprKind::kLogical:
+        return false;
+      case ExprKind::kUnary:
+        return binds_procedure(*e.rhs, scope);
+      case ExprKind::kBinary:
+        return binds_procedure(*e.lhs, scope) ||
+               binds_procedure(*e.rhs, scope);
+      case ExprKind::kRef:
+        break;
+    }
+    const lang::RefSegment& head = e.segments.front();
+    if (e.segments.size() == 1 && head.has_args &&
+        !is_declared_var(scope, head.name)) {
+      const std::vector<ProcRef>* cands = lookup_procs(scope, head.name);
+      if (cands) {
+        for (const ProcRef& cand : *cands) {
+          if (cand.sp->is_function() &&
+              cand.sp->params.size() == head.args.size()) {
+            return true;
+          }
+        }
+      }
+    }
+    for (const auto& seg : e.segments) {
+      for (const auto& arg : seg.args) {
+        if (binds_procedure(*arg, scope)) return true;
+      }
+    }
+    return false;
+  }
+
   bool is_declared_var(const Scope& scope, const std::string& name) const {
     if (scope.locals.count(name)) return true;
     const auto& syms = tables_.modules.at(scope.mod->name);
@@ -451,6 +504,9 @@ class ModuleWalker {
   Fragment& frag_;
   std::unordered_map<std::string, LocalId> local_ids_;
   std::unordered_map<std::string, std::uint32_t> io_label_ids_;
+  // Dead stores of the subprogram currently being walked (empty when
+  // prune_dead_stores is off).
+  std::unordered_set<const Stmt*> dead_stores_;
 };
 
 /// Replays a fragment's op log against the shared metagraph, translating
@@ -478,6 +534,7 @@ void replay_fragment(const Fragment& frag, Metagraph& mg) {
   mg.assignments_processed += frag.assignments_processed;
   mg.assignments_failed += frag.assignments_failed;
   mg.calls_processed += frag.calls_processed;
+  mg.dead_stores_pruned += frag.dead_stores_pruned;
 }
 
 }  // namespace

@@ -42,6 +42,14 @@ struct BuilderOptions {
   std::function<bool(const std::string& module, const std::string& sub)>
       subprogram_filter;
 
+  /// Liveness-pruned slicing (src/analysis): skip assignments the dataflow
+  /// analysis proves dead — whole-variable stores to plain locals never read
+  /// afterwards — so their spurious source->target edges never enter the
+  /// metagraph. Assignments whose right-hand side binds a user function
+  /// (dummy-argument and result edges) are kept even when dead. Off by
+  /// default: the pruned graph is a different (smaller) artifact.
+  bool prune_dead_stores = false;
+
   /// When set, module walks run concurrently on this pool and their
   /// dependence fragments are replayed in module order — the result is
   /// bit-identical to the serial build (node ids, edge order, io map).

@@ -83,6 +83,7 @@ class Metagraph {
   std::size_t assignments_processed = 0;
   std::size_t assignments_failed = 0;
   std::size_t calls_processed = 0;
+  std::size_t dead_stores_pruned = 0;  // BuilderOptions::prune_dead_stores
 
  private:
   static std::string scope_key(const std::string& module,

@@ -89,12 +89,17 @@ SliceResult backward_slice_nodes(const meta::Metagraph& mg,
   }
   std::vector<NodeId> admitted;
   admitted.reserve(reach.size());
+  std::size_t filtered_out = 0;
   for (NodeId v : reach) {
     if (!opts.module_filter || opts.module_filter(mg.info(v).module)) {
       admitted.push_back(v);
+    } else {
+      ++filtered_out;
     }
   }
   span.attr("reached", reach.size());
+  span.attr("module_filtered", filtered_out);
+  obs::observe("slice.module_filtered", static_cast<double>(filtered_out));
   SliceResult result = finish_slice(mg, std::move(admitted),
                                     std::vector<NodeId>(targets), opts);
   span.attr("nodes", result.nodes.size());

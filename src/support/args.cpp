@@ -16,7 +16,12 @@ Args::Args(int argc, const char* const* argv) {
     std::string token = argv[i];
     if (starts_with(token, "--")) {
       const std::string key = token.substr(2);
-      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      // `--key=value` binds in one token (empty value stays a flag-like "").
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        options_.emplace(key.substr(0, eq), key.substr(eq + 1));
+        ++i;
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
         options_.emplace(key, argv[i + 1]);
         i += 2;
       } else {

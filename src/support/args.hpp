@@ -11,9 +11,9 @@ namespace rca {
 class Args {
  public:
   /// Parses `argv[1..)`: the first non-option token is the subcommand;
-  /// `--key value` pairs and bare `--flag`s follow. A `--key` immediately
-  /// followed by another `--...` token or end-of-line is a boolean flag.
-  /// Repeated keys accumulate (multi-value options).
+  /// `--key value` / `--key=value` pairs and bare `--flag`s follow. A
+  /// `--key` immediately followed by another `--...` token or end-of-line is
+  /// a boolean flag. Repeated keys accumulate (multi-value options).
   Args(int argc, const char* const* argv);
 
   const std::string& command() const { return command_; }

@@ -1,0 +1,626 @@
+// Static-analysis subsystem tests: CFG construction, the dataflow analyses,
+// one positive + one negative fixture per default lint rule, the structured
+// emitters, and the liveness-based dead-store pruning hook in the metagraph
+// builder (both its no-op guarantee on the clean golden corpus and its
+// slice-shrinking effect on a CESM-style "dum churn" fixture).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/diagnostics.hpp"
+#include "analysis/passes.hpp"
+#include "lang/parser.hpp"
+#include "meta/builder.hpp"
+#include "meta/serialize.hpp"
+#include "slice/slicer.hpp"
+
+namespace rca::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Owns the parsed file so Module pointers stay valid for the test body.
+struct Parsed {
+  lang::SourceFile file;
+  explicit Parsed(const std::string& src)
+      : file(lang::Parser("<test>", src).parse_file()) {}
+  const lang::Module& module(std::size_t i = 0) const {
+    return file.modules.at(i);
+  }
+};
+
+std::vector<Diagnostic> lint(const Parsed& p) {
+  std::vector<const lang::Module*> mods;
+  for (const auto& m : p.file.modules) mods.push_back(&m);
+  return PassManager::default_passes().run(mods).diagnostics;
+}
+
+std::vector<Diagnostic> by_rule(const std::vector<Diagnostic>& diags,
+                                const std::string& rule) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CFG shape
+
+TEST(Cfg, StraightLineBodyIsEntryToExit) {
+  Parsed p(R"(module m
+contains
+  subroutine s(x)
+    real, intent(out) :: x
+    x = 1.0
+    x = x + 2.0
+  end subroutine s
+end module m
+)");
+  const Cfg cfg = build_cfg(p.module().subprograms.at(0));
+  ASSERT_GE(cfg.size(), 2u);  // entry (holding the body) + exit
+  // All statements land in one block that reaches the exit.
+  const auto preds = cfg.predecessors();
+  EXPECT_FALSE(preds[static_cast<std::size_t>(cfg.exit)].empty());
+  std::size_t stmts = 0;
+  for (const auto& b : cfg.blocks) stmts += b.stmts.size();
+  EXPECT_EQ(stmts, 2u);
+}
+
+TEST(Cfg, IfElseAndLoopProduceBranchesAndBackEdge) {
+  Parsed p(R"(module m
+contains
+  subroutine s(n, x)
+    integer, intent(in) :: n
+    real, intent(out) :: x
+    integer :: i
+    x = 0.0
+    do i = 1, n
+      if (x > 1.0) then
+        x = x - 1.0
+      else
+        x = x + 2.0
+      end if
+    end do
+  end subroutine s
+end module m
+)");
+  const Cfg cfg = build_cfg(p.module().subprograms.at(0));
+  // Expect entry, exit, loop header, two arms, joins: strictly more blocks
+  // than a straight line, a block with two successors (the condition), and a
+  // back edge (header is its own ancestor through the body).
+  ASSERT_GE(cfg.size(), 6u);
+  bool saw_branch = false;
+  for (const auto& b : cfg.blocks) saw_branch |= b.succs.size() >= 2;
+  EXPECT_TRUE(saw_branch);
+  int headers = 0;
+  for (const auto& b : cfg.blocks) {
+    for (const auto& s : b.stmts) {
+      headers += s.role == CfgStmt::Role::kDoHeader ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(headers, 1);
+}
+
+// ---------------------------------------------------------------------------
+// use-before-def
+
+TEST(Lint, UseBeforeDefDefiniteIsError) {
+  Parsed p(R"(module m
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    real :: x
+    out = x + 1.0
+    x = 2.0
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "use-before-def");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_EQ(found[0].name, "x");
+  EXPECT_EQ(found[0].message, "'x' is read before any assignment");
+  EXPECT_EQ(found[0].line, 6);
+}
+
+TEST(Lint, UseBeforeDefMaybeOnOneBranchIsWarning) {
+  Parsed p(R"(module m
+contains
+  subroutine s(flag, out)
+    logical, intent(in) :: flag
+    real, intent(out) :: out
+    real :: x
+    if (flag) then
+      x = 1.0
+    end if
+    out = x
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "use-before-def");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kWarning);
+  EXPECT_EQ(found[0].message, "'x' may be read before it is assigned");
+}
+
+TEST(Lint, UseBeforeDefNegativeAssignedFirstAndViaCall) {
+  // Both a plain assignment and a by-reference call argument count as
+  // initialization — the call fixture is what keeps the rule quiet on CESM
+  // style `call init(x)` code.
+  Parsed p(R"(module m
+contains
+  subroutine init(v)
+    real, intent(out) :: v
+    v = 0.0
+  end subroutine init
+  subroutine s(out)
+    real, intent(out) :: out
+    real :: x
+    real :: y
+    x = 3.0
+    call init(y)
+    out = x + y
+  end subroutine s
+end module m
+)");
+  EXPECT_TRUE(by_rule(lint(p), "use-before-def").empty());
+}
+
+// ---------------------------------------------------------------------------
+// dead-store
+
+TEST(Lint, DeadStoreOverwrittenBeforeReadIsWarning) {
+  Parsed p(R"(module m
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    real :: x
+    x = 1.0
+    x = 2.0
+    out = x
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "dead-store");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kWarning);
+  EXPECT_EQ(found[0].message, "value assigned to 'x' is never used");
+  EXPECT_EQ(found[0].line, 6);  // the first store, not the live second one
+}
+
+TEST(Lint, DeadStoreNegativeEveryStoreRead) {
+  Parsed p(R"(module m
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    real :: x
+    x = 1.0
+    out = x
+    x = 2.0
+    out = out + x
+  end subroutine s
+end module m
+)");
+  EXPECT_TRUE(by_rule(lint(p), "dead-store").empty());
+}
+
+// ---------------------------------------------------------------------------
+// unused-variable
+
+TEST(Lint, UnusedVariablePositive) {
+  Parsed p(R"(module m
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    real :: never
+    out = 1.0
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "unused-variable");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].name, "never");
+  EXPECT_EQ(found[0].message, "local variable 'never' is never used");
+}
+
+TEST(Lint, UnusedVariableNegativeDeclUseCounts) {
+  // `len` is only referenced inside another declaration's dimension — the
+  // use-counting must include declaration expressions.
+  Parsed p(R"(module m
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    integer, parameter :: len = 4
+    real :: buf(len)
+    buf(1) = 2.0
+    out = buf(1)
+  end subroutine s
+end module m
+)");
+  EXPECT_TRUE(by_rule(lint(p), "unused-variable").empty());
+}
+
+// ---------------------------------------------------------------------------
+// intent-violation
+
+TEST(Lint, IntentInAssignmentIsError) {
+  Parsed p(R"(module m
+contains
+  subroutine s(a, out)
+    real, intent(in) :: a
+    real, intent(out) :: out
+    a = 2.0
+    out = a
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "intent-violation");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_EQ(found[0].message,
+            "dummy argument 'a' has intent(in) and cannot be assigned");
+}
+
+TEST(Lint, IntentOutNeverAssignedIsWarning) {
+  Parsed p(R"(module m
+contains
+  subroutine s(a, out)
+    real, intent(in) :: a
+    real, intent(out) :: out
+    if (a > 0.0) then
+      out = a
+    end if
+  end subroutine s
+end module m
+)");
+  // `out` is assigned on one path only: no intent diagnostic (the rule is
+  // about never-assigned), and use-before-def stays quiet because nothing
+  // reads it here.
+  EXPECT_TRUE(by_rule(lint(p), "intent-violation").empty());
+
+  Parsed q(R"(module m
+contains
+  subroutine s(a, out)
+    real, intent(in) :: a
+    real, intent(out) :: out
+    real :: t
+    t = a
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(q), "intent-violation");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kWarning);
+  EXPECT_EQ(found[0].message,
+            "dummy argument 'out' has intent(out) but is never assigned");
+}
+
+TEST(Lint, IntentNegativeAssignedViaCallCounts) {
+  Parsed p(R"(module m
+contains
+  subroutine fill(v)
+    real, intent(out) :: v
+    v = 1.0
+  end subroutine fill
+  subroutine s(out)
+    real, intent(out) :: out
+    call fill(out)
+  end subroutine s
+end module m
+)");
+  EXPECT_TRUE(by_rule(lint(p), "intent-violation").empty());
+}
+
+// ---------------------------------------------------------------------------
+// shadowing
+
+TEST(Lint, ShadowingModuleVariableAndProcedure) {
+  Parsed p(R"(module m
+  real :: scale
+contains
+  function norm(x) result(r)
+    real, intent(in) :: x
+    real :: r
+    r = x * 2.0
+  end function norm
+  subroutine s(scale, out)
+    real, intent(in) :: scale
+    real, intent(out) :: out
+    real :: norm
+    norm = scale * 2.0
+    out = norm
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "shadowing");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].name, "scale");
+  EXPECT_EQ(found[0].message,
+            "dummy argument 'scale' shadows a module variable");
+  EXPECT_EQ(found[1].name, "norm");
+  EXPECT_EQ(found[1].message,
+            "local variable 'norm' shadows procedure 'm::norm'");
+}
+
+TEST(Lint, ShadowingNegativeResultAndUniqueNames) {
+  // A function's result variable legitimately reuses the function name.
+  Parsed p(R"(module m
+  real :: scale
+contains
+  function gain(x) result(gain_val)
+    real, intent(in) :: x
+    real :: gain_val
+    gain_val = x * scale
+  end function gain
+end module m
+)");
+  EXPECT_TRUE(by_rule(lint(p), "shadowing").empty());
+}
+
+// ---------------------------------------------------------------------------
+// call-mismatch (resolved through use-renames, checked across modules)
+
+TEST(Lint, CallMismatchArityIsError) {
+  Parsed p(R"(module util
+contains
+  subroutine combine(a, b, out)
+    real, intent(in) :: a
+    real, intent(in) :: b
+    real, intent(out) :: out
+    out = a + b
+  end subroutine combine
+end module util
+
+module m
+  use util, only: merge_vals => combine
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    call merge_vals(1.0, out)
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "call-mismatch");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, Severity::kError);
+  EXPECT_EQ(found[0].message,
+            "call to 'merge_vals' passes 2 argument(s) but 'util::combine' "
+            "takes 3");
+}
+
+TEST(Lint, CallMismatchArgumentTypeIsError) {
+  Parsed p(R"(module m
+contains
+  subroutine gate(flag, out)
+    logical, intent(in) :: flag
+    real, intent(out) :: out
+    if (flag) then
+      out = 1.0
+    else
+      out = 0.0
+    end if
+  end subroutine gate
+  subroutine s(out)
+    real, intent(out) :: out
+    call gate(3.5, out)
+  end subroutine s
+end module m
+)");
+  const auto found = by_rule(lint(p), "call-mismatch");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].message,
+            "argument 1 of 'gate' is numeric but dummy 'flag' is logical");
+}
+
+TEST(Lint, CallMismatchNegativeRenamedCallResolves) {
+  Parsed p(R"(module util
+contains
+  subroutine combine(a, b, out)
+    real, intent(in) :: a
+    real, intent(in) :: b
+    real, intent(out) :: out
+    out = a + b
+  end subroutine combine
+end module util
+
+module m
+  use util, only: merge_vals => combine
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    call merge_vals(1.0, 2.0, out)
+  end subroutine s
+end module m
+)");
+  EXPECT_TRUE(by_rule(lint(p), "call-mismatch").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Emitters
+
+TEST(Diagnostics, JsonAndTsvEmitters) {
+  Parsed p(R"(module m
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    real :: x
+    out = x
+  end subroutine s
+end module m
+)");
+  const auto diags = lint(p);
+  ASSERT_FALSE(diags.empty());
+
+  const std::string json = diagnostics_to_json(diags);
+  EXPECT_NE(json.find("\"schema\":\"rca.diagnostics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"use-before-def\""), std::string::npos);
+
+  const std::string tsv = diagnostics_to_tsv(diags);
+  EXPECT_EQ(tsv.rfind("# rca-lint 1\n", 0), 0u);
+  EXPECT_NE(tsv.find("use-before-def\terror\tm\ts\t"), std::string::npos);
+  // No file paths in the TSV: the golden pin must not depend on checkout
+  // location.
+  EXPECT_EQ(tsv.find("<test>"), std::string::npos);
+}
+
+TEST(Diagnostics, SortedDeterministically) {
+  Parsed p(R"(module m
+contains
+  subroutine s(out)
+    real, intent(out) :: out
+    real :: unused_b
+    real :: unused_a
+    out = 1.0
+  end subroutine s
+end module m
+)");
+  const auto diags = lint(p);
+  EXPECT_TRUE(std::is_sorted(diags.begin(), diags.end(), diagnostic_less));
+}
+
+// ---------------------------------------------------------------------------
+// Golden corpus: lint-clean, pinned as exact TSV bytes.
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct GoldenFixture {
+  std::vector<lang::SourceFile> files;
+  std::vector<const lang::Module*> modules;
+};
+
+GoldenFixture parse_golden() {
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const auto& entry : fs::directory_iterator(fs::path(RCA_GOLDEN_DIR))) {
+    if (entry.path().extension() != ".F90") continue;
+    sources.emplace_back(entry.path().string(), read_file(entry.path()));
+  }
+  std::sort(sources.begin(), sources.end());
+  GoldenFixture fx;
+  for (const auto& [path, text] : sources) {
+    fx.files.push_back(lang::Parser(path, text).parse_file());
+  }
+  for (const auto& f : fx.files) {
+    for (const auto& m : f.modules) fx.modules.push_back(&m);
+  }
+  return fx;
+}
+
+TEST(Golden, CorpusIsLintCleanAndTsvPinned) {
+  const GoldenFixture fx = parse_golden();
+  ASSERT_EQ(fx.modules.size(), 3u);
+  const AnalysisResult result = PassManager::default_passes().run(fx.modules);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << diagnostics_to_text(result.diagnostics);
+  const std::string expected =
+      read_file(fs::path(RCA_GOLDEN_DIR) / "expected_lint.tsv");
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(diagnostics_to_tsv(result.diagnostics), expected)
+      << "lint output on the golden corpus changed; if intentional, "
+         "regenerate with\n  rca-tool lint --src tests/golden --tsv "
+         "tests/golden/expected_lint.tsv";
+}
+
+// ---------------------------------------------------------------------------
+// Dead-store pruning in the metagraph builder.
+
+TEST(Pruning, NoOpOnDeadStoreFreeGoldenCorpus) {
+  const GoldenFixture fx = parse_golden();
+  const meta::Metagraph plain = meta::build_metagraph(fx.modules);
+  meta::BuilderOptions opts;
+  opts.prune_dead_stores = true;
+  const meta::Metagraph pruned = meta::build_metagraph(fx.modules, opts);
+  EXPECT_EQ(pruned.dead_stores_pruned, 0u);
+  EXPECT_EQ(meta::save_metagraph_to_string(pruned),
+            meta::save_metagraph_to_string(plain))
+      << "pruning must be byte-invisible on a corpus without dead stores";
+}
+
+// CESM-style "dum churn" (paper §6.4): a temporary reassigned from many
+// process variables, where only the last store is live. Pruning must drop
+// the dead stores' edges so the backward slice from the output no longer
+// pulls in their operands.
+constexpr const char* kChurnSrc = R"(module churn
+contains
+  subroutine tend(ttend)
+    real, intent(out) :: ttend(4)
+    real :: a
+    real :: b
+    real :: c
+    real :: d
+    real :: dum
+    integer :: i
+    do i = 1, 4
+      a = 0.5 * i
+      b = a * 2.0
+      c = b + 1.0
+      d = c * 0.25
+      dum = c + 0.1 * d
+      dum = b - 0.2 * c
+      dum = a * 0.3 + b
+      ttend(i) = a + 0.001 * dum
+    end do
+  end subroutine tend
+end module churn
+)";
+
+TEST(Pruning, DropsDeadStoresAndShrinksSlice) {
+  Parsed p(kChurnSrc);
+  const auto dead = dead_store_stmts(p.module());
+  EXPECT_EQ(dead.size(), 2u);  // the first two dum stores; the third is live
+
+  std::vector<const lang::Module*> mods = {&p.module()};
+  const meta::Metagraph plain = meta::build_metagraph(mods);
+  meta::BuilderOptions opts;
+  opts.prune_dead_stores = true;
+  const meta::Metagraph pruned = meta::build_metagraph(mods, opts);
+
+  EXPECT_EQ(pruned.dead_stores_pruned, 2u);
+  EXPECT_LT(pruned.graph().edge_count(), plain.graph().edge_count());
+
+  const auto before = slice::backward_slice(plain, {"ttend"});
+  const auto after = slice::backward_slice(pruned, {"ttend"});
+  EXPECT_LT(after.nodes.size(), before.nodes.size())
+      << "pruned dead stores must shrink the backward slice";
+  // The dead stores' operands c and d drop out of the slice; the live
+  // operands a, b and dum stay.
+  const auto in_slice = [](const meta::Metagraph& mg, const auto& s,
+                           const std::string& canonical) {
+    for (const auto id : s.nodes) {
+      if (mg.info(id).canonical_name == canonical) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(in_slice(plain, before, "c"));
+  EXPECT_TRUE(in_slice(plain, before, "d"));
+  EXPECT_FALSE(in_slice(pruned, after, "c"));
+  EXPECT_FALSE(in_slice(pruned, after, "d"));
+  EXPECT_TRUE(in_slice(pruned, after, "dum"));
+  EXPECT_TRUE(in_slice(pruned, after, "a"));
+}
+
+// The lint view of the same fixture agrees with the builder's prune set.
+TEST(Pruning, LintReportsTheSameDeadStores) {
+  Parsed p(kChurnSrc);
+  const auto found = by_rule(lint(p), "dead-store");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].line, 16);
+  EXPECT_EQ(found[1].line, 17);
+}
+
+}  // namespace
+}  // namespace rca::analysis

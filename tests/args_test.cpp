@@ -44,6 +44,15 @@ TEST(Args, FlagFollowedByOption) {
   EXPECT_EQ(a.get("out"), "x.tsv");
 }
 
+TEST(Args, EqualsSyntaxBindsInOneToken) {
+  Args a = parse({"lint", "--fail-on=warn", "--jobs=4", "--empty="});
+  EXPECT_EQ(a.get("fail-on"), "warn");
+  EXPECT_EQ(a.get_int("jobs", 0), 4);
+  // `--key=` is an explicit empty value, indistinguishable from a flag.
+  EXPECT_TRUE(a.has("empty"));
+  EXPECT_EQ(a.get("empty"), "");
+}
+
 TEST(Args, PositionalArguments) {
   Args a = parse({"graph", "srcdir", "--out", "x"});
   ASSERT_EQ(a.positional().size(), 1u);

@@ -108,3 +108,63 @@ run(analyze --experiment goffgratch --members 16 --snapshot acache
 expect_counter(am_warm.json meta.snapshot.hits 1)
 expect_same_bytes(amg_cold.tsv amg_warm.tsv "warm analyze changed the metagraph")
 expect_same_bytes(a_cold.json a_warm.json "warm analyze changed the report")
+
+# ---------------------------------------------------------------------------
+# Lint: the generated corpus must be error-free (its dead-store/unused
+# warnings are deliberate CESM-style fixtures), the JSON artifact must be an
+# rca.diagnostics.v1 document, and the metrics sink must carry the lint.*
+# counters the CI gate publishes.
+run(lint --src corpus --build-list corpus/build_list.txt --fail-on error
+    --json lint.json --metrics-out lint_metrics.json)
+file(READ ${WORKDIR}/lint.json lintdoc)
+string(JSON lint_schema ERROR_VARIABLE lint_err GET ${lintdoc} schema)
+if(lint_err OR NOT lint_schema STREQUAL "rca.diagnostics.v1")
+  message(FATAL_ERROR "lint --json wrote an invalid document: ${lint_err}")
+endif()
+string(JSON lint_errors ERROR_VARIABLE lint_err GET ${lintdoc} counts error)
+if(lint_err OR NOT lint_errors EQUAL 0)
+  message(FATAL_ERROR "lint reports errors on the generated corpus: ${lint_errors} ${lint_err}")
+endif()
+string(JSON lint_warnings ERROR_VARIABLE lint_err GET ${lintdoc} counts warning)
+if(lint_err OR lint_warnings LESS 1)
+  message(FATAL_ERROR "lint found none of the corpus's seeded dead stores: ${lint_err}")
+endif()
+file(READ ${WORKDIR}/lint_metrics.json lint_metrics)
+foreach(counter lint.modules lint.subprograms lint.diagnostics)
+  string(JSON val ERROR_VARIABLE err GET ${lint_metrics} counters ${counter})
+  if(err OR val LESS 1)
+    message(FATAL_ERROR "lint_metrics.json counter '${counter}' missing or zero: ${err}")
+  endif()
+endforeach()
+if(NOT lint_metrics MATCHES "\"name\":\"lint\"")
+  message(FATAL_ERROR "lint_metrics.json is missing the 'lint' span")
+endif()
+
+# --fail-on warn must flip the exit code on this corpus (it has warnings).
+execute_process(COMMAND ${TOOL} lint --src corpus --build-list corpus/build_list.txt
+                --fail-on warn WORKING_DIRECTORY ${WORKDIR}
+                RESULT_VARIABLE lint_rc OUTPUT_QUIET ERROR_QUIET)
+if(lint_rc EQUAL 0)
+  message(FATAL_ERROR "lint --fail-on warn ignored the corpus's warnings")
+endif()
+
+# ---------------------------------------------------------------------------
+# Dead-store pruning keys the snapshot cache separately: the first pruned
+# run is a miss (never a stale unpruned hit), the rerun hits, and the pruned
+# graph genuinely differs on this corpus (micro_mg's dum churn).
+run(graph --src corpus --build-list corpus/build_list.txt --coverage
+    --snapshot cache --prune-dead-stores --out mg_pruned.tsv
+    --metrics-out m_pruned.json)
+expect_counter(m_pruned.json meta.snapshot.misses 1)
+expect_counter(m_pruned.json meta.snapshot.stores 1)
+run(graph --src corpus --build-list corpus/build_list.txt --coverage
+    --snapshot cache --prune-dead-stores --out mg_pruned2.tsv
+    --metrics-out m_pruned2.json)
+expect_counter(m_pruned2.json meta.snapshot.hits 1)
+expect_same_bytes(mg_pruned.tsv mg_pruned2.tsv "warm pruned run changed the metagraph")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORKDIR}/mg_pruned.tsv ${WORKDIR}/mg_cold.tsv
+                RESULT_VARIABLE same_rc)
+if(same_rc EQUAL 0)
+  message(FATAL_ERROR "--prune-dead-stores had no effect on the corpus graph")
+endif()
