@@ -16,6 +16,10 @@
 //                        [--members N] [--seed N] [--jobs N]
 //                        [--snapshot DIR] [--graph-out FILE]
 //                        [--prune-dead-stores]
+//   rca-tool serve       [--port N] [--port-file FILE] [--snapshot DIR]
+//                        [--jobs N] [--request-threads N]
+//                        [--max-in-flight N] [--deadline-ms N]
+//                        [--session-bytes N]
 //
 // `--jobs N` parses/builds on N worker threads (bit-identical to serial);
 // `--snapshot DIR` caches built metagraphs keyed on source content, so an
@@ -25,6 +29,7 @@
 // directory of Fortran-subset files into a serialized metagraph; the rest
 // operate on saved metagraphs — so the full §4-§5 workflow runs from a
 // shell, like the paper's Python toolkit did.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -48,6 +53,11 @@
 #include "model/corpus.hpp"
 #include "model/model.hpp"
 #include "obs/obs.hpp"
+#include "service/build_info.hpp"
+#include "service/front_end.hpp"
+#include "service/http_server.hpp"
+#include "service/router.hpp"
+#include "service/session_store.hpp"
 #include "slice/slicer.hpp"
 #include "support/args.hpp"
 #include "support/json.hpp"
@@ -73,10 +83,22 @@ int usage() {
       "  communities  Girvan-Newman or Louvain partition of a slice\n"
       "  centrality   rank nodes or modules\n"
       "  analyze      run a full paper experiment on the synthetic model\n"
+      "  serve        resident RCA query daemon (HTTP/JSON on 127.0.0.1)\n"
+      "\n"
+      "serve options:\n"
+      "  --port N             listen port (default 0 = ephemeral)\n"
+      "  --port-file FILE     write the chosen port to FILE after binding\n"
+      "  --snapshot DIR       snapshot-cache dir for session warm starts\n"
+      "  --jobs N             parse/build worker threads (default serial)\n"
+      "  --request-threads N  request execution pool size (default 4)\n"
+      "  --max-in-flight N    reject (429) past N queued+running requests\n"
+      "  --deadline-ms N      default per-request deadline (default 30000)\n"
+      "  --session-bytes N    resident session byte budget (LRU eviction)\n"
       "\n"
       "global options (any subcommand):\n"
       "  --metrics-out FILE   record spans/counters/histograms, write JSON\n"
       "  --trace              print the span tree to stderr on exit\n"
+      "  --version            print the build id (shared with /v1/health)\n"
       "\n"
       "run `rca-tool <subcommand> --help` semantics are documented at the\n"
       "top of apps/rca_tool.cpp and in README.md.\n";
@@ -133,24 +155,10 @@ int cmd_generate(const Args& args) {
 }
 
 // ---------------------------------------------------------------------------
-// Shared front-end helpers (graph, lint).
+// Shared front-end helpers (graph, lint). Source collection and parsing live
+// in src/service/front_end.* so the CLI and the resident daemon run the
+// exact same front end.
 // ---------------------------------------------------------------------------
-
-/// Every Fortran-ish file under `src_dir` as (path, text), in sorted path
-/// order — directory iteration order is filesystem-dependent, and node ids /
-/// diagnostic order must not depend on it.
-std::vector<std::pair<std::string, std::string>> collect_fortran_sources(
-    const fs::path& src_dir) {
-  std::vector<std::pair<std::string, std::string>> sources;
-  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = to_lower(entry.path().extension().string());
-    if (ext != ".f90" && ext != ".f" && ext != ".f95") continue;
-    sources.emplace_back(entry.path().string(), read_file(entry.path()));
-  }
-  std::sort(sources.begin(), sources.end());
-  return sources;
-}
 
 /// Optional build-configuration list (one module name per line).
 std::vector<std::string> read_build_list(const Args& args) {
@@ -164,39 +172,6 @@ std::vector<std::string> read_build_list(const Args& args) {
     }
   }
   return build_list;
-}
-
-/// Parses sources into file-order slots (independent per file, so the pool
-/// can schedule them freely without changing the result). Parse failures
-/// land in `errors` by index, paired with their source path.
-std::vector<lang::SourceFile> parse_sources(
-    const std::vector<std::pair<std::string, std::string>>& sources,
-    ThreadPool* pool, std::vector<std::pair<std::string, std::string>>* errors) {
-  std::vector<std::optional<lang::SourceFile>> slots(sources.size());
-  std::vector<std::string> messages(sources.size());
-  auto parse_one = [&sources, &slots, &messages](std::size_t i) {
-    try {
-      lang::Parser parser(sources[i].first, sources[i].second);
-      slots[i] = parser.parse_file();
-    } catch (const ParseError& e) {
-      messages[i] = e.what();
-    }
-  };
-  if (pool != nullptr && sources.size() > 1) {
-    pool->parallel_for(sources.size(), parse_one);
-  } else {
-    for (std::size_t i = 0; i < sources.size(); ++i) parse_one(i);
-  }
-  std::vector<lang::SourceFile> files;
-  files.reserve(sources.size());
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (!messages[i].empty()) {
-      errors->emplace_back(sources[i].first, messages[i]);
-      continue;
-    }
-    if (slots[i]) files.push_back(std::move(*slots[i]));
-  }
-  return files;
 }
 
 // ---------------------------------------------------------------------------
@@ -232,7 +207,7 @@ int cmd_graph(const Args& args) {
   };
 
   const std::vector<std::pair<std::string, std::string>> sources =
-      collect_fortran_sources(src_dir);
+      service::collect_fortran_sources(src_dir.string());
 
   const bool coverage = args.has("coverage");
   const int cov_steps = static_cast<int>(args.get_int("coverage-steps", 2));
@@ -263,7 +238,7 @@ int cmd_graph(const Args& args) {
   } else {
     std::vector<std::pair<std::string, std::string>> parse_errors;
     std::vector<lang::SourceFile> files =
-        parse_sources(sources, pool.get(), &parse_errors);
+        service::parse_sources(sources, pool.get(), &parse_errors);
     for (const auto& [path, message] : parse_errors) {
       (void)path;
       std::fprintf(stderr, "parse failure: %s\n", message.c_str());
@@ -349,10 +324,10 @@ int cmd_lint(const Args& args) {
   };
 
   const std::vector<std::pair<std::string, std::string>> sources =
-      collect_fortran_sources(src_dir);
+      service::collect_fortran_sources(src_dir.string());
   std::vector<std::pair<std::string, std::string>> parse_errors;
   std::vector<lang::SourceFile> files =
-      parse_sources(sources, pool.get(), &parse_errors);
+      service::parse_sources(sources, pool.get(), &parse_errors);
   std::vector<const lang::Module*> modules;
   for (const auto& f : files) {
     for (const auto& m : f.modules) {
@@ -705,11 +680,73 @@ int cmd_analyze(const Args& args) {
   return retained ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+int cmd_serve(const Args& args) {
+  // The daemon always runs with the metrics registry on: /v1/metrics is part
+  // of its contract, unlike one-shot subcommands where observability is
+  // opt-in via --metrics-out/--trace.
+  obs::global().set_enabled(true);
+
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  std::unique_ptr<ThreadPool> build_pool;
+  if (jobs > 1) build_pool = std::make_unique<ThreadPool>(jobs);
+
+  service::SessionStoreOptions store_opts;
+  store_opts.snapshot_dir = args.get("snapshot");
+  store_opts.build_pool = build_pool.get();
+  if (args.has("session-bytes")) {
+    store_opts.max_bytes =
+        static_cast<std::size_t>(args.get_int("session-bytes", 0));
+  }
+  service::SessionStore store(store_opts);
+
+  // Requests execute on their own pool, distinct from the build pool — a
+  // request blocking on parallel_for of its own pool would deadlock.
+  const std::size_t request_threads =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.get_int("request-threads", 4)));
+  ThreadPool request_pool(request_threads);
+
+  service::RouterOptions router_opts;
+  router_opts.pool = &request_pool;
+  router_opts.max_in_flight =
+      static_cast<std::size_t>(args.get_int("max-in-flight", 64));
+  router_opts.default_deadline_ms = args.get_int("deadline-ms", 30000);
+  service::Router router(&store, router_opts);
+
+  service::HttpServerOptions http_opts;
+  http_opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  service::HttpServer server(&router, http_opts);
+  server.start();
+  if (args.has("port-file")) {
+    write_file(args.get("port-file"), std::to_string(server.port()) + "\n");
+  }
+  std::printf("rca-serve listening on 127.0.0.1:%u (build %s)\n",
+              static_cast<unsigned>(server.port()),
+              service::build_id().c_str());
+  std::fflush(stdout);  // port announcements must not sit in a pipe buffer
+
+  service::HttpServer::install_signal_handlers(server);
+  const int rc = server.serve_forever();
+  std::printf("rca-serve: drained %zu sessions resident, exiting\n",
+              store.session_count());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     Args args(argc, argv);
+    if (args.has("version")) {
+      // Same build id /v1/health reports, so a client can match a daemon to
+      // the binary that spawned it.
+      std::printf("rca-tool %s\n", service::build_id().c_str());
+      return 0;
+    }
     // Observability: --metrics-out FILE and/or --trace turn the global
     // metrics sink on for any subcommand.
     const bool want_metrics = args.has("metrics-out");
@@ -729,6 +766,7 @@ int main(int argc, char** argv) {
     else if (args.command() == "communities") rc = cmd_communities(args);
     else if (args.command() == "centrality") rc = cmd_centrality(args);
     else if (args.command() == "analyze") rc = cmd_analyze(args);
+    else if (args.command() == "serve") rc = cmd_serve(args);
     else return usage();
     for (const auto& key : args.unused_keys()) {
       std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());

@@ -1,0 +1,276 @@
+// In-process load generator for the resident RCA query service.
+//
+// Drives the Router directly (no sockets, so the numbers are service cost,
+// not TCP cost) with K concurrent client threads over a mixed cold/warm
+// workload: three generated corpora under a session byte budget that only
+// fits two, so the rotation keeps forcing genuine cold builds through LRU
+// eviction while most requests hit resident sessions.
+//
+// Prints p50/p95/p99 latency and throughput, then enforces the service
+// acceptance gates and exits nonzero if any fails:
+//   * all K clients ran concurrently (peak active == K);
+//   * every request answered 200;
+//   * a warm /v1/slice completed with zero re-parses
+//     (service.session.hits +1, service.session.parses +0).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/corpus.hpp"
+#include "obs/obs.hpp"
+#include "service/router.hpp"
+#include "service/session_store.hpp"
+#include "support/json.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fs = std::filesystem;
+using namespace rca;
+
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 40;
+
+struct Corpus {
+  std::string dir;
+  service::SourceList sources;
+};
+
+/// Generates a small synthetic-CESM corpus and writes it to a temp dir (the
+/// router resolves sessions from "src" paths, like real clients).
+Corpus write_corpus(std::uint64_t seed) {
+  model::CorpusSpec spec;
+  spec.seed = seed;
+  spec.total_aux_modules = 12;
+  model::GeneratedCorpus generated = model::generate_corpus(spec);
+  Corpus corpus;
+  corpus.dir = (fs::temp_directory_path() /
+                ("perf_service_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(seed)))
+                   .string();
+  fs::remove_all(corpus.dir);
+  for (const auto& file : generated.files) {
+    const fs::path path = fs::path(corpus.dir) / file.path;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << file.text;
+    corpus.sources.emplace_back(path.string(), file.text);
+  }
+  std::sort(corpus.sources.begin(), corpus.sources.end());
+  return corpus;
+}
+
+double percentile(const std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[idx];
+}
+
+std::string request_body(const Corpus& corpus, int i) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("src");
+  w.string_value(corpus.dir);
+  switch (i % 4) {
+    case 0:  // slice from the corpus's history outputs
+      w.key("outputs");
+      w.begin_array();
+      w.string_value("flds");
+      w.end_array();
+      break;
+    case 1:
+      w.key("kind");
+      w.string_value("degree");
+      w.key("top");
+      w.integer(5);
+      w.key("modules");
+      w.boolean(true);
+      break;
+    case 2:
+      w.key("method");
+      w.string_value("louvain");
+      break;
+    default:
+      break;  // build / lint take only "src"
+  }
+  w.end_object();
+  return w.str();
+}
+
+const char* request_path(int i) {
+  switch (i % 4) {
+    case 0: return "/v1/slice";
+    case 1: return "/v1/rank";
+    case 2: return "/v1/communities";
+    default: return "/v1/graph/build";
+  }
+}
+
+}  // namespace
+
+int main() {
+  obs::global().set_enabled(true);
+
+  std::printf("generating 3 corpora...\n");
+  std::vector<Corpus> corpora;
+  for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    corpora.push_back(write_corpus(seed));
+  }
+
+  // Budget: two resident sessions out of three, so the rotation evicts and
+  // the workload stays genuinely mixed cold/warm.
+  service::SessionStoreOptions store_opts;
+  {
+    service::SessionStore probe(service::SessionStoreOptions{});
+    const std::size_t one = probe
+                                .get_or_build(service::SessionConfig{},
+                                              corpora[0].sources)
+                                ->bytes();
+    store_opts.max_bytes = one * 5 / 2;
+  }
+  ThreadPool build_pool(4);
+  store_opts.build_pool = &build_pool;
+  service::SessionStore store(store_opts);
+
+  ThreadPool request_pool(kClients);
+  service::RouterOptions router_opts;
+  router_opts.pool = &request_pool;
+  router_opts.max_in_flight = kClients * 4;
+  service::Router router(&store, router_opts);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool go = false;
+  std::atomic<int> active{0};
+  std::atomic<int> peak_active{0};
+  std::atomic<int> failures{0};
+  std::vector<std::vector<double>> latencies_ms(kClients);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return go; });
+      }
+      const int a = active.fetch_add(1) + 1;
+      int seen = peak_active.load();
+      while (a > seen && !peak_active.compare_exchange_weak(seen, a)) {
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        // Stagger corpus choice per client so eviction pressure is steady.
+        const Corpus& corpus = corpora[static_cast<std::size_t>(
+            (c + i) % static_cast<int>(corpora.size()))];
+        const auto started = std::chrono::steady_clock::now();
+        const service::Response resp = router.handle(
+            {"POST", request_path(i), request_body(corpus, i)});
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+        latencies_ms[static_cast<std::size_t>(c)].push_back(ms);
+        if (resp.status != 200) {
+          failures.fetch_add(1);
+          std::fprintf(stderr, "client %d request %d -> %d: %s\n", c, i,
+                       resp.status, resp.body.c_str());
+        }
+      }
+      active.fetch_sub(1);
+    });
+  }
+
+  const auto bench_start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& t : clients) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - bench_start)
+                            .count();
+
+  std::vector<double> all_ms;
+  for (const auto& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const double total = static_cast<double>(all_ms.size());
+
+  std::printf("\nperf_service: %d clients x %d requests, mixed cold/warm\n",
+              kClients, kRequestsPerClient);
+  std::printf("  wall time        %.2f s (%.0f req/s)\n", wall_s,
+              total / wall_s);
+  std::printf("  latency p50      %.2f ms\n", percentile(all_ms, 0.50));
+  std::printf("  latency p95      %.2f ms\n", percentile(all_ms, 0.95));
+  std::printf("  latency p99      %.2f ms\n", percentile(all_ms, 0.99));
+  std::printf("  peak concurrent  %d\n", peak_active.load());
+  std::printf("  sessions built   %llu (evictions %llu, warm hits %llu)\n",
+              static_cast<unsigned long long>(
+                  obs::global().counter("service.session.builds")),
+              static_cast<unsigned long long>(
+                  obs::global().counter("service.session.evictions")),
+              static_cast<unsigned long long>(
+                  obs::global().counter("service.session.hits")));
+
+  // Gate 1: all clients concurrent, every request answered 200.
+  bool ok = true;
+  if (peak_active.load() < kClients) {
+    std::fprintf(stderr, "FAIL: peak concurrency %d < %d clients\n",
+                 peak_active.load(), kClients);
+    ok = false;
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FAIL: %d non-200 responses\n", failures.load());
+    ok = false;
+  }
+
+  // Gate 2: a warm /v1/slice is answered from the resident session with
+  // zero re-parses — the whole point of keeping sessions hot. Prime the
+  // session first (cold or warm, uncounted); with no concurrent traffic it
+  // is then MRU-resident, so the measured request must be a pure hit.
+  (void)router.handle({"POST", "/v1/graph/build", request_body(corpora[0], 3)});
+  const std::uint64_t hits0 = obs::global().counter("service.session.hits");
+  const std::uint64_t parses0 =
+      obs::global().counter("service.session.parses");
+  const std::uint64_t builds0 =
+      obs::global().counter("service.session.builds");
+  const service::Response warm =
+      router.handle({"POST", "/v1/slice", request_body(corpora[0], 0)});
+  const std::uint64_t hits1 = obs::global().counter("service.session.hits");
+  const std::uint64_t parses1 =
+      obs::global().counter("service.session.parses");
+  const std::uint64_t builds1 =
+      obs::global().counter("service.session.builds");
+  if (warm.status != 200 || hits1 != hits0 + 1 || parses1 != parses0 ||
+      builds1 != builds0) {
+    std::fprintf(stderr,
+                 "FAIL: warm slice status=%d hits %llu->%llu parses "
+                 "%llu->%llu builds %llu->%llu (want +1, +0, +0)\n",
+                 warm.status, static_cast<unsigned long long>(hits0),
+                 static_cast<unsigned long long>(hits1),
+                 static_cast<unsigned long long>(parses0),
+                 static_cast<unsigned long long>(parses1),
+                 static_cast<unsigned long long>(builds0),
+                 static_cast<unsigned long long>(builds1));
+    ok = false;
+  } else {
+    std::printf("  warm slice       zero re-parses (hits +1, parses +0)\n");
+  }
+
+  for (const auto& corpus : corpora) fs::remove_all(corpus.dir);
+  std::printf("perf_service: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

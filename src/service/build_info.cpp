@@ -1,0 +1,13 @@
+#include "service/build_info.hpp"
+
+namespace rca::service {
+
+#ifndef RCA_GIT_SHA
+#define RCA_GIT_SHA "unknown"
+#endif
+
+const char* version() { return "0.4.0"; }
+
+std::string build_id() { return std::string(version()) + "+" + RCA_GIT_SHA; }
+
+}  // namespace rca::service

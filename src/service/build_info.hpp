@@ -1,0 +1,17 @@
+// Build identity shared by `rca-tool --version` and the service's
+// /v1/health payload, so a client can always tell which build answered.
+#pragma once
+
+#include <string>
+
+namespace rca::service {
+
+/// Semantic toolkit version (bumped per PR milestone).
+const char* version();
+
+/// "<version>+<git-sha>" — the sha is captured at configure time
+/// (RCA_GIT_SHA compile definition) and falls back to "unknown" outside a
+/// git checkout.
+std::string build_id();
+
+}  // namespace rca::service

@@ -1,0 +1,34 @@
+// Shared corpus front-end helpers: on-disk source collection and (optionally
+// parallel) parsing. Factored out of apps/rca_tool.cpp so the CLI's graph/
+// lint subcommands and the resident service's session store run the exact
+// same front end — same file ordering, same failure folding.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace rca {
+class ThreadPool;
+}
+
+namespace rca::service {
+
+/// Every Fortran-ish file (.f90/.f/.f95, case-insensitive) under `src_dir`
+/// as (path, text), in sorted path order — directory iteration order is
+/// filesystem-dependent, and node ids / diagnostic order must not depend on
+/// it. Throws rca::Error when the directory cannot be read.
+std::vector<std::pair<std::string, std::string>> collect_fortran_sources(
+    const std::string& src_dir);
+
+/// Parses sources into file-order slots (independent per file, so the pool
+/// can schedule them freely without changing the result). Parse failures
+/// land in `errors` by index, paired with their source path. `pool` may be
+/// null for a serial parse.
+std::vector<lang::SourceFile> parse_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    ThreadPool* pool, std::vector<std::pair<std::string, std::string>>* errors);
+
+}  // namespace rca::service

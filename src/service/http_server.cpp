@@ -1,0 +1,275 @@
+#include "service/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rca::service {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 504: return "Gateway Timeout";
+    default: return "Error";
+  }
+}
+
+/// Reads from `fd` until `terminator` is seen or `limit` bytes accumulate.
+/// Returns false on EOF/error/overflow before the terminator.
+bool read_until(int fd, std::string& buf, const char* terminator,
+                std::size_t limit) {
+  char chunk[4096];
+  while (buf.find(terminator) == std::string::npos) {
+    if (buf.size() > limit) return false;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void send_response(int fd, const Response& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_text(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  write_all(fd, out);
+}
+
+/// Parses "Header-Name: value" lines for Content-Length (case-insensitive
+/// name, as HTTP requires). Returns -1 when absent, -2 on a malformed value.
+long long parse_content_length(const std::string& headers) {
+  for (const std::string& line : split(headers, '\n')) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (to_lower(trim(line.substr(0, colon))) != "content-length") continue;
+    const std::string value = std::string(trim(line.substr(colon + 1)));
+    if (value.empty()) return -2;
+    for (char c : value) {
+      if (c < '0' || c > '9') return -2;
+    }
+    return std::stoll(value);
+  }
+  return -1;
+}
+
+/// Pipe write end the installed signal handler pokes; handler-safe.
+std::atomic<int> g_shutdown_fd{-1};
+
+extern "C" void rca_serve_signal_handler(int /*signum*/) {
+  const int fd = g_shutdown_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'q';
+    // write(2) is async-signal-safe; the result is irrelevant (best effort).
+    [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Router* router, HttpServerOptions opts)
+    : router_(router), opts_(opts) {
+  if (::pipe(wake_pipe_) != 0) throw Error("pipe() failed");
+}
+
+HttpServer::~HttpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) ::close(wake_pipe_[i]);
+  }
+}
+
+void HttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw Error("cannot bind 127.0.0.1:" + std::to_string(opts_.port) + ": " +
+                std::strerror(errno));
+  }
+  if (::listen(listen_fd_, opts_.backlog) != 0) {
+    throw Error(std::string("listen() failed: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+void HttpServer::request_shutdown() {
+  const char byte = 'q';
+  [[maybe_unused]] ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void HttpServer::install_signal_handlers(HttpServer& server) {
+  g_shutdown_fd.store(server.request_shutdown_fd(), std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = rca_serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll() must wake with EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+int HttpServer::serve_forever() {
+  if (listen_fd_ < 0) throw Error("serve_forever() before start()");
+  workers_.reserve(opts_.connection_threads);
+  for (std::size_t i = 0; i < opts_.connection_threads; ++i) {
+    workers_.emplace_back([this] { connection_worker(); });
+  }
+
+  pollfd fds[2];
+  fds[0] = {listen_fd_, POLLIN, 0};
+  fds[1] = {wake_pipe_[0], POLLIN, 0};
+  bool draining = false;
+  while (!draining) {
+    fds[0].revents = fds[1].revents = 0;
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // handler already poked the pipe
+      break;
+    }
+    if (fds[1].revents != 0) {
+      draining = true;
+      break;
+    }
+    if (fds[0].revents != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      timeval tv{};
+      tv.tv_sec = opts_.io_timeout_ms / 1000;
+      tv.tv_usec = (opts_.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      obs::count("service.http.connections");
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pending_.push_back(fd);
+      }
+      cv_.notify_one();
+    }
+  }
+
+  // Graceful drain: stop accepting, then let every already-accepted
+  // connection finish its request/response cycle before returning.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  obs::count("service.http.graceful_shutdowns");
+  return 0;
+}
+
+void HttpServer::connection_worker() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // closed_ and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string buf;
+  if (!read_until(fd, buf, "\r\n\r\n", opts_.max_header_bytes)) {
+    send_response(fd, error_response(400, "bad_request",
+                                     "malformed or oversized request head"));
+    return;
+  }
+  const std::size_t head_end = buf.find("\r\n\r\n");
+  const std::string head = buf.substr(0, head_end);
+  std::string body = buf.substr(head_end + 4);
+
+  // Request line: METHOD SP PATH SP HTTP/x.y
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::vector<std::string> parts = split_ws(request_line);
+  if (parts.size() != 3 || !starts_with(parts[2], "HTTP/")) {
+    send_response(fd, error_response(400, "bad_request",
+                                     "malformed request line"));
+    return;
+  }
+  Request req;
+  req.method = parts[0];
+  // Strip any query string; the service takes parameters in JSON bodies.
+  const std::size_t query = parts[1].find('?');
+  req.path = query == std::string::npos ? parts[1] : parts[1].substr(0, query);
+
+  const long long content_length = parse_content_length(
+      line_end == std::string::npos ? "" : head.substr(line_end + 2));
+  if (content_length == -2 ||
+      content_length > static_cast<long long>(opts_.max_body_bytes)) {
+    send_response(fd, error_response(413, "body_too_large",
+                                     "invalid or oversized Content-Length"));
+    return;
+  }
+  if (content_length > 0) {
+    while (body.size() < static_cast<std::size_t>(content_length)) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        send_response(fd, error_response(400, "bad_request",
+                                         "truncated request body"));
+        return;
+      }
+      body.append(chunk, static_cast<std::size_t>(n));
+    }
+    body.resize(static_cast<std::size_t>(content_length));
+  }
+  req.body = std::move(body);
+
+  send_response(fd, router_->handle(req));
+}
+
+}  // namespace rca::service

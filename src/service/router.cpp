@@ -1,0 +1,454 @@
+#include "service/router.hpp"
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "analysis/diagnostics.hpp"
+#include "graph/centrality.hpp"
+#include "graph/girvan_newman.hpp"
+#include "graph/louvain.hpp"
+#include "graph/nonbacktracking.hpp"
+#include "model/corpus.hpp"
+#include "obs/obs.hpp"
+#include "service/build_info.hpp"
+#include "service/front_end.hpp"
+#include "slice/slicer.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rca::service {
+
+namespace {
+
+/// Handler-level error carrying its HTTP status and machine-readable code.
+struct ServiceError {
+  int status;
+  std::string code;
+  std::string message;
+};
+
+[[noreturn]] void fail(int status, std::string code, std::string message) {
+  throw ServiceError{status, std::move(code), std::move(message)};
+}
+
+}  // namespace
+
+Response error_response(int status, const std::string& code,
+                        const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("error");
+  w.begin_object();
+  w.key("code");
+  w.string_value(code);
+  w.key("message");
+  w.string_value(message);
+  w.end_object();
+  w.key("status");
+  w.integer(status);
+  w.end_object();
+  return Response{status, w.str() + "\n", "application/json"};
+}
+
+Router::Router(SessionStore* store, RouterOptions opts)
+    : store_(store), opts_(std::move(opts)) {}
+
+Response Router::handle(const Request& req) {
+  // Health and metrics answer inline: their whole point is to keep working
+  // while the worker pool is saturated or draining.
+  if (req.path == "/v1/health") return handle_health();
+  if (req.path == "/v1/metrics") return handle_metrics();
+
+  obs::Span span("service.request");
+  span.attr("path", req.path);
+  const auto started = std::chrono::steady_clock::now();
+  obs::count("service.requests");
+
+  auto finish = [&span, started](Response resp) {
+    span.attr("status", resp.status);
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+    obs::observe("service.request.latency_us", us);
+    return resp;
+  };
+
+  if (req.body.size() > opts_.max_body_bytes) {
+    return finish(error_response(413, "body_too_large",
+                                 "request body exceeds " +
+                                     std::to_string(opts_.max_body_bytes) +
+                                     " bytes"));
+  }
+  // Parse the body on the transport thread: it is cheap (bounded by
+  // max_body_bytes) and the per-request deadline lives in it.
+  JsonValue body = JsonValue::make_object({});
+  if (!req.body.empty()) {
+    try {
+      JsonParseOptions jopts;
+      jopts.max_bytes = opts_.max_body_bytes;
+      body = parse_json(req.body, jopts);
+    } catch (const std::exception& e) {
+      return finish(error_response(400, "bad_request", e.what()));
+    }
+  }
+
+  // Backpressure: bounded in-flight work, structured 429 beyond it.
+  if (opts_.max_in_flight != 0 &&
+      in_flight_.load(std::memory_order_relaxed) >= opts_.max_in_flight) {
+    obs::count("service.rejects");
+    return finish(error_response(
+        429, "over_capacity",
+        "in-flight request budget (" + std::to_string(opts_.max_in_flight) +
+            ") exhausted; retry later"));
+  }
+
+  long long deadline_ms = body.get_int("deadline_ms", opts_.default_deadline_ms);
+  if (deadline_ms <= 0) deadline_ms = opts_.default_deadline_ms;
+  const auto deadline = started + std::chrono::milliseconds(deadline_ms);
+
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  obs::gauge("service.in_flight",
+             static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+  auto work = [this, req, body = std::move(body)]() -> Response {
+    Response resp;
+    try {
+      resp = dispatch(req, body);
+    } catch (const ServiceError& e) {
+      resp = error_response(e.status, e.code, e.message);
+    } catch (const Error& e) {
+      resp = error_response(400, "bad_request", e.what());
+    } catch (const std::exception& e) {
+      resp = error_response(500, "internal", e.what());
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return resp;
+  };
+
+  if (opts_.pool == nullptr) return finish(work());
+
+  std::future<Response> fut = opts_.pool->submit(std::move(work));
+  if (fut.wait_until(deadline) == std::future_status::timeout) {
+    // The worker keeps running (and holding its in-flight slot) — the
+    // transport answers now so the client is never stuck past its deadline.
+    obs::count("service.timeouts");
+    return finish(error_response(504, "deadline_exceeded",
+                                 "request exceeded its deadline of " +
+                                     std::to_string(deadline_ms) + " ms"));
+  }
+  return finish(fut.get());
+}
+
+Response Router::dispatch(const Request& req, const JsonValue& body) {
+  if (req.path == "/v1/graph/build") {
+    if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
+    return handle_build(body);
+  }
+  if (req.path == "/v1/slice") {
+    if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
+    return handle_slice(body);
+  }
+  if (req.path == "/v1/communities") {
+    if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
+    return handle_communities(body);
+  }
+  if (req.path == "/v1/rank") {
+    if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
+    return handle_rank(body);
+  }
+  if (req.path == "/v1/lint") {
+    if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
+    return handle_lint(body);
+  }
+  if (opts_.enable_test_routes && req.path == "/v1/_test/sleep") {
+    const long long ms = body.get_int("ms", 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    JsonWriter w;
+    w.begin_object();
+    w.key("slept_ms");
+    w.integer(ms);
+    w.end_object();
+    return Response{200, w.str() + "\n"};
+  }
+  fail(404, "not_found", "unknown endpoint " + req.path);
+}
+
+Response Router::handle_health() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("status");
+  w.string_value("ok");
+  w.key("build_id");
+  w.string_value(build_id());
+  w.key("sessions");
+  w.integer(static_cast<long long>(store_->session_count()));
+  w.key("resident_bytes");
+  w.integer(static_cast<long long>(store_->resident_bytes()));
+  w.key("in_flight");
+  w.integer(static_cast<long long>(in_flight()));
+  w.end_object();
+  return Response{200, w.str() + "\n"};
+}
+
+Response Router::handle_metrics() const {
+  return Response{200, obs::global().to_json() + "\n"};
+}
+
+std::shared_ptr<const Session> Router::resolve_session(const JsonValue& body) {
+  if (const JsonValue* s = body.get("session")) {
+    std::shared_ptr<const Session> session = store_->lookup(s->as_string());
+    if (session == nullptr) {
+      fail(404, "session_not_found",
+           "no resident session " + s->as_string() +
+               " (build it via /v1/graph/build)");
+    }
+    return session;
+  }
+  if (body.get("src") != nullptr) {
+    SessionConfig config;
+    config.build_list = body.get_string_array("build_list");
+    config.coverage = body.get_bool("coverage", false);
+    config.coverage_steps =
+        static_cast<int>(body.get_int("coverage_steps", 2));
+    config.prune_dead_stores = body.get_bool("prune_dead_stores", false);
+    SourceList sources = collect_fortran_sources(body.get_string("src"));
+    if (sources.empty()) {
+      fail(400, "bad_request",
+           "no Fortran sources under " + body.get_string("src"));
+    }
+    return store_->get_or_build(config, std::move(sources));
+  }
+  fail(400, "bad_request", "request needs \"session\" or \"src\"");
+}
+
+Response Router::handle_build(const JsonValue& body) {
+  if (body.get("session") != nullptr && body.get("src") == nullptr) {
+    fail(400, "bad_request", "/v1/graph/build takes \"src\", not \"session\"");
+  }
+  std::shared_ptr<const Session> session = resolve_session(body);
+  const meta::Metagraph& mg = session->metagraph();
+  JsonWriter w;
+  w.begin_object();
+  w.key("session");
+  w.string_value(session->key());
+  w.key("nodes");
+  w.integer(static_cast<long long>(mg.node_count()));
+  w.key("edges");
+  w.integer(static_cast<long long>(mg.graph().edge_count()));
+  w.key("io_labels");
+  w.integer(static_cast<long long>(mg.io_map().size()));
+  w.key("modules");
+  w.integer(static_cast<long long>(mg.modules().size()));
+  w.key("bytes");
+  w.integer(static_cast<long long>(session->bytes()));
+  w.key("warm");
+  w.boolean(session->warm_started());
+  w.end_object();
+  return Response{200, w.str() + "\n"};
+}
+
+Response Router::handle_slice(const JsonValue& body) {
+  std::shared_ptr<const Session> session = resolve_session(body);
+  const meta::Metagraph& mg = session->metagraph();
+
+  std::vector<std::string> targets = body.get_string_array("targets");
+  const std::vector<std::string> outputs = body.get_string_array("outputs");
+  for (const std::string& label : outputs) {
+    for (const auto& name : slice::internal_names_for_output(mg, label)) {
+      targets.push_back(name);
+    }
+  }
+  if (targets.empty()) {
+    if (!outputs.empty()) {
+      fail(404, "unknown_output",
+           "no I/O label in this graph matches the requested outputs");
+    }
+    fail(400, "bad_request", "need \"targets\" or \"outputs\"");
+  }
+
+  slice::SliceOptions opts;
+  if (body.get_bool("cam_only", false)) {
+    opts.module_filter = [](const std::string& m) {
+      return model::is_cam_module(m);
+    };
+  }
+  opts.drop_components_smaller_than =
+      static_cast<std::size_t>(body.get_int("drop_small", 0));
+  slice::SliceResult result = slice::backward_slice(mg, targets, opts);
+
+  const std::size_t limit =
+      static_cast<std::size_t>(body.get_int("limit", 20));
+  JsonWriter w;
+  w.begin_object();
+  w.key("session");
+  w.string_value(session->key());
+  w.key("criteria");
+  w.begin_array();
+  for (const auto& t : targets) w.string_value(t);
+  w.end_array();
+  w.key("nodes");
+  w.integer(static_cast<long long>(result.nodes.size()));
+  w.key("edges");
+  w.integer(static_cast<long long>(result.subgraph.edge_count()));
+  w.key("graph_nodes");
+  w.integer(static_cast<long long>(mg.node_count()));
+  w.key("shown");
+  w.begin_array();
+  for (std::size_t i = 0; i < result.nodes.size() && i < limit; ++i) {
+    const auto& info = mg.info(result.nodes[i]);
+    w.begin_object();
+    w.key("name");
+    w.string_value(info.unique_name);
+    w.key("module");
+    w.string_value(info.module);
+    w.key("line");
+    w.integer(info.line);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, w.str() + "\n"};
+}
+
+Response Router::handle_communities(const JsonValue& body) {
+  std::shared_ptr<const Session> session = resolve_session(body);
+  const meta::Metagraph& mg = session->metagraph();
+  const std::string method = body.get_string("method", "gn");
+  const std::size_t min_size =
+      static_cast<std::size_t>(body.get_int("min_size", 3));
+
+  std::vector<std::vector<graph::NodeId>> communities;
+  JsonWriter w;
+  w.begin_object();
+  w.key("session");
+  w.string_value(session->key());
+  w.key("method");
+  w.string_value(method);
+  if (method == "louvain") {
+    graph::LouvainOptions opts;
+    opts.min_community_size = min_size;
+    auto result = louvain(mg.graph(), opts);
+    communities = std::move(result.communities);
+    w.key("modularity");
+    w.number(result.modularity);
+  } else if (method == "gn") {
+    graph::GirvanNewmanOptions opts;
+    opts.iterations = static_cast<int>(body.get_int("iterations", 1));
+    opts.min_community_size = min_size;
+    auto result = girvan_newman(mg.graph(), opts);
+    communities = std::move(result.communities);
+    w.key("edges_removed");
+    w.integer(static_cast<long long>(result.edges_removed));
+  } else {
+    fail(400, "bad_request", "unknown method '" + method + "' (gn|louvain)");
+  }
+  w.key("communities");
+  w.begin_array();
+  for (const auto& community : communities) {
+    w.begin_object();
+    w.key("size");
+    w.integer(static_cast<long long>(community.size()));
+    w.key("sample");
+    w.begin_array();
+    for (std::size_t k = 0; k < community.size() && k < 5; ++k) {
+      w.string_value(mg.info(community[k]).unique_name);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, w.str() + "\n"};
+}
+
+Response Router::handle_rank(const JsonValue& body) {
+  std::shared_ptr<const Session> session = resolve_session(body);
+  const meta::Metagraph& mg = session->metagraph();
+  const std::string kind = body.get_string("kind", "eigenvector");
+  const std::size_t top = static_cast<std::size_t>(body.get_int("top", 15));
+
+  const graph::Digraph* g = &mg.graph();
+  graph::Digraph quotient;
+  std::vector<std::string> names;
+  if (body.get_bool("modules", false)) {
+    quotient = graph::quotient_graph(mg.graph(), mg.module_classes(),
+                                     mg.modules().size());
+    g = &quotient;
+    names = mg.modules();
+  } else {
+    for (graph::NodeId v = 0; v < mg.node_count(); ++v) {
+      names.push_back(mg.info(v).unique_name);
+    }
+  }
+
+  std::vector<double> scores;
+  if (kind == "eigenvector") {
+    scores = eigenvector_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "degree") {
+    scores = degree_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "pagerank") {
+    scores = pagerank(*g, graph::Direction::kIn);
+  } else if (kind == "katz") {
+    scores = katz_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "closeness") {
+    scores = closeness_centrality(*g, graph::Direction::kIn);
+  } else if (kind == "nonbacktracking") {
+    scores = nonbacktracking_centrality(*g, graph::Direction::kIn).centrality;
+  } else if (kind == "inout-eigenvector") {
+    const auto cin = eigenvector_centrality(*g, graph::Direction::kIn);
+    const auto cout = eigenvector_centrality(*g, graph::Direction::kOut);
+    scores.resize(cin.size());
+    for (std::size_t i = 0; i < cin.size(); ++i) scores[i] = cin[i] + cout[i];
+  } else {
+    fail(400, "bad_request", "unknown centrality kind '" + kind + "'");
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("session");
+  w.string_value(session->key());
+  w.key("kind");
+  w.string_value(kind);
+  w.key("ranking");
+  w.begin_array();
+  long long rank = 1;
+  for (graph::NodeId v : graph::top_k(scores, top)) {
+    w.begin_object();
+    w.key("rank");
+    w.integer(rank++);
+    w.key("name");
+    w.string_value(names[v]);
+    w.key("score");
+    w.number(scores[v]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return Response{200, w.str() + "\n"};
+}
+
+Response Router::handle_lint(const JsonValue& body) {
+  std::shared_ptr<const Session> session = resolve_session(body);
+  const analysis::AnalysisResult& result = session->lint();
+  JsonWriter w;
+  w.begin_object();
+  w.key("session");
+  w.string_value(session->key());
+  w.key("errors");
+  w.integer(static_cast<long long>(result.count(analysis::Severity::kError)));
+  w.key("warnings");
+  w.integer(
+      static_cast<long long>(result.count(analysis::Severity::kWarning)));
+  w.key("modules");
+  w.integer(static_cast<long long>(result.modules));
+  w.key("subprograms");
+  w.integer(static_cast<long long>(result.subprograms));
+  w.key("report");
+  // Full rca.diagnostics.v1 document, embedded as produced by the emitter.
+  w.raw_value(analysis::diagnostics_to_json(result.diagnostics));
+  w.end_object();
+  return Response{200, w.str() + "\n"};
+}
+
+}  // namespace rca::service

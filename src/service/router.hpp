@@ -1,0 +1,114 @@
+// Transport-independent request router for the RCA query service.
+//
+// A Request is (method, path, body); the Router produces a Response without
+// knowing whether it arrived over loopback HTTP (http_server.hpp), the
+// in-process load generator (bench/perf_service), or a test. JSON endpoints:
+//
+//   GET  /v1/health        build id, session count, in-flight depth
+//   GET  /v1/metrics       the full rca.metrics.v1 registry document
+//   POST /v1/graph/build   {"src": DIR, "build_list": [..], "coverage": b,
+//                           "coverage_steps": n, "prune_dead_stores": b}
+//                          -> {"session": KEY, "nodes": .., "edges": ..}
+//   POST /v1/slice         {"session" | "src"+config, "targets": [..],
+//                           "outputs": [..], "cam_only": b, "drop_small": n,
+//                           "limit": n}
+//   POST /v1/communities   {"session" | .., "method": "gn"|"louvain",
+//                           "min_size": n, "iterations": n}
+//   POST /v1/rank          {"session" | .., "kind": KIND, "top": n,
+//                           "modules": b}
+//   POST /v1/lint          {"session" | ..} -> rca.diagnostics.v1 embedded
+//
+// Execution model: health/metrics answer inline (they must work when the
+// pool is saturated — that is their job); everything else is parsed on the
+// transport thread, then executed on the request ThreadPool with a
+// per-request deadline (body field "deadline_ms", default
+// RouterOptions::default_deadline_ms). The router waits for the worker up
+// to the deadline and answers 504 on expiry — the worker finishes in the
+// background and still counts against capacity. When in-flight work reaches
+// RouterOptions::max_in_flight, new requests are rejected with 429 and a
+// structured error body instead of queueing without bound.
+//
+// Every error response has the shape
+//   {"error": {"code": "...", "message": "..."}, "status": N}
+// and every request records service.* counters plus a latency histogram.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "service/session_store.hpp"
+#include "support/json.hpp"
+
+namespace rca {
+class ThreadPool;
+}
+
+namespace rca::service {
+
+struct Request {
+  std::string method;  // "GET" | "POST"
+  std::string path;    // "/v1/slice"
+  std::string body;    // JSON or empty
+};
+
+struct Response {
+  int status = 200;
+  std::string body;
+  std::string content_type = "application/json";
+};
+
+struct RouterOptions {
+  /// Requests allowed in flight (queued + executing) before 429; 0 = no cap.
+  std::size_t max_in_flight = 64;
+  /// Default per-request deadline; a request body may lower/raise its own
+  /// via "deadline_ms".
+  long long default_deadline_ms = 30000;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Worker pool requests execute on. Must stay distinct from the session
+  /// store's build pool — a request task blocking on parallel_for of its own
+  /// pool would deadlock. Null runs requests inline (tests).
+  ThreadPool* pool = nullptr;
+  /// Registers POST /v1/_test/sleep {"ms": n} — deterministic latency for
+  /// backpressure/timeout tests and the load bench. Never enable in serve.
+  bool enable_test_routes = false;
+};
+
+class Router {
+ public:
+  Router(SessionStore* store, RouterOptions opts);
+
+  /// Thread-safe; blocks until the response is ready or the deadline passes.
+  Response handle(const Request& req);
+
+  /// Requests currently queued or executing (excludes health/metrics).
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  SessionStore& store() { return *store_; }
+  const RouterOptions& options() const { return opts_; }
+
+ private:
+  Response dispatch(const Request& req, const JsonValue& body);
+  Response handle_health() const;
+  Response handle_metrics() const;
+  Response handle_build(const JsonValue& body);
+  Response handle_slice(const JsonValue& body);
+  Response handle_communities(const JsonValue& body);
+  Response handle_rank(const JsonValue& body);
+  Response handle_lint(const JsonValue& body);
+
+  std::shared_ptr<const Session> resolve_session(const JsonValue& body);
+
+  SessionStore* store_;
+  RouterOptions opts_;
+  std::atomic<std::size_t> in_flight_{0};
+};
+
+/// Structured error response ({"error":{"code","message"},"status"}).
+Response error_response(int status, const std::string& code,
+                        const std::string& message);
+
+}  // namespace rca::service

@@ -1,0 +1,284 @@
+#include "service/session_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "interp/interpreter.hpp"
+#include "meta/builder.hpp"
+#include "obs/obs.hpp"
+#include "service/front_end.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rca::service {
+
+namespace {
+
+bool in_build_list(const std::vector<std::string>& build_list,
+                   const std::string& module) {
+  if (build_list.empty()) return true;
+  return std::find(build_list.begin(), build_list.end(), module) !=
+         build_list.end();
+}
+
+std::size_t approx_graph_bytes(const meta::Metagraph& mg) {
+  std::size_t bytes =
+      mg.graph().edge_count() * 16 + mg.node_count() * 64;
+  for (const auto& info : mg.all_info()) {
+    bytes += info.unique_name.size() + info.canonical_name.size() +
+             info.module.size() + info.subprogram.size();
+  }
+  for (const auto& [label, nodes] : mg.io_map()) {
+    bytes += label.size() + nodes.size() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(std::string key, SessionConfig config, SourceList sources)
+    : key_(std::move(key)),
+      config_(std::move(config)),
+      sources_(std::move(sources)) {}
+
+void Session::finalize_bytes() {
+  bytes_ = approx_graph_bytes(mg_);
+  for (const auto& [path, text] : sources_) {
+    bytes_ += path.size() + text.size();
+  }
+}
+
+void Session::ensure_parsed(ThreadPool* pool) const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (parsed_) return;
+  obs::count("service.session.parses");
+  files_ = parse_sources(sources_, pool, &parse_errors_);
+  for (const auto& f : files_) {
+    for (const auto& m : f.modules) {
+      if (in_build_list(config_.build_list, m.name)) modules_.push_back(&m);
+    }
+  }
+  parsed_ = true;
+}
+
+const std::vector<std::pair<std::string, std::string>>& Session::parse_errors()
+    const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  return parse_errors_;
+}
+
+const analysis::AnalysisResult& Session::lint() const {
+  ensure_parsed(parse_pool_);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (!lint_) {
+    analysis::PassManager pm = analysis::PassManager::default_passes();
+    analysis::AnalysisResult result = pm.run(modules_);
+    // A file the front end cannot parse is itself a finding; fold parse
+    // failures into the diagnostic stream like `rca-tool lint` does.
+    for (const auto& [path, message] : parse_errors_) {
+      analysis::Diagnostic d;
+      d.rule = "parse-error";
+      d.severity = analysis::Severity::kError;
+      d.file = path;
+      d.message = message;
+      result.diagnostics.push_back(std::move(d));
+    }
+    std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+              analysis::diagnostic_less);
+    lint_ = std::move(result);
+  }
+  return *lint_;
+}
+
+// ---------------------------------------------------------------------------
+// SessionStore
+// ---------------------------------------------------------------------------
+
+SessionStore::SessionStore(SessionStoreOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.snapshot_dir.empty()) cache_.emplace(opts_.snapshot_dir);
+}
+
+meta::SnapshotKey SessionStore::snapshot_key(const SessionConfig& config,
+                                             const SourceList& sources) {
+  meta::SnapshotKey key;
+  key.add("rca-graph-snapshot-v2");  // shared with `rca-tool graph --snapshot`
+  key.add_u64(config.coverage ? 1 : 0);
+  key.add_u64(static_cast<std::uint64_t>(config.coverage_steps));
+  key.add_u64(config.prune_dead_stores ? 1 : 0);
+  for (const auto& name : config.build_list) key.add(name);
+  for (const auto& [path, text] : sources) {
+    key.add(path);
+    key.add(text);
+  }
+  return key;
+}
+
+std::string SessionStore::compute_key(const SessionConfig& config,
+                                      const SourceList& sources) {
+  return snapshot_key(config, sources).hex();
+}
+
+std::shared_ptr<const Session> SessionStore::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  obs::count("service.session.hits");
+  return it->second.session;
+}
+
+std::shared_ptr<const Session> SessionStore::get_or_build(
+    const SessionConfig& config, SourceList sources) {
+  const std::string key = compute_key(config, sources);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    obs::count("service.session.hits");
+    return it->second.session;
+  }
+  if (auto fit = building_.find(key); fit != building_.end()) {
+    // Single-flight: somebody is already building this exact session — wait
+    // for their result instead of duplicating the work.
+    auto fut = fit->second;
+    obs::count("service.session.singleflight");
+    lock.unlock();
+    return fut.get();  // rethrows the builder's error, if any
+  }
+  std::promise<std::shared_ptr<const Session>> promise;
+  building_.emplace(key, promise.get_future().share());
+  lock.unlock();
+
+  std::shared_ptr<Session> session;
+  try {
+    session = build_session(key, config, std::move(sources));
+  } catch (...) {
+    auto err = std::current_exception();
+    {
+      std::lock_guard<std::mutex> relock(mu_);
+      building_.erase(key);
+    }
+    promise.set_exception(err);
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> relock(mu_);
+    insert_resident(key, session);
+    building_.erase(key);
+  }
+  promise.set_value(session);
+  return session;
+}
+
+std::shared_ptr<Session> SessionStore::build_session(const std::string& key,
+                                                     const SessionConfig& config,
+                                                     SourceList sources) {
+  obs::Span span("service.session.build");
+  span.attr("key", key);
+  auto session =
+      std::make_shared<Session>(key, config, std::move(sources));
+  session->parse_pool_ = opts_.build_pool;
+
+  // Warm tier: the on-disk snapshot cache holds the finished graph for this
+  // exact content key — loading it skips parse+build entirely.
+  const meta::SnapshotKey skey = snapshot_key(config, session->sources());
+  if (cache_) {
+    if (std::optional<meta::Metagraph> mg = cache_->try_load(skey)) {
+      session->mg_ = std::move(*mg);
+      session->warm_started_ = true;
+      session->finalize_bytes();
+      obs::count("service.session.builds");
+      obs::count("service.session.snapshot_warm");
+      obs::count("service.session.hits");
+      span.attr("warm", true);
+      return session;
+    }
+  }
+
+  obs::count("service.session.misses");
+  session->ensure_parsed(opts_.build_pool);
+
+  meta::BuilderOptions opts;
+  opts.pool = opts_.build_pool;
+  opts.prune_dead_stores = config.prune_dead_stores;
+  std::unique_ptr<interp::Interpreter> cov_interp;
+  interp::CoverageRecorder recorder;
+  if (config.coverage) {
+    // Instrumented short run: requires the corpus driver convention
+    // (cam_driver::cam_init / cam_step), as `rca-tool generate` emits.
+    const std::vector<const lang::Module*>& modules = session->modules_;
+    cov_interp = std::make_unique<interp::Interpreter>(modules);
+    cov_interp->call("cam_driver", "cam_init");
+    for (int s = 0; s < config.coverage_steps; ++s) {
+      cov_interp->call("cam_driver", "cam_step");
+    }
+    recorder = cov_interp->coverage();
+    // Declaration-only modules are always kept (cannot register execution).
+    opts.module_filter = [&recorder, &modules](const std::string& m) {
+      if (recorder.module_executed(m)) return true;
+      for (const lang::Module* mod : modules) {
+        if (mod->name == m) return mod->subprograms.empty();
+      }
+      return false;
+    };
+    opts.subprogram_filter = [&recorder](const std::string& m,
+                                         const std::string& s) {
+      return recorder.subprogram_executed(m, s);
+    };
+  }
+  session->mg_ = meta::build_metagraph(session->modules_, opts);
+  session->finalize_bytes();
+  if (cache_) cache_->store(skey, session->mg_);
+  obs::count("service.session.builds");
+  span.attr("warm", false);
+  span.attr("nodes", session->mg_.node_count());
+  return session;
+}
+
+void SessionStore::insert_resident(const std::string& key,
+                                   std::shared_ptr<const Session> session) {
+  // Caller holds mu_.
+  if (entries_.count(key) != 0) return;  // lost a race; keep the resident one
+  lru_.push_front(key);
+  total_bytes_ += session->bytes();
+  entries_.emplace(key, Entry{std::move(session), lru_.begin()});
+  // Evict least-recently-used entries over budget; the entry just inserted
+  // is always kept (a session larger than the whole budget must still serve
+  // the request that built it).
+  while (opts_.max_bytes != 0 && total_bytes_ > opts_.max_bytes &&
+         lru_.size() > 1) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    total_bytes_ -= it->second.session->bytes();
+    entries_.erase(it);
+    obs::count("service.session.evictions");
+  }
+  publish_gauges();
+}
+
+void SessionStore::publish_gauges() const {
+  obs::gauge("service.session.count", static_cast<double>(entries_.size()));
+  obs::gauge("service.session.bytes", static_cast<double>(total_bytes_));
+}
+
+std::size_t SessionStore::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t SessionStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+std::vector<std::string> SessionStore::keys_by_recency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace rca::service

@@ -1,0 +1,175 @@
+// Resident session store for the RCA query service.
+//
+// A *session* is a parsed corpus plus its built metagraph, keyed by a
+// content hash over the exact inputs that determine the graph (same recipe
+// as the on-disk SnapshotCache): every (path, text) source pair plus the
+// build configuration. The store keeps sessions hot so repeated slice/
+// community/rank/lint queries never re-pay process startup or graph
+// materialization — the cost the paper's whole design fights.
+//
+// Behaviour:
+//   * LRU eviction under a configurable byte budget (sources + graph
+//     estimate, accounted at insertion);
+//   * single-flight deduplication: N concurrent identical build requests do
+//     ONE build, the rest wait on the first builder's result;
+//   * warm start from an existing SnapshotCache directory: a snapshot hit
+//     skips parse+build entirely (the session lazily re-parses only if a
+//     lint query later needs ASTs).
+//
+// Counters (obs registry):
+//   service.session.hits        requests served without a parse+build
+//                               (resident hit, or snapshot warm start)
+//   service.session.misses      requests that paid a full parse+build
+//   service.session.builds      sessions constructed (warm or cold)
+//   service.session.snapshot_warm  subset of hits warm-started from disk
+//   service.session.singleflight   waiters coalesced onto an in-progress build
+//   service.session.evictions   LRU evictions
+//   service.session.parses      corpus parses performed (front end runs)
+// Gauges: service.session.count, service.session.bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/passes.hpp"
+#include "lang/ast.hpp"
+#include "meta/metagraph.hpp"
+#include "meta/snapshot_cache.hpp"
+
+namespace rca {
+class ThreadPool;
+}
+
+namespace rca::service {
+
+/// Build configuration for one session (mirrors `rca-tool graph` flags).
+struct SessionConfig {
+  std::vector<std::string> build_list;  // empty = every module
+  bool coverage = false;                // interpreter-driven coverage filter
+  int coverage_steps = 2;
+  bool prune_dead_stores = false;
+};
+
+using SourceList = std::vector<std::pair<std::string, std::string>>;
+
+/// One resident corpus + metagraph. Immutable after construction except for
+/// the lazily computed AST/lint caches (guarded internally; thread-safe).
+class Session {
+ public:
+  Session(std::string key, SessionConfig config, SourceList sources);
+
+  const std::string& key() const { return key_; }
+  const SessionConfig& config() const { return config_; }
+  const SourceList& sources() const { return sources_; }
+  const meta::Metagraph& metagraph() const { return mg_; }
+  /// True when the graph came from the snapshot cache (no parse happened).
+  bool warm_started() const { return warm_started_; }
+  /// Approximate resident footprint, fixed at build time (LRU accounting).
+  std::size_t bytes() const { return bytes_; }
+  /// Parse failures from the build-time front end run ("" until parsed).
+  const std::vector<std::pair<std::string, std::string>>& parse_errors() const;
+
+  /// Lint result over the session's modules, computed once and cached.
+  /// Forces a parse when the session was warm-started from a snapshot.
+  const analysis::AnalysisResult& lint() const;
+
+ private:
+  friend class SessionStore;
+
+  /// Parses sources_ into files_/modules_ if not done yet (thread-safe);
+  /// counts service.session.parses when a parse actually runs.
+  void ensure_parsed(ThreadPool* pool) const;
+  void finalize_bytes();
+
+  std::string key_;
+  SessionConfig config_;
+  SourceList sources_;
+  meta::Metagraph mg_;
+  bool warm_started_ = false;
+  std::size_t bytes_ = 0;
+
+  mutable std::mutex lazy_mu_;
+  mutable bool parsed_ = false;
+  mutable std::vector<lang::SourceFile> files_;
+  mutable std::vector<const lang::Module*> modules_;  // build-list filtered
+  mutable std::vector<std::pair<std::string, std::string>> parse_errors_;
+  mutable std::optional<analysis::AnalysisResult> lint_;
+  mutable ThreadPool* parse_pool_ = nullptr;  // set by the store
+};
+
+struct SessionStoreOptions {
+  /// Resident byte budget across all sessions; the newest session is always
+  /// kept even if it alone exceeds the budget. 0 = unlimited.
+  std::size_t max_bytes = 512ull * 1024 * 1024;
+  /// Snapshot-cache directory for warm starts and build persistence; empty
+  /// disables the disk tier.
+  std::string snapshot_dir;
+  /// Pool for the parallel front end (parse + metagraph build). May be null.
+  ThreadPool* build_pool = nullptr;
+};
+
+class SessionStore {
+ public:
+  explicit SessionStore(SessionStoreOptions opts);
+
+  /// Content hash for (config, sources) — the session identity. Exposed so
+  /// clients and tests can predict keys. Deliberately the same recipe as
+  /// `rca-tool graph --snapshot`, so a CLI-populated snapshot directory
+  /// warm-starts the daemon (and vice versa).
+  static meta::SnapshotKey snapshot_key(const SessionConfig& config,
+                                        const SourceList& sources);
+  static std::string compute_key(const SessionConfig& config,
+                                 const SourceList& sources);
+
+  /// Returns the resident session for the key, or builds it (single-flight:
+  /// concurrent callers with the same key coalesce onto one build). Throws
+  /// rca::Error on build failure (every coalesced waiter sees the error).
+  std::shared_ptr<const Session> get_or_build(const SessionConfig& config,
+                                              SourceList sources);
+
+  /// Resident lookup by session key; null when not resident (the caller
+  /// decides whether that is a 404 or a rebuild).
+  std::shared_ptr<const Session> lookup(const std::string& key);
+
+  // Introspection (health endpoint, tests).
+  std::size_t session_count() const;
+  std::size_t resident_bytes() const;
+  /// Resident keys in LRU order, most recently used first.
+  std::vector<std::string> keys_by_recency() const;
+
+  const SessionStoreOptions& options() const { return opts_; }
+
+ private:
+  std::shared_ptr<Session> build_session(const std::string& key,
+                                         const SessionConfig& config,
+                                         SourceList sources);
+  void insert_resident(const std::string& key,
+                       std::shared_ptr<const Session> session);
+  void publish_gauges() const;
+
+  SessionStoreOptions opts_;
+  std::optional<meta::SnapshotCache> cache_;
+
+  mutable std::mutex mu_;
+  struct Entry {
+    std::shared_ptr<const Session> session;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::size_t total_bytes_ = 0;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const Session>>>
+      building_;
+};
+
+}  // namespace rca::service

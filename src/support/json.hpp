@@ -1,8 +1,15 @@
-// Minimal JSON writer for machine-readable reports (rca-tool --json).
-// Write-only by design: the toolkit emits reports, it never parses them.
+// Minimal JSON support for machine-readable reports and requests.
+//
+// Historically write-only ("the toolkit emits reports, it never parses
+// them") — the resident RCA service lifted that: request bodies arrive as
+// JSON, so this header now also carries a strict recursive-descent parser
+// (`parse_json`) with explicit depth and size limits for adversarial input.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rca {
@@ -29,6 +36,10 @@ class JsonWriter {
   void integer(long long v);
   void boolean(bool v);
   void null();
+  /// Splices a pre-serialized JSON document in value position (e.g. a
+  /// diagnostics report embedded inside a service response). The caller is
+  /// responsible for `json` being well-formed.
+  void raw_value(const std::string& json);
 
   /// Final document; throws if containers are unbalanced.
   std::string str() const;
@@ -44,5 +55,72 @@ class JsonWriter {
   std::vector<Ctx> stack_;
   bool needs_comma_ = false;
 };
+
+/// Parsed JSON document node. Objects preserve member order (so a re-emitted
+/// document round-trips deterministically) and are looked up linearly —
+/// request bodies are small by construction (JsonParseOptions::max_bytes).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;            // throws rca::Error on kind mismatch
+  double as_number() const;        // "
+  const std::string& as_string() const;  // "
+  const std::vector<JsonValue>& items() const;  // array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member by key; null when absent or when this is not an object.
+  const JsonValue* get(std::string_view key) const;
+
+  // Typed object-member accessors (the service request idiom:
+  // `body.get_int("top", 15)`). The fallback applies when the member is
+  // absent; a present member of the wrong type throws rca::Error, so a
+  // mistyped request field surfaces as a client error instead of being
+  // silently defaulted.
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  double get_number(std::string_view key, double fallback) const;
+  long long get_int(std::string_view key, long long fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+  /// Member `key` as a vector of strings; empty when absent. Throws if the
+  /// member exists but is not an array of strings.
+  std::vector<std::string> get_string_array(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Limits for `parse_json`. Both bounds fail closed: over-deep or over-long
+/// input is rejected before any unbounded recursion or allocation.
+struct JsonParseOptions {
+  std::size_t max_depth = 64;               // nested containers
+  std::size_t max_bytes = 8 * 1024 * 1024;  // document size
+};
+
+/// Strict recursive-descent JSON parser (RFC 8259 grammar): one top-level
+/// value, no trailing garbage, no comments, no trailing commas, strings must
+/// be valid escapes (\uXXXX with surrogate pairs), numbers must match the
+/// JSON grammar. Throws rca::Error with a byte offset on malformed input.
+JsonValue parse_json(std::string_view text, const JsonParseOptions& opts = {});
 
 }  // namespace rca

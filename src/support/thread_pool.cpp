@@ -46,6 +46,7 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t chunks = std::min(n, workers_.size() * 4);
   const std::size_t per = (n + chunks - 1) / chunks;
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
@@ -54,6 +55,7 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t c = 0; c < chunks; ++c) {
     futures.push_back(submit([&] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t begin = next.fetch_add(per);
         if (begin >= n) return;
         const std::size_t end = std::min(begin + per, n);
@@ -61,6 +63,7 @@ void ThreadPool::parallel_for(std::size_t n,
           try {
             body(i);
           } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
             return;

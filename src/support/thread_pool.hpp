@@ -5,6 +5,7 @@
 // pool. Brandes betweenness also shards its source loop across the pool.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -27,6 +28,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet finished (queued + executing). The service
+  /// layer's backpressure and the in-flight gauge read this; it is a
+  /// monotonic snapshot, not a synchronization point.
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueue a task; the future resolves when the task finishes (exceptions
   /// propagate through the future).
   template <typename F>
@@ -34,22 +42,29 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.emplace([this, task] {
+        (*task)();  // packaged_task captures exceptions into the future
+        in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      });
     }
     cv_.notify_one();
     return fut;
   }
 
   /// Run body(i) for i in [0, n) across the pool; blocks until all complete.
-  /// Exceptions from any iteration are rethrown (first one wins).
+  /// The first exception thrown by any iteration is rethrown to the caller
+  /// (never lost), and remaining chunks stop claiming new iterations once a
+  /// failure is recorded.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// Compute fn(i) for i in [0, n) across the pool and return the results in
   /// index order — the scheduling is free but the output is deterministic,
   /// which is what the parallel front-end's ordered reductions rely on.
-  /// R must be default-constructible.
+  /// R must be default-constructible. Like parallel_for, the first worker
+  /// exception propagates to the caller instead of being swallowed.
   template <typename R, typename F>
   std::vector<R> parallel_map(std::size_t n, const F& fn) {
     std::vector<R> out(n);
@@ -64,6 +79,7 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<std::size_t> in_flight_{0};
   bool stop_ = false;
 };
 

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -157,6 +162,72 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
 TEST(ThreadPool, ZeroIterationsIsNoop) {
   ThreadPool pool(2);
   EXPECT_NO_THROW(pool.parallel_for(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ReportsSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, InFlightTracksSubmittedWork) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.in_flight(), 0u);
+
+  // Park both workers on a latch so submitted-but-unfinished work is
+  // observable, then release and verify the counter drains to zero.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(pool.submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }));
+  }
+  // All 4 tasks are queued or running; none has completed.
+  EXPECT_EQ(pool.in_flight(), 4u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (auto& f : futs) f.get();
+  // The wrapper decrements after the task body runs; futures resolving means
+  // the bodies ran, but give the final fetch_sub a moment under TSan.
+  for (int spin = 0; spin < 1000 && pool.in_flight() != 0; ++spin) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(ThreadPool, ParallelMapPropagatesFirstWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_map<int>(64,
+                                      [](std::size_t i) {
+                                        if (i == 13) throw Error("unlucky");
+                                        return static_cast<int>(i) * 2;
+                                      }),
+               Error);
+  // The pool survives a failed map and keeps working.
+  const std::vector<int> doubled = pool.parallel_map<int>(
+      64, [](std::size_t i) { return static_cast<int>(i) * 2; });
+  ASSERT_EQ(doubled.size(), 64u);
+  EXPECT_EQ(doubled[13], 26);
+}
+
+TEST(ThreadPool, ParallelMapExceptionMessageSurvives) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_map<int>(4, [](std::size_t i) {
+      if (i == 2) throw Error("specific failure detail");
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("specific failure detail"),
+              std::string::npos);
+  }
 }
 
 TEST(Table, PrintsAlignedColumns) {
