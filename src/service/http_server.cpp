@@ -7,9 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "obs/obs.hpp"
@@ -35,17 +37,20 @@ const char* status_text(int status) {
 }
 
 /// Reads from `fd` until `terminator` is seen or `limit` bytes accumulate.
-/// Returns false on EOF/error/overflow before the terminator.
+/// Returns false on EOF/error/overflow before the terminator. Each recv is
+/// capped to the bytes still within budget, so the buffer never grows past
+/// limit + 1 (the +1 byte is what proves the head is oversized).
 bool read_until(int fd, std::string& buf, const char* terminator,
                 std::size_t limit) {
   char chunk[4096];
-  while (buf.find(terminator) == std::string::npos) {
+  for (;;) {
+    if (buf.find(terminator) != std::string::npos) return true;
     if (buf.size() > limit) return false;
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    const std::size_t cap = std::min(sizeof(chunk), limit + 1 - buf.size());
+    const ssize_t n = ::recv(fd, chunk, cap, 0);
     if (n <= 0) return false;
     buf.append(chunk, static_cast<std::size_t>(n));
   }
-  return true;
 }
 
 bool write_all(int fd, const std::string& data) {
@@ -70,7 +75,9 @@ void send_response(int fd, const Response& resp) {
 }
 
 /// Parses "Header-Name: value" lines for Content-Length (case-insensitive
-/// name, as HTTP requires). Returns -1 when absent, -2 on a malformed value.
+/// name, as HTTP requires). Returns -1 when absent, -2 on a malformed or
+/// overflowing value (the caller answers 413 for -2 — a length too large to
+/// represent is by definition over any body budget).
 long long parse_content_length(const std::string& headers) {
   for (const std::string& line : split(headers, '\n')) {
     const std::size_t colon = line.find(':');
@@ -78,10 +85,16 @@ long long parse_content_length(const std::string& headers) {
     if (to_lower(trim(line.substr(0, colon))) != "content-length") continue;
     const std::string value = std::string(trim(line.substr(colon + 1)));
     if (value.empty()) return -2;
+    long long result = 0;
     for (char c : value) {
       if (c < '0' || c > '9') return -2;
+      const long long digit = c - '0';
+      if (result > (std::numeric_limits<long long>::max() - digit) / 10) {
+        return -2;
+      }
+      result = result * 10 + digit;
     }
-    return std::stoll(value);
+    return result;
   }
   return -1;
 }
@@ -214,7 +227,18 @@ void HttpServer::connection_worker() {
       fd = pending_.front();
       pending_.pop_front();
     }
-    handle_connection(fd);
+    // Nothing a single connection does may take down the daemon: the router
+    // catches handler errors itself, so anything arriving here is a transport
+    // or parse bug — answer 500 and keep serving.
+    try {
+      handle_connection(fd);
+    } catch (const std::exception& e) {
+      obs::count("service.http.worker_exceptions");
+      send_response(fd, error_response(500, "internal", e.what()));
+    } catch (...) {
+      obs::count("service.http.worker_exceptions");
+      send_response(fd, error_response(500, "internal", "unknown error"));
+    }
     ::close(fd);
   }
 }
@@ -255,9 +279,16 @@ void HttpServer::handle_connection(int fd) {
     return;
   }
   if (content_length > 0) {
-    while (body.size() < static_cast<std::size_t>(content_length)) {
+    const std::size_t want = static_cast<std::size_t>(content_length);
+    // Bytes past the body that arrived with the head (a pipelining client)
+    // are dropped: this server is Connection: close, one request per socket.
+    if (body.size() > want) body.resize(want);
+    while (body.size() < want) {
       char chunk[4096];
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      // Cap each recv at the bytes actually remaining so we never consume
+      // data beyond this request's declared body.
+      const std::size_t cap = std::min(sizeof(chunk), want - body.size());
+      const ssize_t n = ::recv(fd, chunk, cap, 0);
       if (n <= 0) {
         send_response(fd, error_response(400, "bad_request",
                                          "truncated request body"));
@@ -265,7 +296,6 @@ void HttpServer::handle_connection(int fd) {
       }
       body.append(chunk, static_cast<std::size_t>(n));
     }
-    body.resize(static_cast<std::size_t>(content_length));
   }
   req.body = std::move(body);
 

@@ -94,21 +94,31 @@ Response Router::handle(const Request& req) {
     }
   }
 
+  // Pre-dispatch body accessors run on the transport thread, outside the
+  // worker's try/catch — a mistyped field (e.g. {"deadline_ms":"abc"}) must
+  // become a 400 here, never an exception escaping into the worker thread.
+  long long deadline_ms = opts_.default_deadline_ms;
+  try {
+    deadline_ms = body.get_int("deadline_ms", opts_.default_deadline_ms);
+  } catch (const std::exception& e) {
+    return finish(error_response(400, "bad_request", e.what()));
+  }
+  if (deadline_ms <= 0) deadline_ms = opts_.default_deadline_ms;
+  const auto deadline = started + std::chrono::milliseconds(deadline_ms);
+
   // Backpressure: bounded in-flight work, structured 429 beyond it.
-  if (opts_.max_in_flight != 0 &&
-      in_flight_.load(std::memory_order_relaxed) >= opts_.max_in_flight) {
+  // Admission is atomic — reserve a slot first, then release it if over
+  // budget — so N transport threads racing here can never all pass a
+  // check-then-act window and exceed max_in_flight.
+  const std::size_t prior = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.max_in_flight != 0 && prior >= opts_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     obs::count("service.rejects");
     return finish(error_response(
         429, "over_capacity",
         "in-flight request budget (" + std::to_string(opts_.max_in_flight) +
             ") exhausted; retry later"));
   }
-
-  long long deadline_ms = body.get_int("deadline_ms", opts_.default_deadline_ms);
-  if (deadline_ms <= 0) deadline_ms = opts_.default_deadline_ms;
-  const auto deadline = started + std::chrono::milliseconds(deadline_ms);
-
-  in_flight_.fetch_add(1, std::memory_order_relaxed);
   obs::gauge("service.in_flight",
              static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
   auto work = [this, req, body = std::move(body)]() -> Response {

@@ -67,7 +67,10 @@ void Session::ensure_parsed(ThreadPool* pool) const {
 
 const std::vector<std::pair<std::string, std::string>>& Session::parse_errors()
     const {
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  // Force the parse first (like lint() does): once parsed_ is set the vector
+  // is never mutated again, so the returned reference cannot race a
+  // concurrent ensure_parsed() on another thread.
+  ensure_parsed(parse_pool_);
   return parse_errors_;
 }
 

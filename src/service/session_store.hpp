@@ -75,7 +75,8 @@ class Session {
   bool warm_started() const { return warm_started_; }
   /// Approximate resident footprint, fixed at build time (LRU accounting).
   std::size_t bytes() const { return bytes_; }
-  /// Parse failures from the build-time front end run ("" until parsed).
+  /// Parse failures from the front end run. Forces a parse if none has
+  /// happened yet (warm-started sessions), so the reference is stable.
   const std::vector<std::pair<std::string, std::string>>& parse_errors() const;
 
   /// Lint result over the session's modules, computed once and cached.

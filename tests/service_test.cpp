@@ -335,6 +335,14 @@ TEST_F(RouterTest, StructuredErrors) {
   // Test routes are off by default.
   resp = router.handle({"POST", "/v1/_test/sleep", R"({"ms": 0})"});
   EXPECT_EQ(resp.status, 404);
+
+  // A mistyped pre-dispatch field ("deadline_ms" must be a number) is a 400,
+  // not an exception escaping into the transport thread.
+  resp = router.handle(
+      {"POST", "/v1/slice", R"({"deadline_ms": "abc", "targets": ["x"]})"});
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_EQ(parse_body(resp).get("error")->get_string("code", ""),
+            "bad_request");
 }
 
 TEST_F(RouterTest, BackpressureRejectsWith429) {
@@ -473,6 +481,45 @@ TEST_F(HttpServerTest, ShutdownDrainsInFlightRequests) {
   server.request_shutdown();
   EXPECT_EQ(rc.get(), 0);
   EXPECT_NE(slow.get().find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, AdversarialRequestsNeverKillTheDaemon) {
+  SessionStore store(SessionStoreOptions{});
+  RouterOptions ropts;
+  ropts.enable_test_routes = true;
+  Router router(&store, ropts);
+  HttpServer server(&router, HttpServerOptions{});
+  server.start();
+  std::future<int> rc =
+      std::async(std::launch::async, [&server] { return server.serve_forever(); });
+
+  // Content-Length too large for long long: rejected as oversized, and the
+  // process must survive (stoll overflow used to terminate the daemon).
+  const std::string overflow = raw_request(
+      server.port(),
+      "POST /v1/_test/sleep HTTP/1.1\r\nHost: l\r\n"
+      "Content-Length: 99999999999999999999\r\n\r\n");
+  EXPECT_NE(overflow.find("413"), std::string::npos);
+
+  // Mistyped deadline over the wire: structured 400, daemon alive.
+  const std::string mistyped = raw_request(
+      server.port(), post_request("/v1/_test/sleep", R"({"deadline_ms":[]})"));
+  EXPECT_NE(mistyped.find("400 Bad Request"), std::string::npos);
+
+  // Oversized request head (4x the 16 KiB limit, small enough to fit in the
+  // loopback socket buffers so the one-shot client's send cannot block).
+  const std::string big_head = raw_request(
+      server.port(), "GET /v1/health HTTP/1.1\r\nX-Pad: " +
+                         std::string(64 * 1024, 'a') + "\r\n\r\n");
+  EXPECT_NE(big_head.find("400 Bad Request"), std::string::npos);
+
+  // The daemon still serves normal traffic after all of the above.
+  const std::string health =
+      raw_request(server.port(), "GET /v1/health HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+
+  server.request_shutdown();
+  EXPECT_EQ(rc.get(), 0);
 }
 
 TEST_F(HttpServerTest, EphemeralPortsAreIndependent) {
