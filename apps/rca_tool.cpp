@@ -30,6 +30,7 @@
 // operate on saved metagraphs — so the full §4-§5 workflow runs from a
 // shell, like the paper's Python toolkit did.
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -40,6 +41,7 @@
 
 #include "analysis/passes.hpp"
 #include "engine/pipeline.hpp"
+#include "fault/fault.hpp"
 #include "graph/centrality.hpp"
 #include "graph/degree_dist.hpp"
 #include "graph/dot_export.hpp"
@@ -98,6 +100,10 @@ int usage() {
       "global options (any subcommand):\n"
       "  --metrics-out FILE   record spans/counters/histograms, write JSON\n"
       "  --trace              print the span tree to stderr on exit\n"
+      "  --fault-spec SPEC    arm deterministic fault injection (also via\n"
+      "                       RCA_FAULTS); SPEC is seed=N and comma-joined\n"
+      "                       site:probability:action[:after_n[:max_fires]]\n"
+      "                       entries, action throw|errno|delay-MS|short-write\n"
       "  --version            print the build id (shared with /v1/health)\n"
       "\n"
       "run `rca-tool <subcommand> --help` semantics are documented at the\n"
@@ -756,6 +762,19 @@ int main(int argc, char** argv) {
       throw Error("--metrics-out needs a file path");
     }
     if (want_metrics || want_trace) obs::global().set_enabled(true);
+
+    // Fault injection: --fault-spec wins over the RCA_FAULTS environment
+    // variable (CI arms whole smoke runs through the env without touching
+    // each command line). Disarmed costs one predicted branch per site.
+    std::string fault_spec = args.get("fault-spec");
+    if (fault_spec.empty()) {
+      if (const char* env = std::getenv("RCA_FAULTS")) fault_spec = env;
+    }
+    if (!fault_spec.empty()) {
+      fault::FaultRegistry::global().arm(fault_spec);
+      std::fprintf(stderr, "rca: fault injection armed: %s\n",
+                   fault_spec.c_str());
+    }
 
     int rc;
     if (args.command() == "generate") rc = cmd_generate(args);

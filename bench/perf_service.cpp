@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "model/corpus.hpp"
 #include "obs/obs.hpp"
 #include "service/router.hpp"
@@ -268,6 +269,41 @@ int main() {
     ok = false;
   } else {
     std::printf("  warm slice       zero re-parses (hits +1, parses +0)\n");
+  }
+
+  // Gate 3: fault injection (src/fault) is compiled into every layer of the
+  // request path, permanently. Disarmed, a site is one relaxed atomic load
+  // and a predicted branch — measure that cost directly and bound its
+  // worst-case contribution per request to under 1% of the measured p99.
+  {
+    constexpr int kIters = 20'000'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      RCA_FAULT_POINT("bench.disarmed");
+    }
+    const double ns_per_site =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(kIters);
+    // Generous bound on sites a single request can cross (transport, store,
+    // snapshot, parse-per-file, graph steps).
+    constexpr double kSitesPerRequest = 64.0;
+    const double overhead_ms = ns_per_site * kSitesPerRequest / 1e6;
+    const double p99_ms = percentile(all_ms, 0.99);
+    const double pct =
+        p99_ms > 0.0 ? 100.0 * overhead_ms / p99_ms : 0.0;
+    std::printf(
+        "  fault sites      %.2f ns/site disarmed -> %.4f ms per request "
+        "(%.4f%% of p99)\n",
+        ns_per_site, overhead_ms, pct);
+    if (pct >= 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: disarmed fault-injection overhead %.4f%% of p99 "
+                   "(budget < 1%%)\n",
+                   pct);
+      ok = false;
+    }
   }
 
   for (const auto& corpus : corpora) fs::remove_all(corpus.dir);

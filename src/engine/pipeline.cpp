@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "fault/fault.hpp"
 #include "meta/builder.hpp"
 #include "meta/snapshot_cache.hpp"
 #include "model/corpus.hpp"
@@ -137,9 +138,13 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
   const model::RunConfig exp_config =
       model::experiment_run_config(*outcome.spec, config_.base_run);
 
+  // Stage-boundary fault sites: chaos tests prove a failure inside one
+  // stage surfaces as a clean error from run_experiment(), never a crash or
+  // a half-written outcome.
   // 0. UF-ECT verdict on a 3-run experimental set.
   {
     obs::Span span("ect");
+    RCA_FAULT_POINT("engine.ect");
     const auto verdict_runs =
         model::experiment_set(exp_model, exp_config, 3, 5000, names_);
     outcome.verdict = ect_->evaluate(verdict_runs);
@@ -150,6 +155,7 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
   // 1. Variable selection (§3): both methods reported; lasso drives the
   //    slice (falling back to median ranking if lasso selects nothing).
   obs::Span selection_span("selection");
+  RCA_FAULT_POINT("engine.selection");
   const auto exp_runs = model::experiment_set(
       exp_model, exp_config, config_.experimental_runs, 6000, names_);
   stats::Matrix exp_matrix(exp_runs.size(), names_.size());
@@ -204,6 +210,7 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
 
   // 3-4. Backward slice and induced subgraph.
   obs::Span slice_span("slice");
+  RCA_FAULT_POINT("engine.slice");
   slice::SliceOptions slice_opts;
   if (config_.restrict_to_cam) {
     slice_opts.module_filter = [](const std::string& m) {
@@ -224,6 +231,7 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
 
   // 5-9. Iterative refinement.
   obs::Span refinement_span("refinement");
+  RCA_FAULT_POINT("engine.refinement");
   outcome.bug_nodes = bug_nodes(*outcome.spec);
   std::unique_ptr<Sampler> sampler;
   if (runtime_sampling) {

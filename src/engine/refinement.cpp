@@ -144,8 +144,9 @@ std::vector<std::vector<NodeId>> detect_communities(
   graph::GirvanNewmanOptions gn;
   gn.iterations = opts.gn_iterations;
   gn.min_community_size = opts.min_community_size;
+  gn.budget_ms = opts.gn_budget_ms;
   gn.pool = opts.pool;
-  return girvan_newman(g, gn).communities;
+  return graph::communities_with_budget(g, gn).communities;
 }
 
 }  // namespace

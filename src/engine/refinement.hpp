@@ -129,6 +129,10 @@ enum class CommunityMethod { kGirvanNewman, kLouvain };
 
 struct RefinementOptions {
   int gn_iterations = 1;              // paper default
+  /// Wall-clock budget per Girvan–Newman run; 0 = unlimited. Over budget
+  /// the iteration degrades to Louvain (counter: community.fallback) —
+  /// refinement keeps moving instead of stalling on one partition.
+  long long gn_budget_ms = 0;
   std::size_t min_community_size = 4; // paper omits clusters < 4 nodes
   std::size_t samples_per_community = 10;
   std::size_t max_iterations = 8;

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "graph/betweenness.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace rca::graph {
 
-std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool) {
+std::size_t girvan_newman_step(
+    UGraph& g, ThreadPool* pool,
+    const std::chrono::steady_clock::time_point* deadline,
+    bool* budget_exceeded) {
   if (g.edge_count() == 0) return 0;
   std::size_t before = 0;
   g.components(&before);
@@ -27,6 +31,14 @@ std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool) {
 
   std::size_t removed = 0;
   for (;;) {
+    // Fault site (delay action): tests stretch individual steps to drive the
+    // budget path deterministically. The deadline check runs BEFORE the
+    // first removal, so an already-expired budget removes nothing.
+    (void)RCA_FAULT_CHECK("graph.gn.step");
+    if (deadline != nullptr && std::chrono::steady_clock::now() >= *deadline) {
+      if (budget_exceeded != nullptr) *budget_exceeded = true;
+      break;
+    }
     // Pick the live edge with maximum betweenness (ties: lowest id, for
     // determinism).
     EdgeId best = kInvalidNode;
@@ -74,9 +86,18 @@ GirvanNewmanResult girvan_newman(const Digraph& g,
   obs::count("graph.gn.runs");
   UGraph ug(g);
   GirvanNewmanResult result;
+  std::chrono::steady_clock::time_point deadline;
+  const bool budgeted = opts.budget_ms > 0;
+  if (budgeted) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(opts.budget_ms);
+  }
   for (int it = 0; it < opts.iterations; ++it) {
     obs::count("graph.gn.iterations");
-    result.edges_removed += girvan_newman_step(ug, opts.pool);
+    result.edges_removed += girvan_newman_step(
+        ug, opts.pool, budgeted ? &deadline : nullptr,
+        &result.budget_exceeded);
+    if (result.budget_exceeded) break;
   }
 
   std::size_t count = 0;
@@ -98,6 +119,28 @@ GirvanNewmanResult girvan_newman(const Digraph& g,
   span.attr("edges_removed", result.edges_removed);
   span.attr("communities", result.communities.size());
   return result;
+}
+
+CommunityDetectionResult communities_with_budget(
+    const Digraph& g, const GirvanNewmanOptions& gn_opts,
+    const LouvainOptions& louvain_opts) {
+  CommunityDetectionResult out;
+  GirvanNewmanResult gn = girvan_newman(g, gn_opts);
+  out.edges_removed = gn.edges_removed;
+  if (!gn.budget_exceeded) {
+    out.communities = std::move(gn.communities);
+    return out;
+  }
+  obs::count("community.fallback");
+  LouvainOptions lopts = louvain_opts;
+  if (lopts.min_community_size < gn_opts.min_community_size) {
+    lopts.min_community_size = gn_opts.min_community_size;
+  }
+  LouvainResult lv = louvain(g, lopts);
+  out.communities = std::move(lv.communities);
+  out.fell_back = true;
+  out.modularity = lv.modularity;
+  return out;
 }
 
 }  // namespace rca::graph

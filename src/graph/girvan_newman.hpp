@@ -6,10 +6,12 @@
 // change other components' shortest paths.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/louvain.hpp"
 #include "graph/ugraph.hpp"
 #include "support/thread_pool.hpp"
 
@@ -22,6 +24,10 @@ struct GirvanNewmanOptions {
   /// Communities smaller than this are dropped from the result (the paper
   /// omits communities of fewer than 3–4 nodes).
   std::size_t min_community_size = 3;
+  /// Wall-clock budget for the removal loop; 0 = unlimited. When exceeded,
+  /// the run stops early and the result carries budget_exceeded — callers
+  /// that need an answer fall back to Louvain (communities_with_budget).
+  long long budget_ms = 0;
   ThreadPool* pool = nullptr;
 };
 
@@ -33,6 +39,9 @@ struct GirvanNewmanResult {
   /// Component count of the undirected view after the final iteration,
   /// including below-threshold components.
   std::size_t component_count = 0;
+  /// True when budget_ms expired before the removal loop finished; the
+  /// communities reflect however far the run got.
+  bool budget_exceeded = false;
 };
 
 /// Runs G-N on the weakly connected (undirected) view of `g`.
@@ -40,7 +49,30 @@ GirvanNewmanResult girvan_newman(const Digraph& g,
                                  const GirvanNewmanOptions& opts = {});
 
 /// One split step on an existing undirected graph; returns removed-edge
-/// count. Exposed separately for tests and ablations.
-std::size_t girvan_newman_step(UGraph& g, ThreadPool* pool = nullptr);
+/// count. Exposed separately for tests and ablations. The deadline (null =
+/// none) is checked at the top of every removal, including the first; an
+/// expired step sets *budget_exceeded (if non-null) and returns early.
+std::size_t girvan_newman_step(
+    UGraph& g, ThreadPool* pool = nullptr,
+    const std::chrono::steady_clock::time_point* deadline = nullptr,
+    bool* budget_exceeded = nullptr);
+
+/// Graceful degradation for interactive callers: Girvan–Newman under a
+/// wall-clock budget, falling back to Louvain (counter: community.fallback)
+/// when the budget expires — an approximate partition now beats an exact one
+/// after the client gave up.
+struct CommunityDetectionResult {
+  std::vector<std::vector<NodeId>> communities;
+  /// True when GN blew its budget and `communities` came from Louvain.
+  bool fell_back = false;
+  /// Edges the GN attempt removed (observability, even when fell_back).
+  std::size_t edges_removed = 0;
+  /// Louvain modularity; only meaningful when fell_back.
+  double modularity = 0.0;
+};
+
+CommunityDetectionResult communities_with_budget(
+    const Digraph& g, const GirvanNewmanOptions& gn_opts,
+    const LouvainOptions& louvain_opts = {});
 
 }  // namespace rca::graph

@@ -320,7 +320,16 @@ Metagraph load_v2(std::istream& in) {
   const std::uint64_t actual =
       detail::fnv1a64(std::string_view(body).substr(0, trailer_offset));
   if (stored != actual) {
-    throw Error("load_metagraph: checksum mismatch (corrupt snapshot)");
+    // The offset and both digests go into the message so the cache layer can
+    // log exactly where the payload diverged from its trailer.
+    char detail_buf[96];
+    std::snprintf(detail_buf, sizeof(detail_buf),
+                  "stored %016llx != actual %016llx over bytes [0, %zu)",
+                  static_cast<unsigned long long>(stored),
+                  static_cast<unsigned long long>(actual), trailer_offset);
+    throw Error(std::string("load_metagraph: checksum mismatch (corrupt "
+                            "snapshot): ") +
+                detail_buf);
   }
 
   // Pass 2 — parse the verified payloads.

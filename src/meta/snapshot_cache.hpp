@@ -9,9 +9,15 @@
 // stored as <dir>/<key-hex>.rmg2.
 //
 // Failure policy: a missing or corrupt entry is a miss, never an error —
-// the caller falls back to a fresh parse+build and re-stores. Hits, misses
-// and stores are counted on the obs registry (meta.snapshot.{hits,misses,
-// stores}) so `--metrics-out` makes cache behaviour visible.
+// the caller falls back to a fresh parse+build and re-stores. The two cases
+// are counted apart: an absent file is an expected cold start
+// (meta.snapshot.missing), while an unparsable one is evidence of a torn
+// write or bit rot (meta.snapshot.corrupt) — it is renamed to a `.corrupt`
+// sidecar (meta.snapshot.quarantined) with the checksum-mismatch offset
+// logged, so the slot reads as cleanly missing afterwards. Both still count
+// toward meta.snapshot.misses. Writes publish atomically: full payload to a
+// temp file, fsync, rename, directory fsync. Injection sites
+// meta.snapshot.{read,write} (src/fault) let tests force every branch.
 #pragma once
 
 #include <cstdint>
@@ -46,12 +52,14 @@ class SnapshotCache {
   const std::string& dir() const { return dir_; }
   std::string path_for(const SnapshotKey& key) const;
 
-  /// Loads the snapshot for `key`; absent or corrupt entries return nullopt
-  /// (counted as a miss) instead of throwing.
+  /// Loads the snapshot for `key`; absent entries are misses, corrupt ones
+  /// are quarantined (renamed to <path>.corrupt) and also report a miss.
+  /// Never throws.
   std::optional<Metagraph> try_load(const SnapshotKey& key) const;
 
-  /// Durably stores `mg` under `key` (tmp file + rename). Best-effort:
-  /// returns false on I/O failure without throwing.
+  /// Durably stores `mg` under `key` (tmp file + fsync + rename +
+  /// directory fsync). Best-effort: returns false on I/O failure without
+  /// throwing.
   bool store(const SnapshotKey& key, const Metagraph& mg) const;
 
  private:

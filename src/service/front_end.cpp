@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "lang/parser.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -51,10 +52,17 @@ std::vector<lang::SourceFile> parse_sources(
   std::vector<std::string> messages(sources.size());
   auto parse_one = [&sources, &slots, &messages](std::size_t i) {
     try {
+      RCA_FAULT_POINT("service.parse");
       lang::Parser parser(sources[i].first, sources[i].second);
       slots[i] = parser.parse_file();
     } catch (const ParseError& e) {
       messages[i] = e.what();
+    } catch (const std::exception& e) {
+      // Fault isolation: any failure parsing one file — not just a clean
+      // ParseError — is recorded against that file and the rest of the
+      // corpus still builds. One poisoned module must degrade the session,
+      // never kill it.
+      messages[i] = std::string("parse failed: ") + e.what();
     }
   };
   if (pool != nullptr && sources.size() > 1) {

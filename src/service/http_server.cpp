@@ -9,11 +9,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <limits>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -40,6 +42,23 @@ const char* status_text(int status) {
 /// Returns false on EOF/error/overflow before the terminator. Each recv is
 /// capped to the bytes still within budget, so the buffer never grows past
 /// limit + 1 (the +1 byte is what proves the head is oversized).
+/// recv with EINTR retry (a signal mid-read must not kill the connection)
+/// and the http.recv fault site: a delay action stalls inside the check,
+/// an errno action reads as a hard socket error.
+ssize_t recv_retry(int fd, char* chunk, std::size_t cap) {
+  if (fault::Hit h = RCA_FAULT_CHECK("http.recv")) {
+    if (h.action == fault::Action::kErrno) {
+      errno = EIO;
+      return -1;
+    }
+  }
+  ssize_t n;
+  do {
+    n = ::recv(fd, chunk, cap, 0);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
 bool read_until(int fd, std::string& buf, const char* terminator,
                 std::size_t limit) {
   char chunk[4096];
@@ -47,21 +66,30 @@ bool read_until(int fd, std::string& buf, const char* terminator,
     if (buf.find(terminator) != std::string::npos) return true;
     if (buf.size() > limit) return false;
     const std::size_t cap = std::min(sizeof(chunk), limit + 1 - buf.size());
-    const ssize_t n = ::recv(fd, chunk, cap, 0);
+    const ssize_t n = recv_retry(fd, chunk, cap);
     if (n <= 0) return false;
     buf.append(chunk, static_cast<std::size_t>(n));
   }
 }
 
 bool write_all(int fd, const std::string& data) {
+  std::size_t bytes = data.size();
+  if (fault::Hit h = RCA_FAULT_CHECK("http.send")) {
+    if (h.action == fault::Action::kErrno) return false;
+    // Short-write fault: transmit half the response, then fail — models a
+    // peer that vanished mid-reply. The daemon must just drop the socket.
+    if (h.action == fault::Action::kShortWrite) bytes /= 2;
+  }
   std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
+  while (off < bytes) {
+    ssize_t n;
+    do {
+      n = ::send(fd, data.data() + off, bytes - off, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
-  return true;
+  return bytes == data.size();
 }
 
 void send_response(int fd, const Response& resp) {
@@ -126,6 +154,10 @@ HttpServer::~HttpServer() {
 }
 
 void HttpServer::start() {
+  // A client that closes mid-response must surface as an EPIPE send error,
+  // never a process-killing signal. send() already passes MSG_NOSIGNAL, but
+  // ignoring SIGPIPE process-wide also covers any future write path.
+  ::signal(SIGPIPE, SIG_IGN);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw Error("socket() failed");
   const int one = 1;
@@ -186,7 +218,12 @@ int HttpServer::serve_forever() {
       break;
     }
     if (fds[0].revents != 0) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      int fd;
+      do {
+        fd = ::accept(listen_fd_, nullptr, nullptr);
+      } while (fd < 0 && errno == EINTR);
+      // Other transient accept failures (ECONNABORTED, EMFILE, ...) drop
+      // this connection attempt but keep the accept loop alive.
       if (fd < 0) continue;
       timeval tv{};
       tv.tv_sec = opts_.io_timeout_ms / 1000;
@@ -288,7 +325,7 @@ void HttpServer::handle_connection(int fd) {
       // Cap each recv at the bytes actually remaining so we never consume
       // data beyond this request's declared body.
       const std::size_t cap = std::min(sizeof(chunk), want - body.size());
-      const ssize_t n = ::recv(fd, chunk, cap, 0);
+      const ssize_t n = recv_retry(fd, chunk, cap);
       if (n <= 0) {
         send_response(fd, error_response(400, "bad_request",
                                          "truncated request body"));

@@ -13,6 +13,11 @@
 // write end an async-signal-safe SIGINT/SIGTERM handler can poke (see
 // install_signal_handlers), which is how `rca-tool serve` exits 0 on Ctrl-C
 // with zero dropped in-flight requests.
+//
+// Robustness: accept/recv/send all retry on EINTR, SIGPIPE is ignored
+// (sends use MSG_NOSIGNAL), and the transport carries `http.recv` /
+// `http.send` fault-injection sites (src/fault) so chaos tests can model
+// slow, failing, or truncating peers without real network trouble.
 #pragma once
 
 #include <cstddef>

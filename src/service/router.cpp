@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/diagnostics.hpp"
+#include "fault/fault.hpp"
 #include "graph/centrality.hpp"
 #include "graph/girvan_newman.hpp"
 #include "graph/louvain.hpp"
@@ -31,6 +32,25 @@ struct ServiceError {
 
 [[noreturn]] void fail(int status, std::string code, std::string message) {
   throw ServiceError{status, std::move(code), std::move(message)};
+}
+
+/// Opens every session-carrying response: the session key, plus — when the
+/// front end had to skip unparsable modules — "degraded": true and the
+/// skipped paths, so clients can tell a partial answer from a full one.
+/// Warm-started sessions report nothing (skipped_modules() never forces a
+/// parse; see Session).
+void write_session_header(JsonWriter& w, const Session& session) {
+  w.key("session");
+  w.string_value(session.key());
+  const std::vector<std::string> skipped = session.skipped_modules();
+  if (!skipped.empty()) {
+    w.key("degraded");
+    w.boolean(true);
+    w.key("skipped");
+    w.begin_array();
+    for (const auto& path : skipped) w.string_value(path);
+    w.end_array();
+  }
 }
 
 }  // namespace
@@ -127,6 +147,12 @@ Response Router::handle(const Request& req) {
       resp = dispatch(req, body);
     } catch (const ServiceError& e) {
       resp = error_response(e.status, e.code, e.message);
+    } catch (const fault::TransientError& e) {
+      // Retries exhausted upstream: the request failed on our side, not the
+      // client's — 5xx, so callers know to try again later.
+      resp = error_response(500, "transient_io", e.what());
+    } catch (const fault::FaultInjected& e) {
+      resp = error_response(500, "internal", e.what());
     } catch (const Error& e) {
       resp = error_response(400, "bad_request", e.what());
     } catch (const std::exception& e) {
@@ -240,8 +266,7 @@ Response Router::handle_build(const JsonValue& body) {
   const meta::Metagraph& mg = session->metagraph();
   JsonWriter w;
   w.begin_object();
-  w.key("session");
-  w.string_value(session->key());
+  write_session_header(w, *session);
   w.key("nodes");
   w.integer(static_cast<long long>(mg.node_count()));
   w.key("edges");
@@ -291,8 +316,7 @@ Response Router::handle_slice(const JsonValue& body) {
       static_cast<std::size_t>(body.get_int("limit", 20));
   JsonWriter w;
   w.begin_object();
-  w.key("session");
-  w.string_value(session->key());
+  write_session_header(w, *session);
   w.key("criteria");
   w.begin_array();
   for (const auto& t : targets) w.string_value(t);
@@ -331,23 +355,34 @@ Response Router::handle_communities(const JsonValue& body) {
   std::vector<std::vector<graph::NodeId>> communities;
   JsonWriter w;
   w.begin_object();
-  w.key("session");
-  w.string_value(session->key());
-  w.key("method");
-  w.string_value(method);
+  write_session_header(w, *session);
   if (method == "louvain") {
     graph::LouvainOptions opts;
     opts.min_community_size = min_size;
     auto result = louvain(mg.graph(), opts);
     communities = std::move(result.communities);
+    w.key("method");
+    w.string_value("louvain");
     w.key("modularity");
     w.number(result.modularity);
   } else if (method == "gn") {
     graph::GirvanNewmanOptions opts;
     opts.iterations = static_cast<int>(body.get_int("iterations", 1));
     opts.min_community_size = min_size;
-    auto result = girvan_newman(mg.graph(), opts);
+    // Wall-clock budget: GN's per-removal betweenness recompute is the
+    // service's slowest operation. On expiry the request still answers —
+    // with Louvain's partition — instead of timing out.
+    opts.budget_ms = body.get_int("budget_ms", opts_.gn_budget_ms);
+    auto result = graph::communities_with_budget(mg.graph(), opts);
     communities = std::move(result.communities);
+    w.key("method");
+    w.string_value(result.fell_back ? "louvain" : "gn");
+    if (result.fell_back) {
+      w.key("fallback_from");
+      w.string_value("gn");
+      w.key("modularity");
+      w.number(result.modularity);
+    }
     w.key("edges_removed");
     w.integer(static_cast<long long>(result.edges_removed));
   } else {
@@ -416,8 +451,7 @@ Response Router::handle_rank(const JsonValue& body) {
 
   JsonWriter w;
   w.begin_object();
-  w.key("session");
-  w.string_value(session->key());
+  write_session_header(w, *session);
   w.key("kind");
   w.string_value(kind);
   w.key("ranking");
@@ -443,8 +477,7 @@ Response Router::handle_lint(const JsonValue& body) {
   const analysis::AnalysisResult& result = session->lint();
   JsonWriter w;
   w.begin_object();
-  w.key("session");
-  w.string_value(session->key());
+  write_session_header(w, *session);
   w.key("errors");
   w.integer(static_cast<long long>(result.count(analysis::Severity::kError)));
   w.key("warnings");

@@ -13,7 +13,9 @@
 //                           "outputs": [..], "cam_only": b, "drop_small": n,
 //                           "limit": n}
 //   POST /v1/communities   {"session" | .., "method": "gn"|"louvain",
-//                           "min_size": n, "iterations": n}
+//                           "min_size": n, "iterations": n, "budget_ms": n}
+//                          gn over budget falls back to louvain and says so
+//                          ("fallback_from": "gn")
 //   POST /v1/rank          {"session" | .., "kind": KIND, "top": n,
 //                           "modules": b}
 //   POST /v1/lint          {"session" | ..} -> rca.diagnostics.v1 embedded
@@ -31,6 +33,11 @@
 // Every error response has the shape
 //   {"error": {"code": "...", "message": "..."}, "status": N}
 // and every request records service.* counters plus a latency histogram.
+//
+// Degradation: when the front end skipped unparsable modules, every
+// session-carrying response additionally reports "degraded": true plus the
+// "skipped" source paths — a partial answer is distinguishable from a full
+// one without an extra round trip.
 #pragma once
 
 #include <atomic>
@@ -66,6 +73,11 @@ struct RouterOptions {
   /// via "deadline_ms".
   long long default_deadline_ms = 30000;
   std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Default wall-clock budget for Girvan–Newman community requests; on
+  /// expiry the request falls back to Louvain (counter: community.fallback)
+  /// and the response says so. A body may override via "budget_ms".
+  /// 0 = unlimited.
+  long long gn_budget_ms = 10000;
   /// Worker pool requests execute on. Must stay distinct from the session
   /// store's build pool — a request task blocking on parallel_for of its own
   /// pool would deadlock. Null runs requests inline (tests).

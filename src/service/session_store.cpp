@@ -1,13 +1,18 @@
 #include "service/session_store.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "interp/interpreter.hpp"
 #include "meta/builder.hpp"
 #include "obs/obs.hpp"
 #include "service/front_end.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rca::service {
@@ -63,6 +68,19 @@ void Session::ensure_parsed(ThreadPool* pool) const {
     }
   }
   parsed_ = true;
+}
+
+std::vector<std::string> Session::skipped_modules() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  // A session that never parsed (warm snapshot start) built its graph from a
+  // corpus that parsed cleanly when the snapshot was written — it is not
+  // degraded, and reporting so must not force a parse (the warm tier's whole
+  // point is skipping that cost).
+  if (!parsed_) return {};
+  std::vector<std::string> skipped;
+  skipped.reserve(parse_errors_.size());
+  for (const auto& [path, message] : parse_errors_) skipped.push_back(path);
+  return skipped;
 }
 
 const std::vector<std::pair<std::string, std::string>>& Session::parse_errors()
@@ -180,10 +198,36 @@ std::shared_ptr<const Session> SessionStore::get_or_build(
 std::shared_ptr<Session> SessionStore::build_session(const std::string& key,
                                                      const SessionConfig& config,
                                                      SourceList sources) {
+  // Transient I/O (EINTR/EIO-class, surfaced as fault::TransientError) during
+  // a cold build is retried with capped exponential backoff instead of
+  // failing every coalesced single-flight waiter. Jitter is derived from
+  // (key, attempt) so fault-injection runs replay byte-identically.
+  SplitMix64 jitter(std::hash<std::string>{}(key) ^ 0x9e3779b97f4a7c15ull);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return build_session_once(key, config, sources);
+    } catch (const fault::TransientError&) {
+      if (attempt >= opts_.build_retries) throw;
+      obs::count("service.session.retries");
+      int delay_ms = opts_.backoff_base_ms << attempt;
+      if (delay_ms > opts_.backoff_cap_ms || delay_ms <= 0) {
+        delay_ms = opts_.backoff_cap_ms;
+      }
+      const auto jitter_ms =
+          static_cast<int>(jitter.uniform() * 0.5 * delay_ms);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(delay_ms + jitter_ms));
+    }
+  }
+}
+
+std::shared_ptr<Session> SessionStore::build_session_once(
+    const std::string& key, const SessionConfig& config,
+    const SourceList& sources) {
   obs::Span span("service.session.build");
   span.attr("key", key);
-  auto session =
-      std::make_shared<Session>(key, config, std::move(sources));
+  RCA_FAULT_POINT("service.build.io");
+  auto session = std::make_shared<Session>(key, config, sources);
   session->parse_pool_ = opts_.build_pool;
 
   // Warm tier: the on-disk snapshot cache holds the finished graph for this

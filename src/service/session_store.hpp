@@ -25,6 +25,7 @@
 //   service.session.singleflight   waiters coalesced onto an in-progress build
 //   service.session.evictions   LRU evictions
 //   service.session.parses      corpus parses performed (front end runs)
+//   service.session.retries     cold builds retried after transient I/O
 // Gauges: service.session.count, service.session.bytes.
 #pragma once
 
@@ -79,6 +80,12 @@ class Session {
   /// happened yet (warm-started sessions), so the reference is stable.
   const std::vector<std::pair<std::string, std::string>>& parse_errors() const;
 
+  /// Source paths the front end could not parse — the session serves a
+  /// *partial* corpus and responses must say so ("degraded": true). Unlike
+  /// parse_errors() this never forces a parse: a warm-started session whose
+  /// snapshot built cleanly is not degraded, and asking must stay free.
+  std::vector<std::string> skipped_modules() const;
+
   /// Lint result over the session's modules, computed once and cached.
   /// Forces a parse when the session was warm-started from a snapshot.
   const analysis::AnalysisResult& lint() const;
@@ -116,6 +123,14 @@ struct SessionStoreOptions {
   std::string snapshot_dir;
   /// Pool for the parallel front end (parse + metagraph build). May be null.
   ThreadPool* build_pool = nullptr;
+  /// Transient-I/O retries for a cold build (single-flight holder only;
+  /// waiters coalesce onto whatever the holder's retries produce). Backoff
+  /// is exponential from backoff_base_ms, deterministically jittered per
+  /// (key, attempt), capped at backoff_cap_ms. Counter:
+  /// service.session.retries.
+  int build_retries = 3;
+  int backoff_base_ms = 10;
+  int backoff_cap_ms = 200;
 };
 
 class SessionStore {
@@ -150,9 +165,14 @@ class SessionStore {
   const SessionStoreOptions& options() const { return opts_; }
 
  private:
+  /// Retry shell around build_session_once: fault::TransientError is retried
+  /// up to opts_.build_retries times with jittered capped backoff.
   std::shared_ptr<Session> build_session(const std::string& key,
                                          const SessionConfig& config,
                                          SourceList sources);
+  std::shared_ptr<Session> build_session_once(const std::string& key,
+                                              const SessionConfig& config,
+                                              const SourceList& sources);
   void insert_resident(const std::string& key,
                        std::shared_ptr<const Session> session);
   void publish_gauges() const;
