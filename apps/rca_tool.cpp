@@ -10,7 +10,8 @@
 //   rca-tool slice       --graph FILE (--target NAME | --output LABEL)...
 //                        [--cam-only] [--drop-small N] [--dot FILE]
 //   rca-tool communities --graph FILE [--method gn|louvain] [--min-size N]
-//                        [--iterations N] [--dot FILE]
+//                        [--iterations N] [--samples N] [--seed N]
+//                        [--budget-ms N] [--dot FILE]
 //   rca-tool centrality  --graph FILE [--kind KIND] [--top N] [--modules]
 //   rca-tool analyze     --experiment NAME [--runtime-sampling]
 //                        [--members N] [--seed N] [--jobs N]
@@ -486,10 +487,18 @@ int cmd_communities(const Args& args) {
     graph::GirvanNewmanOptions opts;
     opts.iterations = static_cast<int>(args.get_int("iterations", 1));
     opts.min_community_size = min_size;
+    // --samples N caps each betweenness pass at N seeded pivot sweeps;
+    // 0 (default) keeps the exact computation.
+    opts.betweenness_samples =
+        static_cast<std::size_t>(args.get_int("samples", 0));
+    opts.betweenness_seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 2019));
+    opts.budget_ms = args.get_int("budget-ms", 0);
     auto result = girvan_newman(mg.graph(), opts);
     communities = std::move(result.communities);
-    std::printf("girvan-newman: removed %zu edges, %zu components\n",
-                result.edges_removed, result.component_count);
+    std::printf("girvan-newman: removed %zu edges, %zu components%s\n",
+                result.edges_removed, result.component_count,
+                result.budget_exceeded ? " (budget exceeded)" : "");
   } else {
     throw Error("unknown --method '" + method + "' (gn|louvain)");
   }

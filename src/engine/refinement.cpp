@@ -145,6 +145,8 @@ std::vector<std::vector<NodeId>> detect_communities(
   gn.iterations = opts.gn_iterations;
   gn.min_community_size = opts.min_community_size;
   gn.budget_ms = opts.gn_budget_ms;
+  gn.betweenness_samples = opts.betweenness_samples;
+  gn.betweenness_seed = opts.betweenness_seed;
   gn.pool = opts.pool;
   return graph::communities_with_budget(g, gn).communities;
 }

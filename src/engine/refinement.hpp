@@ -133,6 +133,13 @@ struct RefinementOptions {
   /// the iteration degrades to Louvain (counter: community.fallback) —
   /// refinement keeps moving instead of stalling on one partition.
   long long gn_budget_ms = 0;
+  /// Pivot-sample size for each betweenness computation inside
+  /// Girvan–Newman; 0 = exact. Large slices become tractable interactively
+  /// at the cost of a seeded, reproducible approximation (see
+  /// graph::BetweennessOptions::samples).
+  std::size_t betweenness_samples = 0;
+  /// Seed for betweenness pivot sampling.
+  std::uint64_t betweenness_seed = 2019;
   std::size_t min_community_size = 4; // paper omits clusters < 4 nodes
   std::size_t samples_per_community = 10;
   std::size_t max_iterations = 8;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <span>
 
+#include "graph/csr.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 
@@ -65,18 +67,18 @@ std::vector<NodeId> reached_nodes(const std::vector<std::uint32_t>& dist) {
 
 std::vector<std::uint32_t> bfs_distances(const Digraph& g,
                                          const std::vector<NodeId>& sources) {
+  // Stream the cached CSR snapshot rather than the per-node vectors: one
+  // flat array scan per frontier instead of a pointer chase per node.
+  const Csr& out = g.csr().out;
   return bfs_impl(g.node_count(), sources,
-                  [&g](NodeId u) -> const std::vector<NodeId>& {
-                    return g.out_neighbors(u);
-                  });
+                  [&out](NodeId u) { return out.neighbors(u); });
 }
 
 std::vector<std::uint32_t> bfs_distances_to(const Digraph& g,
                                             const std::vector<NodeId>& targets) {
+  const Csr& in = g.csr().in;
   return bfs_impl(g.node_count(), targets,
-                  [&g](NodeId u) -> const std::vector<NodeId>& {
-                    return g.in_neighbors(u);
-                  });
+                  [&in](NodeId u) { return in.neighbors(u); });
 }
 
 std::vector<NodeId> ancestors_of(const Digraph& g,
@@ -102,6 +104,7 @@ bool reaches_any(const Digraph& g, NodeId from, const std::vector<NodeId>& to) {
 std::vector<NodeId> weakly_connected_components(const Digraph& g,
                                                 std::size_t* component_count) {
   const std::size_t n = g.node_count();
+  const DigraphCsr& csr = g.csr();
   std::vector<NodeId> comp(n, kInvalidNode);
   NodeId next_id = 0;
   std::deque<NodeId> queue;
@@ -118,8 +121,8 @@ std::vector<NodeId> weakly_connected_components(const Digraph& g,
           queue.push_back(v);
         }
       };
-      for (NodeId v : g.out_neighbors(u)) visit(v);
-      for (NodeId v : g.in_neighbors(u)) visit(v);
+      for (NodeId v : csr.out.neighbors(u)) visit(v);
+      for (NodeId v : csr.in.neighbors(u)) visit(v);
     }
     ++next_id;
   }

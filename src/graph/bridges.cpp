@@ -30,7 +30,7 @@ std::vector<EdgeId> find_bridges(const UGraph& g) {
       const auto& incident = g.incident(v);
       if (frame.child < incident.size()) {
         const auto [w, e] = incident[frame.child++];
-        if (g.edge(e).removed) continue;
+        if (g.is_removed(e)) continue;
         if (e == frame.via_edge) continue;  // no immediate backtracking
         if (disc[w] == kUnvisited) {
           disc[w] = low[w] = timer++;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "graph/csr.hpp"
 #include "support/error.hpp"
 
 namespace rca::graph {
@@ -13,17 +14,29 @@ namespace {
 /// One multiply: y = M x where M is A (kOut: score flows along out-edges
 /// toward the node, i.e. x[u] contributes to y[v] for edge v->u) — concretely
 /// for kIn we want  y[v] = sum over in-neighbors u of x[u].
-void apply(const Digraph& g, Direction dir, const std::vector<double>& x,
-           std::vector<double>& y) {
-  std::fill(y.begin(), y.end(), 0.0);
-  const std::size_t n = g.node_count();
-  for (NodeId v = 0; v < n; ++v) {
-    const auto& nbrs =
-        (dir == Direction::kIn) ? g.in_neighbors(v) : g.out_neighbors(v);
+///
+/// Rows are independent gathers, so the pool shards them freely; each y[v]
+/// is one worker's dot product in CSR neighbor order, making pooled output
+/// bit-identical to the serial loop.
+void apply(const Csr& adj, const std::vector<double>& x,
+           std::vector<double>& y, ThreadPool* pool) {
+  const std::size_t n = adj.node_count();
+  auto row = [&adj, &x, &y](NodeId v) {
     double sum = 0.0;
-    for (NodeId u : nbrs) sum += x[u];
+    for (NodeId u : adj.neighbors(v)) sum += x[u];
     y[v] = sum;
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(n, [&row](std::size_t v) {
+      row(static_cast<NodeId>(v));
+    });
+  } else {
+    for (NodeId v = 0; v < n; ++v) row(v);
   }
+}
+
+const Csr& gather_adjacency(const Digraph& g, Direction dir) {
+  return (dir == Direction::kIn) ? g.csr().in : g.csr().out;
 }
 
 double l2_norm(const std::vector<double>& v) {
@@ -41,8 +54,9 @@ std::vector<double> eigenvector_centrality(const Digraph& g, Direction dir,
   std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
   std::vector<double> y(n, 0.0);
 
+  const Csr& adj = gather_adjacency(g, dir);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    apply(g, dir, x, y);
+    apply(adj, x, y, opts.pool);
     if (opts.regularization > 0.0) {
       for (double& v : y) v += opts.regularization;
     }
@@ -83,13 +97,14 @@ std::vector<double> pagerank(const Digraph& g, Direction dir, double damping,
 
   // For kIn we walk edges forward (mass flows u -> v), ranking nodes that
   // accumulate influence; for kOut we walk reversed edges.
+  const Csr& adj =
+      (dir == Direction::kIn) ? g.csr().out : g.csr().in;
   std::vector<double> x(n, 1.0 / static_cast<double>(n)), y(n, 0.0);
   for (std::size_t it = 0; it < max_iterations; ++it) {
     std::fill(y.begin(), y.end(), 0.0);
     double dangling = 0.0;
     for (NodeId u = 0; u < n; ++u) {
-      const auto& nbrs =
-          (dir == Direction::kIn) ? g.out_neighbors(u) : g.in_neighbors(u);
+      const auto nbrs = adj.neighbors(u);
       if (nbrs.empty()) {
         dangling += x[u];
         continue;
@@ -116,8 +131,10 @@ std::vector<double> katz_centrality(const Digraph& g, Direction dir,
                                     double tolerance) {
   const std::size_t n = g.node_count();
   std::vector<double> x(n, 0.0), y(n, 0.0);
+  if (n == 0) return x;
+  const Csr& adj = gather_adjacency(g, dir);
   for (std::size_t it = 0; it < max_iterations; ++it) {
-    apply(g, dir, x, y);
+    apply(adj, x, y, nullptr);
     double diff = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       y[i] = alpha * y[i] + beta;
@@ -139,6 +156,7 @@ std::vector<double> closeness_centrality(const Digraph& g, Direction dir) {
   const std::size_t n = g.node_count();
   std::vector<double> c(n, 0.0);
   if (n <= 1) return c;
+  const Csr& adj = gather_adjacency(g, dir);
   std::vector<std::uint32_t> dist(n);
   std::vector<NodeId> queue;
   queue.reserve(n);
@@ -155,9 +173,7 @@ std::vector<double> closeness_centrality(const Digraph& g, Direction dir) {
     std::size_t reached = 0;
     while (head < queue.size()) {
       const NodeId u = queue[head++];
-      const auto& nbrs =
-          (dir == Direction::kIn) ? g.in_neighbors(u) : g.out_neighbors(u);
-      for (NodeId v : nbrs) {
+      for (NodeId v : adj.neighbors(u)) {
         if (dist[v] == std::numeric_limits<std::uint32_t>::max()) {
           dist[v] = dist[u] + 1;
           total += dist[v];

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rca::graph {
 
@@ -26,6 +27,12 @@ struct PowerIterationOptions {
   /// from strongly connected, so a small regularization keeps the dominant
   /// eigenvector well-defined without materially changing the ranking.
   double regularization = 1e-4;
+  /// Shards the matrix-apply across this pool when set. Each y[v] is a
+  /// single node's dot product computed by exactly one worker in the same
+  /// neighbor order as the serial loop, and the norm/convergence reductions
+  /// stay serial — so pooled results are bit-identical to serial ones for
+  /// any worker count (pinned by Centrality.PooledPowerIterationBitIdentical).
+  ThreadPool* pool = nullptr;
 };
 
 /// Eigenvector centrality by power iteration on A (kOut) or A^T (kIn),

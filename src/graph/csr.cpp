@@ -1,0 +1,38 @@
+#include "graph/csr.hpp"
+
+#include "graph/digraph.hpp"
+
+namespace rca::graph {
+
+namespace {
+
+template <typename NeighborsOf>
+Csr flatten(std::size_t n, const NeighborsOf& neighbors_of) {
+  Csr csr;
+  csr.offsets.resize(n + 1, 0);
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    csr.offsets[u] = static_cast<std::uint32_t>(total);
+    total += neighbors_of(u).size();
+  }
+  csr.offsets[n] = static_cast<std::uint32_t>(total);
+  csr.targets.reserve(total);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& nbrs = neighbors_of(u);
+    csr.targets.insert(csr.targets.end(), nbrs.begin(), nbrs.end());
+  }
+  return csr;
+}
+
+}  // namespace
+
+DigraphCsr::DigraphCsr(const Digraph& g)
+    : out(flatten(g.node_count(),
+                  [&g](NodeId u) -> const std::vector<NodeId>& {
+                    return g.out_neighbors(u);
+                  })),
+      in(flatten(g.node_count(), [&g](NodeId u) -> const std::vector<NodeId>& {
+        return g.in_neighbors(u);
+      })) {}
+
+}  // namespace rca::graph

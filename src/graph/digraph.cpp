@@ -1,13 +1,71 @@
 #include "graph/digraph.hpp"
 
+#include "graph/csr.hpp"
 #include "support/error.hpp"
 
 namespace rca::graph {
+
+Digraph::Digraph() = default;
+
+Digraph::Digraph(std::size_t node_count) { resize(node_count); }
+
+Digraph::~Digraph() = default;
+
+Digraph::Digraph(const Digraph& other)
+    : out_(other.out_),
+      in_(other.in_),
+      edge_set_(other.edge_set_),
+      edge_count_(other.edge_count_) {}
+
+Digraph& Digraph::operator=(const Digraph& other) {
+  if (this != &other) {
+    out_ = other.out_;
+    in_ = other.in_;
+    edge_set_ = other.edge_set_;
+    edge_count_ = other.edge_count_;
+    invalidate_csr();
+  }
+  return *this;
+}
+
+Digraph::Digraph(Digraph&& other) noexcept
+    : out_(std::move(other.out_)),
+      in_(std::move(other.in_)),
+      edge_set_(std::move(other.edge_set_)),
+      edge_count_(other.edge_count_) {
+  other.edge_count_ = 0;
+  other.invalidate_csr();
+}
+
+Digraph& Digraph::operator=(Digraph&& other) noexcept {
+  if (this != &other) {
+    out_ = std::move(other.out_);
+    in_ = std::move(other.in_);
+    edge_set_ = std::move(other.edge_set_);
+    edge_count_ = other.edge_count_;
+    other.edge_count_ = 0;
+    other.invalidate_csr();
+    invalidate_csr();
+  }
+  return *this;
+}
+
+const DigraphCsr& Digraph::csr() const {
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (!csr_) csr_ = std::make_unique<DigraphCsr>(*this);
+  return *csr_;
+}
+
+void Digraph::invalidate_csr() {
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  csr_.reset();
+}
 
 NodeId Digraph::add_nodes(std::size_t count) {
   const NodeId first = static_cast<NodeId>(out_.size());
   out_.resize(out_.size() + count);
   in_.resize(in_.size() + count);
+  invalidate_csr();
   return first;
 }
 
@@ -15,6 +73,7 @@ void Digraph::resize(std::size_t node_count) {
   RCA_CHECK_MSG(node_count >= out_.size(), "Digraph::resize cannot shrink");
   out_.resize(node_count);
   in_.resize(node_count);
+  invalidate_csr();
 }
 
 bool Digraph::add_edge(NodeId u, NodeId v) {
@@ -24,6 +83,7 @@ bool Digraph::add_edge(NodeId u, NodeId v) {
   out_[u].push_back(v);
   in_[v].push_back(u);
   ++edge_count_;
+  invalidate_csr();
   return true;
 }
 

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -15,10 +17,22 @@ namespace rca::graph {
 using NodeId = std::uint32_t;
 constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
+struct DigraphCsr;
+
 class Digraph {
  public:
-  Digraph() = default;
-  explicit Digraph(std::size_t node_count) { resize(node_count); }
+  // Default ctor and dtor are out of line: DigraphCsr is incomplete here and
+  // the unique_ptr deleter must not be instantiated in this header.
+  Digraph();
+  explicit Digraph(std::size_t node_count);
+  ~Digraph();
+
+  // Copies/moves carry the adjacency but not the cached CSR snapshot (it is
+  // rebuilt on first use; the mutex makes the class non-trivially copyable).
+  Digraph(const Digraph& other);
+  Digraph& operator=(const Digraph& other);
+  Digraph(Digraph&& other) noexcept;
+  Digraph& operator=(Digraph&& other) noexcept;
 
   /// Append `count` isolated nodes; returns the id of the first new node.
   NodeId add_nodes(std::size_t count = 1);
@@ -51,15 +65,27 @@ class Digraph {
   /// All edges as (u, v) pairs, ordered by u then insertion order.
   std::vector<std::pair<NodeId, NodeId>> edges() const;
 
+  /// CSR snapshot of both adjacency directions, built lazily on first use
+  /// and cached until the next mutation (add_nodes/resize/add_edge). Safe to
+  /// call from concurrent readers; the returned reference stays valid as
+  /// long as the graph is not mutated — the same contract every accessor on
+  /// this class already has.
+  const DigraphCsr& csr() const;
+
  private:
   static std::uint64_t key(NodeId u, NodeId v) {
     return (static_cast<std::uint64_t>(u) << 32) | v;
   }
 
+  void invalidate_csr();
+
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   std::unordered_set<std::uint64_t> edge_set_;
   std::size_t edge_count_ = 0;
+
+  mutable std::mutex csr_mutex_;
+  mutable std::unique_ptr<DigraphCsr> csr_;
 };
 
 /// Induced subgraph on `nodes` (order defines new ids). Returns the new graph

@@ -9,15 +9,43 @@
 
 namespace rca::graph {
 
-std::size_t girvan_newman_step(
-    UGraph& g, ThreadPool* pool,
-    const std::chrono::steady_clock::time_point* deadline,
-    bool* budget_exceeded) {
+std::size_t girvan_newman_step(UGraph& g, const GnStepOptions& opts,
+                               GnStepState* state) {
   if (g.edge_count() == 0) return 0;
   std::size_t before = 0;
   g.components(&before);
 
-  std::vector<double> bc = edge_betweenness(g, pool);
+  BetweennessOptions bopts;
+  bopts.pool = opts.pool;
+  bopts.samples = opts.betweenness_samples;
+  bopts.seed = opts.betweenness_seed;
+
+  std::vector<double> bc;
+  if (state != nullptr && state->valid &&
+      state->bc.size() == g.total_edges()) {
+    bc = std::move(state->bc);
+    if (!state->dirty.empty()) {
+      // Only the component the previous step split has stale values; refresh
+      // it and keep everything else (same partial-recompute rule as the
+      // in-step loop below).
+      bopts.sources = &state->dirty;
+      obs::count("graph.gn.betweenness_recomputes");
+      std::vector<double> partial = edge_betweenness(g, bopts);
+      std::vector<std::uint8_t> dirty_node(g.node_count(), 0);
+      for (NodeId v : state->dirty) dirty_node[v] = 1;
+      for (EdgeId e = 0; e < g.total_edges(); ++e) {
+        if (!g.is_removed(e) && dirty_node[g.edge(e).u]) bc[e] = partial[e];
+      }
+      bopts.sources = nullptr;
+    }
+  } else {
+    obs::count("graph.gn.betweenness_recomputes");
+    bc = edge_betweenness(g, bopts);
+  }
+  if (state != nullptr) {
+    state->valid = false;
+    state->dirty.clear();
+  }
 
   // Live-edge index, ascending by id. Scanning this instead of
   // [0, total_edges()) skips already-removed edges, which otherwise dominate
@@ -26,17 +54,19 @@ std::size_t girvan_newman_step(
   std::vector<EdgeId> live;
   live.reserve(g.edge_count());
   for (EdgeId e = 0; e < g.total_edges(); ++e) {
-    if (!g.edge(e).removed) live.push_back(e);
+    if (!g.is_removed(e)) live.push_back(e);
   }
 
   std::size_t removed = 0;
+  std::vector<NodeId> split_nodes;
   for (;;) {
     // Fault site (delay action): tests stretch individual steps to drive the
     // budget path deterministically. The deadline check runs BEFORE the
     // first removal, so an already-expired budget removes nothing.
     (void)RCA_FAULT_CHECK("graph.gn.step");
-    if (deadline != nullptr && std::chrono::steady_clock::now() >= *deadline) {
-      if (budget_exceeded != nullptr) *budget_exceeded = true;
+    if (opts.deadline != nullptr &&
+        std::chrono::steady_clock::now() >= *opts.deadline) {
+      if (opts.budget_exceeded != nullptr) *opts.budget_exceeded = true;
       break;
     }
     // Pick the live edge with maximum betweenness (ties: lowest id, for
@@ -51,13 +81,24 @@ std::size_t girvan_newman_step(
     }
     if (best == kInvalidNode) break;  // no edges left
     const NodeId eu = g.edge(best).u;
+    const NodeId ev = g.edge(best).v;
     g.remove_edge(best);
     live.erase(std::lower_bound(live.begin(), live.end(), best));
     ++removed;
 
     std::size_t after = 0;
     std::vector<NodeId> comp = g.components(&after);
-    if (after > before || g.edge_count() == 0) break;
+    if (after > before || g.edge_count() == 0) {
+      // The split invalidates betweenness only inside the component that
+      // broke apart — both halves carry comp ids of the removed edge's
+      // endpoints. Hand that set to the next step via `state`.
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (comp[v] == comp[eu] || comp[v] == comp[ev]) {
+          split_nodes.push_back(v);
+        }
+      }
+      break;
+    }
 
     // Recompute betweenness only inside the component that lost the edge;
     // all shortest paths elsewhere are untouched (paper step 3: "recalculate
@@ -68,13 +109,31 @@ std::size_t girvan_newman_step(
       if (comp[v] == affected) sources.push_back(v);
     }
     obs::count("graph.gn.betweenness_recomputes");
-    std::vector<double> partial = edge_betweenness(g, pool, &sources);
+    bopts.sources = &sources;
+    std::vector<double> partial = edge_betweenness(g, bopts);
+    bopts.sources = nullptr;
     for (EdgeId e : live) {
       if (comp[g.edge(e).u] == affected) bc[e] = partial[e];
     }
   }
+  if (state != nullptr) {
+    state->bc = std::move(bc);
+    state->dirty = std::move(split_nodes);
+    state->valid = true;
+  }
   obs::count("graph.gn.edges_removed", removed);
   return removed;
+}
+
+std::size_t girvan_newman_step(
+    UGraph& g, ThreadPool* pool,
+    const std::chrono::steady_clock::time_point* deadline,
+    bool* budget_exceeded) {
+  GnStepOptions opts;
+  opts.pool = pool;
+  opts.deadline = deadline;
+  opts.budget_exceeded = budget_exceeded;
+  return girvan_newman_step(g, opts, nullptr);
 }
 
 GirvanNewmanResult girvan_newman(const Digraph& g,
@@ -92,11 +151,16 @@ GirvanNewmanResult girvan_newman(const Digraph& g,
     deadline = std::chrono::steady_clock::now() +
                std::chrono::milliseconds(opts.budget_ms);
   }
+  GnStepOptions step_opts;
+  step_opts.pool = opts.pool;
+  step_opts.betweenness_samples = opts.betweenness_samples;
+  step_opts.betweenness_seed = opts.betweenness_seed;
+  step_opts.deadline = budgeted ? &deadline : nullptr;
+  step_opts.budget_exceeded = &result.budget_exceeded;
+  GnStepState state;
   for (int it = 0; it < opts.iterations; ++it) {
     obs::count("graph.gn.iterations");
-    result.edges_removed += girvan_newman_step(
-        ug, opts.pool, budgeted ? &deadline : nullptr,
-        &result.budget_exceeded);
+    result.edges_removed += girvan_newman_step(ug, step_opts, &state);
     if (result.budget_exceeded) break;
   }
 

@@ -28,6 +28,13 @@ struct GirvanNewmanOptions {
   /// the run stops early and the result carries budget_exceeded — callers
   /// that need an answer fall back to Louvain (communities_with_budget).
   long long budget_ms = 0;
+  /// Pivot-sample size for each betweenness (re)computation; 0 = exact. At
+  /// paper scale exact betweenness per removal is the whole cost of G-N, so
+  /// interactive callers trade exactness for a seeded estimate (see
+  /// BetweennessOptions::samples).
+  std::size_t betweenness_samples = 0;
+  /// Seed for pivot sampling; fixed seed = reproducible removal sequence.
+  std::uint64_t betweenness_seed = 2019;
   ThreadPool* pool = nullptr;
 };
 
@@ -48,10 +55,39 @@ struct GirvanNewmanResult {
 GirvanNewmanResult girvan_newman(const Digraph& g,
                                  const GirvanNewmanOptions& opts = {});
 
+struct GnStepOptions {
+  ThreadPool* pool = nullptr;
+  /// See GirvanNewmanOptions::betweenness_samples / betweenness_seed.
+  std::size_t betweenness_samples = 0;
+  std::uint64_t betweenness_seed = 2019;
+  /// Deadline (null = none), checked at the top of every removal, including
+  /// the first; an expired step sets *budget_exceeded (if non-null) and
+  /// returns early.
+  const std::chrono::steady_clock::time_point* deadline = nullptr;
+  bool* budget_exceeded = nullptr;
+};
+
+/// Betweenness carried between consecutive girvan_newman_step calls on the
+/// SAME graph. A step that split a component only invalidated betweenness
+/// inside that component; the next step refreshes those nodes (`dirty`)
+/// instead of recomputing the whole graph. With exact betweenness the
+/// refreshed values are bit-identical to a full recompute (absent sources
+/// contribute exactly 0 to out-of-component edges), so the removal sequence
+/// is unchanged — pinned by GirvanNewman.CarriedStateStepParity.
+struct GnStepState {
+  std::vector<double> bc;      // per-edge values, stale only on dirty nodes
+  std::vector<NodeId> dirty;   // nodes whose component changed last step
+  bool valid = false;
+};
+
 /// One split step on an existing undirected graph; returns removed-edge
-/// count. Exposed separately for tests and ablations. The deadline (null =
-/// none) is checked at the top of every removal, including the first; an
-/// expired step sets *budget_exceeded (if non-null) and returns early.
+/// count. Exposed separately for tests and ablations. `state` (optional)
+/// carries betweenness across steps; pass the same object to every step on
+/// one graph and the full step-entry recompute happens only once.
+std::size_t girvan_newman_step(UGraph& g, const GnStepOptions& opts,
+                               GnStepState* state = nullptr);
+
+/// Back-compat shim for the pre-options call sites.
 std::size_t girvan_newman_step(
     UGraph& g, ThreadPool* pool = nullptr,
     const std::chrono::steady_clock::time_point* deadline = nullptr,

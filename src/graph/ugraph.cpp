@@ -1,59 +1,78 @@
 #include "graph/ugraph.hpp"
 
-#include <deque>
-
 #include "support/error.hpp"
 
 namespace rca::graph {
 
 UGraph::UGraph(const Digraph& g) {
-  adj_.resize(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) {
+  const std::size_t n = g.node_count();
+  // Pass 1: enumerate undirected edges (deduplicating antiparallel pairs)
+  // and count per-node incident arcs.
+  std::vector<std::uint32_t> counts(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
     for (NodeId v : g.out_neighbors(u)) {
       // Deduplicate the undirected pair: keep the (min, max) orientation once.
       if (u < v || !g.has_edge(v, u)) {
-        EdgeId id = static_cast<EdgeId>(edges_.size());
-        edges_.push_back(Edge{u, v, false});
-        adj_[u].emplace_back(v, id);
-        adj_[v].emplace_back(u, id);
+        edges_.push_back(Edge{u, v});
+        ++counts[u];
+        ++counts[v];
       }
     }
   }
+  removed_.assign(edges_.size(), 0);
   live_edges_ = edges_.size();
+
+  // Pass 2: prefix-sum the counts into CSR offsets and scatter the arcs.
+  // Scatter order follows edge id, which itself follows the digraph's
+  // adjacency order — the same per-node neighbor order the historic
+  // vector-of-vectors layout produced.
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u + 1] = offsets_[u] + counts[u];
+  }
+  arcs_.resize(edges_.size() * 2);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const Edge& ed = edges_[e];
+    arcs_[cursor[ed.u]++] = Arc{ed.v, e};
+    arcs_[cursor[ed.v]++] = Arc{ed.u, e};
+  }
 }
 
 void UGraph::remove_edge(EdgeId e) {
   RCA_CHECK_MSG(e < edges_.size(), "edge id out of range");
-  if (!edges_[e].removed) {
-    edges_[e].removed = true;
+  if (!removed_[e]) {
+    removed_[e] = 1;
     --live_edges_;
   }
 }
 
 std::size_t UGraph::degree(NodeId u) const {
   std::size_t d = 0;
-  for (const auto& [v, e] : adj_[u]) {
-    (void)v;
-    if (!edges_[e].removed) ++d;
+  for (const Arc& arc : incident(u)) {
+    if (!removed_[arc.e]) ++d;
   }
   return d;
 }
 
 std::vector<NodeId> UGraph::components(std::size_t* count) const {
-  std::vector<NodeId> comp(adj_.size(), kInvalidNode);
+  const std::size_t n = node_count();
+  std::vector<NodeId> comp(n, kInvalidNode);
   NodeId next = 0;
-  std::deque<NodeId> queue;
-  for (NodeId s = 0; s < adj_.size(); ++s) {
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
     if (comp[s] != kInvalidNode) continue;
     comp[s] = next;
+    queue.clear();
     queue.push_back(s);
-    while (!queue.empty()) {
-      NodeId u = queue.front();
-      queue.pop_front();
-      for (const auto& [v, e] : adj_[u]) {
-        if (!edges_[e].removed && comp[v] == kInvalidNode) {
-          comp[v] = next;
-          queue.push_back(v);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId u = queue[head++];
+      for (const Arc& arc : incident(u)) {
+        if (!removed_[arc.e] && comp[arc.v] == kInvalidNode) {
+          comp[arc.v] = next;
+          queue.push_back(arc.v);
         }
       }
     }

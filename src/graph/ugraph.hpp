@@ -3,9 +3,17 @@
 // The paper converts the directed subgraph into its weakly connected
 // undirected form for community detection (§5.2): bug locations may sit
 // anywhere, so no reachability assumption can be imposed while clustering.
+//
+// Storage is CSR from construction: the topology of the undirected view is
+// immutable (only edge *removal* happens, and that flips a bit in a compact
+// side table), so all incident lists live in one flat arc array indexed by
+// an offsets table. The Brandes inner loop and the components BFS stream
+// that array instead of chasing per-node vectors — the layout the paper's
+// ~100k-node graphs need.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -22,22 +30,31 @@ class UGraph {
   struct Edge {
     NodeId u;
     NodeId v;
-    bool removed = false;
   };
 
-  std::size_t node_count() const { return adj_.size(); }
+  /// One CSR slot: neighbor plus the id of the edge reaching it.
+  struct Arc {
+    NodeId v;
+    EdgeId e;
+  };
+
+  std::size_t node_count() const { return offsets_.size() - 1; }
   /// Number of live (non-removed) edges.
   std::size_t edge_count() const { return live_edges_; }
   std::size_t total_edges() const { return edges_.size(); }
 
   const Edge& edge(EdgeId e) const { return edges_[e]; }
+  bool is_removed(EdgeId e) const { return removed_[e] != 0; }
+  /// Compact per-edge removal mask (1 = removed), for kernels that test it
+  /// in a tight loop without touching the wider Edge records.
+  const std::vector<std::uint8_t>& removed_mask() const { return removed_; }
 
   void remove_edge(EdgeId e);
 
-  /// Neighbor iteration including removed slots; callers must test
-  /// `edge(e).removed`. Exposed raw for the hot Brandes loop.
-  const std::vector<std::pair<NodeId, EdgeId>>& incident(NodeId u) const {
-    return adj_[u];
+  /// CSR slice of u's incident arcs, removed slots included; callers must
+  /// test `is_removed(arc.e)`. Exposed raw for the hot Brandes loop.
+  std::span<const Arc> incident(NodeId u) const {
+    return {arcs_.data() + offsets_[u], arcs_.data() + offsets_[u + 1]};
   }
 
   /// Live degree of u.
@@ -49,7 +66,9 @@ class UGraph {
 
  private:
   std::vector<Edge> edges_;
-  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj_;
+  std::vector<std::uint8_t> removed_;     // parallel to edges_
+  std::vector<std::uint32_t> offsets_;    // node_count + 1
+  std::vector<Arc> arcs_;                 // flat incident lists
   std::size_t live_edges_ = 0;
 };
 

@@ -76,6 +76,13 @@ struct GeneratedCorpus {
 /// Generates the corpus. Deterministic per spec.
 GeneratedCorpus generate_corpus(const CorpusSpec& spec);
 
+/// Full-CESM-scale spec: ~2400 total modules, ~820 of them in the build
+/// configuration, matching the paper's §4 KGen reduction numbers instead of
+/// the unit-test default (which scales everything down ~13x). Used by the
+/// perf-trajectory bench; parsing it takes seconds, so tests stick with the
+/// default spec.
+CorpusSpec cesm_scale_spec();
+
 /// Names of the CAM modules in the corpus (the paper restricts experiment
 /// subgraphs to CAM); everything else (land, share, aux-land) is non-CAM.
 bool is_cam_module(const std::string& module_name);

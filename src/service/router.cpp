@@ -7,6 +7,7 @@
 
 #include "analysis/diagnostics.hpp"
 #include "fault/fault.hpp"
+#include "graph/betweenness.hpp"
 #include "graph/centrality.hpp"
 #include "graph/girvan_newman.hpp"
 #include "graph/louvain.hpp"
@@ -373,10 +374,21 @@ Response Router::handle_communities(const JsonValue& body) {
     // service's slowest operation. On expiry the request still answers —
     // with Louvain's partition — instead of timing out.
     opts.budget_ms = body.get_int("budget_ms", opts_.gn_budget_ms);
+    // Pivot sampling trades exact betweenness for a seeded estimate so big
+    // sessions can answer inside the budget instead of falling back.
+    const long long samples = body.get_int("samples", 0);
+    if (samples < 0) fail(400, "bad_request", "samples must be >= 0");
+    opts.betweenness_samples = static_cast<std::size_t>(samples);
+    opts.betweenness_seed =
+        static_cast<std::uint64_t>(body.get_int("seed", 2019));
     auto result = graph::communities_with_budget(mg.graph(), opts);
     communities = std::move(result.communities);
     w.key("method");
     w.string_value(result.fell_back ? "louvain" : "gn");
+    if (opts.betweenness_samples > 0) {
+      w.key("betweenness_samples");
+      w.integer(static_cast<long long>(opts.betweenness_samples));
+    }
     if (result.fell_back) {
       w.key("fallback_from");
       w.string_value("gn");
@@ -440,6 +452,15 @@ Response Router::handle_rank(const JsonValue& body) {
     scores = closeness_centrality(*g, graph::Direction::kIn);
   } else if (kind == "nonbacktracking") {
     scores = nonbacktracking_centrality(*g, graph::Direction::kIn).centrality;
+  } else if (kind == "betweenness") {
+    // O(V·E) exact — "samples" caps the Brandes sweeps (seeded pivots) so
+    // the endpoint stays interactive on full sessions.
+    graph::BetweennessOptions opts;
+    const long long samples = body.get_int("samples", 0);
+    if (samples < 0) fail(400, "bad_request", "samples must be >= 0");
+    opts.samples = static_cast<std::size_t>(samples);
+    opts.seed = static_cast<std::uint64_t>(body.get_int("seed", 2019));
+    scores = node_betweenness(*g, opts);
   } else if (kind == "inout-eigenvector") {
     const auto cin = eigenvector_centrality(*g, graph::Direction::kIn);
     const auto cout = eigenvector_centrality(*g, graph::Direction::kOut);

@@ -52,4 +52,43 @@ std::vector<double> standardize(const std::vector<double>& v, double mu,
   return out;
 }
 
+std::vector<double> fractional_ranks(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&v](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    // Positions i..j (0-based) hold the tie group; each member gets the
+    // average 1-based rank.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                       + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  RCA_CHECK_MSG(a.size() == b.size(), "spearman: length mismatch");
+  if (a.size() < 2) return 0.0;
+  const std::vector<double> ra = fractional_ranks(a);
+  const std::vector<double> rb = fractional_ranks(b);
+  const double ma = mean(ra), mb = mean(rb);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
 }  // namespace rca::stats

@@ -30,4 +30,14 @@ Iqr interquartile_range(const std::vector<double>& v);
 std::vector<double> standardize(const std::vector<double>& v, double mu,
                                 double sigma);
 
+/// Fractional ranks (1-based, ties get the average of their positions) —
+/// the rank transform behind Spearman correlation.
+std::vector<double> fractional_ranks(const std::vector<double>& v);
+
+/// Spearman rank correlation of two equal-length samples; 0 when either
+/// side is constant or the samples are shorter than 2. Used to validate
+/// sampled betweenness against the exact values (rank agreement is what
+/// Girvan–Newman consumes, not magnitudes).
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
 }  // namespace rca::stats

@@ -234,7 +234,7 @@ TEST(GirvanNewmanStep, BridgeBetweenTrianglesGoesFirst) {
   std::size_t count = 0;
   ug.components(&count);
   EXPECT_EQ(count, 2u);
-  EXPECT_TRUE(ug.edge(edge_between(ug, 2, 3)).removed);
+  EXPECT_TRUE(ug.is_removed(edge_between(ug, 2, 3)));
 }
 
 TEST(GirvanNewmanStep, SixCycleNeedsExactlyTwoRemovals) {
@@ -245,8 +245,8 @@ TEST(GirvanNewmanStep, SixCycleNeedsExactlyTwoRemovals) {
   for (NodeId v = 0; v < 6; ++v) g.add_edge(v, (v + 1) % 6);
   UGraph ug(g);
   EXPECT_EQ(girvan_newman_step(ug), 2u);
-  EXPECT_TRUE(ug.edge(0).removed);
-  EXPECT_TRUE(ug.edge(3).removed);
+  EXPECT_TRUE(ug.is_removed(0));
+  EXPECT_TRUE(ug.is_removed(3));
   std::size_t count = 0;
   ug.components(&count);
   EXPECT_EQ(count, 2u);
