@@ -21,6 +21,9 @@
 //                        [--jobs N] [--request-threads N]
 //                        [--max-in-flight N] [--deadline-ms N]
 //                        [--session-bytes N]
+//   rca-tool watch       --src DIR [--build-list FILE] [--prune-dead-stores]
+//                        [--interval-ms N] [--iterations N] [--jobs N]
+//                        [--snapshot DIR]
 //
 // `--jobs N` parses/builds on N worker threads (bit-identical to serial);
 // `--snapshot DIR` caches built metagraphs keyed on source content, so an
@@ -31,6 +34,7 @@
 // operate on saved metagraphs — so the full §4-§5 workflow runs from a
 // shell, like the paper's Python toolkit did.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -38,6 +42,9 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "analysis/passes.hpp"
@@ -87,6 +94,16 @@ int usage() {
       "  centrality   rank nodes or modules\n"
       "  analyze      run a full paper experiment on the synthetic model\n"
       "  serve        resident RCA query daemon (HTTP/JSON on 127.0.0.1)\n"
+      "  watch        keep a resident session patched as sources change\n"
+      "\n"
+      "watch options:\n"
+      "  --src DIR            source tree to watch (required)\n"
+      "  --build-list FILE    build configuration (one module per line)\n"
+      "  --prune-dead-stores  builder option, as in `graph`\n"
+      "  --interval-ms N      poll interval (default 500)\n"
+      "  --iterations N       stop after N polls (default 0 = run forever)\n"
+      "  --jobs N             parse/build worker threads\n"
+      "  --snapshot DIR       snapshot-cache dir (cold start + persistence)\n"
       "\n"
       "serve options:\n"
       "  --port N             listen port (default 0 = ephemeral)\n"
@@ -751,6 +768,102 @@ int cmd_serve(const Args& args) {
   return rc;
 }
 
+// ---------------------------------------------------------------------------
+// watch
+// ---------------------------------------------------------------------------
+
+int cmd_watch(const Args& args) {
+  const std::string src_dir = args.get("src");
+  if (src_dir.empty()) throw Error("watch needs --src DIR");
+  const long long interval_ms = args.get_int("interval-ms", 500);
+  const long long iterations = args.get_int("iterations", 0);  // 0 = forever
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<ThreadPool>(jobs);
+
+  service::SessionStoreOptions store_opts;
+  store_opts.snapshot_dir = args.get("snapshot");
+  store_opts.build_pool = pool.get();
+  service::SessionStore store(store_opts);
+
+  service::SessionConfig config;
+  config.build_list = read_build_list(args);
+  config.prune_dead_stores = args.has("prune-dead-stores");
+
+  // Baseline: one cold (or snapshot-warm) build plus the mtime of every
+  // source file. Each tick stats the tree and reads only files whose mtime
+  // moved — the stat sweep is the cheap pre-filter, the patch is the
+  // incremental rebuild.
+  std::unordered_map<std::string, fs::file_time_type> mtimes;
+  for (const std::string& p : service::collect_fortran_paths(src_dir)) {
+    std::error_code ec;
+    const auto t = fs::last_write_time(p, ec);
+    if (!ec) mtimes[p] = t;
+  }
+  std::shared_ptr<const service::Session> session =
+      store.get_or_build(config, service::collect_fortran_sources(src_dir));
+  std::string key = session->key();
+  // Paths the *session* currently holds. The mtime baseline can drift ahead
+  // of it after a rollback (e.g. a broken file appeared and vanished without
+  // ever being committed) — removes must be validated against the session,
+  // not the baseline.
+  std::unordered_set<std::string> session_paths;
+  for (const auto& e : session->sources()) session_paths.insert(e.first);
+  std::printf("watch: session %.12s.. (%zu nodes, %zu edges) over %s\n",
+              key.c_str(), session->metagraph().node_count(),
+              session->metagraph().graph().edge_count(), src_dir.c_str());
+  std::fflush(stdout);
+
+  for (long long tick = 0; iterations == 0 || tick < iterations; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    service::SessionStore::PatchEdit edit;
+    std::unordered_map<std::string, fs::file_time_type> now;
+    for (const std::string& p : service::collect_fortran_paths(src_dir)) {
+      std::error_code ec;
+      const auto t = fs::last_write_time(p, ec);
+      if (ec) continue;  // raced a delete; next tick sees the removal
+      now[p] = t;
+      auto it = mtimes.find(p);
+      if (it != mtimes.end() && it->second == t) continue;
+      edit.upserts.emplace_back(p, read_file(p));
+    }
+    for (const auto& [p, t] : mtimes) {
+      (void)t;
+      if (now.find(p) == now.end() && session_paths.count(p) != 0) {
+        edit.removes.push_back(p);
+      }
+    }
+    std::sort(edit.removes.begin(), edit.removes.end());
+    mtimes = std::move(now);
+    if (edit.upserts.empty() && edit.removes.empty()) continue;
+
+    service::SessionStore::PatchResult result = store.patch(key, edit);
+    if (result.rolled_back) {
+      std::printf("watch: rolled back, session %.12s.. unchanged (%zu parse "
+                  "error(s))\n", key.c_str(), result.errors.size());
+      for (const auto& [path, message] : result.errors) {
+        std::fprintf(stderr, "  %s: %s\n", path.c_str(), message.c_str());
+      }
+    } else if (result.resident_hit) {
+      std::printf("watch: content unchanged (mtime-only touch)\n");
+    } else {
+      key = result.session->key();
+      session_paths.clear();
+      for (const auto& e : result.session->sources()) {
+        session_paths.insert(e.first);
+      }
+      std::printf("watch: gen %llu session %.12s.. rebuilt=%zu reused=%zu "
+                  "spliced=%zu%s\n",
+                  static_cast<unsigned long long>(result.session->generation()),
+                  key.c_str(), result.rebuilt_modules, result.reused_fragments,
+                  result.spliced_nodes,
+                  result.full_rewalk ? " (full re-walk)" : "");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -795,6 +908,7 @@ int main(int argc, char** argv) {
     else if (args.command() == "centrality") rc = cmd_centrality(args);
     else if (args.command() == "analyze") rc = cmd_analyze(args);
     else if (args.command() == "serve") rc = cmd_serve(args);
+    else if (args.command() == "watch") rc = cmd_watch(args);
     else return usage();
     for (const auto& key : args.unused_keys()) {
       std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());

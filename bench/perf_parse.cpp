@@ -3,12 +3,28 @@
 // the snapshot formats on the synthetic corpus. The *Parallel benchmarks
 // take the worker count as their argument; the acceptance target is >=2x
 // front-end speedup at 8 workers on an 8-core host.
+//
+// `perf_parse --warm-edit-gate [--json FILE] [--quick]` bypasses
+// google-benchmark and runs the incremental-session acceptance gate instead:
+// at cesm scale, a warm single-module touch edit through
+// SessionStore::patch() must be >= 10x faster than a cold from-scratch
+// build. The JSON output follows the rca.bench_graph.v1 trajectory schema
+// (median_ms + runner-normalized values, gates.pass) so the same
+// tools/bench_diff.cmake diffs BENCH_parse.json in CI.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "graph/betweenness.hpp"
 #include "lang/lexer.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
@@ -16,6 +32,10 @@
 #include "meta/serialize.hpp"
 #include "model/corpus.hpp"
 #include "model/model.hpp"
+#include "service/session_store.hpp"
+#include "stats/descriptive.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
 namespace rca {
@@ -177,7 +197,208 @@ void BM_CoverageRun(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverageRun);
 
+// ---------------------------------------------------------------------------
+// Warm-edit gate (incremental sessions)
+// ---------------------------------------------------------------------------
+
+double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Same fixed serial calibration workload as perf_graph: exact betweenness
+/// on a deterministic preferential-attachment graph. Normalizing both
+/// BENCH_graph.json and BENCH_parse.json by the identical workload keeps the
+/// two trajectory files comparable across runners.
+double calibration_ms() {
+  SplitMix64 rng(7);
+  graph::Digraph g(1);
+  std::vector<graph::NodeId> pool = {0};
+  for (graph::NodeId v = 1; v < 600; ++v) {
+    g.add_nodes(1);
+    for (std::size_t e = 0; e < 2; ++e) {
+      const graph::NodeId t = pool[rng.next() % pool.size()];
+      if (t != v && g.add_edge(v, t)) {
+        pool.push_back(t);
+        pool.push_back(v);
+      }
+    }
+  }
+  const graph::UGraph ug(g);
+  std::vector<double> times;
+  for (int r = 0; r < 5; ++r) {
+    times.push_back(time_ms([&] { (void)graph::edge_betweenness(ug); }));
+  }
+  return stats::median(times);
+}
+
+/// Appends a unique trailing comment to the first line of one module: the
+/// session key and the module's bytes change, but no line shifts, so the
+/// transaction re-walks exactly one module and splices the rest.
+void touch_first_line(std::string* text, int step) {
+  const std::size_t eol = text->find('\n');
+  text->insert(eol == std::string::npos ? text->size() : eol,
+               " ! probe" + std::to_string(step));
+}
+
+constexpr double kMinWarmSpeedup = 10.0;
+
+int run_warm_edit_gate(const std::string& json_path, bool quick) {
+  using service::SessionConfig;
+  using service::SessionStore;
+  using service::SessionStoreOptions;
+
+  const int cold_repeats = quick ? 1 : 3;
+  const int warm_repeats = quick ? 3 : 7;
+
+  std::printf("calibrating...\n");
+  const double calib = calibration_ms();
+  std::printf("  calibration workload: %.2f ms\n", calib);
+
+  std::printf("generating cesm-scale corpus...\n");
+  model::GeneratedCorpus corpus =
+      model::generate_corpus(model::cesm_scale_spec());
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(corpus.files.size());
+  for (auto& f : corpus.files) sources.emplace_back(f.path, std::move(f.text));
+  std::sort(sources.begin(), sources.end());
+  std::printf("  %zu files, %zu modules\n", sources.size(),
+              corpus.total_modules);
+
+  ThreadPool pool(8);
+  const SessionConfig config;
+
+  // Cold: from-scratch session build (parse whole corpus + full walk),
+  // fresh store each repetition so nothing is resident.
+  std::vector<double> cold_times;
+  std::size_t nodes = 0, edges = 0;
+  for (int r = 0; r < cold_repeats; ++r) {
+    SessionStoreOptions opts;
+    opts.build_pool = &pool;
+    SessionStore store(opts);
+    cold_times.push_back(time_ms([&] {
+      auto s = store.get_or_build(config, sources);
+      nodes = s->metagraph().node_count();
+      edges = s->metagraph().graph().edge_count();
+    }));
+  }
+  const double cold_ms = stats::median(cold_times);
+  std::printf("kernels:\n");
+  std::printf("  %-34s %10.2f ms (median of %d, %zu nodes %zu edges)\n",
+              "cold_build_cesm", cold_ms, cold_repeats, nodes, edges);
+
+  // Warm: chained single-module touch edits through patch(); each edit
+  // re-parses one file and replays every other module's fragment.
+  SessionStoreOptions opts;
+  opts.build_pool = &pool;
+  SessionStore store(opts);
+  std::string key = store.get_or_build(config, sources)->key();
+  const std::size_t victim = sources.size() / 2;
+  std::vector<double> warm_times;
+  for (int r = 0; r < warm_repeats; ++r) {
+    touch_first_line(&sources[victim].second, r);
+    SessionStore::PatchEdit edit;
+    edit.upserts.emplace_back(sources[victim].first, sources[victim].second);
+    SessionStore::PatchResult result;
+    warm_times.push_back(time_ms([&] { result = store.patch(key, edit); }));
+    if (result.rolled_back || result.full_rewalk ||
+        result.rebuilt_modules != 1) {
+      std::fprintf(stderr,
+                   "warm edit did not take the incremental path "
+                   "(rolled_back=%d full_rewalk=%d rebuilt=%zu)\n",
+                   result.rolled_back, result.full_rewalk,
+                   result.rebuilt_modules);
+      return 1;
+    }
+    key = result.session->key();
+  }
+  const double warm_ms = stats::median(warm_times);
+  std::printf("  %-34s %10.2f ms (median of %d)\n", "warm_patch_cesm", warm_ms,
+              warm_repeats);
+
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  const bool pass = speedup >= kMinWarmSpeedup;
+  std::printf("gates:\n");
+  std::printf("  warm speedup %.1fx (need >= %.1fx) %s\n", speedup,
+              kMinWarmSpeedup, pass ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.string_value("rca.bench_graph.v1");
+    w.key("calibration_ms");
+    w.number(calib);
+    w.key("fixtures");
+    w.begin_object();
+    w.key("cesm");
+    w.begin_object();
+    w.key("nodes");
+    w.integer(static_cast<long long>(nodes));
+    w.key("edges");
+    w.integer(static_cast<long long>(edges));
+    w.end_object();
+    w.end_object();
+    w.key("kernels");
+    w.begin_object();
+    for (const auto& k :
+         {std::make_pair("cold_build_cesm", cold_ms),
+          std::make_pair("warm_patch_cesm", warm_ms)}) {
+      w.key(k.first);
+      w.begin_object();
+      w.key("median_ms");
+      w.number(k.second);
+      w.key("normalized");
+      w.number(calib > 0.0 ? k.second / calib : 0.0);
+      w.end_object();
+    }
+    w.end_object();
+    w.key("gates");
+    w.begin_object();
+    w.key("warm_speedup");
+    w.number(speedup);
+    w.key("pass");
+    w.boolean(pass);
+    w.end_object();
+    w.end_object();
+    std::ofstream out(json_path);
+    out << w.str() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace rca
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool warm_gate = false;
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--warm-edit-gate") == 0) warm_gate = true;
+  }
+  if (warm_gate) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--warm-edit-gate") continue;
+      if (arg == "--quick") {
+        quick = true;
+      } else if (arg == "--json" && i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "usage: perf_parse --warm-edit-gate [--json FILE] "
+                     "[--quick]\n");
+        return 2;
+      }
+    }
+    return rca::run_warm_edit_gate(json_path, quick);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

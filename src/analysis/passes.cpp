@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "obs/obs.hpp"
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace rca::analysis {
@@ -599,15 +600,29 @@ void PassManager::add_pass(std::string id, PassFn fn) {
 
 AnalysisResult PassManager::run(
     const std::vector<const Module*>& modules) const {
+  return run(modules, std::vector<bool>(modules.size(), true));
+}
+
+AnalysisResult PassManager::run(const std::vector<const Module*>& modules,
+                                const std::vector<bool>& dirty) const {
+  RCA_CHECK_MSG(dirty.size() == modules.size(),
+                "dirty mask must parallel the module list");
   obs::Span span("lint");
   ProgramSymbols symbols(modules);
 
   std::vector<ModuleAnalysis> analyses;
   analyses.reserve(modules.size());
   std::size_t subprograms = 0;
+  std::size_t analyzed = 0;
   {
     obs::Span flow_span("lint.dataflow");
-    for (const Module* m : modules) {
+    for (std::size_t mi = 0; mi < modules.size(); ++mi) {
+      const Module* m = modules[mi];
+      // Totals always cover the whole corpus so an incremental run merged
+      // with carried diagnostics reports the same counts as a full run.
+      subprograms += m->subprograms.size();
+      if (!dirty[mi]) continue;
+      ++analyzed;
       ModuleAnalysis ma;
       ma.module = m;
       DataflowContext ctx;
@@ -619,7 +634,6 @@ AnalysisResult PassManager::run(
       ma.subs.reserve(m->subprograms.size());
       for (const Subprogram& sp : m->subprograms) {
         ma.subs.push_back(analyze_dataflow(sp, ctx));
-        ++subprograms;
       }
       analyses.push_back(std::move(ma));
     }
@@ -651,6 +665,9 @@ AnalysisResult PassManager::run(
 
   obs::count("lint.modules", modules.size());
   obs::count("lint.subprograms", subprograms);
+  if (analyzed < modules.size()) {
+    obs::count("lint.modules_skipped", modules.size() - analyzed);
+  }
   obs::count("lint.diagnostics", result.diagnostics.size());
   obs::count("lint.errors", result.count(Severity::kError));
   obs::count("lint.warnings", result.count(Severity::kWarning));

@@ -92,6 +92,17 @@ class PassManager {
   /// Runs every pass over every module; diagnostics come back sorted.
   AnalysisResult run(const std::vector<const lang::Module*>& modules) const;
 
+  /// Incremental variant: dataflow facts are computed and passes executed
+  /// only for modules whose `dirty` flag is set (parallel to `modules`);
+  /// program symbols still span the whole corpus, and the module/subprogram
+  /// totals still count everything. Clean modules contribute no diagnostics
+  /// here — the caller merges their previously computed diagnostics back in,
+  /// which is exact as long as no module's interface-level content changed
+  /// (each pass reads only its own module's bodies plus remote interface
+  /// info; see meta::interface_signature). Used by the session patch path.
+  AnalysisResult run(const std::vector<const lang::Module*>& modules,
+                     const std::vector<bool>& dirty) const;
+
   /// Manager preloaded with the six default rules (ids as documented above).
   static PassManager default_passes();
 

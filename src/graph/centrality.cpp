@@ -55,8 +55,11 @@ std::vector<double> eigenvector_centrality(const Digraph& g, Direction dir,
   std::vector<double> y(n, 0.0);
 
   const Csr& adj = gather_adjacency(g, dir);
+  // Below the threshold the parallel_for dispatch costs more than the whole
+  // gather; fall back to the (bit-identical) serial apply.
+  ThreadPool* pool = n >= opts.min_pool_nodes ? opts.pool : nullptr;
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    apply(adj, x, y, opts.pool);
+    apply(adj, x, y, pool);
     if (opts.regularization > 0.0) {
       for (double& v : y) v += opts.regularization;
     }

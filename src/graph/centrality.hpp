@@ -33,6 +33,13 @@ struct PowerIterationOptions {
   /// stay serial — so pooled results are bit-identical to serial ones for
   /// any worker count (pinned by Centrality.PooledPowerIterationBitIdentical).
   ThreadPool* pool = nullptr;
+  /// Node count below which the pool is ignored and the apply runs serially.
+  /// The per-iteration dispatch overhead of parallel_for dominates the
+  /// gather itself far beyond the paper-scale fixtures (BENCH_graph.json
+  /// measured pooled 3-16x *slower* than serial at 1.5k and even 15.7k
+  /// nodes), so the default only engages workers at ~100k+ nodes. Results
+  /// are bit-identical either way; set to 0 to force the pooled path.
+  std::size_t min_pool_nodes = 100000;
 };
 
 /// Eigenvector centrality by power iteration on A (kOut) or A^T (kIn),

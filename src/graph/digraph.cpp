@@ -52,13 +52,26 @@ Digraph& Digraph::operator=(Digraph&& other) noexcept {
 
 const DigraphCsr& Digraph::csr() const {
   std::lock_guard<std::mutex> lock(csr_mutex_);
-  if (!csr_) csr_ = std::make_unique<DigraphCsr>(*this);
+  const std::uint64_t now = mut_epoch_.load(std::memory_order_relaxed);
+  if (!csr_ || built_epoch_ != now) {
+    csr_ = std::make_unique<DigraphCsr>(*this);
+    built_epoch_ = now;
+    ++csr_builds_;
+  }
   return *csr_;
 }
 
-void Digraph::invalidate_csr() {
+std::size_t Digraph::csr_builds() const {
   std::lock_guard<std::mutex> lock(csr_mutex_);
-  csr_.reset();
+  return csr_builds_;
+}
+
+void Digraph::invalidate_csr() {
+  // Epoch bump only: no lock, no deallocation. The stale snapshot (if any)
+  // is replaced lazily on the next csr() call. Mutations are already
+  // forbidden to race reads, so relaxed ordering suffices — the mutex in
+  // csr() orders the epoch load against the rebuild.
+  mut_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 NodeId Digraph::add_nodes(std::size_t count) {

@@ -6,6 +6,7 @@
 // backward slicer (reverse BFS) and in-centrality need no transposition pass.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -70,7 +71,18 @@ class Digraph {
   /// call from concurrent readers; the returned reference stays valid as
   /// long as the graph is not mutated — the same contract every accessor on
   /// this class already has.
+  ///
+  /// Invalidation is epoch-granular: a mutation bumps a relaxed atomic
+  /// counter (no lock, no deallocation) and the snapshot is rebuilt only
+  /// when csr() observes a stale epoch. Bulk construction — the transaction
+  /// layer replaying tens of thousands of add_edge calls — therefore pays
+  /// one increment per mutation instead of a mutex acquire + delete, and
+  /// rejected duplicates/self-loops never invalidate at all.
   const DigraphCsr& csr() const;
+
+  /// CSR snapshots materialized so far (tests pin invalidation granularity:
+  /// N reads between mutations must cost one build, not N).
+  std::size_t csr_builds() const;
 
  private:
   static std::uint64_t key(NodeId u, NodeId v) {
@@ -84,8 +96,11 @@ class Digraph {
   std::unordered_set<std::uint64_t> edge_set_;
   std::size_t edge_count_ = 0;
 
+  std::atomic<std::uint64_t> mut_epoch_{0};
   mutable std::mutex csr_mutex_;
   mutable std::unique_ptr<DigraphCsr> csr_;
+  mutable std::uint64_t built_epoch_ = 0;  // guarded by csr_mutex_
+  mutable std::size_t csr_builds_ = 0;     // guarded by csr_mutex_
 };
 
 /// Induced subgraph on `nodes` (order defines new ids). Returns the new graph

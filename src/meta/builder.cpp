@@ -6,6 +6,7 @@
 
 #include "analysis/dataflow.hpp"
 #include "interp/intrinsics.hpp"
+#include "meta/fragment.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
@@ -21,29 +22,6 @@ using lang::Stmt;
 using lang::StmtKind;
 using lang::Subprogram;
 using lang::VarDecl;
-
-namespace {
-
-/// One candidate procedure a name may refer to.
-struct ProcRef {
-  const Module* module = nullptr;
-  const Subprogram* sp = nullptr;
-};
-
-/// Static symbol tables built in pass 1.
-struct SymbolTables {
-  struct ModuleSyms {
-    const Module* ast = nullptr;
-    // Local name -> candidate procedures (own subprograms, own interfaces,
-    // imported subprograms/interfaces).
-    std::unordered_map<std::string, std::vector<ProcRef>> procs;
-    // Local name -> (owning module, remote name) for module variables
-    // (own and imported; own map to themselves).
-    std::unordered_map<std::string, std::pair<const Module*, std::string>>
-        vars;
-  };
-  std::unordered_map<std::string, ModuleSyms> modules;
-};
 
 SymbolTables build_symbol_tables(const std::vector<const Module*>& modules,
                                  const BuilderOptions& opts) {
@@ -119,38 +97,7 @@ std::vector<const Module*> filter_modules(
   return kept;
 }
 
-/// The dependence fragment one module walk produces: an op log against
-/// module-local node ids. Replaying a fragment issues the exact sequence of
-/// intern / add_edge / add_io_mapping calls the serial walk of that module
-/// would issue, so replaying fragments in module order reproduces the serial
-/// metagraph bit-for-bit — intern is idempotent, node ids are assigned by
-/// first-intern order, and edge/io insertion order is preserved.
-struct Fragment {
-  struct NodeKey {
-    std::string module;
-    std::string subprogram;
-    std::string canonical;
-    int line = 0;
-    bool is_intrinsic = false;
-    bool is_prng_site = false;
-  };
-  enum class OpKind : std::uint8_t { kNode, kEdge, kIo };
-  struct Op {
-    OpKind kind;
-    // kNode: a = key index. kEdge: a -> b (local ids).
-    // kIo: a = io_labels index, b = local node id.
-    std::uint32_t a = 0;
-    std::uint32_t b = 0;
-  };
-
-  std::vector<NodeKey> keys;
-  std::vector<Op> ops;
-  std::vector<std::string> io_labels;
-  std::size_t assignments_processed = 0;
-  std::size_t assignments_failed = 0;
-  std::size_t calls_processed = 0;
-  std::size_t dead_stores_pruned = 0;
-};
+namespace {
 
 /// Walks one module's statements, recording the dependence fragment.
 /// Mirrors the original serial Builder exactly; `intern()` dedupes locally
@@ -509,10 +456,15 @@ class ModuleWalker {
   std::unordered_set<const Stmt*> dead_stores_;
 };
 
-/// Replays a fragment's op log against the shared metagraph, translating
-/// local ids through the global intern (idempotent across fragments: the
-/// first fragment in module order to intern a key sets its line/flags,
-/// exactly as the serial walk would).
+}  // namespace
+
+Fragment walk_module(const Module& m, const SymbolTables& tables,
+                     const BuilderOptions& opts) {
+  Fragment frag;
+  ModuleWalker(m, tables, opts, frag);
+  return frag;
+}
+
 void replay_fragment(const Fragment& frag, Metagraph& mg) {
   std::vector<NodeId> global(frag.keys.size());
   for (const Fragment::Op& op : frag.ops) {
@@ -537,17 +489,13 @@ void replay_fragment(const Fragment& frag, Metagraph& mg) {
   mg.dead_stores_pruned += frag.dead_stores_pruned;
 }
 
-}  // namespace
-
 Metagraph build_metagraph(const std::vector<const Module*>& modules,
                           const BuilderOptions& opts) {
   const std::vector<const Module*> kept = filter_modules(modules, opts);
   const SymbolTables tables = build_symbol_tables(kept, opts);
 
   auto walk_one = [&kept, &tables, &opts](std::size_t i) {
-    Fragment frag;
-    ModuleWalker(*kept[i], tables, opts, frag);
-    return frag;
+    return walk_module(*kept[i], tables, opts);
   };
 
   std::vector<Fragment> fragments;

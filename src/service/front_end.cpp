@@ -30,18 +30,26 @@ std::string read_file(const fs::path& path) {
 
 std::vector<std::pair<std::string, std::string>> collect_fortran_sources(
     const std::string& src_dir) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const std::string& path : collect_fortran_paths(src_dir)) {
+    sources.emplace_back(path, read_file(path));
+  }
+  return sources;
+}
+
+std::vector<std::string> collect_fortran_paths(const std::string& src_dir) {
   std::error_code ec;
   fs::recursive_directory_iterator it(src_dir, ec);
   if (ec) throw Error("cannot read source directory " + src_dir);
-  std::vector<std::pair<std::string, std::string>> sources;
+  std::vector<std::string> paths;
   for (const auto& entry : it) {
     if (!entry.is_regular_file()) continue;
     const std::string ext = to_lower(entry.path().extension().string());
     if (ext != ".f90" && ext != ".f" && ext != ".f95") continue;
-    sources.emplace_back(entry.path().string(), read_file(entry.path()));
+    paths.push_back(entry.path().string());
   }
-  std::sort(sources.begin(), sources.end());
-  return sources;
+  std::sort(paths.begin(), paths.end());
+  return paths;
 }
 
 std::vector<lang::SourceFile> parse_sources(

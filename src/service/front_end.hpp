@@ -23,6 +23,11 @@ namespace rca::service {
 std::vector<std::pair<std::string, std::string>> collect_fortran_sources(
     const std::string& src_dir);
 
+/// The same file set as collect_fortran_sources, paths only (sorted), no
+/// file contents read — the watch loop stats these every tick and reads
+/// only files whose mtime moved.
+std::vector<std::string> collect_fortran_paths(const std::string& src_dir);
+
 /// Parses sources into file-order slots (independent per file, so the pool
 /// can schedule them freely without changing the result). Parse failures
 /// land in `errors` by index, paired with their source path. `pool` may be

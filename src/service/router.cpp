@@ -198,6 +198,10 @@ Response Router::dispatch(const Request& req, const JsonValue& body) {
     if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
     return handle_lint(body);
   }
+  if (req.path == "/v1/session/patch") {
+    if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
+    return handle_patch(body);
+  }
   if (opts_.enable_test_routes && req.path == "/v1/_test/sleep") {
     const long long ms = body.get_int("ms", 0);
     std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -491,6 +495,87 @@ Response Router::handle_rank(const JsonValue& body) {
   w.end_array();
   w.end_object();
   return Response{200, w.str() + "\n"};
+}
+
+Response Router::handle_patch(const JsonValue& body) {
+  const JsonValue* s = body.get("session");
+  if (s == nullptr) {
+    fail(400, "bad_request", "/v1/session/patch needs \"session\"");
+  }
+  const std::string base_key = s->as_string();
+
+  SessionStore::PatchEdit edit;
+  if (const JsonValue* mods = body.get("modules")) {
+    for (const JsonValue& m : mods->items()) {
+      const std::string path = m.get_string("path");
+      if (path.empty()) {
+        fail(400, "bad_request", "each modules[] entry needs a \"path\"");
+      }
+      if (m.get("src") == nullptr) {
+        fail(400, "bad_request",
+             "modules[] entry '" + path + "' needs \"src\" text");
+      }
+      edit.upserts.emplace_back(path, m.get("src")->as_string());
+    }
+  }
+  edit.removes = body.get_string_array("remove");
+  if (edit.upserts.empty() && edit.removes.empty()) {
+    fail(400, "bad_request", "patch needs \"modules\" and/or \"remove\"");
+  }
+
+  SessionStore::PatchResult result;
+  try {
+    result = store_->patch(base_key, edit);
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    if (what.find("no resident session") != std::string::npos) {
+      fail(404, "session_not_found",
+           what + " (build it via /v1/graph/build)");
+    }
+    fail(400, "bad_request", what);
+  }
+
+  const meta::Metagraph& mg = result.session->metagraph();
+  JsonWriter w;
+  w.begin_object();
+  write_session_header(w, *result.session);
+  w.key("base_session");
+  w.string_value(base_key);
+  w.key("generation");
+  w.integer(static_cast<long long>(result.session->generation()));
+  w.key("rolled_back");
+  w.boolean(result.rolled_back);
+  w.key("resident_hit");
+  w.boolean(result.resident_hit);
+  w.key("full_rewalk");
+  w.boolean(result.full_rewalk);
+  w.key("rebuilt_modules");
+  w.integer(static_cast<long long>(result.rebuilt_modules));
+  w.key("reused_fragments");
+  w.integer(static_cast<long long>(result.reused_fragments));
+  w.key("spliced_nodes");
+  w.integer(static_cast<long long>(result.spliced_nodes));
+  w.key("nodes");
+  w.integer(static_cast<long long>(mg.node_count()));
+  w.key("edges");
+  w.integer(static_cast<long long>(mg.graph().edge_count()));
+  if (!result.errors.empty()) {
+    w.key("errors");
+    w.begin_array();
+    for (const auto& [path, message] : result.errors) {
+      w.begin_object();
+      w.key("path");
+      w.string_value(path);
+      w.key("message");
+      w.string_value(message);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  // A rolled-back patch is still a well-formed answer (the base session is
+  // intact and reported); 409 signals the edit itself was rejected.
+  return Response{result.rolled_back ? 409 : 200, w.str() + "\n"};
 }
 
 Response Router::handle_lint(const JsonValue& body) {

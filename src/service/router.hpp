@@ -19,6 +19,21 @@
 //   POST /v1/rank          {"session" | .., "kind": KIND, "top": n,
 //                           "modules": b}
 //   POST /v1/lint          {"session" | ..} -> rca.diagnostics.v1 embedded
+//   POST /v1/session/patch {"session": KEY,
+//                           "modules": [{"path": P, "src": TEXT}, ..],
+//                           "remove": [P, ..]}
+//                          incremental update of a resident session: only the
+//                          changed files are re-parsed and re-walked, yet the
+//                          committed graph is byte-identical to a cold build
+//                          of the edited corpus. Answers
+//                          {"session": NEWKEY, "base_session": KEY,
+//                           "generation": n, "rebuilt_modules": n,
+//                           "reused_fragments": n, "spliced_nodes": n,
+//                           "full_rewalk": b, "rolled_back": b,
+//                           "nodes": n, "edges": n}; on a parse failure or
+//                          injected fault the patch rolls back atomically —
+//                          "rolled_back": true, "errors": [{"path","message"}]
+//                          and the base session stays resident, unchanged.
 //
 // Execution model: health/metrics answer inline (they must work when the
 // pool is saturated — that is their job); everything else is parsed on the
@@ -111,6 +126,7 @@ class Router {
   Response handle_communities(const JsonValue& body);
   Response handle_rank(const JsonValue& body);
   Response handle_lint(const JsonValue& body);
+  Response handle_patch(const JsonValue& body);
 
   std::shared_ptr<const Session> resolve_session(const JsonValue& body);
 

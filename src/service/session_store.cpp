@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "fault/fault.hpp"
@@ -51,9 +52,22 @@ Session::Session(std::string key, SessionConfig config, SourceList sources)
       sources_(std::move(sources)) {}
 
 void Session::finalize_bytes() {
-  bytes_ = approx_graph_bytes(mg_);
+  bytes_ = approx_graph_bytes(*mg_);
   for (const auto& [path, text] : sources_) {
     bytes_ += path.size() + text.size();
+  }
+  if (txn_state_) {
+    // Fragment op logs are retained for incremental patching; account for
+    // them so the LRU budget stays honest. Shared fragments are charged to
+    // every generation holding them — deliberately conservative.
+    for (const auto& e : txn_state_->entries) {
+      if (!e.frag) continue;
+      bytes_ += e.frag->ops.size() * sizeof(meta::Fragment::Op);
+      for (const auto& k : e.frag->keys) {
+        bytes_ += k.module.size() + k.subprogram.size() + k.canonical.size() +
+                  16;
+      }
+    }
   }
 }
 
@@ -61,9 +75,14 @@ void Session::ensure_parsed(ThreadPool* pool) const {
   std::lock_guard<std::mutex> lock(lazy_mu_);
   if (parsed_) return;
   obs::count("service.session.parses");
-  files_ = parse_sources(sources_, pool, &parse_errors_);
+  std::vector<lang::SourceFile> parsed =
+      parse_sources(sources_, pool, &parse_errors_);
+  files_.reserve(parsed.size());
+  for (auto& f : parsed) {
+    files_.push_back(std::make_shared<const lang::SourceFile>(std::move(f)));
+  }
   for (const auto& f : files_) {
-    for (const auto& m : f.modules) {
+    for (const auto& m : f->modules) {
       if (in_build_list(config_.build_list, m.name)) modules_.push_back(&m);
     }
   }
@@ -92,12 +111,32 @@ const std::vector<std::pair<std::string, std::string>>& Session::parse_errors()
   return parse_errors_;
 }
 
+std::optional<std::vector<analysis::Diagnostic>> Session::cached_lint_diags()
+    const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (!lint_) return std::nullopt;
+  return lint_->diagnostics;
+}
+
 const analysis::AnalysisResult& Session::lint() const {
   ensure_parsed(parse_pool_);
   std::lock_guard<std::mutex> lock(lazy_mu_);
   if (!lint_) {
     analysis::PassManager pm = analysis::PassManager::default_passes();
-    analysis::AnalysisResult result = pm.run(modules_);
+    analysis::AnalysisResult result;
+    if (lint_seed_ && lint_seed_->dirty.size() == modules_.size()) {
+      // Incremental: run dataflow + passes only for modules whose files
+      // changed, then merge the diagnostics the base already computed for
+      // the clean ones. Exact because the seed is only installed when the
+      // patch's transaction saw every interface signature unchanged.
+      result = pm.run(modules_, lint_seed_->dirty);
+      result.diagnostics.insert(result.diagnostics.end(),
+                                lint_seed_->carried.begin(),
+                                lint_seed_->carried.end());
+      obs::count("service.patch.lint_reuse");
+    } else {
+      result = pm.run(modules_);
+    }
     // A file the front end cannot parse is itself a finding; fold parse
     // failures into the diagnostic stream like `rca-tool lint` does.
     for (const auto& [path, message] : parse_errors_) {
@@ -235,7 +274,7 @@ std::shared_ptr<Session> SessionStore::build_session_once(
   const meta::SnapshotKey skey = snapshot_key(config, session->sources());
   if (cache_) {
     if (std::optional<meta::Metagraph> mg = cache_->try_load(skey)) {
-      session->mg_ = std::move(*mg);
+      session->mg_ = std::make_shared<const meta::Metagraph>(std::move(*mg));
       session->warm_started_ = true;
       session->finalize_bytes();
       obs::count("service.session.builds");
@@ -277,12 +316,34 @@ std::shared_ptr<Session> SessionStore::build_session_once(
       return recorder.subprogram_executed(m, s);
     };
   }
-  session->mg_ = meta::build_metagraph(session->modules_, opts);
+  if (config.coverage) {
+    // Coverage filters select nodes by runtime execution, which the
+    // fragment transaction deliberately does not model — coverage sessions
+    // build monolithically and patch via cold rebuild.
+    session->mg_ = std::make_shared<const meta::Metagraph>(
+        meta::build_metagraph(session->modules_, opts));
+  } else {
+    // Cold builds run through the transaction layer (all modules dirty, no
+    // base) so every session is born with the fragment state that makes
+    // later patches incremental. run_transaction replays fragments in the
+    // same order build_metagraph walks them, so the graph is byte-identical.
+    std::vector<meta::TxnInput> inputs;
+    inputs.reserve(session->modules_.size());
+    for (const auto& f : session->files_) {
+      for (const auto& m : f->modules) {
+        if (!in_build_list(config.build_list, m.name)) continue;
+        inputs.push_back(meta::TxnInput{f->path, &m, /*dirty=*/true, f});
+      }
+    }
+    meta::TxnResult txn = meta::run_transaction(inputs, nullptr, opts);
+    session->mg_ = std::move(txn.mg);
+    session->txn_state_ = std::move(txn.state);
+  }
   session->finalize_bytes();
-  if (cache_) cache_->store(skey, session->mg_);
+  if (cache_) cache_->store(skey, *session->mg_);
   obs::count("service.session.builds");
   span.attr("warm", false);
-  span.attr("nodes", session->mg_.node_count());
+  span.attr("nodes", session->mg_->node_count());
   return session;
 }
 
@@ -295,17 +356,293 @@ void SessionStore::insert_resident(const std::string& key,
   entries_.emplace(key, Entry{std::move(session), lru_.begin()});
   // Evict least-recently-used entries over budget; the entry just inserted
   // is always kept (a session larger than the whole budget must still serve
-  // the request that built it).
+  // the request that built it), and pinned entries are skipped — a patch in
+  // flight must not have its base dropped out from under it.
   while (opts_.max_bytes != 0 && total_bytes_ > opts_.max_bytes &&
          lru_.size() > 1) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
+    // Least-recently-used unpinned entry, excluding the front (just
+    // inserted). If everything else is pinned there is nothing to evict.
+    auto vit = lru_.end();
+    for (auto it = std::prev(lru_.end()); it != lru_.begin(); --it) {
+      if (pins_.find(*it) == pins_.end()) {
+        vit = it;
+        break;
+      }
+    }
+    if (vit == lru_.end()) break;
+    const std::string victim = *vit;
+    lru_.erase(vit);
     auto it = entries_.find(victim);
     total_bytes_ -= it->second.session->bytes();
     entries_.erase(it);
     obs::count("service.session.evictions");
   }
   publish_gauges();
+}
+
+void SessionStore::pin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[key];
+}
+
+void SessionStore::unpin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(key);
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
+}
+
+bool SessionStore::pinned(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_.find(key) != pins_.end();
+}
+
+// ---------------------------------------------------------------------------
+// Incremental patching
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Balances pin()/unpin() across every patch exit path (including throws).
+class ScopedPin {
+ public:
+  ScopedPin(SessionStore& store, std::string key)
+      : store_(store), key_(std::move(key)) {
+    store_.pin(key_);
+  }
+  ~ScopedPin() { store_.unpin(key_); }
+  ScopedPin(const ScopedPin&) = delete;
+  ScopedPin& operator=(const ScopedPin&) = delete;
+
+ private:
+  SessionStore& store_;
+  std::string key_;
+};
+
+}  // namespace
+
+SessionStore::PatchResult SessionStore::patch(const std::string& base_key,
+                                              const PatchEdit& edit) {
+  obs::Span span("service.patch");
+  span.attr("base", base_key);
+  obs::count("service.patch.requests");
+
+  std::shared_ptr<const Session> base = lookup(base_key);
+  if (!base) throw Error("no resident session with key " + base_key);
+  ScopedPin pin_guard(*this, base_key);
+
+  // Apply the sparse edit to a copy of the base's sources. `changed` tracks
+  // the paths whose bytes actually differ — a same-text upsert is a no-op.
+  SourceList sources = base->sources();
+  std::vector<std::string> changed;
+  for (const auto& up : edit.upserts) {
+    const std::string& path = up.first;
+    bool found = false;
+    for (auto& e : sources) {
+      if (e.first != path) continue;
+      found = true;
+      if (e.second != up.second) {
+        e.second = up.second;
+        changed.push_back(path);
+      }
+      break;
+    }
+    if (!found) {
+      auto pos = std::lower_bound(
+          sources.begin(), sources.end(), path,
+          [](const std::pair<std::string, std::string>& e,
+             const std::string& p) { return e.first < p; });
+      sources.insert(pos, {path, up.second});
+      changed.push_back(path);
+    }
+  }
+  for (const auto& path : edit.removes) {
+    if (std::find(changed.begin(), changed.end(), path) != changed.end()) {
+      throw Error("patch both upserts and removes '" + path + "'");
+    }
+    auto it = std::find_if(
+        sources.begin(), sources.end(),
+        [&](const std::pair<std::string, std::string>& e) {
+          return e.first == path;
+        });
+    if (it == sources.end()) {
+      throw Error("patch removes unknown path '" + path + "'");
+    }
+    sources.erase(it);
+  }
+
+  const std::string key = compute_key(base->config(), sources);
+  if (key == base_key) {
+    obs::count("service.patch.noops");
+    PatchResult r;
+    r.session = std::move(base);
+    r.resident_hit = true;
+    return r;
+  }
+  if (auto resident = lookup(key)) {
+    obs::count("service.patch.noops");
+    PatchResult r;
+    r.session = std::move(resident);
+    r.resident_hit = true;
+    return r;
+  }
+
+  if (base->config().coverage) {
+    // Coverage-filtered graphs depend on runtime execution, which the
+    // fragment transaction does not model: rebuild from scratch instead.
+    obs::count("service.patch.cold_fallback");
+    PatchResult r;
+    r.session = get_or_build(base->config(), std::move(sources));
+    r.full_rewalk = true;
+    return r;
+  }
+
+  try {
+    return patch_build(base, key, std::move(sources), changed);
+  } catch (const fault::FaultInjected& e) {
+    // service.patch.parse or meta.txn.splice fired: nothing was published,
+    // the base session is still resident at its prior generation.
+    obs::count("service.patch.rollbacks");
+    span.attr("rolled_back", true);
+    PatchResult r;
+    r.session = std::move(base);
+    r.rolled_back = true;
+    r.errors.emplace_back("", e.what());
+    return r;
+  }
+}
+
+SessionStore::PatchResult SessionStore::patch_build(
+    const std::shared_ptr<const Session>& base, const std::string& key,
+    SourceList sources, const std::vector<std::string>& changed) {
+  obs::Span span("service.patch.build");
+  span.attr("key", key);
+  base->ensure_parsed(opts_.build_pool);
+
+  // Snapshot the base's parsed state. Immutable once parsed_ is set; the
+  // lock orders this read against a concurrent ensure_parsed().
+  std::vector<std::shared_ptr<const lang::SourceFile>> base_files;
+  std::vector<std::pair<std::string, std::string>> base_errors;
+  {
+    std::lock_guard<std::mutex> lock(base->lazy_mu_);
+    base_files = base->files_;
+    base_errors = base->parse_errors_;
+  }
+
+  const std::unordered_set<std::string> changed_set(changed.begin(),
+                                                    changed.end());
+
+  // Re-parse only the changed files; any failure rolls the whole patch back.
+  SourceList changed_sources;
+  for (const auto& e : sources) {
+    if (changed_set.count(e.first) != 0) changed_sources.push_back(e);
+  }
+  RCA_FAULT_POINT("service.patch.parse");
+  std::vector<std::pair<std::string, std::string>> parse_errors;
+  std::vector<lang::SourceFile> fresh =
+      parse_sources(changed_sources, opts_.build_pool, &parse_errors);
+  if (!parse_errors.empty()) {
+    obs::count("service.patch.rollbacks");
+    span.attr("rolled_back", true);
+    PatchResult r;
+    r.session = base;
+    r.rolled_back = true;
+    r.errors = std::move(parse_errors);
+    return r;
+  }
+
+  std::unordered_map<std::string, std::shared_ptr<const lang::SourceFile>>
+      by_path;
+  for (const auto& f : base_files) by_path.emplace(f->path, f);
+  for (auto& f : fresh) {
+    auto sp = std::make_shared<const lang::SourceFile>(std::move(f));
+    by_path[sp->path] = sp;  // fresh parse wins over the base's AST
+  }
+
+  // Assemble the patched session in corpus (path-sorted) order: fresh parses
+  // for changed files, the base's shared ASTs for the rest. A file the base
+  // could not parse stays degraded with its original error record — exactly
+  // what a from-scratch build of the edited corpus would produce.
+  auto session =
+      std::make_shared<Session>(key, base->config(), std::move(sources));
+  session->parse_pool_ = opts_.build_pool;
+  for (const auto& e : session->sources_) {
+    auto it = by_path.find(e.first);
+    if (it != by_path.end()) {
+      session->files_.push_back(it->second);
+      continue;
+    }
+    for (const auto& pe : base_errors) {
+      if (pe.first == e.first) session->parse_errors_.push_back(pe);
+    }
+  }
+  std::vector<meta::TxnInput> inputs;
+  std::vector<bool> dirty_mask;
+  for (const auto& f : session->files_) {
+    const bool dirty = changed_set.count(f->path) != 0;
+    for (const auto& m : f->modules) {
+      if (!in_build_list(session->config_.build_list, m.name)) continue;
+      session->modules_.push_back(&m);
+      inputs.push_back(meta::TxnInput{f->path, &m, dirty, f});
+      dirty_mask.push_back(dirty);
+    }
+  }
+  session->parsed_ = true;
+
+  meta::BuilderOptions bopts;
+  bopts.pool = opts_.build_pool;
+  bopts.prune_dead_stores = session->config_.prune_dead_stores;
+  // Throws fault::FaultInjected at meta.txn.splice; patch() maps that to a
+  // rollback. Nothing has been published yet, so unwinding is the rollback.
+  meta::TxnResult txn =
+      meta::run_transaction(inputs, base->txn_state_.get(), bopts, base->mg_);
+
+  session->mg_ = std::move(txn.mg);
+  session->txn_state_ = std::move(txn.state);
+  session->generation_ = base->generation_ + 1;
+
+  // Seed an incremental lint when fragment reuse was sound (same condition:
+  // every interface signature unchanged) and the base has lint results.
+  if (!txn.stats.full_rewalk) {
+    if (auto base_diags = base->cached_lint_diags()) {
+      std::unordered_set<std::string> present;
+      for (const auto& e : session->sources_) present.insert(e.first);
+      Session::LintSeed seed;
+      seed.dirty = dirty_mask;
+      for (const auto& d : *base_diags) {
+        if (d.rule == "parse-error") continue;  // re-folded by lint()
+        if (changed_set.count(d.file) != 0) continue;  // recomputed
+        if (present.count(d.file) == 0) continue;      // file removed
+        seed.carried.push_back(d);
+      }
+      session->lint_seed_ = std::move(seed);
+    }
+  }
+  session->finalize_bytes();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    insert_resident(key, session);
+  }
+  if (cache_) {
+    cache_->store(snapshot_key(session->config_, session->sources_),
+                  *session->mg_);
+  }
+  obs::count("service.session.builds");
+  obs::count("service.patch.commits");
+  obs::count("service.patch.rebuilt_modules", txn.stats.rebuilt_modules);
+  obs::count("service.patch.reused_fragments", txn.stats.reused_fragments);
+  obs::count("service.patch.spliced_nodes", txn.stats.spliced_nodes);
+  span.attr("rebuilt", txn.stats.rebuilt_modules);
+  span.attr("full_rewalk", txn.stats.full_rewalk);
+
+  PatchResult r;
+  r.session = std::move(session);
+  r.full_rewalk = txn.stats.full_rewalk;
+  r.rebuilt_modules = txn.stats.rebuilt_modules;
+  r.reused_fragments = txn.stats.reused_fragments;
+  r.spliced_nodes = txn.stats.spliced_nodes;
+  return r;
 }
 
 void SessionStore::publish_gauges() const {

@@ -26,7 +26,24 @@
 //   service.session.evictions   LRU evictions
 //   service.session.parses      corpus parses performed (front end runs)
 //   service.session.retries     cold builds retried after transient I/O
+//   service.patch.requests      patch() calls
+//   service.patch.commits       patches committed (new generation published)
+//   service.patch.rollbacks     patches rolled back (parse error or fault);
+//                               the base session is untouched
+//   service.patch.noops         patches whose edited corpus hashed to an
+//                               already-resident session
+//   service.patch.cold_fallback coverage-filtered bases rebuilt from scratch
 // Gauges: service.session.count, service.session.bytes.
+//
+// Incremental sessions: patch() takes a resident base session plus a sparse
+// edit (upserted/removed files), re-parses only the changed files, and runs a
+// meta::run_transaction to splice cached fragments with fresh ones — the
+// committed graph is byte-identical to a from-scratch build of the edited
+// corpus (pinned by tests/incremental_test.cpp). The base session is pinned
+// against LRU eviction for the duration and is never mutated: a failed patch
+// (parse error, injected fault at service.patch.parse or meta.txn.splice)
+// rolls back by simply not publishing, leaving the base resident at its
+// prior generation.
 #pragma once
 
 #include <cstddef>
@@ -45,6 +62,7 @@
 #include "lang/ast.hpp"
 #include "meta/metagraph.hpp"
 #include "meta/snapshot_cache.hpp"
+#include "meta/transaction.hpp"
 
 namespace rca {
 class ThreadPool;
@@ -71,11 +89,20 @@ class Session {
   const std::string& key() const { return key_; }
   const SessionConfig& config() const { return config_; }
   const SourceList& sources() const { return sources_; }
-  const meta::Metagraph& metagraph() const { return mg_; }
+  const meta::Metagraph& metagraph() const { return *mg_; }
   /// True when the graph came from the snapshot cache (no parse happened).
   bool warm_started() const { return warm_started_; }
   /// Approximate resident footprint, fixed at build time (LRU accounting).
   std::size_t bytes() const { return bytes_; }
+  /// 0 for cold/warm-started sessions; each committed patch publishes a new
+  /// session at the base's generation + 1.
+  std::uint64_t generation() const { return generation_; }
+  /// Per-module fragment state for incremental patching; null when the
+  /// session was warm-started from a snapshot or built under a coverage
+  /// filter (such sessions patch via cold rebuild).
+  const std::shared_ptr<const meta::TxnState>& txn_state() const {
+    return txn_state_;
+  }
   /// Parse failures from the front end run. Forces a parse if none has
   /// happened yet (warm-started sessions), so the reference is stable.
   const std::vector<std::pair<std::string, std::string>>& parse_errors() const;
@@ -97,20 +124,39 @@ class Session {
   /// counts service.session.parses when a parse actually runs.
   void ensure_parsed(ThreadPool* pool) const;
   void finalize_bytes();
+  /// Lint diagnostics if lint() already ran, else nullopt (never forces).
+  std::optional<std::vector<analysis::Diagnostic>> cached_lint_diags() const;
+
+  /// Seed for an incremental lint of a patched session: diagnostics carried
+  /// from the base for unchanged modules, plus the mask of modules whose
+  /// files changed (parallel to modules_). Only set when the transaction did
+  /// not escalate to a full re-walk — the same interface-stability condition
+  /// that makes per-module pass reuse exact.
+  struct LintSeed {
+    std::vector<analysis::Diagnostic> carried;
+    std::vector<bool> dirty;
+  };
 
   std::string key_;
   SessionConfig config_;
   SourceList sources_;
-  meta::Metagraph mg_;
+  // Shared so a touch-edit patch whose transaction proved the graph
+  // unchanged can alias the base session's graph (meta::TxnResult::mg).
+  std::shared_ptr<const meta::Metagraph> mg_;
   bool warm_started_ = false;
   std::size_t bytes_ = 0;
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<const meta::TxnState> txn_state_;
 
   mutable std::mutex lazy_mu_;
   mutable bool parsed_ = false;
-  mutable std::vector<lang::SourceFile> files_;
+  // shared_ptr so a patched session can alias the base's unchanged ASTs
+  // instead of re-parsing them (ASTs are move-only unique_ptr trees).
+  mutable std::vector<std::shared_ptr<const lang::SourceFile>> files_;
   mutable std::vector<const lang::Module*> modules_;  // build-list filtered
   mutable std::vector<std::pair<std::string, std::string>> parse_errors_;
   mutable std::optional<analysis::AnalysisResult> lint_;
+  mutable std::optional<LintSeed> lint_seed_;
   mutable ThreadPool* parse_pool_ = nullptr;  // set by the store
 };
 
@@ -156,6 +202,51 @@ class SessionStore {
   /// decides whether that is a 404 or a rebuild).
   std::shared_ptr<const Session> lookup(const std::string& key);
 
+  /// Sparse edit applied to a resident base session's sources.
+  struct PatchEdit {
+    /// (path, new text) — replaces the file if present, inserts it (sorted
+    /// by path) otherwise. Upserts whose text matches the current file are
+    /// ignored.
+    SourceList upserts;
+    /// Paths to delete; removing an unknown path is an error.
+    std::vector<std::string> removes;
+  };
+
+  struct PatchResult {
+    /// The committed session — or the untouched base when rolled_back.
+    std::shared_ptr<const Session> session;
+    bool rolled_back = false;
+    /// True when the edited corpus hashed to an already-resident session
+    /// (including the no-op edit) — nothing was parsed or built.
+    bool resident_hit = false;
+    bool full_rewalk = false;
+    std::size_t rebuilt_modules = 0;
+    std::size_t reused_fragments = 0;
+    std::size_t spliced_nodes = 0;
+    /// (path, message) parse failures that forced the rollback; a fault
+    /// injected mid-splice reports one entry with an empty path.
+    std::vector<std::pair<std::string, std::string>> errors;
+  };
+
+  /// Applies `edit` to the resident session `base_key` and publishes the
+  /// result as a new resident session at generation + 1 (also persisted to
+  /// the snapshot tier). Only the changed files are re-parsed and re-walked;
+  /// the committed graph is byte-identical to a cold build of the edited
+  /// corpus. If any changed file fails to parse — or a fault fires at
+  /// service.patch.parse / meta.txn.splice — the patch rolls back: the base
+  /// session stays resident and unchanged and the result carries the errors.
+  /// Throws rca::Error when base_key is not resident (the caller's 404).
+  /// No single-flight: concurrent identical patches race benignly (same key,
+  /// first insert wins).
+  PatchResult patch(const std::string& base_key, const PatchEdit& edit);
+
+  /// Generation pin: while held, `key` is exempt from LRU eviction (patch()
+  /// pins its base for the transaction's duration). Recursive; unpin() must
+  /// balance pin().
+  void pin(const std::string& key);
+  void unpin(const std::string& key);
+  bool pinned(const std::string& key) const;
+
   // Introspection (health endpoint, tests).
   std::size_t session_count() const;
   std::size_t resident_bytes() const;
@@ -173,6 +264,12 @@ class SessionStore {
   std::shared_ptr<Session> build_session_once(const std::string& key,
                                               const SessionConfig& config,
                                               const SourceList& sources);
+  /// The incremental core of patch(): parse changed files, run the
+  /// transaction, assemble + publish the patched session. Throws
+  /// fault::FaultInjected / rca::Error on rollback paths (patch() catches).
+  PatchResult patch_build(const std::shared_ptr<const Session>& base,
+                          const std::string& key, SourceList sources,
+                          const std::vector<std::string>& changed);
   void insert_resident(const std::string& key,
                        std::shared_ptr<const Session> session);
   void publish_gauges() const;
@@ -187,6 +284,7 @@ class SessionStore {
   };
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, int> pins_;  // key -> pin refcount
   std::size_t total_bytes_ = 0;
   std::unordered_map<std::string,
                      std::shared_future<std::shared_ptr<const Session>>>

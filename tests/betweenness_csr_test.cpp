@@ -462,6 +462,10 @@ TEST(Centrality, PooledPowerIterationBitIdentical) {
       ThreadPool pool(workers);
       PowerIterationOptions pooled;
       pooled.pool = &pool;
+      // The fixture sits far below the default min_pool_nodes threshold
+      // (which exists purely for speed); force the sharded path so this
+      // test keeps pinning its bit-identity.
+      pooled.min_pool_nodes = 0;
       const std::vector<double> got = eigenvector_centrality(g, dir, pooled);
       ASSERT_EQ(got.size(), expected.size());
       for (std::size_t v = 0; v < got.size(); ++v) {
