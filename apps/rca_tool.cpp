@@ -3,9 +3,11 @@
 //   rca-tool generate    --out DIR [--seed N] [--bug NAME] [--aux N]
 //   rca-tool graph       --src DIR [--build-list FILE] [--coverage] --out FILE
 //                        [--format v1|v2] [--jobs N] [--snapshot DIR]
-//                        [--prune-dead-stores]
+//                        [--prune-dead-stores] [--summary-prune]
 //   rca-tool lint        --src DIR [--build-list FILE] [--jobs N]
 //                        [--json FILE] [--tsv FILE] [--fail-on error|warn|none]
+//                        [--interprocedural | --no-interprocedural]
+//                        [--summaries-out FILE] [--fpsense-out FILE]
 //   rca-tool info        --graph FILE
 //   rca-tool slice       --graph FILE (--target NAME | --output LABEL)...
 //                        [--cam-only] [--drop-small N] [--dot FILE]
@@ -47,7 +49,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "analysis/fpsense.hpp"
 #include "analysis/passes.hpp"
+#include "analysis/summaries.hpp"
 #include "engine/pipeline.hpp"
 #include "fault/fault.hpp"
 #include "graph/centrality.hpp"
@@ -235,7 +239,10 @@ int cmd_graph(const Args& args) {
 
   const bool coverage = args.has("coverage");
   const int cov_steps = static_cast<int>(args.get_int("coverage-steps", 2));
-  const bool prune = args.has("prune-dead-stores");
+  // --summary-prune sharpens the liveness pruning with interprocedural
+  // mod/ref summaries; it implies --prune-dead-stores.
+  const bool summary_prune = args.has("summary-prune");
+  const bool prune = args.has("prune-dead-stores") || summary_prune;
 
   // Snapshot cache key: every (path, text) pair plus the build/coverage/
   // pruning configuration. A hit skips parse+build entirely.
@@ -243,10 +250,11 @@ int cmd_graph(const Args& args) {
   meta::SnapshotKey key;
   if (args.has("snapshot")) {
     cache.emplace(args.get("snapshot"));
-    key.add("rca-graph-snapshot-v2");
+    key.add("rca-graph-snapshot-v3");
     key.add_u64(coverage ? 1 : 0);
     key.add_u64(static_cast<std::uint64_t>(cov_steps));
     key.add_u64(prune ? 1 : 0);
+    key.add_u64(summary_prune ? 1 : 0);
     for (const auto& name : build_list) key.add(name);
     for (const auto& [path, text] : sources) {
       key.add(path);
@@ -281,6 +289,7 @@ int cmd_graph(const Args& args) {
     meta::BuilderOptions opts;
     opts.pool = pool.get();
     opts.prune_dead_stores = prune;
+    opts.summary_informed_pruning = summary_prune;
     std::unique_ptr<interp::Interpreter> cov_interp;
     interp::CoverageRecorder recorder;
     if (coverage) {
@@ -359,7 +368,16 @@ int cmd_lint(const Args& args) {
     }
   }
 
-  analysis::PassManager pm = analysis::PassManager::default_passes();
+  // Interprocedural rules are the default; --no-interprocedural restores the
+  // blanket-conservative call modelling (and computes no summaries).
+  const bool interprocedural = !args.has("no-interprocedural");
+  if (!interprocedural && (args.has("summaries-out") || args.has("fpsense-out"))) {
+    throw Error(
+        "lint: --summaries-out/--fpsense-out need interprocedural mode");
+  }
+  analysis::PassManager pm = interprocedural
+                                 ? analysis::PassManager::default_passes()
+                                 : analysis::PassManager::intraprocedural_passes();
   analysis::AnalysisResult result = pm.run(modules);
   // A file the front end cannot parse is itself a finding; fold parse
   // failures into the diagnostic stream so every emitter sees them.
@@ -391,6 +409,20 @@ int cmd_lint(const Args& args) {
     write_file(args.get("tsv"),
                analysis::diagnostics_to_tsv(result.diagnostics));
     std::printf("wrote TSV diagnostics to %s\n", args.get("tsv").c_str());
+  }
+  if (args.has("summaries-out") && result.summaries != nullptr) {
+    write_file(args.get("summaries-out"),
+               analysis::summaries_to_json(*result.summaries));
+    std::printf("wrote mod/ref summaries to %s\n",
+                args.get("summaries-out").c_str());
+  }
+  if (args.has("fpsense-out") && result.summaries != nullptr) {
+    const analysis::ProgramSymbols symbols(modules);
+    write_file(args.get("fpsense-out"),
+               analysis::fpsense_report_json(modules, symbols,
+                                             *result.summaries));
+    std::printf("wrote FP-sensitivity report to %s\n",
+                args.get("fpsense-out").c_str());
   }
 
   if (fail_on == "error") return errors > 0 ? 1 : 0;

@@ -84,6 +84,8 @@ class FactExtractor {
   FactExtractor(const VarTable& vars, const DataflowContext& ctx)
       : vars_(vars), ctx_(ctx) {}
 
+  std::size_t calls_resolved() const { return calls_resolved_; }
+
   StmtFacts extract(const CfgStmt& cs) {
     facts_ = StmtFacts{};
     switch (cs.role) {
@@ -129,18 +131,51 @@ class FactExtractor {
   }
 
   void extract_call(const Stmt& s) {
-    for (const auto& a : s.args) {
-      const std::size_t first = facts_.uses.size();
-      read_expr(a.get());
-      may_define_ref_arg(a.get());
-      mark_ref_arg_use_via_call(a.get(), first);
-    }
+    extract_call_args(s.callee, s.args, /*function_context=*/false);
   }
 
-  void may_define_ref_arg(const Expr* a) {
-    if (a == nullptr || !a->is_ref()) return;
-    const int id = vars_.lookup(a->base_name());
-    if (id >= 0) facts_.may_defs.push_back(id);
+  // Shared by `call` statements and function references: walks argument
+  // reads, then models the callee's effect on each by-reference argument —
+  // through its mod/ref summary when the context resolves one, and with the
+  // conservative blanket may-def otherwise.
+  void extract_call_args(const std::string& name,
+                         const std::vector<lang::ExprPtr>& args,
+                         bool function_context) {
+    std::optional<CallEffect> eff;
+    if (ctx_.call_effects) {
+      eff = ctx_.call_effects(name, args.size(), function_context);
+      if (eff && eff->args.size() != args.size()) eff.reset();
+      if (eff) ++calls_resolved_;
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const Expr* a = args[i].get();
+      const std::size_t first = facts_.uses.size();
+      read_expr(a);
+      if (a == nullptr || !a->is_ref()) continue;
+      const int id = vars_.lookup(a->base_name());
+      if (id < 0) continue;  // module-level data: no intraprocedural fact
+      if (!eff) {
+        facts_.may_defs.push_back(id);
+        mark_ref_arg_use_via_call(a, first);
+        continue;
+      }
+      const CallArgEffect& ae = eff->args[i];
+      const bool whole = a->segments.size() == 1 && !a->segments[0].has_args;
+      if (ae.definitely_writes && whole) {
+        facts_.kill_defs.push_back(id);
+      } else if (ae.may_write || ae.definitely_writes) {
+        facts_.may_defs.push_back(id);
+        facts_.summary_may_defs.push_back(id);
+      } else {
+        facts_.suppressed_defs.push_back(id);
+      }
+      for (std::size_t u = first; u < facts_.uses.size(); ++u) {
+        if (facts_.uses[u].expr != a) continue;
+        facts_.uses[u].via_call = true;
+        if (ae.observes_incoming) facts_.uses[u].summary_read = true;
+        if (!ae.may_read_incoming) facts_.uses[u].summary_ignored = true;
+      }
+    }
   }
 
   // Flags the top-level read a by-reference argument contributed (subscript
@@ -184,12 +219,7 @@ class FactExtractor {
     if (e->is_call_or_index() && !is_known_module_var(base) &&
         !interp::is_intrinsic_function(base)) {
       // Treat as a call: reference arguments may be written by the callee.
-      for (const auto& a : e->segments[0].args) {
-        const std::size_t first = facts_.uses.size();
-        read_expr(a.get());
-        may_define_ref_arg(a.get());
-        mark_ref_arg_use_via_call(a.get(), first);
-      }
+      extract_call_args(base, e->segments[0].args, /*function_context=*/true);
       return;
     }
     for (const auto& seg : e->segments) {
@@ -204,6 +234,7 @@ class FactExtractor {
   const VarTable& vars_;
   const DataflowContext& ctx_;
   StmtFacts facts_;
+  std::size_t calls_resolved_ = 0;
 };
 
 // Dense bit set sized once; subprograms are small, simplicity wins.
@@ -262,11 +293,13 @@ DataflowResult analyze_dataflow(const Subprogram& sp,
       r.facts[b].push_back(extractor.extract(cs));
     }
   }
+  r.calls_resolved = extractor.calls_resolved();
   for (const auto& block_facts : r.facts) {
     for (const StmtFacts& f : block_facts) {
       for (const UseSite& u : f.uses) ++r.use_counts[(std::size_t)u.var];
       if (f.def >= 0) ++r.def_counts[(std::size_t)f.def];
       for (int v : f.may_defs) ++r.def_counts[(std::size_t)v];
+      for (int v : f.kill_defs) ++r.def_counts[(std::size_t)v];
     }
   }
   // Extent and initializer expressions in declarations read variables too
@@ -288,6 +321,12 @@ DataflowResult analyze_dataflow(const Subprogram& sp,
     for (std::size_t i = 0; i < r.facts[b].size(); ++i) {
       const StmtFacts& f = r.facts[b][i];
       for (int v : f.may_defs) {
+        const int site = static_cast<int>(sites.size());
+        sites.push_back({v, false});
+        sites_of_var[(std::size_t)v].push_back(site);
+        stmt_sites[b][i].push_back(site);
+      }
+      for (int v : f.kill_defs) {
         const int site = static_cast<int>(sites.size());
         sites.push_back({v, false});
         sites_of_var[(std::size_t)v].push_back(site);
@@ -329,6 +368,13 @@ DataflowResult analyze_dataflow(const Subprogram& sp,
       }
       cur[(std::size_t)stmt_sites[b][i][slot++]] = 1;
     }
+    for (std::size_t k = 0; k < f.kill_defs.size(); ++k) {
+      // A whole-variable argument the callee assigns on every path kills
+      // like an assignment, including the uninitialized pseudo-def.
+      const int v = f.kill_defs[k];
+      for (int s : sites_of_var[(std::size_t)v]) cur[(std::size_t)s] = 0;
+      cur[(std::size_t)stmt_sites[b][i][slot++]] = 1;
+    }
     if (f.def >= 0) {
       const int site = stmt_sites[b][i][slot];
       if (f.kills) {
@@ -359,12 +405,21 @@ DataflowResult analyze_dataflow(const Subprogram& sp,
     }
   }
 
-  // Classify each read against the definitions that reach it.
+  // Classify each read against the definitions that reach it. Variables
+  // whose conservative call-clear was suppressed by a summary stay capped at
+  // maybe: interprocedural mode may surface new findings but never upgrades
+  // anything to the definite (error) tier the intraprocedural model missed.
+  Bits suppressed(nvars, 0);
+  for (const auto& block_facts : r.facts) {
+    for (const StmtFacts& f : block_facts) {
+      for (int v : f.suppressed_defs) suppressed[(std::size_t)v] = 1;
+    }
+  }
   for (std::size_t b = 0; b < nblocks; ++b) {
     Bits cur = rd_in[b];
     for (std::size_t i = 0; i < r.facts[b].size(); ++i) {
       for (const UseSite& u : r.facts[b][i].uses) {
-        if (u.via_call) continue;
+        if (u.via_call && !u.summary_read) continue;
         bool saw_uninit = false;
         bool saw_real = false;
         for (int s : sites_of_var[(std::size_t)u.var]) {
@@ -373,7 +428,9 @@ DataflowResult analyze_dataflow(const Subprogram& sp,
           else saw_real = true;
         }
         if (saw_uninit) {
-          r.use_before_def.push_back({u.var, u.expr, /*definite=*/!saw_real});
+          const bool definite =
+              !saw_real && !u.via_call && !suppressed[(std::size_t)u.var];
+          r.use_before_def.push_back({u.var, u.expr, definite});
         }
       }
       apply_stmt_defs(cur, b, i);
@@ -407,7 +464,10 @@ DataflowResult analyze_dataflow(const Subprogram& sp,
       for (std::size_t i = r.facts[bi].size(); i-- > 0;) {
         const StmtFacts& f = r.facts[bi][i];
         if (f.def >= 0 && f.kills) cur[(std::size_t)f.def] = 0;
-        for (const UseSite& u : f.uses) cur[(std::size_t)u.var] = 1;
+        for (int v : f.kill_defs) cur[(std::size_t)v] = 0;
+        for (const UseSite& u : f.uses) {
+          if (!u.summary_ignored) cur[(std::size_t)u.var] = 1;
+        }
       }
       if (cur != live_in[bi]) {
         live_in[bi] = std::move(cur);
@@ -432,7 +492,10 @@ DataflowResult analyze_dataflow(const Subprogram& sp,
         }
       }
       if (f.def >= 0 && f.kills) cur[(std::size_t)f.def] = 0;
-      for (const UseSite& u : f.uses) cur[(std::size_t)u.var] = 1;
+      for (int v : f.kill_defs) cur[(std::size_t)v] = 0;
+      for (const UseSite& u : f.uses) {
+        if (!u.summary_ignored) cur[(std::size_t)u.var] = 1;
+      }
     }
   }
   std::sort(r.dead_stores.begin(), r.dead_stores.end(),

@@ -12,11 +12,20 @@
 //     whole-variable assignments to locals that no path reads again;
 //   * flat def/use counts feeding the unused-variable and intent rules.
 //
-// Calls are modelled conservatively: a by-reference argument is both a use
-// and a non-killing may-definition of its base variable, so a `call` that
-// initializes an argument suppresses use-before-def reports downstream.
+// Calls are modelled conservatively by default: a by-reference argument is
+// both a use and a non-killing may-definition of its base variable, so a
+// `call` that initializes an argument suppresses use-before-def reports
+// downstream. When the context supplies a call-effect resolver (backed by
+// the interprocedural mod/ref summaries, summaries.hpp), call sites consult
+// the callee's summary instead: an argument the callee never reads is no
+// use, one it never writes is no definition, and one it definitely writes
+// kills like an assignment. An unresolved or recursive callee falls back to
+// the conservative model, so precision only ever increases.
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -58,13 +67,40 @@ class VarTable {
   std::unordered_map<std::string, int> index_;
 };
 
+/// What a resolved callee does with one positional argument, merged over
+/// every candidate a generic interface could dispatch to.
+struct CallArgEffect {
+  // Over-approximation: some candidate may observe the incoming value.
+  // `false` is a guarantee — passing the variable is not a read, so a prior
+  // store the caller never reads again is dead.
+  bool may_read_incoming = true;
+  // Under-approximation: every candidate certainly reads the incoming value
+  // on some path before writing it. Drives use-before-def reports at the
+  // call site; never set speculatively.
+  bool observes_incoming = false;
+  bool may_write = true;          // some candidate may assign the dummy
+  bool definitely_writes = false; // every candidate assigns it on all paths
+};
+
+struct CallEffect {
+  std::vector<CallArgEffect> args;  // parallel to the call's arguments
+};
+
+/// Resolves a call site to the callee's summarized argument effects.
+/// `function_context` distinguishes `name(...)` in an expression from a
+/// `call name(...)` statement. Returning nullopt (or a null function) keeps
+/// the conservative blanket may-def model for that site.
+using CallEffectFn = std::function<std::optional<CallEffect>(
+    const std::string& name, std::size_t nargs, bool function_context)>;
+
 /// Extra name resolution the dataflow walker uses to classify the ambiguous
 /// single-segment `name(...)` form when `name` is not a subprogram variable.
-/// Both sets are optional; absent sets make the walker conservative (treat as
-/// a call whose reference arguments may be written).
+/// All members are optional; absent ones make the walker conservative (treat
+/// as a call whose reference arguments may be read and written).
 struct DataflowContext {
   const std::unordered_set<std::string>* module_vars = nullptr;  // data names
   const std::unordered_set<std::string>* procedures = nullptr;   // callables
+  CallEffectFn call_effects;  // interprocedural mod/ref summaries
 };
 
 struct UseSite {
@@ -75,6 +111,13 @@ struct UseSite {
   // `call init(y)` is the canonical initialization idiom, and whether the
   // callee reads the dummy first is not knowable intraprocedurally.
   bool via_call = false;
+  // A resolved callee certainly reads the incoming value, so use-before-def
+  // may report this site after all (as a maybe, never definite).
+  bool summary_read = false;
+  // A resolved callee never reads the incoming value: excluded from
+  // liveness (a store that only feeds this argument is dead) but still part
+  // of the use totals, so unused-variable semantics are unchanged.
+  bool summary_ignored = false;
 };
 
 /// Use/def facts for one CfgStmt. Uses are evaluated before the def
@@ -84,6 +127,17 @@ struct StmtFacts {
   int def = -1;               // assignment target / do variable, -1 if none
   bool kills = false;         // def overwrites the whole variable
   std::vector<int> may_defs;  // by-reference call arguments (never kill)
+  // Whole-variable arguments a resolved callee assigns on every path: they
+  // kill like assignments, clearing the uninitialized pseudo-def.
+  std::vector<int> kill_defs;
+  // The subset of `may_defs` that came from a resolved summary (rather than
+  // the conservative blanket model) — intent-violation reports these.
+  std::vector<int> summary_may_defs;
+  // Variables whose conservative may-def was dropped because the resolved
+  // callee never writes them. Later reads may now see the uninitialized
+  // pseudo-def; classification caps those at maybe (a suppressed clear is
+  // summary-derived knowledge, not a syntactic certainty).
+  std::vector<int> suppressed_defs;
 };
 
 /// A read classified by reaching definitions.
@@ -99,8 +153,9 @@ struct DataflowResult {
   std::vector<std::vector<StmtFacts>> facts;  // parallel to cfg.blocks[b].stmts
   std::vector<UseBeforeDef> use_before_def;
   std::vector<const lang::Stmt*> dead_stores;  // kAssign stmts, source order
-  std::vector<int> def_counts;  // per var, includes may-defs
+  std::vector<int> def_counts;  // per var, includes may- and kill-defs
   std::vector<int> use_counts;  // per var, includes declaration expressions
+  std::size_t calls_resolved = 0;  // call sites answered by a summary
 
   explicit DataflowResult(const lang::Subprogram& sp)
       : cfg(build_cfg(sp)), vars(sp) {}

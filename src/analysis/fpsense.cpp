@@ -1,0 +1,299 @@
+#include "analysis/fpsense.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "analysis/summaries.hpp"
+#include "interp/intrinsics.hpp"
+#include "lang/printer.hpp"
+
+namespace rca::analysis {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::Module;
+using lang::Op;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::Subprogram;
+using lang::TypeKind;
+using lang::VarDecl;
+
+namespace {
+
+bool is_add_sub(const Expr& e) {
+  return e.kind == ExprKind::kBinary && (e.op == Op::kAdd || e.op == Op::kSub);
+}
+
+bool is_arithmetic(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kPow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Intrinsics that produce real values regardless of argument types.
+bool is_fp_intrinsic(const std::string& name) {
+  static const char* const kNames[] = {
+      "sqrt", "exp",  "log",  "log10", "sin",  "cos",  "tan",
+      "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh",
+  };
+  for (const char* n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+/// Classifies expressions as floating-point and collects the two site
+/// shapes. One instance per subprogram.
+class FpScanner {
+ public:
+  FpScanner(const Subprogram& sp, const ProgramSymbols::ModuleSyms* syms,
+            const FpCallOracle& returns_real, std::vector<FpSite>* out)
+      : sp_(sp), syms_(syms), returns_real_(returns_real), out_(out) {
+    for (const VarDecl& d : sp.decls) decls_.emplace(d.name, &d);
+    for (const auto& st : sp.body) walk_stmt(*st);
+  }
+
+ private:
+  void walk_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign:
+        scan_root(s.rhs.get(), s.lhs ? s.lhs->base_name() : std::string());
+        break;
+      case StmtKind::kCall:
+        for (const auto& a : s.args) scan_root(a.get(), "");
+        break;
+      case StmtKind::kIf:
+        scan_root(s.cond.get(), "");
+        for (const auto& st : s.body) walk_stmt(*st);
+        for (const auto& ei : s.elseifs) {
+          scan_root(ei.cond.get(), "");
+          for (const auto& st : ei.body) walk_stmt(*st);
+        }
+        for (const auto& st : s.else_body) walk_stmt(*st);
+        break;
+      case StmtKind::kDo:
+        scan_root(s.from.get(), "");
+        scan_root(s.to.get(), "");
+        scan_root(s.step.get(), "");
+        for (const auto& st : s.body) walk_stmt(*st);
+        break;
+      case StmtKind::kDoWhile:
+        scan_root(s.cond.get(), "");
+        for (const auto& st : s.body) walk_stmt(*st);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void scan_root(const Expr* e, const std::string& target) {
+    target_ = target;
+    scan(e, /*parent_is_chain=*/false);
+  }
+
+  void scan(const Expr* e, bool parent_is_chain) {
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::kUnary) {
+      scan(e->rhs.get(), false);
+      return;
+    }
+    if (e->kind == ExprKind::kRef) {
+      for (const auto& seg : e->segments) {
+        for (const auto& a : seg.args) scan(a.get(), false);
+      }
+      return;
+    }
+    if (e->kind != ExprKind::kBinary) return;
+    if (is_add_sub(*e)) {
+      // Reassociation: the top of a left-associated +/- chain of three or
+      // more FP terms — the compiler's association order changes the sum.
+      if (!parent_is_chain && chain_terms(*e) >= 3 && is_fp(*e)) {
+        out_->push_back({&sp_, e, FpSite::Kind::kReassociation, target_});
+      }
+      // Contraction: an FP add/subtract with a multiply operand, the shape
+      // FMA contraction fuses with a single rounding.
+      const bool mul_child =
+          (e->lhs && e->lhs->kind == ExprKind::kBinary &&
+           e->lhs->op == Op::kMul) ||
+          (e->rhs && e->rhs->kind == ExprKind::kBinary &&
+           e->rhs->op == Op::kMul);
+      if (mul_child && is_fp(*e)) {
+        out_->push_back({&sp_, e, FpSite::Kind::kContraction, target_});
+      }
+      scan(e->lhs.get(), true);
+      scan(e->rhs.get(), true);
+      return;
+    }
+    scan(e->lhs.get(), false);
+    scan(e->rhs.get(), false);
+  }
+
+  static int chain_terms(const Expr& e) {
+    if (!is_add_sub(e)) return 1;
+    return (e.lhs ? chain_terms(*e.lhs) : 1) + 1;
+  }
+
+  bool is_fp(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        return !e.is_int;
+      case ExprKind::kString:
+      case ExprKind::kLogical:
+        return false;
+      case ExprKind::kUnary:
+        return e.rhs != nullptr && (e.op == Op::kNeg || e.op == Op::kPlusSign)
+                   ? is_fp(*e.rhs)
+                   : false;
+      case ExprKind::kBinary:
+        if (!is_arithmetic(e.op)) return false;
+        return (e.lhs && is_fp(*e.lhs)) || (e.rhs && is_fp(*e.rhs));
+      case ExprKind::kRef:
+        break;
+    }
+    const std::string& base = e.base_name();
+    auto dit = decls_.find(base);
+    if (dit != decls_.end()) return dit->second->type.kind == TypeKind::kReal;
+    if (syms_ != nullptr) {
+      auto vit = syms_->vars.find(base);
+      if (vit != syms_->vars.end()) {
+        const VarDecl* d = vit->second.first->find_decl(vit->second.second);
+        return d != nullptr && d->type.kind == TypeKind::kReal;
+      }
+    }
+    if (e.is_call_or_index()) {
+      const std::size_t nargs = e.segments[0].args.size();
+      if (interp::is_intrinsic_function(base)) {
+        if (is_fp_intrinsic(base)) return true;
+        // abs/max/min/... follow their arguments.
+        for (const auto& a : e.segments[0].args) {
+          if (a && is_fp(*a)) return true;
+        }
+        return false;
+      }
+      if (returns_real_) return returns_real_(base, nargs);
+    }
+    return false;
+  }
+
+  const Subprogram& sp_;
+  const ProgramSymbols::ModuleSyms* syms_;
+  const FpCallOracle& returns_real_;
+  std::vector<FpSite>* out_;
+  std::unordered_map<std::string, const VarDecl*> decls_;
+  std::string target_;
+};
+
+void json_escape(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* fp_site_kind_name(FpSite::Kind k) {
+  return k == FpSite::Kind::kContraction ? "contraction" : "reassociation";
+}
+
+std::vector<FpSite> find_fp_sites(const Subprogram& sp,
+                                  const ProgramSymbols::ModuleSyms* syms,
+                                  const FpCallOracle& returns_real) {
+  std::vector<FpSite> out;
+  FpScanner(sp, syms, returns_real, &out);
+  std::sort(out.begin(), out.end(), [](const FpSite& a, const FpSite& b) {
+    if (a.expr->line != b.expr->line) return a.expr->line < b.expr->line;
+    if (a.expr->column != b.expr->column) return a.expr->column < b.expr->column;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return out;
+}
+
+std::string fpsense_report_json(const std::vector<const Module*>& modules,
+                                const ProgramSymbols& symbols,
+                                const ProgramSummaries& summaries) {
+  std::string out = "{\"schema\":\"rca.fpsense.v1\",\"sites\":[";
+  bool first = true;
+  for (const Module* m : modules) {
+    const ProgramSymbols::ModuleSyms* syms = symbols.module(m->name);
+    FpCallOracle oracle = [&](const std::string& name, std::size_t nargs) {
+      if (syms == nullptr) return false;
+      auto pit = syms->procs.find(name);
+      if (pit == syms->procs.end()) return false;
+      for (const ProcRef& c : pit->second) {
+        if (!c.sp->is_function() || c.sp->params.size() != nargs) continue;
+        const ProcSummary* ps = summaries.find(c.sp);
+        if (ps != nullptr && ps->returns_real) return true;
+      }
+      return false;
+    };
+    for (const Subprogram& sp : m->subprograms) {
+      for (const FpSite& site : find_fp_sites(sp, syms, oracle)) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"module\":\"";
+        json_escape(m->name, &out);
+        out += "\",\"subprogram\":\"";
+        json_escape(sp.name, &out);
+        out += "\",\"line\":";
+        out += std::to_string(site.expr->line);
+        out += ",\"column\":";
+        out += std::to_string(site.expr->column);
+        out += ",\"kind\":\"";
+        out += fp_site_kind_name(site.kind);
+        out += "\",\"expr\":\"";
+        json_escape(lang::print_expr(*site.expr), &out);
+        out += '"';
+        if (!site.target.empty()) {
+          out += ",\"target\":\"";
+          json_escape(site.target, &out);
+          out += '"';
+        }
+        out += '}';
+      }
+    }
+  }
+  out += "],\"fp_sensitive_procedures\":[";
+  std::vector<const ProcSummary*> fp;
+  for (const ProcSummary& p : summaries.procs) {
+    if (p.fp_sensitive) fp.push_back(&p);
+  }
+  std::sort(fp.begin(), fp.end(), [](const ProcSummary* a, const ProcSummary* b) {
+    return a->module != b->module ? a->module < b->module : a->name < b->name;
+  });
+  first = true;
+  for (const ProcSummary* p : fp) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"module\":\"";
+    json_escape(p->module, &out);
+    out += "\",\"name\":\"";
+    json_escape(p->name, &out);
+    out += "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace rca::analysis

@@ -1,8 +1,11 @@
 #include "analysis/passes.hpp"
 
 #include <algorithm>
+#include <set>
 #include <tuple>
 
+#include "analysis/fpsense.hpp"
+#include "analysis/summaries.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -46,35 +49,55 @@ ProgramSymbols::ProgramSymbols(const std::vector<const Module*>& modules) {
       }
     }
   }
-  for (const Module* m : modules) {
-    auto& syms = modules_[m->name];
-    auto process_use = [this, &syms](const lang::UseStmt& use) {
-      auto sit = modules_.find(use.module);
-      if (sit == modules_.end()) return;  // unresolved module: skip
-      const auto& src = sit->second;
-      auto import_one = [&](const std::string& local,
-                            const std::string& remote) {
-        auto pit = src.procs.find(remote);
-        if (pit != src.procs.end()) {
-          auto& vec = syms.procs[local];
-          vec.insert(vec.end(), pit->second.begin(), pit->second.end());
-        }
-        auto vit = src.vars.find(remote);
-        if (vit != src.vars.end()) {
-          syms.vars.emplace(local, vit->second);
+  // Imports resolve in two rounds against immutable snapshots, so the result
+  // is independent of module input order: round one imports each source
+  // module's own exports, round two re-imports from the post-round-one
+  // tables, which adds exactly one level of re-exported imports (`use b`
+  // where b itself does `use c`) — the same depth the builder sees.
+  auto apply_imports =
+      [this](const std::vector<const Module*>& mods,
+             const std::unordered_map<std::string, ModuleSyms>& sources) {
+        for (const Module* m : mods) {
+          auto& syms = modules_[m->name];
+          auto process_use = [&syms, &sources](const lang::UseStmt& use) {
+            auto sit = sources.find(use.module);
+            if (sit == sources.end()) return;  // unresolved module: skip
+            const auto& src = sit->second;
+            auto import_one = [&](const std::string& local,
+                                  const std::string& remote) {
+              auto pit = src.procs.find(remote);
+              if (pit != src.procs.end()) {
+                auto& vec = syms.procs[local];
+                for (const ProcRef& r : pit->second) {
+                  const bool present =
+                      std::any_of(vec.begin(), vec.end(),
+                                  [&](const ProcRef& x) { return x.sp == r.sp; });
+                  if (!present) vec.push_back(r);
+                }
+              }
+              auto vit = src.vars.find(remote);
+              if (vit != src.vars.end()) {
+                syms.vars.emplace(local, vit->second);
+              }
+            };
+            if (use.has_only) {
+              for (const auto& r : use.renames) import_one(r.local, r.remote);
+            } else {
+              for (const auto& [name, _] : src.procs) import_one(name, name);
+              for (const auto& [name, _] : src.vars) import_one(name, name);
+            }
+          };
+          for (const auto& use : m->uses) process_use(use);
+          for (const auto& sp : m->subprograms) {
+            for (const auto& use : sp.uses) process_use(use);
+          }
         }
       };
-      if (use.has_only) {
-        for (const auto& r : use.renames) import_one(r.local, r.remote);
-      } else {
-        for (const auto& [name, _] : src.procs) import_one(name, name);
-        for (const auto& [name, _] : src.vars) import_one(name, name);
-      }
-    };
-    for (const auto& use : m->uses) process_use(use);
-    for (const auto& sp : m->subprograms) {
-      for (const auto& use : sp.uses) process_use(use);
-    }
+  {
+    const std::unordered_map<std::string, ModuleSyms> own_exports = modules_;
+    apply_imports(modules, own_exports);
+    const std::unordered_map<std::string, ModuleSyms> with_direct = modules_;
+    apply_imports(modules, with_direct);
   }
   for (auto& [_, syms] : modules_) {
     for (const auto& [name, __] : syms.vars) syms.var_names.insert(name);
@@ -117,7 +140,7 @@ Diagnostic make_diag(const std::string& rule, Severity sev,
 // ---------------------------------------------------------------------------
 
 void pass_use_before_def(const ModuleAnalysis& ma, const ProgramSymbols&,
-                         std::vector<Diagnostic>* out) {
+                         const PassContext&, std::vector<Diagnostic>* out) {
   for (std::size_t s = 0; s < ma.subs.size(); ++s) {
     const Subprogram& sp = ma.module->subprograms[s];
     const DataflowResult& flow = ma.subs[s];
@@ -170,7 +193,7 @@ void pass_use_before_def(const ModuleAnalysis& ma, const ProgramSymbols&,
 // ---------------------------------------------------------------------------
 
 void pass_dead_store(const ModuleAnalysis& ma, const ProgramSymbols&,
-                     std::vector<Diagnostic>* out) {
+                     const PassContext&, std::vector<Diagnostic>* out) {
   for (std::size_t s = 0; s < ma.subs.size(); ++s) {
     const Subprogram& sp = ma.module->subprograms[s];
     const DataflowResult& flow = ma.subs[s];
@@ -194,7 +217,7 @@ void pass_dead_store(const ModuleAnalysis& ma, const ProgramSymbols&,
 // ---------------------------------------------------------------------------
 
 void pass_unused_variable(const ModuleAnalysis& ma, const ProgramSymbols&,
-                          std::vector<Diagnostic>* out) {
+                          const PassContext&, std::vector<Diagnostic>* out) {
   for (std::size_t s = 0; s < ma.subs.size(); ++s) {
     const Subprogram& sp = ma.module->subprograms[s];
     const DataflowResult& flow = ma.subs[s];
@@ -220,44 +243,62 @@ void pass_unused_variable(const ModuleAnalysis& ma, const ProgramSymbols&,
 // ---------------------------------------------------------------------------
 
 void pass_intent_violation(const ModuleAnalysis& ma, const ProgramSymbols&,
-                           std::vector<Diagnostic>* out) {
+                           const PassContext&, std::vector<Diagnostic>* out) {
   for (std::size_t s = 0; s < ma.subs.size(); ++s) {
     const Subprogram& sp = ma.module->subprograms[s];
     const DataflowResult& flow = ma.subs[s];
 
-    // Direct writes to intent(in) dummies; first site per variable. Call
-    // may-defs are speculative (callee intent unknown) and stay exempt.
-    std::unordered_map<int, const Stmt*> first_write;
+    // Writes to intent(in) dummies; first site per variable. Direct
+    // assignments are errors; passing the dummy to a callee whose summary
+    // says it assigns its argument is summary-derived knowledge and stays a
+    // warning. Blanket (unresolved) call may-defs remain exempt.
+    struct Write {
+      const Stmt* st = nullptr;
+      bool direct = false;
+    };
+    std::unordered_map<int, Write> first_write;
+    auto note_write = [&](int v, const Stmt* st, bool direct) {
+      const VarInfo& info = flow.vars.var(v);
+      if (info.kind != VarKind::kDummy || info.intent != Intent::kIn) return;
+      auto [it, inserted] = first_write.emplace(v, Write{st, direct});
+      if (!inserted && std::tie(st->line, st->column) <
+                           std::tie(it->second.st->line,
+                                    it->second.st->column)) {
+        it->second = Write{st, direct};
+      }
+    };
     for (std::size_t b = 0; b < flow.facts.size(); ++b) {
       for (std::size_t i = 0; i < flow.facts[b].size(); ++i) {
         const StmtFacts& f = flow.facts[b][i];
-        if (f.def < 0) continue;
-        const VarInfo& info = flow.vars.var(f.def);
-        if (info.kind != VarKind::kDummy || info.intent != Intent::kIn) {
-          continue;
-        }
         const Stmt* st = flow.cfg.blocks[b].stmts[i].stmt;
-        auto [it, inserted] = first_write.emplace(f.def, st);
-        if (!inserted && std::tie(st->line, st->column) <
-                             std::tie(it->second->line, it->second->column)) {
-          it->second = st;
-        }
+        if (f.def >= 0) note_write(f.def, st, /*direct=*/true);
+        for (int v : f.kill_defs) note_write(v, st, /*direct=*/false);
+        for (int v : f.summary_may_defs) note_write(v, st, /*direct=*/false);
       }
     }
-    std::vector<std::pair<int, const Stmt*>> writes(first_write.begin(),
-                                                    first_write.end());
+    std::vector<std::pair<int, Write>> writes(first_write.begin(),
+                                              first_write.end());
     std::sort(writes.begin(), writes.end(),
               [](const auto& a, const auto& b) {
-                return std::tie(a.second->line, a.second->column, a.first) <
-                       std::tie(b.second->line, b.second->column, b.first);
+                return std::tie(a.second.st->line, a.second.st->column,
+                                a.first) <
+                       std::tie(b.second.st->line, b.second.st->column,
+                                b.first);
               });
-    for (const auto& [v, st] : writes) {
+    for (const auto& [v, w] : writes) {
       const VarInfo& info = flow.vars.var(v);
+      std::string msg =
+          w.direct
+              ? strfmt("dummy argument '%s' has intent(in) and cannot be "
+                       "assigned",
+                       info.name.c_str())
+              : strfmt("dummy argument '%s' has intent(in) but is passed to "
+                       "a procedure that assigns it",
+                       info.name.c_str());
       out->push_back(make_diag(
-          "intent-violation", Severity::kError, ma, sp, info.name,
-          strfmt("dummy argument '%s' has intent(in) and cannot be assigned",
-                 info.name.c_str()),
-          st->line, st->column, st->end_line));
+          "intent-violation", w.direct ? Severity::kError : Severity::kWarning,
+          ma, sp, info.name, std::move(msg), w.st->line, w.st->column,
+          w.st->end_line));
     }
 
     for (std::size_t v = 0; v < flow.vars.size(); ++v) {
@@ -280,7 +321,7 @@ void pass_intent_violation(const ModuleAnalysis& ma, const ProgramSymbols&,
 // ---------------------------------------------------------------------------
 
 void pass_shadowing(const ModuleAnalysis& ma, const ProgramSymbols& symbols,
-                    std::vector<Diagnostic>* out) {
+                    const PassContext&, std::vector<Diagnostic>* out) {
   const ProgramSymbols::ModuleSyms* syms = symbols.module(ma.module->name);
   if (syms == nullptr) return;
   for (std::size_t s = 0; s < ma.subs.size(); ++s) {
@@ -575,8 +616,200 @@ class CallChecker {
 };
 
 void pass_call_mismatch(const ModuleAnalysis& ma, const ProgramSymbols& symbols,
-                        std::vector<Diagnostic>* out) {
+                        const PassContext&, std::vector<Diagnostic>* out) {
   CallChecker(ma, symbols, out).run();
+}
+
+// ---------------------------------------------------------------------------
+// unused-dummy (interprocedural only).
+// ---------------------------------------------------------------------------
+
+void pass_unused_dummy(const ModuleAnalysis& ma, const ProgramSymbols&,
+                       const PassContext&, std::vector<Diagnostic>* out) {
+  for (std::size_t s = 0; s < ma.subs.size(); ++s) {
+    const Subprogram& sp = ma.module->subprograms[s];
+    const DataflowResult& flow = ma.subs[s];
+    for (std::size_t v = 0; v < flow.vars.size(); ++v) {
+      const VarInfo& info = flow.vars.var(static_cast<int>(v));
+      if (info.kind != VarKind::kDummy) continue;
+      if (flow.use_counts[v] > 0 || flow.def_counts[v] > 0) continue;
+      out->push_back(make_diag(
+          "unused-dummy", Severity::kWarning, ma, sp, info.name,
+          strfmt("dummy argument '%s' is never used", info.name.c_str()),
+          info.line, 0, info.line));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// write-to-read-only-global (interprocedural only).
+// ---------------------------------------------------------------------------
+
+/// Finds writes to `parameter` module variables: direct assignments (the
+/// dataflow facts skip module-level targets, so this walks statements) and
+/// reference arguments a resolved callee writes.
+class ReadOnlyGlobalChecker {
+ public:
+  ReadOnlyGlobalChecker(const ModuleAnalysis& ma, const ProgramSymbols& symbols,
+                        const PassContext& ctx, std::vector<Diagnostic>* out)
+      : ma_(ma), syms_(symbols.module(ma.module->name)), ctx_(ctx), out_(out) {}
+
+  void run() {
+    if (syms_ == nullptr) return;
+    for (std::size_t s = 0; s < ma_.subs.size(); ++s) {
+      sp_ = &ma_.module->subprograms[s];
+      vars_ = &ma_.subs[s].vars;
+      for (const auto& st : sp_->body) walk_stmt(*st);
+    }
+  }
+
+ private:
+  // The declaration behind a module-variable name, when it is a parameter.
+  const VarDecl* read_only_decl(const std::string& base) const {
+    if (vars_->lookup(base) >= 0) return nullptr;  // shadowed by a local
+    auto vit = syms_->vars.find(base);
+    if (vit == syms_->vars.end()) return nullptr;
+    const VarDecl* d = vit->second.first->find_decl(vit->second.second);
+    return d != nullptr && d->is_parameter ? d : nullptr;
+  }
+
+  void walk_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        const std::string& base = s.lhs->base_name();
+        if (read_only_decl(base) != nullptr) {
+          out_->push_back(make_diag(
+              "write-to-read-only-global", Severity::kError, ma_, *sp_, base,
+              strfmt("assignment to read-only module variable '%s'",
+                     base.c_str()),
+              s.line, s.column, s.end_line));
+        }
+        walk_expr(s.rhs.get());
+        break;
+      }
+      case StmtKind::kCall:
+        check_args(s.callee, s.args, /*function_context=*/false, s.line,
+                   s.column, s.end_line);
+        break;
+      case StmtKind::kIf:
+        walk_expr(s.cond.get());
+        for (const auto& st : s.body) walk_stmt(*st);
+        for (const auto& ei : s.elseifs) {
+          walk_expr(ei.cond.get());
+          for (const auto& st : ei.body) walk_stmt(*st);
+        }
+        for (const auto& st : s.else_body) walk_stmt(*st);
+        break;
+      case StmtKind::kDo:
+        walk_expr(s.from.get());
+        walk_expr(s.to.get());
+        walk_expr(s.step.get());
+        for (const auto& st : s.body) walk_stmt(*st);
+        break;
+      case StmtKind::kDoWhile:
+        walk_expr(s.cond.get());
+        for (const auto& st : s.body) walk_stmt(*st);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void walk_expr(const Expr* e) {
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::kUnary || e->kind == ExprKind::kBinary) {
+      walk_expr(e->lhs.get());
+      walk_expr(e->rhs.get());
+      return;
+    }
+    if (e->kind != ExprKind::kRef) return;
+    const std::string& base = e->base_name();
+    if (e->is_call_or_index() && vars_->lookup(base) < 0 &&
+        syms_->vars.find(base) == syms_->vars.end()) {
+      check_args(base, e->segments[0].args, /*function_context=*/true, e->line,
+                 e->column, e->end_line);
+      return;
+    }
+    for (const auto& seg : e->segments) {
+      for (const auto& a : seg.args) walk_expr(a.get());
+    }
+  }
+
+  void check_args(const std::string& name,
+                  const std::vector<lang::ExprPtr>& args, bool function_context,
+                  int line, int column, int end_line) {
+    for (const auto& a : args) walk_expr(a.get());
+    if (!ctx_.call_effects) return;
+    const std::optional<CallEffect> eff =
+        ctx_.call_effects(name, args.size(), function_context);
+    if (!eff || eff->args.size() != args.size()) return;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const Expr* a = args[i].get();
+      if (a == nullptr || !a->is_ref()) continue;
+      const CallArgEffect& ae = eff->args[i];
+      if (!ae.may_write && !ae.definitely_writes) continue;
+      if (read_only_decl(a->base_name()) == nullptr) continue;
+      out_->push_back(make_diag(
+          "write-to-read-only-global", Severity::kWarning, ma_, *sp_,
+          a->base_name(),
+          strfmt("read-only module variable '%s' is passed to '%s', which "
+                 "assigns it",
+                 a->base_name().c_str(), name.c_str()),
+          line, column, end_line));
+    }
+  }
+
+  const ModuleAnalysis& ma_;
+  const ProgramSymbols::ModuleSyms* syms_ = nullptr;
+  const PassContext& ctx_;
+  std::vector<Diagnostic>* out_ = nullptr;
+  const Subprogram* sp_ = nullptr;
+  const VarTable* vars_ = nullptr;
+};
+
+void pass_write_readonly_global(const ModuleAnalysis& ma,
+                                const ProgramSymbols& symbols,
+                                const PassContext& ctx,
+                                std::vector<Diagnostic>* out) {
+  ReadOnlyGlobalChecker(ma, symbols, ctx, out).run();
+}
+
+// ---------------------------------------------------------------------------
+// fp-sensitivity (interprocedural only; see fpsense.hpp).
+// ---------------------------------------------------------------------------
+
+void pass_fp_sensitivity(const ModuleAnalysis& ma, const ProgramSymbols& symbols,
+                         const PassContext& ctx,
+                         std::vector<Diagnostic>* out) {
+  const ProgramSymbols::ModuleSyms* syms = symbols.module(ma.module->name);
+  FpCallOracle oracle = [&](const std::string& name, std::size_t nargs) {
+    if (syms == nullptr || ctx.summaries == nullptr) return false;
+    auto pit = syms->procs.find(name);
+    if (pit == syms->procs.end()) return false;
+    for (const ProcRef& c : pit->second) {
+      if (!c.sp->is_function() || c.sp->params.size() != nargs) continue;
+      const ProcSummary* ps = ctx.summaries->find(c.sp);
+      if (ps != nullptr && ps->returns_real) return true;
+    }
+    return false;
+  };
+  for (std::size_t s = 0; s < ma.subs.size(); ++s) {
+    const Subprogram& sp = ma.module->subprograms[s];
+    for (const FpSite& site : find_fp_sites(sp, syms, oracle)) {
+      const char* why =
+          site.kind == FpSite::Kind::kContraction
+              ? "FMA contraction can change its rounding"
+              : "reassociation can change its value";
+      std::string msg =
+          site.target.empty()
+              ? strfmt("expression is FP-sensitive: %s", why)
+              : strfmt("expression assigned to '%s' is FP-sensitive: %s",
+                       site.target.c_str(), why);
+      out->push_back(make_diag("fp-sensitivity", Severity::kNote, ma, sp,
+                               site.target, std::move(msg), site.expr->line,
+                               site.expr->column, site.expr->end_line));
+    }
+  }
 }
 
 }  // namespace
@@ -605,15 +838,66 @@ AnalysisResult PassManager::run(
 
 AnalysisResult PassManager::run(const std::vector<const Module*>& modules,
                                 const std::vector<bool>& dirty) const {
+  return run(modules, dirty, nullptr);
+}
+
+AnalysisResult PassManager::run(const std::vector<const Module*>& modules,
+                                const std::vector<bool>& dirty,
+                                const SummaryBaseline* baseline) const {
   RCA_CHECK_MSG(dirty.size() == modules.size(),
                 "dirty mask must parallel the module list");
   obs::Span span("lint");
   ProgramSymbols symbols(modules);
 
+  // Interprocedural mode: compute (or incrementally refresh) the program
+  // summaries first, then widen the dirty set to the reverse caller cone of
+  // every module whose summary signature changed — a body patch can shift
+  // lint results anywhere a summary consumer lives.
+  std::shared_ptr<const ProgramSummaries> summaries;
+  std::vector<bool> effective = dirty;
+  if (interprocedural_) {
+    obs::Span sum_span("lint.summaries");
+    std::set<std::string> dirty_names;
+    if (baseline != nullptr) {
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        if (dirty[i]) dirty_names.insert(modules[i]->name);
+      }
+    }
+    summaries = std::make_shared<ProgramSummaries>(
+        compute_summaries(modules, symbols, baseline,
+                          baseline != nullptr ? &dirty_names : nullptr));
+    if (baseline != nullptr) {
+      std::set<std::string> changed;
+      for (const auto& [mod, sig] : summaries->module_sigs) {
+        auto it = baseline->module_sigs.find(mod);
+        if (it == baseline->module_sigs.end() || it->second != sig) {
+          changed.insert(mod);
+        }
+      }
+      const std::set<std::string> cone = summary_cone(summaries->cg, changed);
+      std::size_t widened = 0;
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        if (!effective[i] && cone.count(modules[i]->name) > 0) {
+          effective[i] = true;
+          ++widened;
+        }
+      }
+      obs::count("lint.summary.cone_modules", cone.size());
+      obs::count("lint.summary.cone_widened", widened);
+    }
+    obs::count("lint.summary.procs", summaries->procs.size());
+    obs::count("lint.summary.procs_recomputed", summaries->procs_recomputed);
+    obs::count("lint.summary.procs_reused", summaries->procs_reused);
+    sum_span.attr("procs", summaries->procs.size());
+  }
+
   std::vector<ModuleAnalysis> analyses;
+  std::vector<PassContext> contexts;
   analyses.reserve(modules.size());
+  contexts.reserve(modules.size());
   std::size_t subprograms = 0;
   std::size_t analyzed = 0;
+  std::size_t calls_resolved = 0;
   {
     obs::Span flow_span("lint.dataflow");
     for (std::size_t mi = 0; mi < modules.size(); ++mi) {
@@ -621,7 +905,7 @@ AnalysisResult PassManager::run(const std::vector<const Module*>& modules,
       // Totals always cover the whole corpus so an incremental run merged
       // with carried diagnostics reports the same counts as a full run.
       subprograms += m->subprograms.size();
-      if (!dirty[mi]) continue;
+      if (!effective[mi]) continue;
       ++analyzed;
       ModuleAnalysis ma;
       ma.module = m;
@@ -631,24 +915,34 @@ AnalysisResult PassManager::run(const std::vector<const Module*>& modules,
         ctx.module_vars = &syms->var_names;
         ctx.procedures = &syms->proc_names;
       }
+      PassContext pctx;
+      if (summaries != nullptr) {
+        pctx.summaries = summaries.get();
+        pctx.call_effects = make_call_effects(symbols, *summaries, m->name);
+        ctx.call_effects = pctx.call_effects;
+      }
       ma.subs.reserve(m->subprograms.size());
       for (const Subprogram& sp : m->subprograms) {
         ma.subs.push_back(analyze_dataflow(sp, ctx));
+        calls_resolved += ma.subs.back().calls_resolved;
       }
       analyses.push_back(std::move(ma));
+      contexts.push_back(std::move(pctx));
     }
   }
 
   AnalysisResult result;
   result.modules = modules.size();
   result.subprograms = subprograms;
+  result.summaries = summaries;
+  result.analyzed = std::move(effective);
   obs::Registry& reg = obs::global();
   for (const Pass& p : passes_) {
     std::uint32_t sid = 0;
     if (reg.enabled()) sid = reg.begin_span("lint.pass." + p.id);
     const std::size_t before = result.diagnostics.size();
-    for (const ModuleAnalysis& ma : analyses) {
-      p.fn(ma, symbols, &result.diagnostics);
+    for (std::size_t i = 0; i < analyses.size(); ++i) {
+      p.fn(analyses[i], symbols, contexts[i], &result.diagnostics);
     }
     const std::size_t found = result.diagnostics.size() - before;
     if (reg.enabled()) {
@@ -668,6 +962,9 @@ AnalysisResult PassManager::run(const std::vector<const Module*>& modules,
   if (analyzed < modules.size()) {
     obs::count("lint.modules_skipped", modules.size() - analyzed);
   }
+  if (interprocedural_) {
+    obs::count("lint.summary.calls_resolved", calls_resolved);
+  }
   obs::count("lint.diagnostics", result.diagnostics.size());
   obs::count("lint.errors", result.count(Severity::kError));
   obs::count("lint.warnings", result.count(Severity::kWarning));
@@ -677,6 +974,15 @@ AnalysisResult PassManager::run(const std::vector<const Module*>& modules,
 }
 
 PassManager PassManager::default_passes() {
+  PassManager pm = intraprocedural_passes();
+  pm.interprocedural_ = true;
+  pm.add_pass("unused-dummy", pass_unused_dummy);
+  pm.add_pass("write-to-read-only-global", pass_write_readonly_global);
+  pm.add_pass("fp-sensitivity", pass_fp_sensitivity);
+  return pm;
+}
+
+PassManager PassManager::intraprocedural_passes() {
   PassManager pm;
   pm.add_pass("use-before-def", pass_use_before_def);
   pm.add_pass("dead-store", pass_dead_store);

@@ -9,20 +9,31 @@
 // the manager sorts them deterministically and feeds the `lint.*` counters
 // and per-pass spans in the observability registry.
 //
-// Default rules:
+// Default rules (interprocedural — call sites resolve through the mod/ref
+// summaries of summaries.hpp, so the dataflow rules see through the call
+// chain; `intraprocedural_passes()` keeps the PR 3 behavior):
 //   use-before-def   read of a variable no assignment reaches (error when
 //                    only the uninitialized state reaches, warning when
-//                    some path assigns first)
+//                    some path assigns first or the finding is
+//                    summary-derived)
 //   dead-store       whole-variable assignment to a local never read after
 //   unused-variable  local declared (or assigned) but never read
-//   intent-violation assignment to an intent(in) dummy; intent(out) dummy
-//                    never assigned
+//   intent-violation assignment to an intent(in) dummy — directly or by
+//                    passing it to a callee that assigns its dummy;
+//                    intent(out) dummy never assigned
 //   shadowing        local/dummy hiding a visible module variable/procedure
 //   call-mismatch    no candidate of a resolved callee matches the call's
 //                    arity, or none is type-viable for its arguments
+//   unused-dummy     dummy argument never read or written (interproc only)
+//   write-to-read-only-global
+//                    assignment to a `parameter` module variable, or passing
+//                    one to a callee that writes it (interproc only)
+//   fp-sensitivity   contraction/reassociation-prone FP expression sites
+//                    (notes; interproc only — see fpsense.hpp)
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -73,13 +84,31 @@ struct ModuleAnalysis {
   std::vector<DataflowResult> subs;  // parallel to module->subprograms
 };
 
+struct ProgramSummaries;
+struct SummaryBaseline;
+
+/// Per-module context a pass runs under. In intraprocedural mode both
+/// members are empty.
+struct PassContext {
+  const ProgramSummaries* summaries = nullptr;
+  // Call-effect resolver scoped to the module under analysis (the same one
+  // its dataflow ran with).
+  CallEffectFn call_effects;
+};
+
 using PassFn = std::function<void(const ModuleAnalysis&, const ProgramSymbols&,
+                                  const PassContext&,
                                   std::vector<Diagnostic>*)>;
 
 struct AnalysisResult {
   std::vector<Diagnostic> diagnostics;  // sorted by diagnostic_less
   std::size_t modules = 0;
   std::size_t subprograms = 0;
+  // Interprocedural runs: the program summaries (kept alive for callers
+  // that dump them) and the final per-module analysis mask after summary
+  // invalidation widened the input dirty set.
+  std::shared_ptr<const ProgramSummaries> summaries;
+  std::vector<bool> analyzed;
 
   std::size_t count(Severity s) const;
 };
@@ -99,12 +128,25 @@ class PassManager {
   /// here — the caller merges their previously computed diagnostics back in,
   /// which is exact as long as no module's interface-level content changed
   /// (each pass reads only its own module's bodies plus remote interface
-  /// info; see meta::interface_signature). Used by the session patch path.
+  /// info; see meta::interface_signature). In interprocedural mode a body
+  /// patch can also change lint results in the patched modules' reverse
+  /// caller cone: when `baseline` is given, modules whose summary signature
+  /// changed widen the dirty set by their caller cone (`summary_cone`), and
+  /// the widened mask comes back in `AnalysisResult::analyzed` so the caller
+  /// drops stale carried diagnostics for exactly those modules. Used by the
+  /// session patch path.
   AnalysisResult run(const std::vector<const lang::Module*>& modules,
                      const std::vector<bool>& dirty) const;
+  AnalysisResult run(const std::vector<const lang::Module*>& modules,
+                     const std::vector<bool>& dirty,
+                     const SummaryBaseline* baseline) const;
 
-  /// Manager preloaded with the six default rules (ids as documented above).
+  /// Manager preloaded with the default interprocedural rules (ids as
+  /// documented above).
   static PassManager default_passes();
+  /// The six PR 3 rules with blanket-conservative call modelling; no
+  /// summaries are computed.
+  static PassManager intraprocedural_passes();
 
  private:
   struct Pass {
@@ -113,6 +155,7 @@ class PassManager {
   };
   std::vector<Pass> passes_;
   std::vector<std::string> ids_;
+  bool interprocedural_ = false;
 };
 
 }  // namespace rca::analysis

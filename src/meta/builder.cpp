@@ -1,10 +1,13 @@
 #include "meta/builder.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "analysis/dataflow.hpp"
+#include "analysis/passes.hpp"
+#include "analysis/summaries.hpp"
 #include "interp/intrinsics.hpp"
 #include "meta/fragment.hpp"
 #include "support/error.hpp"
@@ -53,36 +56,62 @@ SymbolTables build_symbol_tables(const std::vector<const Module*>& modules,
       }
     }
   }
-  // Use-imports (direct only; chained use is not followed).
-  for (const Module* m : modules) {
-    auto& syms = tables.modules[m->name];
-    auto process_use = [&tables, &syms](const lang::UseStmt& use) {
-      auto sit = tables.modules.find(use.module);
-      if (sit == tables.modules.end()) return;  // unresolved module: skip
-      const auto& src = sit->second;
-      auto import_one = [&](const std::string& local,
-                            const std::string& remote) {
-        auto pit = src.procs.find(remote);
-        if (pit != src.procs.end()) {
-          auto& vec = syms.procs[local];
-          vec.insert(vec.end(), pit->second.begin(), pit->second.end());
-        }
-        auto vit = src.vars.find(remote);
-        if (vit != src.vars.end()) {
-          syms.vars.emplace(local, vit->second);
+  // Use-imports: resolved against an immutable snapshot of the exporters, in
+  // two rounds. Round one sees only each module's own entities; round two
+  // sees own + directly imported ones, so a re-exported import resolves one
+  // level deep regardless of module order (chained re-export beyond one
+  // level is still not followed).
+  auto apply_imports =
+      [&modules, &tables](
+          const std::unordered_map<std::string, SymbolTables::ModuleSyms>&
+              sources) {
+        for (const Module* m : modules) {
+          auto& syms = tables.modules[m->name];
+          auto process_use = [&sources, &syms](const lang::UseStmt& use) {
+            auto sit = sources.find(use.module);
+            if (sit == sources.end()) return;  // unresolved module: skip
+            const auto& src = sit->second;
+            auto import_one = [&](const std::string& local,
+                                  const std::string& remote) {
+              auto pit = src.procs.find(remote);
+              if (pit != src.procs.end()) {
+                auto& vec = syms.procs[local];
+                for (const ProcRef& r : pit->second) {
+                  const bool dup = std::any_of(
+                      vec.begin(), vec.end(),
+                      [&r](const ProcRef& x) { return x.sp == r.sp; });
+                  if (!dup) vec.push_back(r);
+                }
+              }
+              auto vit = src.vars.find(remote);
+              if (vit != src.vars.end()) {
+                syms.vars.emplace(local, vit->second);
+              }
+            };
+            if (use.has_only) {
+              for (const auto& r : use.renames) import_one(r.local, r.remote);
+            } else {
+              for (const auto& [name, _] : src.procs) import_one(name, name);
+              for (const auto& [name, _] : src.vars) import_one(name, name);
+            }
+          };
+          for (const auto& use : m->uses) process_use(use);
+          for (const auto& sp : m->subprograms) {
+            for (const auto& use : sp.uses) process_use(use);
+          }
         }
       };
-      if (use.has_only) {
-        for (const auto& r : use.renames) import_one(r.local, r.remote);
-      } else {
-        for (const auto& [name, _] : src.procs) import_one(name, name);
-        for (const auto& [name, _] : src.vars) import_one(name, name);
-      }
-    };
-    for (const auto& use : m->uses) process_use(use);
-    for (const auto& sp : m->subprograms) {
-      for (const auto& use : sp.uses) process_use(use);
-    }
+  const std::unordered_map<std::string, SymbolTables::ModuleSyms> own_exports =
+      tables.modules;
+  apply_imports(own_exports);
+  const std::unordered_map<std::string, SymbolTables::ModuleSyms> with_direct =
+      tables.modules;
+  apply_imports(with_direct);
+  if (opts.summary_informed_pruning) {
+    auto psyms = std::make_shared<analysis::ProgramSymbols>(modules);
+    tables.summaries = std::make_shared<analysis::ProgramSummaries>(
+        analysis::compute_summaries(modules, *psyms));
+    tables.analysis_symbols = std::move(psyms);
   }
   return tables;
 }
@@ -165,7 +194,19 @@ class ModuleWalker {
       for (const auto& d : sp.decls) scope.locals.insert(d.name);
       if (sp.is_function()) scope.locals.insert(sp.result_name);
       if (opts_.prune_dead_stores) {
-        dead_stores_ = analysis::dead_store_stmts(sp);
+        analysis::DataflowContext ctx;
+        if (tables_.summaries != nullptr) {
+          // Summary-informed: call sites resolve to callee mod/ref effects,
+          // so stores whose only use is feeding a never-read dummy die too.
+          const auto* asyms = tables_.analysis_symbols->module(m.name);
+          if (asyms != nullptr) {
+            ctx.module_vars = &asyms->var_names;
+            ctx.procedures = &asyms->proc_names;
+          }
+          ctx.call_effects = analysis::make_call_effects(
+              *tables_.analysis_symbols, *tables_.summaries, m.name);
+        }
+        dead_stores_ = analysis::dead_store_stmts(sp, ctx);
       }
       for (const auto& st : sp.body) walk_stmt(*st, scope);
       dead_stores_.clear();

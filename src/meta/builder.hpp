@@ -50,6 +50,15 @@ struct BuilderOptions {
   /// default: the pruned graph is a different (smaller) artifact.
   bool prune_dead_stores = false;
 
+  /// Sharpen dead-store pruning with interprocedural mod/ref summaries
+  /// (analysis/summaries.hpp): a store whose only "use" is being passed to a
+  /// callee that never reads its incoming value is dead too, so more
+  /// spurious edges drop. Only meaningful with prune_dead_stores. Note this
+  /// makes a module's fragment depend on OTHER modules' bodies (their
+  /// summaries), so incremental transactions fall back to a full re-walk
+  /// when it is set.
+  bool summary_informed_pruning = false;
+
   /// When set, module walks run concurrently on this pool and their
   /// dependence fragments are replayed in module order — the result is
   /// bit-identical to the serial build (node ids, edge order, io map).

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +27,11 @@
 #include "lang/ast.hpp"
 #include "meta/builder.hpp"
 #include "meta/metagraph.hpp"
+
+namespace rca::analysis {
+class ProgramSymbols;
+struct ProgramSummaries;
+}  // namespace rca::analysis
 
 namespace rca::meta {
 
@@ -51,6 +57,13 @@ struct SymbolTables {
         vars;
   };
   std::unordered_map<std::string, ModuleSyms> modules;
+
+  // Interprocedural mod/ref context, built only when
+  // BuilderOptions::summary_informed_pruning is set (null otherwise). The
+  // summaries read statement bodies corpus-wide, which is why fragments
+  // walked with them are not cacheable across body edits.
+  std::shared_ptr<const analysis::ProgramSymbols> analysis_symbols;
+  std::shared_ptr<const analysis::ProgramSummaries> summaries;
 };
 
 SymbolTables build_symbol_tables(const std::vector<const lang::Module*>& modules,

@@ -119,8 +119,12 @@ TxnResult run_transaction(const std::vector<TxnInput>& inputs,
   next->iface_fingerprint = fingerprint.digest();
 
   TxnStats stats;
-  stats.full_rewalk =
-      base == nullptr || base->iface_fingerprint != next->iface_fingerprint;
+  // Summary-informed pruning makes a module's fragment depend on OTHER
+  // modules' statement bodies (their mod/ref summaries), which the interface
+  // fingerprint deliberately does not cover — cached fragments are never
+  // reusable under that option.
+  stats.full_rewalk = opts.summary_informed_pruning || base == nullptr ||
+                      base->iface_fingerprint != next->iface_fingerprint;
 
   // Reuse decision per module: same (path, name) entry in the base state,
   // clean file, no interface escalation.

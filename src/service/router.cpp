@@ -253,6 +253,8 @@ std::shared_ptr<const Session> Router::resolve_session(const JsonValue& body) {
     config.coverage_steps =
         static_cast<int>(body.get_int("coverage_steps", 2));
     config.prune_dead_stores = body.get_bool("prune_dead_stores", false);
+    config.summary_informed_pruning =
+        body.get_bool("summary_informed_pruning", false);
     SourceList sources = collect_fortran_sources(body.get_string("src"));
     if (sources.empty()) {
       fail(400, "bad_request",
@@ -593,6 +595,10 @@ Response Router::handle_lint(const JsonValue& body) {
   w.integer(static_cast<long long>(result.modules));
   w.key("subprograms");
   w.integer(static_cast<long long>(result.subprograms));
+  // The service always lints with the default (interprocedural) passes; the
+  // flag tells clients which rule set produced the report.
+  w.key("interprocedural");
+  w.boolean(true);
   w.key("report");
   // Full rca.diagnostics.v1 document, embedded as produced by the emitter.
   w.raw_value(analysis::diagnostics_to_json(result.diagnostics));

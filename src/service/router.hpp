@@ -7,7 +7,8 @@
 //   GET  /v1/health        build id, session count, in-flight depth
 //   GET  /v1/metrics       the full rca.metrics.v1 registry document
 //   POST /v1/graph/build   {"src": DIR, "build_list": [..], "coverage": b,
-//                           "coverage_steps": n, "prune_dead_stores": b}
+//                           "coverage_steps": n, "prune_dead_stores": b,
+//                           "summary_informed_pruning": b}
 //                          -> {"session": KEY, "nodes": .., "edges": ..}
 //   POST /v1/slice         {"session" | "src"+config, "targets": [..],
 //                           "outputs": [..], "cam_only": b, "drop_small": n,
@@ -19,6 +20,7 @@
 //   POST /v1/rank          {"session" | .., "kind": KIND, "top": n,
 //                           "modules": b}
 //   POST /v1/lint          {"session" | ..} -> rca.diagnostics.v1 embedded
+//                          (interprocedural rules; "interprocedural": true)
 //   POST /v1/session/patch {"session": KEY,
 //                           "modules": [{"path": P, "src": TEXT}, ..],
 //                           "remove": [P, ..]}

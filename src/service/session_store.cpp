@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "analysis/summaries.hpp"
 #include "fault/fault.hpp"
 #include "interp/interpreter.hpp"
 #include "meta/builder.hpp"
@@ -118,6 +119,13 @@ std::optional<std::vector<analysis::Diagnostic>> Session::cached_lint_diags()
   return lint_->diagnostics;
 }
 
+std::shared_ptr<const analysis::ProgramSummaries> Session::cached_lint_summaries()
+    const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (!lint_) return nullptr;
+  return lint_->summaries;
+}
+
 const analysis::AnalysisResult& Session::lint() const {
   ensure_parsed(parse_pool_);
   std::lock_guard<std::mutex> lock(lazy_mu_);
@@ -128,11 +136,23 @@ const analysis::AnalysisResult& Session::lint() const {
       // Incremental: run dataflow + passes only for modules whose files
       // changed, then merge the diagnostics the base already computed for
       // the clean ones. Exact because the seed is only installed when the
-      // patch's transaction saw every interface signature unchanged.
-      result = pm.run(modules_, lint_seed_->dirty);
-      result.diagnostics.insert(result.diagnostics.end(),
-                                lint_seed_->carried.begin(),
-                                lint_seed_->carried.end());
+      // patch's transaction saw every interface signature unchanged — and,
+      // interprocedurally, because the summary baseline widens the dirty set
+      // by the caller cone of every module whose summary signature changed
+      // (result.analyzed is the widened mask; carried diagnostics of widened
+      // modules are dropped in favor of their fresh recomputation).
+      result = pm.run(modules_, lint_seed_->dirty, lint_seed_->baseline.get());
+      std::unordered_set<std::string> widened;
+      for (std::size_t i = 0; i < modules_.size(); ++i) {
+        if (i < result.analyzed.size() && result.analyzed[i] &&
+            !lint_seed_->dirty[i]) {
+          widened.insert(modules_[i]->name);
+        }
+      }
+      for (const analysis::Diagnostic& d : lint_seed_->carried) {
+        if (widened.count(d.module) != 0) continue;
+        result.diagnostics.push_back(d);
+      }
       obs::count("service.patch.lint_reuse");
     } else {
       result = pm.run(modules_);
@@ -165,10 +185,11 @@ SessionStore::SessionStore(SessionStoreOptions opts) : opts_(std::move(opts)) {
 meta::SnapshotKey SessionStore::snapshot_key(const SessionConfig& config,
                                              const SourceList& sources) {
   meta::SnapshotKey key;
-  key.add("rca-graph-snapshot-v2");  // shared with `rca-tool graph --snapshot`
+  key.add("rca-graph-snapshot-v3");  // shared with `rca-tool graph --snapshot`
   key.add_u64(config.coverage ? 1 : 0);
   key.add_u64(static_cast<std::uint64_t>(config.coverage_steps));
   key.add_u64(config.prune_dead_stores ? 1 : 0);
+  key.add_u64(config.summary_informed_pruning ? 1 : 0);
   for (const auto& name : config.build_list) key.add(name);
   for (const auto& [path, text] : sources) {
     key.add(path);
@@ -291,6 +312,7 @@ std::shared_ptr<Session> SessionStore::build_session_once(
   meta::BuilderOptions opts;
   opts.pool = opts_.build_pool;
   opts.prune_dead_stores = config.prune_dead_stores;
+  opts.summary_informed_pruning = config.summary_informed_pruning;
   std::unique_ptr<interp::Interpreter> cov_interp;
   interp::CoverageRecorder recorder;
   if (config.coverage) {
@@ -592,6 +614,7 @@ SessionStore::PatchResult SessionStore::patch_build(
   meta::BuilderOptions bopts;
   bopts.pool = opts_.build_pool;
   bopts.prune_dead_stores = session->config_.prune_dead_stores;
+  bopts.summary_informed_pruning = session->config_.summary_informed_pruning;
   // Throws fault::FaultInjected at meta.txn.splice; patch() maps that to a
   // rollback. Nothing has been published yet, so unwinding is the rollback.
   meta::TxnResult txn =
@@ -614,6 +637,14 @@ SessionStore::PatchResult SessionStore::patch_build(
         if (changed_set.count(d.file) != 0) continue;  // recomputed
         if (present.count(d.file) == 0) continue;      // file removed
         seed.carried.push_back(d);
+      }
+      // Interprocedural invalidation seed: a body patch can change lint
+      // results in its reverse caller cone even when every interface
+      // signature is stable. The baseline lets the incremental run detect
+      // summary changes and widen the recompute set accordingly.
+      if (auto sums = base->cached_lint_summaries()) {
+        seed.baseline = std::make_shared<const analysis::SummaryBaseline>(
+            sums->to_baseline());
       }
       session->lint_seed_ = std::move(seed);
     }

@@ -76,6 +76,10 @@ struct SessionConfig {
   bool coverage = false;                // interpreter-driven coverage filter
   int coverage_steps = 2;
   bool prune_dead_stores = false;
+  /// Sharpen dead-store pruning with interprocedural mod/ref summaries
+  /// (meta::BuilderOptions::summary_informed_pruning). Forces patches into a
+  /// full re-walk — fragments depend on other modules' bodies under it.
+  bool summary_informed_pruning = false;
 };
 
 using SourceList = std::vector<std::pair<std::string, std::string>>;
@@ -126,6 +130,10 @@ class Session {
   void finalize_bytes();
   /// Lint diagnostics if lint() already ran, else nullopt (never forces).
   std::optional<std::vector<analysis::Diagnostic>> cached_lint_diags() const;
+  /// The lint run's program summaries if lint() already ran (null otherwise
+  /// or in intraprocedural runs); seeds the incremental summary baseline.
+  std::shared_ptr<const analysis::ProgramSummaries> cached_lint_summaries()
+      const;
 
   /// Seed for an incremental lint of a patched session: diagnostics carried
   /// from the base for unchanged modules, plus the mask of modules whose
@@ -135,6 +143,10 @@ class Session {
   struct LintSeed {
     std::vector<analysis::Diagnostic> carried;
     std::vector<bool> dirty;
+    /// Base lint run's summary baseline: modules whose summary signature
+    /// changed widen the dirty set by their caller cone, and the widened
+    /// modules' carried diagnostics are dropped (recomputed fresh).
+    std::shared_ptr<const analysis::SummaryBaseline> baseline;
   };
 
   std::string key_;

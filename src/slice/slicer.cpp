@@ -1,8 +1,10 @@
 #include "slice/slicer.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
+#include "analysis/summaries.hpp"
 #include "graph/bfs.hpp"
 #include "obs/obs.hpp"
 #include "support/error.hpp"
@@ -108,6 +110,21 @@ SliceResult backward_slice_nodes(const meta::Metagraph& mg,
   obs::observe("slice.edges",
                static_cast<double>(result.subgraph.edge_count()));
   return result;
+}
+
+std::function<bool(const std::string&)> impure_module_filter(
+    const analysis::ProgramSummaries& summaries) {
+  // Captured by value in shared sets so the filter outlives the summaries'
+  // AST pointers (SliceOptions may be stored).
+  auto with_procs = std::make_shared<std::unordered_set<std::string>>();
+  auto impure = std::make_shared<std::unordered_set<std::string>>();
+  for (const analysis::ProcSummary& p : summaries.procs) {
+    with_procs->insert(p.module);
+    if (!p.pure) impure->insert(p.module);
+  }
+  return [with_procs, impure](const std::string& m) {
+    return with_procs->count(m) == 0 || impure->count(m) != 0;
+  };
 }
 
 SliceResult backward_slice(const meta::Metagraph& mg,

@@ -20,6 +20,10 @@ namespace rca {
 class ThreadPool;
 }
 
+namespace rca::analysis {
+struct ProgramSummaries;
+}
+
 namespace rca::slice {
 
 struct SliceOptions {
@@ -63,5 +67,15 @@ SliceResult backward_slice(const meta::Metagraph& mg,
 SliceResult backward_slice_nodes(const meta::Metagraph& mg,
                                  const std::vector<graph::NodeId>& targets,
                                  const SliceOptions& opts = {});
+
+/// Summary-driven module filter for SliceOptions: admits modules that own
+/// persistent state or can change it — declaration-only modules, and modules
+/// with at least one impure procedure per the interprocedural mod/ref
+/// summaries (analysis/summaries.hpp). Modules whose every procedure is pure
+/// are dropped. Like the paper's CAM-only filter this is a lossy focus
+/// heuristic: it shrinks the candidate set to where state mutates. Unknown
+/// modules are admitted (conservative).
+std::function<bool(const std::string& module)> impure_module_filter(
+    const analysis::ProgramSummaries& summaries);
 
 }  // namespace rca::slice
