@@ -22,7 +22,17 @@
 //   rca-tool serve       [--port N] [--port-file FILE] [--snapshot DIR]
 //                        [--jobs N] [--request-threads N]
 //                        [--max-in-flight N] [--deadline-ms N]
-//                        [--session-bytes N]
+//                        [--session-bytes N] [--campaigns N]
+//                        [--campaign-threads N]
+//   rca-tool refine      (--scenario NAME [--seed N] [--runtime]
+//                         | --src DIR --bug NAME...
+//                           (--target NAME | --output LABEL)...)
+//                        [--top N] [--max-iterations N] [--samples N]
+//                        [--min-size N] [--small-enough N]
+//                        [--method gn|louvain] [--cam-only] [--drop-small N]
+//                        [--jobs N] [--json FILE]
+//   rca-tool score       [--scenario NAME]... [--top N] [--runtime]
+//                        [--members N] [--jobs N] [--json FILE]
 //   rca-tool watch       --src DIR [--build-list FILE] [--prune-dead-stores]
 //                        [--interval-ms N] [--iterations N] [--jobs N]
 //                        [--snapshot DIR]
@@ -52,6 +62,8 @@
 #include "analysis/fpsense.hpp"
 #include "analysis/passes.hpp"
 #include "analysis/summaries.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/score.hpp"
 #include "engine/pipeline.hpp"
 #include "fault/fault.hpp"
 #include "graph/centrality.hpp"
@@ -98,7 +110,30 @@ int usage() {
       "  centrality   rank nodes or modules\n"
       "  analyze      run a full paper experiment on the synthetic model\n"
       "  serve        resident RCA query daemon (HTTP/JSON on 127.0.0.1)\n"
+      "  refine       run one refinement campaign to completion, print the\n"
+      "               rca.campaign.v1 progress + result documents\n"
+      "  score        run the planted-scenario library through the full\n"
+      "               pipeline, report top-m hit-rate\n"
       "  watch        keep a resident session patched as sources change\n"
+      "\n"
+      "refine options:\n"
+      "  --scenario NAME      planted scenario (see `score`); generates the\n"
+      "                       corpus and derives ground truth + criteria\n"
+      "  --seed N             scenario corpus seed (default 2019)\n"
+      "  --runtime            sample by real ensemble-vs-experiment runs\n"
+      "  --src DIR            session campaign over an on-disk corpus\n"
+      "  --bug NAME           ground-truth canonical name(s) (session mode)\n"
+      "  --target/--output    slicing criteria (session mode)\n"
+      "  --method gn|louvain  community detector (default gn)\n"
+      "  --top N              ranked sites reported (default 10)\n"
+      "  --json FILE          also write the result document to FILE\n"
+      "\n"
+      "score options:\n"
+      "  --scenario NAME      restrict to named scenario(s); repeatable\n"
+      "  --top N              hit threshold top-m (default 15)\n"
+      "  --members N          ensemble members (default 40)\n"
+      "  --runtime            RuntimeSampler instead of simulated sampling\n"
+      "  --json FILE          write the rca.campaign.score.v1 scoreboard\n"
       "\n"
       "watch options:\n"
       "  --src DIR            source tree to watch (required)\n"
@@ -118,6 +153,8 @@ int usage() {
       "  --max-in-flight N    reject (429) past N queued+running requests\n"
       "  --deadline-ms N      default per-request deadline (default 30000)\n"
       "  --session-bytes N    resident session byte budget (LRU eviction)\n"
+      "  --campaigns N        concurrent refinement campaigns (default 8)\n"
+      "  --campaign-threads N campaign engine pool size (default 2)\n"
       "\n"
       "global options (any subcommand):\n"
       "  --metrics-out FILE   record spans/counters/histograms, write JSON\n"
@@ -781,6 +818,16 @@ int cmd_serve(const Args& args) {
   router_opts.default_deadline_ms = args.get_int("deadline-ms", 30000);
   service::Router router(&store, router_opts);
 
+  // Refinement campaigns: long-lived server-side runs behind /v1/refine*.
+  campaign::CampaignManagerOptions campaign_opts;
+  campaign_opts.max_running =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.get_int("campaigns", 8)));
+  campaign_opts.engine_threads =
+      static_cast<std::size_t>(args.get_int("campaign-threads", 2));
+  campaign::CampaignManager campaigns(&store, campaign_opts);
+  campaigns.install_routes(router);
+
   service::HttpServerOptions http_opts;
   http_opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
   service::HttpServer server(&router, http_opts);
@@ -798,6 +845,107 @@ int cmd_serve(const Args& args) {
   std::printf("rca-serve: drained %zu sessions resident, exiting\n",
               store.session_count());
   return rc;
+}
+
+// ---------------------------------------------------------------------------
+// refine / score
+// ---------------------------------------------------------------------------
+
+/// Builds a /v1/refine-shaped body from the CLI flags, so the in-process
+/// campaign goes through exactly the code path the service endpoint uses.
+JsonValue refine_body_from_args(const Args& args) {
+  std::vector<std::pair<std::string, JsonValue>> members;
+  auto add_string = [&members](const char* key, const std::string& v) {
+    members.emplace_back(key, JsonValue::make_string(v));
+  };
+  auto add_strings = [&members](const char* key,
+                                const std::vector<std::string>& vs) {
+    if (vs.empty()) return;
+    std::vector<JsonValue> items;
+    for (const std::string& v : vs) items.push_back(JsonValue::make_string(v));
+    members.emplace_back(key, JsonValue::make_array(std::move(items)));
+  };
+  auto add_int = [&members, &args](const char* key, const char* flag,
+                                   long long fallback) {
+    members.emplace_back(
+        key, JsonValue::make_number(
+                 static_cast<double>(args.get_int(flag, fallback))));
+  };
+  if (args.has("scenario")) add_string("scenario", args.get("scenario"));
+  if (args.has("src")) add_string("src", args.get("src"));
+  add_strings("bug", args.get_all("bug"));
+  add_strings("targets", args.get_all("target"));
+  add_strings("outputs", args.get_all("output"));
+  if (args.has("runtime")) {
+    members.emplace_back("runtime", JsonValue::make_bool(true));
+  }
+  if (args.has("cam-only")) {
+    members.emplace_back("cam_only", JsonValue::make_bool(true));
+  }
+  if (args.has("drop-small")) add_int("drop_small", "drop-small", 0);
+  add_int("seed", "seed", 2019);
+  add_int("top", "top", 10);
+  add_int("max_iterations", "max-iterations", 8);
+  add_int("samples", "samples", 10);
+  add_int("min_size", "min-size", 4);
+  add_int("small_enough", "small-enough", 10);
+  add_string("method", args.get("method", "gn"));
+  return JsonValue::make_object(std::move(members));
+}
+
+int cmd_refine(const Args& args) {
+  if (!args.has("scenario") && !args.has("src")) {
+    throw Error("refine needs --scenario NAME or --src DIR");
+  }
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  std::unique_ptr<ThreadPool> build_pool;
+  if (jobs > 1) build_pool = std::make_unique<ThreadPool>(jobs);
+
+  service::SessionStoreOptions store_opts;
+  store_opts.snapshot_dir = args.get("snapshot");
+  store_opts.build_pool = build_pool.get();
+  service::SessionStore store(store_opts);
+  service::RouterOptions router_opts;  // inline execution; no HTTP here
+  service::Router router(&store, router_opts);
+
+  campaign::CampaignManagerOptions manager_opts;
+  manager_opts.max_running = 1;
+  manager_opts.engine_threads = std::max<std::size_t>(1, jobs);
+  campaign::CampaignManager manager(&store, manager_opts);
+
+  const JsonValue body = refine_body_from_args(args);
+  std::shared_ptr<const service::Session> session;
+  campaign::CampaignParams params =
+      campaign::parse_campaign_request(body, router, &session);
+  std::printf("refine: session %.12s.. (%zu nodes)\n",
+              session->key().c_str(), session->metagraph().node_count());
+  std::fflush(stdout);
+  const std::string id = manager.start(std::move(params), std::move(session));
+  const campaign::CampaignState state = manager.wait(id);
+  const std::string result = manager.result_json(id);
+  std::fputs(result.c_str(), stdout);
+  if (args.has("json")) write_file(args.get("json"), result);
+  return state == campaign::CampaignState::kDone ? 0 : 1;
+}
+
+int cmd_score(const Args& args) {
+  campaign::ScoreOptions opts;
+  opts.top_m = static_cast<std::size_t>(args.get_int("top", 15));
+  opts.runtime_sampling = args.has("runtime");
+  opts.only = args.get_all("scenario");
+  opts.pipeline.ensemble_members =
+      static_cast<std::size_t>(args.get_int("members", 40));
+  opts.pipeline.threads = static_cast<std::size_t>(args.get_int("jobs", 0));
+  opts.pipeline.snapshot_dir = args.get("snapshot");
+  opts.pipeline.refinement.rank_differences_on_stall = true;
+
+  const campaign::Scoreboard board = campaign::score_scenarios(opts);
+  campaign::print_scoreboard(board);
+  if (args.has("json")) {
+    write_file(args.get("json"), campaign::scoreboard_json(board));
+    std::printf("wrote scoreboard to %s\n", args.get("json").c_str());
+  }
+  return board.scores.empty() ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -940,6 +1088,8 @@ int main(int argc, char** argv) {
     else if (args.command() == "centrality") rc = cmd_centrality(args);
     else if (args.command() == "analyze") rc = cmd_analyze(args);
     else if (args.command() == "serve") rc = cmd_serve(args);
+    else if (args.command() == "refine") rc = cmd_refine(args);
+    else if (args.command() == "score") rc = cmd_score(args);
     else if (args.command() == "watch") rc = cmd_watch(args);
     else return usage();
     for (const auto& key : args.unused_keys()) {

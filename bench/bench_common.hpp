@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/pipeline.hpp"
+#include "model/scenario.hpp"
 #include "support/table.hpp"
 
 namespace rca::bench {
@@ -68,15 +69,11 @@ inline void print_refinement_trace(const meta::Metagraph& mg,
   }
 }
 
-/// True if any ground-truth bug node is inside `nodes`.
+/// True if any ground-truth bug node is inside `nodes` (thin alias for the
+/// scenario-library helper, so every harness scores with one implementation).
 inline bool contains_bug(const std::vector<graph::NodeId>& nodes,
                          const std::vector<graph::NodeId>& bugs) {
-  for (graph::NodeId b : bugs) {
-    for (graph::NodeId n : nodes) {
-      if (n == b) return true;
-    }
-  }
-  return false;
+  return model::contains_any(nodes, bugs);
 }
 
 inline void print_selection(const engine::ExperimentOutcome& outcome) {

@@ -51,7 +51,7 @@ int main() {
   const bool shape_holds = !outcome.verdict.pass && ratio > 1000.0 &&
                            outcome.slice.nodes.size() <= 20 &&
                            !reachable_from_core &&
-                           bench::contains_bug(outcome.slice.nodes,
+                           model::contains_any(outcome.slice.nodes,
                                                outcome.bug_nodes);
   std::printf("\nshape check (dominant wsub, tiny isolated subgraph holding "
               "the bug): %s\n", shape_holds ? "HOLDS" : "VIOLATED");

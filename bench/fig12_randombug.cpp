@@ -6,7 +6,6 @@
 // i.e. a forest of small ancestries); G-N finds several small communities,
 // and the bug is reachable from the sampled central node of one of them.
 #include "bench/bench_common.hpp"
-#include "graph/bfs.hpp"
 
 using namespace rca;
 
@@ -42,10 +41,8 @@ int main() {
   bool bug_connects = false;
   for (const auto& iter : outcome.refinement.iterations) {
     for (const auto& comm : iter.communities) {
-      for (graph::NodeId b : outcome.bug_nodes) {
-        if (graph::reaches_any(mg.graph(), b, comm.sampled)) {
-          bug_connects = true;
-        }
+      if (model::reaches_any_of(mg.graph(), outcome.bug_nodes, comm.sampled)) {
+        bug_connects = true;
       }
     }
   }
@@ -54,7 +51,7 @@ int main() {
 
   const bool shape_holds =
       !outcome.verdict.pass && bug_connects &&
-      bench::contains_bug(outcome.refinement.final_nodes, outcome.bug_nodes);
+      model::contains_any(outcome.refinement.final_nodes, outcome.bug_nodes);
   std::printf("shape check (fail, detection, bug retained): %s\n",
               shape_holds ? "HOLDS" : "VIOLATED");
   return shape_holds ? 0 : 1;

@@ -37,10 +37,9 @@ int main() {
   bool bug_reaches_samples = false;
   if (!outcome.refinement.iterations.empty()) {
     for (const auto& comm : outcome.refinement.iterations[0].communities) {
-      for (graph::NodeId b : outcome.bug_nodes) {
-        if (graph::reaches_any(pipe.metagraph().graph(), b, comm.sampled)) {
-          bug_reaches_samples = true;
-        }
+      if (model::reaches_any_of(pipe.metagraph().graph(), outcome.bug_nodes,
+                                comm.sampled)) {
+        bug_reaches_samples = true;
       }
     }
   }

@@ -50,16 +50,15 @@ int main() {
       if (!is_physics) continue;
       for (std::size_t k = 0; k < comm.sampled.size() && k < 16; ++k) {
         const graph::NodeId v = comm.sampled[k];
-        const bool flagged =
-            std::find(outcome.bug_nodes.begin(), outcome.bug_nodes.end(), v) !=
-            outcome.bug_nodes.end();
+        const bool flagged = model::contains_any({v}, outcome.bug_nodes);
         std::printf("  (%s, %.6f)%s\n", mg.info(v).unique_name.c_str(),
                     comm.sampled_centrality[k], flagged ? "  *" : "");
         if (k == 0 && mg.info(v).unique_name == "dum__micro_mg_tend") {
           dum_first = true;
         }
-        if (k < 15 && flagged) ++flagged_in_top15;
       }
+      flagged_in_top15 = model::count_planted(comm.sampled, outcome.bug_nodes,
+                                              15);
     }
   }
 

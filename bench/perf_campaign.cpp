@@ -1,0 +1,98 @@
+// Scenario-library scoring trajectory: runs the full pipeline over every
+// planted root-cause scenario (model/scenario.hpp) through the campaign
+// scorer and writes a machine-readable rca.campaign.score.v1 document
+// (BENCH_campaign.json) for the campaign CI lane.
+//
+// Self-gates on the subsystem's acceptance criteria instead of a timing
+// baseline (the scoreboard is seed-stable, so a diff would only ever be
+// all-or-nothing):
+//   * at least kMinScenarios scenarios score end-to-end,
+//   * at least kMinFpScenarios of them are FP perturbations
+//     (fp-contraction / fp-reassociation),
+//   * at least kMinEctDetected scenarios fail the UF-ECT (the >=3-term
+//     reassociation perturbation sits at rounding-noise level, below the
+//     3.29-sigma ensemble gate — the pipeline still localizes it, so the
+//     scenario scores without an ECT detection),
+//   * at least kMinHits planted causes land inside the top-m.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "campaign/score.hpp"
+
+namespace rca {
+namespace {
+
+constexpr std::size_t kMinScenarios = 6;
+constexpr std::size_t kMinFpScenarios = 2;
+constexpr std::size_t kMinEctDetected = 5;
+constexpr std::size_t kMinHits = 3;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_campaign [--json FILE] [--top M] [--runtime] "
+               "[--jobs N] [--scenario NAME]...\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace rca
+
+int main(int argc, char** argv) {
+  using namespace rca;
+  std::string json_path = "BENCH_campaign.json";
+  campaign::ScoreOptions opts;
+  opts.pipeline = bench::default_config();
+  opts.pipeline.refinement.rank_differences_on_stall = true;
+  opts.pipeline.threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
+      opts.top_m = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.pipeline.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--runtime") {
+      opts.runtime_sampling = true;
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      opts.only.push_back(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  bench::banner("Campaign scoring — planted-cause hit rate over the scenario "
+                "library",
+                "full pipeline per scenario; hit = planted site ranked in "
+                "the top-m of the refined subgraph");
+
+  const campaign::Scoreboard board = campaign::score_scenarios(opts);
+  campaign::print_scoreboard(board);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << campaign::scoreboard_json(board);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  std::size_t ect_detected = 0;
+  for (const auto& s : board.scores) ect_detected += s.ect_detected ? 1 : 0;
+
+  // With --scenario the run is a filtered smoke, not the acceptance gate.
+  const bool full_library = opts.only.empty();
+  const bool gate_holds =
+      !full_library ||
+      (board.scores.size() >= kMinScenarios &&
+       board.fp_scenarios >= kMinFpScenarios &&
+       ect_detected >= kMinEctDetected && board.hits >= kMinHits);
+  std::printf("\nacceptance gate (>=%zu scenarios, >=%zu FP, >=%zu "
+              "ECT-detected, >=%zu hits): %s\n", kMinScenarios,
+              kMinFpScenarios, kMinEctDetected, kMinHits,
+              full_library ? (gate_holds ? "HOLDS" : "VIOLATED")
+                           : "skipped (filtered run)");
+  return gate_holds ? 0 : 1;
+}

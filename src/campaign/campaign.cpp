@@ -1,0 +1,683 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "graph/centrality.hpp"
+#include "model/corpus.hpp"
+#include "obs/obs.hpp"
+#include "slice/slicer.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace rca::campaign {
+
+using graph::NodeId;
+using service::HandlerError;
+
+const char* campaign_state_name(CampaignState s) {
+  switch (s) {
+    case CampaignState::kPending: return "pending";
+    case CampaignState::kRunning: return "running";
+    case CampaignState::kDone: return "done";
+    case CampaignState::kCancelled: return "cancelled";
+    case CampaignState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Wraps the campaign's inner sampler with the campaign.sample fault site
+/// and a sample counter. Called from the engine pool's community tasks; an
+/// injected fault propagates out of RefinementEngine::run and fails the
+/// campaign cleanly.
+class FaultableSampler : public engine::Sampler {
+ public:
+  explicit FaultableSampler(engine::Sampler* inner) : inner_(inner) {}
+
+  std::vector<NodeId> detect_differences(
+      const std::vector<NodeId>& sites) override {
+    RCA_FAULT_POINT("campaign.sample");
+    obs::count("campaign.samples");
+    return inner_->detect_differences(sites);
+  }
+
+  std::vector<engine::Difference> detect_with_magnitudes(
+      const std::vector<NodeId>& sites) override {
+    RCA_FAULT_POINT("campaign.sample");
+    obs::count("campaign.samples");
+    return inner_->detect_with_magnitudes(sites);
+  }
+
+ private:
+  engine::Sampler* inner_;
+};
+
+void push_unique(std::vector<std::string>* names, const std::string& name) {
+  if (std::find(names->begin(), names->end(), name) == names->end()) {
+    names->push_back(name);
+  }
+}
+
+/// Eigenvector in-centrality ranking of the final subgraph, flagged against
+/// the planted ground truth — the campaign's actual answer.
+std::vector<RankedSite> rank_final_nodes(const meta::Metagraph& mg,
+                                         const std::vector<NodeId>& final_nodes,
+                                         const std::vector<NodeId>& planted,
+                                         std::size_t top) {
+  std::vector<RankedSite> ranked;
+  if (final_nodes.empty()) return ranked;
+  const graph::Digraph sub = graph::induced_subgraph(mg.graph(), final_nodes);
+  const std::vector<double> scores =
+      graph::eigenvector_centrality(sub, graph::Direction::kIn);
+  for (NodeId local : graph::top_k(scores, top)) {
+    const NodeId global = final_nodes[local];
+    const meta::NodeInfo& info = mg.info(global);
+    RankedSite site;
+    site.unique_name = info.unique_name;
+    site.module = info.module;
+    site.centrality = scores[local];
+    site.planted = std::find(planted.begin(), planted.end(), global) !=
+                   planted.end();
+    ranked.push_back(std::move(site));
+  }
+  return ranked;
+}
+
+std::string require_campaign_id(const JsonValue& body) {
+  const std::string id = body.get_string("campaign");
+  if (id.empty()) {
+    throw HandlerError{400, "bad_request", "need \"campaign\" (the id from POST /v1/refine)"};
+  }
+  return id;
+}
+
+}  // namespace
+
+struct CampaignManager::Campaign {
+  std::string id;
+  CampaignParams params;
+  std::shared_ptr<const service::Session> session;
+  const model::ScenarioSpec* scenario = nullptr;  // null = session campaign
+  std::atomic<bool> cancel{false};
+
+  // Pin bookkeeping: held from admission until the run exits (any path), so
+  // the LRU can never evict the session mid-refinement. The destructor is
+  // the backstop for campaigns torn down before their worker ran.
+  service::SessionStore* store = nullptr;
+  std::atomic<bool> pin_held{false};
+  void release_pin() {
+    if (pin_held.exchange(false)) store->unpin(session->key());
+  }
+  ~Campaign() { release_pin(); }
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  CampaignState state = CampaignState::kPending;
+  std::string error;
+  std::vector<IterationSnapshot> progress;
+  std::vector<std::string> targets;  // resolved slicing criteria
+  std::size_t planted_count = 0;
+  std::size_t slice_nodes = 0;
+  std::size_t slice_edges = 0;
+  // Result fields (valid in kDone/kCancelled).
+  bool stalled = false;
+  bool was_cancelled = false;
+  std::size_t final_nodes = 0;
+  std::size_t bug_instrumented_at = 0;
+  std::size_t first_detection_at = 0;
+  std::vector<RankedSite> ranked;
+  bool hit = false;
+};
+
+CampaignManager::CampaignManager(service::SessionStore* store,
+                                 CampaignManagerOptions opts)
+    : store_(store), opts_(opts) {
+  if (opts_.max_running == 0) opts_.max_running = 1;
+  workers_ = std::make_unique<ThreadPool>(opts_.max_running);
+  engine_pool_ = std::make_unique<ThreadPool>(
+      opts_.engine_threads == 0 ? 1 : opts_.engine_threads);
+}
+
+CampaignManager::~CampaignManager() {
+  // Cooperative drain: ask every live campaign to stop at its next
+  // iteration boundary, then let the worker pool join.
+  std::vector<std::shared_ptr<Campaign>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, c] : campaigns_) live.push_back(c);
+  }
+  for (auto& c : live) c->cancel.store(true, std::memory_order_relaxed);
+  workers_.reset();  // joins after running tasks finish
+  engine_pool_.reset();
+}
+
+std::shared_ptr<CampaignManager::Campaign> CampaignManager::find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = campaigns_.find(id);
+  if (it == campaigns_.end()) {
+    throw HandlerError{404, "campaign_not_found", "no campaign " + id};
+  }
+  return it->second;
+}
+
+std::string CampaignManager::start(
+    CampaignParams params, std::shared_ptr<const service::Session> session) {
+  RCA_CHECK_MSG(session != nullptr, "campaign needs a session");
+  std::shared_ptr<Campaign> c;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prune_finished_locked();
+    std::size_t active = 0;
+    for (auto& [id, existing] : campaigns_) {
+      std::lock_guard<std::mutex> clock(existing->mu);
+      if (existing->state == CampaignState::kPending ||
+          existing->state == CampaignState::kRunning) {
+        ++active;
+      }
+    }
+    if (active >= opts_.max_running) {
+      obs::count("campaign.rejected");
+      throw HandlerError{429, "over_capacity",
+                         "campaign capacity (" +
+                             std::to_string(opts_.max_running) +
+                             ") exhausted; retry later",
+                         /*retriable=*/true, /*retry_after=*/1};
+    }
+    c = std::make_shared<Campaign>();
+    c->id = "c" + std::to_string(++next_id_);
+    c->params = std::move(params);
+    c->session = std::move(session);
+    if (!c->params.scenario.empty()) {
+      c->scenario = model::find_scenario(c->params.scenario);
+      RCA_CHECK_MSG(c->scenario != nullptr, "scenario vanished after parse");
+    }
+    c->store = store_;
+    store_->pin(c->session->key());
+    c->pin_held.store(true);
+    campaigns_[c->id] = c;
+    order_.push_back(c->id);
+  }
+  obs::count("campaign.started");
+  workers_->submit([this, c] { run(c); });
+  return c->id;
+}
+
+void CampaignManager::prune_finished_locked() {
+  while (campaigns_.size() > opts_.max_retained) {
+    bool pruned = false;
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      auto cit = campaigns_.find(*it);
+      if (cit == campaigns_.end()) {
+        it = order_.erase(it);
+        pruned = true;
+        break;
+      }
+      std::lock_guard<std::mutex> clock(cit->second->mu);
+      if (cit->second->state == CampaignState::kDone ||
+          cit->second->state == CampaignState::kCancelled ||
+          cit->second->state == CampaignState::kFailed) {
+        campaigns_.erase(cit);
+        order_.erase(it);
+        pruned = true;
+        break;
+      }
+    }
+    if (!pruned) break;  // everything retained is still live
+  }
+}
+
+void CampaignManager::run(const std::shared_ptr<Campaign>& c) {
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    c->state = CampaignState::kRunning;
+  }
+  obs::Span span("campaign.run");
+  span.attr("scenario",
+            c->params.scenario.empty() ? "-" : c->params.scenario.c_str());
+  span.attr("runtime_sampling", c->params.runtime_sampling);
+  try {
+    const meta::Metagraph& mg = c->session->metagraph();
+
+    // Ground truth: the scenario's planted nodes, or the request's named
+    // bug variables resolved by canonical name.
+    std::vector<NodeId> planted;
+    if (c->scenario != nullptr) {
+      planted =
+          model::scenario_planted_nodes(*c->scenario, mg, c->session->modules());
+    } else {
+      for (const std::string& name : c->params.bug_names) {
+        for (NodeId v : mg.by_canonical(name)) planted.push_back(v);
+      }
+      std::sort(planted.begin(), planted.end());
+      planted.erase(std::unique(planted.begin(), planted.end()),
+                    planted.end());
+    }
+    RCA_CHECK_MSG(!planted.empty(),
+                  "no ground-truth nodes resolved for this campaign");
+
+    // Criteria: explicit targets, or the outputs the planted cause can
+    // actually reach (scenario default).
+    std::vector<std::string> targets = c->params.targets;
+    if (targets.empty()) {
+      for (const std::string& label : model::affected_outputs(mg, planted)) {
+        for (const std::string& name :
+             slice::internal_names_for_output(mg, label)) {
+          push_unique(&targets, name);
+        }
+      }
+    }
+    RCA_CHECK_MSG(!targets.empty(), "no slicing criteria resolved");
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->targets = targets;
+      c->planted_count = planted.size();
+    }
+
+    slice::SliceOptions sopts;
+    if (c->params.cam_only) {
+      sopts.module_filter = [](const std::string& m) {
+        return model::is_cam_module(m);
+      };
+    }
+    sopts.drop_components_smaller_than = c->params.drop_small;
+    const slice::SliceResult sl = slice::backward_slice(mg, targets, sopts);
+    RCA_CHECK_MSG(!sl.nodes.empty(), "empty slice for the campaign criteria");
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->slice_nodes = sl.nodes.size();
+      c->slice_edges = sl.subgraph.edge_count();
+    }
+
+    // Sampler: scenario campaigns may sample by actually running the model
+    // (one accepted member vs. the scenario's perturbed configuration);
+    // everything else deduces differences from planted-node reachability.
+    std::unique_ptr<model::CesmModel> control;
+    std::unique_ptr<model::CesmModel> experiment;
+    std::unique_ptr<engine::Sampler> inner;
+    if (c->params.runtime_sampling && c->scenario != nullptr) {
+      model::CorpusSpec corpus;
+      corpus.seed = c->params.seed;
+      control =
+          std::make_unique<model::CesmModel>(corpus, engine_pool_.get());
+      experiment = std::make_unique<model::CesmModel>(
+          model::scenario_corpus_spec(*c->scenario, corpus),
+          engine_pool_.get());
+      model::RunConfig control_config;
+      control_config.member_seed = 31;  // one accepted member
+      const model::RunConfig experiment_config =
+          model::scenario_run_config(*c->scenario, control_config);
+      inner = std::make_unique<engine::RuntimeSampler>(
+          mg, *control, *experiment, control_config, experiment_config);
+    } else {
+      inner = std::make_unique<engine::SimulatedSampler>(mg, planted);
+    }
+    FaultableSampler sampler(inner.get());
+
+    engine::RefinementOptions ropts = c->params.refinement;
+    ropts.pool = engine_pool_.get();
+    ropts.on_iteration = [c](const engine::IterationReport& report,
+                             const std::vector<NodeId>&) {
+      RCA_FAULT_POINT("campaign.step");
+      IterationSnapshot snap;
+      snap.nodes = report.subgraph_nodes;
+      snap.edges = report.subgraph_edges;
+      snap.communities = report.communities.size();
+      for (const engine::CommunityReport& comm : report.communities) {
+        snap.sampled_sites += comm.sampled.size();
+        snap.differing_sites += comm.differing.size();
+      }
+      snap.detected = report.detected;
+      snap.applied_8a = report.applied_8a;
+      snap.stall_broken = report.stall_broken;
+      obs::count("campaign.iterations");
+      std::lock_guard<std::mutex> lock(c->mu);
+      snap.iteration = c->progress.size() + 1;
+      c->progress.push_back(snap);
+      return !c->cancel.load(std::memory_order_relaxed);
+    };
+
+    engine::RefinementEngine eng(mg, sampler, ropts);
+    const engine::RefinementResult res =
+        eng.run(sl.nodes, planted, sl.targets);
+
+    std::vector<RankedSite> ranked =
+        rank_final_nodes(mg, res.final_nodes, planted, c->params.top);
+    bool hit = false;
+    for (const RankedSite& site : ranked) hit = hit || site.planted;
+
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->stalled = res.stalled;
+      c->was_cancelled = res.cancelled;
+      c->final_nodes = res.final_nodes.size();
+      c->bug_instrumented_at = res.bug_instrumented_at;
+      c->first_detection_at = res.first_detection_at;
+      c->ranked = std::move(ranked);
+      c->hit = hit;
+      c->state =
+          res.cancelled ? CampaignState::kCancelled : CampaignState::kDone;
+    }
+    obs::count(res.cancelled ? "campaign.cancelled" : "campaign.completed");
+    span.attr("iterations", res.iterations.size());
+    span.attr("final_nodes", res.final_nodes.size());
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->error = e.what();
+      c->state = CampaignState::kFailed;
+    }
+    obs::count("campaign.failed");
+  }
+  c->release_pin();
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    span.attr("state", campaign_state_name(c->state));
+  }
+  c->cv.notify_all();
+}
+
+void CampaignManager::write_progress(JsonWriter& w, const Campaign& c) const {
+  // Caller holds c.mu. Deliberately no campaign id and no timestamps: the
+  // document must be byte-identical across runs with identical seeds.
+  if (!c.params.scenario.empty()) {
+    w.key("scenario");
+    w.string_value(c.params.scenario);
+  }
+  w.key("session");
+  w.string_value(c.session->key());
+  w.key("state");
+  w.string_value(campaign_state_name(c.state));
+  w.key("targets");
+  w.begin_array();
+  for (const std::string& t : c.targets) w.string_value(t);
+  w.end_array();
+  w.key("planted");
+  w.integer(static_cast<long long>(c.planted_count));
+  w.key("slice_nodes");
+  w.integer(static_cast<long long>(c.slice_nodes));
+  w.key("slice_edges");
+  w.integer(static_cast<long long>(c.slice_edges));
+  w.key("iterations");
+  w.begin_array();
+  for (const IterationSnapshot& s : c.progress) {
+    w.begin_object();
+    w.key("iteration");
+    w.integer(static_cast<long long>(s.iteration));
+    w.key("nodes");
+    w.integer(static_cast<long long>(s.nodes));
+    w.key("edges");
+    w.integer(static_cast<long long>(s.edges));
+    w.key("communities");
+    w.integer(static_cast<long long>(s.communities));
+    w.key("sampled");
+    w.integer(static_cast<long long>(s.sampled_sites));
+    w.key("differing");
+    w.integer(static_cast<long long>(s.differing_sites));
+    w.key("detected");
+    w.boolean(s.detected);
+    w.key("applied_8a");
+    w.boolean(s.applied_8a);
+    w.key("stall_broken");
+    w.boolean(s.stall_broken);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string CampaignManager::status_json(const std::string& id) const {
+  const std::shared_ptr<Campaign> c = find(id);
+  JsonWriter w;
+  std::lock_guard<std::mutex> lock(c->mu);
+  w.begin_object();
+  w.key("schema");
+  w.string_value("rca.campaign.v1");
+  w.key("kind");
+  w.string_value("status");
+  write_progress(w, *c);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string CampaignManager::result_json(const std::string& id) const {
+  const std::shared_ptr<Campaign> c = find(id);
+  JsonWriter w;
+  std::lock_guard<std::mutex> lock(c->mu);
+  if (c->state == CampaignState::kPending ||
+      c->state == CampaignState::kRunning) {
+    throw HandlerError{409, "not_finished",
+                       "campaign " + id +
+                           " is still running; poll /v1/refine/status",
+                       /*retriable=*/true, /*retry_after=*/1};
+  }
+  w.begin_object();
+  w.key("schema");
+  w.string_value("rca.campaign.v1");
+  w.key("kind");
+  w.string_value("result");
+  write_progress(w, *c);
+  if (c->state == CampaignState::kFailed) {
+    w.key("error");
+    w.string_value(c->error);
+  } else {
+    w.key("stalled");
+    w.boolean(c->stalled);
+    w.key("cancelled");
+    w.boolean(c->was_cancelled);
+    w.key("final_nodes");
+    w.integer(static_cast<long long>(c->final_nodes));
+    w.key("bug_instrumented_at");
+    w.integer(static_cast<long long>(c->bug_instrumented_at));
+    w.key("first_detection_at");
+    w.integer(static_cast<long long>(c->first_detection_at));
+    w.key("ranked");
+    w.begin_array();
+    for (const RankedSite& site : c->ranked) {
+      w.begin_object();
+      w.key("name");
+      w.string_value(site.unique_name);
+      w.key("module");
+      w.string_value(site.module);
+      w.key("centrality");
+      w.number(site.centrality);
+      w.key("planted");
+      w.boolean(site.planted);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("hit");
+    w.boolean(c->hit);
+  }
+  w.end_object();
+  return w.str() + "\n";
+}
+
+CampaignState CampaignManager::cancel(const std::string& id) {
+  const std::shared_ptr<Campaign> c = find(id);
+  c->cancel.store(true, std::memory_order_relaxed);
+  obs::count("campaign.cancel_requests");
+  std::lock_guard<std::mutex> lock(c->mu);
+  return c->state;
+}
+
+CampaignState CampaignManager::state(const std::string& id) const {
+  const std::shared_ptr<Campaign> c = find(id);
+  std::lock_guard<std::mutex> lock(c->mu);
+  return c->state;
+}
+
+CampaignState CampaignManager::wait(const std::string& id) {
+  const std::shared_ptr<Campaign> c = find(id);
+  std::unique_lock<std::mutex> lock(c->mu);
+  c->cv.wait(lock, [&c] {
+    return c->state != CampaignState::kPending &&
+           c->state != CampaignState::kRunning;
+  });
+  return c->state;
+}
+
+std::size_t CampaignManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, c] : campaigns_) {
+    std::lock_guard<std::mutex> clock(c->mu);
+    if (c->state == CampaignState::kPending ||
+        c->state == CampaignState::kRunning) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+CampaignParams parse_campaign_request(
+    const JsonValue& body, service::Router& router,
+    std::shared_ptr<const service::Session>* session_out) {
+  CampaignParams p;
+  p.scenario = body.get_string("scenario");
+  p.seed = static_cast<std::uint64_t>(body.get_int("seed", 2019));
+  p.runtime_sampling = body.get_bool("runtime", false);
+  p.top = static_cast<std::size_t>(body.get_int("top", 10));
+
+  std::shared_ptr<const service::Session> session;
+  if (!p.scenario.empty()) {
+    if (model::find_scenario(p.scenario) == nullptr) {
+      std::string names;
+      for (const std::string& n : model::scenario_names()) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      throw HandlerError{404, "scenario_not_found",
+                         "unknown scenario \"" + p.scenario + "\" (have: " +
+                             names + ")"};
+    }
+    // The scenario's control corpus becomes an ordinary store session:
+    // content-keyed, single-flight, LRU-managed and pinned for the
+    // campaign's duration like any client-built graph.
+    model::CorpusSpec corpus;
+    corpus.seed = p.seed;
+    model::GeneratedCorpus gen = model::generate_corpus(corpus);
+    service::SessionConfig config;
+    config.build_list = gen.compiled_modules;
+    service::SourceList sources;
+    sources.reserve(gen.files.size());
+    for (model::GeneratedFile& f : gen.files) {
+      sources.emplace_back(std::move(f.path), std::move(f.text));
+    }
+    session = router.store().get_or_build(config, std::move(sources));
+    p.cam_only = body.get_bool("cam_only", true);
+    p.drop_small = static_cast<std::size_t>(body.get_int("drop_small", 4));
+  } else {
+    if (p.runtime_sampling) {
+      throw HandlerError{400, "bad_request",
+                         "\"runtime\" sampling needs a \"scenario\""};
+    }
+    session = router.resolve_session(body);
+    p.bug_names = body.get_string_array("bug");
+    if (p.bug_names.empty()) {
+      throw HandlerError{
+          400, "bad_request",
+          "session campaigns need \"bug\" ground-truth variable names "
+          "(or start from a \"scenario\")"};
+    }
+    p.cam_only = body.get_bool("cam_only", false);
+    p.drop_small = static_cast<std::size_t>(body.get_int("drop_small", 0));
+  }
+
+  p.targets = body.get_string_array("targets");
+  for (const std::string& label : body.get_string_array("outputs")) {
+    for (const std::string& name :
+         slice::internal_names_for_output(session->metagraph(), label)) {
+      push_unique(&p.targets, name);
+    }
+  }
+  if (p.targets.empty() && p.scenario.empty()) {
+    throw HandlerError{400, "bad_request", "need \"targets\" or \"outputs\""};
+  }
+
+  engine::RefinementOptions& r = p.refinement;
+  r.max_iterations =
+      static_cast<std::size_t>(body.get_int("max_iterations", 8));
+  r.samples_per_community =
+      static_cast<std::size_t>(body.get_int("samples", 10));
+  r.min_community_size =
+      static_cast<std::size_t>(body.get_int("min_size", 4));
+  r.small_enough = static_cast<std::size_t>(body.get_int("small_enough", 10));
+  r.rank_differences_on_stall = body.get_bool("rank_on_stall", true);
+  r.gn_budget_ms = body.get_int("gn_budget_ms", 10000);
+  const std::string method = body.get_string("method", "gn");
+  if (method == "gn") {
+    r.community_method = engine::CommunityMethod::kGirvanNewman;
+  } else if (method == "louvain") {
+    r.community_method = engine::CommunityMethod::kLouvain;
+  } else {
+    throw HandlerError{400, "bad_request",
+                       "unknown community method \"" + method +
+                           "\" (gn | louvain)"};
+  }
+
+  *session_out = std::move(session);
+  return p;
+}
+
+void CampaignManager::install_routes(service::Router& router) {
+  service::Router* rp = &router;
+  router.add_route(
+      "POST", "/v1/refine",
+      [this, rp](const service::Request&, const JsonValue& body) {
+        std::shared_ptr<const service::Session> session;
+        CampaignParams params = parse_campaign_request(body, *rp, &session);
+        const std::string scenario = params.scenario;
+        const std::string session_key = session->key();
+        const std::string id = start(std::move(params), std::move(session));
+        JsonWriter w;
+        w.begin_object();
+        w.key("campaign");
+        w.string_value(id);
+        w.key("session");
+        w.string_value(session_key);
+        if (!scenario.empty()) {
+          w.key("scenario");
+          w.string_value(scenario);
+        }
+        w.key("state");
+        w.string_value(campaign_state_name(state(id)));
+        w.end_object();
+        return service::Response{200, w.str() + "\n"};
+      });
+  const auto status_handler = [this](const service::Request&,
+                                     const JsonValue& body) {
+    return service::Response{200, status_json(require_campaign_id(body))};
+  };
+  const auto result_handler = [this](const service::Request&,
+                                     const JsonValue& body) {
+    return service::Response{200, result_json(require_campaign_id(body))};
+  };
+  // GET with a body works over the loopback transport (and matches the
+  // read-only semantics); POST is registered too for strict clients.
+  router.add_route("GET", "/v1/refine/status", status_handler);
+  router.add_route("POST", "/v1/refine/status", status_handler);
+  router.add_route("GET", "/v1/refine/result", result_handler);
+  router.add_route("POST", "/v1/refine/result", result_handler);
+  router.add_route(
+      "POST", "/v1/refine/cancel",
+      [this](const service::Request&, const JsonValue& body) {
+        const std::string id = require_campaign_id(body);
+        const CampaignState s = cancel(id);
+        JsonWriter w;
+        w.begin_object();
+        w.key("campaign");
+        w.string_value(id);
+        w.key("state");
+        w.string_value(campaign_state_name(s));
+        w.key("cancel_requested");
+        w.boolean(true);
+        w.end_object();
+        return service::Response{200, w.str() + "\n"};
+      });
+}
+
+}  // namespace rca::campaign

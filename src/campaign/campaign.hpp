@@ -1,0 +1,181 @@
+// Refinement campaigns as a service.
+//
+// A *campaign* is a long-lived, server-side run of Algorithm 5.4: it owns a
+// pinned session (the LRU must not evict a graph mid-refinement), slices the
+// session's metagraph on the requested criteria, then iterates 8a/8b
+// re-induction on a dedicated engine thread pool, recording per-iteration
+// progress (subgraph size, communities, sampled sites, differences,
+// stall-breaking events). Campaigns are asynchronous: POST /v1/refine starts
+// one and returns immediately; GET /v1/refine/status streams progress while
+// it runs; GET /v1/refine/result answers the finished document; POST
+// /v1/refine/cancel requests a cooperative stop at the next iteration
+// boundary.
+//
+// Two flavours:
+//   * session campaigns — the request names a resident session (or "src")
+//     plus slicing criteria and ground-truth "bug" names for the simulated
+//     sampler;
+//   * scenario campaigns — the request names a planted root-cause scenario
+//     from model/scenario.hpp: the control corpus is generated, built into a
+//     session through the ordinary store (content-keyed, so it participates
+//     in LRU/pinning like any other), and the scenario supplies the planted
+//     ground truth and default criteria. "runtime": true samples by actually
+//     executing ensemble-vs-experiment model runs through the interpreter
+//     (RuntimeSampler) instead of reachability simulation.
+//
+// Progress and result documents use the `rca.campaign.v1` schema. They
+// deliberately contain no campaign id and no timestamps: identical seeds
+// must produce byte-identical documents (ids are transport-level, returned
+// by POST /v1/refine and passed back in poll bodies).
+//
+// Observability: campaign.started/completed/cancelled/failed/rejected
+// counters, campaign.iterations, a campaign.run span per campaign, and the
+// campaign.step / campaign.sample fault sites (a fault mid-campaign fails
+// that campaign cleanly — state "failed", session unpinned — and never
+// wedges the store).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/refinement.hpp"
+#include "model/scenario.hpp"
+#include "service/router.hpp"
+#include "service/session_store.hpp"
+#include "support/thread_pool.hpp"
+
+namespace rca::campaign {
+
+enum class CampaignState { kPending, kRunning, kDone, kCancelled, kFailed };
+
+const char* campaign_state_name(CampaignState s);
+
+/// One recorded refinement iteration (the progress-log row).
+struct IterationSnapshot {
+  std::size_t iteration = 0;  // 1-based
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t communities = 0;
+  std::size_t sampled_sites = 0;
+  std::size_t differing_sites = 0;
+  bool detected = false;
+  bool applied_8a = false;
+  bool stall_broken = false;
+};
+
+/// Final ranked site (eigenvector in-centrality over the final subgraph).
+struct RankedSite {
+  std::string unique_name;
+  std::string module;
+  double centrality = 0.0;
+  bool planted = false;
+};
+
+/// Everything one campaign was asked to do (parsed out of the start body).
+struct CampaignParams {
+  std::string scenario;  // empty = session campaign
+  std::uint64_t seed = 2019;
+  bool runtime_sampling = false;
+  std::vector<std::string> targets;  // canonical internal names
+  std::vector<std::string> bug_names;  // session campaigns: ground truth
+  bool cam_only = false;
+  std::size_t drop_small = 0;
+  engine::RefinementOptions refinement;
+  std::size_t top = 10;  // ranked sites reported
+};
+
+struct CampaignManagerOptions {
+  /// Campaigns admitted concurrently (pending + running); one worker each.
+  std::size_t max_running = 8;
+  /// Threads in the shared engine pool campaigns sample communities on.
+  std::size_t engine_threads = 2;
+  /// Finished campaigns retained for result polling; the oldest finished
+  /// ones are forgotten beyond this.
+  std::size_t max_retained = 64;
+};
+
+class CampaignManager {
+ public:
+  CampaignManager(service::SessionStore* store, CampaignManagerOptions opts);
+  ~CampaignManager();
+
+  CampaignManager(const CampaignManager&) = delete;
+  CampaignManager& operator=(const CampaignManager&) = delete;
+
+  /// Registers POST /v1/refine, GET|POST /v1/refine/status,
+  /// GET|POST /v1/refine/result and POST /v1/refine/cancel on the router.
+  /// Call before serving. The router reference must outlive the manager's
+  /// routes (`router` is captured for resolve_session on session campaigns).
+  void install_routes(service::Router& router);
+
+  /// Starts a campaign from parsed parameters and an already-resolved
+  /// session; returns the campaign id ("c1", "c2", ...). Throws
+  /// service::HandlerError (429, retriable) when max_running campaigns are
+  /// already active. Programmatic entry for tests and the CLI.
+  std::string start(CampaignParams params,
+                    std::shared_ptr<const service::Session> session);
+
+  /// rca.campaign.v1 progress document. Throws HandlerError(404) for an
+  /// unknown id.
+  std::string status_json(const std::string& id) const;
+
+  /// rca.campaign.v1 result document. Throws HandlerError(404) for an
+  /// unknown id and HandlerError(409, retriable) while still running.
+  std::string result_json(const std::string& id) const;
+
+  /// Requests a cooperative cancel; returns the state observed. Unknown id
+  /// throws HandlerError(404). Idempotent; cancelling a finished campaign is
+  /// a no-op.
+  CampaignState cancel(const std::string& id);
+
+  CampaignState state(const std::string& id) const;
+
+  /// Blocks until the campaign leaves pending/running (test helper; the
+  /// service polls instead).
+  CampaignState wait(const std::string& id);
+
+  /// Campaigns currently pending or running.
+  std::size_t active() const;
+
+  const CampaignManagerOptions& options() const { return opts_; }
+
+ private:
+  struct Campaign;
+
+  std::shared_ptr<Campaign> find(const std::string& id) const;
+  void run(const std::shared_ptr<Campaign>& c);
+  void write_progress(JsonWriter& w, const Campaign& c) const;
+  /// Drops the oldest finished campaigns beyond max_retained (mu_ held).
+  void prune_finished_locked();
+
+  service::SessionStore* store_;
+  CampaignManagerOptions opts_;
+  /// Campaign bodies run here: one task per campaign, so max_running tasks.
+  std::unique_ptr<ThreadPool> workers_;
+  /// Shared sampling pool for RefinementOptions::pool ("performed in
+  /// parallel") — distinct from workers_: a campaign blocking on a
+  /// parallel_for of its own pool would deadlock.
+  std::unique_ptr<ThreadPool> engine_pool_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Campaign>> campaigns_;
+  std::vector<std::string> order_;  // insertion order, for pruning
+  std::uint64_t next_id_ = 0;
+};
+
+/// Parses a /v1/refine request body into params + a resolved session.
+/// Scenario campaigns generate their corpus and build the session through
+/// `store` (get_or_build: content-keyed, single-flight, LRU-managed);
+/// session campaigns resolve through `router.resolve_session`. Throws
+/// service::HandlerError on bad input.
+CampaignParams parse_campaign_request(
+    const JsonValue& body, service::Router& router,
+    std::shared_ptr<const service::Session>* session_out);
+
+}  // namespace rca::campaign

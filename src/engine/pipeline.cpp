@@ -84,15 +84,19 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
 
 const model::CesmModel& Pipeline::experiment_model(
     const model::ExperimentSpec& spec) {
-  if (spec.bug == model::BugId::kNone) return *control_;
+  return bug_model(spec.bug);
+}
+
+const model::CesmModel& Pipeline::bug_model(model::BugId bug) {
+  if (bug == model::BugId::kNone) return *control_;
   for (std::size_t i = 0; i < bug_model_ids_.size(); ++i) {
-    if (bug_model_ids_[i] == spec.bug) return *bug_models_[i];
+    if (bug_model_ids_[i] == bug) return *bug_models_[i];
   }
-  model::CorpusSpec corpus_spec =
-      model::experiment_corpus_spec(spec, config_.corpus);
+  model::CorpusSpec corpus_spec = config_.corpus;
+  corpus_spec.bug = bug;
   bug_models_.push_back(
       std::make_unique<model::CesmModel>(corpus_spec, pool_.get()));
-  bug_model_ids_.push_back(spec.bug);
+  bug_model_ids_.push_back(bug);
   RCA_CHECK_MSG(bug_models_.back()->parse_failures() == 0,
                 "bug corpus failed to parse");
   return *bug_models_.back();
@@ -129,14 +133,36 @@ ExperimentOutcome Pipeline::run_experiment_runtime_sampling(
 
 ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
                                        bool runtime_sampling) {
+  const model::ExperimentSpec& spec = model::experiment(id);
+  ExperimentOutcome outcome =
+      run_core(spec.name, experiment_model(spec),
+               model::experiment_run_config(spec, config_.base_run),
+               bug_nodes(spec), runtime_sampling);
+  outcome.spec = &spec;
+  return outcome;
+}
+
+std::vector<NodeId> Pipeline::scenario_planted_nodes(
+    const model::ScenarioSpec& s) {
+  return model::scenario_planted_nodes(s, mg_, control_->compiled_modules());
+}
+
+ExperimentOutcome Pipeline::run_scenario(const model::ScenarioSpec& s,
+                                         bool runtime_sampling) {
+  return run_core(s.name, bug_model(s.bug),
+                  model::scenario_run_config(s, config_.base_run),
+                  scenario_planted_nodes(s), runtime_sampling);
+}
+
+ExperimentOutcome Pipeline::run_core(const std::string& name,
+                                     const model::CesmModel& exp_model,
+                                     const model::RunConfig& exp_config,
+                                     std::vector<NodeId> planted,
+                                     bool runtime_sampling) {
   ExperimentOutcome outcome;
-  outcome.spec = &model::experiment(id);
   obs::Span experiment_span("experiment");
-  experiment_span.attr("name", outcome.spec->name);
+  experiment_span.attr("name", name);
   experiment_span.attr("runtime_sampling", runtime_sampling);
-  const model::CesmModel& exp_model = experiment_model(*outcome.spec);
-  const model::RunConfig exp_config =
-      model::experiment_run_config(*outcome.spec, config_.base_run);
 
   // Stage-boundary fault sites: chaos tests prove a failure inside one
   // stage surfaces as a clean error from run_experiment(), never a crash or
@@ -232,7 +258,7 @@ ExperimentOutcome Pipeline::run_common(model::ExperimentId id,
   // 5-9. Iterative refinement.
   obs::Span refinement_span("refinement");
   RCA_FAULT_POINT("engine.refinement");
-  outcome.bug_nodes = bug_nodes(*outcome.spec);
+  outcome.bug_nodes = std::move(planted);
   std::unique_ptr<Sampler> sampler;
   if (runtime_sampling) {
     model::RunConfig control_config = config_.base_run;

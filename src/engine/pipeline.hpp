@@ -14,6 +14,7 @@
 #include "meta/metagraph.hpp"
 #include "model/experiments.hpp"
 #include "model/model.hpp"
+#include "model/scenario.hpp"
 #include "slice/slicer.hpp"
 #include "stats/selection.hpp"
 
@@ -92,12 +93,32 @@ class Pipeline {
   /// Same, but with real runtime sampling through the interpreter.
   ExperimentOutcome run_experiment_runtime_sampling(model::ExperimentId id);
 
+  /// Full pipeline for a library scenario (model/scenario.hpp): ECT ->
+  /// selection -> slice -> refinement, scored against the scenario's planted
+  /// sites. `ExperimentOutcome::spec` stays null — the scenario drives the
+  /// corpus and run configuration instead of the experiment registry.
+  ExperimentOutcome run_scenario(const model::ScenarioSpec& s,
+                                 bool runtime_sampling = false);
+
+  /// Planted ground-truth nodes for a scenario on this pipeline's graph.
+  std::vector<graph::NodeId> scenario_planted_nodes(
+      const model::ScenarioSpec& s);
+
   /// The experiment's model (control for runtime-config experiments, a
   /// bug-injected corpus otherwise). Owned by the pipeline; stable.
   const model::CesmModel& experiment_model(const model::ExperimentSpec& spec);
 
+  /// Model for a bug-injected corpus (the control model for kNone); built
+  /// once per BugId and cached.
+  const model::CesmModel& bug_model(model::BugId bug);
+
  private:
   ExperimentOutcome run_common(model::ExperimentId id, bool runtime_sampling);
+  ExperimentOutcome run_core(const std::string& name,
+                             const model::CesmModel& exp_model,
+                             const model::RunConfig& exp_config,
+                             std::vector<graph::NodeId> planted,
+                             bool runtime_sampling);
 
   PipelineConfig config_;
   std::unique_ptr<model::CesmModel> control_;

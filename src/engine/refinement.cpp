@@ -196,6 +196,10 @@ RefinementResult RefinementEngine::run(
       // Paper's issue 2: increasingly disconnected subgraphs eventually
       // yield no communities; the remaining nodes go to manual analysis.
       result.iterations.push_back(std::move(report));
+      if (opts_.on_iteration &&
+          !opts_.on_iteration(result.iterations.back(), current)) {
+        result.cancelled = true;
+      }
       break;
     }
 
@@ -304,8 +308,16 @@ RefinementResult RefinementEngine::run(
       next.clear();
       for (NodeId local : keep_local) next.push_back(current[local]);
       unchanged = next == current;
+      report.stall_broken = !unchanged;
+      if (report.stall_broken) obs::count("refinement.stall_breaks");
     }
     result.iterations.push_back(std::move(report));
+    if (opts_.on_iteration &&
+        !opts_.on_iteration(result.iterations.back(), next)) {
+      result.cancelled = true;
+      if (!next.empty() && next != current) current = std::move(next);
+      break;
+    }
     if (next.empty()) {
       current.clear();
       break;

@@ -127,6 +127,8 @@ enum class CentralityKind {
 /// Louvain is the near-linear alternative for large slices).
 enum class CommunityMethod { kGirvanNewman, kLouvain };
 
+struct IterationReport;
+
 struct RefinementOptions {
   int gn_iterations = 1;              // paper default
   /// Wall-clock budget per Girvan–Newman run; 0 = unlimited. Over budget
@@ -153,6 +155,14 @@ struct RefinementOptions {
   /// most-affected site.
   bool rank_differences_on_stall = false;
   ThreadPool* pool = nullptr;
+  /// Observer invoked after every recorded iteration with the report just
+  /// produced and the node set refinement will continue from. Returning
+  /// false cancels the run: the loop stops where it is and
+  /// RefinementResult::cancelled is set. Long-lived campaigns use this for
+  /// progress streaming and cooperative cancellation.
+  std::function<bool(const IterationReport&,
+                     const std::vector<graph::NodeId>& remaining)>
+      on_iteration;
 };
 
 struct CommunityReport {
@@ -169,6 +179,9 @@ struct IterationReport {
   std::vector<CommunityReport> communities;
   bool detected = false;   // any differing site this iteration
   bool applied_8a = false; // shrink by removing silent-site ancestors
+  /// 8b reproduced the subgraph but the magnitude-ranked re-slice broke the
+  /// stall (only with RefinementOptions::rank_differences_on_stall).
+  bool stall_broken = false;
 };
 
 struct RefinementResult {
@@ -178,6 +191,8 @@ struct RefinementResult {
   /// True when refinement ended because the subgraph reproduced itself
   /// (paper's issue 1) rather than shrinking below the threshold.
   bool stalled = false;
+  /// True when RefinementOptions::on_iteration asked the run to stop.
+  bool cancelled = false;
   /// Evaluation: iteration (1-based) at which a known bug node was inside
   /// the sampled set, 0 if never (filled when bug nodes are supplied).
   std::size_t bug_instrumented_at = 0;

@@ -102,6 +102,7 @@ struct Interpreter::Impl {
   struct ModuleCtx {
     const Module* ast = nullptr;
     bool fma = false;
+    bool reassoc = false;
     std::unordered_map<std::string, ValueSlot> vars;
     std::unordered_map<std::string, Value> params;
     std::unordered_map<std::string, ImportedVar> imported_vars;
@@ -429,9 +430,54 @@ struct Interpreter::Impl {
       }
     }
 
+    // Reassociation: when the module is compiled with aggressive FP
+    // reassociation, a left-associated chain of three or more +/- terms is
+    // summed right-to-left instead of the source's left-to-right order —
+    // the association change -Ofast-style codegen is allowed to make. Only
+    // the left spine is flattened, matching analysis/fpsense's site shape;
+    // operands are still evaluated in source order.
+    if (frame.module->reassoc && (e.op == Op::kAdd || e.op == Op::kSub) &&
+        e.lhs->kind == ExprKind::kBinary &&
+        (e.lhs->op == Op::kAdd || e.lhs->op == Op::kSub)) {
+      return eval_reassociated(e, frame);
+    }
+
     Value lhs = eval(*e.lhs, frame);
     Value rhs = eval(*e.rhs, frame);
     return apply_binary(e.op, std::move(lhs), std::move(rhs), e.line);
+  }
+
+  // Collects the left-spine terms of a +/- chain in source order, with the
+  // sign each term carries in the left-associated sum.
+  static void flatten_sum(const Expr& e,
+                          std::vector<std::pair<const Expr*, int>>* terms) {
+    if (e.kind == ExprKind::kBinary && (e.op == Op::kAdd || e.op == Op::kSub)) {
+      flatten_sum(*e.lhs, terms);
+      terms->emplace_back(e.rhs.get(), e.op == Op::kSub ? -1 : 1);
+      return;
+    }
+    terms->emplace_back(&e, 1);
+  }
+
+  Value eval_reassociated(const Expr& e, Frame& frame) {
+    std::vector<std::pair<const Expr*, int>> terms;
+    flatten_sum(e, &terms);
+    // Evaluate every term in source order (left-to-right), then fold the
+    // signed sum right-to-left: s0*v0 + (s1*v1 + (... + sn*vn)). Integer-only
+    // chains are exact either way; FP chains round differently.
+    std::vector<Value> values;
+    values.reserve(terms.size());
+    for (const auto& [expr, sign] : terms) {
+      Value v = eval(*expr, frame);
+      if (sign < 0) v = apply_unary(Op::kNeg, std::move(v), e.line);
+      values.push_back(std::move(v));
+    }
+    Value acc = std::move(values.back());
+    for (std::size_t i = values.size() - 1; i-- > 0;) {
+      acc = apply_binary(Op::kAdd, std::move(values[i]), std::move(acc),
+                         e.line);
+    }
+    return acc;
   }
 
   Value broadcast_fma(const Value& a, const Value& b, const Value& c,
@@ -1225,6 +1271,21 @@ void Interpreter::set_fma_all(bool enabled) {
   for (auto& [name, ctx] : impl_->modules_) {
     (void)name;
     ctx->fma = enabled;
+  }
+}
+
+void Interpreter::set_reassoc(const std::string& module, bool enabled) {
+  auto it = impl_->modules_.find(module);
+  if (it == impl_->modules_.end()) {
+    throw EvalError("set_reassoc: unknown module '" + module + "'");
+  }
+  it->second->reassoc = enabled;
+}
+
+void Interpreter::set_reassoc_all(bool enabled) {
+  for (auto& [name, ctx] : impl_->modules_) {
+    (void)name;
+    ctx->reassoc = enabled;
   }
 }
 

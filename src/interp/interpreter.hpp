@@ -107,6 +107,12 @@ class Interpreter {
   void set_fma(const std::string& module, bool enabled);
   void set_fma_all(bool enabled);
 
+  /// Enable FP reassociation: +/- chains of three or more terms are summed
+  /// right-to-left instead of the source's left-to-right association (the
+  /// -Ofast-style perturbation behind the reassociation scenario).
+  void set_reassoc(const std::string& module, bool enabled);
+  void set_reassoc_all(bool enabled);
+
   /// Register/replace a builtin subroutine visible from every module.
   void register_builtin(const std::string& name, BuiltinSubroutine fn);
 

@@ -89,6 +89,7 @@ std::unique_ptr<interp::Interpreter> make_interpreter(
   for (const auto& m : config.fma_disabled_modules) {
     interp->set_fma(m, false);
   }
+  if (config.reassoc_all) interp->set_reassoc_all(true);
   for (const auto& w : config.watches) interp->add_watch(w);
   return interp;
 }

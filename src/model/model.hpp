@@ -41,6 +41,9 @@ struct RunConfig {
   bool fma_all = false;
   /// ...except these (Table 1's selective disablement rows).
   std::vector<std::string> fma_disabled_modules;
+  /// Reassociate every >=3-term +/- chain right-to-left (the -Ofast-style
+  /// perturbation behind the reassociation scenario).
+  bool reassoc_all = false;
   /// Runtime sampling sites (Algorithm 5.4 step 7).
   std::vector<interp::WatchKey> watches;
 };

@@ -30,6 +30,7 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
@@ -97,6 +98,9 @@ void send_response(int fd, const Response& resp) {
                     status_text(resp.status) + "\r\n";
   out += "Content-Type: " + resp.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  if (resp.retry_after > 0) {
+    out += "Retry-After: " + std::to_string(resp.retry_after) + "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += resp.body;
   write_all(fd, out);

@@ -24,15 +24,8 @@ namespace rca::service {
 
 namespace {
 
-/// Handler-level error carrying its HTTP status and machine-readable code.
-struct ServiceError {
-  int status;
-  std::string code;
-  std::string message;
-};
-
 [[noreturn]] void fail(int status, std::string code, std::string message) {
-  throw ServiceError{status, std::move(code), std::move(message)};
+  throw HandlerError{status, std::move(code), std::move(message)};
 }
 
 /// Opens every session-carrying response: the session key, plus — when the
@@ -56,8 +49,11 @@ void write_session_header(JsonWriter& w, const Session& session) {
 
 }  // namespace
 
-Response error_response(int status, const std::string& code,
-                        const std::string& message) {
+namespace {
+
+Response make_error(int status, const std::string& code,
+                    const std::string& message, bool retriable,
+                    int retry_after_s) {
   JsonWriter w;
   w.begin_object();
   w.key("error");
@@ -69,12 +65,35 @@ Response error_response(int status, const std::string& code,
   w.end_object();
   w.key("status");
   w.integer(status);
+  if (retriable) {
+    w.key("retriable");
+    w.boolean(true);
+  }
   w.end_object();
-  return Response{status, w.str() + "\n", "application/json"};
+  return Response{status, w.str() + "\n", "application/json",
+                  retriable ? retry_after_s : 0};
+}
+
+}  // namespace
+
+Response error_response(int status, const std::string& code,
+                        const std::string& message) {
+  return make_error(status, code, message, /*retriable=*/false, 0);
+}
+
+Response retriable_error_response(int status, const std::string& code,
+                                  const std::string& message,
+                                  int retry_after_s) {
+  return make_error(status, code, message, /*retriable=*/true, retry_after_s);
 }
 
 Router::Router(SessionStore* store, RouterOptions opts)
     : store_(store), opts_(std::move(opts)) {}
+
+void Router::add_route(const std::string& method, const std::string& path,
+                       RouteHandler handler) {
+  routes_[path][method] = std::move(handler);
+}
 
 Response Router::handle(const Request& req) {
   // Health and metrics answer inline: their whole point is to keep working
@@ -135,7 +154,7 @@ Response Router::handle(const Request& req) {
   if (opts_.max_in_flight != 0 && prior >= opts_.max_in_flight) {
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
     obs::count("service.rejects");
-    return finish(error_response(
+    return finish(retriable_error_response(
         429, "over_capacity",
         "in-flight request budget (" + std::to_string(opts_.max_in_flight) +
             ") exhausted; retry later"));
@@ -146,12 +165,15 @@ Response Router::handle(const Request& req) {
     Response resp;
     try {
       resp = dispatch(req, body);
-    } catch (const ServiceError& e) {
-      resp = error_response(e.status, e.code, e.message);
+    } catch (const HandlerError& e) {
+      resp = e.retriable ? retriable_error_response(e.status, e.code,
+                                                    e.message, e.retry_after)
+                         : error_response(e.status, e.code, e.message);
     } catch (const fault::TransientError& e) {
       // Retries exhausted upstream: the request failed on our side, not the
-      // client's — 5xx, so callers know to try again later.
-      resp = error_response(500, "transient_io", e.what());
+      // client's — 5xx marked retriable, so callers know to back off and
+      // try again rather than treat it as permanent.
+      resp = retriable_error_response(500, "transient_io", e.what());
     } catch (const fault::FaultInjected& e) {
       resp = error_response(500, "internal", e.what());
     } catch (const Error& e) {
@@ -201,6 +223,13 @@ Response Router::dispatch(const Request& req, const JsonValue& body) {
   if (req.path == "/v1/session/patch") {
     if (req.method != "POST") fail(405, "method_not_allowed", "POST only");
     return handle_patch(body);
+  }
+  if (auto pit = routes_.find(req.path); pit != routes_.end()) {
+    auto mit = pit->second.find(req.method);
+    if (mit == pit->second.end()) {
+      fail(405, "method_not_allowed", "unsupported method for " + req.path);
+    }
+    return mit->second(req, body);
   }
   if (opts_.enable_test_routes && req.path == "/v1/_test/sleep") {
     const long long ms = body.get_int("ms", 0);

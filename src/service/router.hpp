@@ -59,6 +59,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -81,6 +83,22 @@ struct Response {
   int status = 200;
   std::string body;
   std::string content_type = "application/json";
+  /// When > 0 the HTTP transport adds a `Retry-After: <seconds>` header —
+  /// set on retriable errors (429 backpressure, transient-I/O 500s) so
+  /// clients can back off sanely.
+  int retry_after = 0;
+};
+
+/// Throwing this from a route handler (built-in or registered via
+/// Router::add_route) produces the structured error response with the given
+/// status; `retriable` additionally marks the body `"retriable": true` and
+/// sets Retry-After.
+struct HandlerError {
+  int status;
+  std::string code;
+  std::string message;
+  bool retriable = false;
+  int retry_after = 0;
 };
 
 struct RouterOptions {
@@ -106,10 +124,21 @@ struct RouterOptions {
 
 class Router {
  public:
+  using RouteHandler =
+      std::function<Response(const Request& req, const JsonValue& body)>;
+
   Router(SessionStore* store, RouterOptions opts);
 
   /// Thread-safe; blocks until the response is ready or the deadline passes.
   Response handle(const Request& req);
+
+  /// Registers an extra endpoint, dispatched exactly like the built-ins
+  /// (worker pool, per-request deadline, backpressure, error mapping; throw
+  /// HandlerError for a structured error status). Registration is not
+  /// thread-safe: add every route before serving. The campaign module uses
+  /// this for /v1/refine*.
+  void add_route(const std::string& method, const std::string& path,
+                 RouteHandler handler);
 
   /// Requests currently queued or executing (excludes health/metrics).
   std::size_t in_flight() const {
@@ -118,6 +147,10 @@ class Router {
 
   SessionStore& store() { return *store_; }
   const RouterOptions& options() const { return opts_; }
+
+  /// Shared request-body session resolution ("session" key lookup -> 404, or
+  /// "src" + config -> get_or_build). Public for registered route handlers.
+  std::shared_ptr<const Session> resolve_session(const JsonValue& body);
 
  private:
   Response dispatch(const Request& req, const JsonValue& body);
@@ -130,15 +163,21 @@ class Router {
   Response handle_lint(const JsonValue& body);
   Response handle_patch(const JsonValue& body);
 
-  std::shared_ptr<const Session> resolve_session(const JsonValue& body);
-
   SessionStore* store_;
   RouterOptions opts_;
   std::atomic<std::size_t> in_flight_{0};
+  /// path -> method -> handler, for add_route endpoints.
+  std::map<std::string, std::map<std::string, RouteHandler>> routes_;
 };
 
 /// Structured error response ({"error":{"code","message"},"status"}).
 Response error_response(int status, const std::string& code,
                         const std::string& message);
+
+/// Same, marked retriable: the body gains `"retriable": true` and the
+/// response carries Retry-After (seconds) for the HTTP transport to emit.
+Response retriable_error_response(int status, const std::string& code,
+                                  const std::string& message,
+                                  int retry_after_s = 1);
 
 }  // namespace rca::service

@@ -103,6 +103,11 @@ std::vector<std::string> Session::skipped_modules() const {
   return skipped;
 }
 
+const std::vector<const lang::Module*>& Session::modules() const {
+  ensure_parsed(parse_pool_);
+  return modules_;
+}
+
 const std::vector<std::pair<std::string, std::string>>& Session::parse_errors()
     const {
   // Force the parse first (like lint() does): once parsed_ is set the vector

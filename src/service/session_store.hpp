@@ -111,6 +111,11 @@ class Session {
   /// happened yet (warm-started sessions), so the reference is stable.
   const std::vector<std::pair<std::string, std::string>>& parse_errors() const;
 
+  /// Parsed modules (build-list filtered). Forces a parse like
+  /// parse_errors(); the reference is stable afterwards. Campaigns use this
+  /// to mine scenario ground-truth sites from the session's own ASTs.
+  const std::vector<const lang::Module*>& modules() const;
+
   /// Source paths the front end could not parse — the session serves a
   /// *partial* corpus and responses must say so ("degraded": true). Unlike
   /// parse_errors() this never forces a parse: a warm-started session whose

@@ -378,6 +378,101 @@ end module
   EXPECT_GT(near_mag, far_mag);
 }
 
+TEST_F(EngineUnitTest, SimulatedSamplerMagnitudeIsHopDistanceSurrogate) {
+  // The simulated magnitude is exactly 1/(1+d) for hop distance d from the
+  // planted bug, and sites the bug cannot reach never appear at all — the
+  // contract campaign stall-breaking relies on.
+  meta::Metagraph mg = build(R"(
+module m
+contains
+  subroutine s()
+    real :: bug, near, far, elsewhere
+    near = bug * 2.0
+    far = near + 1.0
+    elsewhere = 3.0
+  end subroutine
+end module
+)");
+  const NodeId bug = mg.find("m", "s", "bug");
+  const NodeId near_node = mg.find("m", "s", "near");
+  const NodeId far_node = mg.find("m", "s", "far");
+  const NodeId elsewhere = mg.find("m", "s", "elsewhere");
+  SimulatedSampler sampler(mg, {bug});
+  const auto diffs =
+      sampler.detect_with_magnitudes({bug, near_node, far_node, elsewhere});
+  ASSERT_EQ(diffs.size(), 3u);  // elsewhere is unreached -> excluded
+  for (const auto& d : diffs) {
+    EXPECT_NE(d.node, elsewhere);
+    if (d.node == bug) {
+      EXPECT_DOUBLE_EQ(d.magnitude, 1.0);
+    } else if (d.node == near_node) {
+      EXPECT_DOUBLE_EQ(d.magnitude, 1.0 / 2.0);
+    } else if (d.node == far_node) {
+      EXPECT_DOUBLE_EQ(d.magnitude, 1.0 / 3.0);
+    }
+  }
+}
+
+TEST_F(EngineUnitTest, StallBrokenWhenEightBReproducesTheSubgraph) {
+  // Diamond ancestry: every node lies on a path to a differing site, so 8b
+  // keeps the whole subgraph (the paper's issue 1 fixed point). With
+  // rank_differences_on_stall the engine re-refines on the single
+  // most-affected site (the bug itself, magnitude 1.0) and must report
+  // stall_broken instead of stalling.
+  const char* diamond = R"(
+module m
+contains
+  subroutine s()
+    real :: bug, a, b, sink
+    a = bug * 2.0
+    b = bug + 1.0
+    sink = a + b
+  end subroutine
+end module
+)";
+  meta::Metagraph mg = build(diamond);
+  const NodeId bug = mg.find("m", "s", "bug");
+  std::vector<NodeId> slice;
+  for (NodeId v = 0; v < mg.node_count(); ++v) slice.push_back(v);
+
+  RefinementOptions opts;
+  opts.small_enough = 1;
+  opts.min_community_size = 2;
+  opts.samples_per_community = 4;  // every node instrumented -> all differ
+  opts.max_iterations = 4;
+
+  {
+    // Without the extension the fixed point is terminal: stalled, no
+    // progress, subgraph returned unchanged.
+    SimulatedSampler sampler(mg, {bug});
+    RefinementEngine engine(mg, sampler, opts);
+    RefinementResult plain = engine.run(slice, {bug});
+    EXPECT_TRUE(plain.stalled);
+    EXPECT_EQ(plain.final_nodes.size(), slice.size());
+    for (const auto& iter : plain.iterations) {
+      EXPECT_FALSE(iter.stall_broken);
+    }
+  }
+  {
+    SimulatedSampler sampler(mg, {bug});
+    RefinementOptions ranked = opts;
+    ranked.rank_differences_on_stall = true;
+    RefinementEngine engine(mg, sampler, ranked);
+    RefinementResult result = engine.run(slice, {bug});
+    EXPECT_FALSE(result.stalled);
+    bool broke = false;
+    for (const auto& iter : result.iterations) broke |= iter.stall_broken;
+    EXPECT_TRUE(broke);
+    // Re-refining on the strongest difference collapses onto the bug's own
+    // ancestry.
+    ASSERT_FALSE(result.final_nodes.empty());
+    EXPECT_LT(result.final_nodes.size(), slice.size());
+    EXPECT_NE(std::find(result.final_nodes.begin(), result.final_nodes.end(),
+                        bug),
+              result.final_nodes.end());
+  }
+}
+
 
 TEST(PipelineIntegration, EmitsOneSpanPerPipelineStage) {
   // The observability layer must record exactly one span per Figure-1 stage
