@@ -23,7 +23,16 @@
 //                        [--jobs N] [--request-threads N]
 //                        [--max-in-flight N] [--deadline-ms N]
 //                        [--session-bytes N] [--campaigns N]
-//                        [--campaign-threads N]
+//                        [--campaign-threads N] [--generation N]
+//                        [--stable-health]
+//   rca-tool fleet       [--workers N] [--port N] [--port-file FILE]
+//                        [--snapshot DIR] [--run-dir DIR]
+//                        [--worker-binary PATH] [--gateway-threads N]
+//                        [--probe-interval-ms N] [--probe-timeout-ms N]
+//                        [--probe-strikes N] [--backoff-initial-ms N]
+//                        [--backoff-cap-ms N] [--retry-attempts N]
+//                        [--retry-base-ms N] [--retry-cap-ms N]
+//                        (plus serve tuning flags, forwarded to workers)
 //   rca-tool refine      (--scenario NAME [--seed N] [--runtime]
 //                         | --src DIR --bug NAME...
 //                           (--target NAME | --output LABEL)...)
@@ -66,6 +75,8 @@
 #include "campaign/score.hpp"
 #include "engine/pipeline.hpp"
 #include "fault/fault.hpp"
+#include "fleet/gateway.hpp"
+#include "fleet/supervisor.hpp"
 #include "graph/centrality.hpp"
 #include "graph/degree_dist.hpp"
 #include "graph/dot_export.hpp"
@@ -86,6 +97,7 @@
 #include "service/session_store.hpp"
 #include "slice/slicer.hpp"
 #include "support/args.hpp"
+#include "support/fsio.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -110,6 +122,8 @@ int usage() {
       "  centrality   rank nodes or modules\n"
       "  analyze      run a full paper experiment on the synthetic model\n"
       "  serve        resident RCA query daemon (HTTP/JSON on 127.0.0.1)\n"
+      "  fleet        supervised multi-process worker fleet behind one\n"
+      "               loopback gateway (crash containment + warm restart)\n"
       "  refine       run one refinement campaign to completion, print the\n"
       "               rca.campaign.v1 progress + result documents\n"
       "  score        run the planted-scenario library through the full\n"
@@ -155,6 +169,19 @@ int usage() {
       "  --session-bytes N    resident session byte budget (LRU eviction)\n"
       "  --campaigns N        concurrent refinement campaigns (default 8)\n"
       "  --campaign-threads N campaign engine pool size (default 2)\n"
+      "  --generation N       worker generation reported by /v1/health\n"
+      "  --stable-health      byte-stable /v1/health (uptime_ms = 0)\n"
+      "\n"
+      "fleet options (serve tuning flags are forwarded to every worker):\n"
+      "  --workers N          worker shard processes (default 4)\n"
+      "  --run-dir DIR        port files + worker logs (default fleet-run)\n"
+      "  --worker-binary P    worker executable (default /proc/self/exe)\n"
+      "  --probe-interval-ms / --probe-timeout-ms / --probe-strikes\n"
+      "                       health-probe cadence, timeout, kill threshold\n"
+      "  --backoff-initial-ms / --backoff-cap-ms\n"
+      "                       exponential jittered respawn backoff bounds\n"
+      "  --retry-attempts / --retry-base-ms / --retry-cap-ms\n"
+      "                       gateway per-request retry budget and backoff\n"
       "\n"
       "global options (any subcommand):\n"
       "  --metrics-out FILE   record spans/counters/histograms, write JSON\n"
@@ -816,6 +843,8 @@ int cmd_serve(const Args& args) {
   router_opts.max_in_flight =
       static_cast<std::size_t>(args.get_int("max-in-flight", 64));
   router_opts.default_deadline_ms = args.get_int("deadline-ms", 30000);
+  router_opts.generation = args.get_int("generation", 0);
+  router_opts.stable_health = args.has("stable-health");
   service::Router router(&store, router_opts);
 
   // Refinement campaigns: long-lived server-side runs behind /v1/refine*.
@@ -825,6 +854,12 @@ int cmd_serve(const Args& args) {
                                    args.get_int("campaigns", 8)));
   campaign_opts.engine_threads =
       static_cast<std::size_t>(args.get_int("campaign-threads", 2));
+  if (!store_opts.snapshot_dir.empty()) {
+    // Crash durability piggybacks on the snapshot dir: campaign journals
+    // live next to the graphs their resumed runs warm-start from.
+    campaign_opts.journal_dir =
+        (fs::path(store_opts.snapshot_dir) / "campaigns").string();
+  }
   campaign::CampaignManager campaigns(&store, campaign_opts);
   campaigns.install_routes(router);
 
@@ -833,17 +868,111 @@ int cmd_serve(const Args& args) {
   service::HttpServer server(&router, http_opts);
   server.start();
   if (args.has("port-file")) {
-    write_file(args.get("port-file"), std::to_string(server.port()) + "\n");
+    // Atomic (temp + rename): the fleet supervisor polls this file and must
+    // never observe a torn write.
+    atomic_write_file(args.get("port-file"),
+                      std::to_string(server.port()) + "\n");
   }
   std::printf("rca-serve listening on 127.0.0.1:%u (build %s)\n",
               static_cast<unsigned>(server.port()),
               service::build_id().c_str());
   std::fflush(stdout);  // port announcements must not sit in a pipe buffer
 
+  // Resume any campaign whose journal survived a crash — after the port
+  // handshake (the supervisor should not wait on re-execution) but before
+  // serving; /v1/health reports "warming" while it runs.
+  if (!campaign_opts.journal_dir.empty()) {
+    router.set_warming(true);
+    const std::size_t resumed = campaigns.resume_unfinished(router);
+    router.set_warming(false);
+    if (resumed > 0) {
+      std::printf("rca-serve: resumed %zu journaled campaign(s)\n", resumed);
+      std::fflush(stdout);
+    }
+  }
+
   service::HttpServer::install_signal_handlers(server);
   const int rc = server.serve_forever();
   std::printf("rca-serve: drained %zu sessions resident, exiting\n",
               store.session_count());
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// fleet
+// ---------------------------------------------------------------------------
+
+int cmd_fleet(const Args& args) {
+  obs::global().set_enabled(true);
+
+  fleet::WorkerSpec spec;
+  spec.binary = args.get("worker-binary", "/proc/self/exe");
+  spec.run_dir = args.get("run-dir", "fleet-run");
+  // Every worker shares the read-only snapshot dir — that is what makes a
+  // respawn a warm start — plus the usual serve tuning flags.
+  const std::string snapshot = args.get("snapshot");
+  if (!snapshot.empty()) {
+    spec.extra_args.push_back("--snapshot");
+    spec.extra_args.push_back(snapshot);
+  }
+  for (const char* flag :
+       {"jobs", "request-threads", "max-in-flight", "deadline-ms",
+        "session-bytes", "campaigns", "campaign-threads"}) {
+    if (args.has(flag)) {
+      spec.extra_args.push_back(std::string("--") + flag);
+      spec.extra_args.push_back(args.get(flag));
+    }
+  }
+  if (args.has("stable-health")) spec.extra_args.push_back("--stable-health");
+
+  fleet::SupervisorOptions sopts;
+  sopts.workers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("workers", 4)));
+  sopts.spawn_deadline_ms = args.get_int("spawn-deadline-ms", 20000);
+  sopts.probe_interval_ms = args.get_int("probe-interval-ms", 250);
+  sopts.probe_timeout_ms =
+      static_cast<int>(args.get_int("probe-timeout-ms", 2000));
+  sopts.probe_failures_to_kill =
+      static_cast<int>(args.get_int("probe-strikes", 2));
+  sopts.restart_backoff_initial_ms = args.get_int("backoff-initial-ms", 50);
+  sopts.restart_backoff_cap_ms = args.get_int("backoff-cap-ms", 2000);
+
+  fleet::Supervisor supervisor(std::move(spec), sopts);
+  supervisor.start();
+
+  fleet::GatewayOptions gopts;
+  gopts.max_attempts = static_cast<int>(args.get_int("retry-attempts", 10));
+  gopts.retry_base_ms = args.get_int("retry-base-ms", 25);
+  gopts.retry_cap_ms = args.get_int("retry-cap-ms", 500);
+  fleet::Gateway gateway(&supervisor, gopts);
+
+  service::HttpServerOptions http_opts;
+  http_opts.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  // Proxied requests can sleep through worker respawns; give the gateway
+  // threads headroom over a single worker's default.
+  http_opts.connection_threads = std::max<std::size_t>(
+      8, static_cast<std::size_t>(args.get_int("gateway-threads", 16)));
+  service::HttpServer server(
+      service::HttpServer::Handler(
+          [&gateway](const service::Request& req) {
+            return gateway.handle(req);
+          }),
+      http_opts);
+  server.start();
+  if (args.has("port-file")) {
+    atomic_write_file(args.get("port-file"),
+                      std::to_string(server.port()) + "\n");
+  }
+  std::printf(
+      "rca-fleet gateway on 127.0.0.1:%u, %zu worker shard(s) (build %s)\n",
+      static_cast<unsigned>(server.port()), supervisor.workers(),
+      service::build_id().c_str());
+  std::fflush(stdout);
+
+  service::HttpServer::install_signal_handlers(server);
+  const int rc = server.serve_forever();
+  supervisor.shutdown();
+  std::printf("rca-fleet: workers reaped, exiting\n");
   return rc;
 }
 
@@ -1088,6 +1217,7 @@ int main(int argc, char** argv) {
     else if (args.command() == "centrality") rc = cmd_centrality(args);
     else if (args.command() == "analyze") rc = cmd_analyze(args);
     else if (args.command() == "serve") rc = cmd_serve(args);
+    else if (args.command() == "fleet") rc = cmd_fleet(args);
     else if (args.command() == "refine") rc = cmd_refine(args);
     else if (args.command() == "score") rc = cmd_score(args);
     else if (args.command() == "watch") rc = cmd_watch(args);

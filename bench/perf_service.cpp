@@ -1,10 +1,10 @@
-// In-process load generator for the resident RCA query service.
+// Load generator for the resident RCA query service — two modes.
 //
-// Drives the Router directly (no sockets, so the numbers are service cost,
-// not TCP cost) with K concurrent client threads over a mixed cold/warm
-// workload: three generated corpora under a session byte budget that only
-// fits two, so the rotation keeps forcing genuine cold builds through LRU
-// eviction while most requests hit resident sessions.
+// Default: drives the Router directly (no sockets, so the numbers are
+// service cost, not TCP cost) with K concurrent client threads over a mixed
+// cold/warm workload: three generated corpora under a session byte budget
+// that only fits two, so the rotation keeps forcing genuine cold builds
+// through LRU eviction while most requests hit resident sessions.
 //
 // Prints p50/p95/p99 latency and throughput, then enforces the service
 // acceptance gates and exits nonzero if any fails:
@@ -12,6 +12,20 @@
 //   * every request answered 200;
 //   * a warm /v1/slice completed with zero re-parses
 //     (service.session.hits +1, service.session.parses +0).
+//
+// --fleet [--clients N] [--requests N] [--json FILE]: spawns a real
+// `rca-tool fleet` (4 worker processes behind the loopback gateway) and
+// drives it with hundreds of keep-alive HTTP clients while a fault-registry
+// schedule (`fleet.worker.crash`, armed via RCA_FAULTS in the worker
+// environment) aborts workers mid-run. Gates: zero client-visible failures
+// (crash containment + re-route + snapshot warm restart must hide every
+// death), at least one observed respawn, bounded p99, clean SIGTERM
+// shutdown. --json emits an rca.bench_graph.v1 document (warm gateway RTT
+// kernels, normalized by the same calibration workload perf_graph uses)
+// that tools/bench_diff.cmake diffs against the committed
+// BENCH_service.json in CI.
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -19,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -27,11 +42,17 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fleet/http_client.hpp"
+#include "graph/betweenness.hpp"
+#include "graph/digraph.hpp"
+#include "graph/ugraph.hpp"
 #include "model/corpus.hpp"
 #include "obs/obs.hpp"
 #include "service/router.hpp"
 #include "service/session_store.hpp"
+#include "stats/descriptive.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
 namespace fs = std::filesystem;
@@ -119,9 +140,436 @@ const char* request_path(int i) {
   }
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// fleet mode
+// ---------------------------------------------------------------------------
 
-int main() {
+using Clock = std::chrono::steady_clock;
+
+/// Same fixed serial workload perf_graph normalizes by: exact betweenness on
+/// a deterministic preferential-attachment graph. Sharing the calibration
+/// means `normalized` values in BENCH_service.json and BENCH_graph.json are
+/// in the same runner-independent unit.
+graph::Digraph calibration_graph(std::size_t n, std::size_t edges_per_node,
+                                 std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  graph::Digraph g(1);
+  std::vector<graph::NodeId> pool = {0};
+  for (graph::NodeId v = 1; v < n; ++v) {
+    g.add_nodes(1);
+    for (std::size_t e = 0; e < edges_per_node; ++e) {
+      const graph::NodeId t = pool[rng.next() % pool.size()];
+      if (t != v && g.add_edge(v, t)) {
+        pool.push_back(t);
+        pool.push_back(v);
+      }
+    }
+  }
+  return g;
+}
+
+double calibration_ms() {
+  const graph::Digraph g = calibration_graph(600, 2, 7);
+  const graph::UGraph ug(g);
+  std::vector<double> times;
+  for (int r = 0; r < 5; ++r) {
+    const auto t0 = Clock::now();
+    (void)graph::edge_betweenness(ug);
+    times.push_back(std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              t0)
+                        .count());
+  }
+  return stats::median(times);
+}
+
+#ifdef RCA_TOOL_BIN
+
+/// A real `rca-tool fleet` child process: supervisor + 4 workers behind the
+/// loopback gateway, port-file handshake, SIGTERM teardown.
+struct FleetProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+
+  static FleetProc launch(const fs::path& dir, int workers) {
+    FleetProc f;
+    const fs::path port_file = dir / "gateway.port";
+    const std::string run_dir = (dir / "run").string();
+    const std::string snapshot = (dir / "snap").string();
+    const std::string log = (dir / "fleet.log").string();
+    std::fflush(stdout);  // fork would duplicate unflushed stdio buffers
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::freopen(log.c_str(), "a", stdout);
+      ::freopen(log.c_str(), "a", stderr);
+      ::execl(RCA_TOOL_BIN, RCA_TOOL_BIN, "fleet", "--workers",
+              std::to_string(workers).c_str(), "--port-file",
+              port_file.string().c_str(), "--run-dir", run_dir.c_str(),
+              "--snapshot", snapshot.c_str(), "--gateway-threads", "64",
+              "--backoff-initial-ms", "50", "--probe-interval-ms", "100",
+              "--retry-attempts", "12", "--retry-cap-ms", "400",
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    f.pid = pid;
+    const auto deadline = Clock::now() + std::chrono::seconds(60);
+    while (Clock::now() < deadline && f.port == 0) {
+      std::ifstream in(port_file);
+      int port = 0;
+      if (in >> port && port > 0) {
+        f.port = static_cast<std::uint16_t>(port);
+        break;
+      }
+      if (::waitpid(pid, nullptr, WNOHANG) == pid) {
+        f.pid = -1;  // died during startup; the log has the reason
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return f;
+  }
+
+  /// SIGTERM + bounded reap; returns the fleet's exit code (-1 on timeout).
+  int terminate_and_wait() {
+    if (pid <= 0) return -1;
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    const auto deadline = Clock::now() + std::chrono::seconds(20);
+    while (Clock::now() < deadline) {
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        pid = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+    return -1;
+  }
+
+  ~FleetProc() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+/// Sums every `"key":N` occurrence in a JsonWriter-emitted document.
+long long sum_int_members(const std::string& body, const std::string& key) {
+  long long total = 0;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t at = 0;
+  while ((at = body.find(needle, at)) != std::string::npos) {
+    at += needle.size();
+    long long v = 0;
+    while (at < body.size() && body[at] >= '0' && body[at] <= '9') {
+      v = v * 10 + (body[at] - '0');
+      ++at;
+    }
+    total += v;
+  }
+  return total;
+}
+
+/// Median gateway round-trip for one request shape, measured single-file
+/// against a healthy fleet (these are the trajectory kernels CI diffs).
+double median_rtt_ms(fleet::HttpClient& client, const std::string& path,
+                     const std::string& body, int repeats,
+                     int* failures) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    const auto resp = client.request("POST", path, body, 60000);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (!resp || resp->status != 200) {
+      ++*failures;
+      continue;
+    }
+    times.push_back(ms);
+  }
+  return times.empty() ? 0.0 : stats::median(times);
+}
+
+int run_fleet(int clients, int requests_per_client,
+              const std::string& json_path) {
+  obs::global().set_enabled(true);
+  constexpr int kWorkers = 4;
+  constexpr int kCorpora = 8;
+
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("perf_service_fleet_" + std::to_string(::getpid()));
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  std::printf("generating %d corpora...\n", kCorpora);
+  std::vector<Corpus> corpora;
+  for (int i = 0; i < kCorpora; ++i) {
+    corpora.push_back(write_corpus(400 + static_cast<std::uint64_t>(i)));
+  }
+
+  std::printf("calibrating...\n");
+  const double calib = calibration_ms();
+
+  // Arm the chaos schedule in the fleet's environment: each worker process
+  // aborts once after its 150th routed request (health probes sit above the
+  // fault site, so probes never trip it). Respawned workers re-arm, so a
+  // busy shard dies more than once over the run.
+  ::setenv("RCA_FAULTS", "seed=5,fleet.worker.crash:1.0:throw:150:1", 1);
+  std::printf("launching rca-tool fleet (%d workers, crash schedule on)...\n",
+              kWorkers);
+  FleetProc fleet = FleetProc::launch(base, kWorkers);
+  ::unsetenv("RCA_FAULTS");
+  if (fleet.port == 0) {
+    std::fprintf(stderr, "FAIL: fleet did not publish a port (see %s)\n",
+                 (base / "fleet.log").string().c_str());
+    return 1;
+  }
+
+  // Warm every corpus through the gateway once: owner shards build their
+  // sessions and write snapshots, so later crashes warm-start instead of
+  // re-parsing from scratch.
+  {
+    fleet::HttpClientOptions copts;
+    copts.max_connections = 4;
+    copts.io_timeout_ms = 60000;
+    fleet::HttpClient warm(fleet.port, copts);
+    for (const Corpus& corpus : corpora) {
+      const auto resp =
+          warm.request("POST", "/v1/graph/build", request_body(corpus, 3));
+      if (!resp || resp->status != 200) {
+        std::fprintf(stderr, "FAIL: warmup build failed for %s\n",
+                     corpus.dir.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Chaos load: `clients` threads, each with its own single-connection
+  // keep-alive client, bursting `requests_per_client` requests and then
+  // closing. Workers are dying and respawning underneath; the gate is that
+  // no client ever sees it.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool go = false;
+  std::atomic<int> failures{0};
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return go; });
+      }
+      fleet::HttpClientOptions copts;
+      copts.max_connections = 1;
+      copts.io_timeout_ms = 60000;
+      fleet::HttpClient client(fleet.port, copts);
+      for (int i = 0; i < requests_per_client; ++i) {
+        const Corpus& corpus = corpora[static_cast<std::size_t>(
+            (c + i) % static_cast<int>(corpora.size()))];
+        const auto t0 = Clock::now();
+        const auto resp = client.request("POST", request_path(i),
+                                         request_body(corpus, i), 60000);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        latencies_ms[static_cast<std::size_t>(c)].push_back(ms);
+        if (!resp || resp->status != 200) {
+          failures.fetch_add(1);
+          std::fprintf(stderr, "client %d request %d -> %s\n", c, i,
+                       resp ? std::to_string(resp->status).c_str()
+                            : "transport failure");
+        }
+      }
+    });
+  }
+  const auto bench_start = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+  std::vector<double> all_ms;
+  for (const auto& per_client : latencies_ms) {
+    all_ms.insert(all_ms.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const double total = static_cast<double>(all_ms.size());
+  const double p99_ms = percentile(all_ms, 0.99);
+  const double qps = wall_s > 0.0 ? total / wall_s : 0.0;
+
+  // Let the supervisor finish respawning whatever died near the end, then
+  // read the fleet's own account of the chaos.
+  long long restarts = 0;
+  bool all_up = false;
+  {
+    fleet::HttpClientOptions copts;
+    copts.max_connections = 1;
+    fleet::HttpClient status(fleet.port, copts);
+    const auto deadline = Clock::now() + std::chrono::seconds(20);
+    while (Clock::now() < deadline) {
+      const auto resp = status.request("GET", "/v1/fleet/status", "");
+      if (resp && resp->status == 200) {
+        restarts = sum_int_members(resp->body, "restarts");
+        all_up = resp->body.find("\"down\"") == std::string::npos &&
+                 resp->body.find("\"restarting\"") == std::string::npos;
+        if (all_up) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    // Trajectory kernels: single-file warm round-trips against the healed
+    // fleet. Stable enough to diff run-over-run, unlike chaos percentiles.
+    int kernel_failures = 0;
+    const double health_rtt =
+        [&] {
+          std::vector<double> times;
+          for (int r = 0; r < 101; ++r) {
+            const auto t0 = Clock::now();
+            const auto resp = status.request("GET", "/v1/health", "");
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  Clock::now() - t0)
+                                  .count();
+            if (resp && resp->status == 200) times.push_back(ms);
+          }
+          return times.empty() ? 0.0 : stats::median(times);
+        }();
+    const double build_rtt =
+        median_rtt_ms(status, "/v1/graph/build", request_body(corpora[0], 3),
+                      31, &kernel_failures);
+    const double slice_rtt = median_rtt_ms(
+        status, "/v1/slice", request_body(corpora[0], 0), 31,
+        &kernel_failures);
+
+    std::printf("\nperf_service --fleet: %d clients x %d requests over %d "
+                "corpora, %d workers under crash schedule\n",
+                clients, requests_per_client, kCorpora, kWorkers);
+    std::printf("  wall time        %.2f s (%.0f req/s)\n", wall_s, qps);
+    std::printf("  latency p50      %.2f ms\n", percentile(all_ms, 0.50));
+    std::printf("  latency p95      %.2f ms\n", percentile(all_ms, 0.95));
+    std::printf("  latency p99      %.2f ms\n", p99_ms);
+    std::printf("  worker respawns  %lld\n", restarts);
+    std::printf("  calibration      %.2f ms\n", calib);
+    std::printf("  kernels: health %.3f ms, warm build %.2f ms, warm slice "
+                "%.2f ms (medians)\n",
+                health_rtt, build_rtt, slice_rtt);
+
+    // Gates. The chaos schedule guarantees deaths (any shard that served
+    // >= 150 requests aborted at least once), so restarts == 0 means the
+    // schedule never engaged and the bench proved nothing.
+    bool ok = true;
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "FAIL: %d client-visible failures under chaos\n",
+                   failures.load());
+      ok = false;
+    }
+    if (restarts < 1) {
+      std::fprintf(stderr,
+                   "FAIL: no worker respawns observed — crash schedule "
+                   "never engaged\n");
+      ok = false;
+    }
+    if (!all_up) {
+      std::fprintf(stderr,
+                   "FAIL: fleet did not heal to all-shards-up within 20s\n");
+      ok = false;
+    }
+    if (kernel_failures != 0) {
+      std::fprintf(stderr, "FAIL: %d kernel requests failed post-chaos\n",
+                   kernel_failures);
+      ok = false;
+    }
+    if (p99_ms > 5000.0) {
+      std::fprintf(stderr, "FAIL: chaos p99 %.2f ms exceeds 5000 ms budget\n",
+                   p99_ms);
+      ok = false;
+    }
+    const int fleet_rc = fleet.terminate_and_wait();
+    if (fleet_rc != 0) {
+      std::fprintf(stderr, "FAIL: fleet exit code %d (want 0)\n", fleet_rc);
+      ok = false;
+    }
+
+    if (!json_path.empty()) {
+      JsonWriter w;
+      w.begin_object();
+      w.key("schema");
+      w.string_value("rca.bench_graph.v1");
+      w.key("samples");
+      w.integer(clients);
+      w.key("repeats");
+      w.integer(requests_per_client);
+      w.key("calibration_ms");
+      w.number(calib);
+      w.key("fixtures");
+      w.begin_object();
+      w.key("fleet");
+      w.begin_object();
+      w.key("nodes");
+      w.integer(kWorkers);
+      w.key("edges");
+      w.integer(kCorpora);
+      w.end_object();
+      w.end_object();
+      w.key("kernels");
+      w.begin_object();
+      struct NamedKernel {
+        const char* name;
+        double median_ms;
+      };
+      for (const NamedKernel& k :
+           {NamedKernel{"gateway_health_rtt", health_rtt},
+            NamedKernel{"gateway_warm_build_rtt", build_rtt},
+            NamedKernel{"gateway_warm_slice_rtt", slice_rtt}}) {
+        w.key(k.name);
+        w.begin_object();
+        w.key("median_ms");
+        w.number(k.median_ms);
+        w.key("normalized");
+        w.number(calib > 0.0 ? k.median_ms / calib : 0.0);
+        w.end_object();
+      }
+      w.end_object();
+      w.key("gates");
+      w.begin_object();
+      w.key("chaos_qps");
+      w.number(qps);
+      w.key("chaos_p99_ms");
+      w.number(p99_ms);
+      w.key("client_failures");
+      w.integer(failures.load());
+      w.key("worker_respawns");
+      w.integer(restarts);
+      w.key("pass");
+      w.boolean(ok);
+      w.end_object();
+      w.end_object();
+      std::ofstream out(json_path);
+      out << w.str() << "\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    for (const Corpus& corpus : corpora) fs::remove_all(corpus.dir);
+    if (ok) fs::remove_all(base);  // keep logs around on failure
+    std::printf("perf_service --fleet: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+}
+
+#endif  // RCA_TOOL_BIN
+
+int run_inprocess() {
   obs::global().set_enabled(true);
 
   std::printf("generating 3 corpora...\n");
@@ -309,4 +757,41 @@ int main() {
   for (const auto& corpus : corpora) fs::remove_all(corpus.dir);
   std::printf("perf_service: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fleet_mode = false;
+  int clients = 200;
+  int requests_per_client = 6;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fleet") {
+      fleet_mode = true;
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests_per_client = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_service [--fleet [--clients N] [--requests N] "
+                   "[--json FILE]]\n");
+      return 2;
+    }
+  }
+  if (fleet_mode) {
+#ifdef RCA_TOOL_BIN
+    return run_fleet(clients, requests_per_client, json_path);
+#else
+    std::fprintf(stderr,
+                 "perf_service was built without RCA_TOOL_BIN; --fleet "
+                 "unavailable\n");
+    return 2;
+#endif
+  }
+  return run_inprocess();
 }

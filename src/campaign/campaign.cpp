@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <utility>
 
+#include "campaign/journal.hpp"
 #include "fault/fault.hpp"
 #include "graph/centrality.hpp"
 #include "model/corpus.hpp"
@@ -87,6 +88,14 @@ std::vector<RankedSite> rank_final_nodes(const meta::Metagraph& mg,
   return ranked;
 }
 
+bool snapshots_equal(const IterationSnapshot& a, const IterationSnapshot& b) {
+  return a.iteration == b.iteration && a.nodes == b.nodes &&
+         a.edges == b.edges && a.communities == b.communities &&
+         a.sampled_sites == b.sampled_sites &&
+         a.differing_sites == b.differing_sites && a.detected == b.detected &&
+         a.applied_8a == b.applied_8a && a.stall_broken == b.stall_broken;
+}
+
 std::string require_campaign_id(const JsonValue& body) {
   const std::string id = body.get_string("campaign");
   if (id.empty()) {
@@ -103,6 +112,12 @@ struct CampaignManager::Campaign {
   std::shared_ptr<const service::Session> session;
   const model::ScenarioSpec* scenario = nullptr;  // null = session campaign
   std::atomic<bool> cancel{false};
+  /// Crash durability: true when this campaign has a journal on disk.
+  bool journaled = false;
+  /// Checkpoints read back from the journal on resume; the first
+  /// expected.size() iterations replay deterministically and are verified
+  /// against these instead of re-appended.
+  std::vector<IterationSnapshot> expected;
 
   // Pin bookkeeping: held from admission until the run exits (any path), so
   // the LRU can never evict the session mid-refinement. The destructor is
@@ -167,31 +182,62 @@ std::shared_ptr<CampaignManager::Campaign> CampaignManager::find(
 
 std::string CampaignManager::start(
     CampaignParams params, std::shared_ptr<const service::Session> session) {
+  return admit(std::move(params), std::move(session), /*forced_id=*/"", {},
+               /*bypass_capacity=*/false);
+}
+
+std::string CampaignManager::admit(
+    CampaignParams params, std::shared_ptr<const service::Session> session,
+    const std::string& forced_id, std::vector<IterationSnapshot> expected,
+    bool bypass_capacity) {
   RCA_CHECK_MSG(session != nullptr, "campaign needs a session");
   std::shared_ptr<Campaign> c;
   {
     std::lock_guard<std::mutex> lock(mu_);
     prune_finished_locked();
-    std::size_t active = 0;
-    for (auto& [id, existing] : campaigns_) {
-      std::lock_guard<std::mutex> clock(existing->mu);
-      if (existing->state == CampaignState::kPending ||
-          existing->state == CampaignState::kRunning) {
-        ++active;
+    if (!bypass_capacity) {
+      std::size_t active = 0;
+      for (auto& [id, existing] : campaigns_) {
+        std::lock_guard<std::mutex> clock(existing->mu);
+        if (existing->state == CampaignState::kPending ||
+            existing->state == CampaignState::kRunning) {
+          ++active;
+        }
+      }
+      if (active >= opts_.max_running) {
+        obs::count("campaign.rejected");
+        throw HandlerError{429, "over_capacity",
+                           "campaign capacity (" +
+                               std::to_string(opts_.max_running) +
+                               ") exhausted; retry later",
+                           /*retriable=*/true, /*retry_after=*/1};
       }
     }
-    if (active >= opts_.max_running) {
-      obs::count("campaign.rejected");
-      throw HandlerError{429, "over_capacity",
-                         "campaign capacity (" +
-                             std::to_string(opts_.max_running) +
-                             ") exhausted; retry later",
-                         /*retriable=*/true, /*retry_after=*/1};
-    }
     c = std::make_shared<Campaign>();
-    c->id = "c" + std::to_string(++next_id_);
+    if (forced_id.empty()) {
+      c->id = "c" + std::to_string(++next_id_);
+    } else {
+      // Journal resume: keep the transport-visible id, and make sure fresh
+      // campaigns can never collide with a resumed one.
+      c->id = forced_id;
+      if (forced_id.size() > 1 && forced_id[0] == 'c') {
+        std::uint64_t n = 0;
+        bool numeric = true;
+        for (std::size_t i = 1; i < forced_id.size(); ++i) {
+          if (forced_id[i] < '0' || forced_id[i] > '9') {
+            numeric = false;
+            break;
+          }
+          n = n * 10 + static_cast<std::uint64_t>(forced_id[i] - '0');
+        }
+        if (numeric) next_id_ = std::max(next_id_, n);
+      }
+      RCA_CHECK_MSG(campaigns_.find(c->id) == campaigns_.end(),
+                    "duplicate campaign id on resume");
+    }
     c->params = std::move(params);
     c->session = std::move(session);
+    c->expected = std::move(expected);
     if (!c->params.scenario.empty()) {
       c->scenario = model::find_scenario(c->params.scenario);
       RCA_CHECK_MSG(c->scenario != nullptr, "scenario vanished after parse");
@@ -202,9 +248,52 @@ std::string CampaignManager::start(
     campaigns_[c->id] = c;
     order_.push_back(c->id);
   }
-  obs::count("campaign.started");
+
+  // Durability: publish the start record before the worker can produce any
+  // checkpoint. A resumed campaign's journal already exists. A journal
+  // write failure downgrades the campaign to non-durable instead of
+  // failing it — durability is best-effort, the run itself is not.
+  if (!opts_.journal_dir.empty() && !c->params.start_body.empty()) {
+    if (forced_id.empty()) {
+      try {
+        CampaignJournal::write_start(opts_.journal_dir, c->id,
+                                     c->params.start_body,
+                                     c->session->key());
+        c->journaled = true;
+      } catch (const std::exception&) {
+        obs::count("campaign.journal.errors");
+      }
+    } else {
+      c->journaled = true;
+    }
+  }
+
+  obs::count(forced_id.empty() ? "campaign.started" : "campaign.resumed");
   workers_->submit([this, c] { run(c); });
   return c->id;
+}
+
+std::size_t CampaignManager::resume_unfinished(service::Router& router) {
+  if (opts_.journal_dir.empty()) return 0;
+  std::size_t resumed = 0;
+  for (CampaignJournal::Unfinished& u :
+       CampaignJournal::load_unfinished(opts_.journal_dir)) {
+    try {
+      const JsonValue body = parse_json(u.start_body);
+      std::shared_ptr<const service::Session> session;
+      CampaignParams params = parse_campaign_request(body, router, &session);
+      params.start_body = u.start_body;
+      admit(std::move(params), std::move(session), u.id,
+            std::move(u.checkpoints), /*bypass_capacity=*/true);
+      ++resumed;
+    } catch (const std::exception&) {
+      // Unresumable (e.g. a bare "session" key that is no longer resident):
+      // drop the journal so it does not shadow every future restart.
+      obs::count("campaign.resume_failed");
+      CampaignJournal::remove(opts_.journal_dir, u.id);
+    }
+  }
+  return resumed;
 }
 
 void CampaignManager::prune_finished_locked() {
@@ -320,8 +409,8 @@ void CampaignManager::run(const std::shared_ptr<Campaign>& c) {
 
     engine::RefinementOptions ropts = c->params.refinement;
     ropts.pool = engine_pool_.get();
-    ropts.on_iteration = [c](const engine::IterationReport& report,
-                             const std::vector<NodeId>&) {
+    ropts.on_iteration = [this, c](const engine::IterationReport& report,
+                                   const std::vector<NodeId>&) {
       RCA_FAULT_POINT("campaign.step");
       IterationSnapshot snap;
       snap.nodes = report.subgraph_nodes;
@@ -335,9 +424,31 @@ void CampaignManager::run(const std::shared_ptr<Campaign>& c) {
       snap.applied_8a = report.applied_8a;
       snap.stall_broken = report.stall_broken;
       obs::count("campaign.iterations");
-      std::lock_guard<std::mutex> lock(c->mu);
-      snap.iteration = c->progress.size() + 1;
-      c->progress.push_back(snap);
+      bool append = false;
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        snap.iteration = c->progress.size() + 1;
+        c->progress.push_back(snap);
+        if (c->journaled) {
+          if (snap.iteration <= c->expected.size()) {
+            // Resume replay: this iteration is already on disk — verify the
+            // deterministic re-execution reproduced it instead of
+            // re-appending.
+            obs::count(snapshots_equal(c->expected[snap.iteration - 1], snap)
+                           ? "campaign.checkpoint.replayed"
+                           : "campaign.checkpoint.mismatch");
+          } else {
+            append = true;
+          }
+        }
+      }
+      if (append) {
+        try {
+          CampaignJournal::append_iteration(opts_.journal_dir, c->id, snap);
+        } catch (const std::exception&) {
+          obs::count("campaign.journal.errors");
+        }
+      }
       return !c->cancel.load(std::memory_order_relaxed);
     };
 
@@ -374,6 +485,9 @@ void CampaignManager::run(const std::shared_ptr<Campaign>& c) {
     obs::count("campaign.failed");
   }
   c->release_pin();
+  // Terminal state: the journal's job is done, whatever the outcome — only
+  // campaigns that never finished are resumable.
+  if (c->journaled) CampaignJournal::remove(opts_.journal_dir, c->id);
   {
     std::lock_guard<std::mutex> lock(c->mu);
     span.attr("state", campaign_state_name(c->state));
@@ -630,6 +744,9 @@ void CampaignManager::install_routes(service::Router& router) {
       [this, rp](const service::Request&, const JsonValue& body) {
         std::shared_ptr<const service::Session> session;
         CampaignParams params = parse_campaign_request(body, *rp, &session);
+        // The verbatim body is the campaign's durable identity: everything
+        // a respawned worker needs to re-execute the run is in it.
+        params.start_body = to_json(body);
         const std::string scenario = params.scenario;
         const std::string session_key = session->key();
         const std::string id = start(std::move(params), std::move(session));

@@ -88,6 +88,10 @@ struct CampaignParams {
   std::size_t drop_small = 0;
   engine::RefinementOptions refinement;
   std::size_t top = 10;  // ranked sites reported
+  /// Verbatim /v1/refine request JSON. When non-empty and the manager has a
+  /// journal_dir, the campaign is journaled for crash resume: the body is
+  /// everything needed to deterministically re-execute the run.
+  std::string start_body;
 };
 
 struct CampaignManagerOptions {
@@ -98,6 +102,9 @@ struct CampaignManagerOptions {
   /// Finished campaigns retained for result polling; the oldest finished
   /// ones are forgotten beyond this.
   std::size_t max_retained = 64;
+  /// Directory for per-campaign crash journals (see campaign/journal.hpp);
+  /// conventionally `<snapshot_dir>/campaigns`. Empty disables durability.
+  std::string journal_dir;
 };
 
 class CampaignManager {
@@ -120,6 +127,17 @@ class CampaignManager {
   /// already active. Programmatic entry for tests and the CLI.
   std::string start(CampaignParams params,
                     std::shared_ptr<const service::Session> session);
+
+  /// Replays every unfinished journal in options().journal_dir: each is
+  /// re-admitted under its original id (bypassing the max_running gate —
+  /// these campaigns were already admitted once) and re-executed, verifying
+  /// the journaled checkpoints along the way (counters
+  /// campaign.checkpoint.replayed / .mismatch). Journals that cannot be
+  /// resumed (e.g. a session campaign whose bare "session" key is no longer
+  /// resident) are dropped with campaign.resume_failed. Call once at worker
+  /// startup, after install_routes and before serving. Returns the number
+  /// of campaigns resumed.
+  std::size_t resume_unfinished(service::Router& router);
 
   /// rca.campaign.v1 progress document. Throws HandlerError(404) for an
   /// unknown id.
@@ -149,6 +167,14 @@ class CampaignManager {
   struct Campaign;
 
   std::shared_ptr<Campaign> find(const std::string& id) const;
+  /// Shared admission path. `forced_id` non-empty = journal resume: reuse
+  /// the id, seed checkpoint verification with `expected`, skip the
+  /// capacity gate and the (already present) start record.
+  std::string admit(CampaignParams params,
+                    std::shared_ptr<const service::Session> session,
+                    const std::string& forced_id,
+                    std::vector<IterationSnapshot> expected,
+                    bool bypass_capacity);
   void run(const std::shared_ptr<Campaign>& c);
   void write_progress(JsonWriter& w, const Campaign& c) const;
   /// Drops the oldest finished campaigns beyond max_retained (mu_ held).

@@ -1,0 +1,173 @@
+#include "campaign/journal.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/fsio.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace rca::campaign {
+
+namespace fs = std::filesystem;
+
+std::string CampaignJournal::path_for(const std::string& dir,
+                                      const std::string& id) {
+  return (fs::path(dir) / (id + ".journal")).string();
+}
+
+void CampaignJournal::write_start(const std::string& dir,
+                                  const std::string& id,
+                                  const std::string& start_body,
+                                  const std::string& session_key) {
+  fs::create_directories(dir);
+  JsonWriter w;
+  w.begin_object();
+  w.key("kind");
+  w.string_value("start");
+  w.key("id");
+  w.string_value(id);
+  w.key("session");
+  w.string_value(session_key);
+  w.key("body");
+  w.raw_value(start_body);
+  w.end_object();
+  atomic_write_file(path_for(dir, id), w.str() + "\n");
+}
+
+void CampaignJournal::append_iteration(const std::string& dir,
+                                       const std::string& id,
+                                       const IterationSnapshot& snap) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("kind");
+  w.string_value("iteration");
+  w.key("iteration");
+  w.integer(static_cast<long long>(snap.iteration));
+  w.key("nodes");
+  w.integer(static_cast<long long>(snap.nodes));
+  w.key("edges");
+  w.integer(static_cast<long long>(snap.edges));
+  w.key("communities");
+  w.integer(static_cast<long long>(snap.communities));
+  w.key("sampled");
+  w.integer(static_cast<long long>(snap.sampled_sites));
+  w.key("differing");
+  w.integer(static_cast<long long>(snap.differing_sites));
+  w.key("detected");
+  w.boolean(snap.detected);
+  w.key("applied_8a");
+  w.boolean(snap.applied_8a);
+  w.key("stall_broken");
+  w.boolean(snap.stall_broken);
+  w.end_object();
+  append_line_durable(path_for(dir, id), w.str());
+}
+
+void CampaignJournal::remove(const std::string& dir, const std::string& id) {
+  std::error_code ec;
+  fs::remove(path_for(dir, id), ec);  // best effort; absence is fine
+}
+
+namespace {
+
+/// Numeric part of "cN" for deterministic resume ordering; 0 if malformed.
+unsigned long long id_number(const std::string& id) {
+  if (id.size() < 2 || id[0] != 'c') return 0;
+  unsigned long long n = 0;
+  for (std::size_t i = 1; i < id.size(); ++i) {
+    if (id[i] < '0' || id[i] > '9') return 0;
+    n = n * 10 + static_cast<unsigned long long>(id[i] - '0');
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<CampaignJournal::Unfinished> CampaignJournal::load_unfinished(
+    const std::string& dir) {
+  std::vector<Unfinished> out;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return out;
+
+  std::vector<fs::path> journals;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (ends_with(name, ".journal.tmp")) {
+      // A crash between open() and rename(): never observable as a journal,
+      // and must not accumulate.
+      std::error_code rm;
+      fs::remove(entry.path(), rm);
+      continue;
+    }
+    if (ends_with(name, ".journal")) journals.push_back(entry.path());
+  }
+  std::sort(journals.begin(), journals.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return id_number(a.stem().string()) <
+                     id_number(b.stem().string());
+            });
+
+  for (const fs::path& path : journals) {
+    std::ifstream in(path);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    Unfinished u;
+    bool valid = false;
+    for (const std::string& raw_line : split(text, '\n')) {
+      const std::string line = std::string(trim(raw_line));
+      if (line.empty()) continue;
+      JsonValue rec;
+      try {
+        rec = parse_json(line);
+      } catch (const Error&) {
+        // Torn final line from a crash mid-append: the iteration it was
+        // recording replays during resume. Anything after it is garbage.
+        break;
+      }
+      const std::string kind = rec.get_string("kind");
+      if (!valid) {
+        if (kind != "start") break;  // malformed journal: no start record
+        u.id = rec.get_string("id");
+        u.session_key = rec.get_string("session");
+        const JsonValue* body = rec.get("body");
+        if (u.id.empty() || body == nullptr) break;
+        u.start_body = to_json(*body);
+        valid = true;
+        continue;
+      }
+      if (kind != "iteration") break;
+      IterationSnapshot snap;
+      snap.iteration =
+          static_cast<std::size_t>(rec.get_int("iteration", 0));
+      snap.nodes = static_cast<std::size_t>(rec.get_int("nodes", 0));
+      snap.edges = static_cast<std::size_t>(rec.get_int("edges", 0));
+      snap.communities =
+          static_cast<std::size_t>(rec.get_int("communities", 0));
+      snap.sampled_sites =
+          static_cast<std::size_t>(rec.get_int("sampled", 0));
+      snap.differing_sites =
+          static_cast<std::size_t>(rec.get_int("differing", 0));
+      snap.detected = rec.get_bool("detected", false);
+      snap.applied_8a = rec.get_bool("applied_8a", false);
+      snap.stall_broken = rec.get_bool("stall_broken", false);
+      u.checkpoints.push_back(snap);
+    }
+    if (valid) {
+      out.push_back(std::move(u));
+    } else {
+      // No usable start record: nothing to resume, don't rescan forever.
+      std::error_code rm;
+      fs::remove(path, rm);
+    }
+  }
+  return out;
+}
+
+}  // namespace rca::campaign

@@ -1,0 +1,84 @@
+#include "fleet/breaker.hpp"
+
+namespace rca::fleet {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions opts) : opts_(opts) {
+  if (opts_.failure_threshold < 1) opts_.failure_threshold = 1;
+}
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ >= std::chrono::milliseconds(opts_.cooldown_ms)) {
+        state_ = BreakerState::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: the shard is still bad, restart the cooldown.
+    state_ = BreakerState::kOpen;
+    opened_at_ = now;
+    probe_in_flight_ = false;
+    return;
+  }
+  if (state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= opts_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+  }
+}
+
+void CircuitBreaker::force_open(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace rca::fleet

@@ -1,0 +1,63 @@
+// Per-shard circuit breaker.
+//
+// Classic three-state machine guarding one worker shard:
+//   closed    requests flow; `failure_threshold` consecutive failures open
+//             the circuit;
+//   open      requests are refused locally (the gateway re-routes or backs
+//             off) until `cooldown_ms` elapses;
+//   half-open exactly one probe request is admitted; its success closes the
+//             circuit, its failure re-opens with a fresh cooldown.
+//
+// The supervisor force-opens the breaker the instant SIGCHLD reports the
+// worker dead — no request has to fail to discover a corpse — and resets it
+// to closed after a successful respawn handshake. All transitions take an
+// explicit `now` so tests drive time instead of sleeping.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+namespace rca::fleet {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState s);
+
+struct BreakerOptions {
+  int failure_threshold = 3;    // consecutive failures that open the circuit
+  long long cooldown_ms = 500;  // open -> half-open delay
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(BreakerOptions opts = {});
+
+  /// May a request be attempted now? An elapsed cooldown transitions
+  /// open -> half-open and admits exactly one probe; further calls in
+  /// half-open are refused until the probe reports.
+  bool allow(Clock::time_point now);
+
+  /// Probe or regular request succeeded: close the circuit.
+  void record_success();
+  /// Request failed: count toward the threshold (closed) or re-open
+  /// (half-open probe failure).
+  void record_failure(Clock::time_point now);
+  /// Out-of-band death evidence (SIGCHLD): open immediately.
+  void force_open(Clock::time_point now);
+  /// Respawn handshake completed: shard is verified alive, close.
+  void reset();
+
+  BreakerState state() const;
+
+ private:
+  BreakerOptions opts_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace rca::fleet

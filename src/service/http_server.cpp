@@ -8,12 +8,12 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
@@ -34,6 +34,8 @@ const char* status_text(int status) {
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
     case 504: return "Gateway Timeout";
     default: return "Error";
   }
@@ -93,7 +95,9 @@ bool write_all(int fd, const std::string& data) {
   return bytes == data.size();
 }
 
-void send_response(int fd, const Response& resp) {
+/// False when the response could not be fully transmitted (the caller must
+/// drop the connection regardless of `keep_alive`).
+bool send_response(int fd, const Response& resp, bool keep_alive = false) {
   std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
                     status_text(resp.status) + "\r\n";
   out += "Content-Type: " + resp.content_type + "\r\n";
@@ -101,9 +105,32 @@ void send_response(int fd, const Response& resp) {
   if (resp.retry_after > 0) {
     out += "Retry-After: " + std::to_string(resp.retry_after) + "\r\n";
   }
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += resp.body;
-  write_all(fd, out);
+  return write_all(fd, out);
+}
+
+/// Value of the first header named `name` (case-insensitive), trimmed and
+/// lower-cased; empty when absent.
+std::string header_value(const std::string& headers, const char* name) {
+  for (const std::string& line : split(headers, '\n')) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (to_lower(trim(line.substr(0, colon))) != name) continue;
+    return to_lower(trim(line.substr(colon + 1)));
+  }
+  return "";
+}
+
+/// HTTP/1.1 defaults to persistent connections, HTTP/1.0 to close; an
+/// explicit Connection header overrides either way.
+bool client_wants_close(const std::string& headers,
+                        const std::string& version) {
+  const std::string conn = header_value(headers, "connection");
+  if (conn == "close") return true;
+  if (conn == "keep-alive") return false;
+  return version == "HTTP/1.0";
 }
 
 /// Parses "Header-Name: value" lines for Content-Length (case-insensitive
@@ -111,24 +138,28 @@ void send_response(int fd, const Response& resp) {
 /// overflowing value (the caller answers 413 for -2 — a length too large to
 /// represent is by definition over any body budget).
 long long parse_content_length(const std::string& headers) {
-  for (const std::string& line : split(headers, '\n')) {
-    const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    if (to_lower(trim(line.substr(0, colon))) != "content-length") continue;
-    const std::string value = std::string(trim(line.substr(colon + 1)));
-    if (value.empty()) return -2;
-    long long result = 0;
-    for (char c : value) {
-      if (c < '0' || c > '9') return -2;
-      const long long digit = c - '0';
-      if (result > (std::numeric_limits<long long>::max() - digit) / 10) {
+  const std::string value = header_value(headers, "content-length");
+  if (value.empty()) {
+    // Distinguish "header absent" from "header present but empty".
+    for (const std::string& line : split(headers, '\n')) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos &&
+          to_lower(trim(line.substr(0, colon))) == "content-length") {
         return -2;
       }
-      result = result * 10 + digit;
     }
-    return result;
+    return -1;
   }
-  return -1;
+  long long result = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return -2;
+    const long long digit = c - '0';
+    if (result > (std::numeric_limits<long long>::max() - digit) / 10) {
+      return -2;
+    }
+    result = result * 10 + digit;
+  }
+  return result;
 }
 
 /// Pipe write end the installed signal handler pokes; handler-safe.
@@ -145,10 +176,17 @@ extern "C" void rca_serve_signal_handler(int /*signum*/) {
 
 }  // namespace
 
-HttpServer::HttpServer(Router* router, HttpServerOptions opts)
-    : router_(router), opts_(opts) {
+HttpServer::HttpServer(Handler handler, HttpServerOptions opts)
+    : handler_(std::move(handler)), opts_(opts) {
+  if (!handler_) throw Error("HttpServer requires a handler");
   if (::pipe(wake_pipe_) != 0) throw Error("pipe() failed");
 }
+
+HttpServer::HttpServer(Router* router, HttpServerOptions opts)
+    : HttpServer(Handler([router](const Request& req) {
+                   return router->handle(req);
+                 }),
+                 opts) {}
 
 HttpServer::~HttpServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -243,10 +281,13 @@ int HttpServer::serve_forever() {
     }
   }
 
-  // Graceful drain: stop accepting, then let every already-accepted
-  // connection finish its request/response cycle before returning.
+  // Graceful drain: stop accepting, flag keep-alive loops to close after
+  // their in-flight request, then let every already-accepted connection
+  // finish its request/response cycle before returning. Idle keep-alive
+  // sockets notice the flag within one 250ms poll slice.
   ::close(listen_fd_);
   listen_fd_ = -1;
+  draining_.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
@@ -284,63 +325,106 @@ void HttpServer::connection_worker() {
   }
 }
 
+bool HttpServer::wait_readable(int fd, int timeout_ms) const {
+  long long remaining = timeout_ms;
+  while (remaining > 0) {
+    if (draining_.load(std::memory_order_relaxed)) return false;
+    pollfd p{fd, POLLIN, 0};
+    const int slice = static_cast<int>(std::min<long long>(remaining, 250));
+    const int rc = ::poll(&p, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // signal storm must not time us out
+      return false;
+    }
+    // Readable or HUP: either way recv() resolves it.
+    if (rc > 0) return true;
+    remaining -= slice;
+  }
+  return false;
+}
+
 void HttpServer::handle_connection(int fd) {
+  // `buf` persists across keep-alive requests: bytes a pipelining client
+  // sent past one request's body are the start of the next request, not
+  // garbage to drop.
   std::string buf;
-  if (!read_until(fd, buf, "\r\n\r\n", opts_.max_header_bytes)) {
-    send_response(fd, error_response(400, "bad_request",
-                                     "malformed or oversized request head"));
-    return;
-  }
-  const std::size_t head_end = buf.find("\r\n\r\n");
-  const std::string head = buf.substr(0, head_end);
-  std::string body = buf.substr(head_end + 4);
+  std::size_t served = 0;
+  for (;;) {
+    if (buf.empty()) {
+      // Between requests (or before the first): wait for the next request
+      // head. An idle timeout or a drain closes the connection silently —
+      // no request was in flight, so there is nothing to answer.
+      const int budget = served == 0 ? opts_.io_timeout_ms
+                                     : opts_.idle_timeout_ms;
+      if (!wait_readable(fd, budget)) return;
+    }
+    if (!read_until(fd, buf, "\r\n\r\n", opts_.max_header_bytes)) {
+      // A clean EOF between requests is a normal keep-alive close from the
+      // peer; a partial head is a protocol error worth answering.
+      if (!buf.empty()) {
+        send_response(fd, error_response(400, "bad_request",
+                                         "malformed or oversized request head"));
+      }
+      return;
+    }
+    const std::size_t head_end = buf.find("\r\n\r\n");
+    const std::string head = buf.substr(0, head_end);
 
-  // Request line: METHOD SP PATH SP HTTP/x.y
-  const std::size_t line_end = head.find("\r\n");
-  const std::string request_line =
-      line_end == std::string::npos ? head : head.substr(0, line_end);
-  const std::vector<std::string> parts = split_ws(request_line);
-  if (parts.size() != 3 || !starts_with(parts[2], "HTTP/")) {
-    send_response(fd, error_response(400, "bad_request",
-                                     "malformed request line"));
-    return;
-  }
-  Request req;
-  req.method = parts[0];
-  // Strip any query string; the service takes parameters in JSON bodies.
-  const std::size_t query = parts[1].find('?');
-  req.path = query == std::string::npos ? parts[1] : parts[1].substr(0, query);
+    // Request line: METHOD SP PATH SP HTTP/x.y
+    const std::size_t line_end = head.find("\r\n");
+    const std::string request_line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    const std::vector<std::string> parts = split_ws(request_line);
+    if (parts.size() != 3 || !starts_with(parts[2], "HTTP/")) {
+      send_response(fd, error_response(400, "bad_request",
+                                       "malformed request line"));
+      return;
+    }
+    Request req;
+    req.method = parts[0];
+    // Strip any query string; the service takes parameters in JSON bodies.
+    const std::size_t query = parts[1].find('?');
+    req.path =
+        query == std::string::npos ? parts[1] : parts[1].substr(0, query);
 
-  const long long content_length = parse_content_length(
-      line_end == std::string::npos ? "" : head.substr(line_end + 2));
-  if (content_length == -2 ||
-      content_length > static_cast<long long>(opts_.max_body_bytes)) {
-    send_response(fd, error_response(413, "body_too_large",
-                                     "invalid or oversized Content-Length"));
-    return;
-  }
-  if (content_length > 0) {
-    const std::size_t want = static_cast<std::size_t>(content_length);
-    // Bytes past the body that arrived with the head (a pipelining client)
-    // are dropped: this server is Connection: close, one request per socket.
-    if (body.size() > want) body.resize(want);
-    while (body.size() < want) {
+    const std::string headers =
+        line_end == std::string::npos ? "" : head.substr(line_end + 2);
+    const long long content_length = parse_content_length(headers);
+    if (content_length == -2 ||
+        content_length > static_cast<long long>(opts_.max_body_bytes)) {
+      send_response(fd, error_response(413, "body_too_large",
+                                       "invalid or oversized Content-Length"));
+      return;
+    }
+    const std::size_t body_start = head_end + 4;
+    const std::size_t want =
+        content_length > 0 ? static_cast<std::size_t>(content_length) : 0;
+    while (buf.size() < body_start + want) {
       char chunk[4096];
       // Cap each recv at the bytes actually remaining so we never consume
       // data beyond this request's declared body.
-      const std::size_t cap = std::min(sizeof(chunk), want - body.size());
+      const std::size_t cap =
+          std::min(sizeof(chunk), body_start + want - buf.size());
       const ssize_t n = recv_retry(fd, chunk, cap);
       if (n <= 0) {
         send_response(fd, error_response(400, "bad_request",
                                          "truncated request body"));
         return;
       }
-      body.append(chunk, static_cast<std::size_t>(n));
+      buf.append(chunk, static_cast<std::size_t>(n));
     }
-  }
-  req.body = std::move(body);
+    req.body = buf.substr(body_start, want);
 
-  send_response(fd, router_->handle(req));
+    ++served;
+    const bool keep = opts_.keep_alive &&
+                      !client_wants_close(headers, parts[2]) &&
+                      served < opts_.max_requests_per_connection &&
+                      !draining_.load(std::memory_order_relaxed);
+    if (served > 1) obs::count("service.http.keepalive_reuses");
+    if (!send_response(fd, handler_(req), keep)) return;
+    if (!keep) return;
+    buf.erase(0, body_start + want);
+  }
 }
 
 }  // namespace rca::service

@@ -1,29 +1,36 @@
 // Minimal HTTP/1.1 server over loopback TCP for the RCA query service.
 //
-// Scope is deliberately narrow: the daemon binds 127.0.0.1 only, speaks
-// enough HTTP/1.1 for curl and simple clients (request line, headers,
-// Content-Length bodies, one request per connection, `Connection: close`),
-// and hands every request to the transport-independent Router. TLS, proxies
-// and fan-in belong in front of it, not inside it.
+// Scope is deliberately narrow: the daemon binds 127.0.0.1 only and speaks
+// enough HTTP/1.1 for curl and simple clients — request line, headers,
+// Content-Length bodies, and persistent connections (`Connection:
+// keep-alive` honored with a bounded requests-per-connection budget and an
+// idle timeout; `Connection: close` and HTTP/1.0 behave as before). Every
+// request goes to a transport-independent handler — a Router by default,
+// or any std::function (the fleet gateway reuses this transport with its
+// own proxy handler). TLS and real fan-in belong in front of it.
 //
 // Lifecycle: start() binds and listens (port 0 picks an ephemeral port,
 // readable via port()); serve_forever() accepts until a shutdown is
 // requested, then *drains* — already-accepted connections finish their
-// request/response cycle — and returns 0. request_shutdown_fd() exposes a
-// write end an async-signal-safe SIGINT/SIGTERM handler can poke (see
-// install_signal_handlers), which is how `rca-tool serve` exits 0 on Ctrl-C
-// with zero dropped in-flight requests.
+// in-flight request/response cycle (idle keep-alive connections are closed
+// within one 250ms poll slice) — and returns 0. request_shutdown_fd()
+// exposes a write end an async-signal-safe SIGINT/SIGTERM handler can poke
+// (see install_signal_handlers), which is how `rca-tool serve` exits 0 on
+// Ctrl-C with zero dropped in-flight requests.
 //
-// Robustness: accept/recv/send all retry on EINTR, SIGPIPE is ignored
-// (sends use MSG_NOSIGNAL), and the transport carries `http.recv` /
+// Robustness: accept/recv/send/poll all retry on EINTR (a SIGCHLD-heavy
+// supervisor parent must never kill a connection mid-read), SIGPIPE is
+// ignored (sends use MSG_NOSIGNAL), and the transport carries `http.recv` /
 // `http.send` fault-injection sites (src/fault) so chaos tests can model
 // slow, failing, or truncating peers without real network trouble.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -38,11 +45,26 @@ struct HttpServerOptions {
   std::size_t connection_threads = 8;
   std::size_t max_header_bytes = 16 * 1024;
   std::size_t max_body_bytes = 8 * 1024 * 1024;
-  int io_timeout_ms = 10000;   // per-socket read/write timeout
+  int io_timeout_ms = 10000;   // per-socket read/write timeout mid-request
+  /// Persistent-connection policy. A connection is recycled after this many
+  /// requests (the response carries `Connection: close`) so one chatty
+  /// client cannot pin a worker thread forever.
+  std::size_t max_requests_per_connection = 100;
+  /// How long a keep-alive connection may sit idle between requests before
+  /// the server closes it. Waited in <=250ms poll slices so a graceful
+  /// drain never stalls behind an idle socket.
+  int idle_timeout_ms = 15000;
+  bool keep_alive = true;      // false restores one-request-per-connection
 };
 
 class HttpServer {
  public:
+  /// Transport-independent request handler. Must be thread-safe: it is
+  /// invoked concurrently from `connection_threads` workers.
+  using Handler = std::function<Response(const Request&)>;
+
+  HttpServer(Handler handler, HttpServerOptions opts);
+  /// Convenience: serve a Router (the resident-service configuration).
   HttpServer(Router* router, HttpServerOptions opts);
   ~HttpServer();
 
@@ -72,8 +94,12 @@ class HttpServer {
  private:
   void connection_worker();
   void handle_connection(int fd);
+  /// Waits for `fd` to become readable, polling in <=250ms slices so the
+  /// wait notices a drain request promptly. False on timeout, drain, or a
+  /// poll error.
+  bool wait_readable(int fd, int timeout_ms) const;
 
-  Router* router_;
+  Handler handler_;
   HttpServerOptions opts_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
@@ -83,6 +109,7 @@ class HttpServer {
   std::condition_variable cv_;
   std::deque<int> pending_;  // accepted, not yet handled
   bool closed_ = false;      // no more connections will be queued
+  std::atomic<bool> draining_{false};
   std::vector<std::thread> workers_;
 };
 

@@ -1,6 +1,7 @@
 #include "service/router.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <thread>
 #include <utility>
@@ -88,7 +89,9 @@ Response retriable_error_response(int status, const std::string& code,
 }
 
 Router::Router(SessionStore* store, RouterOptions opts)
-    : store_(store), opts_(std::move(opts)) {}
+    : store_(store),
+      opts_(std::move(opts)),
+      started_at_(std::chrono::steady_clock::now()) {}
 
 void Router::add_route(const std::string& method, const std::string& path,
                        RouteHandler handler) {
@@ -100,6 +103,15 @@ Response Router::handle(const Request& req) {
   // while the worker pool is saturated or draining.
   if (req.path == "/v1/health") return handle_health();
   if (req.path == "/v1/metrics") return handle_metrics();
+
+  // Chaos site for the fleet: an armed fire here dies the way a real heap
+  // corruption or OOM kill would — no unwinding, no response, no drain.
+  // The supervisor must observe SIGABRT via SIGCHLD, not an error body.
+  // Sits below health/metrics so supervisor probes never trip it — only
+  // real proxied work does.
+  if (RCA_FAULT_CHECK("fleet.worker.crash")) {
+    std::abort();
+  }
 
   obs::Span span("service.request");
   span.attr("path", req.path);
@@ -245,16 +257,34 @@ Response Router::dispatch(const Request& req, const JsonValue& body) {
 }
 
 Response Router::handle_health() const {
+  // Fixed key set and order — fleet probes and golden tests parse this by
+  // position. Wall-clock-dependent values (uptime_ms) report 0 under
+  // stable_health so test-mode documents stay byte-identical.
   JsonWriter w;
   w.begin_object();
   w.key("status");
   w.string_value("ok");
+  w.key("phase");
+  w.string_value(warming_.load(std::memory_order_relaxed) ? "warming"
+                                                          : "ready");
   w.key("build_id");
   w.string_value(build_id());
+  w.key("generation");
+  w.integer(opts_.generation);
+  w.key("uptime_ms");
+  if (opts_.stable_health) {
+    w.integer(0);
+  } else {
+    w.integer(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - started_at_)
+                  .count());
+  }
   w.key("sessions");
   w.integer(static_cast<long long>(store_->session_count()));
   w.key("resident_bytes");
   w.integer(static_cast<long long>(store_->resident_bytes()));
+  w.key("degraded_sessions");
+  w.integer(static_cast<long long>(store_->degraded_session_count()));
   w.key("in_flight");
   w.integer(static_cast<long long>(in_flight()));
   w.end_object();

@@ -4,7 +4,13 @@
 // knowing whether it arrived over loopback HTTP (http_server.hpp), the
 // in-process load generator (bench/perf_service), or a test. JSON endpoints:
 //
-//   GET  /v1/health        build id, session count, in-flight depth
+//   GET  /v1/health        fixed-key probe document: status, phase
+//                          ("warming" until resume/pre-warm finishes,
+//                          "ready" after), build_id, generation (fleet
+//                          respawn count, 0 standalone), uptime_ms (0 under
+//                          RouterOptions::stable_health for byte-stable
+//                          goldens), sessions, resident_bytes,
+//                          degraded_sessions, in_flight
 //   GET  /v1/metrics       the full rca.metrics.v1 registry document
 //   POST /v1/graph/build   {"src": DIR, "build_list": [..], "coverage": b,
 //                           "coverage_steps": n, "prune_dead_stores": b,
@@ -58,6 +64,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -120,6 +127,14 @@ struct RouterOptions {
   /// Registers POST /v1/_test/sleep {"ms": n} — deterministic latency for
   /// backpressure/timeout tests and the load bench. Never enable in serve.
   bool enable_test_routes = false;
+  /// Worker generation reported by /v1/health. The fleet supervisor bumps
+  /// it on every respawn (`rca-tool serve --generation N`), so a probe can
+  /// tell a freshly restarted worker from one that never died. 0 for a
+  /// standalone daemon.
+  long long generation = 0;
+  /// Suppress wall-clock health fields (uptime_ms reports 0) so tests can
+  /// pin byte-stable /v1/health goldens.
+  bool stable_health = false;
 };
 
 class Router {
@@ -145,6 +160,13 @@ class Router {
     return in_flight_.load(std::memory_order_relaxed);
   }
 
+  /// Health "phase": a worker that is still resuming journaled campaigns or
+  /// pre-warming sessions reports "warming"; probes treat it as alive but
+  /// not yet routable. Thread-safe.
+  void set_warming(bool warming) {
+    warming_.store(warming, std::memory_order_relaxed);
+  }
+
   SessionStore& store() { return *store_; }
   const RouterOptions& options() const { return opts_; }
 
@@ -166,6 +188,9 @@ class Router {
   SessionStore* store_;
   RouterOptions opts_;
   std::atomic<std::size_t> in_flight_{0};
+  std::atomic<bool> warming_{false};
+  /// Process-lifetime anchor for /v1/health uptime_ms.
+  std::chrono::steady_clock::time_point started_at_;
   /// path -> method -> handler, for add_route endpoints.
   std::map<std::string, std::map<std::string, RouteHandler>> routes_;
 };

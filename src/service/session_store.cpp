@@ -696,6 +696,15 @@ std::size_t SessionStore::resident_bytes() const {
   return total_bytes_;
 }
 
+std::size_t SessionStore::degraded_session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t degraded = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.session->skipped_modules().empty()) ++degraded;
+  }
+  return degraded;
+}
+
 std::vector<std::string> SessionStore::keys_by_recency() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {lru_.begin(), lru_.end()};

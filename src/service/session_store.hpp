@@ -267,6 +267,9 @@ class SessionStore {
   // Introspection (health endpoint, tests).
   std::size_t session_count() const;
   std::size_t resident_bytes() const;
+  /// Resident sessions serving a partial corpus (skipped modules). Never
+  /// forces a parse — see Session::skipped_modules().
+  std::size_t degraded_session_count() const;
   /// Resident keys in LRU order, most recently used first.
   std::vector<std::string> keys_by_recency() const;
 

@@ -1,0 +1,76 @@
+#include "support/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace rca {
+
+namespace {
+
+void write_fully(int fd, const std::string& data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("write failed for " + path + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw Error("cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  try {
+    write_fully(fd, content, tmp);
+    if (::fsync(fd) != 0) {
+      throw Error("fsync failed for " + tmp + ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("close failed for " + tmp + ": " + std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw Error("rename " + tmp + " -> " + path + " failed: " +
+                std::strerror(err));
+  }
+}
+
+void append_line_durable(const std::string& path, const std::string& line) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    throw Error("cannot open " + path + ": " + std::strerror(errno));
+  }
+  try {
+    write_fully(fd, line + "\n", path);
+    if (::fsync(fd) != 0) {
+      throw Error("fsync failed for " + path + ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+}  // namespace rca

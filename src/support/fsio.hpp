@@ -1,0 +1,26 @@
+// Durable small-file I/O.
+//
+// Readers of coordination files (port-file handshakes, campaign journals)
+// must never observe a partially written document: a supervisor polling a
+// worker's port file between the worker's open() and write() would parse an
+// empty port and connect to nothing. `atomic_write_file` closes that window
+// with the standard temp + fsync + rename protocol — the file either has its
+// old content (or is absent) or the complete new content, never a prefix.
+#pragma once
+
+#include <string>
+
+namespace rca {
+
+/// Writes `content` to `path` atomically: the data goes to `path` + ".tmp",
+/// is fsync'd, and is renamed over `path` (rename(2) is atomic within a
+/// filesystem). Throws rca::Error on any failure; the temp file is removed
+/// on the error path.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Appends `line` (a trailing '\n' is added) to `path` and fsyncs, creating
+/// the file when absent. Single writev-style write so a crash mid-append
+/// leaves at most one torn final line, which journal readers must tolerate.
+void append_line_durable(const std::string& path, const std::string& line);
+
+}  // namespace rca

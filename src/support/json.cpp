@@ -490,4 +490,46 @@ JsonValue parse_json(std::string_view text, const JsonParseOptions& opts) {
   return JsonParser(text, opts).parse_document();
 }
 
+namespace {
+
+void emit_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: w.null(); break;
+    case JsonValue::Kind::kBool: w.boolean(v.as_bool()); break;
+    case JsonValue::Kind::kNumber: {
+      const double n = v.as_number();
+      const double truncated = std::trunc(n);
+      if (std::isfinite(n) && truncated == n &&
+          std::abs(n) < 9.007199254740992e15) {  // exact in a double
+        w.integer(static_cast<long long>(n));
+      } else {
+        w.number(n);
+      }
+      break;
+    }
+    case JsonValue::Kind::kString: w.string_value(v.as_string()); break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.items()) emit_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [k, member] : v.members()) {
+        w.key(k);
+        emit_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_json(const JsonValue& value) {
+  JsonWriter w;
+  emit_value(w, value);
+  return w.str();
+}
+
 }  // namespace rca

@@ -123,4 +123,10 @@ struct JsonParseOptions {
 /// JSON grammar. Throws rca::Error with a byte offset on malformed input.
 JsonValue parse_json(std::string_view text, const JsonParseOptions& opts = {});
 
+/// Re-serializes a parsed document. Objects keep their parsed member order,
+/// so parse → to_json → parse round-trips deterministically; integral
+/// numbers are emitted without a decimal point. Used where a document must
+/// be persisted verbatim-equivalent (e.g. campaign journals).
+std::string to_json(const JsonValue& value);
+
 }  // namespace rca

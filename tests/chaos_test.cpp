@@ -108,6 +108,9 @@ std::string raw_request(std::uint16_t port, const std::string& raw) {
             0);
   EXPECT_EQ(::send(fd, raw.data(), raw.size(), 0),
             static_cast<ssize_t>(raw.size()));
+  // Half-close the write side: the keep-alive server sees EOF when it looks
+  // for a second request and closes, so reading until EOF stays one-shot.
+  ::shutdown(fd, SHUT_WR);
   std::string out;
   char chunk[4096];
   ssize_t n;
